@@ -1,0 +1,72 @@
+//! End-to-end commit-protocol benches: miniature versions of the
+//! figure experiments, runnable under `cargo bench` (the full sweeps
+//! live in the `fig12`–`fig15` binaries).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fides_bench::{run_experiment, ExperimentParams};
+use fides_core::messages::CommitProtocol;
+
+/// Scaled-down run: zero network latency (pure protocol + crypto
+/// cost), small shard, few transactions — measures the compute path
+/// that differentiates TFCommit from 2PC (Figure 12's mechanism).
+fn mini_params(protocol: CommitProtocol, batch: usize) -> ExperimentParams {
+    ExperimentParams {
+        n_servers: 5,
+        items_per_shard: 1000,
+        batch_size: batch,
+        n_txns: 50,
+        ops_per_txn: 5,
+        protocol,
+        latency: Duration::ZERO,
+    }
+}
+
+fn bench_fig12_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit/fig12_mini");
+    group.sample_size(10);
+    for protocol in [CommitProtocol::TfCommit, CommitProtocol::TwoPhaseCommit] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{protocol}")),
+            &protocol,
+            |b, &protocol| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let r = run_experiment(&mini_params(protocol, 1));
+                        // Charge only the protocol-round time, matching
+                        // the paper's commit-latency metric.
+                        total += Duration::from_secs_f64(
+                            r.commit_latency_ms * r.committed as f64 / 1e3,
+                        );
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig13_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit/fig13_mini_per_txn");
+    group.sample_size(10);
+    for batch in [1usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let r = run_experiment(&mini_params(CommitProtocol::TfCommit, batch));
+                    total +=
+                        Duration::from_secs_f64(r.commit_latency_ms * r.committed as f64 / 1e3);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12_mechanism, bench_fig13_mechanism);
+criterion_main!(benches);

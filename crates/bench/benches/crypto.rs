@@ -1,0 +1,75 @@
+//! Micro-benchmarks for the cryptographic substrate — the "additional
+//! computations" the paper attributes to TFCommit vs 2PC (§6.1):
+//! collective signing and hashing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fides_crypto::cosi::{self, Witness};
+use fides_crypto::schnorr::KeyPair;
+use fides_crypto::sha256::Sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest/{size}B"), |b| {
+            b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(b"bench");
+    let msg = b"a typical protocol message payload";
+    let sig = kp.sign(msg);
+
+    let mut group = c.benchmark_group("schnorr");
+    group.sample_size(20);
+    group.bench_function("sign", |b| b.iter(|| kp.sign(std::hint::black_box(msg))));
+    group.bench_function("verify", |b| {
+        b.iter(|| kp.public_key().verify(std::hint::black_box(msg), &sig))
+    });
+    group.finish();
+}
+
+fn bench_cosi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosi");
+    group.sample_size(10);
+    for n in [3usize, 5, 9] {
+        let keys: Vec<KeyPair> = (0..n).map(|i| KeyPair::from_seed(&[i as u8])).collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        let record = b"block signing bytes";
+
+        // The full round: commit, aggregate, challenge, respond,
+        // assemble — everything TFCommit adds per block.
+        group.bench_function(format!("full-round/n={n}"), |b| {
+            b.iter(|| {
+                let witnesses: Vec<Witness> = keys
+                    .iter()
+                    .map(|kp| Witness::commit(kp, b"round", record))
+                    .collect();
+                let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+                let ch = cosi::challenge(&agg, record);
+                cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&ch)))
+            })
+        });
+
+        // Verification cost is that of a single signature (§2.2).
+        let witnesses: Vec<Witness> = keys
+            .iter()
+            .map(|kp| Witness::commit(kp, b"round", record))
+            .collect();
+        let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+        let ch = cosi::challenge(&agg, record);
+        let sig =
+            cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&ch)));
+        group.bench_function(format!("verify/n={n}"), |b| {
+            b.iter(|| sig.verify(std::hint::black_box(record), &pks))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_schnorr, bench_cosi);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Merkle-tree micro-benchmarks — the mechanism behind Figures 14/15:
+//! an incremental update touches `log₂ n` nodes, so the per-commit MHT
+//! cost grows with shard size and shrinks per server as load spreads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fides_crypto::merkle::{hash_leaf, MerkleTree};
+
+fn leaves(n: usize) -> Vec<fides_crypto::Digest> {
+    (0..n)
+        .map(|i| hash_leaf(&(i as u64).to_be_bytes()))
+        .collect()
+}
+
+fn bench_incremental_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle/update_leaf");
+    // The Figure 15 sweep: shard sizes 1k..10k.
+    for n in [1000usize, 4000, 10_000] {
+        let mut tree = MerkleTree::from_leaves(leaves(n));
+        let fresh = hash_leaf(b"fresh");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                tree.update_leaf(i, fresh)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rebuild_vs_update(c: &mut Criterion) {
+    // Why incremental updates matter: a full rebuild is O(n), the
+    // paper's per-txn update is O(log n).
+    let n = 10_000;
+    let base = leaves(n);
+    let mut group = c.benchmark_group("merkle/rebuild");
+    group.sample_size(10);
+    group.bench_function("from_leaves/10000", |b| {
+        b.iter(|| MerkleTree::from_leaves(std::hint::black_box(base.clone())))
+    });
+    group.finish();
+}
+
+fn bench_block_of_writes(c: &mut Criterion) {
+    // One block's worth of MHT maintenance: 100 txns x 5 ops spread
+    // over k shards means 500/k updates per shard — the Figure 14
+    // effect.
+    let mut group = c.benchmark_group("merkle/block_500_ops");
+    group.sample_size(20);
+    for k in [3usize, 5, 9] {
+        let per_shard = 500 / k;
+        let mut tree = MerkleTree::from_leaves(leaves(10_000));
+        let fresh = hash_leaf(b"w");
+        group.bench_with_input(
+            BenchmarkId::new("per_shard_share", k),
+            &per_shard,
+            |b, &ops| {
+                b.iter(|| {
+                    for i in 0..ops {
+                        tree.update_leaf((i * 101) % 10_000, fresh);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_proofs(c: &mut Criterion) {
+    let tree = MerkleTree::from_leaves(leaves(10_000));
+    let root = tree.root();
+    let vo = tree.proof(1234);
+    let leaf = tree.leaf(1234);
+    let mut group = c.benchmark_group("merkle/proof");
+    group.bench_function("generate/10000", |b| b.iter(|| tree.proof(1234)));
+    group.bench_function("verify/10000", |b| {
+        b.iter(|| vo.verify(std::hint::black_box(leaf), &root))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_incremental_update,
+    bench_rebuild_vs_update,
+    bench_block_of_writes,
+    bench_proofs
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 12: 2PC vs. TFCommit — throughput and commit latency while
+//! increasing the number of servers, one transaction per block.
+//!
+//! Paper claims: TFCommit latency ≈ 1.8× 2PC; 2PC throughput ≈ 2.1×
+//! TFCommit; both roughly flat as servers increase.
+//!
+//! ```text
+//! cargo run --release -p fides-bench --bin fig12
+//! ```
+
+use fides_bench::{print_header, run_averaged, ExperimentParams};
+use fides_core::messages::CommitProtocol;
+
+fn main() {
+    print_header(
+        "Figure 12: 2PC vs TFCommit (1 txn per block)",
+        "TFC latency ~1.8x of 2PC; 2PC throughput ~2.1x of TFC",
+        "servers  protocol  throughput(tps)  latency(ms)",
+    );
+    let mut ratios = Vec::new();
+    for n in 3..=7u32 {
+        let mut tfc = ExperimentParams::paper_base(n);
+        tfc.batch_size = 1;
+        let tfc_result = run_averaged(&tfc);
+        println!(
+            "{n:>7}  {:>8}  {:>15.1}  {:>11.3}",
+            "TFC", tfc_result.throughput_tps, tfc_result.commit_latency_ms
+        );
+
+        let mut twopc = tfc.clone();
+        twopc.protocol = CommitProtocol::TwoPhaseCommit;
+        let twopc_result = run_averaged(&twopc);
+        println!(
+            "{n:>7}  {:>8}  {:>15.1}  {:>11.3}",
+            "2PC", twopc_result.throughput_tps, twopc_result.commit_latency_ms
+        );
+        ratios.push((
+            n,
+            tfc_result.commit_latency_ms / twopc_result.commit_latency_ms,
+            twopc_result.throughput_tps / tfc_result.throughput_tps,
+        ));
+    }
+    println!("\nservers  TFC/2PC latency ratio  2PC/TFC throughput ratio");
+    for (n, lat, tps) in &ratios {
+        println!("{n:>7}  {lat:>21.2}  {tps:>24.2}");
+    }
+    let avg_lat: f64 = ratios.iter().map(|r| r.1).sum::<f64>() / ratios.len() as f64;
+    let avg_tps: f64 = ratios.iter().map(|r| r.2).sum::<f64>() / ratios.len() as f64;
+    println!("\naverage: TFC is {avg_lat:.2}x slower (paper: ~1.8x); 2PC throughput {avg_tps:.2}x higher (paper: ~2.1x)");
+}

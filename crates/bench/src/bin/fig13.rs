@@ -1,0 +1,42 @@
+//! Figure 13: varying the number of transactions per block (5 servers,
+//! 10 000 items per shard).
+//!
+//! Paper claims: per-transaction commit latency drops ≈ 2.6× and
+//! throughput rises ≈ 2.5× once 80+ transactions are batched per
+//! block.
+//!
+//! ```text
+//! cargo run --release -p fides-bench --bin fig13
+//! ```
+
+use fides_bench::{print_header, run_averaged, ExperimentParams};
+
+fn main() {
+    print_header(
+        "Figure 13: transactions per block (5 servers)",
+        "latency drops ~2.6x and throughput rises ~2.5x by batch >= 80",
+        "txns/block  throughput(tps)  latency(ms)",
+    );
+    let mut first: Option<(f64, f64)> = None;
+    let mut last: Option<(f64, f64)> = None;
+    for batch in [2usize, 20, 40, 60, 80, 100, 120] {
+        let mut params = ExperimentParams::paper_base(5);
+        params.batch_size = batch;
+        let r = run_averaged(&params);
+        println!(
+            "{batch:>10}  {:>15.1}  {:>11.3}",
+            r.throughput_tps, r.commit_latency_ms
+        );
+        if first.is_none() {
+            first = Some((r.throughput_tps, r.commit_latency_ms));
+        }
+        last = Some((r.throughput_tps, r.commit_latency_ms));
+    }
+    let (tps0, lat0) = first.expect("ran");
+    let (tps1, lat1) = last.expect("ran");
+    println!(
+        "\nbatch 2 → 120: throughput x{:.1} (paper: ~2.5x), latency x{:.2} (paper: ~1/2.6)",
+        tps1 / tps0,
+        lat1 / lat0
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 14: varying the number of servers (100 txns per block,
+//! 10 000 items per shard).
+//!
+//! Paper claims: throughput +47% and latency −33% from 3 to 9 servers;
+//! the per-server MHT update time falls as the 500 operations per
+//! block spread across more shards.
+//!
+//! ```text
+//! cargo run --release -p fides-bench --bin fig14
+//! ```
+
+use fides_bench::{print_header, run_averaged, ExperimentParams};
+
+fn main() {
+    print_header(
+        "Figure 14: number of servers (100 txns per block)",
+        "throughput +47%, latency -33%, MHT update time falls, 3 -> 9 servers",
+        "servers  throughput(tps)  latency(ms)  mht-update(ms/server/block)",
+    );
+    let mut first: Option<(f64, f64)> = None;
+    let mut last: Option<(f64, f64)> = None;
+    for n in 3..=9u32 {
+        let mut params = ExperimentParams::paper_base(n);
+        params.batch_size = 100;
+        let r = run_averaged(&params);
+        println!(
+            "{n:>7}  {:>15.1}  {:>11.3}  {:>27.4}",
+            r.throughput_tps, r.commit_latency_ms, r.mht_update_ms
+        );
+        if first.is_none() {
+            first = Some((r.throughput_tps, r.commit_latency_ms));
+        }
+        last = Some((r.throughput_tps, r.commit_latency_ms));
+    }
+    let (tps0, lat0) = first.expect("ran");
+    let (tps1, lat1) = last.expect("ran");
+    println!(
+        "\n3 → 9 servers: throughput {:+.0}% (paper: +47%), latency {:+.0}% (paper: -33%)",
+        (tps1 / tps0 - 1.0) * 100.0,
+        (lat1 / lat0 - 1.0) * 100.0
+    );
+}

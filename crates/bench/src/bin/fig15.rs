@@ -1,0 +1,45 @@
+//! Figure 15: varying the number of data items per shard (5 servers,
+//! 100 txns per block).
+//!
+//! Paper claims: commit latency +15% and throughput −14% from 1000 to
+//! 10 000 items per shard — the log-depth effect of Merkle-tree
+//! updates (a 1000-leaf path touches ~10 nodes, a 10 000-leaf path
+//! ~14).
+//!
+//! ```text
+//! cargo run --release -p fides-bench --bin fig15
+//! ```
+
+use fides_bench::{print_header, run_averaged, ExperimentParams};
+
+fn main() {
+    print_header(
+        "Figure 15: data items per shard (5 servers, 100 txns/block)",
+        "latency +15%, throughput -14%, 1k -> 10k items per shard",
+        "items/shard  throughput(tps)  latency(ms)  mht-update(ms/server/block)",
+    );
+    let mut first: Option<(f64, f64)> = None;
+    let mut last: Option<(f64, f64)> = None;
+    for thousands in 1..=10usize {
+        let items = thousands * 1000;
+        let mut params = ExperimentParams::paper_base(5);
+        params.batch_size = 100;
+        params.items_per_shard = items;
+        let r = run_averaged(&params);
+        println!(
+            "{items:>11}  {:>15.1}  {:>11.3}  {:>27.4}",
+            r.throughput_tps, r.commit_latency_ms, r.mht_update_ms
+        );
+        if first.is_none() {
+            first = Some((r.throughput_tps, r.commit_latency_ms));
+        }
+        last = Some((r.throughput_tps, r.commit_latency_ms));
+    }
+    let (tps0, lat0) = first.expect("ran");
+    let (tps1, lat1) = last.expect("ran");
+    println!(
+        "\n1k → 10k items: throughput {:+.0}% (paper: -14%), latency {:+.0}% (paper: +15%)",
+        (tps1 / tps0 - 1.0) * 100.0,
+        (lat1 / lat0 - 1.0) * 100.0
+    );
+}

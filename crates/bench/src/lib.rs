@@ -1,0 +1,254 @@
+//! The experiment harness behind the figure binaries (`fig12`–`fig15`)
+//! and the Criterion benches.
+//!
+//! Each experiment matches the paper's setup (§6): a cluster of
+//! database servers in one (simulated) datacenter, a
+//! Transactional-YCSB-like workload of 5-operation read-modify-write
+//! transactions over keys drawn from the union of all shards, 1000
+//! client requests per run, and measurements of
+//!
+//! * **commit latency** — "time taken to terminate a transaction once
+//!   the client sends end transaction request", amortized per
+//!   transaction over the coordinator's protocol rounds, and
+//! * **throughput** — committed transactions per second of wall time,
+//! * **MHT update time** — Merkle maintenance per server per block
+//!   (Figure 14's third series).
+//!
+//! Environment knobs: `FIDES_TXNS` (client requests per run, default
+//! 1000), `FIDES_LATENCY_US` (one-way per-message latency, default
+//! 500 µs — an intra-datacenter figure standing in for the paper's EC2
+//! placement), `FIDES_RUNS` (averaging runs, default 1; the paper
+//! averages 3).
+
+use std::time::{Duration, Instant};
+
+use fides_core::messages::CommitProtocol;
+use fides_core::system::{ClusterConfig, FidesCluster};
+use fides_net::NetworkConfig;
+use fides_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Parameters of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentParams {
+    /// Number of database servers (= shards).
+    pub n_servers: u32,
+    /// Items per shard (paper default: 10 000).
+    pub items_per_shard: usize,
+    /// Transactions per block.
+    pub batch_size: usize,
+    /// Total client requests (paper: 1000).
+    pub n_txns: usize,
+    /// Operations per transaction (paper: 5).
+    pub ops_per_txn: usize,
+    /// Commitment protocol.
+    pub protocol: CommitProtocol,
+    /// One-way per-message latency.
+    pub latency: Duration,
+}
+
+impl ExperimentParams {
+    /// The paper's base configuration, with overridable pieces.
+    pub fn paper_base(n_servers: u32) -> Self {
+        ExperimentParams {
+            n_servers,
+            items_per_shard: 10_000,
+            batch_size: 100,
+            n_txns: env_usize("FIDES_TXNS", 1000),
+            ops_per_txn: 5,
+            protocol: CommitProtocol::TfCommit,
+            latency: Duration::from_micros(env_usize("FIDES_LATENCY_US", 150) as u64),
+        }
+    }
+}
+
+/// Measurements from one experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentResult {
+    /// Transactions that committed.
+    pub committed: usize,
+    /// Transactions that aborted or failed.
+    pub aborted: usize,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Committed transactions per second of wall time.
+    pub throughput_tps: f64,
+    /// Per-transaction commit latency in milliseconds (coordinator
+    /// round time / committed transactions).
+    pub commit_latency_ms: f64,
+    /// Average Merkle-maintenance time per server per block, in
+    /// milliseconds (0 for 2PC, which keeps no trees).
+    pub mht_update_ms: f64,
+    /// Blocks appended to the log.
+    pub blocks: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs one experiment: builds the cluster, drives the workload from
+/// `batch_size` concurrent clients, and collects the measurements.
+pub fn run_experiment(params: &ExperimentParams) -> ExperimentResult {
+    // Enough concurrent clients to keep the commit pipeline full: the
+    // execution phase (signed per-item reads/writes) overlaps with the
+    // coordinator's serialized protocol rounds. More clients than that
+    // only add execution traffic that pads the measured rounds
+    // (`FIDES_CLIENTS` overrides).
+    let n_clients = env_usize("FIDES_CLIENTS", params.batch_size.clamp(6, 128)) as u32;
+    let cluster = FidesCluster::start(
+        ClusterConfig::new(params.n_servers)
+            .items_per_shard(params.items_per_shard)
+            .batch_size(params.batch_size)
+            .protocol(params.protocol)
+            .network(NetworkConfig::with_latency(params.latency))
+            .max_clients(n_clients)
+            // Long enough for a full batch of clients to submit, so
+            // blocks actually carry `batch_size` transactions.
+            .flush_interval(Duration::from_millis(25)),
+    );
+
+    // The full run is one conflict-free window, so every block commits
+    // (the §4.6 "non-conflicting transactions" batching assumption).
+    let mut generator = WorkloadGenerator::new(
+        WorkloadConfig::paper_default(params.n_servers, params.items_per_shard)
+            .ops_per_txn(params.ops_per_txn)
+            .conflict_free_window(params.n_txns),
+        FidesCluster::key_name,
+    );
+
+    let per_client = params.n_txns / n_clients as usize;
+    let remainder = params.n_txns % n_clients as usize;
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..n_clients {
+        let mut client = cluster.client(c);
+        let quota = per_client + usize::from((c as usize) < remainder);
+        let specs = generator.take_txns(quota);
+        handles.push(std::thread::spawn(move || {
+            let mut committed = 0usize;
+            let mut aborted = 0usize;
+            for spec in specs {
+                match client.run_rmw(&spec.keys, 1) {
+                    Ok(outcome) if outcome.committed() => committed += 1,
+                    _ => aborted += 1,
+                }
+            }
+            (committed, aborted)
+        }));
+    }
+    let mut committed = 0usize;
+    let mut aborted = 0usize;
+    for h in handles {
+        let (c, a) = h.join().expect("client thread");
+        committed += c;
+        aborted += a;
+    }
+    cluster.flush();
+    let blocks = cluster.settle(Duration::from_secs(10)).unwrap_or(0);
+    let elapsed = start.elapsed();
+
+    let rounds = cluster.round_stats();
+    let commit_latency_ms = if rounds.committed_txns > 0 {
+        (rounds.round_nanos as f64 / 1e6) / rounds.committed_txns as f64
+    } else {
+        f64::NAN
+    };
+    let mht = cluster.mht_stats();
+    let mht_total_ms: f64 = mht.iter().map(|s| s.elapsed.as_secs_f64() * 1e3).sum();
+    let mht_update_ms = if blocks > 0 {
+        mht_total_ms / (params.n_servers as f64 * blocks as f64)
+    } else {
+        0.0
+    };
+
+    cluster.shutdown();
+    ExperimentResult {
+        committed,
+        aborted,
+        elapsed,
+        throughput_tps: committed as f64 / elapsed.as_secs_f64(),
+        commit_latency_ms,
+        mht_update_ms,
+        blocks,
+    }
+}
+
+/// Runs `FIDES_RUNS` repetitions (default 1; the paper averages 3) and
+/// averages the scalar metrics.
+pub fn run_averaged(params: &ExperimentParams) -> ExperimentResult {
+    let runs = env_usize("FIDES_RUNS", 1).max(1);
+    let mut acc: Option<ExperimentResult> = None;
+    for _ in 0..runs {
+        let r = run_experiment(params);
+        acc = Some(match acc {
+            None => r,
+            Some(a) => ExperimentResult {
+                committed: a.committed + r.committed,
+                aborted: a.aborted + r.aborted,
+                elapsed: a.elapsed + r.elapsed,
+                throughput_tps: a.throughput_tps + r.throughput_tps,
+                commit_latency_ms: a.commit_latency_ms + r.commit_latency_ms,
+                mht_update_ms: a.mht_update_ms + r.mht_update_ms,
+                blocks: a.blocks + r.blocks,
+            },
+        });
+    }
+    let mut r = acc.expect("at least one run");
+    let n = runs as f64;
+    r.throughput_tps /= n;
+    r.commit_latency_ms /= n;
+    r.mht_update_ms /= n;
+    r
+}
+
+/// Prints a figure header in a consistent format.
+pub fn print_header(figure: &str, claim: &str, columns: &str) {
+    println!("== {figure} ==");
+    println!("paper claim: {claim}");
+    println!("{columns}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end experiment proving the harness plumbing.
+    #[test]
+    fn harness_smoke() {
+        let params = ExperimentParams {
+            n_servers: 3,
+            items_per_shard: 64,
+            batch_size: 4,
+            n_txns: 12,
+            ops_per_txn: 2,
+            protocol: CommitProtocol::TfCommit,
+            latency: Duration::ZERO,
+        };
+        let result = run_experiment(&params);
+        assert_eq!(result.committed, 12, "{result:?}");
+        assert!(result.throughput_tps > 0.0);
+        assert!(result.commit_latency_ms > 0.0);
+        assert!(result.blocks >= 3);
+        assert!(result.mht_update_ms > 0.0);
+    }
+
+    #[test]
+    fn twopc_has_no_mht_cost() {
+        let params = ExperimentParams {
+            n_servers: 3,
+            items_per_shard: 64,
+            batch_size: 4,
+            n_txns: 8,
+            ops_per_txn: 2,
+            protocol: CommitProtocol::TwoPhaseCommit,
+            latency: Duration::ZERO,
+        };
+        let result = run_experiment(&params);
+        assert_eq!(result.committed, 8);
+        assert_eq!(result.mht_update_ms, 0.0);
+    }
+}

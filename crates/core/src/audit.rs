@@ -1,0 +1,704 @@
+//! The offline auditor (paper §3.3, §4.2.2, §4.3.2, §4.4, §4.5, §5).
+//!
+//! The auditor is "a powerful external entity" that (1) gathers the
+//! tamper-proof logs from all servers and identifies the correct and
+//! complete log (Lemmas 6–7), (2) replays it to detect incorrect reads
+//! (Lemma 1) and serializability violations (Lemma 3), (3)
+//! authenticates each server's datastore against the logged Merkle
+//! roots using verification objects (Lemma 2), and (4) checks the
+//! block-level commit/abort invariants backing atomicity (Lemma 5).
+//!
+//! Every detected violation names the block height and, where the fault
+//! is attributable, the precise misbehaving server — the paper's twin
+//! guarantees that "a malicious fault … is undeniably linked to the
+//! malicious server" and "a benign server can always defend itself
+//! against falsified accusations" (§1).
+
+use std::collections::{HashMap, HashSet};
+use core::fmt;
+
+use fides_crypto::schnorr::PublicKey;
+use fides_ledger::block::{Block, Decision, TxnRecord};
+use fides_ledger::log::TamperProofLog;
+use fides_ledger::validate::{select_canonical_log, ChainFault, LogAssessment};
+use fides_store::authenticated::{leaf_digest, AuthenticatedShard};
+use fides_store::types::{ItemState, Key, Timestamp, Value};
+
+use crate::occ::{self, Conflict};
+use crate::partition::Partitioner;
+
+/// What the auditor found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The server's log failed chain validation (Lemma 6).
+    TamperedLog(ChainFault),
+    /// The server's log is a valid but short prefix (Lemma 7).
+    IncompleteLog {
+        /// Blocks the server kept.
+        len: usize,
+        /// Canonical length.
+        canonical_len: usize,
+    },
+    /// The server's log is validly signed but diverges — global
+    /// collusion evidence.
+    ForkedLog {
+        /// First divergent height.
+        height: u64,
+    },
+    /// A committed read does not match the value established by the
+    /// log (Lemma 1).
+    IncorrectRead {
+        /// The transaction that observed the bad value.
+        txn: Timestamp,
+        /// The item.
+        key: Key,
+        /// What the log says the value was.
+        expected: Value,
+        /// What the server returned.
+        observed: Value,
+    },
+    /// A committed transaction conflicts with the timestamp order
+    /// (Lemma 3).
+    SerializabilityViolation {
+        /// The offending transaction.
+        txn: Timestamp,
+        /// The conflict details.
+        conflict: Conflict,
+    },
+    /// The serialization graph over the committed history has a cycle
+    /// (the graph formulation of Lemma 3).
+    SerializationCycle {
+        /// Transactions on the detected cycle.
+        cycle: Vec<Timestamp>,
+    },
+    /// A server's datastore does not authenticate against the root it
+    /// co-signed (Lemma 2).
+    DatastoreCorruption {
+        /// The item whose proof failed.
+        key: Key,
+        /// The audited version.
+        version: Timestamp,
+    },
+    /// A commit block is missing an involved server's root, or an abort
+    /// block carries a complete root set (Lemma 5 supporting invariant).
+    InconsistentRoots {
+        /// The block's decision.
+        decision: Decision,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::TamperedLog(fault) => write!(f, "tampered log ({fault})"),
+            ViolationKind::IncompleteLog { len, canonical_len } => {
+                write!(f, "incomplete log ({len} of {canonical_len} blocks)")
+            }
+            ViolationKind::ForkedLog { height } => write!(f, "forked log at height {height}"),
+            ViolationKind::IncorrectRead {
+                txn,
+                key,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "incorrect read by {txn} on {key}: expected {expected}, observed {observed}"
+            ),
+            ViolationKind::SerializabilityViolation { txn, conflict } => {
+                write!(f, "serializability violation by {txn}: {conflict}")
+            }
+            ViolationKind::SerializationCycle { cycle } => {
+                write!(f, "serialization cycle through {} txns", cycle.len())
+            }
+            ViolationKind::DatastoreCorruption { key, version } => {
+                write!(f, "datastore corruption of {key} at version {version}")
+            }
+            ViolationKind::InconsistentRoots { decision } => {
+                write!(f, "inconsistent root set for a {decision} block")
+            }
+        }
+    }
+}
+
+/// One detected violation: the kind, the block where it surfaced and —
+/// when attributable — the culprit server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The misbehaving server's index, when attributable.
+    pub server: Option<u32>,
+    /// The block height where the violation surfaced.
+    pub height: Option<u64>,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.server, self.height) {
+            (Some(s), Some(h)) => write!(f, "[server {s}, block {h}] {}", self.kind),
+            (Some(s), None) => write!(f, "[server {s}] {}", self.kind),
+            (None, Some(h)) => write!(f, "[block {h}] {}", self.kind),
+            (None, None) => write!(f, "{}", self.kind),
+        }
+    }
+}
+
+/// The audit result.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Every violation found, in detection order.
+    pub violations: Vec<Violation>,
+    /// Length of the canonical log used for replay.
+    pub canonical_len: usize,
+    /// Number of committed blocks replayed.
+    pub blocks_replayed: usize,
+}
+
+impl AuditReport {
+    /// `true` when no violation of any kind was detected.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations attributed to a given server.
+    pub fn against_server(&self, server: u32) -> Vec<&Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.server == Some(server))
+            .collect()
+    }
+
+    /// The first violation in log order (the paper: "the auditor
+    /// identifies the first occurrence of any of these violations", §4.5).
+    pub fn first(&self) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .min_by_key(|v| v.height.unwrap_or(u64::MAX))
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "audit clean: {} blocks replayed, no violations",
+                self.blocks_replayed
+            )
+        } else {
+            writeln!(f, "audit found {} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  - {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Everything the auditor collects from the (untrusted) servers.
+#[derive(Debug)]
+pub struct AuditInput {
+    /// Per-server log copies, as surrendered (possibly doctored).
+    pub logs: Vec<TamperProofLog>,
+    /// Per-server datastore snapshots (the auditor probes these for
+    /// verification objects; a corrupted store yields failing proofs).
+    pub shards: Vec<AuthenticatedShard>,
+}
+
+/// The offline auditor.
+#[derive(Debug, Clone)]
+pub struct Auditor {
+    partitioner: Partitioner,
+    server_pks: Vec<PublicKey>,
+    /// The initial database contents (the trusted genesis state that
+    /// seeds replay).
+    initial: HashMap<Key, Value>,
+    /// Verify collective signatures (disabled when auditing a 2PC
+    /// cluster, which has none).
+    verify_cosign: bool,
+}
+
+impl Auditor {
+    /// Creates an auditor.
+    pub fn new(
+        partitioner: Partitioner,
+        server_pks: Vec<PublicKey>,
+        initial: HashMap<Key, Value>,
+    ) -> Self {
+        Auditor {
+            partitioner,
+            server_pks,
+            initial,
+            verify_cosign: true,
+        }
+    }
+
+    /// Disables co-sign verification (2PC baseline audits).
+    pub fn without_cosign_verification(mut self) -> Self {
+        self.verify_cosign = false;
+        self
+    }
+
+    /// Runs the complete audit.
+    pub fn audit(&self, input: &AuditInput) -> AuditReport {
+        let mut violations = Vec::new();
+
+        // ---- Step 1: log gathering and selection (Lemmas 6–7). -------
+        let canonical = if self.verify_cosign {
+            let selection = select_canonical_log(&input.logs, &self.server_pks);
+            for (server, assessment) in selection.assessments.iter().enumerate() {
+                let server = server as u32;
+                match assessment {
+                    LogAssessment::Complete => {}
+                    LogAssessment::Incomplete { len, canonical_len } => {
+                        violations.push(Violation {
+                            server: Some(server),
+                            height: Some(*len as u64),
+                            kind: ViolationKind::IncompleteLog {
+                                len: *len,
+                                canonical_len: *canonical_len,
+                            },
+                        });
+                    }
+                    LogAssessment::Tampered(fault) => violations.push(Violation {
+                        server: Some(server),
+                        height: Some(fault.height),
+                        kind: ViolationKind::TamperedLog(*fault),
+                    }),
+                    LogAssessment::Forked { height } => violations.push(Violation {
+                        server: Some(server),
+                        height: Some(*height),
+                        kind: ViolationKind::ForkedLog { height: *height },
+                    }),
+                }
+            }
+            selection.canonical
+        } else {
+            // Without signatures the longest log is taken on faith.
+            input
+                .logs
+                .iter()
+                .max_by_key(|l| l.len())
+                .cloned()
+                .unwrap_or_default()
+        };
+
+        // ---- Step 2: replay (Lemmas 1 and 3). -------------------------
+        let mut state: HashMap<Key, ItemState> = self
+            .initial
+            .iter()
+            .map(|(k, v)| (k.clone(), ItemState::initial(v.clone())))
+            .collect();
+        let mut committed_txns: Vec<TxnRecord> = Vec::new();
+        let mut blocks_replayed = 0;
+
+        for block in canonical.iter() {
+            self.check_root_consistency(block, &mut violations);
+            if block.decision != Decision::Commit {
+                continue;
+            }
+            blocks_replayed += 1;
+            for txn in &block.txns {
+                // Lemma 1: each read must reflect the latest logged write.
+                for read in &txn.read_set {
+                    if let Some(expected) = state.get(&read.key) {
+                        if read.value != expected.value || read.wts != expected.wts {
+                            violations.push(Violation {
+                                server: Some(self.partitioner.owner(&read.key)),
+                                height: Some(block.height),
+                                kind: ViolationKind::IncorrectRead {
+                                    txn: txn.id,
+                                    key: read.key.clone(),
+                                    expected: expected.value.clone(),
+                                    observed: read.value.clone(),
+                                },
+                            });
+                        }
+                    }
+                }
+                // Lemma 3: timestamp-order conflicts.
+                for conflict in occ::validate_txn(txn, |key| state.get(key).cloned()) {
+                    violations.push(Violation {
+                        server: Some(self.partitioner.owner(&conflict.key)),
+                        height: Some(block.height),
+                        kind: ViolationKind::SerializabilityViolation {
+                            txn: txn.id,
+                            conflict,
+                        },
+                    });
+                }
+                // Apply effects.
+                for read in &txn.read_set {
+                    if let Some(st) = state.get_mut(&read.key) {
+                        if txn.id > st.rts {
+                            st.rts = txn.id;
+                        }
+                    }
+                }
+                for write in &txn.write_set {
+                    let st = state
+                        .entry(write.key.clone())
+                        .or_insert_with(|| ItemState::initial(write.new_value.clone()));
+                    st.value = write.new_value.clone();
+                    if txn.id > st.wts {
+                        st.wts = txn.id;
+                    }
+                    if txn.id > st.rts {
+                        st.rts = txn.id;
+                    }
+                }
+                committed_txns.push(txn.clone());
+            }
+        }
+
+        // Lemma 3, graph form: the committed history must have an
+        // acyclic serialization graph.
+        if let Err(cycle) = serialization_graph_check(&committed_txns) {
+            violations.push(Violation {
+                server: None,
+                height: None,
+                kind: ViolationKind::SerializationCycle { cycle },
+            });
+        }
+
+        // ---- Step 3: datastore authentication (Lemma 2). -------------
+        for block in canonical.iter() {
+            if block.decision != Decision::Commit {
+                continue;
+            }
+            let Some(version) = block.max_txn_ts() else {
+                continue;
+            };
+            for txn in &block.txns {
+                for write in &txn.write_set {
+                    let server = self.partitioner.owner(&write.key);
+                    let Some(logged_root) = block.root_of(server) else {
+                        continue; // missing roots reported separately
+                    };
+                    let Some(shard) = input.shards.get(server as usize) else {
+                        continue;
+                    };
+                    // The server produces the VO from its *actual*
+                    // (possibly corrupted) store (§4.2.2).
+                    let authentic = match shard.proof_at_version(&write.key, version) {
+                        Some((stored_value, vo)) => {
+                            let computed =
+                                vo.compute_root(leaf_digest(&write.key, &stored_value));
+                            computed == logged_root
+                        }
+                        None => false,
+                    };
+                    if !authentic {
+                        violations.push(Violation {
+                            server: Some(server),
+                            height: Some(block.height),
+                            kind: ViolationKind::DatastoreCorruption {
+                                key: write.key.clone(),
+                                version,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+
+        AuditReport {
+            violations,
+            canonical_len: canonical.len(),
+            blocks_replayed,
+        }
+    }
+
+    /// Block-level root invariants (§4.3.1): commit ⇒ all involved
+    /// roots present; abort ⇒ at least one missing.
+    fn check_root_consistency(&self, block: &Block, violations: &mut Vec<Violation>) {
+        let mut involved: HashSet<u32> = HashSet::new();
+        for txn in &block.txns {
+            for r in &txn.read_set {
+                involved.insert(self.partitioner.owner(&r.key));
+            }
+            for w in &txn.write_set {
+                involved.insert(self.partitioner.owner(&w.key));
+            }
+        }
+        if !self.verify_cosign {
+            return; // the 2PC baseline logs no roots
+        }
+        let present: HashSet<u32> = block.roots.iter().map(|r| r.server).collect();
+        let bad = match block.decision {
+            Decision::Commit => !involved.iter().all(|s| present.contains(s)),
+            Decision::Abort => {
+                !involved.is_empty() && involved.iter().all(|s| present.contains(s))
+            }
+        };
+        if bad {
+            violations.push(Violation {
+                server: None,
+                height: Some(block.height),
+                kind: ViolationKind::InconsistentRoots {
+                    decision: block.decision,
+                },
+            });
+        }
+    }
+}
+
+/// Builds the serialization graph of a committed history and checks it
+/// for cycles (Lemma 3: "this is equivalent to verifying that no cycle
+/// exists in the Serialization Graph").
+///
+/// Versions are identified by the recorded timestamps: a write by
+/// transaction `T` creates version `T.id` of the key, and a read entry's
+/// `wts` names the version the transaction actually observed (the
+/// *reads-from* relation). Edges follow the classic rules:
+///
+/// * **WR** — version writer → its readers,
+/// * **WW** — writer of each version → writer of the next version,
+/// * **RW** — reader of a version → writer of the next version
+///   (anti-dependency).
+///
+/// Because edges are derived from the recorded versions rather than log
+/// positions, a history whose reads contradict the log order produces a
+/// genuine cycle.
+///
+/// # Errors
+///
+/// Returns one detected cycle (as the list of transaction ids on it).
+pub fn serialization_graph_check(txns: &[TxnRecord]) -> Result<(), Vec<Timestamp>> {
+    let n = txns.len();
+    let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+
+    // Version chains per key: (version ts, writer index), sorted by ts.
+    let mut versions: HashMap<Key, Vec<(Timestamp, usize)>> = HashMap::new();
+    for (i, txn) in txns.iter().enumerate() {
+        for write in &txn.write_set {
+            versions
+                .entry(write.key.clone())
+                .or_default()
+                .push((txn.id, i));
+        }
+    }
+    for chain in versions.values_mut() {
+        chain.sort_unstable_by_key(|(ts, _)| *ts);
+        // WW edges along the version order.
+        for pair in chain.windows(2) {
+            let (_, w1) = pair[0];
+            let (_, w2) = pair[1];
+            if w1 != w2 {
+                edges[w1].insert(w2);
+            }
+        }
+    }
+
+    // WR and RW edges from the reads-from relation.
+    for (i, txn) in txns.iter().enumerate() {
+        for read in &txn.read_set {
+            let Some(chain) = versions.get(&read.key) else {
+                continue; // only ever-initial versions: no edges
+            };
+            match chain.binary_search_by_key(&read.wts, |(ts, _)| *ts) {
+                Ok(pos) => {
+                    let writer = chain[pos].1;
+                    if writer != i {
+                        edges[writer].insert(i); // WR
+                    }
+                    if let Some(&(_, next_writer)) = chain.get(pos + 1) {
+                        if next_writer != i {
+                            edges[i].insert(next_writer); // RW
+                        }
+                    }
+                }
+                Err(pos) => {
+                    // Read a version not produced by any logged write
+                    // (e.g. the initial version): anti-depend on the
+                    // first overwriting transaction.
+                    if let Some(&(_, next_writer)) = chain.get(pos) {
+                        if next_writer != i {
+                            edges[i].insert(next_writer); // RW
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Iterative DFS cycle detection with colouring.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != Color::White {
+            continue;
+        }
+        let mut stack = vec![(start, false)];
+        while let Some((node, processed)) = stack.pop() {
+            if processed {
+                color[node] = Color::Black;
+                continue;
+            }
+            if color[node] == Color::Black {
+                continue;
+            }
+            color[node] = Color::Grey;
+            stack.push((node, true));
+            for &next in &edges[node] {
+                match color[next] {
+                    Color::White => {
+                        parent[next] = node;
+                        stack.push((next, false));
+                    }
+                    Color::Grey => {
+                        // Cycle: walk parents from node back to next.
+                        let mut cycle = vec![txns[next].id];
+                        let mut cur = node;
+                        while cur != next && cur != usize::MAX {
+                            cycle.push(txns[cur].id);
+                            cur = parent[cur];
+                        }
+                        cycle.reverse();
+                        return Err(cycle);
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_store::rwset::{ReadEntry, WriteEntry};
+
+    fn ts(c: u64) -> Timestamp {
+        Timestamp::new(c, 0)
+    }
+
+    fn r(key: &str, wts: u64) -> ReadEntry {
+        ReadEntry {
+            key: Key::new(key),
+            value: Value::from_i64(0),
+            rts: Timestamp::ZERO,
+            wts: ts(wts),
+        }
+    }
+
+    fn w(key: &str) -> WriteEntry {
+        WriteEntry {
+            key: Key::new(key),
+            new_value: Value::from_i64(1),
+            old_value: None,
+            rts: Timestamp::ZERO,
+            wts: Timestamp::ZERO,
+        }
+    }
+
+    fn txn(id: u64, reads: Vec<ReadEntry>, writes: Vec<WriteEntry>) -> TxnRecord {
+        TxnRecord {
+            id: ts(id),
+            read_set: reads,
+            write_set: writes,
+        }
+    }
+
+    #[test]
+    fn acyclic_history_passes() {
+        // T1 writes x, T2 reads x then writes y, T3 reads y.
+        let history = vec![
+            txn(1, vec![], vec![w("x")]),
+            txn(2, vec![r("x", 1)], vec![w("y")]),
+            txn(3, vec![r("y", 2)], vec![]),
+        ];
+        assert!(serialization_graph_check(&history).is_ok());
+    }
+
+    #[test]
+    fn rw_ww_cycle_detected() {
+        // Write-skew made visible in the log: T1 read x@initial and
+        // wrote y@1; T2 read y@initial (NOT T1's version) and wrote x@2.
+        // Reads-from gives RW edges T1→T2 (x) and T2→T1 (y): a cycle.
+        let history = vec![
+            txn(1, vec![r("x", 0)], vec![w("y")]),
+            txn(2, vec![r("y", 0)], vec![w("x")]),
+        ];
+        let err = serialization_graph_check(&history);
+        assert!(err.is_err());
+        let cycle = err.unwrap_err();
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn reads_from_later_version_is_acyclic_wr_edge() {
+        // T2 reads the version T1 wrote: a single WR edge, no cycle.
+        let history = vec![
+            txn(1, vec![], vec![w("x")]),
+            txn(2, vec![r("x", 1)], vec![]),
+        ];
+        assert!(serialization_graph_check(&history).is_ok());
+    }
+
+    #[test]
+    fn ww_chain_is_acyclic() {
+        let history = vec![
+            txn(1, vec![], vec![w("x")]),
+            txn(2, vec![], vec![w("x")]),
+            txn(3, vec![], vec![w("x")]),
+        ];
+        assert!(serialization_graph_check(&history).is_ok());
+    }
+
+    #[test]
+    fn self_conflicts_ignored() {
+        // A txn that reads and writes the same key has no self-edge.
+        let history = vec![txn(1, vec![r("x", 0)], vec![w("x")])];
+        assert!(serialization_graph_check(&history).is_ok());
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        assert!(serialization_graph_check(&[]).is_ok());
+    }
+
+    #[test]
+    fn report_display_and_helpers() {
+        let report = AuditReport {
+            violations: vec![Violation {
+                server: Some(2),
+                height: Some(7),
+                kind: ViolationKind::IncorrectRead {
+                    txn: ts(9),
+                    key: Key::new("x"),
+                    expected: Value::from_i64(900),
+                    observed: Value::from_i64(1000),
+                },
+            }],
+            canonical_len: 10,
+            blocks_replayed: 10,
+        };
+        assert!(!report.is_clean());
+        assert_eq!(report.against_server(2).len(), 1);
+        assert_eq!(report.against_server(0).len(), 0);
+        assert_eq!(report.first().unwrap().height, Some(7));
+        let text = report.to_string();
+        assert!(text.contains("server 2"));
+        assert!(text.contains("block 7"));
+    }
+
+    #[test]
+    fn clean_report_displays() {
+        let report = AuditReport {
+            violations: vec![],
+            canonical_len: 3,
+            blocks_replayed: 3,
+        };
+        assert!(report.is_clean());
+        assert!(report.to_string().contains("clean"));
+        assert!(report.first().is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Fault-injection switches (paper §3.2, §5).
+//!
+//! "An individual server … can fail at one or more of the components. A
+//! fault in the execution layer can return incorrect values; in the
+//! commit layer can violate transaction atomicity; in the datastore can
+//! corrupt the stored data values; and in the log can omit or reorder
+//! the transaction history."
+//!
+//! A [`Behavior`] configures which of those faults a server exhibits.
+//! Every switch corresponds to a failure scenario from §5 or a lemma
+//! from §4, and the `audit` module's tests assert that each one is
+//! detected *and attributed to the right server*.
+
+use fides_store::types::{Key, Value};
+
+/// Per-server malicious behaviour configuration. [`Behavior::honest`]
+/// (= `Default`) disables everything.
+#[derive(Clone, Debug, Default)]
+pub struct Behavior {
+    // ------------------------------------------------------------------
+    // Execution-layer faults (§4.2.2, Scenario 1).
+    // ------------------------------------------------------------------
+    /// Return stale values (the previous version) for reads of these
+    /// keys, while reporting *up-to-date* timestamps — the exact attack
+    /// of Figure 10.
+    pub stale_read_keys: Vec<Key>,
+
+    // ------------------------------------------------------------------
+    // Datastore faults (§4.2.2, Scenario 3).
+    // ------------------------------------------------------------------
+    /// Silently skip applying committed writes to these keys (the
+    /// datastore never reflects the logged update).
+    pub skip_write_keys: Vec<Key>,
+    /// After each commit, overwrite `key` with `value` without a trace.
+    pub corrupt_after_commit: Option<(Key, Value)>,
+
+    // ------------------------------------------------------------------
+    // Commit-layer faults — cohort side (Lemma 4).
+    // ------------------------------------------------------------------
+    /// Send an incorrect Schnorr response in the `SchResponse` phase.
+    pub corrupt_cosi_response: bool,
+
+    // ------------------------------------------------------------------
+    // Commit-layer faults — coordinator side (Lemma 5, Scenario 2).
+    // ------------------------------------------------------------------
+    /// Equivocate: send a commit-decision block to even-indexed cohorts
+    /// and an abort-decision block to odd-indexed ones, with the
+    /// challenge computed from the commit block (Lemma 5, Case 1).
+    pub equivocate_decision: bool,
+    /// Replace this server's root in the block with garbage
+    /// (Scenario 2: incorrect block creation against a benign server).
+    pub fake_root_for: Option<u32>,
+
+    // ------------------------------------------------------------------
+    // Log faults (§4.4, Lemmas 6–7). Applied lazily, right before logs
+    // are surrendered to the auditor.
+    // ------------------------------------------------------------------
+    /// Rewrite the decision of the block at this height.
+    pub tamper_log_at: Option<u64>,
+    /// Swap the two blocks at these heights.
+    pub reorder_log: Option<(u64, u64)>,
+    /// Drop every block after this length (omit the tail).
+    pub truncate_log_to: Option<usize>,
+}
+
+impl Behavior {
+    /// A fully honest server.
+    pub fn honest() -> Self {
+        Behavior::default()
+    }
+
+    /// Returns `true` if every switch is off.
+    pub fn is_honest(&self) -> bool {
+        self.stale_read_keys.is_empty()
+            && self.skip_write_keys.is_empty()
+            && self.corrupt_after_commit.is_none()
+            && !self.corrupt_cosi_response
+            && !self.equivocate_decision
+            && self.fake_root_for.is_none()
+            && self.tamper_log_at.is_none()
+            && self.reorder_log.is_none()
+            && self.truncate_log_to.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_honest() {
+        assert!(Behavior::honest().is_honest());
+        assert!(Behavior::default().is_honest());
+    }
+
+    #[test]
+    fn any_switch_flips_honesty() {
+        let mut b = Behavior::honest();
+        b.corrupt_cosi_response = true;
+        assert!(!b.is_honest());
+
+        let mut b = Behavior::honest();
+        b.stale_read_keys.push(Key::new("x"));
+        assert!(!b.is_honest());
+
+        let mut b = Behavior::honest();
+        b.truncate_log_to = Some(0);
+        assert!(!b.is_honest());
+
+        let mut b = Behavior::honest();
+        b.fake_root_for = Some(2);
+        assert!(!b.is_honest());
+    }
+}

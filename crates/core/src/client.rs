@@ -1,0 +1,489 @@
+//! Client sessions: the transaction life-cycle of Figure 5.
+//!
+//! Clients interact directly with the database servers (there is no
+//! trusted front-end, §4.1): reads and writes go to the owning shard
+//! server; termination requests go to the designated coordinator; the
+//! final signed block comes back and the client verifies the collective
+//! signature before accepting the outcome (§4.3.1 phase 5).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fides_crypto::encoding::{Decodable, Encodable};
+use fides_crypto::schnorr::{KeyPair, PublicKey};
+use fides_ledger::block::{Block, Decision, TxnRecord};
+use fides_net::{Endpoint, Envelope, NodeId};
+use fides_store::rwset::{ReadEntry, WriteEntry};
+use fides_store::types::{Key, Timestamp, Value};
+
+use crate::messages::{CommitProtocol, Message, TxnHandle};
+use crate::partition::Partitioner;
+use crate::server::{client_node, server_node, Directory, COORDINATOR_IDX};
+
+/// A shared monotone counter from which clients derive commit
+/// timestamps.
+///
+/// The paper only requires "a timestamp that supports total ordering …
+/// as long as all clients use the same timestamp generating mechanism"
+/// (§4.1); a shared atomic counter is the simplest such mechanism and
+/// keeps end-transaction rejections (stale timestamps) out of the happy
+/// path. The Lamport-style `(counter, client)` pair still totally
+/// orders timestamps if clients ever race.
+#[derive(Clone, Debug, Default)]
+pub struct TimestampOracle(Arc<AtomicU64>);
+
+impl TimestampOracle {
+    /// Creates a fresh oracle starting above [`Timestamp::ZERO`].
+    pub fn new() -> Self {
+        TimestampOracle(Arc::new(AtomicU64::new(1)))
+    }
+
+    /// The next counter value (strictly increasing).
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Advances the counter to at least `floor`.
+    pub fn advance_to(&self, floor: u64) {
+        self.0.fetch_max(floor + 1, Ordering::Relaxed);
+    }
+}
+
+/// Client-side state of one in-flight transaction.
+#[derive(Debug)]
+pub struct TxnCtx {
+    handle: TxnHandle,
+    /// Servers already sent a `Begin` (§4.1 step 1).
+    begun: HashSet<u32>,
+    /// Read set accumulated from read responses.
+    reads: Vec<ReadEntry>,
+    /// Keys read (to distinguish blind writes).
+    read_keys: HashSet<Key>,
+    /// Write intentions with the metadata from write acks.
+    writes: Vec<WriteEntry>,
+}
+
+impl TxnCtx {
+    /// The provisional transaction handle.
+    pub fn handle(&self) -> TxnHandle {
+        self.handle
+    }
+
+    /// Values read so far, in request order.
+    pub fn reads(&self) -> &[ReadEntry] {
+        &self.reads
+    }
+}
+
+/// The final, client-visible outcome of a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// The transaction committed in the block at `height`.
+    Committed {
+        /// Assigned commit timestamp.
+        ts: Timestamp,
+        /// Block height in the global log.
+        height: u64,
+    },
+    /// The transaction (or its whole block) aborted.
+    Aborted {
+        /// Assigned commit timestamp.
+        ts: Timestamp,
+        /// Height of the abort block.
+        height: u64,
+    },
+    /// The returned block's collective signature did not verify — the
+    /// client "detects an anomaly and triggers an audit" (§4.3.1).
+    Anomaly {
+        /// Assigned commit timestamp.
+        ts: Timestamp,
+    },
+}
+
+impl TxnOutcome {
+    /// `true` only for a verified commit.
+    pub fn committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed { .. })
+    }
+
+    /// `true` when the client detected a protocol anomaly.
+    pub fn is_anomaly(&self) -> bool {
+        matches!(self, TxnOutcome::Anomaly { .. })
+    }
+}
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The owning server reported the key as absent.
+    NoSuchKey(Key),
+    /// No response arrived in time (crashed server or partition).
+    Timeout(&'static str),
+    /// The network shut down.
+    Disconnected,
+    /// The coordinator kept rejecting our timestamps.
+    RetriesExhausted,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::NoSuchKey(k) => write!(f, "no such key: {k}"),
+            ClientError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+            ClientError::Disconnected => write!(f, "network disconnected"),
+            ClientError::RetriesExhausted => write!(f, "coordinator kept rejecting timestamps"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client session bound to one endpoint.
+pub struct ClientSession {
+    id: u32,
+    endpoint: Endpoint,
+    keypair: KeyPair,
+    directory: Directory,
+    partitioner: Partitioner,
+    server_pks: Vec<PublicKey>,
+    oracle: TimestampOracle,
+    protocol: CommitProtocol,
+    seq: u64,
+    op_timeout: Duration,
+}
+
+impl ClientSession {
+    /// Assembles a session (normally via
+    /// [`crate::system::FidesCluster::client`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        endpoint: Endpoint,
+        keypair: KeyPair,
+        directory: Directory,
+        partitioner: Partitioner,
+        server_pks: Vec<PublicKey>,
+        oracle: TimestampOracle,
+        protocol: CommitProtocol,
+    ) -> Self {
+        ClientSession {
+            id,
+            endpoint,
+            keypair,
+            directory,
+            partitioner,
+            server_pks,
+            oracle,
+            protocol,
+            seq: 0,
+            op_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Starts a new transaction (Figure 5 step 1 happens lazily per
+    /// server on first access).
+    pub fn begin(&mut self) -> TxnCtx {
+        self.seq += 1;
+        TxnCtx {
+            handle: TxnHandle {
+                client: self.id,
+                seq: self.seq,
+            },
+            begun: HashSet::new(),
+            reads: Vec::new(),
+            read_keys: HashSet::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn send_to(&self, server: u32, msg: &Message) {
+        let env = Envelope::sign(
+            &self.keypair,
+            client_node(self.id),
+            server_node(server),
+            msg.encode(),
+        );
+        self.endpoint.send(env);
+    }
+
+    /// Waits for a message matching `want`; other traffic is dropped
+    /// (clients run one transaction at a time).
+    fn wait_for<T>(
+        &self,
+        what: &'static str,
+        mut want: impl FnMut(NodeId, Message) -> Option<T>,
+    ) -> Result<T, ClientError> {
+        let deadline = Instant::now() + self.op_timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::Timeout(what));
+            }
+            match self.endpoint.recv_timeout(deadline - now) {
+                Ok(env) => {
+                    let Some(pk) = self.directory.get(&env.from) else {
+                        continue;
+                    };
+                    if !env.verify(pk) {
+                        continue;
+                    }
+                    let Ok(msg) = Message::decode(&env.payload) else {
+                        continue;
+                    };
+                    if let Some(out) = want(env.from, msg) {
+                        return Ok(out);
+                    }
+                }
+                Err(fides_net::RecvError::Timeout) => return Err(ClientError::Timeout(what)),
+                Err(fides_net::RecvError::Disconnected) => return Err(ClientError::Disconnected),
+            }
+        }
+    }
+
+    fn ensure_begun(&mut self, txn: &mut TxnCtx, server: u32) {
+        if txn.begun.insert(server) {
+            self.send_to(
+                server,
+                &Message::Begin {
+                    txn: txn.handle,
+                },
+            );
+        }
+    }
+
+    /// Reads one item (Figure 5 steps 2–3). The observed value and
+    /// timestamps join the read set.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoSuchKey`] if the owning server does not store
+    /// the key; timeout/disconnect errors on network failure.
+    pub fn read(&mut self, txn: &mut TxnCtx, key: &Key) -> Result<Value, ClientError> {
+        let server = self.partitioner.owner(key);
+        self.ensure_begun(txn, server);
+        self.send_to(
+            server,
+            &Message::Read {
+                txn: txn.handle,
+                key: key.clone(),
+            },
+        );
+        let handle = txn.handle;
+        let want_key = key.clone();
+        let entry = self.wait_for("read response", move |_, msg| match msg {
+            Message::ReadResp {
+                txn: t,
+                key: k,
+                value,
+                rts,
+                wts,
+            } if t == handle && k == want_key => Some(Ok(ReadEntry {
+                key: k,
+                value,
+                rts,
+                wts,
+            })),
+            Message::ReadErr { txn: t, key: k } if t == handle && k == want_key => {
+                Some(Err(ClientError::NoSuchKey(k)))
+            }
+            _ => None,
+        })??;
+        // Lamport rule: our next timestamp must exceed what we observed.
+        self.oracle
+            .advance_to(entry.rts.counter().max(entry.wts.counter()));
+        let value = entry.value.clone();
+        txn.read_keys.insert(entry.key.clone());
+        txn.reads.push(entry);
+        Ok(value)
+    }
+
+    /// Buffers a write at the owning server (Figure 5 steps 2–3). For a
+    /// blind write (key not previously read) the acknowledgement's old
+    /// value is recorded in the write set (§4.2.1).
+    pub fn write(&mut self, txn: &mut TxnCtx, key: &Key, value: Value) -> Result<(), ClientError> {
+        let server = self.partitioner.owner(key);
+        self.ensure_begun(txn, server);
+        self.send_to(
+            server,
+            &Message::Write {
+                txn: txn.handle,
+                key: key.clone(),
+                value: value.clone(),
+            },
+        );
+        let handle = txn.handle;
+        let want_key = key.clone();
+        let old = self.wait_for("write ack", move |_, msg| match msg {
+            Message::WriteAck {
+                txn: t,
+                key: k,
+                old,
+            } if t == handle && k == want_key => Some(old),
+            _ => None,
+        })?;
+
+        let was_read = txn.read_keys.contains(key);
+        let (old_value, rts, wts) = match (&old, was_read) {
+            // Blind write: remember the pre-image (§4.2.1).
+            (Some((v, r, w)), false) => (Some(v.clone()), *r, *w),
+            // Read-then-write: the read entry already holds the pre-image.
+            (Some((_, r, w)), true) => (None, *r, *w),
+            (None, _) => (None, Timestamp::ZERO, Timestamp::ZERO),
+        };
+        if let Some((_, r, w)) = &old {
+            self.oracle.advance_to(r.counter().max(w.counter()));
+        }
+        txn.writes.push(WriteEntry {
+            key: key.clone(),
+            new_value: value,
+            old_value,
+            rts,
+            wts,
+        });
+        Ok(())
+    }
+
+    /// Terminates the transaction (Figure 5 steps 4–8): assigns the
+    /// commit timestamp, sends the end-transaction request to the
+    /// coordinator, waits for the signed block, verifies the collective
+    /// signature and extracts the decision.
+    ///
+    /// # Errors
+    ///
+    /// Network errors; [`ClientError::RetriesExhausted`] if the
+    /// coordinator keeps rejecting our timestamps.
+    pub fn commit(&mut self, txn: TxnCtx) -> Result<TxnOutcome, ClientError> {
+        let handle = txn.handle;
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            if attempts > 16 {
+                return Err(ClientError::RetriesExhausted);
+            }
+            let ts = Timestamp::new(self.oracle.next(), self.id);
+            let record = TxnRecord {
+                id: ts,
+                read_set: txn.reads.clone(),
+                write_set: txn.writes.clone(),
+            };
+            self.send_to(COORDINATOR_IDX, &Message::EndTxn { handle, record });
+
+            enum Reply {
+                Outcome(Block),
+                Rejected(Timestamp),
+            }
+            let reply = self.wait_for("transaction outcome", move |_, msg| match msg {
+                Message::Outcome { handle: h, block } if h == handle => {
+                    Some(Reply::Outcome(block))
+                }
+                Message::EndTxnRejected { handle: h, hint } if h == handle => {
+                    Some(Reply::Rejected(hint))
+                }
+                _ => None,
+            })?;
+
+            match reply {
+                Reply::Rejected(hint) => {
+                    self.oracle.advance_to(hint.counter());
+                    continue;
+                }
+                Reply::Outcome(block) => {
+                    // §4.3.1 phase 5: "The client, with the public keys of
+                    // all the servers, verifies the co-sign before
+                    // accepting the decision."
+                    if self.protocol == CommitProtocol::TfCommit
+                        && !block
+                            .cosign
+                            .verify(&block.signing_bytes(), &self.server_pks)
+                    {
+                        return Ok(TxnOutcome::Anomaly { ts });
+                    }
+                    self.oracle
+                        .advance_to(block.max_txn_ts().map_or(0, |t| t.counter()));
+                    let height = block.height;
+                    let committed = block.decision == Decision::Commit
+                        && block.txns.iter().any(|t| t.id == ts);
+                    return Ok(if committed {
+                        TxnOutcome::Committed { ts, height }
+                    } else {
+                        TxnOutcome::Aborted { ts, height }
+                    });
+                }
+            }
+        }
+    }
+
+    /// Convenience: a read-modify-write transaction over `keys`, adding
+    /// `delta` to each numeric value — the benchmark's 5-operation
+    /// multi-record transaction shape (§6).
+    pub fn run_rmw(&mut self, keys: &[Key], delta: i64) -> Result<TxnOutcome, ClientError> {
+        let mut txn = self.begin();
+        let mut staged = Vec::with_capacity(keys.len());
+        for key in keys {
+            let value = self.read(&mut txn, key)?;
+            let next = Value::from_i64(value.as_i64().unwrap_or(0) + delta);
+            staged.push((key.clone(), next));
+        }
+        for (key, next) in staged {
+            self.write(&mut txn, &key, next)?;
+        }
+        self.commit(txn)
+    }
+
+    /// Overrides the per-operation timeout (tests exercising crash
+    /// paths use short values).
+    pub fn set_op_timeout(&mut self, timeout: Duration) {
+        self.op_timeout = timeout;
+    }
+}
+
+impl core::fmt::Debug for ClientSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ClientSession(id={}, seq={})", self.id, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_is_strictly_increasing() {
+        let oracle = TimestampOracle::new();
+        let a = oracle.next();
+        let b = oracle.next();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn oracle_advance_to_jumps_forward_only() {
+        let oracle = TimestampOracle::new();
+        oracle.advance_to(100);
+        assert!(oracle.next() > 100);
+        oracle.advance_to(5); // no regression
+        assert!(oracle.next() > 100);
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        let ts = Timestamp::new(1, 0);
+        assert!(TxnOutcome::Committed { ts, height: 0 }.committed());
+        assert!(!TxnOutcome::Aborted { ts, height: 0 }.committed());
+        assert!(TxnOutcome::Anomaly { ts }.is_anomaly());
+    }
+
+    #[test]
+    fn client_error_display() {
+        assert!(ClientError::NoSuchKey(Key::new("x"))
+            .to_string()
+            .contains('x'));
+        assert!(!ClientError::Timeout("vote").to_string().is_empty());
+    }
+}

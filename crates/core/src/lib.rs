@@ -1,0 +1,60 @@
+//! Fides core: auditable transaction management on untrusted
+//! infrastructure (paper §3–§5).
+//!
+//! This crate assembles the substrates (`fides-crypto`, `fides-store`,
+//! `fides-net`, `fides-ledger`) into the full system:
+//!
+//! * [`messages`] — the signed protocol messages exchanged between
+//!   clients, cohorts and the coordinator,
+//! * [`partition`] — the key → server partition map,
+//! * [`occ`] — commit-time timestamp-ordering validation (§4.3.1),
+//! * [`behavior`] — fault-injection switches modelling every malicious
+//!   behaviour of §3.2/§5,
+//! * [`server`] — the database server: execution layer, commitment
+//!   layer (TFCommit cohort + coordinator, plus the trusted 2PC
+//!   baseline of §6.1), datastore and log,
+//! * [`client`] — client sessions executing the transaction life-cycle
+//!   of Figure 5,
+//! * [`audit`] — the offline auditor implementing Lemmas 1–7,
+//! * [`system`] — the cluster harness used by tests, examples and the
+//!   benchmark suite.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fides_core::system::{ClusterConfig, FidesCluster};
+//! use fides_store::{Key, Value};
+//!
+//! // Three servers, four preloaded items per shard, one txn per block.
+//! let config = ClusterConfig::new(3).items_per_shard(4);
+//! let cluster = FidesCluster::start(config);
+//! let mut client = cluster.client(0);
+//!
+//! let key = cluster.key_of(0, 0); // first item of server 0's shard
+//! let mut txn = client.begin();
+//! let read = client.read(&mut txn, &key).unwrap();
+//! client.write(&mut txn, &key, Value::from_i64(42)).unwrap();
+//! let outcome = client.commit(txn).unwrap();
+//! assert!(outcome.committed());
+//!
+//! let report = cluster.audit();
+//! assert!(report.is_clean());
+//! cluster.shutdown();
+//! # let _ = read;
+//! ```
+
+pub mod audit;
+pub mod behavior;
+pub mod client;
+pub mod messages;
+pub mod occ;
+pub mod partition;
+pub mod server;
+pub mod system;
+
+pub use audit::{AuditReport, Auditor, Violation, ViolationKind};
+pub use behavior::Behavior;
+pub use client::{ClientSession, TxnCtx, TxnOutcome};
+pub use messages::{CommitProtocol, Message, TxnHandle};
+pub use partition::Partitioner;
+pub use system::{ClusterConfig, FidesCluster};

@@ -1,0 +1,723 @@
+//! Protocol messages.
+//!
+//! Every message travels inside a signed [`fides_net::Envelope`]; this
+//! module defines the payloads and their canonical encodings. The
+//! TFCommit phases (paper Figure 7) map to message pairs:
+//!
+//! | phase | message |
+//! |-------|---------|
+//! | `<GetVote, SchAnnouncement>` | [`Message::GetVote`] |
+//! | `<Vote, SchCommitment>`      | [`Message::Vote`] |
+//! | `<null, SchChallenge>`       | [`Message::Challenge`] |
+//! | `<null, SchResponse>`        | [`Message::Response`] |
+//! | `<Decision, null>`           | [`Message::Decision`] |
+//!
+//! The 2PC baseline (§6.1) uses the `TwoPc*` variants.
+
+use core::fmt;
+
+use fides_crypto::cosi;
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use fides_crypto::scalar::Scalar;
+use fides_ledger::block::{Block, TxnRecord};
+use fides_store::types::{Key, Timestamp, Value};
+
+/// Which atomic commitment protocol a cluster runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CommitProtocol {
+    /// TrustFree Commit — 2PC fused with CoSi (the paper's contribution).
+    #[default]
+    TfCommit,
+    /// Plain trusted Two-Phase Commit (the §6.1 baseline).
+    TwoPhaseCommit,
+}
+
+impl fmt::Display for CommitProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitProtocol::TfCommit => write!(f, "TFCommit"),
+            CommitProtocol::TwoPhaseCommit => write!(f, "2PC"),
+        }
+    }
+}
+
+/// Client-side provisional transaction identity, used to correlate
+/// execution-phase messages before the commit timestamp is assigned.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TxnHandle {
+    /// The issuing client's id.
+    pub client: u32,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for TxnHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn-c{}-{}", self.client, self.seq)
+    }
+}
+
+/// The partially-filled block broadcast in the `<GetVote>` phase:
+/// commit timestamps, read/write sets and the previous-block hash
+/// (Figure 7, leftmost block state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialBlock {
+    /// Chain position the block will occupy.
+    pub height: u64,
+    /// The batched transactions (sorted by commit timestamp).
+    pub txns: Vec<TxnRecord>,
+    /// Hash of the previous block.
+    pub prev_hash: fides_crypto::Digest,
+}
+
+/// A cohort's involvement-specific vote contents (only sent by cohorts
+/// whose shard is accessed by the block, §4.3.1 phase 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvolvedVote {
+    /// `true` → commit, `false` → abort.
+    pub commit: bool,
+    /// The speculative Merkle root (present iff `commit`).
+    pub root: Option<fides_crypto::Digest>,
+    /// Ids of transactions that failed local validation (abort votes).
+    pub failed: Vec<Timestamp>,
+}
+
+/// Why a cohort refused to produce a Schnorr response in phase 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Refusal {
+    /// A commit block is missing roots of involved servers.
+    MissingRoots,
+    /// The cohort's own root in the block differs from what it sent.
+    RootMismatch,
+    /// The coordinator's challenge does not hash to `H(X ‖ block)`.
+    BadChallenge,
+    /// An abort block carries a full root set (or other decision
+    /// inconsistency).
+    DecisionInconsistent,
+}
+
+impl fmt::Display for Refusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Refusal::MissingRoots => write!(f, "commit block is missing involved roots"),
+            Refusal::RootMismatch => write!(f, "own root was replaced in the block"),
+            Refusal::BadChallenge => write!(f, "challenge does not match H(X || block)"),
+            Refusal::DecisionInconsistent => write!(f, "decision inconsistent with roots"),
+        }
+    }
+}
+
+/// A protocol message (the payload of a signed envelope).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    // ------------------------------------------------------------------
+    // Transaction execution (client ↔ server), Figure 5 steps 1–3.
+    // ------------------------------------------------------------------
+    /// Step 1: client announces a transaction to an involved server.
+    Begin { txn: TxnHandle },
+    /// Step 2: read request for one item.
+    Read { txn: TxnHandle, key: Key },
+    /// Step 3: read response with the item's value and timestamps.
+    ReadResp {
+        txn: TxnHandle,
+        key: Key,
+        value: Value,
+        rts: Timestamp,
+        wts: Timestamp,
+    },
+    /// The requested key is not stored on this server.
+    ReadErr { txn: TxnHandle, key: Key },
+    /// Step 2: buffered write request.
+    Write {
+        txn: TxnHandle,
+        key: Key,
+        value: Value,
+    },
+    /// Step 3: write acknowledgement; carries the pre-image and
+    /// timestamps for blind writes (§4.2.1).
+    WriteAck {
+        txn: TxnHandle,
+        key: Key,
+        /// `(old value, rts, wts)` — `None` when the key is unknown to
+        /// this server (a fresh insert).
+        old: Option<(Value, Timestamp, Timestamp)>,
+    },
+
+    // ------------------------------------------------------------------
+    // Termination (client → coordinator), Figure 5 step 4.
+    // ------------------------------------------------------------------
+    /// `end_transaction(Tid, ts, Rset-Wset)` — the signed client request
+    /// the coordinator encapsulates into the block.
+    EndTxn { handle: TxnHandle, record: TxnRecord },
+    /// The coordinator refused the request (stale timestamp); the client
+    /// should retry with a timestamp above `hint`.
+    EndTxnRejected {
+        handle: TxnHandle,
+        hint: Timestamp,
+    },
+    /// Final outcome: the signed block containing the transaction. The
+    /// client verifies the collective signature before accepting
+    /// (§4.3.1 phase 5).
+    Outcome { handle: TxnHandle, block: Block },
+
+    // ------------------------------------------------------------------
+    // TFCommit (coordinator ↔ cohorts), §4.3.1.
+    // ------------------------------------------------------------------
+    /// Phase 1 `<GetVote, SchAnnouncement>`.
+    GetVote { partial: PartialBlock },
+    /// Phase 2 `<Vote, SchCommitment>`.
+    Vote {
+        height: u64,
+        commitment: cosi::Commitment,
+        involved: Option<InvolvedVote>,
+    },
+    /// Phase 3 `<null, SchChallenge>`: the filled (unsigned) block, the
+    /// aggregate commitment `X` and the challenge `ch = H(X ‖ block)`.
+    Challenge {
+        block: Block,
+        aggregate: cosi::Commitment,
+        challenge: Scalar,
+    },
+    /// Phase 4 `<null, SchResponse>`.
+    Response {
+        height: u64,
+        result: Result<cosi::Response, Refusal>,
+    },
+    /// Phase 5 `<Decision, null>`: the finalized, collectively signed
+    /// block.
+    Decision { block: Block },
+
+    // ------------------------------------------------------------------
+    // Two-Phase Commit baseline (§6.1).
+    // ------------------------------------------------------------------
+    /// 2PC vote request with the proposed block.
+    TwoPcGetVote { partial: PartialBlock },
+    /// 2PC vote.
+    TwoPcVote {
+        height: u64,
+        commit: bool,
+        failed: Vec<Timestamp>,
+    },
+    /// 2PC decision broadcast.
+    TwoPcDecision { block: Block },
+
+    // ------------------------------------------------------------------
+    // Harness control.
+    // ------------------------------------------------------------------
+    /// Ask the coordinator to terminate whatever is pending now.
+    Flush,
+    /// Ask a server thread to exit.
+    Shutdown,
+}
+
+impl Message {
+    /// A short name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Begin { .. } => "begin",
+            Message::Read { .. } => "read",
+            Message::ReadResp { .. } => "read-resp",
+            Message::ReadErr { .. } => "read-err",
+            Message::Write { .. } => "write",
+            Message::WriteAck { .. } => "write-ack",
+            Message::EndTxn { .. } => "end-txn",
+            Message::EndTxnRejected { .. } => "end-txn-rejected",
+            Message::Outcome { .. } => "outcome",
+            Message::GetVote { .. } => "get-vote",
+            Message::Vote { .. } => "vote",
+            Message::Challenge { .. } => "challenge",
+            Message::Response { .. } => "response",
+            Message::Decision { .. } => "decision",
+            Message::TwoPcGetVote { .. } => "2pc-get-vote",
+            Message::TwoPcVote { .. } => "2pc-vote",
+            Message::TwoPcDecision { .. } => "2pc-decision",
+            Message::Flush => "flush",
+            Message::Shutdown => "shutdown",
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Canonical encoding.
+// ----------------------------------------------------------------------
+
+impl Encodable for TxnHandle {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u32(self.client);
+        enc.put_u64(self.seq);
+    }
+}
+
+impl Decodable for TxnHandle {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TxnHandle {
+            client: dec.take_u32()?,
+            seq: dec.take_u64()?,
+        })
+    }
+}
+
+impl Encodable for PartialBlock {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.height);
+        enc.put_seq(&self.txns, |e, t| t.encode_into(e));
+        enc.put_digest(&self.prev_hash);
+    }
+}
+
+impl Decodable for PartialBlock {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(PartialBlock {
+            height: dec.take_u64()?,
+            txns: dec.take_seq(TxnRecord::decode_from)?,
+            prev_hash: dec.take_digest()?,
+        })
+    }
+}
+
+impl Encodable for InvolvedVote {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_bool(self.commit);
+        enc.put_option(&self.root, |e, d| e.put_digest(d));
+        enc.put_seq(&self.failed, |e, t| t.encode_into(e));
+    }
+}
+
+impl Decodable for InvolvedVote {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(InvolvedVote {
+            commit: dec.take_bool()?,
+            root: dec.take_option(|d| d.take_digest())?,
+            failed: dec.take_seq(Timestamp::decode_from)?,
+        })
+    }
+}
+
+impl Encodable for Refusal {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            Refusal::MissingRoots => 0,
+            Refusal::RootMismatch => 1,
+            Refusal::BadChallenge => 2,
+            Refusal::DecisionInconsistent => 3,
+        });
+    }
+}
+
+impl Decodable for Refusal {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            0 => Ok(Refusal::MissingRoots),
+            1 => Ok(Refusal::RootMismatch),
+            2 => Ok(Refusal::BadChallenge),
+            3 => Ok(Refusal::DecisionInconsistent),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encodable for Message {
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            Message::Begin { txn } => {
+                enc.put_u8(0);
+                txn.encode_into(enc);
+            }
+            Message::Read { txn, key } => {
+                enc.put_u8(1);
+                txn.encode_into(enc);
+                key.encode_into(enc);
+            }
+            Message::ReadResp {
+                txn,
+                key,
+                value,
+                rts,
+                wts,
+            } => {
+                enc.put_u8(2);
+                txn.encode_into(enc);
+                key.encode_into(enc);
+                value.encode_into(enc);
+                rts.encode_into(enc);
+                wts.encode_into(enc);
+            }
+            Message::ReadErr { txn, key } => {
+                enc.put_u8(3);
+                txn.encode_into(enc);
+                key.encode_into(enc);
+            }
+            Message::Write { txn, key, value } => {
+                enc.put_u8(4);
+                txn.encode_into(enc);
+                key.encode_into(enc);
+                value.encode_into(enc);
+            }
+            Message::WriteAck { txn, key, old } => {
+                enc.put_u8(5);
+                txn.encode_into(enc);
+                key.encode_into(enc);
+                enc.put_option(old, |e, (v, r, w)| {
+                    v.encode_into(e);
+                    r.encode_into(e);
+                    w.encode_into(e);
+                });
+            }
+            Message::EndTxn { handle, record } => {
+                enc.put_u8(6);
+                handle.encode_into(enc);
+                record.encode_into(enc);
+            }
+            Message::EndTxnRejected { handle, hint } => {
+                enc.put_u8(7);
+                handle.encode_into(enc);
+                hint.encode_into(enc);
+            }
+            Message::Outcome { handle, block } => {
+                enc.put_u8(8);
+                handle.encode_into(enc);
+                block.encode_into(enc);
+            }
+            Message::GetVote { partial } => {
+                enc.put_u8(9);
+                partial.encode_into(enc);
+            }
+            Message::Vote {
+                height,
+                commitment,
+                involved,
+            } => {
+                enc.put_u8(10);
+                enc.put_u64(*height);
+                commitment.encode_into(enc);
+                enc.put_option(involved, |e, v| v.encode_into(e));
+            }
+            Message::Challenge {
+                block,
+                aggregate,
+                challenge,
+            } => {
+                enc.put_u8(11);
+                block.encode_into(enc);
+                aggregate.encode_into(enc);
+                enc.put_fixed(&challenge.to_be_bytes());
+            }
+            Message::Response { height, result } => {
+                enc.put_u8(12);
+                enc.put_u64(*height);
+                match result {
+                    Ok(resp) => {
+                        enc.put_u8(1);
+                        resp.encode_into(enc);
+                    }
+                    Err(refusal) => {
+                        enc.put_u8(0);
+                        refusal.encode_into(enc);
+                    }
+                }
+            }
+            Message::Decision { block } => {
+                enc.put_u8(13);
+                block.encode_into(enc);
+            }
+            Message::TwoPcGetVote { partial } => {
+                enc.put_u8(14);
+                partial.encode_into(enc);
+            }
+            Message::TwoPcVote {
+                height,
+                commit,
+                failed,
+            } => {
+                enc.put_u8(15);
+                enc.put_u64(*height);
+                enc.put_bool(*commit);
+                enc.put_seq(failed, |e, t| t.encode_into(e));
+            }
+            Message::TwoPcDecision { block } => {
+                enc.put_u8(16);
+                block.encode_into(enc);
+            }
+            Message::Flush => enc.put_u8(17),
+            Message::Shutdown => enc.put_u8(18),
+        }
+    }
+}
+
+impl Decodable for Message {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.take_u8()? {
+            0 => Message::Begin {
+                txn: TxnHandle::decode_from(dec)?,
+            },
+            1 => Message::Read {
+                txn: TxnHandle::decode_from(dec)?,
+                key: Key::decode_from(dec)?,
+            },
+            2 => Message::ReadResp {
+                txn: TxnHandle::decode_from(dec)?,
+                key: Key::decode_from(dec)?,
+                value: Value::decode_from(dec)?,
+                rts: Timestamp::decode_from(dec)?,
+                wts: Timestamp::decode_from(dec)?,
+            },
+            3 => Message::ReadErr {
+                txn: TxnHandle::decode_from(dec)?,
+                key: Key::decode_from(dec)?,
+            },
+            4 => Message::Write {
+                txn: TxnHandle::decode_from(dec)?,
+                key: Key::decode_from(dec)?,
+                value: Value::decode_from(dec)?,
+            },
+            5 => Message::WriteAck {
+                txn: TxnHandle::decode_from(dec)?,
+                key: Key::decode_from(dec)?,
+                old: dec.take_option(|d| {
+                    Ok((
+                        Value::decode_from(d)?,
+                        Timestamp::decode_from(d)?,
+                        Timestamp::decode_from(d)?,
+                    ))
+                })?,
+            },
+            6 => Message::EndTxn {
+                handle: TxnHandle::decode_from(dec)?,
+                record: TxnRecord::decode_from(dec)?,
+            },
+            7 => Message::EndTxnRejected {
+                handle: TxnHandle::decode_from(dec)?,
+                hint: Timestamp::decode_from(dec)?,
+            },
+            8 => Message::Outcome {
+                handle: TxnHandle::decode_from(dec)?,
+                block: Block::decode_from(dec)?,
+            },
+            9 => Message::GetVote {
+                partial: PartialBlock::decode_from(dec)?,
+            },
+            10 => Message::Vote {
+                height: dec.take_u64()?,
+                commitment: cosi::Commitment::decode_from(dec)?,
+                involved: dec.take_option(InvolvedVote::decode_from)?,
+            },
+            11 => {
+                let block = Block::decode_from(dec)?;
+                let aggregate = cosi::Commitment::decode_from(dec)?;
+                let mut sb = [0u8; 32];
+                sb.copy_from_slice(dec.take_fixed(32)?);
+                let challenge = Scalar::from_be_bytes(&sb)
+                    .ok_or(DecodeError::InvalidValue("challenge scalar"))?;
+                Message::Challenge {
+                    block,
+                    aggregate,
+                    challenge,
+                }
+            }
+            12 => {
+                let height = dec.take_u64()?;
+                let result = match dec.take_u8()? {
+                    1 => Ok(cosi::Response::decode_from(dec)?),
+                    0 => Err(Refusal::decode_from(dec)?),
+                    t => return Err(DecodeError::InvalidTag(t)),
+                };
+                Message::Response { height, result }
+            }
+            13 => Message::Decision {
+                block: Block::decode_from(dec)?,
+            },
+            14 => Message::TwoPcGetVote {
+                partial: PartialBlock::decode_from(dec)?,
+            },
+            15 => Message::TwoPcVote {
+                height: dec.take_u64()?,
+                commit: dec.take_bool()?,
+                failed: dec.take_seq(Timestamp::decode_from)?,
+            },
+            16 => Message::TwoPcDecision {
+                block: Block::decode_from(dec)?,
+            },
+            17 => Message::Flush,
+            18 => Message::Shutdown,
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_crypto::schnorr::KeyPair;
+    use fides_crypto::Digest;
+    use fides_ledger::block::{BlockBuilder, Decision};
+    use fides_store::rwset::{ReadEntry, WriteEntry};
+
+    fn sample_record() -> TxnRecord {
+        TxnRecord {
+            id: Timestamp::new(10, 2),
+            read_set: vec![ReadEntry {
+                key: Key::new("x"),
+                value: Value::from_i64(5),
+                rts: Timestamp::ZERO,
+                wts: Timestamp::ZERO,
+            }],
+            write_set: vec![WriteEntry {
+                key: Key::new("x"),
+                new_value: Value::from_i64(6),
+                old_value: None,
+                rts: Timestamp::ZERO,
+                wts: Timestamp::ZERO,
+            }],
+        }
+    }
+
+    fn roundtrip(msg: Message) {
+        let bytes = msg.encode();
+        let decoded = Message::decode(&bytes).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn execution_messages_roundtrip() {
+        let txn = TxnHandle { client: 3, seq: 9 };
+        roundtrip(Message::Begin { txn });
+        roundtrip(Message::Read {
+            txn,
+            key: Key::new("k"),
+        });
+        roundtrip(Message::ReadResp {
+            txn,
+            key: Key::new("k"),
+            value: Value::from_i64(7),
+            rts: Timestamp::new(1, 0),
+            wts: Timestamp::new(2, 0),
+        });
+        roundtrip(Message::ReadErr {
+            txn,
+            key: Key::new("k"),
+        });
+        roundtrip(Message::Write {
+            txn,
+            key: Key::new("k"),
+            value: Value::from_i64(8),
+        });
+        roundtrip(Message::WriteAck {
+            txn,
+            key: Key::new("k"),
+            old: Some((Value::from_i64(7), Timestamp::new(1, 0), Timestamp::new(2, 0))),
+        });
+        roundtrip(Message::WriteAck {
+            txn,
+            key: Key::new("k"),
+            old: None,
+        });
+    }
+
+    #[test]
+    fn termination_messages_roundtrip() {
+        let handle = TxnHandle { client: 1, seq: 2 };
+        roundtrip(Message::EndTxn {
+            handle,
+            record: sample_record(),
+        });
+        roundtrip(Message::EndTxnRejected {
+            handle,
+            hint: Timestamp::new(50, 0),
+        });
+        let block = BlockBuilder::new(0, Digest::ZERO)
+            .txn(sample_record())
+            .decision(Decision::Commit)
+            .build_unsigned();
+        roundtrip(Message::Outcome { handle, block });
+    }
+
+    #[test]
+    fn tfcommit_messages_roundtrip() {
+        let partial = PartialBlock {
+            height: 4,
+            txns: vec![sample_record()],
+            prev_hash: Digest::new([3; 32]),
+        };
+        roundtrip(Message::GetVote {
+            partial: partial.clone(),
+        });
+
+        let kp = KeyPair::from_seed(b"w");
+        let witness = fides_crypto::cosi::Witness::commit(&kp, b"r", b"rec");
+        roundtrip(Message::Vote {
+            height: 4,
+            commitment: witness.commitment(),
+            involved: Some(InvolvedVote {
+                commit: true,
+                root: Some(Digest::new([1; 32])),
+                failed: vec![],
+            }),
+        });
+        roundtrip(Message::Vote {
+            height: 4,
+            commitment: witness.commitment(),
+            involved: None,
+        });
+
+        let block = BlockBuilder::new(4, Digest::new([3; 32]))
+            .txn(sample_record())
+            .decision(Decision::Commit)
+            .build_unsigned();
+        let challenge = fides_crypto::cosi::challenge(
+            &witness.commitment().0,
+            &block.signing_bytes(),
+        );
+        roundtrip(Message::Challenge {
+            block: block.clone(),
+            aggregate: witness.commitment(),
+            challenge,
+        });
+        roundtrip(Message::Response {
+            height: 4,
+            result: Ok(witness.respond(&challenge)),
+        });
+        roundtrip(Message::Response {
+            height: 4,
+            result: Err(Refusal::RootMismatch),
+        });
+        roundtrip(Message::Decision { block });
+    }
+
+    #[test]
+    fn twopc_and_control_messages_roundtrip() {
+        let partial = PartialBlock {
+            height: 0,
+            txns: vec![],
+            prev_hash: Digest::ZERO,
+        };
+        roundtrip(Message::TwoPcGetVote { partial });
+        roundtrip(Message::TwoPcVote {
+            height: 0,
+            commit: false,
+            failed: vec![Timestamp::new(9, 1)],
+        });
+        let block = BlockBuilder::new(0, Digest::ZERO)
+            .decision(Decision::Abort)
+            .build_unsigned();
+        roundtrip(Message::TwoPcDecision { block });
+        roundtrip(Message::Flush);
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(Message::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn kind_names_are_distinct_for_protocol_phases() {
+        let txn = TxnHandle { client: 0, seq: 0 };
+        let kinds = [
+            Message::Begin { txn }.kind(),
+            Message::Flush.kind(),
+            Message::Shutdown.kind(),
+        ];
+        assert_eq!(kinds.len(), 3);
+        assert!(kinds.iter().all(|k| !k.is_empty()));
+    }
+}

@@ -1,0 +1,314 @@
+//! Commit-time timestamp-ordering validation (paper §4.3.1).
+//!
+//! "Similar to timestamp based optimistic concurrency control, at commit
+//! time a server checks if the data accessed in the terminating
+//! transaction has been updated since they were read. If yes, the server
+//! chooses to abort the transaction."
+//!
+//! The conflict taxonomy follows Lemma 3:
+//!
+//! * **RW-conflict** — a transaction with a smaller timestamp read a
+//!   data item with a larger (write) timestamp;
+//! * **WW-conflict** — a transaction with a smaller timestamp wrote a
+//!   data item already updated with a larger timestamp;
+//! * **WR-conflict** — a transaction with a smaller timestamp wrote a
+//!   data item after it was read by a transaction with a larger
+//!   timestamp.
+//!
+//! The same rules run in two places: cohorts validate their shard's
+//! slice of every block before voting, and the auditor re-validates the
+//! whole history during replay (Lemma 3).
+
+use core::fmt;
+
+use fides_ledger::block::TxnRecord;
+use fides_store::types::{ItemState, Key, Timestamp};
+
+/// The kind of serializability conflict detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Read a stale version: the item's write timestamp moved past the
+    /// value the transaction observed.
+    StaleRead,
+    /// RW: the transaction's timestamp is below the item's write
+    /// timestamp at commit time.
+    ReadWrite,
+    /// WW: write below the item's current write timestamp.
+    WriteWrite,
+    /// WR: write below the item's current read timestamp.
+    WriteRead,
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConflictKind::StaleRead => write!(f, "stale read (item updated since read)"),
+            ConflictKind::ReadWrite => write!(f, "RW-conflict"),
+            ConflictKind::WriteWrite => write!(f, "WW-conflict"),
+            ConflictKind::WriteRead => write!(f, "WR-conflict"),
+        }
+    }
+}
+
+/// A validation failure: which key conflicted and how.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// The conflicted item.
+    pub key: Key,
+    /// The conflict class.
+    pub kind: ConflictKind,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.kind, self.key)
+    }
+}
+
+/// Validates one transaction against the current state of the items it
+/// accessed, restricted to keys for which `lookup` returns state (a
+/// cohort passes its shard; the auditor passes the replayed global
+/// state).
+///
+/// Returns all conflicts found (empty = the transaction serializes).
+pub fn validate_txn<F>(txn: &TxnRecord, lookup: F) -> Vec<Conflict>
+where
+    F: Fn(&Key) -> Option<ItemState>,
+{
+    let ts = txn.id;
+    let mut conflicts = Vec::new();
+
+    for read in &txn.read_set {
+        let Some(cur) = lookup(&read.key) else {
+            continue;
+        };
+        // The value the client observed must still be current: if the
+        // item's wts moved past the wts recorded at read time, someone
+        // committed a write in between.
+        if cur.wts > read.wts {
+            conflicts.push(Conflict {
+                key: read.key.clone(),
+                kind: ConflictKind::StaleRead,
+            });
+        }
+        // RW: reading "from the future" relative to our own timestamp.
+        if cur.wts > ts {
+            conflicts.push(Conflict {
+                key: read.key.clone(),
+                kind: ConflictKind::ReadWrite,
+            });
+        }
+    }
+
+    for write in &txn.write_set {
+        let Some(cur) = lookup(&write.key) else {
+            continue;
+        };
+        if cur.wts > ts {
+            conflicts.push(Conflict {
+                key: write.key.clone(),
+                kind: ConflictKind::WriteWrite,
+            });
+        }
+        if cur.rts > ts {
+            conflicts.push(Conflict {
+                key: write.key.clone(),
+                kind: ConflictKind::WriteRead,
+            });
+        }
+    }
+
+    conflicts
+}
+
+/// Validates a batch in timestamp order against a base state plus the
+/// effects of earlier transactions in the batch — what a cohort does
+/// for a multi-transaction block (§4.6). Returns the ids of failing
+/// transactions (empty = vote commit).
+pub fn validate_batch<F>(txns: &[TxnRecord], base_lookup: F) -> Vec<Timestamp>
+where
+    F: Fn(&Key) -> Option<ItemState>,
+{
+    use std::collections::HashMap;
+    // Overlay of effects from earlier txns in the batch.
+    let mut overlay: HashMap<Key, ItemState> = HashMap::new();
+    let mut failed = Vec::new();
+
+    for txn in txns {
+        let conflicts = validate_txn(txn, |key| {
+            overlay.get(key).cloned().or_else(|| base_lookup(key))
+        });
+        if conflicts.is_empty() {
+            // Apply effects to the overlay.
+            for read in &txn.read_set {
+                if let Some(mut st) = overlay
+                    .get(&read.key)
+                    .cloned()
+                    .or_else(|| base_lookup(&read.key))
+                {
+                    if txn.id > st.rts {
+                        st.rts = txn.id;
+                    }
+                    overlay.insert(read.key.clone(), st);
+                }
+            }
+            for write in &txn.write_set {
+                let mut st = overlay
+                    .get(&write.key)
+                    .cloned()
+                    .or_else(|| base_lookup(&write.key))
+                    .unwrap_or_else(|| ItemState::initial(write.new_value.clone()));
+                st.value = write.new_value.clone();
+                if txn.id > st.wts {
+                    st.wts = txn.id;
+                }
+                if txn.id > st.rts {
+                    st.rts = txn.id;
+                }
+                overlay.insert(write.key.clone(), st);
+            }
+        } else {
+            failed.push(txn.id);
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_store::rwset::{ReadEntry, WriteEntry};
+    use fides_store::types::Value;
+
+    fn ts(c: u64) -> Timestamp {
+        Timestamp::new(c, 0)
+    }
+
+    fn item(value: i64, rts: u64, wts: u64) -> ItemState {
+        ItemState {
+            value: Value::from_i64(value),
+            rts: ts(rts),
+            wts: ts(wts),
+        }
+    }
+
+    fn read(key: &str, rts: u64, wts: u64) -> ReadEntry {
+        ReadEntry {
+            key: Key::new(key),
+            value: Value::from_i64(0),
+            rts: ts(rts),
+            wts: ts(wts),
+        }
+    }
+
+    fn write(key: &str) -> WriteEntry {
+        WriteEntry {
+            key: Key::new(key),
+            new_value: Value::from_i64(1),
+            old_value: None,
+            rts: Timestamp::ZERO,
+            wts: Timestamp::ZERO,
+        }
+    }
+
+    fn txn(id: u64, reads: Vec<ReadEntry>, writes: Vec<WriteEntry>) -> TxnRecord {
+        TxnRecord {
+            id: ts(id),
+            read_set: reads,
+            write_set: writes,
+        }
+    }
+
+    #[test]
+    fn clean_txn_validates() {
+        let t = txn(100, vec![read("x", 50, 40)], vec![write("x")]);
+        let conflicts = validate_txn(&t, |_| Some(item(0, 50, 40)));
+        assert!(conflicts.is_empty());
+    }
+
+    #[test]
+    fn stale_read_detected() {
+        // Item was written at 60 after the txn read version 40.
+        let t = txn(100, vec![read("x", 50, 40)], vec![]);
+        let conflicts = validate_txn(&t, |_| Some(item(0, 50, 60)));
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].kind, ConflictKind::StaleRead);
+    }
+
+    #[test]
+    fn rw_conflict_detected() {
+        // Txn at ts 100 read an item whose current wts is 150.
+        let t = txn(100, vec![read("x", 0, 150)], vec![]);
+        let conflicts = validate_txn(&t, |_| Some(item(0, 0, 150)));
+        assert!(conflicts.iter().any(|c| c.kind == ConflictKind::ReadWrite));
+    }
+
+    #[test]
+    fn ww_conflict_detected() {
+        let t = txn(100, vec![], vec![write("x")]);
+        let conflicts = validate_txn(&t, |_| Some(item(0, 0, 150)));
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].kind, ConflictKind::WriteWrite);
+    }
+
+    #[test]
+    fn wr_conflict_detected() {
+        // Someone with ts 150 already read the item; writing at 100 would
+        // invalidate their read.
+        let t = txn(100, vec![], vec![write("x")]);
+        let conflicts = validate_txn(&t, |_| Some(item(0, 150, 50)));
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].kind, ConflictKind::WriteRead);
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let t = txn(100, vec![read("x", 0, 0)], vec![write("y")]);
+        let conflicts = validate_txn(&t, |_| None);
+        assert!(conflicts.is_empty());
+    }
+
+    #[test]
+    fn batch_applies_earlier_effects() {
+        // T1 (ts 10) writes x; T2 (ts 20) reads x at T1's version — OK.
+        let t1 = txn(10, vec![], vec![write("x")]);
+        let mut r = read("x", 0, 10);
+        r.value = Value::from_i64(1);
+        let t2 = txn(20, vec![r], vec![]);
+        let failed = validate_batch(&[t1, t2], |_| Some(item(0, 0, 0)));
+        assert!(failed.is_empty());
+    }
+
+    #[test]
+    fn batch_detects_intra_batch_stale_read() {
+        // T1 (ts 10) writes x; T2 (ts 20) read x before T1 (wts 0): stale.
+        let t1 = txn(10, vec![], vec![write("x")]);
+        let t2 = txn(20, vec![read("x", 0, 0)], vec![]);
+        let failed = validate_batch(&[t1, t2], |_| Some(item(0, 0, 0)));
+        assert_eq!(failed, vec![ts(20)]);
+    }
+
+    #[test]
+    fn batch_failure_does_not_poison_later_txns() {
+        // T1 fails (stale read); T2 on a different key passes.
+        let t1 = txn(10, vec![read("x", 0, 0)], vec![]);
+        let t2 = txn(20, vec![read("y", 0, 5)], vec![]);
+        let failed = validate_batch(&[t1, t2], |key| {
+            if key.as_str() == "x" {
+                Some(item(0, 0, 7)) // x moved past the read
+            } else {
+                Some(item(0, 0, 5))
+            }
+        });
+        assert_eq!(failed, vec![ts(10)]);
+    }
+
+    #[test]
+    fn conflict_display_nonempty() {
+        let c = Conflict {
+            key: Key::new("x"),
+            kind: ConflictKind::WriteWrite,
+        };
+        assert!(c.to_string().contains("WW"));
+    }
+}

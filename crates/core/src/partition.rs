@@ -1,0 +1,182 @@
+//! The key → server partition map (paper §3.1: "the data is partitioned
+//! into multiple shards and distributed on these servers").
+//!
+//! Clients use the partitioner as the "lookup and directory service for
+//! the database partitions" (§4.1); the auditor uses it to attribute an
+//! incorrect read to the server storing the item.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fides_crypto::sha256::Sha256;
+use fides_store::types::Key;
+
+/// An immutable, shared partition map with a hash fallback for keys
+/// created after initialization.
+///
+/// # Example
+///
+/// ```
+/// use fides_core::partition::Partitioner;
+/// use fides_store::Key;
+///
+/// let p = Partitioner::from_assignments(
+///     3,
+///     [(Key::new("x"), 0), (Key::new("y"), 2)],
+/// );
+/// assert_eq!(p.owner(&Key::new("x")), 0);
+/// assert_eq!(p.owner(&Key::new("y")), 2);
+/// // Unknown keys hash onto some server deterministically.
+/// let o = p.owner(&Key::new("z"));
+/// assert!(o < 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Partitioner {
+    inner: Arc<PartitionInner>,
+}
+
+#[derive(Debug)]
+struct PartitionInner {
+    n_servers: u32,
+    explicit: HashMap<Key, u32>,
+}
+
+impl Partitioner {
+    /// Builds a partitioner from explicit `(key, server)` assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_servers` is zero or an assignment names a server
+    /// `≥ n_servers`.
+    pub fn from_assignments(
+        n_servers: u32,
+        assignments: impl IntoIterator<Item = (Key, u32)>,
+    ) -> Self {
+        assert!(n_servers > 0, "need at least one server");
+        let explicit: HashMap<Key, u32> = assignments.into_iter().collect();
+        for (key, server) in &explicit {
+            assert!(
+                *server < n_servers,
+                "key {key} assigned to nonexistent server {server}"
+            );
+        }
+        Partitioner {
+            inner: Arc::new(PartitionInner {
+                n_servers,
+                explicit,
+            }),
+        }
+    }
+
+    /// A purely hash-based partitioner (no explicit assignments).
+    pub fn hashed(n_servers: u32) -> Self {
+        Partitioner::from_assignments(n_servers, [])
+    }
+
+    /// Number of servers/shards.
+    pub fn n_servers(&self) -> u32 {
+        self.inner.n_servers
+    }
+
+    /// The server owning `key`: the explicit assignment if present,
+    /// otherwise a deterministic hash of the key.
+    pub fn owner(&self, key: &Key) -> u32 {
+        if let Some(s) = self.inner.explicit.get(key) {
+            return *s;
+        }
+        let digest = Sha256::digest(key.as_str().as_bytes());
+        let mut v = [0u8; 4];
+        v.copy_from_slice(&digest.as_bytes()[..4]);
+        u32::from_be_bytes(v) % self.inner.n_servers
+    }
+
+    /// Splits keys by owning server: `result[s]` holds the keys of
+    /// server `s` (order preserved).
+    pub fn group_by_owner<'a>(
+        &self,
+        keys: impl IntoIterator<Item = &'a Key>,
+    ) -> Vec<Vec<&'a Key>> {
+        let mut groups = vec![Vec::new(); self.inner.n_servers as usize];
+        for key in keys {
+            groups[self.owner(key) as usize].push(key);
+        }
+        groups
+    }
+
+    /// The set of servers touched by `keys` (sorted, deduplicated).
+    pub fn involved_servers<'a>(&self, keys: impl IntoIterator<Item = &'a Key>) -> Vec<u32> {
+        let mut servers: Vec<u32> = keys.into_iter().map(|k| self.owner(k)).collect();
+        servers.sort_unstable();
+        servers.dedup();
+        servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_assignments_win() {
+        let p = Partitioner::from_assignments(2, [(Key::new("a"), 1)]);
+        assert_eq!(p.owner(&Key::new("a")), 1);
+    }
+
+    #[test]
+    fn hash_fallback_is_deterministic_and_in_range() {
+        let p = Partitioner::hashed(5);
+        for i in 0..100 {
+            let k = Key::new(format!("key-{i}"));
+            let o1 = p.owner(&k);
+            let o2 = p.owner(&k);
+            assert_eq!(o1, o2);
+            assert!(o1 < 5);
+        }
+    }
+
+    #[test]
+    fn hash_fallback_spreads_keys() {
+        let p = Partitioner::hashed(4);
+        let mut counts = [0u32; 4];
+        for i in 0..400 {
+            counts[p.owner(&Key::new(format!("k{i}"))) as usize] += 1;
+        }
+        // Every server gets a meaningful share.
+        assert!(counts.iter().all(|&c| c > 40), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn involved_servers_sorted_dedup() {
+        let p = Partitioner::from_assignments(
+            4,
+            [
+                (Key::new("a"), 3),
+                (Key::new("b"), 1),
+                (Key::new("c"), 3),
+            ],
+        );
+        let keys = [Key::new("a"), Key::new("b"), Key::new("c")];
+        assert_eq!(p.involved_servers(keys.iter()), vec![1, 3]);
+    }
+
+    #[test]
+    fn group_by_owner_partitions_all_keys() {
+        let p = Partitioner::from_assignments(2, [(Key::new("a"), 0), (Key::new("b"), 1)]);
+        let keys = [Key::new("a"), Key::new("b")];
+        let groups = p.group_by_owner(keys.iter());
+        assert_eq!(groups[0].len(), 1);
+        assert_eq!(groups[1].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent server")]
+    fn out_of_range_assignment_panics() {
+        let _ = Partitioner::from_assignments(2, [(Key::new("a"), 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = Partitioner::hashed(0);
+    }
+}

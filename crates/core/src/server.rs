@@ -1,0 +1,1150 @@
+//! The Fides database server (paper §3.1 Figure 3, §4).
+//!
+//! Each server is one thread owning the four components of Figure 3:
+//! an **execution layer** (transactional reads and buffered writes), a
+//! **commitment layer** (TFCommit cohort and, on the designated server,
+//! the TFCommit coordinator; or their 2PC counterparts), a **datastore**
+//! (a Merkle-authenticated multi-versioned shard) and the
+//! **tamper-proof log**.
+//!
+//! All state lives behind an `Arc<Mutex<ServerState>>` so that the
+//! auditor can gather snapshots ("the auditor gathers the tamper-proof
+//! logs from all the servers", §3.3) and tests can inject faults.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fides_crypto::cosi::{self, Witness};
+use fides_crypto::encoding::{Decodable, Encodable};
+use fides_crypto::schnorr::{KeyPair, PublicKey};
+use fides_crypto::Digest;
+use fides_ledger::block::{Block, BlockBuilder, Decision, ShardRoot, TxnRecord};
+use fides_ledger::log::TamperProofLog;
+use fides_net::{Endpoint, Envelope, NodeId};
+use fides_store::authenticated::AuthenticatedShard;
+use fides_store::types::{ItemState, Key, Timestamp, Value};
+
+use crate::behavior::Behavior;
+use crate::messages::{
+    CommitProtocol, InvolvedVote, Message, PartialBlock, Refusal, TxnHandle,
+};
+use crate::occ;
+use crate::partition::Partitioner;
+
+/// Map from node address to public key — the paper's "servers and
+/// clients are uniquely identifiable using their public keys" (§3.1).
+pub type Directory = Arc<HashMap<NodeId, PublicKey>>;
+
+/// Mutable server state shared with the harness/auditor.
+#[derive(Debug)]
+pub struct ServerState {
+    /// This server's index (= shard index).
+    pub idx: u32,
+    /// The authenticated datastore shard.
+    pub shard: AuthenticatedShard,
+    /// This server's copy of the globally replicated log.
+    pub log: TamperProofLog,
+    /// Highest committed transaction timestamp (end-txn requests at or
+    /// below this are ignored, §4.3.1).
+    pub last_committed: Timestamp,
+    /// Fault-injection configuration.
+    pub behavior: Behavior,
+    /// Buffered (unapplied) writes per in-flight transaction (§4.2.1).
+    pub write_buffers: HashMap<TxnHandle, Vec<(Key, Value)>>,
+    /// CoSi witness state per block height.
+    witnesses: HashMap<u64, Witness>,
+    /// Root sent in the vote for each height (to detect replacement,
+    /// Scenario 2).
+    sent_roots: HashMap<u64, Digest>,
+    /// Rounds this server refused to co-sign (protocol anomalies it
+    /// detected first-hand).
+    pub refusals: Vec<(u64, Refusal)>,
+    /// Culprits the coordinator identified via partial-signature checks
+    /// (Lemma 4): `(height, server indices)`.
+    pub cosi_culprits: Vec<(u64, Vec<u32>)>,
+    /// Coordinator-side round statistics: protocol rounds completed,
+    /// cumulative round time, and transactions committed — the paper's
+    /// "commit latency" ("time taken to terminate a transaction once
+    /// the client sends end transaction request") is
+    /// `round_nanos / committed_txns`.
+    pub round_stats: RoundStats,
+}
+
+/// Commit-round accounting (coordinator only).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Protocol rounds driven to completion.
+    pub rounds: u64,
+    /// Total wall-clock time inside rounds, in nanoseconds.
+    pub round_nanos: u128,
+    /// Transactions committed across all rounds.
+    pub committed_txns: u64,
+    /// Transactions aborted across all rounds.
+    pub aborted_txns: u64,
+}
+
+impl ServerState {
+    fn new(idx: u32, shard: AuthenticatedShard, behavior: Behavior) -> Self {
+        ServerState {
+            idx,
+            shard,
+            log: TamperProofLog::new(),
+            last_committed: Timestamp::ZERO,
+            behavior,
+            write_buffers: HashMap::new(),
+            witnesses: HashMap::new(),
+            sent_roots: HashMap::new(),
+            refusals: Vec::new(),
+            cosi_culprits: Vec::new(),
+            round_stats: RoundStats::default(),
+        }
+    }
+
+    /// The log copy this server would hand an auditor — with its log
+    /// faults applied (tampering happens at surrender time, §4.4).
+    pub fn log_for_audit(&self) -> TamperProofLog {
+        let mut log = self.log.clone();
+        if let Some(h) = self.behavior.tamper_log_at {
+            log.tamper_block(h, |b| {
+                b.decision = match b.decision {
+                    Decision::Commit => Decision::Abort,
+                    Decision::Abort => Decision::Commit,
+                }
+            });
+        }
+        if let Some((a, b)) = self.behavior.reorder_log {
+            log.reorder_blocks(a, b);
+        }
+        if let Some(keep) = self.behavior.truncate_log_to {
+            log.truncate(keep);
+        }
+        log
+    }
+}
+
+/// Static per-server configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// This server's index.
+    pub idx: u32,
+    /// Total number of servers.
+    pub n_servers: u32,
+    /// Which commitment protocol to run.
+    pub protocol: CommitProtocol,
+    /// Transactions per block (coordinator only).
+    pub batch_size: usize,
+    /// Idle time after which the coordinator terminates a partial batch.
+    pub flush_interval: Duration,
+    /// Phase timeout for vote/response collection.
+    pub round_timeout: Duration,
+}
+
+/// The running server: message loop plus protocol handlers.
+pub struct Server {
+    state: Arc<parking_lot::Mutex<ServerState>>,
+    endpoint: Endpoint,
+    keypair: KeyPair,
+    directory: Directory,
+    partitioner: Partitioner,
+    config: ServerConfig,
+    /// Public keys of all servers, by index (the CoSi witness set).
+    server_pks: Vec<PublicKey>,
+    /// Coordinator: queued end-transaction requests.
+    pending: Vec<PendingTxn>,
+    /// Coordinator: clients to notify per handle.
+    running: bool,
+}
+
+#[derive(Clone, Debug)]
+struct PendingTxn {
+    handle: TxnHandle,
+    client: NodeId,
+    record: TxnRecord,
+}
+
+/// The coordinator index (the "designated server", §4.1).
+pub const COORDINATOR_IDX: u32 = 0;
+
+/// Computes the node id of server `idx` (servers occupy the low id
+/// range).
+pub fn server_node(idx: u32) -> NodeId {
+    NodeId::new(idx)
+}
+
+/// Node id of client `idx`.
+pub fn client_node(idx: u32) -> NodeId {
+    NodeId::new(1 << 20 | idx)
+}
+
+/// Node id of the harness/admin endpoint (sends `Flush`/`Shutdown`).
+pub fn admin_node() -> NodeId {
+    NodeId::new(u32::MAX)
+}
+
+impl Server {
+    /// Builds a server around pre-constructed state. Returns the shared
+    /// state handle for the harness/auditor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config: ServerConfig,
+        shard: AuthenticatedShard,
+        behavior: Behavior,
+        endpoint: Endpoint,
+        keypair: KeyPair,
+        directory: Directory,
+        partitioner: Partitioner,
+        server_pks: Vec<PublicKey>,
+    ) -> (Server, Arc<parking_lot::Mutex<ServerState>>) {
+        let state = Arc::new(parking_lot::Mutex::new(ServerState::new(
+            config.idx, shard, behavior,
+        )));
+        let server = Server {
+            state: Arc::clone(&state),
+            endpoint,
+            keypair,
+            directory,
+            partitioner,
+            config,
+            server_pks,
+            pending: Vec::new(),
+            running: true,
+        };
+        (server, state)
+    }
+
+    fn is_coordinator(&self) -> bool {
+        self.config.idx == COORDINATOR_IDX
+    }
+
+    /// The server's message loop. Returns when a `Shutdown` message
+    /// arrives or the network disappears.
+    pub fn run(mut self) {
+        while self.running {
+            match self.endpoint.recv_timeout(self.config.flush_interval) {
+                Ok(env) => {
+                    self.dispatch(env);
+                    // Keep terminating as long as full batches are
+                    // queued (later end-txns may have arrived during the
+                    // previous round).
+                    while self.running
+                        && self.is_coordinator()
+                        && self.pending.len() >= self.config.batch_size
+                    {
+                        let before = self.pending.len();
+                        self.run_round();
+                        if self.pending.len() >= before {
+                            break; // nothing progressed (all deferred)
+                        }
+                    }
+                }
+                Err(fides_net::RecvError::Timeout) => {
+                    if self.is_coordinator() && !self.pending.is_empty() {
+                        self.run_round();
+                    }
+                }
+                Err(fides_net::RecvError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Verifies and decodes an envelope; returns `None` (drops it) on
+    /// any failure — unauthenticated messages are ignored (§3.1).
+    fn authenticate(&self, env: &Envelope) -> Option<Message> {
+        let pk = self.directory.get(&env.from)?;
+        if !env.verify(pk) {
+            return None;
+        }
+        Message::decode(&env.payload).ok()
+    }
+
+    fn send(&self, to: NodeId, msg: &Message) {
+        let env = Envelope::sign(&self.keypair, self.endpoint.node(), to, msg.encode());
+        self.endpoint.send(env);
+    }
+
+    fn broadcast_to_servers(&self, msg: &Message) {
+        for s in 0..self.config.n_servers {
+            if s != self.config.idx {
+                self.send(server_node(s), msg);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, env: Envelope) {
+        let Some(msg) = self.authenticate(&env) else {
+            return;
+        };
+        let from = env.from;
+        match msg {
+            Message::Begin { txn } => self.handle_begin(txn),
+            Message::Read { txn, key } => self.handle_read(from, txn, key),
+            Message::Write { txn, key, value } => self.handle_write(from, txn, key, value),
+            Message::EndTxn { handle, record } => {
+                // Rounds are driven by the main loop once a full batch
+                // is pending.
+                self.handle_end_txn(from, handle, record);
+            }
+            Message::Flush => {
+                if self.is_coordinator() && !self.pending.is_empty() {
+                    self.run_round();
+                }
+            }
+            Message::GetVote { partial } => self.handle_get_vote(from, partial),
+            Message::Challenge {
+                block,
+                aggregate,
+                challenge,
+            } => self.handle_challenge(from, block, aggregate, challenge),
+            Message::Decision { block } => self.handle_decision(block),
+            Message::TwoPcGetVote { partial } => self.handle_2pc_get_vote(from, partial),
+            Message::TwoPcDecision { block } => self.handle_2pc_decision(block),
+            Message::Shutdown => self.running = false,
+            // Responses to rounds we are not currently collecting for —
+            // stale protocol traffic — are dropped.
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution layer (§4.2.1).
+    // ------------------------------------------------------------------
+
+    fn handle_begin(&mut self, txn: TxnHandle) {
+        self.state.lock().write_buffers.entry(txn).or_default();
+    }
+
+    fn handle_read(&mut self, from: NodeId, txn: TxnHandle, key: Key) {
+        let state = self.state.lock();
+        let reply = match state.shard.read(&key) {
+            None => Message::ReadErr { txn, key },
+            Some(item) => {
+                let value = if state.behavior.stale_read_keys.contains(&key) {
+                    stale_value(&state, &key, &item)
+                } else {
+                    item.value.clone()
+                };
+                Message::ReadResp {
+                    txn,
+                    key,
+                    value,
+                    rts: item.rts,
+                    wts: item.wts,
+                }
+            }
+        };
+        drop(state);
+        self.send(from, &reply);
+    }
+
+    fn handle_write(&mut self, from: NodeId, txn: TxnHandle, key: Key, value: Value) {
+        let mut state = self.state.lock();
+        let old = state
+            .shard
+            .read(&key)
+            .map(|item| (item.value, item.rts, item.wts));
+        state
+            .write_buffers
+            .entry(txn)
+            .or_default()
+            .push((key.clone(), value));
+        drop(state);
+        self.send(from, &Message::WriteAck { txn, key, old });
+    }
+
+    fn handle_end_txn(&mut self, from: NodeId, handle: TxnHandle, record: TxnRecord) {
+        if !self.is_coordinator() {
+            return; // only the designated coordinator terminates txns
+        }
+        let last = self.state.lock().last_committed;
+        if record.id <= last {
+            // §4.3.1: "servers ignore any end transaction request with a
+            // timestamp lower than the latest committed timestamp" — we
+            // additionally tell the client so it can retry.
+            self.send(from, &Message::EndTxnRejected { handle, hint: last });
+            return;
+        }
+        self.pending.push(PendingTxn {
+            handle,
+            client: from,
+            record,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Cohort: TFCommit phases 2 and 4 (§4.3.1).
+    // ------------------------------------------------------------------
+
+    /// Phase 2 `<Vote, SchCommitment>` — shared by cohorts (message
+    /// handler) and the coordinator (local call).
+    fn cohort_vote(&self, partial: &PartialBlock) -> (cosi::Commitment, Option<InvolvedVote>) {
+        let mut state = self.state.lock();
+        // Round id binds the nonce to (height, prev hash).
+        let mut round_id = partial.height.to_be_bytes().to_vec();
+        round_id.extend_from_slice(partial.prev_hash.as_bytes());
+        let record_hint = partial.encode();
+        let witness = Witness::commit(&self.keypair, &round_id, &record_hint);
+        let commitment = witness.commitment();
+        state.witnesses.insert(partial.height, witness);
+
+        let involved = self.involvement(&partial.txns);
+        let involved_vote = if involved.contains(&self.config.idx) {
+            // Local OCC validation over this shard's slice (§4.3.1).
+            let shard = &state.shard;
+            let failed = occ::validate_batch(&partial.txns, |key| {
+                if self.partitioner.owner(key) == self.config.idx {
+                    shard.read(key)
+                } else {
+                    None
+                }
+            });
+            // Also enforce the sequential-log rule for the whole batch.
+            let stale = partial
+                .txns
+                .iter()
+                .any(|t| t.id <= state.last_committed);
+            if failed.is_empty() && !stale {
+                // Commit vote: compute the speculative root over all of
+                // the block's writes that land on this shard.
+                let writes = shard_writes(&partial.txns, &self.partitioner, self.config.idx);
+                let root = state.shard.speculative_root(&writes);
+                state.sent_roots.insert(partial.height, root);
+                Some(InvolvedVote {
+                    commit: true,
+                    root: Some(root),
+                    failed: Vec::new(),
+                })
+            } else {
+                Some(InvolvedVote {
+                    commit: false,
+                    root: None,
+                    failed,
+                })
+            }
+        } else {
+            None
+        };
+        (commitment, involved_vote)
+    }
+
+    fn handle_get_vote(&mut self, from: NodeId, partial: PartialBlock) {
+        let (commitment, involved) = self.cohort_vote(&partial);
+        self.send(
+            from,
+            &Message::Vote {
+                height: partial.height,
+                commitment,
+                involved,
+            },
+        );
+    }
+
+    /// Phase 4 `<null, SchResponse>` — the cohort-side checks of
+    /// Lemma 5 / Scenario 2 followed by the Schnorr response.
+    fn cohort_response(
+        &self,
+        block: &Block,
+        aggregate: &cosi::Commitment,
+        challenge: &fides_crypto::scalar::Scalar,
+    ) -> Result<cosi::Response, Refusal> {
+        let mut state = self.state.lock();
+        let involved = self.involvement(&block.txns);
+
+        // Decision/roots consistency (§4.3.1 phase 4): a commit block
+        // carries roots from *all* involved servers; an abort block has
+        // at least one missing.
+        let roots_present: HashSet<u32> = block.roots.iter().map(|r| r.server).collect();
+        match block.decision {
+            Decision::Commit => {
+                if !involved.iter().all(|s| roots_present.contains(s)) {
+                    return Err(Refusal::MissingRoots);
+                }
+            }
+            Decision::Abort => {
+                if !involved.is_empty() && involved.iter().all(|s| roots_present.contains(s)) {
+                    return Err(Refusal::DecisionInconsistent);
+                }
+            }
+        }
+
+        // Own-root check (Scenario 2: a malicious coordinator storing an
+        // incorrect root for a benign server is caught here).
+        if let Some(sent) = state.sent_roots.get(&block.height) {
+            if block.decision == Decision::Commit && block.root_of(self.config.idx) != Some(*sent)
+            {
+                return Err(Refusal::RootMismatch);
+            }
+        }
+
+        // Challenge recomputation (Lemma 5 Case 1: an equivocating
+        // coordinator's challenge cannot correspond to both blocks).
+        let expected = cosi::challenge(&aggregate.0, &block.signing_bytes());
+        if expected != *challenge {
+            return Err(Refusal::BadChallenge);
+        }
+
+        let witness = state
+            .witnesses
+            .remove(&block.height)
+            .ok_or(Refusal::BadChallenge)?;
+        if state.behavior.corrupt_cosi_response {
+            Ok(witness.respond_corrupt(challenge))
+        } else {
+            Ok(witness.respond(challenge))
+        }
+    }
+
+    fn handle_challenge(
+        &mut self,
+        from: NodeId,
+        block: Block,
+        aggregate: cosi::Commitment,
+        challenge: fides_crypto::scalar::Scalar,
+    ) {
+        let height = block.height;
+        let result = self.cohort_response(&block, &aggregate, &challenge);
+        if let Err(refusal) = &result {
+            self.state.lock().refusals.push((height, *refusal));
+        }
+        self.send(from, &Message::Response { height, result });
+    }
+
+    /// Phase 5: verify the co-sign, then append and apply (§4.1 steps
+    /// 6–7). Both commit and abort blocks are logged; only commit
+    /// blocks update the datastore.
+    fn handle_decision(&mut self, block: Block) {
+        if !block
+            .cosign
+            .verify(&block.signing_bytes(), &self.server_pks)
+        {
+            // An unsigned/invalidly-signed block is never logged; the
+            // anomaly surfaces at the clients and the audit.
+            return;
+        }
+        self.apply_block(block, CommitProtocol::TfCommit);
+    }
+
+    // ------------------------------------------------------------------
+    // Cohort: 2PC baseline (§6.1).
+    // ------------------------------------------------------------------
+
+    fn handle_2pc_get_vote(&mut self, from: NodeId, partial: PartialBlock) {
+        let state = self.state.lock();
+        let involved = self.involvement(&partial.txns);
+        let (commit, failed) = if involved.contains(&self.config.idx) {
+            let shard = &state.shard;
+            let failed = occ::validate_batch(&partial.txns, |key| {
+                if self.partitioner.owner(key) == self.config.idx {
+                    shard.read(key)
+                } else {
+                    None
+                }
+            });
+            (failed.is_empty(), failed)
+        } else {
+            (true, Vec::new())
+        };
+        drop(state);
+        self.send(
+            from,
+            &Message::TwoPcVote {
+                height: partial.height,
+                commit,
+                failed,
+            },
+        );
+    }
+
+    fn handle_2pc_decision(&mut self, block: Block) {
+        self.apply_block(block, CommitProtocol::TwoPhaseCommit);
+    }
+
+    // ------------------------------------------------------------------
+    // Applying a terminated block.
+    // ------------------------------------------------------------------
+
+    fn apply_block(&mut self, block: Block, protocol: CommitProtocol) {
+        let mut state = self.state.lock();
+        if state.log.get(block.height).is_some() {
+            return; // duplicate decision (e.g. coordinator's local copy)
+        }
+        let decision = block.decision;
+        let max_ts = block.max_txn_ts();
+        if state.log.append(block.clone()).is_err() {
+            return; // does not extend our log; ignore
+        }
+        state.witnesses.remove(&block.height);
+        state.sent_roots.remove(&block.height);
+
+        if decision == Decision::Commit {
+            for txn in &block.txns {
+                let reads: Vec<Key> = txn
+                    .read_set
+                    .iter()
+                    .filter(|r| self.partitioner.owner(&r.key) == self.config.idx)
+                    .map(|r| r.key.clone())
+                    .collect();
+                let mut writes: Vec<(Key, Value)> = txn
+                    .write_set
+                    .iter()
+                    .filter(|w| self.partitioner.owner(&w.key) == self.config.idx)
+                    .map(|w| (w.key.clone(), w.new_value.clone()))
+                    .collect();
+                // Fault: silently skip configured writes (§5 Scenario 3).
+                if !state.behavior.skip_write_keys.is_empty() {
+                    let skip = state.behavior.skip_write_keys.clone();
+                    writes.retain(|(k, _)| !skip.contains(k));
+                }
+                match protocol {
+                    CommitProtocol::TfCommit => {
+                        state.shard.apply_commit(txn.id, &reads, &writes);
+                    }
+                    CommitProtocol::TwoPhaseCommit => {
+                        state.shard.apply_commit_store_only(txn.id, &reads, &writes);
+                    }
+                }
+                // Clean the paper's write buffer for this txn.
+                // (Handles are client-side; buffers are garbage-collected
+                // lazily since the block only carries timestamps.)
+            }
+            if let Some(ts) = max_ts {
+                if ts > state.last_committed {
+                    state.last_committed = ts;
+                }
+            }
+            // Fault: corrupt the datastore after applying (§5 Scenario 3).
+            if let Some((key, value)) = state.behavior.corrupt_after_commit.clone() {
+                if self.partitioner.owner(&key) == self.config.idx {
+                    if let Some(ts) = max_ts {
+                        state.shard.store_mut().corrupt_version(&key, ts, value);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator (§4.1: "one designated server acts as the transaction
+    // coordinator responsible for terminating all transactions").
+    // ------------------------------------------------------------------
+
+    /// Terminates the current pending batch with one protocol round.
+    fn run_round(&mut self) {
+        let batch = self.select_batch();
+        if batch.is_empty() {
+            return;
+        }
+        let n_txns = batch.len() as u64;
+        let height_before = self.state.lock().log.len();
+        let start = Instant::now();
+        match self.config.protocol {
+            CommitProtocol::TfCommit => self.run_tfcommit_round(batch),
+            CommitProtocol::TwoPhaseCommit => self.run_2pc_round(batch),
+        }
+        let elapsed = start.elapsed();
+        let mut state = self.state.lock();
+        state.round_stats.rounds += 1;
+        state.round_stats.round_nanos += elapsed.as_nanos();
+        // Committed iff the round appended a commit block.
+        let committed = state.log.len() > height_before
+            && state
+                .log
+                .last()
+                .is_some_and(|b| b.decision == Decision::Commit);
+        if committed {
+            state.round_stats.committed_txns += n_txns;
+        } else {
+            state.round_stats.aborted_txns += n_txns;
+        }
+    }
+
+    /// Picks up to `batch_size` pending transactions, in timestamp
+    /// order, skipping any that conflict (share a key) with an earlier
+    /// selection — "a set of non-conflicting transactions" (§4.6).
+    fn select_batch(&mut self) -> Vec<PendingTxn> {
+        self.pending.sort_by_key(|p| p.record.id);
+        let mut touched: HashSet<Key> = HashSet::new();
+        let mut batch = Vec::new();
+        let mut rest = Vec::new();
+        for txn in self.pending.drain(..) {
+            let keys: Vec<Key> = txn
+                .record
+                .read_set
+                .iter()
+                .map(|r| r.key.clone())
+                .chain(txn.record.write_set.iter().map(|w| w.key.clone()))
+                .collect();
+            let conflicts = keys.iter().any(|k| touched.contains(k));
+            if batch.len() < self.config.batch_size && !conflicts {
+                touched.extend(keys);
+                batch.push(txn);
+            } else {
+                rest.push(txn);
+            }
+        }
+        self.pending = rest;
+        batch
+    }
+
+    fn run_tfcommit_round(&mut self, batch: Vec<PendingTxn>) {
+        let (height, prev_hash) = {
+            let state = self.state.lock();
+            (state.log.len() as u64, state.log.tip_hash())
+        };
+        let partial = PartialBlock {
+            height,
+            txns: batch.iter().map(|p| p.record.clone()).collect(),
+            prev_hash,
+        };
+
+        // Phase 1 <GetVote, SchAnnouncement>.
+        self.broadcast_to_servers(&Message::GetVote {
+            partial: partial.clone(),
+        });
+        // The coordinator is also a witness/cohort (§4.3.1 phase 2).
+        let (own_commitment, own_involved) = self.cohort_vote(&partial);
+
+        // Phase 2: collect votes from every other server.
+        let mut commitments: Vec<Option<cosi::Commitment>> =
+            vec![None; self.config.n_servers as usize];
+        let mut involved_votes: Vec<Option<InvolvedVote>> =
+            vec![None; self.config.n_servers as usize];
+        commitments[self.config.idx as usize] = Some(own_commitment);
+        involved_votes[self.config.idx as usize] = own_involved;
+
+        let ok = self.collect_votes(height, &mut commitments, &mut involved_votes);
+        if !ok {
+            // Timed-out round (crashed cohort): TFCommit is blocking
+            // (§4.3.1); we surface the failure to the clients instead of
+            // blocking forever.
+            self.reject_batch(&batch);
+            return;
+        }
+
+        // Phase 3 <null, SchChallenge>: form the decision and the block.
+        let all_commit = involved_votes
+            .iter()
+            .flatten()
+            .all(|v| v.commit);
+        let decision = if all_commit {
+            Decision::Commit
+        } else {
+            Decision::Abort
+        };
+        let mut builder = BlockBuilder::new(height, prev_hash)
+            .txns(partial.txns.clone())
+            .decision(decision);
+        for (s, vote) in involved_votes.iter().enumerate() {
+            if let Some(InvolvedVote {
+                commit: true,
+                root: Some(root),
+                ..
+            }) = vote
+            {
+                builder = builder.root(ShardRoot {
+                    server: s as u32,
+                    root: *root,
+                });
+            }
+        }
+        let mut block = builder.build_unsigned();
+
+        // Fault: replace a benign server's root (§5 Scenario 2).
+        let fake_root_for = self.state.lock().behavior.fake_root_for;
+        if let Some(victim) = fake_root_for {
+            for r in &mut block.roots {
+                if r.server == victim {
+                    r.root = Digest::new([0xEE; 32]);
+                }
+            }
+        }
+
+        let all_commitments: Vec<cosi::Commitment> =
+            commitments.iter().map(|c| c.expect("collected")).collect();
+        let aggregate = cosi::Commitment(cosi::aggregate_commitments(
+            all_commitments.iter().copied(),
+        ));
+        let challenge = cosi::challenge(&aggregate.0, &block.signing_bytes());
+
+        // Fault: equivocate (Lemma 5 Case 1) — commit block to even
+        // cohorts, abort block to odd cohorts, same challenge.
+        let equivocate = self.state.lock().behavior.equivocate_decision;
+        if equivocate {
+            let alt = Block {
+                decision: Decision::Abort,
+                roots: Vec::new(),
+                ..block.clone()
+            };
+            for s in 0..self.config.n_servers {
+                if s == self.config.idx {
+                    continue;
+                }
+                let which = if s % 2 == 0 { block.clone() } else { alt.clone() };
+                self.send(
+                    server_node(s),
+                    &Message::Challenge {
+                        block: which,
+                        aggregate,
+                        challenge,
+                    },
+                );
+            }
+        } else {
+            self.broadcast_to_servers(&Message::Challenge {
+                block: block.clone(),
+                aggregate,
+                challenge,
+            });
+        }
+
+        // The coordinator's own response.
+        let own_response = self.cohort_response(&block, &aggregate, &challenge);
+
+        // Phase 4: collect responses.
+        let mut responses: Vec<Option<Result<cosi::Response, Refusal>>> =
+            vec![None; self.config.n_servers as usize];
+        responses[self.config.idx as usize] = Some(own_response);
+        if !self.collect_responses(height, &mut responses) {
+            self.reject_batch(&batch);
+            return;
+        }
+
+        // Phase 5 <Decision, null>: assemble the collective signature.
+        let mut ok_responses = Vec::with_capacity(self.config.n_servers as usize);
+        let mut refused = false;
+        for r in responses.iter().flatten() {
+            match r {
+                Ok(resp) => ok_responses.push(*resp),
+                Err(_) => refused = true,
+            }
+        }
+        let cosign = if refused {
+            // At least one cohort refused: no valid signature can exist.
+            fides_crypto::cosi::CollectiveSignature::placeholder()
+        } else {
+            let sig = fides_crypto::cosi::CollectiveSignature::assemble(
+                aggregate.0,
+                ok_responses.iter().copied(),
+            );
+            // Lemma 4: an invalid aggregate lets the coordinator identify
+            // the precise culprits by checking partial signatures.
+            if !sig.verify(&block.signing_bytes(), &self.server_pks) {
+                let resp_list: Vec<cosi::Response> = ok_responses.clone();
+                let culprits: Vec<u32> = cosi::identify_invalid_responses(
+                    &challenge,
+                    &all_commitments,
+                    &resp_list,
+                    &self.server_pks,
+                )
+                .into_iter()
+                .map(|i| i as u32)
+                .collect();
+                self.state.lock().cosi_culprits.push((height, culprits));
+            }
+            sig
+        };
+
+        let signed = Block { cosign, ..block };
+        self.broadcast_to_servers(&Message::Decision {
+            block: signed.clone(),
+        });
+        self.handle_decision(signed.clone());
+
+        // Figure 5 step 8: respond to the clients.
+        for p in &batch {
+            self.send(
+                p.client,
+                &Message::Outcome {
+                    handle: p.handle,
+                    block: signed.clone(),
+                },
+            );
+        }
+    }
+
+    fn run_2pc_round(&mut self, batch: Vec<PendingTxn>) {
+        let (height, prev_hash) = {
+            let state = self.state.lock();
+            (state.log.len() as u64, state.log.tip_hash())
+        };
+        let partial = PartialBlock {
+            height,
+            txns: batch.iter().map(|p| p.record.clone()).collect(),
+            prev_hash,
+        };
+        self.broadcast_to_servers(&Message::TwoPcGetVote {
+            partial: partial.clone(),
+        });
+
+        // Own vote.
+        let own_commit = {
+            let state = self.state.lock();
+            let shard = &state.shard;
+            occ::validate_batch(&partial.txns, |key| {
+                if self.partitioner.owner(key) == self.config.idx {
+                    shard.read(key)
+                } else {
+                    None
+                }
+            })
+            .is_empty()
+        };
+
+        let mut votes: Vec<Option<bool>> = vec![None; self.config.n_servers as usize];
+        votes[self.config.idx as usize] = Some(own_commit);
+        if !self.collect_2pc_votes(height, &mut votes) {
+            self.reject_batch(&batch);
+            return;
+        }
+        let decision = if votes.iter().flatten().all(|c| *c) {
+            Decision::Commit
+        } else {
+            Decision::Abort
+        };
+        let block = BlockBuilder::new(height, prev_hash)
+            .txns(partial.txns)
+            .decision(decision)
+            .build_unsigned();
+        self.broadcast_to_servers(&Message::TwoPcDecision {
+            block: block.clone(),
+        });
+        self.handle_2pc_decision(block.clone());
+        for p in &batch {
+            self.send(
+                p.client,
+                &Message::Outcome {
+                    handle: p.handle,
+                    block: block.clone(),
+                },
+            );
+        }
+    }
+
+    fn reject_batch(&mut self, batch: &[PendingTxn]) {
+        let hint = self.state.lock().last_committed;
+        for p in batch {
+            self.send(
+                p.client,
+                &Message::EndTxnRejected {
+                    handle: p.handle,
+                    hint,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Round message collection. While waiting for protocol responses the
+    // coordinator keeps servicing execution-layer traffic so clients of
+    // *other* transactions are not blocked.
+    // ------------------------------------------------------------------
+
+    fn collect_votes(
+        &mut self,
+        height: u64,
+        commitments: &mut [Option<cosi::Commitment>],
+        involved: &mut [Option<InvolvedVote>],
+    ) -> bool {
+        let deadline = Instant::now() + self.config.round_timeout;
+        let mut missing: usize = commitments.iter().filter(|c| c.is_none()).count();
+        while missing > 0 {
+            let Some((from, msg)) = self.recv_during_round(deadline) else {
+                return false;
+            };
+            if let Message::Vote {
+                height: h,
+                commitment,
+                involved: inv,
+            } = msg
+            {
+                if h == height && from.raw() < self.config.n_servers {
+                    let idx = from.raw() as usize;
+                    if commitments[idx].is_none() {
+                        commitments[idx] = Some(commitment);
+                        involved[idx] = inv;
+                        missing -= 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn collect_responses(
+        &mut self,
+        height: u64,
+        responses: &mut [Option<Result<cosi::Response, Refusal>>],
+    ) -> bool {
+        let deadline = Instant::now() + self.config.round_timeout;
+        let mut missing: usize = responses.iter().filter(|r| r.is_none()).count();
+        while missing > 0 {
+            let Some((from, msg)) = self.recv_during_round(deadline) else {
+                return false;
+            };
+            if let Message::Response { height: h, result } = msg {
+                if h == height && from.raw() < self.config.n_servers {
+                    let idx = from.raw() as usize;
+                    if responses[idx].is_none() {
+                        responses[idx] = Some(result);
+                        missing -= 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn collect_2pc_votes(&mut self, height: u64, votes: &mut [Option<bool>]) -> bool {
+        let deadline = Instant::now() + self.config.round_timeout;
+        let mut missing: usize = votes.iter().filter(|v| v.is_none()).count();
+        while missing > 0 {
+            let Some((from, msg)) = self.recv_during_round(deadline) else {
+                return false;
+            };
+            if let Message::TwoPcVote {
+                height: h, commit, ..
+            } = msg
+            {
+                if h == height && from.raw() < self.config.n_servers {
+                    let idx = from.raw() as usize;
+                    if votes[idx].is_none() {
+                        votes[idx] = Some(commit);
+                        missing -= 1;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Receives during a protocol round: execution messages are serviced
+    /// inline, end-transaction requests are queued for the next batch,
+    /// protocol messages are returned to the caller. `None` = deadline
+    /// passed.
+    fn recv_during_round(&mut self, deadline: Instant) -> Option<(NodeId, Message)> {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let env = match self.endpoint.recv_timeout(deadline - now) {
+                Ok(env) => env,
+                Err(_) => return None,
+            };
+            let Some(msg) = self.authenticate(&env) else {
+                continue;
+            };
+            let from = env.from;
+            match msg {
+                Message::Begin { txn } => self.handle_begin(txn),
+                Message::Read { txn, key } => self.handle_read(from, txn, key),
+                Message::Write { txn, key, value } => self.handle_write(from, txn, key, value),
+                Message::EndTxn { handle, record } => self.handle_end_txn(from, handle, record),
+                Message::Flush => {} // already mid-round
+                Message::Shutdown => {
+                    self.running = false;
+                    return None;
+                }
+                other => return Some((from, other)),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers.
+    // ------------------------------------------------------------------
+
+    /// The servers whose shards are accessed by these transactions.
+    fn involvement(&self, txns: &[TxnRecord]) -> HashSet<u32> {
+        let mut set = HashSet::new();
+        for txn in txns {
+            for r in &txn.read_set {
+                set.insert(self.partitioner.owner(&r.key));
+            }
+            for w in &txn.write_set {
+                set.insert(self.partitioner.owner(&w.key));
+            }
+        }
+        set
+    }
+}
+
+/// All writes in the batch that land on `server`'s shard, in txn order.
+fn shard_writes(
+    txns: &[TxnRecord],
+    partitioner: &Partitioner,
+    server: u32,
+) -> Vec<(Key, Value)> {
+    let mut writes = Vec::new();
+    for txn in txns {
+        for w in &txn.write_set {
+            if partitioner.owner(&w.key) == server {
+                writes.push((w.key.clone(), w.new_value.clone()));
+            }
+        }
+    }
+    writes
+}
+
+/// Previous-version value used by the stale-read fault (§5 Scenario 1:
+/// the malicious server returns the old value with up-to-date
+/// timestamps).
+fn stale_value(state: &ServerState, key: &Key, item: &ItemState) -> Value {
+    let wts = item.wts;
+    if wts == Timestamp::ZERO {
+        return item.value.clone();
+    }
+    let just_before = Timestamp::new(wts.counter().saturating_sub(1), u32::MAX);
+    state
+        .shard
+        .store()
+        .value_at(key, just_before)
+        .unwrap_or_else(|| item.value.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_ranges_are_disjoint() {
+        assert_ne!(server_node(0), client_node(0));
+        assert_ne!(client_node(0), admin_node());
+        assert!(server_node(100).raw() < client_node(0).raw());
+    }
+
+    #[test]
+    fn shard_writes_filters_by_owner() {
+        use fides_store::rwset::WriteEntry;
+        let p = Partitioner::from_assignments(
+            2,
+            [(Key::new("a"), 0), (Key::new("b"), 1)],
+        );
+        let txn = TxnRecord {
+            id: Timestamp::new(1, 0),
+            read_set: vec![],
+            write_set: vec![
+                WriteEntry {
+                    key: Key::new("a"),
+                    new_value: Value::from_i64(1),
+                    old_value: None,
+                    rts: Timestamp::ZERO,
+                    wts: Timestamp::ZERO,
+                },
+                WriteEntry {
+                    key: Key::new("b"),
+                    new_value: Value::from_i64(2),
+                    old_value: None,
+                    rts: Timestamp::ZERO,
+                    wts: Timestamp::ZERO,
+                },
+            ],
+        };
+        let w0 = shard_writes(&[txn.clone()], &p, 0);
+        assert_eq!(w0.len(), 1);
+        assert_eq!(w0[0].0, Key::new("a"));
+        let w1 = shard_writes(&[txn], &p, 1);
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].0, Key::new("b"));
+    }
+}

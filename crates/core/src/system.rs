@@ -1,0 +1,557 @@
+//! The cluster harness: assembles servers, clients and the auditor into
+//! a running Fides deployment (the experimental setup of §6).
+//!
+//! A [`FidesCluster`] spawns one thread per database server, preloads
+//! each shard with `items_per_shard` data items, registers every
+//! participant's public key in the shared directory, and hands out
+//! [`ClientSession`]s and [`AuditReport`]s.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fides_crypto::encoding::Encodable;
+use fides_crypto::schnorr::{KeyPair, PublicKey};
+use fides_net::{Envelope, Network, NetworkConfig, NodeId};
+use fides_store::authenticated::{AuthenticatedShard, MhtUpdateStats};
+use fides_store::types::{Key, Value};
+use parking_lot::Mutex;
+
+use crate::audit::{AuditInput, AuditReport, Auditor};
+use crate::behavior::Behavior;
+use crate::client::{ClientSession, TimestampOracle};
+use crate::messages::{CommitProtocol, Message};
+use crate::partition::Partitioner;
+use crate::server::{
+    admin_node, client_node, server_node, Directory, Server, ServerConfig, ServerState,
+};
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of database servers (= shards).
+    pub n_servers: u32,
+    /// Data items preloaded per shard (the paper defaults to 10 000).
+    pub items_per_shard: usize,
+    /// Transactions per block (the paper's evaluation typically uses
+    /// 100; Figure 12 uses 1).
+    pub batch_size: usize,
+    /// Which commitment protocol to run.
+    pub protocol: CommitProtocol,
+    /// Network latency/fault model.
+    pub network: NetworkConfig,
+    /// Per-server fault injection.
+    pub behaviors: HashMap<u32, Behavior>,
+    /// Client slots pre-registered in the key directory.
+    pub max_clients: u32,
+    /// Coordinator idle time before terminating a partial batch.
+    pub flush_interval: Duration,
+    /// Coordinator phase timeout.
+    pub round_timeout: Duration,
+    /// Initial numeric value of every preloaded item.
+    pub initial_value: i64,
+}
+
+impl ClusterConfig {
+    /// A sensible default configuration for `n_servers` servers.
+    pub fn new(n_servers: u32) -> Self {
+        ClusterConfig {
+            n_servers,
+            items_per_shard: 100,
+            batch_size: 1,
+            protocol: CommitProtocol::TfCommit,
+            network: NetworkConfig::default(),
+            behaviors: HashMap::new(),
+            max_clients: 256,
+            flush_interval: Duration::from_millis(5),
+            round_timeout: Duration::from_secs(5),
+            initial_value: 100,
+        }
+    }
+
+    /// Sets the number of preloaded items per shard.
+    pub fn items_per_shard(mut self, items: usize) -> Self {
+        self.items_per_shard = items;
+        self
+    }
+
+    /// Sets the number of transactions per block.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Selects the commitment protocol.
+    pub fn protocol(mut self, protocol: CommitProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the network model.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Injects a behaviour into one server.
+    pub fn behavior(mut self, server: u32, behavior: Behavior) -> Self {
+        self.behaviors.insert(server, behavior);
+        self
+    }
+
+    /// Sets the number of client slots.
+    pub fn max_clients(mut self, max: u32) -> Self {
+        self.max_clients = max;
+        self
+    }
+
+    /// Sets the coordinator's phase timeout (crash-fault tests use
+    /// short values).
+    pub fn round_timeout(mut self, timeout: Duration) -> Self {
+        self.round_timeout = timeout;
+        self
+    }
+
+    /// Sets the coordinator's idle-flush interval.
+    pub fn flush_interval(mut self, interval: Duration) -> Self {
+        self.flush_interval = interval;
+        self
+    }
+
+    /// Sets the initial numeric value of preloaded items.
+    pub fn initial_value(mut self, value: i64) -> Self {
+        self.initial_value = value;
+        self
+    }
+}
+
+/// A running cluster.
+pub struct FidesCluster {
+    config: ClusterConfig,
+    network: Network,
+    partitioner: Partitioner,
+    directory: Directory,
+    server_pks: Vec<PublicKey>,
+    oracle: TimestampOracle,
+    states: Vec<Arc<Mutex<ServerState>>>,
+    threads: Vec<JoinHandle<()>>,
+    admin: fides_net::Endpoint,
+    admin_kp: KeyPair,
+    initial: HashMap<Key, Value>,
+}
+
+impl FidesCluster {
+    /// Builds shards, keys and the partition map; spawns the server
+    /// threads.
+    pub fn start(config: ClusterConfig) -> FidesCluster {
+        assert!(config.n_servers > 0, "need at least one server");
+        let network = Network::new(config.network.clone());
+
+        // Key material: deterministic seeds keep runs reproducible.
+        let server_kps: Vec<KeyPair> = (0..config.n_servers)
+            .map(|i| KeyPair::from_seed(format!("fides-server-{i}").as_bytes()))
+            .collect();
+        let server_pks: Vec<PublicKey> = server_kps.iter().map(|k| k.public_key()).collect();
+        let admin_kp = KeyPair::from_seed(b"fides-admin");
+
+        let mut directory: HashMap<NodeId, PublicKey> = HashMap::new();
+        for (i, kp) in server_kps.iter().enumerate() {
+            directory.insert(server_node(i as u32), kp.public_key());
+        }
+        for j in 0..config.max_clients {
+            let kp = KeyPair::from_seed(format!("fides-client-{j}").as_bytes());
+            directory.insert(client_node(j), kp.public_key());
+        }
+        directory.insert(admin_node(), admin_kp.public_key());
+        let directory: Directory = Arc::new(directory);
+
+        // Shards and the partition map.
+        let mut assignments = Vec::with_capacity(config.n_servers as usize * config.items_per_shard);
+        let mut initial = HashMap::new();
+        let mut shards = Vec::with_capacity(config.n_servers as usize);
+        for s in 0..config.n_servers {
+            let mut items = Vec::with_capacity(config.items_per_shard);
+            for i in 0..config.items_per_shard {
+                let key = Self::key_for(s, i);
+                let value = Value::from_i64(config.initial_value);
+                assignments.push((key.clone(), s));
+                initial.insert(key.clone(), value.clone());
+                items.push((key, value));
+            }
+            shards.push(AuthenticatedShard::new(items));
+        }
+        let partitioner = Partitioner::from_assignments(config.n_servers, assignments);
+
+        // Spawn the servers.
+        let mut states = Vec::with_capacity(config.n_servers as usize);
+        let mut threads = Vec::with_capacity(config.n_servers as usize);
+        for (s, shard) in shards.into_iter().enumerate() {
+            let s = s as u32;
+            let server_config = ServerConfig {
+                idx: s,
+                n_servers: config.n_servers,
+                protocol: config.protocol,
+                batch_size: config.batch_size,
+                flush_interval: config.flush_interval,
+                round_timeout: config.round_timeout,
+            };
+            let behavior = config.behaviors.get(&s).cloned().unwrap_or_default();
+            let endpoint = network.register(server_node(s));
+            let (server, state) = Server::new(
+                server_config,
+                shard,
+                behavior,
+                endpoint,
+                server_kps[s as usize],
+                Arc::clone(&directory),
+                partitioner.clone(),
+                server_pks.clone(),
+            );
+            states.push(state);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("fides-server-{s}"))
+                    .spawn(move || server.run())
+                    .expect("spawn server thread"),
+            );
+        }
+
+        let admin = network.register(admin_node());
+        FidesCluster {
+            config,
+            network,
+            partitioner,
+            directory,
+            server_pks,
+            oracle: TimestampOracle::new(),
+            states,
+            threads,
+            admin,
+            admin_kp,
+            initial,
+        }
+    }
+
+    fn key_for(server: u32, item: usize) -> Key {
+        Key::new(format!("s{server:03}:item-{item:06}"))
+    }
+
+    /// The cluster's key naming scheme, usable without a running
+    /// cluster (e.g. to parameterize a workload generator).
+    pub fn key_name(server: u32, item: usize) -> Key {
+        Self::key_for(server, item)
+    }
+
+    /// The canonical key of item `item` in server `server`'s shard.
+    pub fn key_of(&self, server: u32, item: usize) -> Key {
+        assert!(server < self.config.n_servers, "no such server");
+        assert!(item < self.config.items_per_shard, "no such item");
+        Self::key_for(server, item)
+    }
+
+    /// All preloaded keys, shard by shard.
+    pub fn all_keys(&self) -> Vec<Key> {
+        let mut keys = Vec::with_capacity(
+            self.config.n_servers as usize * self.config.items_per_shard,
+        );
+        for s in 0..self.config.n_servers {
+            for i in 0..self.config.items_per_shard {
+                keys.push(Self::key_for(s, i));
+            }
+        }
+        keys
+    }
+
+    /// The cluster's partition map.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The shared timestamp oracle.
+    pub fn oracle(&self) -> TimestampOracle {
+        self.oracle.clone()
+    }
+
+    /// Creates a client session for slot `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the configured client slots or is reused.
+    pub fn client(&self, id: u32) -> ClientSession {
+        assert!(id < self.config.max_clients, "client slot out of range");
+        let kp = KeyPair::from_seed(format!("fides-client-{id}").as_bytes());
+        ClientSession::new(
+            id,
+            self.network.register(client_node(id)),
+            kp,
+            Arc::clone(&self.directory),
+            self.partitioner.clone(),
+            self.server_pks.clone(),
+            self.oracle.clone(),
+            self.config.protocol,
+        )
+    }
+
+    /// Asks the coordinator to terminate any pending partial batch.
+    pub fn flush(&self) {
+        let env = Envelope::sign(
+            &self.admin_kp,
+            admin_node(),
+            server_node(crate::server::COORDINATOR_IDX),
+            Message::Flush.encode(),
+        );
+        self.admin.send(env);
+    }
+
+    /// Waits until all server logs converge to the same length (rounds
+    /// fully propagated) or the timeout passes. Returns the converged
+    /// length, or `None` on timeout.
+    pub fn settle(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let lens: Vec<usize> = self.states.iter().map(|s| s.lock().log.len()).collect();
+            let first = lens[0];
+            if lens.iter().all(|&l| l == first) {
+                return Some(first);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Runs a full audit: gathers every server's (possibly doctored)
+    /// log and datastore snapshot, then applies Lemmas 1–7.
+    pub fn audit(&self) -> AuditReport {
+        self.settle(Duration::from_secs(2));
+        let mut logs = Vec::with_capacity(self.states.len());
+        let mut shards = Vec::with_capacity(self.states.len());
+        for state in &self.states {
+            let st = state.lock();
+            logs.push(st.log_for_audit());
+            shards.push(st.shard.clone());
+        }
+        let auditor = Auditor::new(
+            self.partitioner.clone(),
+            self.server_pks.clone(),
+            self.initial.clone(),
+        );
+        let auditor = match self.config.protocol {
+            CommitProtocol::TfCommit => auditor,
+            CommitProtocol::TwoPhaseCommit => auditor.without_cosign_verification(),
+        };
+        auditor.audit(&AuditInput { logs, shards })
+    }
+
+    /// Direct (read) access to a server's state, for tests and
+    /// examples.
+    pub fn server_state(&self, idx: u32) -> Arc<Mutex<ServerState>> {
+        Arc::clone(&self.states[idx as usize])
+    }
+
+    /// Per-server Merkle-maintenance statistics (Figure 14's "MHT
+    /// update time").
+    pub fn mht_stats(&self) -> Vec<MhtUpdateStats> {
+        self.states.iter().map(|s| s.lock().shard.stats()).collect()
+    }
+
+    /// The coordinator's commit-round statistics (the paper's commit
+    /// latency metric).
+    pub fn round_stats(&self) -> crate::server::RoundStats {
+        self.states[crate::server::COORDINATOR_IDX as usize]
+            .lock()
+            .round_stats
+    }
+
+    /// Zeroes every server's Merkle statistics.
+    pub fn reset_mht_stats(&self) {
+        for state in &self.states {
+            state.lock().shard.reset_stats();
+        }
+    }
+
+    /// Network statistics (messages/bytes/drops).
+    pub fn network_stats(&self) -> &fides_net::NetworkStats {
+        self.network.stats()
+    }
+
+    /// The network handle (for partition injection in tests).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Stops every server thread and joins them.
+    pub fn shutdown(mut self) {
+        for s in 0..self.config.n_servers {
+            let env = Envelope::sign(
+                &self.admin_kp,
+                admin_node(),
+                server_node(s),
+                Message::Shutdown.encode(),
+            );
+            self.admin.send(env);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl core::fmt::Debug for FidesCluster {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "FidesCluster(n={}, items/shard={}, batch={}, protocol={})",
+            self.config.n_servers,
+            self.config.items_per_shard,
+            self.config.batch_size,
+            self.config.protocol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TxnOutcome;
+
+    fn small_cluster(protocol: CommitProtocol) -> FidesCluster {
+        FidesCluster::start(
+            ClusterConfig::new(3)
+                .items_per_shard(8)
+                .protocol(protocol),
+        )
+    }
+
+    #[test]
+    fn single_txn_commits_and_audits_clean() {
+        let cluster = small_cluster(CommitProtocol::TfCommit);
+        let mut client = cluster.client(0);
+        let key = cluster.key_of(1, 3);
+
+        let mut txn = client.begin();
+        let v = client.read(&mut txn, &key).unwrap();
+        assert_eq!(v.as_i64(), Some(100));
+        client
+            .write(&mut txn, &key, Value::from_i64(142))
+            .unwrap();
+        let outcome = client.commit(txn).unwrap();
+        assert!(outcome.committed(), "outcome: {outcome:?}");
+
+        // The write is visible to a second transaction.
+        let mut txn2 = client.begin();
+        let v2 = client.read(&mut txn2, &key).unwrap();
+        assert_eq!(v2.as_i64(), Some(142));
+        // Abandon txn2 (never committed).
+
+        let report = cluster.audit();
+        assert!(report.is_clean(), "{report}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_txn_commits() {
+        let cluster = small_cluster(CommitProtocol::TfCommit);
+        let mut client = cluster.client(0);
+        let k0 = cluster.key_of(0, 0);
+        let k2 = cluster.key_of(2, 5);
+        let outcome = client.run_rmw(&[k0.clone(), k2.clone()], -25).unwrap();
+        assert!(outcome.committed());
+
+        let mut txn = client.begin();
+        assert_eq!(client.read(&mut txn, &k0).unwrap().as_i64(), Some(75));
+        assert_eq!(client.read(&mut txn, &k2).unwrap().as_i64(), Some(75));
+        assert!(cluster.audit().is_clean());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn twopc_baseline_commits() {
+        let cluster = small_cluster(CommitProtocol::TwoPhaseCommit);
+        let mut client = cluster.client(0);
+        let key = cluster.key_of(0, 1);
+        let outcome = client.run_rmw(&[key.clone()], 1).unwrap();
+        assert!(outcome.committed());
+        let mut txn = client.begin();
+        assert_eq!(client.read(&mut txn, &key).unwrap().as_i64(), Some(101));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn stale_read_causes_abort() {
+        // Two sequential RMWs on the same key with a torn read: read
+        // under an old version then commit after another write.
+        let cluster = small_cluster(CommitProtocol::TfCommit);
+        let mut alice = cluster.client(0);
+        let mut bob = cluster.client(1);
+        let key = cluster.key_of(0, 2);
+
+        // Alice reads (observes wts 0)...
+        let mut txa = alice.begin();
+        let _ = alice.read(&mut txa, &key).unwrap();
+
+        // ...Bob commits a write to the same key...
+        assert!(bob.run_rmw(&[key.clone()], 5).unwrap().committed());
+
+        // ...then Alice tries to commit her read: stale → abort.
+        alice.write(&mut txa, &key, Value::from_i64(0)).unwrap();
+        let outcome = alice.commit(txa).unwrap();
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { .. }),
+            "expected abort, got {outcome:?}"
+        );
+        // The abort block is logged; the audit stays clean (nothing
+        // incorrect happened — the protocol *prevented* the violation).
+        let report = cluster.audit();
+        assert!(report.is_clean(), "{report}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batched_transactions_commit_in_one_block() {
+        let cluster = FidesCluster::start(
+            ClusterConfig::new(3)
+                .items_per_shard(32)
+                .batch_size(4),
+        );
+        // Four concurrent clients, disjoint keys → one block.
+        let mut handles = Vec::new();
+        for c in 0..4u32 {
+            let mut client = cluster.client(c);
+            let key = cluster.key_of(c % 3, c as usize);
+            handles.push(std::thread::spawn(move || {
+                client.run_rmw(&[key], 1).unwrap()
+            }));
+        }
+        let outcomes: Vec<TxnOutcome> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(outcomes.iter().all(|o| o.committed()), "{outcomes:?}");
+        let heights: std::collections::HashSet<u64> = outcomes
+            .iter()
+            .map(|o| match o {
+                TxnOutcome::Committed { height, .. } => *height,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(heights.len(), 1, "all four should share one block");
+        assert!(cluster.audit().is_clean());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn settle_converges() {
+        let cluster = small_cluster(CommitProtocol::TfCommit);
+        let mut client = cluster.client(0);
+        let key = cluster.key_of(0, 0);
+        client.run_rmw(&[key], 1).unwrap();
+        assert_eq!(cluster.settle(Duration::from_secs(2)), Some(1));
+        cluster.shutdown();
+    }
+}

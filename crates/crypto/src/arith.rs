@@ -1,0 +1,464 @@
+//! Shared 256-bit modular arithmetic used by [`crate::field`] and
+//! [`crate::scalar`].
+//!
+//! Values are four little-endian `u64` limbs. Both secp256k1 moduli are of
+//! the form `2^256 - c` for a small `c`, which makes reduction after a
+//! widening multiplication a simple fold: `lo + hi * c (mod m)`.
+
+use core::cmp::Ordering;
+
+/// Add with carry: returns `(a + b + carry, carry_out)`.
+#[inline(always)]
+pub(crate) fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = u128::from(a) + u128::from(b) + u128::from(carry);
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// Subtract with borrow: returns `(a - b - borrow, borrow_out)`.
+#[inline(always)]
+pub(crate) fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let wide = u128::from(a)
+        .wrapping_sub(u128::from(b))
+        .wrapping_sub(u128::from(borrow));
+    (wide as u64, (wide >> 127) as u64)
+}
+
+/// Multiply-accumulate: returns `(acc + a * b + carry, carry_out)`.
+#[inline(always)]
+pub(crate) fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = u128::from(acc) + u128::from(a) * u128::from(b) + u128::from(carry);
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// `a + b` over 4 limbs; returns the sum and the carry-out.
+pub(crate) fn add4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut carry = 0u64;
+    for i in 0..4 {
+        let (s, c) = adc(a[i], b[i], carry);
+        out[i] = s;
+        carry = c;
+    }
+    (out, carry)
+}
+
+/// `a - b` over 4 limbs; returns the difference and the borrow-out.
+pub(crate) fn sub4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut borrow = 0u64;
+    for i in 0..4 {
+        let (d, bo) = sbb(a[i], b[i], borrow);
+        out[i] = d;
+        borrow = bo;
+    }
+    (out, borrow)
+}
+
+/// Schoolbook 4x4 limb multiplication producing an 8-limb product.
+pub(crate) fn mul4(a: &[u64; 4], b: &[u64; 4]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for i in 0..4 {
+        let mut carry = 0u64;
+        for j in 0..4 {
+            let (lo, hi) = mac(out[i + j], a[i], b[j], carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + 4] = carry;
+    }
+    out
+}
+
+/// Dedicated squaring: computes the off-diagonal products once and
+/// doubles them (~1.4× faster than `mul4(a, a)`), which matters because
+/// point doubling — the inner loop of scalar multiplication — is
+/// squaring-heavy.
+pub(crate) fn sqr4(a: &[u64; 4]) -> [u64; 8] {
+    // Off-diagonal partial products a[i]*a[j] for i < j.
+    let mut out = [0u64; 8];
+    let mut carry;
+    // Row i = 0.
+    carry = 0;
+    for j in 1..4 {
+        let (lo, hi) = mac(out[j], a[0], a[j], carry);
+        out[j] = lo;
+        carry = hi;
+    }
+    out[4] = carry;
+    // Row i = 1.
+    carry = 0;
+    for j in 2..4 {
+        let (lo, hi) = mac(out[1 + j], a[1], a[j], carry);
+        out[1 + j] = lo;
+        carry = hi;
+    }
+    out[5] = carry;
+    // Row i = 2.
+    let (lo, hi) = mac(out[5], a[2], a[3], 0);
+    out[5] = lo;
+    out[6] = hi;
+
+    // Double the off-diagonal sum.
+    let mut top = 0u64;
+    let mut prev = 0u64;
+    for limb in out.iter_mut() {
+        let new_prev = *limb >> 63;
+        *limb = (*limb << 1) | prev;
+        prev = new_prev;
+    }
+    top |= prev;
+    let _ = top; // the doubled sum never overflows 512 bits (top bit of
+                 // out[7] is 0: products of 256-bit values fit 512 bits)
+
+    // Add the diagonal a[i]^2 terms.
+    let mut carry2 = 0u64;
+    for i in 0..4 {
+        let (lo, hi) = mac(out[2 * i], a[i], a[i], 0);
+        let (lo2, c1) = adc(lo, carry2, 0);
+        out[2 * i] = lo2;
+        let (hi2, c2) = adc(out[2 * i + 1], hi, c1);
+        out[2 * i + 1] = hi2;
+        carry2 = c2;
+    }
+    debug_assert_eq!(carry2, 0);
+    out
+}
+
+/// Lexicographic comparison of two 4-limb little-endian values.
+pub(crate) fn cmp4(a: &[u64; 4], b: &[u64; 4]) -> Ordering {
+    for i in (0..4).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+pub(crate) fn is_zero4(a: &[u64; 4]) -> bool {
+    a.iter().all(|&l| l == 0)
+}
+
+/// Reduce an 8-limb (512-bit) value modulo `m = 2^256 - c`.
+///
+/// Uses the identity `2^256 ≡ c (mod m)`: repeatedly folds the high half
+/// into the low half as `lo + hi * c` until the high half is zero, then
+/// performs final conditional subtractions. Terminates in at most four
+/// folds for the secp256k1 moduli (`c < 2^130`).
+pub(crate) fn reduce_wide(wide: [u64; 8], m: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
+    let mut w = wide;
+    loop {
+        let hi = [w[4], w[5], w[6], w[7]];
+        if is_zero4(&hi) {
+            break;
+        }
+        let lo = [w[0], w[1], w[2], w[3]];
+        // w = hi * c + lo. hi * c < 2^256 * 2^130, so the sum fits in
+        // 8 limbs with no carry out of the top limb.
+        let mut next = mul4(&hi, c);
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s, cy) = adc(next[i], lo[i], carry);
+            next[i] = s;
+            carry = cy;
+        }
+        for limb in next.iter_mut().skip(4) {
+            let (s, cy) = adc(*limb, 0, carry);
+            *limb = s;
+            carry = cy;
+        }
+        debug_assert_eq!(carry, 0, "fold overflowed 512 bits");
+        w = next;
+    }
+    let mut r = [w[0], w[1], w[2], w[3]];
+    while cmp4(&r, m) != Ordering::Less {
+        r = sub4(&r, m).0;
+    }
+    r
+}
+
+/// `(a + b) mod m`, assuming `a, b < m`.
+pub(crate) fn add_mod(a: &[u64; 4], b: &[u64; 4], m: &[u64; 4]) -> [u64; 4] {
+    let (sum, carry) = add4(a, b);
+    if carry == 1 || cmp4(&sum, m) != Ordering::Less {
+        // The borrow from the subtraction cancels against the carry.
+        sub4(&sum, m).0
+    } else {
+        sum
+    }
+}
+
+/// `(a - b) mod m`, assuming `a, b < m`.
+pub(crate) fn sub_mod(a: &[u64; 4], b: &[u64; 4], m: &[u64; 4]) -> [u64; 4] {
+    let (diff, borrow) = sub4(a, b);
+    if borrow == 1 {
+        add4(&diff, m).0
+    } else {
+        diff
+    }
+}
+
+/// `(a * b) mod m` where `m = 2^256 - c`.
+pub(crate) fn mul_mod(a: &[u64; 4], b: &[u64; 4], m: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
+    reduce_wide(mul4(a, b), m, c)
+}
+
+/// `a^e mod m` by square-and-multiply, MSB first. `e` is little-endian.
+pub(crate) fn pow_mod(a: &[u64; 4], e: &[u64; 4], m: &[u64; 4], c: &[u64; 4]) -> [u64; 4] {
+    let mut result = [1u64, 0, 0, 0];
+    let mut started = false;
+    for limb_idx in (0..4).rev() {
+        for bit in (0..64).rev() {
+            if started {
+                result = mul_mod(&result, &result, m, c);
+            }
+            if (e[limb_idx] >> bit) & 1 == 1 {
+                if started {
+                    result = mul_mod(&result, a, m, c);
+                } else {
+                    result = *a;
+                    started = true;
+                }
+            }
+        }
+    }
+    if started {
+        result
+    } else {
+        [1, 0, 0, 0] // a^0 = 1
+    }
+}
+
+/// Parse 32 big-endian bytes into 4 little-endian limbs (no reduction).
+pub(crate) fn limbs_from_be_bytes(bytes: &[u8; 32]) -> [u64; 4] {
+    let mut limbs = [0u64; 4];
+    for (i, limb) in limbs.iter_mut().enumerate() {
+        let start = (3 - i) * 8;
+        let mut chunk = [0u8; 8];
+        chunk.copy_from_slice(&bytes[start..start + 8]);
+        *limb = u64::from_be_bytes(chunk);
+    }
+    limbs
+}
+
+/// Serialize 4 little-endian limbs as 32 big-endian bytes.
+pub(crate) fn limbs_to_be_bytes(limbs: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, limb) in limbs.iter().enumerate() {
+        let start = (3 - i) * 8;
+        out[start..start + 8].copy_from_slice(&limb.to_be_bytes());
+    }
+    out
+}
+
+/// Shift a 4-limb value right by `bits` (< 64).
+pub(crate) fn shr4(a: &[u64; 4], bits: u32) -> [u64; 4] {
+    debug_assert!(bits < 64);
+    if bits == 0 {
+        return *a;
+    }
+    let mut out = [0u64; 4];
+    for i in 0..4 {
+        out[i] = a[i] >> bits;
+        if i + 1 < 4 {
+            out[i] |= a[i + 1] << (64 - bits);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M_SMALL: [u64; 4] = [0xFFFF_FFFE_FFFF_FC2F, u64::MAX, u64::MAX, u64::MAX]; // secp256k1 p
+    const C_SMALL: [u64; 4] = [0x1_0000_03D1, 0, 0, 0];
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let (lo, hi) = mac(7, u64::MAX, u64::MAX, 3);
+        // u64::MAX^2 + 7 + 3 fits in 128 bits exactly.
+        let wide = u128::from(u64::MAX) * u128::from(u64::MAX) + 7 + 3;
+        assert_eq!(lo, wide as u64);
+        assert_eq!(hi, (wide >> 64) as u64);
+    }
+
+    #[test]
+    fn add4_and_sub4_roundtrip() {
+        let a = [1, 2, 3, 4];
+        let b = [5, 6, 7, 8];
+        let (sum, carry) = add4(&a, &b);
+        assert_eq!(carry, 0);
+        let (diff, borrow) = sub4(&sum, &b);
+        assert_eq!(borrow, 0);
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn add4_carry_out() {
+        let a = [u64::MAX; 4];
+        let b = [1, 0, 0, 0];
+        let (sum, carry) = add4(&a, &b);
+        assert_eq!(sum, [0, 0, 0, 0]);
+        assert_eq!(carry, 1);
+    }
+
+    #[test]
+    fn mul4_small_values() {
+        let a = [3, 0, 0, 0];
+        let b = [4, 0, 0, 0];
+        assert_eq!(mul4(&a, &b), [12, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul4_cross_limb() {
+        // (2^64) * (2^64) = 2^128
+        let a = [0, 1, 0, 0];
+        let b = [0, 1, 0, 0];
+        assert_eq!(mul4(&a, &b), [0, 0, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul4_max() {
+        // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+        let a = [u64::MAX; 4];
+        let prod = mul4(&a, &a);
+        assert_eq!(prod[0], 1);
+        assert_eq!(prod[1], 0);
+        assert_eq!(prod[2], 0);
+        assert_eq!(prod[3], 0);
+        assert_eq!(prod[4], u64::MAX - 1);
+        assert_eq!(prod[5], u64::MAX);
+        assert_eq!(prod[6], u64::MAX);
+        assert_eq!(prod[7], u64::MAX);
+    }
+
+    #[test]
+    fn cmp4_orders() {
+        assert_eq!(cmp4(&[0, 0, 0, 1], &[u64::MAX, u64::MAX, u64::MAX, 0]), Ordering::Greater);
+        assert_eq!(cmp4(&[1, 0, 0, 0], &[2, 0, 0, 0]), Ordering::Less);
+        assert_eq!(cmp4(&[9, 9, 9, 9], &[9, 9, 9, 9]), Ordering::Equal);
+    }
+
+    #[test]
+    fn reduce_wide_identity_below_modulus() {
+        let wide = [42, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(reduce_wide(wide, &M_SMALL, &C_SMALL), [42, 0, 0, 0]);
+    }
+
+    #[test]
+    fn reduce_wide_exactly_modulus() {
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&M_SMALL);
+        assert_eq!(reduce_wide(wide, &M_SMALL, &C_SMALL), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn reduce_wide_two_to_256() {
+        // 2^256 mod p = c
+        let mut wide = [0u64; 8];
+        wide[4] = 1;
+        assert_eq!(reduce_wide(wide, &M_SMALL, &C_SMALL), C_SMALL);
+    }
+
+    #[test]
+    fn reduce_wide_max_512() {
+        // Consistency: (2^512 - 1) mod p computed two ways.
+        let wide = [u64::MAX; 8];
+        let r = reduce_wide(wide, &M_SMALL, &C_SMALL);
+        // (2^256 - 1 + 2^256 * (2^256 - 1)) mod p
+        // = (c - 1 + c * (c - 1)) mod p  since 2^256 ≡ c
+        let c_minus_1 = sub4(&C_SMALL, &[1, 0, 0, 0]).0;
+        let prod = mul4(&C_SMALL, &c_minus_1);
+        let mut acc = prod;
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s, cy) = adc(acc[i], c_minus_1[i], carry);
+            acc[i] = s;
+            carry = cy;
+        }
+        for limb in acc.iter_mut().skip(4) {
+            let (s, cy) = adc(*limb, 0, carry);
+            *limb = s;
+            carry = cy;
+        }
+        assert_eq!(r, reduce_wide(acc, &M_SMALL, &C_SMALL));
+    }
+
+    #[test]
+    fn add_mod_wraps() {
+        let a = sub4(&M_SMALL, &[1, 0, 0, 0]).0; // m - 1
+        let b = [1, 0, 0, 0];
+        assert_eq!(add_mod(&a, &b, &M_SMALL), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        let a = [0, 0, 0, 0];
+        let b = [1, 0, 0, 0];
+        let expect = sub4(&M_SMALL, &[1, 0, 0, 0]).0;
+        assert_eq!(sub_mod(&a, &b, &M_SMALL), expect);
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        let a = [3, 0, 0, 0];
+        assert_eq!(pow_mod(&a, &[0, 0, 0, 0], &M_SMALL, &C_SMALL), [1, 0, 0, 0]);
+        assert_eq!(pow_mod(&a, &[1, 0, 0, 0], &M_SMALL, &C_SMALL), [3, 0, 0, 0]);
+        assert_eq!(pow_mod(&a, &[5, 0, 0, 0], &M_SMALL, &C_SMALL), [243, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fermat_inverse_via_pow() {
+        // a^(p-1) = 1 mod p for a != 0 (Fermat).
+        let a = [123_456_789, 987, 0, 0];
+        let p_minus_1 = sub4(&M_SMALL, &[1, 0, 0, 0]).0;
+        assert_eq!(pow_mod(&a, &p_minus_1, &M_SMALL, &C_SMALL), [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sqr4_matches_mul4() {
+        let cases = [
+            [0u64; 4],
+            [1, 0, 0, 0],
+            [u64::MAX; 4],
+            [u64::MAX, 0, u64::MAX, 0],
+            [0x1234_5678_9ABC_DEF0, 0xFEDC_BA98_7654_3210, 42, 0x8000_0000_0000_0000],
+            [0xDEAD_BEEF, 0xCAFE_BABE, 0x0123_4567_89AB_CDEF, u64::MAX - 1],
+        ];
+        for a in cases {
+            assert_eq!(sqr4(&a), mul4(&a, &a), "a = {a:?}");
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let limbs = [0x1122_3344_5566_7788, 0x99AA_BBCC_DDEE_FF00, 7, u64::MAX];
+        let bytes = limbs_to_be_bytes(&limbs);
+        assert_eq!(limbs_from_be_bytes(&bytes), limbs);
+        // Big-endian: the most significant limb comes first.
+        assert_eq!(&bytes[0..8], &u64::MAX.to_be_bytes());
+    }
+
+    #[test]
+    fn shr4_shifts_across_limbs() {
+        let a = [0b100, 0b1, 0, 0];
+        let r = shr4(&a, 2);
+        assert_eq!(r[0], 1 | (0b1 << 62));
+        assert_eq!(r[1], 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Canonical binary encoding.
+//!
+//! Every structure that is hashed or signed in Fides (blocks, messages,
+//! read/write sets) is serialized through this module so that all servers
+//! and the auditor derive byte-identical encodings. The format is a simple
+//! deterministic TLV-free layout: fixed-width big-endian integers and
+//! `u32`-length-prefixed byte strings.
+//!
+//! # Example
+//!
+//! ```
+//! use fides_crypto::encoding::{Decoder, Encoder};
+//!
+//! let mut enc = Encoder::new();
+//! enc.put_u64(7);
+//! enc.put_bytes(b"hello");
+//! let buf = enc.into_bytes();
+//!
+//! let mut dec = Decoder::new(&buf);
+//! assert_eq!(dec.take_u64().unwrap(), 7);
+//! assert_eq!(dec.take_bytes().unwrap(), b"hello");
+//! assert!(dec.finish().is_ok());
+//! ```
+
+use core::fmt;
+
+use crate::hash::Digest;
+
+/// Errors produced while decoding canonical bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the requested field was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input.
+    BadLength,
+    /// A tag or enum discriminant had no defined meaning.
+    InvalidTag(u8),
+    /// Trailing bytes remained after [`Decoder::finish`].
+    TrailingBytes(usize),
+    /// A byte string was not valid UTF-8 where a string was expected.
+    InvalidUtf8,
+    /// A structurally valid value was semantically invalid (e.g. a curve
+    /// point not on the curve).
+    InvalidValue(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::BadLength => write!(f, "length prefix exceeds remaining input"),
+            DecodeError::InvalidTag(t) => write!(f, "invalid tag byte {t:#04x}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            DecodeError::InvalidUtf8 => write!(f, "byte string is not valid utf-8"),
+            DecodeError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Append-only canonical encoder.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Creates an encoder with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes encoded so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix (for fixed-width fields).
+    pub fn put_fixed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u32` length prefix followed by the bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` exceeds `u32::MAX` (4 GiB), which no Fides
+    /// structure approaches.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        let len = u32::try_from(bytes.len()).expect("byte string longer than u32::MAX");
+        self.put_u32(len);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a digest (fixed 32 bytes).
+    pub fn put_digest(&mut self, d: &Digest) {
+        self.put_fixed(d.as_bytes());
+    }
+
+    /// Appends `Some`/`None` as a tag byte followed by the value.
+    pub fn put_option<T, F: FnOnce(&mut Encoder, &T)>(&mut self, v: &Option<T>, f: F) {
+        match v {
+            None => self.put_u8(0),
+            Some(inner) => {
+                self.put_u8(1);
+                f(self, inner);
+            }
+        }
+    }
+
+    /// Appends a `u32` element count followed by each element.
+    pub fn put_seq<T, F: FnMut(&mut Encoder, &T)>(&mut self, items: &[T], mut f: F) {
+        let len = u32::try_from(items.len()).expect("sequence longer than u32::MAX");
+        self.put_u32(len);
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// Cursor-based canonical decoder.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Errors unless the input has been fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn take_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn take_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+
+    pub fn take_u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub fn take_u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn take_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(b);
+        Ok(u64::from_be_bytes(buf))
+    }
+
+    /// Reads `n` raw bytes (fixed-width field).
+    pub fn take_fixed(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.take_u32()? as usize;
+        if self.remaining() < len {
+            return Err(DecodeError::BadLength);
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<&'a str, DecodeError> {
+        let bytes = self.take_bytes()?;
+        core::str::from_utf8(bytes).map_err(|_| DecodeError::InvalidUtf8)
+    }
+
+    /// Reads a 32-byte digest.
+    pub fn take_digest(&mut self) -> Result<Digest, DecodeError> {
+        let b = self.take(32)?;
+        let mut out = [0u8; 32];
+        out.copy_from_slice(b);
+        Ok(Digest::new(out))
+    }
+
+    /// Reads an `Option` encoded by [`Encoder::put_option`].
+    pub fn take_option<T, F: FnOnce(&mut Decoder<'a>) -> Result<T, DecodeError>>(
+        &mut self,
+        f: F,
+    ) -> Result<Option<T>, DecodeError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+
+    /// Reads a sequence encoded by [`Encoder::put_seq`].
+    pub fn take_seq<T, F: FnMut(&mut Decoder<'a>) -> Result<T, DecodeError>>(
+        &mut self,
+        mut f: F,
+    ) -> Result<Vec<T>, DecodeError> {
+        let len = self.take_u32()? as usize;
+        // Guard against absurd prefixes: each element takes >= 1 byte.
+        if len > self.remaining() {
+            return Err(DecodeError::BadLength);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Types with a canonical byte encoding.
+pub trait Encodable {
+    /// Appends the canonical encoding of `self` to `enc`.
+    fn encode_into(&self, enc: &mut Encoder);
+
+    /// Convenience: the canonical encoding as a fresh byte vector.
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode_into(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Convenience: SHA-256 of the canonical encoding.
+    fn canonical_digest(&self) -> Digest {
+        crate::sha256::Sha256::digest(&self.encode())
+    }
+}
+
+/// Types decodable from their canonical byte encoding.
+pub trait Decodable: Sized {
+    /// Reads one value from the decoder.
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// Decodes a value that must occupy the entire input.
+    fn decode(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(data);
+        let v = Self::decode_from(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(0xAB);
+        enc.put_bool(true);
+        enc.put_u16(0x1234);
+        enc.put_u32(0xDEADBEEF);
+        enc.put_u64(u64::MAX);
+        enc.put_str("fides");
+        enc.put_digest(&Digest::ZERO);
+        let buf = enc.into_bytes();
+
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.take_u8().unwrap(), 0xAB);
+        assert!(dec.take_bool().unwrap());
+        assert_eq!(dec.take_u16().unwrap(), 0x1234);
+        assert_eq!(dec.take_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(dec.take_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.take_str().unwrap(), "fides");
+        assert_eq!(dec.take_digest().unwrap(), Digest::ZERO);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_option(&Some(42u64), |e, v| e.put_u64(*v));
+        enc.put_option(&None::<u64>, |e, v| e.put_u64(*v));
+        let buf = enc.into_bytes();
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.take_option(|d| d.take_u64()).unwrap(), Some(42));
+        assert_eq!(dec.take_option(|d| d.take_u64()).unwrap(), None);
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let items = vec![1u64, 2, 3, 4, 5];
+        let mut enc = Encoder::new();
+        enc.put_seq(&items, |e, v| e.put_u64(*v));
+        let buf = enc.into_bytes();
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.take_seq(|d| d.take_u64()).unwrap(), items);
+    }
+
+    #[test]
+    fn unexpected_end() {
+        let mut dec = Decoder::new(&[0x01]);
+        assert_eq!(dec.take_u32(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn bad_length_prefix() {
+        // Claims 100 bytes follow but only 1 does.
+        let buf = [0u8, 0, 0, 100, 0xFF];
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.take_bytes(), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let dec = Decoder::new(&[1, 2, 3]);
+        assert_eq!(dec.finish(), Err(DecodeError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn invalid_bool_tag() {
+        let mut dec = Decoder::new(&[7]);
+        assert_eq!(dec.take_bool(), Err(DecodeError::InvalidTag(7)));
+    }
+
+    #[test]
+    fn invalid_utf8() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xFF, 0xFE]);
+        let buf = enc.into_bytes();
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.take_str(), Err(DecodeError::InvalidUtf8));
+    }
+
+    #[test]
+    fn huge_seq_prefix_rejected() {
+        let buf = [0xFFu8, 0xFF, 0xFF, 0xFF];
+        let mut dec = Decoder::new(&buf);
+        assert_eq!(dec.take_seq(|d| d.take_u8()), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn length_prefix_makes_encoding_injective() {
+        // ("ab","c") and ("a","bc") must encode differently.
+        let mut e1 = Encoder::new();
+        e1.put_bytes(b"ab");
+        e1.put_bytes(b"c");
+        let mut e2 = Encoder::new();
+        e2.put_bytes(b"a");
+        e2.put_bytes(b"bc");
+        assert_ne!(e1.into_bytes(), e2.into_bytes());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DecodeError::UnexpectedEnd,
+            DecodeError::BadLength,
+            DecodeError::InvalidTag(3),
+            DecodeError::TrailingBytes(2),
+            DecodeError::InvalidUtf8,
+            DecodeError::InvalidValue("point"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The [`Digest`] type: a 32-byte hash value with hex formatting.
+
+use core::fmt;
+
+/// A 256-bit digest — the output of SHA-256 and the node label type of
+/// Merkle hash trees.
+///
+/// # Example
+///
+/// ```
+/// use fides_crypto::{Digest, Sha256};
+///
+/// let d = Sha256::digest(b"block");
+/// assert_eq!(d.to_hex().len(), 64);
+/// assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the previous-block hash of the genesis
+    /// block in the tamper-proof log.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Wraps raw bytes as a digest.
+    pub const fn new(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Borrows the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest, returning the raw bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Returns `true` if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Lowercase hex representation (64 characters).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in &self.0 {
+            s.push(hex_digit(b >> 4));
+            s.push(hex_digit(b & 0xF));
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string. Returns `None` on bad length or
+    /// non-hex characters.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            let hi = hex_val(bytes[i * 2])?;
+            let lo = hex_val(bytes[i * 2 + 1])?;
+            out[i] = (hi << 4) | lo;
+        }
+        Some(Digest(out))
+    }
+
+    /// A short prefix (8 hex chars) for log/debug output.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+fn hex_digit(v: u8) -> char {
+    char::from_digit(u32::from(v), 16).expect("nibble is < 16")
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i * 7 + 3) as u8;
+        }
+        let d = Digest::new(bytes);
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("xyz"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+        assert_eq!(Digest::from_hex(&"a".repeat(63)), None);
+        assert_eq!(Digest::from_hex(&"a".repeat(65)), None);
+    }
+
+    #[test]
+    fn from_hex_accepts_uppercase() {
+        let d = Digest::from_hex(&"AB".repeat(32)).unwrap();
+        assert_eq!(d.as_bytes()[0], 0xAB);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Digest::ZERO.is_zero());
+        assert!(!Digest::new([1u8; 32]).is_zero());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Digest::ZERO);
+        assert!(s.contains("Digest"));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn short_is_prefix() {
+        let d = Digest::new([0xABu8; 32]);
+        assert_eq!(d.short(), "abababab");
+    }
+}

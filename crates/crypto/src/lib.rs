@@ -1,0 +1,53 @@
+//! Cryptographic substrate for the Fides auditable data management system.
+//!
+//! Everything in this crate is implemented from scratch — no external
+//! cryptography dependencies — because digital signatures, collective
+//! signing and Merkle hash trees are the subject matter of the paper this
+//! repository reproduces (*Fides: Managing Data on Untrusted
+//! Infrastructure*, Maiyya et al., ICDCS 2020).
+//!
+//! The crate provides:
+//!
+//! * [`sha256`] — the SHA-256 hash function and HMAC-SHA256,
+//! * [`field`] / [`scalar`] / [`point`] — secp256k1 arithmetic,
+//! * [`schnorr`] — Schnorr digital signatures (§2.1 of the paper),
+//! * [`cosi`] — CoSi collective signing (§2.2),
+//! * [`merkle`] — Merkle hash trees with verification objects (§2.3),
+//! * [`encoding`] — a canonical binary encoding used for everything that
+//!   is hashed or signed.
+//!
+//! # Example
+//!
+//! ```
+//! use fides_crypto::schnorr::KeyPair;
+//!
+//! let kp = KeyPair::from_seed(b"server-1");
+//! let sig = kp.sign(b"end transaction");
+//! assert!(kp.public_key().verify(b"end transaction", &sig));
+//! ```
+//!
+//! # Security note
+//!
+//! The implementation favours clarity over side-channel resistance: scalar
+//! multiplication is not constant-time. That is adequate for a research
+//! reproduction whose threat model (the paper's §3.2) is about *detecting*
+//! misbehaving servers, not about hiding keys from co-located attackers.
+
+pub mod cosi;
+pub mod encoding;
+pub mod hash;
+pub mod merkle;
+pub mod point;
+pub mod schnorr;
+pub mod sha256;
+
+pub mod field;
+pub mod scalar;
+
+mod arith;
+
+pub use hash::Digest;
+pub use merkle::{MerkleTree, VerificationObject};
+pub use point::Point;
+pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
+pub use sha256::Sha256;

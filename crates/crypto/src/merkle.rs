@@ -1,0 +1,436 @@
+//! Merkle hash trees with verification objects (paper §2.3).
+//!
+//! Fides authenticates each server's datastore by storing the Merkle root
+//! of every involved shard in the transaction block (§4.2). During an
+//! audit, a server produces a **verification object** (VO) — the sibling
+//! hashes along the path from a data item to the root — and the auditor
+//! recomputes the root to compare against the logged one (Lemma 2).
+//!
+//! The tree supports **incremental updates**: changing one leaf recomputes
+//! only the `log₂ n` nodes on its path, which is exactly the "MHT update"
+//! cost the paper measures in Figures 14–15.
+//!
+//! Leaves and internal nodes are domain-separated (`0x00` / `0x01`
+//! prefixes) so an internal node can never be confused with a leaf.
+//!
+//! # Example
+//!
+//! ```
+//! use fides_crypto::merkle::{hash_leaf, MerkleTree};
+//!
+//! let leaves: Vec<_> = (0u8..8).map(|i| hash_leaf(&[i])).collect();
+//! let mut tree = MerkleTree::from_leaves(leaves);
+//! let root = tree.root();
+//!
+//! let vo = tree.proof(3);
+//! assert!(vo.verify(hash_leaf(&[3]), &root));
+//!
+//! // Update leaf 3; the old proof no longer matches the new root.
+//! tree.update_leaf(3, hash_leaf(b"new"));
+//! assert!(!vo.verify(hash_leaf(&[3]), &tree.root()));
+//! assert!(tree.proof(3).verify(hash_leaf(b"new"), &tree.root()));
+//! ```
+
+use crate::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use crate::hash::Digest;
+use crate::sha256::Sha256;
+
+/// Domain prefix for leaf hashing.
+const LEAF_PREFIX: u8 = 0x00;
+/// Domain prefix for internal-node hashing.
+const NODE_PREFIX: u8 = 0x01;
+
+/// Hashes raw leaf data with leaf domain separation.
+pub fn hash_leaf(data: &[u8]) -> Digest {
+    Sha256::digest_parts(&[&[LEAF_PREFIX], data])
+}
+
+/// Hashes two child digests into their parent:
+/// `h(left ‖ right)` with node domain separation.
+pub fn hash_nodes(left: &Digest, right: &Digest) -> Digest {
+    Sha256::digest_parts(&[&[NODE_PREFIX], left.as_bytes(), right.as_bytes()])
+}
+
+/// The digest used to pad the leaf level up to a power of two.
+pub fn empty_leaf() -> Digest {
+    hash_leaf(b"fides.merkle.empty.v1")
+}
+
+/// A binary Merkle hash tree over a vector of leaf digests.
+///
+/// Internally stores every level (`levels[0]` = padded leaves, last level
+/// = root), trading memory for `O(log n)` updates and proofs.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` is the padded leaf level; `levels.last()` has length 1.
+    levels: Vec<Vec<Digest>>,
+    /// Number of real (un-padded) leaves.
+    leaf_count: usize,
+}
+
+impl MerkleTree {
+    /// Builds a tree over `leaves`. An empty input produces a one-leaf
+    /// tree holding the [`empty_leaf`] digest so that every tree has a
+    /// root.
+    pub fn from_leaves(leaves: Vec<Digest>) -> Self {
+        let leaf_count = leaves.len();
+        let width = leaf_count.max(1).next_power_of_two();
+        let mut level0 = leaves;
+        level0.resize(width, empty_leaf());
+
+        let mut levels = vec![level0];
+        while levels.last().expect("at least one level").len() > 1 {
+            let prev = levels.last().expect("at least one level");
+            let mut next = Vec::with_capacity(prev.len() / 2);
+            for pair in prev.chunks_exact(2) {
+                next.push(hash_nodes(&pair[0], &pair[1]));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels, leaf_count }
+    }
+
+    /// The number of real leaves.
+    pub fn len(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Returns `true` if the tree was built over zero leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaf_count == 0
+    }
+
+    /// Tree height in edges (root of an n-leaf tree is at height
+    /// `log₂ n`).
+    pub fn height(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The root digest.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// The digest currently stored at leaf `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn leaf(&self, index: usize) -> Digest {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        self.levels[0][index]
+    }
+
+    /// Replaces leaf `index` and recomputes the path to the root.
+    ///
+    /// Returns the number of node hashes recomputed (the path length),
+    /// which the benchmark harness aggregates into the paper's "MHT
+    /// update time" series (Figure 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn update_leaf(&mut self, index: usize, digest: Digest) -> usize {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        self.levels[0][index] = digest;
+        let mut idx = index;
+        let mut recomputed = 0;
+        for lvl in 0..self.levels.len() - 1 {
+            let parent_idx = idx / 2;
+            let left = self.levels[lvl][parent_idx * 2];
+            let right = self.levels[lvl][parent_idx * 2 + 1];
+            self.levels[lvl + 1][parent_idx] = hash_nodes(&left, &right);
+            recomputed += 1;
+            idx = parent_idx;
+        }
+        recomputed
+    }
+
+    /// Appends a new leaf, growing (and if necessary re-padding) the
+    /// tree. Returns the new leaf's index.
+    pub fn push_leaf(&mut self, digest: Digest) -> usize {
+        let index = self.leaf_count;
+        if index < self.levels[0].len() {
+            // Fits in existing padding.
+            self.leaf_count += 1;
+            self.update_leaf(index, digest);
+            index
+        } else {
+            // Doubling the width: rebuild (rare; amortized O(1) pushes).
+            let mut leaves: Vec<Digest> = self.levels[0][..self.leaf_count].to_vec();
+            leaves.push(digest);
+            *self = MerkleTree::from_leaves(leaves);
+            index
+        }
+    }
+
+    /// Generates the verification object for leaf `index`: the sibling
+    /// digests along the path to the root (paper §2.3, "all the sibling
+    /// nodes along the path from the data value to the root").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn proof(&self, index: usize) -> VerificationObject {
+        assert!(index < self.leaf_count, "leaf index out of range");
+        let mut siblings = Vec::with_capacity(self.height());
+        let mut idx = index;
+        for lvl in 0..self.levels.len() - 1 {
+            let sibling_idx = idx ^ 1;
+            siblings.push(self.levels[lvl][sibling_idx]);
+            idx /= 2;
+        }
+        VerificationObject {
+            index: index as u64,
+            siblings,
+        }
+    }
+
+    /// All current leaf digests (without padding).
+    pub fn leaves(&self) -> &[Digest] {
+        &self.levels[0][..self.leaf_count]
+    }
+}
+
+/// A Merkle proof: the sibling path for one leaf (paper §2.3's VO).
+///
+/// `VO(a)` for a tree of `n` leaves has `log₂ n` siblings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerificationObject {
+    index: u64,
+    siblings: Vec<Digest>,
+}
+
+impl VerificationObject {
+    /// The index of the proven leaf.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The sibling digests, leaf level first.
+    pub fn siblings(&self) -> &[Digest] {
+        &self.siblings
+    }
+
+    /// Recomputes the root implied by this proof for `leaf` — the
+    /// auditor-side computation of §4.2.2.
+    pub fn compute_root(&self, leaf: Digest) -> Digest {
+        let mut acc = leaf;
+        let mut idx = self.index;
+        for sibling in &self.siblings {
+            acc = if idx & 1 == 0 {
+                hash_nodes(&acc, sibling)
+            } else {
+                hash_nodes(sibling, &acc)
+            };
+            idx >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` if the proof links `leaf` to `root`.
+    pub fn verify(&self, leaf: Digest, root: &Digest) -> bool {
+        self.compute_root(leaf) == *root
+    }
+}
+
+impl Encodable for VerificationObject {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.index);
+        enc.put_seq(&self.siblings, |e, d| e.put_digest(d));
+    }
+}
+
+impl Decodable for VerificationObject {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let index = dec.take_u64()?;
+        let siblings = dec.take_seq(|d| d.take_digest())?;
+        if siblings.len() > 64 {
+            return Err(DecodeError::InvalidValue("proof deeper than 64 levels"));
+        }
+        Ok(VerificationObject { index, siblings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| hash_leaf(&(i as u64).to_be_bytes())).collect()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = MerkleTree::from_leaves(leaves(1));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.height(), 0);
+        assert_eq!(tree.root(), tree.leaf(0));
+    }
+
+    #[test]
+    fn empty_tree_has_root() {
+        let tree = MerkleTree::from_leaves(vec![]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.root(), empty_leaf());
+    }
+
+    #[test]
+    fn figure2_structure_four_leaves() {
+        // Paper Figure 2: h_root = h(h(h(a)|h(b)) | h(h(c)|h(d))).
+        let a = hash_leaf(b"a");
+        let b = hash_leaf(b"b");
+        let c = hash_leaf(b"c");
+        let d = hash_leaf(b"d");
+        let tree = MerkleTree::from_leaves(vec![a, b, c, d]);
+        let hab = hash_nodes(&a, &b);
+        let hcd = hash_nodes(&c, &d);
+        assert_eq!(tree.root(), hash_nodes(&hab, &hcd));
+        assert_eq!(tree.height(), 2);
+    }
+
+    #[test]
+    fn proof_verifies_for_all_leaves() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 100] {
+            let ls = leaves(n);
+            let tree = MerkleTree::from_leaves(ls.clone());
+            let root = tree.root();
+            for (i, leaf) in ls.iter().enumerate() {
+                let vo = tree.proof(i);
+                assert!(vo.verify(*leaf, &root), "n={n} i={i}");
+                assert_eq!(vo.siblings().len(), tree.height());
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf() {
+        let tree = MerkleTree::from_leaves(leaves(8));
+        let vo = tree.proof(2);
+        assert!(!vo.verify(hash_leaf(b"tampered"), &tree.root()));
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_root() {
+        let tree = MerkleTree::from_leaves(leaves(8));
+        let vo = tree.proof(2);
+        assert!(!vo.verify(tree.leaf(2), &Digest::ZERO));
+    }
+
+    #[test]
+    fn proof_fails_for_swapped_index() {
+        // A proof for leaf 2 presented as leaf 3 must not verify (the
+        // index determines left/right hashing order).
+        let tree = MerkleTree::from_leaves(leaves(8));
+        let mut vo = tree.proof(2);
+        vo.index = 3;
+        assert!(!vo.verify(tree.leaf(2), &tree.root()));
+    }
+
+    #[test]
+    fn update_changes_root_and_path_length() {
+        let mut tree = MerkleTree::from_leaves(leaves(1024));
+        let old_root = tree.root();
+        let recomputed = tree.update_leaf(512, hash_leaf(b"new"));
+        assert_eq!(recomputed, 10); // log2(1024)
+        assert_ne!(tree.root(), old_root);
+    }
+
+    #[test]
+    fn update_matches_rebuild() {
+        let mut ls = leaves(10);
+        let mut tree = MerkleTree::from_leaves(ls.clone());
+        ls[7] = hash_leaf(b"replacement");
+        tree.update_leaf(7, ls[7]);
+        let rebuilt = MerkleTree::from_leaves(ls);
+        assert_eq!(tree.root(), rebuilt.root());
+    }
+
+    #[test]
+    fn update_then_prove() {
+        let mut tree = MerkleTree::from_leaves(leaves(16));
+        tree.update_leaf(9, hash_leaf(b"v2"));
+        let vo = tree.proof(9);
+        assert!(vo.verify(hash_leaf(b"v2"), &tree.root()));
+    }
+
+    #[test]
+    fn push_within_padding() {
+        let mut tree = MerkleTree::from_leaves(leaves(5)); // width 8
+        let idx = tree.push_leaf(hash_leaf(b"sixth"));
+        assert_eq!(idx, 5);
+        assert_eq!(tree.len(), 6);
+        assert!(tree.proof(5).verify(hash_leaf(b"sixth"), &tree.root()));
+    }
+
+    #[test]
+    fn push_forces_growth() {
+        let mut tree = MerkleTree::from_leaves(leaves(4)); // width 4, full
+        let idx = tree.push_leaf(hash_leaf(b"fifth"));
+        assert_eq!(idx, 4);
+        assert_eq!(tree.len(), 5);
+        assert_eq!(tree.height(), 3); // width 8 now
+        assert!(tree.proof(4).verify(hash_leaf(b"fifth"), &tree.root()));
+        // Old leaves still provable.
+        assert!(tree.proof(0).verify(hash_leaf(&0u64.to_be_bytes()), &tree.root()));
+    }
+
+    #[test]
+    fn domain_separation_leaf_vs_node() {
+        // A leaf containing exactly (prefix || left || right) bytes must
+        // not hash to the same digest as the internal node.
+        let l = hash_leaf(b"l");
+        let r = hash_leaf(b"r");
+        let node = hash_nodes(&l, &r);
+        let mut fake_leaf_data = Vec::new();
+        fake_leaf_data.extend_from_slice(l.as_bytes());
+        fake_leaf_data.extend_from_slice(r.as_bytes());
+        assert_ne!(hash_leaf(&fake_leaf_data), node);
+    }
+
+    #[test]
+    fn different_leaf_order_different_root() {
+        let a = hash_leaf(b"a");
+        let b = hash_leaf(b"b");
+        let t1 = MerkleTree::from_leaves(vec![a, b]);
+        let t2 = MerkleTree::from_leaves(vec![b, a]);
+        assert_ne!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn vo_size_is_log2n() {
+        // Paper §2.3: VO(a) is of size log2(n).
+        let tree = MerkleTree::from_leaves(leaves(1 << 14)); // 16384 = padded 10k shard
+        assert_eq!(tree.proof(0).siblings().len(), 14);
+    }
+
+    #[test]
+    fn vo_encoding_roundtrip() {
+        let tree = MerkleTree::from_leaves(leaves(32));
+        let vo = tree.proof(17);
+        let decoded = VerificationObject::decode(&vo.encode()).unwrap();
+        assert_eq!(decoded, vo);
+        assert!(decoded.verify(tree.leaf(17), &tree.root()));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn out_of_range_proof_panics() {
+        let tree = MerkleTree::from_leaves(leaves(4));
+        let _ = tree.proof(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn out_of_range_update_panics() {
+        let mut tree = MerkleTree::from_leaves(leaves(4));
+        tree.update_leaf(4, Digest::ZERO);
+    }
+
+    #[test]
+    fn leaves_accessor_excludes_padding() {
+        let ls = leaves(5);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        assert_eq!(tree.leaves(), &ls[..]);
+    }
+}

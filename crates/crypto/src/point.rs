@@ -1,0 +1,531 @@
+//! secp256k1 group arithmetic: `y² = x³ + 7` over `F_p`.
+//!
+//! Points are kept in Jacobian projective coordinates `(X, Y, Z)` with
+//! affine `x = X/Z²`, `y = Y/Z³`; `Z = 0` encodes the point at infinity
+//! (the group identity). Scalar multiplication uses a 4-bit
+//! window — adequate for a research system (see the crate-level security
+//! note).
+
+use core::fmt;
+use core::ops::{Add, Neg};
+
+use crate::encoding::DecodeError;
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+
+/// A point on secp256k1 (including the identity).
+///
+/// # Example
+///
+/// ```
+/// use fides_crypto::point::Point;
+/// use fides_crypto::scalar::Scalar;
+///
+/// let g = Point::generator();
+/// let two_g = g * Scalar::from_u64(2);
+/// assert_eq!(g + g, two_g);
+/// ```
+#[derive(Clone, Copy)]
+pub struct Point {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+/// Generator x-coordinate.
+const GX: [u64; 4] = [
+    0x59F2_815B_16F8_1798,
+    0x029B_FCDB_2DCE_28D9,
+    0x55A0_6295_CE87_0B07,
+    0x79BE_667E_F9DC_BBAC,
+];
+
+/// Generator y-coordinate.
+const GY: [u64; 4] = [
+    0x9C47_D08F_FB10_D4B8,
+    0xFD17_B448_A685_5419,
+    0x5DA4_FBFC_0E11_08A8,
+    0x483A_DA77_26A3_C465,
+];
+
+impl Point {
+    /// The group identity (point at infinity).
+    pub const IDENTITY: Point = Point {
+        x: FieldElement::ONE,
+        y: FieldElement::ONE,
+        z: FieldElement::ZERO,
+    };
+
+    /// The standard secp256k1 base point `G`.
+    pub fn generator() -> Point {
+        Point {
+            x: FieldElement::from_limbs(GX),
+            y: FieldElement::from_limbs(GY),
+            z: FieldElement::ONE,
+        }
+    }
+
+    /// Constructs a point from affine coordinates, checking the curve
+    /// equation.
+    pub fn from_affine(x: FieldElement, y: FieldElement) -> Option<Point> {
+        let lhs = y.square();
+        let rhs = x.square() * x + FieldElement::SEVEN;
+        if lhs == rhs {
+            Some(Point {
+                x,
+                y,
+                z: FieldElement::ONE,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` for the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine coordinates; `None` for the identity.
+    pub fn to_affine(&self) -> Option<(FieldElement, FieldElement)> {
+        if self.is_identity() {
+            return None;
+        }
+        let z_inv = self.z.invert().expect("non-identity point has z != 0");
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2 * z_inv;
+        Some((self.x * z_inv2, self.y * z_inv3))
+    }
+
+    /// Point doubling (Jacobian, a = 0 formulas).
+    pub fn double(&self) -> Point {
+        if self.is_identity() || self.y.is_zero() {
+            return Point::IDENTITY;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        // D = 2*((X+B)^2 - A - C)
+        let d = {
+            let t = (self.x + b).square() - a - c;
+            t + t
+        };
+        let e = a + a + a; // 3*X^2  (a = 0 curve)
+        let f = e.square();
+        let x3 = f - (d + d);
+        let c8 = {
+            let c2 = c + c;
+            let c4 = c2 + c2;
+            c4 + c4
+        };
+        let y3 = e * (d - x3) - c8;
+        let z3 = {
+            let t = self.y * self.z;
+            t + t
+        };
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Fast fixed-base multiplication `k·G` using a lazily built
+    /// 8-bit-window table (32 windows × 256 entries): 31 point
+    /// additions and no doublings. Signing, nonce commitments and the
+    /// `s·G` half of verification all go through this path.
+    pub fn mul_generator(k: &Scalar) -> Point {
+        let table = generator_table();
+        let bytes = k.to_be_bytes(); // big-endian: bytes[31] is window 0
+        let mut acc = Point::IDENTITY;
+        for (w, byte) in bytes.iter().rev().enumerate() {
+            let d = *byte as usize;
+            if d != 0 {
+                acc = acc + table[w][d];
+            }
+        }
+        acc
+    }
+
+    /// Multiplies by a scalar with a 4-bit window.
+    pub fn mul_scalar(&self, k: &Scalar) -> Point {
+        if k.is_zero() || self.is_identity() {
+            return Point::IDENTITY;
+        }
+        // Precompute 1P..15P.
+        let mut table = [Point::IDENTITY; 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = table[i - 1] + *self;
+        }
+        let mut acc = Point::IDENTITY;
+        for w in (0..64).rev() {
+            for _ in 0..4 {
+                acc = acc.double();
+            }
+            let nib = k.nibble(w) as usize;
+            if nib != 0 {
+                acc = acc + table[nib];
+            }
+        }
+        acc
+    }
+
+    /// Compressed SEC1-style encoding: 33 bytes, prefix `0x02`/`0x03` by
+    /// y-parity; the identity encodes as 33 zero bytes.
+    pub fn to_compressed_bytes(&self) -> [u8; 33] {
+        let mut out = [0u8; 33];
+        match self.to_affine() {
+            None => out, // identity: all zeros
+            Some((x, y)) => {
+                out[0] = if y.is_odd() { 0x03 } else { 0x02 };
+                out[1..].copy_from_slice(&x.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a compressed point; validates the curve equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::InvalidValue`] if the prefix byte is
+    /// unknown, the x-coordinate is non-canonical, or x³+7 has no square
+    /// root.
+    pub fn from_compressed_bytes(bytes: &[u8; 33]) -> Result<Point, DecodeError> {
+        if bytes.iter().all(|&b| b == 0) {
+            return Ok(Point::IDENTITY);
+        }
+        let parity_odd = match bytes[0] {
+            0x02 => false,
+            0x03 => true,
+            _ => return Err(DecodeError::InvalidValue("point prefix byte")),
+        };
+        let mut xb = [0u8; 32];
+        xb.copy_from_slice(&bytes[1..]);
+        let x = FieldElement::from_be_bytes(&xb)
+            .ok_or(DecodeError::InvalidValue("x coordinate not canonical"))?;
+        let y2 = x.square() * x + FieldElement::SEVEN;
+        let mut y = y2
+            .sqrt()
+            .ok_or(DecodeError::InvalidValue("x not on curve"))?;
+        if y.is_odd() != parity_odd {
+            y = -y;
+        }
+        Ok(Point {
+            x,
+            y,
+            z: FieldElement::ONE,
+        })
+    }
+
+    /// Binary double-and-add multiplication — used in tests as an
+    /// independent check on the windowed implementation.
+    #[doc(hidden)]
+    pub fn mul_scalar_binary(&self, k: &Scalar) -> Point {
+        let mut acc = Point::IDENTITY;
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if k.bit(i) {
+                acc = acc + *self;
+            }
+        }
+        acc
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    /// General Jacobian addition with doubling fallback.
+    fn add(self, rhs: Point) -> Point {
+        if self.is_identity() {
+            return rhs;
+        }
+        if rhs.is_identity() {
+            return self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = rhs.x * z1z1;
+        let s1 = self.y * z2z2 * rhs.z;
+        let s2 = rhs.y * z1z1 * self.z;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Point::IDENTITY; // P + (-P)
+        }
+        let h = u2 - u1;
+        let i = {
+            let t = h + h;
+            t.square()
+        };
+        let j = h * i;
+        let r = {
+            let t = s2 - s1;
+            t + t
+        };
+        let v = u1 * i;
+        let x3 = r.square() - j - (v + v);
+        let y3 = {
+            let s1j = s1 * j;
+            r * (v - x3) - (s1j + s1j)
+        };
+        let z3 = {
+            let t = (self.z + rhs.z).square() - z1z1 - z2z2;
+            t * h
+        };
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        if self.is_identity() {
+            self
+        } else {
+            Point {
+                x: self.x,
+                y: -self.y,
+                z: self.z,
+            }
+        }
+    }
+}
+
+impl core::ops::Mul<Scalar> for Point {
+    type Output = Point;
+    fn mul(self, k: Scalar) -> Point {
+        self.mul_scalar(&k)
+    }
+}
+
+/// The fixed-base window table: `TABLE[w][d] = d · 256^w · G`.
+///
+/// ~786 KiB, built once on first use (≈ 8k point additions).
+fn generator_table() -> &'static Vec<[Point; 256]> {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<[Point; 256]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = Vec::with_capacity(32);
+        let mut base = Point::generator(); // 256^w · G
+        for _ in 0..32 {
+            let mut window = [Point::IDENTITY; 256];
+            for d in 1..256 {
+                window[d] = window[d - 1] + base;
+            }
+            // base <<= 8 bits.
+            let next = window[255] + base;
+            table.push(window);
+            base = next;
+        }
+        table
+    })
+}
+
+impl PartialEq for Point {
+    /// Projective equality: compares affine coordinates without division.
+    fn eq(&self, other: &Point) -> bool {
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => return true,
+            (true, false) | (false, true) => return false,
+            _ => {}
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        self.x * z2z2 == other.x * z1z1
+            && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+    }
+}
+
+impl Eq for Point {}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.to_affine() {
+            None => write!(f, "Point(identity)"),
+            Some((x, _)) => {
+                let bytes = x.to_be_bytes();
+                write!(f, "Point(x={:02x}{:02x}…)", bytes[0], bytes[1])
+            }
+        }
+    }
+}
+
+/// Sums an iterator of points (used for CoSi aggregation).
+impl core::iter::Sum for Point {
+    fn sum<I: Iterator<Item = Point>>(iter: I) -> Point {
+        iter.fold(Point::IDENTITY, |acc, p| acc + p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Point {
+        Point::generator()
+    }
+
+    #[test]
+    fn generator_is_on_curve() {
+        let (x, y) = g().to_affine().unwrap();
+        assert!(Point::from_affine(x, y).is_some());
+    }
+
+    #[test]
+    fn identity_laws() {
+        assert_eq!(g() + Point::IDENTITY, g());
+        assert_eq!(Point::IDENTITY + g(), g());
+        assert!((g() + (-g())).is_identity());
+        assert!(Point::IDENTITY.double().is_identity());
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        assert_eq!(g().double(), g() + g());
+        let p = g() * Scalar::from_u64(12345);
+        assert_eq!(p.double(), p + p);
+    }
+
+    #[test]
+    fn order_of_generator() {
+        // n * G = identity; (n-1) * G = -G.
+        let n_minus_1 = -Scalar::ONE; // n - 1 mod n
+        let p = g() * n_minus_1;
+        assert_eq!(p, -g());
+        assert!((p + g()).is_identity());
+    }
+
+    #[test]
+    fn known_multiples() {
+        // 2G affine x from standard test vectors.
+        let two_g = g() * Scalar::from_u64(2);
+        let (x, _) = two_g.to_affine().unwrap();
+        let mut expect = [0u8; 32];
+        // x(2G) = C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5
+        let hex = "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5";
+        for i in 0..32 {
+            expect[i] = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        assert_eq!(x.to_be_bytes(), expect);
+    }
+
+    #[test]
+    fn scalar_mul_is_additive_homomorphism() {
+        let a = Scalar::from_u64(1234);
+        let b = Scalar::from_u64(5678);
+        assert_eq!(g() * a + g() * b, g() * (a + b));
+    }
+
+    #[test]
+    fn windowed_matches_binary() {
+        let k = Scalar::from_be_bytes_reduced(&[0x5Au8; 32]);
+        assert_eq!(g().mul_scalar(&k), g().mul_scalar_binary(&k));
+    }
+
+    #[test]
+    fn fixed_base_matches_general_mul() {
+        let cases = [
+            Scalar::ZERO,
+            Scalar::ONE,
+            Scalar::from_u64(2),
+            Scalar::from_u64(255),
+            Scalar::from_u64(256),
+            -Scalar::ONE, // n - 1
+            Scalar::from_be_bytes_reduced(&[0xA7u8; 32]),
+            Scalar::from_be_bytes_reduced(&[0x01u8; 32]),
+        ];
+        for k in cases {
+            assert_eq!(Point::mul_generator(&k), g().mul_scalar(&k), "k={k:?}");
+        }
+    }
+
+    #[test]
+    fn zero_scalar_gives_identity() {
+        assert!((g() * Scalar::ZERO).is_identity());
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        for v in [1u64, 2, 3, 7, 1000, 123_456_789] {
+            let p = g() * Scalar::from_u64(v);
+            let enc = p.to_compressed_bytes();
+            let dec = Point::from_compressed_bytes(&enc).unwrap();
+            assert_eq!(dec, p, "v={v}");
+        }
+    }
+
+    #[test]
+    fn identity_roundtrip() {
+        let enc = Point::IDENTITY.to_compressed_bytes();
+        assert_eq!(enc, [0u8; 33]);
+        assert!(Point::from_compressed_bytes(&enc).unwrap().is_identity());
+    }
+
+    #[test]
+    fn bad_prefix_rejected() {
+        let mut enc = g().to_compressed_bytes();
+        enc[0] = 0x05;
+        assert!(Point::from_compressed_bytes(&enc).is_err());
+    }
+
+    #[test]
+    fn off_curve_x_rejected() {
+        // Find an x with no curve point (about half of all x).
+        let mut bytes = [0u8; 33];
+        bytes[0] = 0x02;
+        let mut rejected = false;
+        for v in 1u8..30 {
+            bytes[32] = v;
+            if Point::from_compressed_bytes(&bytes).is_err() {
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "expected some x to be off-curve");
+    }
+
+    #[test]
+    fn negation_roundtrip() {
+        let p = g() * Scalar::from_u64(99);
+        assert_eq!(-(-p), p);
+        assert!((p + (-p)).is_identity());
+    }
+
+    #[test]
+    fn associativity_spot_check() {
+        let p = g() * Scalar::from_u64(11);
+        let q = g() * Scalar::from_u64(22);
+        let r = g() * Scalar::from_u64(33);
+        assert_eq!((p + q) + r, p + (q + r));
+    }
+
+    #[test]
+    fn commutativity_spot_check() {
+        let p = g() * Scalar::from_u64(44);
+        let q = g() * Scalar::from_u64(55);
+        assert_eq!(p + q, q + p);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let pts = [g(), g().double(), g() * Scalar::from_u64(3)];
+        let total: Point = pts.into_iter().sum();
+        assert_eq!(total, g() * Scalar::from_u64(6));
+    }
+
+    #[test]
+    fn tangent_doubling_with_y_zero_is_identity() {
+        // No secp256k1 point has y = 0 (x^3 + 7 = 0 has no root), but the
+        // guard must still behave: identity doubling.
+        assert!(Point::IDENTITY.double().is_identity());
+    }
+}

@@ -1,0 +1,222 @@
+//! Arithmetic modulo the secp256k1 group order
+//! `n = 0xFFFFFFFF FFFFFFFF FFFFFFFF FFFFFFFE BAAEDCE6 AF48A03B BFD25E8C D0364141`.
+//!
+//! [`Scalar`] values are secret keys, nonces, Schnorr challenges and
+//! Schnorr responses. They are always fully reduced.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+use crate::arith;
+use crate::hash::Digest;
+
+/// The group order `n`, little-endian limbs.
+pub(crate) const N: [u64; 4] = [
+    0xBFD2_5E8C_D036_4141,
+    0xBAAE_DCE6_AF48_A03B,
+    0xFFFF_FFFF_FFFF_FFFE,
+    0xFFFF_FFFF_FFFF_FFFF,
+];
+
+/// `c = 2^256 - n`.
+const C: [u64; 4] = [0x402D_A173_2FC9_BEBF, 0x4551_2319_50B7_5FC4, 0x1, 0];
+
+/// An integer modulo the secp256k1 group order.
+///
+/// # Example
+///
+/// ```
+/// use fides_crypto::scalar::Scalar;
+///
+/// let a = Scalar::from_u64(5);
+/// let b = Scalar::from_u64(7);
+/// assert_eq!(a * b, Scalar::from_u64(35));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Scalar([u64; 4]);
+
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar([0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar([1, 0, 0, 0]);
+
+    /// Constructs from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Scalar([v, 0, 0, 0])
+    }
+
+    /// Parses 32 big-endian bytes; returns `None` if the value is ≥ `n`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        let limbs = arith::limbs_from_be_bytes(bytes);
+        if arith::cmp4(&limbs, &N) == Ordering::Less {
+            Some(Scalar(limbs))
+        } else {
+            None
+        }
+    }
+
+    /// Parses 32 big-endian bytes, reducing modulo `n`. Never fails; used
+    /// for turning hash outputs into challenges.
+    pub fn from_be_bytes_reduced(bytes: &[u8; 32]) -> Self {
+        let limbs = arith::limbs_from_be_bytes(bytes);
+        let mut wide = [0u64; 8];
+        wide[..4].copy_from_slice(&limbs);
+        Scalar(arith::reduce_wide(wide, &N, &C))
+    }
+
+    /// Interprets a digest as a scalar (mod `n`).
+    pub fn from_digest(d: &Digest) -> Self {
+        Scalar::from_be_bytes_reduced(d.as_bytes())
+    }
+
+    /// Serializes as 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        arith::limbs_to_be_bytes(&self.0)
+    }
+
+    /// Returns `true` for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        arith::is_zero4(&self.0)
+    }
+
+    /// Multiplicative inverse via Fermat (`a^(n-2) mod n`); `None` for
+    /// zero.
+    pub fn invert(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let n_minus_2 = arith::sub4(&N, &[2, 0, 0, 0]).0;
+        Some(Scalar(arith::pow_mod(&self.0, &n_minus_2, &N, &C)))
+    }
+
+    /// Bit `i` (little-endian) of the canonical representative.
+    pub(crate) fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// The 4-bit window `[4*i, 4*i+4)` of the canonical representative.
+    pub(crate) fn nibble(&self, i: usize) -> u8 {
+        ((self.0[i / 16] >> ((i % 16) * 4)) & 0xF) as u8
+    }
+}
+
+impl Add for Scalar {
+    type Output = Scalar;
+    fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(arith::add_mod(&self.0, &rhs.0, &N))
+    }
+}
+
+impl Sub for Scalar {
+    type Output = Scalar;
+    fn sub(self, rhs: Scalar) -> Scalar {
+        Scalar(arith::sub_mod(&self.0, &rhs.0, &N))
+    }
+}
+
+impl Mul for Scalar {
+    type Output = Scalar;
+    fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(arith::mul_mod(&self.0, &rhs.0, &N, &C))
+    }
+}
+
+impl Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar(arith::sub_mod(&[0, 0, 0, 0], &self.0, &N))
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Do not print full scalars: they may be secret keys.
+        let bytes = self.to_be_bytes();
+        write!(f, "Scalar({:02x}{:02x}…)", bytes[0], bytes[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(v: u64) -> Scalar {
+        Scalar::from_u64(v)
+    }
+
+    #[test]
+    fn identities() {
+        let a = sc(777);
+        assert_eq!(a + Scalar::ZERO, a);
+        assert_eq!(a * Scalar::ONE, a);
+        assert_eq!(a - a, Scalar::ZERO);
+        assert_eq!(a + (-a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn wraparound() {
+        let n_minus_1 = Scalar(arith::sub4(&N, &[1, 0, 0, 0]).0);
+        assert_eq!(n_minus_1 + sc(1), Scalar::ZERO);
+        assert_eq!(n_minus_1 + sc(2), Scalar::ONE);
+    }
+
+    #[test]
+    fn inverse() {
+        let a = sc(123_456_789);
+        assert_eq!(a * a.invert().unwrap(), Scalar::ONE);
+        assert!(Scalar::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn reduction_of_large_bytes() {
+        // 2^256 - 1 reduced mod n must equal c - 1 (since 2^256 ≡ c).
+        let s = Scalar::from_be_bytes_reduced(&[0xFF; 32]);
+        let expect = Scalar(arith::sub4(&C, &[1, 0, 0, 0]).0);
+        assert_eq!(s, expect);
+    }
+
+    #[test]
+    fn canonical_bytes_roundtrip() {
+        let a = Scalar::from_be_bytes_reduced(Digest::new([9u8; 32]).as_bytes());
+        assert_eq!(Scalar::from_be_bytes(&a.to_be_bytes()), Some(a));
+    }
+
+    #[test]
+    fn non_canonical_rejected() {
+        assert_eq!(Scalar::from_be_bytes(&[0xFF; 32]), None);
+        // n itself is non-canonical.
+        let n_bytes = arith::limbs_to_be_bytes(&N);
+        assert_eq!(Scalar::from_be_bytes(&n_bytes), None);
+    }
+
+    #[test]
+    fn bits_and_nibbles() {
+        let a = sc(0b1011);
+        assert!(a.bit(0));
+        assert!(a.bit(1));
+        assert!(!a.bit(2));
+        assert!(a.bit(3));
+        assert_eq!(a.nibble(0), 0b1011);
+        assert_eq!(a.nibble(1), 0);
+        let b = Scalar([0, 0, 0, 0xF000_0000_0000_0000]);
+        assert_eq!(b.nibble(63), 0xF);
+    }
+
+    #[test]
+    fn debug_does_not_leak_full_value() {
+        let s = format!("{:?}", sc(42));
+        assert!(s.len() < 20);
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn associativity_spot_check() {
+        let a = Scalar::from_be_bytes_reduced(&[0xAB; 32]);
+        let b = Scalar::from_be_bytes_reduced(&[0xCD; 32]);
+        let c = Scalar::from_be_bytes_reduced(&[0xEF; 32]);
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!((a + b) + c, a + (b + c));
+    }
+}

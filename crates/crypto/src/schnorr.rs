@@ -1,0 +1,379 @@
+//! Schnorr digital signatures over secp256k1 (paper §2.1).
+//!
+//! Every message exchanged in Fides — client requests, protocol messages,
+//! votes — is signed by its sender and verified by the receiver (§3.1 of
+//! the paper). The scheme is the classic Schnorr construction that CoSi
+//! (§2.2, [`crate::cosi`]) aggregates:
+//!
+//! ```text
+//! sign(x, m):   k = nonce(x, m);  R = k·G;  e = H(enc(R) ‖ enc(P) ‖ m)
+//!               s = k + e·x;      signature = (R, s)
+//! verify:       s·G == R + e·P
+//! ```
+//!
+//! Nonces are derived deterministically with HMAC-SHA256 (RFC 6979
+//! spirit), so signing never needs an RNG and is reproducible in tests.
+
+use core::fmt;
+
+use crate::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use crate::hash::Digest;
+use crate::point::Point;
+use crate::scalar::Scalar;
+use crate::sha256::{hmac_sha256, Sha256};
+
+/// A secret signing key (a non-zero scalar).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(Scalar);
+
+/// A public verification key (a non-identity curve point).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PublicKey(Point);
+
+/// A Schnorr signature `(R, s)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// The public nonce commitment `R = k·G`.
+    pub r: Point,
+    /// The response `s = k + e·x`.
+    pub s: Scalar,
+}
+
+/// A secret/public key pair.
+///
+/// # Example
+///
+/// ```
+/// use fides_crypto::schnorr::KeyPair;
+///
+/// let kp = KeyPair::from_seed(b"coordinator");
+/// let sig = kp.sign(b"challenge message");
+/// assert!(kp.public_key().verify(b"challenge message", &sig));
+/// assert!(!kp.public_key().verify(b"another message", &sig));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct KeyPair {
+    sk: SecretKey,
+    pk: PublicKey,
+}
+
+impl SecretKey {
+    /// Derives a secret key deterministically from a seed.
+    ///
+    /// The seed is hashed and reduced modulo the group order; the
+    /// astronomically unlikely zero result is bumped to one so that the
+    /// key is always valid.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let digest = Sha256::digest_parts(&[b"fides.keygen.v1", seed]);
+        let mut s = Scalar::from_digest(&digest);
+        if s.is_zero() {
+            s = Scalar::ONE;
+        }
+        SecretKey(s)
+    }
+
+    /// Constructs from an existing scalar; `None` if zero.
+    pub fn from_scalar(s: Scalar) -> Option<Self> {
+        if s.is_zero() {
+            None
+        } else {
+            Some(SecretKey(s))
+        }
+    }
+
+    /// The corresponding public key `x·G`.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(Point::mul_generator(&self.0))
+    }
+
+    /// Exposes the underlying scalar (needed by CoSi responses).
+    pub fn scalar(&self) -> Scalar {
+        self.0
+    }
+}
+
+impl PublicKey {
+    /// Wraps a point; `None` for the identity (invalid key).
+    pub fn from_point(p: Point) -> Option<Self> {
+        if p.is_identity() {
+            None
+        } else {
+            Some(PublicKey(p))
+        }
+    }
+
+    /// The underlying curve point.
+    pub fn point(&self) -> Point {
+        self.0
+    }
+
+    /// Compressed 33-byte encoding.
+    pub fn to_bytes(self) -> [u8; 33] {
+        self.0.to_compressed_bytes()
+    }
+
+    /// Decodes and validates a compressed public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed encodings or the identity point.
+    pub fn from_bytes(bytes: &[u8; 33]) -> Result<Self, DecodeError> {
+        let p = Point::from_compressed_bytes(bytes)?;
+        PublicKey::from_point(p).ok_or(DecodeError::InvalidValue("identity public key"))
+    }
+
+    /// Verifies a signature over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        if sig.r.is_identity() {
+            return false;
+        }
+        let e = challenge_scalar(&sig.r, self, message);
+        let lhs = Point::mul_generator(&sig.s);
+        let rhs = sig.r + self.0 * e;
+        lhs == rhs
+    }
+
+    /// A short identifier (first hex bytes of the key) for diagnostics.
+    pub fn short_id(&self) -> String {
+        let b = self.to_bytes();
+        format!("{:02x}{:02x}{:02x}{:02x}", b[1], b[2], b[3], b[4])
+    }
+}
+
+impl KeyPair {
+    /// Deterministic key pair from a seed (see [`SecretKey::from_seed`]).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let sk = SecretKey::from_seed(seed);
+        KeyPair {
+            pk: sk.public_key(),
+            sk,
+        }
+    }
+
+    /// The secret half.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> PublicKey {
+        self.pk
+    }
+
+    /// Signs `message` with a deterministic nonce.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let k = derive_nonce(&self.sk, message, b"fides.schnorr.nonce.v1");
+        let r = Point::mul_generator(&k);
+        let e = challenge_scalar(&r, &self.pk, message);
+        let s = k + e * self.sk.scalar();
+        Signature { r, s }
+    }
+}
+
+/// Computes the Fiat–Shamir challenge `e = H(enc(R) ‖ enc(P) ‖ m)`.
+fn challenge_scalar(r: &Point, pk: &PublicKey, message: &[u8]) -> Scalar {
+    let digest = Sha256::digest_parts(&[
+        b"fides.schnorr.challenge.v1",
+        &r.to_compressed_bytes(),
+        &pk.to_bytes(),
+        message,
+    ]);
+    Scalar::from_digest(&digest)
+}
+
+/// Deterministic nonce derivation: HMAC keyed by the secret key over the
+/// message, domain-separated by `label`. Retries with a counter in the
+/// (astronomically unlikely) zero case.
+pub(crate) fn derive_nonce(sk: &SecretKey, message: &[u8], label: &[u8]) -> Scalar {
+    let key = sk.scalar().to_be_bytes();
+    let mut counter = 0u8;
+    loop {
+        let mut data = Vec::with_capacity(label.len() + message.len() + 1);
+        data.extend_from_slice(label);
+        data.extend_from_slice(message);
+        data.push(counter);
+        let mac = hmac_sha256(&key, &data);
+        let k = Scalar::from_digest(&mac);
+        if !k.is_zero() {
+            return k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+impl Encodable for Signature {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_fixed(&self.r.to_compressed_bytes());
+        enc.put_fixed(&self.s.to_be_bytes());
+    }
+}
+
+impl Decodable for Signature {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let mut rb = [0u8; 33];
+        rb.copy_from_slice(dec.take_fixed(33)?);
+        let r = Point::from_compressed_bytes(&rb)?;
+        let mut sb = [0u8; 32];
+        sb.copy_from_slice(dec.take_fixed(32)?);
+        let s = Scalar::from_be_bytes(&sb).ok_or(DecodeError::InvalidValue("signature scalar"))?;
+        Ok(Signature { r, s })
+    }
+}
+
+impl Encodable for PublicKey {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_fixed(&self.to_bytes());
+    }
+}
+
+impl Decodable for PublicKey {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let mut b = [0u8; 33];
+        b.copy_from_slice(dec.take_fixed(33)?);
+        PublicKey::from_bytes(&b)
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecretKey(redacted)")
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({}…)", self.short_id())
+    }
+}
+
+impl fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyPair(pk={}…)", self.pk.short_id())
+    }
+}
+
+impl fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.to_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: hash of a public key, used as a stable node identifier.
+impl PublicKey {
+    /// SHA-256 of the compressed encoding.
+    pub fn fingerprint(&self) -> Digest {
+        Sha256::digest(&self.to_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"hello fides");
+        assert!(kp.public_key().verify(b"hello fides", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = KeyPair::from_seed(b"alice");
+        let sig = kp.sign(b"msg-1");
+        assert!(!kp.public_key().verify(b"msg-2", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let alice = KeyPair::from_seed(b"alice");
+        let bob = KeyPair::from_seed(b"bob");
+        let sig = alice.sign(b"msg");
+        assert!(!bob.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = KeyPair::from_seed(b"alice");
+        let mut sig = kp.sign(b"msg");
+        sig.s = sig.s + Scalar::ONE;
+        assert!(!kp.public_key().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let kp = KeyPair::from_seed(b"carol");
+        assert_eq!(kp.sign(b"m"), kp.sign(b"m"));
+    }
+
+    #[test]
+    fn different_messages_different_nonces() {
+        let kp = KeyPair::from_seed(b"carol");
+        let s1 = kp.sign(b"m1");
+        let s2 = kp.sign(b"m2");
+        assert_ne!(s1.r, s2.r, "nonce reuse across messages would leak the key");
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        assert_ne!(
+            KeyPair::from_seed(b"s1").public_key(),
+            KeyPair::from_seed(b"s2").public_key()
+        );
+    }
+
+    #[test]
+    fn pubkey_encoding_roundtrip() {
+        let pk = KeyPair::from_seed(b"dave").public_key();
+        let decoded = PublicKey::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(decoded, pk);
+    }
+
+    #[test]
+    fn signature_encoding_roundtrip() {
+        let kp = KeyPair::from_seed(b"erin");
+        let sig = kp.sign(b"payload");
+        let bytes = sig.encode();
+        let decoded = Signature::decode(&bytes).unwrap();
+        assert_eq!(decoded, sig);
+        assert!(kp.public_key().verify(b"payload", &decoded));
+    }
+
+    #[test]
+    fn identity_pubkey_rejected() {
+        assert!(PublicKey::from_bytes(&[0u8; 33]).is_err());
+        assert!(PublicKey::from_point(Point::IDENTITY).is_none());
+    }
+
+    #[test]
+    fn empty_message_signs() {
+        let kp = KeyPair::from_seed(b"frank");
+        let sig = kp.sign(b"");
+        assert!(kp.public_key().verify(b"", &sig));
+    }
+
+    #[test]
+    fn large_message_signs() {
+        let kp = KeyPair::from_seed(b"grace");
+        let msg = vec![0x42u8; 100_000];
+        let sig = kp.sign(&msg);
+        assert!(kp.public_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn secret_key_debug_redacted() {
+        let kp = KeyPair::from_seed(b"secret");
+        assert_eq!(format!("{:?}", kp.secret_key()), "SecretKey(redacted)");
+    }
+
+    #[test]
+    fn fingerprint_stable_and_distinct() {
+        let a = KeyPair::from_seed(b"x").public_key();
+        let b = KeyPair::from_seed(b"y").public_key();
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the cryptographic substrate.
+
+use fides_crypto::cosi::{self, Witness};
+use fides_crypto::field::FieldElement;
+use fides_crypto::merkle::{hash_leaf, MerkleTree};
+use fides_crypto::point::Point;
+use fides_crypto::scalar::Scalar;
+use fides_crypto::schnorr::KeyPair;
+use fides_crypto::sha256::Sha256;
+use proptest::prelude::*;
+
+fn arb_fe() -> impl Strategy<Value = FieldElement> {
+    any::<[u8; 32]>().prop_map(|b| {
+        // Clear the top byte so the value is always canonical.
+        let mut b = b;
+        b[0] = 0;
+        FieldElement::from_be_bytes(&b).expect("top byte cleared; below p")
+    })
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| Scalar::from_be_bytes_reduced(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn field_add_commutes(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn field_mul_commutes(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn field_add_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn field_mul_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn field_distributes(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn field_sub_is_add_neg(a in arb_fe(), b in arb_fe()) {
+        prop_assert_eq!(a - b, a + (-b));
+    }
+
+    #[test]
+    fn field_inverse_law(a in arb_fe()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.invert().unwrap(), FieldElement::ONE);
+        }
+    }
+
+    #[test]
+    fn field_square_matches_mul(a in arb_fe()) {
+        prop_assert_eq!(a.square(), a * a);
+    }
+
+    #[test]
+    fn field_bytes_roundtrip(a in arb_fe()) {
+        prop_assert_eq!(FieldElement::from_be_bytes(&a.to_be_bytes()), Some(a));
+    }
+
+    #[test]
+    fn scalar_ring_laws(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + (-a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn scalar_inverse_law(a in arb_scalar()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.invert().unwrap(), Scalar::ONE);
+        }
+    }
+}
+
+proptest! {
+    // Group operations are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scalar_mul_homomorphism(a in arb_scalar(), b in arb_scalar()) {
+        let g = Point::generator();
+        prop_assert_eq!(g * a + g * b, g * (a + b));
+    }
+
+    #[test]
+    fn windowed_mul_matches_binary(k in arb_scalar()) {
+        let g = Point::generator();
+        prop_assert_eq!(g.mul_scalar(&k), g.mul_scalar_binary(&k));
+    }
+
+    #[test]
+    fn point_compression_roundtrip(k in arb_scalar()) {
+        let p = Point::generator() * k;
+        let enc = p.to_compressed_bytes();
+        prop_assert_eq!(Point::from_compressed_bytes(&enc).unwrap(), p);
+    }
+
+    #[test]
+    fn schnorr_roundtrip(seed in any::<[u8; 16]>(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let kp = KeyPair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public_key().verify(&msg, &sig));
+    }
+
+    #[test]
+    fn schnorr_rejects_bitflip(seed in any::<[u8; 8]>(), msg in proptest::collection::vec(any::<u8>(), 1..64), flip in 0usize..64) {
+        let kp = KeyPair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 1;
+        prop_assert!(!kp.public_key().verify(&tampered, &sig));
+    }
+
+    #[test]
+    fn cosi_round_verifies(n in 1usize..6, record in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let keys: Vec<KeyPair> = (0..n).map(|i| KeyPair::from_seed(&[i as u8, 0xAA])).collect();
+        let witnesses: Vec<Witness> =
+            keys.iter().map(|k| Witness::commit(k, b"prop-round", &record)).collect();
+        let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+        let c = cosi::challenge(&agg, &record);
+        let sig = cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        prop_assert!(sig.verify(&record, &pks));
+        // And rejects a different record.
+        let mut other = record.clone();
+        other[0] ^= 0xFF;
+        prop_assert!(!sig.verify(&other, &pks));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merkle_proofs_sound(
+        n in 1usize..64,
+        updates in proptest::collection::vec((any::<u16>(), any::<u64>()), 0..16),
+    ) {
+        let mut data: Vec<Vec<u8>> = (0..n).map(|i| format!("item-{i}").into_bytes()).collect();
+        let mut tree = MerkleTree::from_leaves(data.iter().map(|d| hash_leaf(d)).collect());
+        for (idx, val) in updates {
+            let i = (idx as usize) % n;
+            data[i] = val.to_be_bytes().to_vec();
+            tree.update_leaf(i, hash_leaf(&data[i]));
+        }
+        let root = tree.root();
+        for (i, d) in data.iter().enumerate() {
+            prop_assert!(tree.proof(i).verify(hash_leaf(d), &root));
+        }
+        // Rebuilding from scratch gives the same root.
+        let rebuilt = MerkleTree::from_leaves(data.iter().map(|d| hash_leaf(d)).collect());
+        prop_assert_eq!(rebuilt.root(), root);
+    }
+
+    #[test]
+    fn merkle_rejects_cross_proofs(n in 2usize..64, i in any::<u16>(), j in any::<u16>()) {
+        let i = (i as usize) % n;
+        let j = (j as usize) % n;
+        prop_assume!(i != j);
+        let leaves: Vec<_> = (0..n).map(|k| hash_leaf(&(k as u64).to_be_bytes())).collect();
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        // Proof for i never validates leaf j's data.
+        prop_assert!(!tree.proof(i).verify(leaves[j], &tree.root()));
+    }
+
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in any::<u16>()) {
+        let cut = (split as usize) % (data.len() + 1);
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+}

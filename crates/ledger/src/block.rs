@@ -1,0 +1,403 @@
+//! The block structure of the tamper-proof log (paper Table 1).
+//!
+//! | key        | description                                          |
+//! |------------|------------------------------------------------------|
+//! | `TxnId`    | commit timestamp of txn                              |
+//! | `R set`    | list of `⟨id : value, rts, wts⟩`                     |
+//! | `W set`    | list of `⟨id : new_val, old_val, rts, wts⟩`          |
+//! | `Σ roots`  | MHT roots of shards                                  |
+//! | `decision` | commit or abort                                      |
+//! | `h`        | hash of previous block                               |
+//! | `co-sign`  | a collective signature of participants               |
+//!
+//! A block may carry several transactions (§4.6: "the coordinator
+//! collects and inserts a set of non-conflicting client generated
+//! transactions and orders them within a single block"); the evaluation
+//! typically batches 100.
+//!
+//! The **signing bytes** of a block — what CoSi witnesses collectively
+//! sign — cover every field *except* the co-sign itself. The block
+//! **hash** — what the next block's `prev_hash` points to — also covers
+//! only the signing bytes, so attaching the signature does not change
+//! the chain link.
+
+use core::fmt;
+
+use fides_crypto::cosi::CollectiveSignature;
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use fides_crypto::sha256::Sha256;
+use fides_crypto::Digest;
+use fides_store::rwset::{ReadEntry, WriteEntry};
+use fides_store::types::Timestamp;
+
+/// The commit/abort outcome of a block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// All involved servers voted commit.
+    Commit,
+    /// At least one involved server voted abort (the block then has at
+    /// least one missing shard root, §4.3.1).
+    Abort,
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Commit => write!(f, "commit"),
+            Decision::Abort => write!(f, "abort"),
+        }
+    }
+}
+
+/// One transaction's entry in a block: its id (= client-assigned commit
+/// timestamp) and read/write sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnRecord {
+    /// The commit timestamp identifying the transaction (Table 1 TxnId).
+    pub id: Timestamp,
+    /// The read set observed during execution.
+    pub read_set: Vec<ReadEntry>,
+    /// The write set produced during execution.
+    pub write_set: Vec<WriteEntry>,
+}
+
+/// A Merkle root contributed by one shard/server for this block
+/// (Table 1 `Σ roots`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRoot {
+    /// The contributing server's index.
+    pub server: u32,
+    /// The shard's Merkle root with all the block's updates applied.
+    pub root: Digest,
+}
+
+/// A block of the tamper-proof log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Position in the chain (genesis = 0).
+    pub height: u64,
+    /// The transactions terminated by this block.
+    pub txns: Vec<TxnRecord>,
+    /// Per-shard Merkle roots, sorted by server index. For an aborted
+    /// block at least one involved server's root is missing (§4.3.1).
+    pub roots: Vec<ShardRoot>,
+    /// The collective decision.
+    pub decision: Decision,
+    /// Hash of the previous block ([`Digest::ZERO`] for genesis).
+    pub prev_hash: Digest,
+    /// The CoSi collective signature over the signing bytes.
+    pub cosign: CollectiveSignature,
+}
+
+impl Block {
+    /// The canonical bytes that the CoSi round signs: every field except
+    /// the co-sign.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(256);
+        enc.put_fixed(b"fides.block.v1");
+        enc.put_u64(self.height);
+        enc.put_seq(&self.txns, |e, t| t.encode_into(e));
+        enc.put_seq(&self.roots, |e, r| r.encode_into(e));
+        self.decision.encode_into(&mut enc);
+        enc.put_digest(&self.prev_hash);
+        enc.into_bytes()
+    }
+
+    /// The chain-link hash: SHA-256 of the signing bytes.
+    pub fn hash(&self) -> Digest {
+        Sha256::digest(&self.signing_bytes())
+    }
+
+    /// The root contributed by `server`, if present.
+    pub fn root_of(&self, server: u32) -> Option<Digest> {
+        self.roots
+            .iter()
+            .find(|r| r.server == server)
+            .map(|r| r.root)
+    }
+
+    /// The highest transaction timestamp in the block (`None` for an
+    /// empty block).
+    pub fn max_txn_ts(&self) -> Option<Timestamp> {
+        self.txns.iter().map(|t| t.id).max()
+    }
+}
+
+/// Incremental construction of a block across the TFCommit phases
+/// (Figure 7: the block is filled in as phases progress).
+///
+/// # Example
+///
+/// ```
+/// use fides_crypto::Digest;
+/// use fides_ledger::{BlockBuilder, Decision, ShardRoot};
+///
+/// let block = BlockBuilder::new(0, Digest::ZERO)
+///     .decision(Decision::Commit)
+///     .root(ShardRoot { server: 0, root: Digest::ZERO })
+///     .build_unsigned();
+/// assert_eq!(block.height, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockBuilder {
+    block: Block,
+}
+
+impl BlockBuilder {
+    /// Starts a partially-filled block (the `<GetVote>` phase state:
+    /// timestamp(s), read/write sets and previous hash known; decision,
+    /// roots and co-sign pending).
+    pub fn new(height: u64, prev_hash: Digest) -> Self {
+        BlockBuilder {
+            block: Block {
+                height,
+                txns: Vec::new(),
+                roots: Vec::new(),
+                decision: Decision::Abort,
+                prev_hash,
+                cosign: CollectiveSignature::placeholder(),
+            },
+        }
+    }
+
+    /// Adds a transaction record.
+    pub fn txn(mut self, txn: TxnRecord) -> Self {
+        self.block.txns.push(txn);
+        self
+    }
+
+    /// Adds several transaction records.
+    pub fn txns(mut self, txns: impl IntoIterator<Item = TxnRecord>) -> Self {
+        self.block.txns.extend(txns);
+        self
+    }
+
+    /// Records one shard root (keeps the list sorted by server index so
+    /// the encoding is canonical).
+    pub fn root(mut self, root: ShardRoot) -> Self {
+        let pos = self
+            .block
+            .roots
+            .partition_point(|r| r.server < root.server);
+        self.block.roots.insert(pos, root);
+        self
+    }
+
+    /// Sets the decision (the `<SchChallenge>` phase fills this in).
+    pub fn decision(mut self, decision: Decision) -> Self {
+        self.block.decision = decision;
+        self
+    }
+
+    /// Finishes with a placeholder co-sign (before the CoSi round
+    /// completes).
+    pub fn build_unsigned(self) -> Block {
+        self.block
+    }
+
+    /// Finishes with the assembled collective signature.
+    pub fn build_signed(mut self, cosign: CollectiveSignature) -> Block {
+        self.block.cosign = cosign;
+        self.block
+    }
+}
+
+impl Encodable for Decision {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            Decision::Commit => 1,
+            Decision::Abort => 0,
+        });
+    }
+}
+
+impl Decodable for Decision {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match dec.take_u8()? {
+            1 => Ok(Decision::Commit),
+            0 => Ok(Decision::Abort),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encodable for TxnRecord {
+    fn encode_into(&self, enc: &mut Encoder) {
+        self.id.encode_into(enc);
+        enc.put_seq(&self.read_set, |e, r| r.encode_into(e));
+        enc.put_seq(&self.write_set, |e, w| w.encode_into(e));
+    }
+}
+
+impl Decodable for TxnRecord {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TxnRecord {
+            id: Timestamp::decode_from(dec)?,
+            read_set: dec.take_seq(ReadEntry::decode_from)?,
+            write_set: dec.take_seq(WriteEntry::decode_from)?,
+        })
+    }
+}
+
+impl Encodable for ShardRoot {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u32(self.server);
+        enc.put_digest(&self.root);
+    }
+}
+
+impl Decodable for ShardRoot {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ShardRoot {
+            server: dec.take_u32()?,
+            root: dec.take_digest()?,
+        })
+    }
+}
+
+impl Encodable for Block {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.height);
+        enc.put_seq(&self.txns, |e, t| t.encode_into(e));
+        enc.put_seq(&self.roots, |e, r| r.encode_into(e));
+        self.decision.encode_into(enc);
+        enc.put_digest(&self.prev_hash);
+        self.cosign.encode_into(enc);
+    }
+}
+
+impl Decodable for Block {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Block {
+            height: dec.take_u64()?,
+            txns: dec.take_seq(TxnRecord::decode_from)?,
+            roots: dec.take_seq(ShardRoot::decode_from)?,
+            decision: Decision::decode_from(dec)?,
+            prev_hash: dec.take_digest()?,
+            cosign: CollectiveSignature::decode_from(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_store::types::{Key, Value};
+
+    fn sample_txn(ts: u64) -> TxnRecord {
+        TxnRecord {
+            id: Timestamp::new(ts, 1),
+            read_set: vec![ReadEntry {
+                key: Key::new("x"),
+                value: Value::from_i64(1000),
+                rts: Timestamp::new(92, 0),
+                wts: Timestamp::new(88, 0),
+            }],
+            write_set: vec![WriteEntry {
+                key: Key::new("x"),
+                new_value: Value::from_i64(900),
+                old_value: None,
+                rts: Timestamp::new(92, 0),
+                wts: Timestamp::new(88, 0),
+            }],
+        }
+    }
+
+    fn sample_block(height: u64, prev: Digest) -> Block {
+        BlockBuilder::new(height, prev)
+            .txn(sample_txn(100 + height))
+            .root(ShardRoot {
+                server: 1,
+                root: Digest::new([height as u8; 32]),
+            })
+            .root(ShardRoot {
+                server: 0,
+                root: Digest::new([7; 32]),
+            })
+            .decision(Decision::Commit)
+            .build_unsigned()
+    }
+
+    #[test]
+    fn roots_kept_sorted_by_server() {
+        let b = sample_block(0, Digest::ZERO);
+        assert_eq!(b.roots[0].server, 0);
+        assert_eq!(b.roots[1].server, 1);
+    }
+
+    #[test]
+    fn block_encoding_roundtrip() {
+        let b = sample_block(3, Digest::new([9; 32]));
+        assert_eq!(Block::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn hash_covers_contents_not_cosign() {
+        let b1 = sample_block(0, Digest::ZERO);
+        let mut b2 = b1.clone();
+        // Attaching a (placeholder) signature must not change the link.
+        b2.cosign = CollectiveSignature::placeholder();
+        assert_eq!(b1.hash(), b2.hash());
+        // But changing content must.
+        let mut b3 = b1.clone();
+        b3.decision = Decision::Abort;
+        assert_ne!(b1.hash(), b3.hash());
+    }
+
+    #[test]
+    fn signing_bytes_bind_every_field() {
+        let base = sample_block(0, Digest::ZERO);
+        let mut variants = Vec::new();
+        let mut v = base.clone();
+        v.height = 1;
+        variants.push(v);
+        let mut v = base.clone();
+        v.prev_hash = Digest::new([1; 32]);
+        variants.push(v);
+        let mut v = base.clone();
+        v.decision = Decision::Abort;
+        variants.push(v);
+        let mut v = base.clone();
+        v.roots.pop();
+        variants.push(v);
+        let mut v = base.clone();
+        v.txns[0].write_set[0].new_value = Value::from_i64(901);
+        variants.push(v);
+        for variant in variants {
+            assert_ne!(variant.signing_bytes(), base.signing_bytes());
+        }
+    }
+
+    #[test]
+    fn root_of_lookup() {
+        let b = sample_block(0, Digest::ZERO);
+        assert_eq!(b.root_of(1), Some(Digest::new([0; 32])));
+        assert!(b.root_of(42).is_none());
+    }
+
+    #[test]
+    fn max_txn_ts() {
+        let b = BlockBuilder::new(0, Digest::ZERO)
+            .txn(sample_txn(5))
+            .txn(sample_txn(9))
+            .txn(sample_txn(7))
+            .decision(Decision::Commit)
+            .build_unsigned();
+        assert_eq!(b.max_txn_ts(), Some(Timestamp::new(9, 1)));
+        let empty = BlockBuilder::new(0, Digest::ZERO).build_unsigned();
+        assert!(empty.max_txn_ts().is_none());
+    }
+
+    #[test]
+    fn decision_roundtrip_and_bad_tag() {
+        assert_eq!(
+            Decision::decode(&Decision::Commit.encode()).unwrap(),
+            Decision::Commit
+        );
+        assert_eq!(
+            Decision::decode(&Decision::Abort.encode()).unwrap(),
+            Decision::Abort
+        );
+        assert!(Decision::decode(&[7]).is_err());
+    }
+}

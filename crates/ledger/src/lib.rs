@@ -1,0 +1,26 @@
+//! The tamper-proof, globally replicated transaction log of Fides
+//! (paper §3.1, §4.1 Table 1, §4.4).
+//!
+//! Fides replaces per-server ARIES-style logs with a single logical log
+//! replicated on every server: a linked list of blocks chained by
+//! cryptographic hash pointers, where each block carries the
+//! transactions it committed, the Merkle roots of every involved shard,
+//! the commit/abort decision and a CoSi collective signature produced by
+//! TFCommit.
+//!
+//! * [`block`] — the [`Block`] structure (Table 1) and its canonical
+//!   encoding,
+//! * [`log`] — the append-only [`TamperProofLog`] plus the
+//!   fault-injection hooks used to model malicious servers,
+//! * [`validate`] — chain validation and the auditor's
+//!   correct-and-complete log selection (Lemmas 6 and 7).
+
+pub mod block;
+pub mod log;
+pub mod validate;
+
+pub use block::{Block, BlockBuilder, Decision, ShardRoot, TxnRecord};
+pub use log::{LogError, TamperProofLog};
+pub use validate::{
+    select_canonical_log, validate_chain, ChainFault, ChainFaultKind, LogAssessment, LogSelection,
+};

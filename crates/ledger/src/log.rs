@@ -1,0 +1,269 @@
+//! The append-only tamper-proof log and the fault-injection hooks that
+//! model a malicious server's tampering (paper §4.4).
+
+use core::fmt;
+
+use fides_crypto::Digest;
+
+use crate::block::Block;
+
+/// Errors from honest log maintenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogError {
+    /// The appended block's height is not `len()`.
+    WrongHeight {
+        /// Height carried by the rejected block.
+        got: u64,
+        /// Height the log expected.
+        expected: u64,
+    },
+    /// The appended block's `prev_hash` does not match the tail.
+    BrokenLink,
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::WrongHeight { got, expected } => {
+                write!(f, "block height {got}, expected {expected}")
+            }
+            LogError::BrokenLink => write!(f, "block prev_hash does not match log tail"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// One server's copy of the globally replicated log: a hash-linked list
+/// of collectively signed blocks.
+///
+/// # Example
+///
+/// ```
+/// use fides_crypto::Digest;
+/// use fides_ledger::{BlockBuilder, Decision, TamperProofLog};
+///
+/// let mut log = TamperProofLog::new();
+/// let genesis = BlockBuilder::new(0, Digest::ZERO)
+///     .decision(Decision::Commit)
+///     .build_unsigned();
+/// let h0 = genesis.hash();
+/// log.append(genesis)?;
+/// let next = BlockBuilder::new(1, h0).decision(Decision::Commit).build_unsigned();
+/// log.append(next)?;
+/// assert_eq!(log.len(), 2);
+/// # Ok::<(), fides_ledger::LogError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TamperProofLog {
+    blocks: Vec<Block>,
+}
+
+impl TamperProofLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        TamperProofLog { blocks: Vec::new() }
+    }
+
+    /// Builds a log from pre-validated blocks (the auditor's canonical
+    /// log reconstruction). No validation is performed here; call
+    /// [`crate::validate::validate_chain`] if the source is untrusted.
+    pub fn from_blocks(blocks: Vec<Block>) -> Self {
+        TamperProofLog { blocks }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` for a block-less log.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The hash the next appended block must use as `prev_hash`
+    /// ([`Digest::ZERO`] for an empty log).
+    pub fn tip_hash(&self) -> Digest {
+        self.blocks.last().map_or(Digest::ZERO, |b| b.hash())
+    }
+
+    /// The block at `height`, if present.
+    pub fn get(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// The newest block.
+    pub fn last(&self) -> Option<&Block> {
+        self.blocks.last()
+    }
+
+    /// Iterates over blocks from genesis to tip.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// All blocks, by value (for transferring logs to the auditor).
+    pub fn to_blocks(&self) -> Vec<Block> {
+        self.blocks.clone()
+    }
+
+    /// Appends a block after checking height continuity and the hash
+    /// link — what every *correct* server does at the end of a TFCommit
+    /// round (§4.1 step 6).
+    ///
+    /// # Errors
+    ///
+    /// [`LogError::WrongHeight`] or [`LogError::BrokenLink`] when the
+    /// block does not extend this log.
+    pub fn append(&mut self, block: Block) -> Result<(), LogError> {
+        let expected = self.blocks.len() as u64;
+        if block.height != expected {
+            return Err(LogError::WrongHeight {
+                got: block.height,
+                expected,
+            });
+        }
+        if block.prev_hash != self.tip_hash() {
+            return Err(LogError::BrokenLink);
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (modelling §4.4's malicious behaviours). These
+    // bypass all validation on purpose.
+    // ------------------------------------------------------------------
+
+    /// Tamper with an arbitrary block in place (§4.4 (i)).
+    #[doc(hidden)]
+    pub fn tamper_block(&mut self, height: u64, mutate: impl FnOnce(&mut Block)) -> bool {
+        match self.blocks.get_mut(height as usize) {
+            Some(b) => {
+                mutate(b);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reorder the log by swapping two blocks (§4.4 (ii)).
+    #[doc(hidden)]
+    pub fn reorder_blocks(&mut self, a: u64, b: u64) -> bool {
+        let (a, b) = (a as usize, b as usize);
+        if a < self.blocks.len() && b < self.blocks.len() && a != b {
+            self.blocks.swap(a, b);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Omit the tail of the log (§4.4 (iii)).
+    #[doc(hidden)]
+    pub fn truncate(&mut self, keep: usize) {
+        self.blocks.truncate(keep);
+    }
+}
+
+impl<'a> IntoIterator for &'a TamperProofLog {
+    type Item = &'a Block;
+    type IntoIter = std::slice::Iter<'a, Block>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.blocks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockBuilder, Decision};
+
+    fn chain(n: u64) -> TamperProofLog {
+        let mut log = TamperProofLog::new();
+        for h in 0..n {
+            let block = BlockBuilder::new(h, log.tip_hash())
+                .decision(Decision::Commit)
+                .build_unsigned();
+            log.append(block).unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn append_builds_chain() {
+        let log = chain(5);
+        assert_eq!(log.len(), 5);
+        for h in 1..5u64 {
+            assert_eq!(
+                log.get(h).unwrap().prev_hash,
+                log.get(h - 1).unwrap().hash()
+            );
+        }
+    }
+
+    #[test]
+    fn genesis_prev_is_zero() {
+        let log = chain(1);
+        assert_eq!(log.get(0).unwrap().prev_hash, Digest::ZERO);
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let mut log = chain(2);
+        let bad = BlockBuilder::new(5, log.tip_hash())
+            .decision(Decision::Commit)
+            .build_unsigned();
+        assert_eq!(
+            log.append(bad),
+            Err(LogError::WrongHeight {
+                got: 5,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn broken_link_rejected() {
+        let mut log = chain(2);
+        let bad = BlockBuilder::new(2, Digest::new([0xAA; 32]))
+            .decision(Decision::Commit)
+            .build_unsigned();
+        assert_eq!(log.append(bad), Err(LogError::BrokenLink));
+    }
+
+    #[test]
+    fn tamper_hook_mutates() {
+        let mut log = chain(3);
+        assert!(log.tamper_block(1, |b| b.decision = Decision::Abort));
+        assert_eq!(log.get(1).unwrap().decision, Decision::Abort);
+        assert!(!log.tamper_block(9, |_| {}));
+    }
+
+    #[test]
+    fn reorder_hook_swaps() {
+        let mut log = chain(3);
+        let h0 = log.get(0).unwrap().hash();
+        let h2 = log.get(2).unwrap().hash();
+        assert!(log.reorder_blocks(0, 2));
+        assert_eq!(log.get(0).unwrap().hash(), h2);
+        assert_eq!(log.get(2).unwrap().hash(), h0);
+        assert!(!log.reorder_blocks(0, 0));
+        assert!(!log.reorder_blocks(0, 10));
+    }
+
+    #[test]
+    fn truncate_hook_drops_tail() {
+        let mut log = chain(5);
+        log.truncate(2);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn iteration_order_is_height_order() {
+        let log = chain(4);
+        let heights: Vec<u64> = log.iter().map(|b| b.height).collect();
+        assert_eq!(heights, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,389 @@
+//! Chain validation and the auditor's log selection (paper Lemmas 6–7).
+//!
+//! During an audit, the auditor "gathers the tamper-proof logs from all
+//! the servers" and, relying on at least one server being correct,
+//! "identifies the correct and complete log" (§3.3, §4.4). This module
+//! implements both halves:
+//!
+//! * [`validate_chain`] — Lemma 6: a log with a modified or re-ordered
+//!   block fails either the per-block collective-signature check or the
+//!   hash-pointer check, at a pinpointed height.
+//! * [`select_canonical_log`] — Lemma 7: among the gathered logs, every
+//!   *valid* log is a prefix of the longest valid log; shorter ones are
+//!   flagged as incomplete (omitted tail), invalid ones as tampered.
+
+use core::fmt;
+
+use fides_crypto::schnorr::PublicKey;
+use fides_crypto::Digest;
+
+use crate::log::TamperProofLog;
+
+/// Why a block failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainFaultKind {
+    /// The block's height does not match its position.
+    BadHeight,
+    /// `prev_hash` does not match the preceding block's hash.
+    BadHashLink,
+    /// The collective signature does not verify over the block's
+    /// signing bytes.
+    BadCollectiveSignature,
+}
+
+impl fmt::Display for ChainFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainFaultKind::BadHeight => write!(f, "height mismatch"),
+            ChainFaultKind::BadHashLink => write!(f, "broken hash pointer"),
+            ChainFaultKind::BadCollectiveSignature => write!(f, "invalid collective signature"),
+        }
+    }
+}
+
+/// A validation failure at a specific block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainFault {
+    /// Position (index) of the offending block.
+    pub height: u64,
+    /// What failed.
+    pub kind: ChainFaultKind,
+}
+
+impl fmt::Display for ChainFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {}: {}", self.height, self.kind)
+    }
+}
+
+/// Validates a log against the server group's public keys: height
+/// continuity, hash pointers and per-block collective signatures.
+///
+/// # Errors
+///
+/// Returns the first [`ChainFault`] encountered, which pinpoints "the
+/// precise point in the execution history at which a fault occurred"
+/// (§1).
+pub fn validate_chain(
+    log: &TamperProofLog,
+    witness_keys: &[PublicKey],
+) -> Result<(), ChainFault> {
+    let mut prev = Digest::ZERO;
+    for (i, block) in log.iter().enumerate() {
+        let fault = |kind| ChainFault {
+            height: i as u64,
+            kind,
+        };
+        if block.height != i as u64 {
+            return Err(fault(ChainFaultKind::BadHeight));
+        }
+        if block.prev_hash != prev {
+            return Err(fault(ChainFaultKind::BadHashLink));
+        }
+        if !block.cosign.verify(&block.signing_bytes(), witness_keys) {
+            return Err(fault(ChainFaultKind::BadCollectiveSignature));
+        }
+        prev = block.hash();
+    }
+    Ok(())
+}
+
+/// The auditor's verdict on one server's log copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogAssessment {
+    /// Valid and as long as the canonical log.
+    Complete,
+    /// Valid but missing the canonical tail (§4.4 (iii)): the server
+    /// omitted `canonical_len - len` blocks.
+    Incomplete {
+        /// Blocks this server kept.
+        len: usize,
+        /// Canonical length.
+        canonical_len: usize,
+    },
+    /// Chain validation failed — the log was tampered with or reordered.
+    Tampered(ChainFault),
+    /// Valid chain that is *not* a prefix of the canonical log — only
+    /// possible if all servers colluded to co-sign two histories
+    /// (equivocation evidence).
+    Forked {
+        /// First height at which the block hash diverges.
+        height: u64,
+    },
+}
+
+impl LogAssessment {
+    /// `true` for [`LogAssessment::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, LogAssessment::Complete)
+    }
+}
+
+/// The outcome of the auditor's log-gathering step.
+#[derive(Debug, Clone)]
+pub struct LogSelection {
+    /// The correct and complete log (Lemma 7) — the longest valid one.
+    pub canonical: TamperProofLog,
+    /// Index (into the input slice) of the server whose log was chosen.
+    pub source: usize,
+    /// Per-input assessments, aligned with the input slice.
+    pub assessments: Vec<LogAssessment>,
+}
+
+/// Selects the correct and complete log from the copies gathered from
+/// all servers, assessing each copy (Lemmas 6 and 7).
+///
+/// # Panics
+///
+/// Panics if `logs` is empty or if **no** log validates — both violate
+/// the paper's standing assumption that at least one server is correct
+/// and failure-free (§3.2).
+pub fn select_canonical_log(
+    logs: &[TamperProofLog],
+    witness_keys: &[PublicKey],
+) -> LogSelection {
+    assert!(!logs.is_empty(), "no logs gathered");
+    let verdicts: Vec<Result<(), ChainFault>> = logs
+        .iter()
+        .map(|log| validate_chain(log, witness_keys))
+        .collect();
+
+    let (source, canonical) = logs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| verdicts[*i].is_ok())
+        .max_by_key(|(_, log)| log.len())
+        .map(|(i, log)| (i, log.clone()))
+        .expect("at least one server is correct (paper assumption, §3.2)");
+
+    let assessments = logs
+        .iter()
+        .zip(&verdicts)
+        .map(|(log, verdict)| match verdict {
+            Err(fault) => LogAssessment::Tampered(*fault),
+            Ok(()) => {
+                // A valid log must be a hash-prefix of the canonical one.
+                for (h, block) in log.iter().enumerate() {
+                    let canon = canonical
+                        .get(h as u64)
+                        .expect("canonical is the longest valid log");
+                    if canon.hash() != block.hash() {
+                        return LogAssessment::Forked { height: h as u64 };
+                    }
+                }
+                if log.len() < canonical.len() {
+                    LogAssessment::Incomplete {
+                        len: log.len(),
+                        canonical_len: canonical.len(),
+                    }
+                } else {
+                    LogAssessment::Complete
+                }
+            }
+        })
+        .collect();
+
+    LogSelection {
+        canonical,
+        source,
+        assessments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, BlockBuilder, Decision, ShardRoot};
+    use fides_crypto::cosi::{self, Witness};
+    use fides_crypto::schnorr::KeyPair;
+
+    /// Builds a properly co-signed chain of `n` blocks over `keys`.
+    fn signed_chain(n: u64, keys: &[KeyPair]) -> TamperProofLog {
+        let mut log = TamperProofLog::new();
+        for h in 0..n {
+            let unsigned = BlockBuilder::new(h, log.tip_hash())
+                .decision(Decision::Commit)
+                .root(ShardRoot {
+                    server: 0,
+                    root: Digest::new([h as u8; 32]),
+                })
+                .build_unsigned();
+            let record = unsigned.signing_bytes();
+            let round_id = h.to_be_bytes();
+            let witnesses: Vec<Witness> = keys
+                .iter()
+                .map(|k| Witness::commit(k, &round_id, &record))
+                .collect();
+            let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+            let c = cosi::challenge(&agg, &record);
+            let sig =
+                cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+            let block = Block {
+                cosign: sig,
+                ..unsigned
+            };
+            log.append(block).unwrap();
+        }
+        log
+    }
+
+    fn keys(n: u8) -> Vec<KeyPair> {
+        (0..n).map(|i| KeyPair::from_seed(&[i, 0x33])).collect()
+    }
+
+    fn pks(keys: &[KeyPair]) -> Vec<PublicKey> {
+        keys.iter().map(|k| k.public_key()).collect()
+    }
+
+    #[test]
+    fn honest_chain_validates() {
+        let ks = keys(4);
+        let log = signed_chain(5, &ks);
+        assert!(validate_chain(&log, &pks(&ks)).is_ok());
+    }
+
+    #[test]
+    fn empty_log_validates() {
+        let ks = keys(2);
+        assert!(validate_chain(&TamperProofLog::new(), &pks(&ks)).is_ok());
+    }
+
+    #[test]
+    fn tampered_block_detected_at_height_lemma6() {
+        let ks = keys(4);
+        let mut log = signed_chain(5, &ks);
+        log.tamper_block(2, |b| b.decision = Decision::Abort);
+        let fault = validate_chain(&log, &pks(&ks)).unwrap_err();
+        // The tampered block's own signature breaks first.
+        assert_eq!(fault.height, 2);
+        assert_eq!(fault.kind, ChainFaultKind::BadCollectiveSignature);
+    }
+
+    #[test]
+    fn tampering_also_breaks_the_next_link() {
+        let ks = keys(3);
+        let mut log = signed_chain(5, &ks);
+        // Tamper only the cosign (content unchanged): chain links stay
+        // intact but the signature check fails.
+        log.tamper_block(1, |b| {
+            b.cosign = fides_crypto::cosi::CollectiveSignature::placeholder()
+        });
+        let fault = validate_chain(&log, &pks(&ks)).unwrap_err();
+        assert_eq!(fault.height, 1);
+        assert_eq!(fault.kind, ChainFaultKind::BadCollectiveSignature);
+    }
+
+    #[test]
+    fn reordered_blocks_detected_lemma6() {
+        let ks = keys(4);
+        let mut log = signed_chain(5, &ks);
+        log.reorder_blocks(1, 3);
+        let fault = validate_chain(&log, &pks(&ks)).unwrap_err();
+        assert_eq!(fault.height, 1);
+        assert_eq!(fault.kind, ChainFaultKind::BadHeight);
+    }
+
+    #[test]
+    fn wrong_witness_set_fails_signature() {
+        let ks = keys(4);
+        let log = signed_chain(2, &ks);
+        let other = keys(3);
+        let fault = validate_chain(&log, &pks(&other)).unwrap_err();
+        assert_eq!(fault.kind, ChainFaultKind::BadCollectiveSignature);
+        assert_eq!(fault.height, 0);
+    }
+
+    #[test]
+    fn selection_picks_longest_valid_lemma7() {
+        let ks = keys(4);
+        let full = signed_chain(6, &ks);
+        let mut truncated = full.clone();
+        truncated.truncate(3);
+        let mut tampered = full.clone();
+        tampered.tamper_block(4, |b| b.height = 99);
+
+        let selection =
+            select_canonical_log(&[truncated, tampered, full.clone()], &pks(&ks));
+        assert_eq!(selection.source, 2);
+        assert_eq!(selection.canonical.len(), 6);
+        assert_eq!(
+            selection.assessments[0],
+            LogAssessment::Incomplete {
+                len: 3,
+                canonical_len: 6
+            }
+        );
+        assert!(matches!(
+            selection.assessments[1],
+            LogAssessment::Tampered(ChainFault {
+                height: 4,
+                kind: ChainFaultKind::BadHeight
+            })
+        ));
+        assert!(selection.assessments[2].is_complete());
+    }
+
+    #[test]
+    fn all_complete_when_honest() {
+        let ks = keys(3);
+        let log = signed_chain(4, &ks);
+        let selection = select_canonical_log(&[log.clone(), log.clone(), log], &pks(&ks));
+        assert!(selection.assessments.iter().all(|a| a.is_complete()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server is correct")]
+    fn all_tampered_violates_model() {
+        let ks = keys(2);
+        let mut log = signed_chain(3, &ks);
+        log.tamper_block(0, |b| b.height = 9);
+        select_canonical_log(&[log], &pks(&ks));
+    }
+
+    #[test]
+    fn forked_valid_log_flagged() {
+        // Two honestly-signed but different histories — only possible if
+        // all witnesses sign both (global collusion). The auditor still
+        // flags the divergence.
+        let ks = keys(3);
+        let a = signed_chain(3, &ks);
+        let mut b_long = TamperProofLog::new();
+        {
+            // A different chain: distinct root at height 0 onwards.
+            for h in 0..4u64 {
+                let unsigned = BlockBuilder::new(h, b_long.tip_hash())
+                    .decision(Decision::Commit)
+                    .root(ShardRoot {
+                        server: 7,
+                        root: Digest::new([0xEE; 32]),
+                    })
+                    .build_unsigned();
+                let record = unsigned.signing_bytes();
+                let witnesses: Vec<Witness> = ks
+                    .iter()
+                    .map(|k| Witness::commit(k, b"fork", &record))
+                    .collect();
+                let agg =
+                    cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+                let c = cosi::challenge(&agg, &record);
+                let sig = cosi::CollectiveSignature::assemble(
+                    agg,
+                    witnesses.iter().map(|w| w.respond(&c)),
+                );
+                b_long
+                    .append(Block {
+                        cosign: sig,
+                        ..unsigned
+                    })
+                    .unwrap();
+            }
+        }
+        let selection = select_canonical_log(&[a, b_long], &pks(&ks));
+        // The shorter fork is flagged.
+        assert!(matches!(
+            selection.assessments[0],
+            LogAssessment::Forked { height: 0 }
+        ));
+        assert!(selection.assessments[1].is_complete());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the tamper-proof log: any tampering at any
+//! position is detected, and the canonical-log selection always finds
+//! the correct log as long as one copy is intact (Lemmas 6–7).
+
+use fides_crypto::cosi::{self, Witness};
+use fides_crypto::schnorr::{KeyPair, PublicKey};
+use fides_crypto::Digest;
+use fides_ledger::block::{Block, BlockBuilder, Decision, ShardRoot};
+use fides_ledger::log::TamperProofLog;
+use fides_ledger::validate::{select_canonical_log, validate_chain, LogAssessment};
+use proptest::prelude::*;
+
+fn keys(n: u8) -> Vec<KeyPair> {
+    (0..n).map(|i| KeyPair::from_seed(&[i, 0x77])).collect()
+}
+
+fn pks(keys: &[KeyPair]) -> Vec<PublicKey> {
+    keys.iter().map(|k| k.public_key()).collect()
+}
+
+fn signed_chain(n: u64, keys: &[KeyPair]) -> TamperProofLog {
+    let mut log = TamperProofLog::new();
+    for h in 0..n {
+        let unsigned = BlockBuilder::new(h, log.tip_hash())
+            .decision(if h % 3 == 0 {
+                Decision::Abort
+            } else {
+                Decision::Commit
+            })
+            .root(ShardRoot {
+                server: (h % 4) as u32,
+                root: Digest::new([h as u8; 32]),
+            })
+            .build_unsigned();
+        let record = unsigned.signing_bytes();
+        let witnesses: Vec<Witness> = keys
+            .iter()
+            .map(|k| Witness::commit(k, &h.to_be_bytes(), &record))
+            .collect();
+        let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+        let c = cosi::challenge(&agg, &record);
+        let sig = cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+        log.append(Block {
+            cosign: sig,
+            ..unsigned
+        })
+        .unwrap();
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tampering with any field of any block is caught at exactly that
+    /// block (Lemma 6).
+    #[test]
+    fn any_tamper_position_detected(
+        len in 2u64..8,
+        pos_seed in any::<u64>(),
+        field in 0u8..3,
+    ) {
+        let ks = keys(3);
+        let mut log = signed_chain(len, &ks);
+        let pos = pos_seed % len;
+        log.tamper_block(pos, |b| match field {
+            0 => {
+                b.decision = match b.decision {
+                    Decision::Commit => Decision::Abort,
+                    Decision::Abort => Decision::Commit,
+                }
+            }
+            1 => b.roots.push(ShardRoot { server: 99, root: Digest::new([0xAB; 32]) }),
+            _ => b.prev_hash = Digest::new([0xCD; 32]),
+        });
+        let fault = validate_chain(&log, &pks(&ks)).expect_err("must detect");
+        prop_assert_eq!(fault.height, pos, "detected at the tampered block");
+    }
+
+    /// Swapping any two blocks is detected (Lemma 6, reordering).
+    #[test]
+    fn any_reorder_detected(len in 3u64..8, a_seed in any::<u64>(), b_seed in any::<u64>()) {
+        let ks = keys(3);
+        let mut log = signed_chain(len, &ks);
+        let a = a_seed % len;
+        let b = b_seed % len;
+        prop_assume!(a != b);
+        log.reorder_blocks(a, b);
+        prop_assert!(validate_chain(&log, &pks(&ks)).is_err());
+    }
+
+    /// With any mix of truncated/tampered copies and at least one
+    /// intact copy, selection recovers the full log and classifies every
+    /// copy correctly (Lemma 7).
+    #[test]
+    fn selection_recovers_canonical(
+        len in 2u64..8,
+        faults in proptest::collection::vec(0u8..3, 1..4),
+    ) {
+        let ks = keys(3);
+        let full = signed_chain(len, &ks);
+        let mut logs = vec![full.clone()]; // one correct server (the model's requirement)
+        for (i, fault) in faults.iter().enumerate() {
+            let mut copy = full.clone();
+            match fault {
+                0 => copy.truncate((i % len as usize).max(0)),
+                1 => { copy.tamper_block(i as u64 % len, |b| b.height += 1); }
+                _ => {} // honest copy
+            }
+            logs.push(copy);
+        }
+        let selection = select_canonical_log(&logs, &pks(&ks));
+        prop_assert_eq!(selection.canonical.len(), len as usize);
+        prop_assert!(selection.assessments[0].is_complete());
+        for (i, fault) in faults.iter().enumerate() {
+            let assessment = &selection.assessments[i + 1];
+            let ok = match fault {
+                0 => matches!(
+                    assessment,
+                    LogAssessment::Incomplete { .. } | LogAssessment::Complete
+                ),
+                1 => matches!(assessment, LogAssessment::Tampered(_)),
+                _ => assessment.is_complete(),
+            };
+            prop_assert!(ok, "copy {} fault {} got {:?}", i + 1, fault, assessment);
+        }
+    }
+
+    /// Block encode/decode roundtrips for arbitrary-ish contents.
+    #[test]
+    fn block_roundtrip(height in any::<u64>(), root_byte in any::<u8>(), commit in any::<bool>()) {
+        let block = BlockBuilder::new(height, Digest::new([root_byte; 32]))
+            .root(ShardRoot { server: u32::from(root_byte), root: Digest::new([root_byte; 32]) })
+            .decision(if commit { Decision::Commit } else { Decision::Abort })
+            .build_unsigned();
+        use fides_crypto::encoding::{Decodable, Encodable};
+        let decoded = Block::decode(&block.encode()).unwrap();
+        prop_assert_eq!(decoded, block);
+    }
+}

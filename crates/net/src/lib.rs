@@ -1,0 +1,28 @@
+//! Network substrate for Fides (paper §3.1).
+//!
+//! The paper deploys database servers inside one AWS datacenter and has
+//! every message digitally signed by its sender and verified by the
+//! receiver. This crate substitutes the datacenter network with an
+//! in-process transport while keeping everything else real:
+//!
+//! * [`node`] — node identifiers,
+//! * [`message`] — signed [`Envelope`]s (Schnorr over the canonical
+//!   encoding of sender, receiver and payload),
+//! * [`transport`] — a threaded [`Network`] of crossbeam channels with a
+//!   delivery scheduler that injects configurable per-message latency,
+//!   random drops and partitions,
+//! * [`sim`] — a deterministic virtual-time event queue for
+//!   single-threaded protocol simulations.
+//!
+//! The latency model is the reproduction's substitute for the paper's
+//! EC2 testbed: protocol *computation* (signatures, Merkle updates) runs
+//! for real; only the wire is simulated. See `DESIGN.md` §2.
+
+pub mod message;
+pub mod node;
+pub mod sim;
+pub mod transport;
+
+pub use message::Envelope;
+pub use node::NodeId;
+pub use transport::{Endpoint, Network, NetworkConfig, NetworkStats, RecvError};

@@ -1,0 +1,146 @@
+//! Signed message envelopes.
+//!
+//! Paper §3.1: "all message exchanges (client-server or server-server)
+//! are digitally signed by the sender and verified by the receiver."
+//! An [`Envelope`] carries an opaque payload plus a Schnorr signature
+//! over the canonical encoding of `(from, to, payload)`, so a signature
+//! cannot be replayed for a different receiver or payload.
+
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use fides_crypto::schnorr::{KeyPair, PublicKey, Signature};
+
+use crate::node::NodeId;
+
+/// A signed, addressed message.
+///
+/// # Example
+///
+/// ```
+/// use fides_crypto::schnorr::KeyPair;
+/// use fides_net::{Envelope, NodeId};
+///
+/// let kp = KeyPair::from_seed(b"server-0");
+/// let env = Envelope::sign(&kp, NodeId::new(0), NodeId::new(1), b"vote".to_vec());
+/// assert!(env.verify(&kp.public_key()));
+/// assert!(!env.verify(&KeyPair::from_seed(b"other").public_key()));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sender address.
+    pub from: NodeId,
+    /// Receiver address.
+    pub to: NodeId,
+    /// Opaque payload (a canonically encoded protocol message).
+    pub payload: Vec<u8>,
+    /// Schnorr signature by the sender over `(from, to, payload)`.
+    pub signature: Signature,
+}
+
+impl Envelope {
+    /// Creates and signs an envelope with the sender's key pair.
+    pub fn sign(kp: &KeyPair, from: NodeId, to: NodeId, payload: Vec<u8>) -> Envelope {
+        let signature = kp.sign(&signing_bytes(from, to, &payload));
+        Envelope {
+            from,
+            to,
+            payload,
+            signature,
+        }
+    }
+
+    /// Verifies the envelope against the claimed sender's public key.
+    pub fn verify(&self, sender_pk: &PublicKey) -> bool {
+        sender_pk.verify(
+            &signing_bytes(self.from, self.to, &self.payload),
+            &self.signature,
+        )
+    }
+
+    /// The payload size in bytes (for transport statistics).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+fn signing_bytes(from: NodeId, to: NodeId, payload: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(payload.len() + 32);
+    enc.put_fixed(b"fides.envelope.v1");
+    from.encode_into(&mut enc);
+    to.encode_into(&mut enc);
+    enc.put_bytes(payload);
+    enc.into_bytes()
+}
+
+impl Encodable for Envelope {
+    fn encode_into(&self, enc: &mut Encoder) {
+        self.from.encode_into(enc);
+        self.to.encode_into(enc);
+        enc.put_bytes(&self.payload);
+        self.signature.encode_into(enc);
+    }
+}
+
+impl Decodable for Envelope {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Envelope {
+            from: NodeId::decode_from(dec)?,
+            to: NodeId::decode_from(dec)?,
+            payload: dec.take_bytes()?.to_vec(),
+            signature: Signature::decode_from(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"a");
+        let env = Envelope::sign(&kp, NodeId::new(1), NodeId::new(2), b"hello".to_vec());
+        assert!(env.verify(&kp.public_key()));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let kp = KeyPair::from_seed(b"a");
+        let mut env = Envelope::sign(&kp, NodeId::new(1), NodeId::new(2), b"hello".to_vec());
+        env.payload[0] ^= 1;
+        assert!(!env.verify(&kp.public_key()));
+    }
+
+    #[test]
+    fn redirected_envelope_rejected() {
+        // A signature for receiver 2 must not verify when re-addressed.
+        let kp = KeyPair::from_seed(b"a");
+        let mut env = Envelope::sign(&kp, NodeId::new(1), NodeId::new(2), b"m".to_vec());
+        env.to = NodeId::new(3);
+        assert!(!env.verify(&kp.public_key()));
+    }
+
+    #[test]
+    fn spoofed_sender_rejected() {
+        let kp = KeyPair::from_seed(b"a");
+        let mut env = Envelope::sign(&kp, NodeId::new(1), NodeId::new(2), b"m".to_vec());
+        env.from = NodeId::new(9);
+        assert!(!env.verify(&kp.public_key()));
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let kp = KeyPair::from_seed(b"b");
+        let env = Envelope::sign(&kp, NodeId::new(4), NodeId::new(5), vec![1, 2, 3]);
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded, env);
+        assert!(decoded.verify(&kp.public_key()));
+    }
+
+    #[test]
+    fn empty_payload_supported() {
+        let kp = KeyPair::from_seed(b"c");
+        let env = Envelope::sign(&kp, NodeId::new(0), NodeId::new(0), Vec::new());
+        assert!(env.verify(&kp.public_key()));
+        assert_eq!(env.payload_len(), 0);
+    }
+}

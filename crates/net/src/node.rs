@@ -1,0 +1,75 @@
+//! Node identifiers.
+
+use core::fmt;
+
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+
+/// Identifies a participant on the network (a database server, a client,
+/// or the auditor).
+///
+/// Fides identifies participants by public key (paper §3.1); `NodeId` is
+/// the transport-level address that the key directory maps to. The
+/// numeric value is opaque to this crate — `fides-core` assigns servers
+/// and clients to disjoint ranges.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl Encodable for NodeId {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+}
+
+impl Decodable for NodeId {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId(dec.take_u32()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(format!("{:?}", NodeId::new(7)), "n7");
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(NodeId::decode(&id.encode()).unwrap(), id);
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic virtual-time event scheduling.
+//!
+//! [`EventQueue`] is a tiny discrete-event simulator core: events are
+//! enqueued with a delay, and popped in virtual-time order with FIFO
+//! tie-breaking. `fides-ordserv` uses it to drive PBFT rounds
+//! deterministically; tests use it wherever wall-clock sleeps would be
+//! wasteful or flaky.
+
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default, Hash)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// Simulation start.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Nanoseconds since simulation start.
+    pub fn as_nanos(&self) -> u64 {
+        self.0
+    }
+
+    /// Time advanced by `nanos`.
+    pub fn plus_nanos(&self, nanos: u64) -> VirtualTime {
+        VirtualTime(self.0 + nanos)
+    }
+}
+
+struct Entry<T> {
+    at: VirtualTime,
+    seq: u64,
+    event: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Earliest first (max-heap inversion), FIFO within a tick.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// # Example
+///
+/// ```
+/// use fides_net::sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(50, "second");
+/// q.schedule_in(10, "first");
+/// assert_eq!(q.pop().unwrap().1, "first");
+/// assert_eq!(q.now().as_nanos(), 10);
+/// assert_eq!(q.pop().unwrap().1, "second");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    now: VirtualTime,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue at virtual time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: VirtualTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` `delay_nanos` after the current virtual time.
+    pub fn schedule_in(&mut self, delay_nanos: u64, event: T) {
+        let at = self.now.plus_nanos(delay_nanos);
+        self.schedule_at(at, event);
+    }
+
+    /// Schedules `event` at an absolute virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` lies in the virtual past.
+    pub fn schedule_at(&mut self, at: VirtualTime, event: T) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing virtual time to its timestamp.
+    pub fn pop(&mut self) -> Option<(VirtualTime, T)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Runs `handler` on every event until the queue drains. The handler
+    /// may schedule further events. Returns the number processed.
+    pub fn run<F: FnMut(&mut EventQueue<T>, VirtualTime, T)>(&mut self, mut handler: F) -> usize {
+        let mut processed = 0;
+        while let Some(entry) = self.heap.pop() {
+            self.now = entry.at;
+            handler(self, entry.at, entry.event);
+            processed += 1;
+        }
+        processed
+    }
+}
+
+impl<T> core::fmt::Debug for EventQueue<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "EventQueue(now={}ns, pending={})",
+            self.now.as_nanos(),
+            self.heap.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_in(30, 'c');
+        q.schedule_in(10, 'a');
+        q.schedule_in(20, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut q = EventQueue::new();
+        q.schedule_in(5, 1);
+        q.schedule_in(5, 2);
+        q.schedule_in(5, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule_in(100, ());
+        q.schedule_in(50, ());
+        let (t1, _) = q.pop().unwrap();
+        let (t2, _) = q.pop().unwrap();
+        assert!(t1 <= t2);
+        assert_eq!(q.now(), t2);
+    }
+
+    #[test]
+    fn relative_scheduling_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, "first");
+        q.pop();
+        q.schedule_in(5, "second"); // at t=15
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_nanos(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_in(10, ());
+        q.pop();
+        q.schedule_at(VirtualTime::ZERO, ());
+    }
+
+    #[test]
+    fn run_drains_and_allows_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule_in(1, 3u32); // countdown event
+        let processed = q.run(|q, _, remaining| {
+            if remaining > 0 {
+                q.schedule_in(1, remaining - 1);
+            }
+        });
+        assert_eq!(processed, 4); // 3, 2, 1, 0
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Scaling TFCommit (paper §4.6).
+//!
+//! The base protocol has every server participate in every block. The
+//! paper sketches the scalable variant: servers are divided into small
+//! dynamic **groups** (one per transaction's access set); each group
+//! runs TFCommit internally and its coordinator publishes the resulting
+//! block to an **ordering service (OrdServ)** which is "responsible for
+//! atomically broadcasting a single stream of blocks" and "for chaining
+//! the blocks, i.e. the coordinators of the groups do not fill in the
+//! hash of previous block, rather it is filled by the OrdServ".
+//!
+//! This crate implements the sketch:
+//!
+//! * [`proposal`] — group-signed block proposals (a CoSi round among
+//!   the group members only),
+//! * [`ordering`] — the [`OrderingService`] trait, a [`Sequencer`]
+//!   implementation that chains proposals and tracks cross-group
+//!   dependencies (`Gi ∩ Gj ≠ ∅` ⇒ ordered dependency, as in the
+//!   ParBlockchain-style tracking the paper cites), and the globally
+//!   replicated [`GroupLog`],
+//! * [`pbft`] — a from-scratch PBFT (pre-prepare / prepare / commit)
+//!   among group coordinators, the paper's suggested byzantine OrdServ
+//!   ("OrdServ can use a byzantine consensus protocol such as PBFT
+//!   among the coordinators"). View changes are out of scope (the
+//!   paper's sketch does not cover leader failure); safety under `f`
+//!   byzantine backups and a silent-equivocating leader is tested.
+
+pub mod ordering;
+pub mod pbft;
+pub mod proposal;
+
+pub use ordering::{GroupLog, OrderedBlock, OrderingService, SequenceError, Sequencer};
+pub use pbft::{PbftConfig, PbftFault, PbftMessage, PbftNode};
+pub use proposal::GroupProposal;

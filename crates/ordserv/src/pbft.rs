@@ -1,0 +1,556 @@
+//! PBFT (Castro & Liskov) among group coordinators — the paper's
+//! suggested byzantine ordering service ("OrdServ can use a byzantine
+//! consensus protocol such as PBFT among the coordinators", §4.6).
+//!
+//! The normal-case three-phase protocol is implemented in full:
+//!
+//! 1. **pre-prepare** — the view's primary assigns a sequence number to
+//!    a payload and broadcasts it;
+//! 2. **prepare** — backups re-broadcast the digest; a replica is
+//!    *prepared* once it holds the pre-prepare plus `2f` matching
+//!    prepares from distinct replicas;
+//! 3. **commit** — prepared replicas broadcast commits; a payload is
+//!    *committed-local* with `2f + 1` matching commits.
+//!
+//! Safety holds with `n = 3f + 1` replicas of which at most `f` are
+//! byzantine. **View changes are not implemented** — the paper's sketch
+//! only needs the ordering backbone, so a faulty *primary* stalls
+//! progress (liveness) but can never cause divergent commits (safety);
+//! the tests demonstrate both.
+//!
+//! Replicas are pure state machines (`handle` returns outbound
+//! messages), so tests drive them deterministically.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use fides_crypto::sha256::Sha256;
+use fides_crypto::Digest;
+
+/// Static PBFT group parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PbftConfig {
+    /// Total replicas (`n = 3f + 1`).
+    pub n: usize,
+    /// Tolerated byzantine replicas.
+    pub f: usize,
+}
+
+impl PbftConfig {
+    /// Builds a configuration for a given `f` (so `n = 3f + 1`).
+    pub fn for_faults(f: usize) -> Self {
+        PbftConfig { n: 3 * f + 1, f }
+    }
+
+    /// The prepare quorum (`2f` matching prepares from others).
+    pub fn prepare_quorum(&self) -> usize {
+        2 * self.f
+    }
+
+    /// The commit quorum (`2f + 1` matching commits).
+    pub fn commit_quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+}
+
+/// A PBFT protocol message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PbftMessage {
+    /// Primary → all: payload assignment for a sequence number.
+    PrePrepare {
+        /// View number (fixed at 0 here; no view changes).
+        view: u64,
+        /// Assigned sequence number.
+        seq: u64,
+        /// Digest of the payload.
+        digest: Digest,
+        /// The ordered payload (an encoded [`crate::GroupProposal`]).
+        payload: Vec<u8>,
+    },
+    /// Backup → all: digest echo.
+    Prepare {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest being prepared.
+        digest: Digest,
+    },
+    /// Replica → all: commit vote.
+    Commit {
+        /// View number.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Digest being committed.
+        digest: Digest,
+    },
+}
+
+/// Byzantine behaviours injectable into a replica (tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PbftFault {
+    /// Send prepares/commits with a corrupted digest.
+    CorruptDigest,
+    /// Stay silent (crash).
+    Silent,
+}
+
+/// An outbound message with its destinations (`None` = broadcast to
+/// all other replicas).
+pub type Outbound = (Option<usize>, PbftMessage);
+
+#[derive(Default)]
+struct Slot {
+    pre_prepared: Option<(Digest, Vec<u8>)>,
+    prepares: HashMap<Digest, HashSet<usize>>,
+    commits: HashMap<Digest, HashSet<usize>>,
+    sent_prepare: bool,
+    sent_commit: bool,
+    committed: bool,
+}
+
+/// One PBFT replica.
+pub struct PbftNode {
+    id: usize,
+    config: PbftConfig,
+    view: u64,
+    slots: BTreeMap<u64, Slot>,
+    committed: BTreeMap<u64, Vec<u8>>,
+    next_seq: u64,
+    fault: Option<PbftFault>,
+}
+
+impl PbftNode {
+    /// Creates an honest replica.
+    pub fn new(id: usize, config: PbftConfig) -> Self {
+        PbftNode {
+            id,
+            config,
+            view: 0,
+            slots: BTreeMap::new(),
+            committed: BTreeMap::new(),
+            next_seq: 0,
+            fault: None,
+        }
+    }
+
+    /// Creates a faulty replica.
+    pub fn with_fault(id: usize, config: PbftConfig, fault: PbftFault) -> Self {
+        let mut node = Self::new(id, config);
+        node.fault = Some(fault);
+        node
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The current view's primary.
+    pub fn primary(&self) -> usize {
+        (self.view as usize) % self.config.n
+    }
+
+    /// Returns `true` if this replica is the current primary.
+    pub fn is_primary(&self) -> bool {
+        self.primary() == self.id
+    }
+
+    /// Committed payloads in sequence order.
+    pub fn committed(&self) -> &BTreeMap<u64, Vec<u8>> {
+        &self.committed
+    }
+
+    /// Primary API: order a payload. Returns the pre-prepare broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a backup.
+    pub fn propose(&mut self, payload: Vec<u8>) -> Vec<Outbound> {
+        assert!(self.is_primary(), "only the primary proposes");
+        if self.fault == Some(PbftFault::Silent) {
+            return Vec::new();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let digest = Sha256::digest(&payload);
+        let msg = PbftMessage::PrePrepare {
+            view: self.view,
+            seq,
+            digest,
+            payload: payload.clone(),
+        };
+        // The primary processes its own pre-prepare immediately.
+        let mut out = vec![(None, msg.clone())];
+        out.extend(self.handle(self.id, msg));
+        out
+    }
+
+    /// Primary API modelling an equivocating leader: a different
+    /// payload for a chosen set of replicas (test support; safety must
+    /// hold regardless).
+    pub fn propose_equivocating(
+        &mut self,
+        payload_a: Vec<u8>,
+        payload_b: Vec<u8>,
+        b_recipients: &[usize],
+    ) -> Vec<Outbound> {
+        assert!(self.is_primary(), "only the primary proposes");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut out = Vec::new();
+        for r in 0..self.config.n {
+            if r == self.id {
+                continue;
+            }
+            let payload = if b_recipients.contains(&r) {
+                payload_b.clone()
+            } else {
+                payload_a.clone()
+            };
+            let digest = Sha256::digest(&payload);
+            out.push((
+                Some(r),
+                PbftMessage::PrePrepare {
+                    view: self.view,
+                    seq,
+                    digest,
+                    payload,
+                },
+            ));
+        }
+        out
+    }
+
+    fn corrupt(&self, digest: Digest) -> Digest {
+        let mut bytes = digest.into_bytes();
+        bytes[0] ^= 0xFF;
+        Digest::new(bytes)
+    }
+
+    /// Handles one message from `from`, returning outbound messages.
+    pub fn handle(&mut self, from: usize, msg: PbftMessage) -> Vec<Outbound> {
+        if self.fault == Some(PbftFault::Silent) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        match msg {
+            PbftMessage::PrePrepare {
+                view,
+                seq,
+                digest,
+                payload,
+            } => {
+                if view != self.view || from != self.primary() {
+                    return out; // only the primary pre-prepares
+                }
+                if Sha256::digest(&payload) != digest {
+                    return out; // malformed
+                }
+                let slot = self.slots.entry(seq).or_default();
+                if slot.pre_prepared.is_some() {
+                    return out; // duplicate/conflicting pre-prepare ignored
+                }
+                slot.pre_prepared = Some((digest, payload));
+                if !slot.sent_prepare {
+                    slot.sent_prepare = true;
+                    let send_digest = if self.fault == Some(PbftFault::CorruptDigest) {
+                        self.corrupt(digest)
+                    } else {
+                        digest
+                    };
+                    let prepare = PbftMessage::Prepare {
+                        view,
+                        seq,
+                        digest: send_digest,
+                    };
+                    out.push((None, prepare.clone()));
+                    // Count our own prepare.
+                    out.extend(self.handle(self.id, prepare));
+                }
+            }
+            PbftMessage::Prepare { view, seq, digest } => {
+                if view != self.view {
+                    return out;
+                }
+                let slot = self.slots.entry(seq).or_default();
+                slot.prepares.entry(digest).or_default().insert(from);
+                out.extend(self.try_advance(seq));
+            }
+            PbftMessage::Commit { view, seq, digest } => {
+                if view != self.view {
+                    return out;
+                }
+                let slot = self.slots.entry(seq).or_default();
+                slot.commits.entry(digest).or_default().insert(from);
+                out.extend(self.try_advance(seq));
+            }
+        }
+        out
+    }
+
+    /// Checks the prepared / committed-local predicates for `seq`.
+    fn try_advance(&mut self, seq: u64) -> Vec<Outbound> {
+        let mut out = Vec::new();
+        let Some(slot) = self.slots.get_mut(&seq) else {
+            return out;
+        };
+        let Some((digest, payload)) = slot.pre_prepared.clone() else {
+            return out;
+        };
+        // Prepared: pre-prepare + 2f matching prepares (self included in
+        // the prepare set by construction).
+        let prepare_count = slot
+            .prepares
+            .get(&digest)
+            .map_or(0, |s| s.iter().filter(|&&r| r != self.id).count());
+        if !slot.sent_commit && prepare_count >= self.config.prepare_quorum() {
+            slot.sent_commit = true;
+            let send_digest = if self.fault == Some(PbftFault::CorruptDigest) {
+                self.corrupt(digest)
+            } else {
+                digest
+            };
+            let commit = PbftMessage::Commit {
+                view: self.view,
+                seq,
+                digest: send_digest,
+            };
+            out.push((None, commit.clone()));
+            out.extend(self.handle(self.id, commit));
+            return out;
+        }
+        // Committed-local: 2f + 1 matching commits (self counts).
+        let slot = self.slots.get_mut(&seq).expect("slot exists");
+        let commit_count = slot.commits.get(&digest).map_or(0, |s| s.len());
+        if !slot.committed && commit_count >= self.config.commit_quorum() {
+            slot.committed = true;
+            self.committed.insert(seq, payload);
+        }
+        out
+    }
+}
+
+impl core::fmt::Debug for PbftNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "PbftNode(id={}, view={}, committed={})",
+            self.id,
+            self.view,
+            self.committed.len()
+        )
+    }
+}
+
+/// Synchronous delivery driver: applies outbound messages to their
+/// destinations until quiescence. Returns the number of messages
+/// delivered.
+pub fn run_to_quiescence(nodes: &mut [PbftNode], initial: Vec<(usize, Outbound)>) -> usize {
+    // Queue entries: (sender, destination, message).
+    let mut queue: Vec<(usize, usize, PbftMessage)> = Vec::new();
+    let n = nodes.len();
+    let push = |queue: &mut Vec<(usize, usize, PbftMessage)>,
+                    sender: usize,
+                    (dest, msg): Outbound| match dest {
+        Some(d) => queue.push((sender, d, msg)),
+        None => {
+            for d in 0..n {
+                if d != sender {
+                    queue.push((sender, d, msg.clone()));
+                }
+            }
+        }
+    };
+    for (sender, outbound) in initial {
+        push(&mut queue, sender, outbound);
+    }
+    let mut delivered = 0;
+    while let Some((sender, dest, msg)) = queue.pop() {
+        delivered += 1;
+        let outs = nodes[dest].handle(sender, msg);
+        for outbound in outs {
+            push(&mut queue, dest, outbound);
+        }
+    }
+    delivered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest_group(f: usize) -> Vec<PbftNode> {
+        let config = PbftConfig::for_faults(f);
+        (0..config.n).map(|i| PbftNode::new(i, config)).collect()
+    }
+
+    fn committed_at(nodes: &[PbftNode], seq: u64) -> Vec<Option<&Vec<u8>>> {
+        nodes.iter().map(|n| n.committed().get(&seq)).collect()
+    }
+
+    #[test]
+    fn all_honest_commit() {
+        let mut nodes = honest_group(1); // n = 4
+        let out = nodes[0].propose(b"block-a".to_vec());
+        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        for c in committed_at(&nodes, 0) {
+            assert_eq!(c.map(|v| v.as_slice()), Some(&b"block-a"[..]));
+        }
+    }
+
+    #[test]
+    fn sequence_of_proposals_all_commit_in_order() {
+        let mut nodes = honest_group(1);
+        for (i, payload) in [b"p0".to_vec(), b"p1".to_vec(), b"p2".to_vec()]
+            .into_iter()
+            .enumerate()
+        {
+            let out = nodes[0].propose(payload);
+            run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+            for node in &nodes {
+                assert_eq!(node.committed().len(), i + 1);
+            }
+        }
+        // Identical order everywhere.
+        let reference: Vec<_> = nodes[0].committed().values().cloned().collect();
+        for node in &nodes[1..] {
+            let order: Vec<_> = node.committed().values().cloned().collect();
+            assert_eq!(order, reference);
+        }
+    }
+
+    #[test]
+    fn one_corrupt_backup_does_not_prevent_commit() {
+        let config = PbftConfig::for_faults(1);
+        let mut nodes: Vec<PbftNode> = (0..4)
+            .map(|i| {
+                if i == 2 {
+                    PbftNode::with_fault(i, config, PbftFault::CorruptDigest)
+                } else {
+                    PbftNode::new(i, config)
+                }
+            })
+            .collect();
+        let out = nodes[0].propose(b"x".to_vec());
+        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        for (i, c) in committed_at(&nodes, 0).iter().enumerate() {
+            if i != 2 {
+                assert!(c.is_some(), "honest node {i} must commit");
+            }
+        }
+    }
+
+    #[test]
+    fn one_silent_backup_does_not_prevent_commit() {
+        let config = PbftConfig::for_faults(1);
+        let mut nodes: Vec<PbftNode> = (0..4)
+            .map(|i| {
+                if i == 3 {
+                    PbftNode::with_fault(i, config, PbftFault::Silent)
+                } else {
+                    PbftNode::new(i, config)
+                }
+            })
+            .collect();
+        let out = nodes[0].propose(b"y".to_vec());
+        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        for i in 0..3 {
+            assert!(nodes[i].committed().get(&0).is_some());
+        }
+    }
+
+    #[test]
+    fn two_faults_with_f1_stall_but_never_diverge() {
+        let config = PbftConfig::for_faults(1);
+        let mut nodes: Vec<PbftNode> = (0..4)
+            .map(|i| match i {
+                1 => PbftNode::with_fault(i, config, PbftFault::Silent),
+                2 => PbftNode::with_fault(i, config, PbftFault::CorruptDigest),
+                _ => PbftNode::new(i, config),
+            })
+            .collect();
+        let out = nodes[0].propose(b"z".to_vec());
+        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        // With 2 > f faults, progress may stall — but no two honest
+        // replicas may ever commit different payloads.
+        let commits: Vec<_> = [0usize, 3]
+            .iter()
+            .filter_map(|&i| nodes[i].committed().get(&0))
+            .collect();
+        assert!(commits.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn equivocating_primary_cannot_cause_divergence() {
+        let config = PbftConfig::for_faults(1);
+        let mut nodes: Vec<PbftNode> = (0..4).map(|i| PbftNode::new(i, config)).collect();
+        // Primary sends payload B to replica 3, payload A to 1 and 2.
+        let outs = nodes[0].propose_equivocating(b"A".to_vec(), b"B".to_vec(), &[3]);
+        let initial: Vec<(usize, Outbound)> = outs.into_iter().map(|o| (0, o)).collect();
+        run_to_quiescence(&mut nodes, initial);
+        // No honest replica pair commits different payloads at seq 0.
+        let mut seen: Vec<&[u8]> = Vec::new();
+        for node in &nodes[1..] {
+            if let Some(p) = node.committed().get(&0) {
+                seen.push(p);
+            }
+        }
+        assert!(
+            seen.windows(2).all(|w| w[0] == w[1]),
+            "divergent commits: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn backup_ignores_fake_primary() {
+        let config = PbftConfig::for_faults(1);
+        let mut node = PbftNode::new(1, config);
+        // Replica 2 pretends to be the primary.
+        let out = node.handle(
+            2,
+            PbftMessage::PrePrepare {
+                view: 0,
+                seq: 0,
+                digest: Sha256::digest(b"evil"),
+                payload: b"evil".to_vec(),
+            },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mismatched_payload_digest_ignored() {
+        let config = PbftConfig::for_faults(1);
+        let mut node = PbftNode::new(1, config);
+        let out = node.handle(
+            0,
+            PbftMessage::PrePrepare {
+                view: 0,
+                seq: 0,
+                digest: Sha256::digest(b"other"),
+                payload: b"payload".to_vec(),
+            },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn larger_group_f2_commits() {
+        let mut nodes = honest_group(2); // n = 7
+        let out = nodes[0].propose(b"big".to_vec());
+        let delivered = run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        assert!(delivered > 0);
+        for node in &nodes {
+            assert!(node.committed().get(&0).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only the primary")]
+    fn backup_cannot_propose() {
+        let config = PbftConfig::for_faults(1);
+        let mut node = PbftNode::new(2, config);
+        let _ = node.propose(b"nope".to_vec());
+    }
+}

@@ -1,0 +1,230 @@
+//! Group-signed block proposals.
+//!
+//! In the scaled protocol (paper §4.6) a transaction is terminated by
+//! the servers it accesses — a *group* — running TFCommit among
+//! themselves. The product is a [`GroupProposal`]: the transactions,
+//! per-shard roots and decision, collectively signed by the group.
+//! Heights and previous-block hashes are deliberately absent: the
+//! ordering service assigns them.
+
+use fides_crypto::cosi::{self, CollectiveSignature, Witness};
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use fides_crypto::schnorr::{KeyPair, PublicKey};
+use fides_crypto::sha256::Sha256;
+use fides_crypto::Digest;
+use fides_ledger::block::{Decision, ShardRoot, TxnRecord};
+use fides_store::types::Key;
+
+/// A block proposal produced by one group's internal TFCommit round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupProposal {
+    /// The group members (server indices), sorted.
+    pub group: Vec<u32>,
+    /// The transactions this group terminated.
+    pub txns: Vec<TxnRecord>,
+    /// Per-shard Merkle roots from the group members.
+    pub roots: Vec<ShardRoot>,
+    /// The group's decision.
+    pub decision: Decision,
+    /// Collective signature of the group members over
+    /// [`GroupProposal::proposal_bytes`].
+    pub cosign: CollectiveSignature,
+}
+
+impl GroupProposal {
+    /// The canonical bytes the group co-signs (everything except the
+    /// co-sign itself — and no chain position, which OrdServ assigns).
+    pub fn proposal_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::with_capacity(256);
+        enc.put_fixed(b"fides.group-proposal.v1");
+        enc.put_seq(&self.group, |e, s| e.put_u32(*s));
+        enc.put_seq(&self.txns, |e, t| t.encode_into(e));
+        enc.put_seq(&self.roots, |e, r| r.encode_into(e));
+        self.decision.encode_into(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Content digest (used for PBFT ordering and dependency tracking).
+    pub fn digest(&self) -> Digest {
+        Sha256::digest(&self.proposal_bytes())
+    }
+
+    /// Verifies the group co-sign given the full server key directory
+    /// (indexed by server id).
+    pub fn verify(&self, all_server_pks: &[PublicKey]) -> bool {
+        let Some(group_pks) = self
+            .group
+            .iter()
+            .map(|s| all_server_pks.get(*s as usize).copied())
+            .collect::<Option<Vec<_>>>()
+        else {
+            return false;
+        };
+        if group_pks.is_empty() {
+            return false;
+        }
+        self.cosign.verify(&self.proposal_bytes(), &group_pks)
+    }
+
+    /// Every key accessed by the proposal's transactions.
+    pub fn touched_keys(&self) -> Vec<Key> {
+        let mut keys = Vec::new();
+        for txn in &self.txns {
+            keys.extend(txn.read_set.iter().map(|r| r.key.clone()));
+            keys.extend(txn.write_set.iter().map(|w| w.key.clone()));
+        }
+        keys
+    }
+
+    /// Builds and collectively signs a proposal — the condensed local
+    /// TFCommit round a group runs (used by tests, examples and the
+    /// scaling benchmarks).
+    ///
+    /// `members` pairs each group server index with its key pair; they
+    /// must be sorted by index.
+    pub fn build_signed(
+        members: &[(u32, KeyPair)],
+        txns: Vec<TxnRecord>,
+        roots: Vec<ShardRoot>,
+        decision: Decision,
+    ) -> GroupProposal {
+        let mut proposal = GroupProposal {
+            group: members.iter().map(|(s, _)| *s).collect(),
+            txns,
+            roots,
+            decision,
+            cosign: CollectiveSignature::placeholder(),
+        };
+        let record = proposal.proposal_bytes();
+        let round_id = Sha256::digest(&record);
+        let witnesses: Vec<Witness> = members
+            .iter()
+            .map(|(_, kp)| Witness::commit(kp, round_id.as_bytes(), &record))
+            .collect();
+        let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+        let c = cosi::challenge(&agg, &record);
+        proposal.cosign =
+            CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+        proposal
+    }
+}
+
+impl Encodable for GroupProposal {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.group, |e, s| e.put_u32(*s));
+        enc.put_seq(&self.txns, |e, t| t.encode_into(e));
+        enc.put_seq(&self.roots, |e, r| r.encode_into(e));
+        self.decision.encode_into(enc);
+        self.cosign.encode_into(enc);
+    }
+}
+
+impl Decodable for GroupProposal {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(GroupProposal {
+            group: dec.take_seq(|d| d.take_u32())?,
+            txns: dec.take_seq(TxnRecord::decode_from)?,
+            roots: dec.take_seq(ShardRoot::decode_from)?,
+            decision: Decision::decode_from(dec)?,
+            cosign: CollectiveSignature::decode_from(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_store::rwset::WriteEntry;
+    use fides_store::types::{Timestamp, Value};
+
+    fn members(ids: &[u32]) -> Vec<(u32, KeyPair)> {
+        ids.iter()
+            .map(|i| (*i, KeyPair::from_seed(format!("srv-{i}").as_bytes())))
+            .collect()
+    }
+
+    fn all_pks(n: u32) -> Vec<PublicKey> {
+        (0..n)
+            .map(|i| KeyPair::from_seed(format!("srv-{i}").as_bytes()).public_key())
+            .collect()
+    }
+
+    fn sample_txn(ts: u64, key: &str) -> TxnRecord {
+        TxnRecord {
+            id: Timestamp::new(ts, 0),
+            read_set: vec![],
+            write_set: vec![WriteEntry {
+                key: Key::new(key),
+                new_value: Value::from_i64(1),
+                old_value: None,
+                rts: Timestamp::ZERO,
+                wts: Timestamp::ZERO,
+            }],
+        }
+    }
+
+    #[test]
+    fn signed_proposal_verifies() {
+        let m = members(&[1, 3]);
+        let p = GroupProposal::build_signed(
+            &m,
+            vec![sample_txn(5, "x")],
+            vec![],
+            Decision::Commit,
+        );
+        assert!(p.verify(&all_pks(5)));
+    }
+
+    #[test]
+    fn verification_fails_for_wrong_group() {
+        let m = members(&[1, 3]);
+        let mut p = GroupProposal::build_signed(&m, vec![sample_txn(5, "x")], vec![], Decision::Commit);
+        p.group = vec![1, 2]; // claim a different membership
+        assert!(!p.verify(&all_pks(5)));
+    }
+
+    #[test]
+    fn verification_fails_for_tampered_content() {
+        let m = members(&[0, 2]);
+        let mut p = GroupProposal::build_signed(&m, vec![sample_txn(5, "x")], vec![], Decision::Commit);
+        p.decision = Decision::Abort;
+        assert!(!p.verify(&all_pks(3)));
+    }
+
+    #[test]
+    fn verification_fails_for_unknown_server() {
+        let m = members(&[9]);
+        let p = GroupProposal::build_signed(&m, vec![], vec![], Decision::Commit);
+        assert!(!p.verify(&all_pks(3))); // directory has only 3 servers
+    }
+
+    #[test]
+    fn touched_keys_collects_reads_and_writes() {
+        let m = members(&[0]);
+        let p = GroupProposal::build_signed(
+            &m,
+            vec![sample_txn(1, "a"), sample_txn(2, "b")],
+            vec![],
+            Decision::Commit,
+        );
+        let keys = p.touched_keys();
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let m = members(&[0, 1]);
+        let p = GroupProposal::build_signed(&m, vec![sample_txn(9, "z")], vec![], Decision::Abort);
+        let decoded = GroupProposal::decode(&p.encode()).unwrap();
+        assert_eq!(decoded, p);
+        assert!(decoded.verify(&all_pks(2)));
+    }
+
+    #[test]
+    fn distinct_content_distinct_digest() {
+        let m = members(&[0]);
+        let p1 = GroupProposal::build_signed(&m, vec![sample_txn(1, "a")], vec![], Decision::Commit);
+        let p2 = GroupProposal::build_signed(&m, vec![sample_txn(2, "a")], vec![], Decision::Commit);
+        assert_ne!(p1.digest(), p2.digest());
+    }
+}

@@ -1,0 +1,459 @@
+//! A Merkle-authenticated shard (paper §4.2.2).
+//!
+//! Wraps a [`MultiVersionStore`] with an incrementally-maintained Merkle
+//! hash tree whose leaves are `H(key ‖ value)` in key-creation order.
+//! The shard produces:
+//!
+//! * **speculative roots** — the root the shard *would* have if a
+//!   transaction's writes were applied, computed in memory without
+//!   touching the datastore (§4.3.1: "since MHT computation is done in
+//!   memory, the datastore is unaffected if Ti eventually aborts");
+//! * **verification objects** at the latest state or at any historical
+//!   version, which the auditor checks against the roots logged in
+//!   blocks (Lemma 2).
+//!
+//! The timestamps (`rts`/`wts`) are deliberately *not* part of the leaf
+//! hash: the auditor verifies timestamps by replaying the log (Lemmas 1
+//! and 3); the tree authenticates values.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use fides_crypto::encoding::Encoder;
+use fides_crypto::merkle::{hash_leaf, MerkleTree, VerificationObject};
+use fides_crypto::Digest;
+
+use crate::multi::MultiVersionStore;
+use crate::types::{ItemState, Key, Timestamp, Value};
+
+/// Cumulative Merkle-maintenance statistics — the "MHT update time" the
+/// paper plots in Figure 14.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MhtUpdateStats {
+    /// Number of leaf replacements performed.
+    pub leaf_updates: u64,
+    /// Total internal nodes rehashed (≈ `leaf_updates · log₂ n`).
+    pub nodes_recomputed: u64,
+    /// Wall-clock time spent in Merkle maintenance.
+    pub elapsed: Duration,
+}
+
+impl MhtUpdateStats {
+    fn absorb(&mut self, other: MhtUpdateStats) {
+        self.leaf_updates += other.leaf_updates;
+        self.nodes_recomputed += other.nodes_recomputed;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// Computes the canonical leaf digest for a `(key, value)` pair.
+pub fn leaf_digest(key: &Key, value: &Value) -> Digest {
+    let mut enc = Encoder::new();
+    enc.put_str(key.as_str());
+    enc.put_str(value.as_str());
+    hash_leaf(enc.as_bytes())
+}
+
+/// A shard whose contents are authenticated by a Merkle hash tree.
+///
+/// # Example
+///
+/// ```
+/// use fides_store::{AuthenticatedShard, Key, Timestamp, Value};
+///
+/// let mut shard = AuthenticatedShard::new(vec![
+///     (Key::new("x"), Value::from_i64(1000)),
+///     (Key::new("y"), Value::from_i64(500)),
+/// ]);
+/// let root_before = shard.root();
+///
+/// let ts = Timestamp::new(100, 0);
+/// shard.apply_commit(ts, &[Key::new("y")], &[(Key::new("x"), Value::from_i64(900))]);
+/// assert_ne!(shard.root(), root_before);
+///
+/// // The auditor can verify x's value against the new root.
+/// let (value, vo) = shard.proof_latest(&Key::new("x")).unwrap();
+/// assert_eq!(value.as_i64(), Some(900));
+/// assert!(vo.verify(fides_store::authenticated::leaf_digest(&Key::new("x"), &value), &shard.root()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AuthenticatedShard {
+    store: MultiVersionStore,
+    tree: MerkleTree,
+    /// Key → (leaf index, creation timestamp). Leaf indexes are assigned
+    /// in creation order, so the keys existing at any version occupy a
+    /// prefix of the leaf level.
+    index: BTreeMap<Key, (usize, Timestamp)>,
+    stats: MhtUpdateStats,
+}
+
+impl AuthenticatedShard {
+    /// Builds a shard over the initial `(key, value)` population. Items
+    /// are loaded with zero timestamps, in the order given (leaf index =
+    /// position).
+    pub fn new(items: Vec<(Key, Value)>) -> Self {
+        let mut store = MultiVersionStore::new();
+        let mut index = BTreeMap::new();
+        let mut leaves = Vec::with_capacity(items.len());
+        for (i, (key, value)) in items.into_iter().enumerate() {
+            leaves.push(leaf_digest(&key, &value));
+            index.insert(key.clone(), (i, Timestamp::ZERO));
+            store.load(key, value);
+        }
+        AuthenticatedShard {
+            store,
+            tree: MerkleTree::from_leaves(leaves),
+            index,
+            stats: MhtUpdateStats::default(),
+        }
+    }
+
+    /// The latest state of `key`, if stored here.
+    pub fn read(&self, key: &Key) -> Option<ItemState> {
+        self.store.get(key)
+    }
+
+    /// Returns `true` if the shard stores `key`.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Returns `true` if the shard holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// All keys of this shard, in key order.
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.index.keys()
+    }
+
+    /// The current Merkle root of the shard.
+    pub fn root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// The root the shard would have after applying `writes`, computed
+    /// in memory and rolled back — the `root_mht` each involved cohort
+    /// sends in its TFCommit vote (§4.3.1).
+    ///
+    /// Writes to keys not yet in the shard are appended on a cloned tree
+    /// (slower path, kept rare by preloading the keyspace).
+    pub fn speculative_root(&mut self, writes: &[(Key, Value)]) -> Digest {
+        let any_new = writes.iter().any(|(k, _)| !self.index.contains_key(k));
+        if any_new {
+            let mut tree = self.tree.clone();
+            for (key, value) in writes {
+                match self.index.get(key) {
+                    Some((idx, _)) => {
+                        tree.update_leaf(*idx, leaf_digest(key, value));
+                    }
+                    None => {
+                        tree.push_leaf(leaf_digest(key, value));
+                    }
+                }
+            }
+            return tree.root();
+        }
+        // Fast path: update in place, capture the root, revert.
+        let mut saved: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
+        let start = Instant::now();
+        let mut nodes = 0u64;
+        for (key, value) in writes {
+            let (idx, _) = self.index[key];
+            saved.push((idx, self.tree.leaf(idx)));
+            nodes += self.tree.update_leaf(idx, leaf_digest(key, value)) as u64;
+        }
+        let root = self.tree.root();
+        for (idx, old) in saved.into_iter().rev() {
+            nodes += self.tree.update_leaf(idx, old) as u64;
+        }
+        self.stats.absorb(MhtUpdateStats {
+            leaf_updates: 2 * writes.len() as u64,
+            nodes_recomputed: nodes,
+            elapsed: start.elapsed(),
+        });
+        root
+    }
+
+    /// Applies a committed transaction at `ts`: advances `rts` of read
+    /// keys, writes new versions and incrementally updates the tree.
+    /// Returns the Merkle-maintenance cost of this call.
+    pub fn apply_commit(
+        &mut self,
+        ts: Timestamp,
+        reads: &[Key],
+        writes: &[(Key, Value)],
+    ) -> MhtUpdateStats {
+        for key in reads {
+            self.store.commit_read(key, ts);
+        }
+        let start = Instant::now();
+        let mut nodes = 0u64;
+        let mut leaf_updates = 0u64;
+        for (key, value) in writes {
+            self.store.commit_write(key, value.clone(), ts);
+            let digest = leaf_digest(key, value);
+            match self.index.get(key) {
+                Some((idx, _)) => {
+                    nodes += self.tree.update_leaf(*idx, digest) as u64;
+                }
+                None => {
+                    let idx = self.tree.push_leaf(digest);
+                    self.index.insert(key.clone(), (idx, ts));
+                    nodes += self.tree.height() as u64;
+                }
+            }
+            leaf_updates += 1;
+        }
+        let call_stats = MhtUpdateStats {
+            leaf_updates,
+            nodes_recomputed: nodes,
+            elapsed: start.elapsed(),
+        };
+        self.stats.absorb(call_stats);
+        call_stats
+    }
+
+    /// Applies a committed transaction to the datastore *without*
+    /// Merkle maintenance — used by the trusted 2PC baseline (§6.1),
+    /// which keeps no authenticated structures.
+    pub fn apply_commit_store_only(
+        &mut self,
+        ts: Timestamp,
+        reads: &[Key],
+        writes: &[(Key, Value)],
+    ) {
+        for key in reads {
+            self.store.commit_read(key, ts);
+        }
+        for (key, value) in writes {
+            self.store.commit_write(key, value.clone(), ts);
+            if !self.index.contains_key(key) {
+                let idx = self.index.len();
+                self.index.insert(key.clone(), (idx, ts));
+            }
+        }
+    }
+
+    /// The latest value of `key` with its verification object against
+    /// [`AuthenticatedShard::root`].
+    pub fn proof_latest(&self, key: &Key) -> Option<(Value, VerificationObject)> {
+        let (idx, _) = *self.index.get(key)?;
+        let state = self.store.get(key)?;
+        Some((state.value, self.tree.proof(idx)))
+    }
+
+    /// Reconstructs the Merkle tree as of version `ts` from the
+    /// (possibly corrupted) datastore — the server-side computation when
+    /// an auditor audits version `ts` (§4.2.2, multi-versioned audit).
+    pub fn tree_at_version(&self, ts: Timestamp) -> MerkleTree {
+        // Keys existing at ts occupy a prefix of the leaf level because
+        // leaf indexes are assigned in commit order.
+        let mut entries: Vec<(usize, &Key)> = self
+            .index
+            .iter()
+            .filter(|(_, (_, created))| *created <= ts)
+            .map(|(k, (idx, _))| (*idx, k))
+            .collect();
+        entries.sort_unstable_by_key(|(idx, _)| *idx);
+        let leaves = entries
+            .into_iter()
+            .map(|(_, key)| {
+                let value = self
+                    .store
+                    .value_at(key, ts)
+                    .expect("key created at or before ts has a version at ts");
+                leaf_digest(key, &value)
+            })
+            .collect();
+        MerkleTree::from_leaves(leaves)
+    }
+
+    /// The value and verification object of `key` at version `ts`, built
+    /// from the live datastore (a corrupted store yields a VO whose root
+    /// mismatches the logged one — exactly Lemma 2's detection).
+    pub fn proof_at_version(&self, key: &Key, ts: Timestamp) -> Option<(Value, VerificationObject)> {
+        let (idx, created) = *self.index.get(key)?;
+        if created > ts {
+            return None;
+        }
+        let value = self.store.value_at(key, ts)?;
+        let tree = self.tree_at_version(ts);
+        Some((value, tree.proof(idx)))
+    }
+
+    /// Cumulative Merkle-maintenance statistics since construction (or
+    /// the last [`AuthenticatedShard::reset_stats`]).
+    pub fn stats(&self) -> MhtUpdateStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MhtUpdateStats::default();
+    }
+
+    /// Mutable access to the underlying store, for fault injection
+    /// (datastore corruption) in tests and examples.
+    #[doc(hidden)]
+    pub fn store_mut(&mut self) -> &mut MultiVersionStore {
+        &mut self.store
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &MultiVersionStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(n: usize) -> AuthenticatedShard {
+        AuthenticatedShard::new(
+            (0..n)
+                .map(|i| (Key::new(format!("item-{i:04}")), Value::from_i64(i as i64)))
+                .collect(),
+        )
+    }
+
+    fn ts(c: u64) -> Timestamp {
+        Timestamp::new(c, 0)
+    }
+
+    #[test]
+    fn initial_roots_deterministic() {
+        assert_eq!(shard(16).root(), shard(16).root());
+        assert_ne!(shard(16).root(), shard(17).root());
+    }
+
+    #[test]
+    fn speculative_root_matches_committed_root() {
+        let mut a = shard(32);
+        let mut b = shard(32);
+        let writes = vec![
+            (Key::new("item-0003"), Value::from_i64(333)),
+            (Key::new("item-0017"), Value::from_i64(777)),
+        ];
+        let spec = a.speculative_root(&writes);
+        // Speculation must not change the live root.
+        assert_eq!(a.root(), b.root());
+        b.apply_commit(ts(1), &[], &writes);
+        assert_eq!(spec, b.root());
+    }
+
+    #[test]
+    fn speculative_root_with_new_key() {
+        let mut a = shard(8);
+        let live_before = a.root();
+        let writes = vec![(Key::new("new-key"), Value::from_i64(1))];
+        let spec = a.speculative_root(&writes);
+        assert_eq!(a.root(), live_before, "speculation must not mutate");
+        let mut b = shard(8);
+        b.apply_commit(ts(1), &[], &writes);
+        assert_eq!(spec, b.root());
+    }
+
+    #[test]
+    fn apply_commit_updates_store_and_tree() {
+        let mut s = shard(8);
+        let before = s.root();
+        s.apply_commit(
+            ts(10),
+            &[Key::new("item-0001")],
+            &[(Key::new("item-0002"), Value::from_i64(99))],
+        );
+        assert_ne!(s.root(), before);
+        let item = s.read(&Key::new("item-0002")).unwrap();
+        assert_eq!(item.value.as_i64(), Some(99));
+        assert_eq!(item.wts, ts(10));
+        assert_eq!(s.read(&Key::new("item-0001")).unwrap().rts, ts(10));
+    }
+
+    #[test]
+    fn proof_latest_verifies() {
+        let mut s = shard(20);
+        s.apply_commit(ts(5), &[], &[(Key::new("item-0007"), Value::from_i64(70))]);
+        let (value, vo) = s.proof_latest(&Key::new("item-0007")).unwrap();
+        assert!(vo.verify(leaf_digest(&Key::new("item-0007"), &value), &s.root()));
+    }
+
+    #[test]
+    fn historical_proof_verifies_against_historical_root() {
+        let mut s = shard(8);
+        let key = Key::new("item-0004");
+        s.apply_commit(ts(10), &[], &[(key.clone(), Value::from_i64(100))]);
+        let root_10 = s.root();
+        s.apply_commit(ts(20), &[], &[(key.clone(), Value::from_i64(200))]);
+
+        let (value, vo) = s.proof_at_version(&key, ts(10)).unwrap();
+        assert_eq!(value.as_i64(), Some(100));
+        assert!(vo.verify(leaf_digest(&key, &value), &root_10));
+        // And the reconstruction root matches the live root recorded then.
+        assert_eq!(s.tree_at_version(ts(10)).root(), root_10);
+    }
+
+    #[test]
+    fn corruption_detected_by_version_proof() {
+        let mut s = shard(8);
+        let key = Key::new("item-0004");
+        s.apply_commit(ts(100), &[], &[(key.clone(), Value::from_i64(900))]);
+        let honest_root = s.root();
+
+        // The server silently rewrites history (paper §5 Scenario 3).
+        s.store_mut()
+            .corrupt_version(&key, ts(100), Value::from_i64(1000));
+
+        let (value, vo) = s.proof_at_version(&key, ts(100)).unwrap();
+        // The VO computed from the corrupted store no longer matches the
+        // root that was logged at commit time.
+        assert!(!vo.verify(leaf_digest(&key, &Value::from_i64(900)), &s.tree_at_version(ts(100)).root()) || value.as_i64() != Some(900));
+        assert_ne!(s.tree_at_version(ts(100)).root(), honest_root);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut s = shard(64);
+        assert_eq!(s.stats(), MhtUpdateStats::default());
+        s.apply_commit(ts(1), &[], &[(Key::new("item-0001"), Value::from_i64(5))]);
+        let st = s.stats();
+        assert_eq!(st.leaf_updates, 1);
+        assert_eq!(st.nodes_recomputed, 6); // log2(64)
+        s.reset_stats();
+        assert_eq!(s.stats(), MhtUpdateStats::default());
+    }
+
+    #[test]
+    fn new_key_extends_tree() {
+        let mut s = shard(4);
+        s.apply_commit(ts(9), &[], &[(Key::new("zzz-new"), Value::from_i64(1))]);
+        assert_eq!(s.len(), 5);
+        let (value, vo) = s.proof_latest(&Key::new("zzz-new")).unwrap();
+        assert!(vo.verify(leaf_digest(&Key::new("zzz-new"), &value), &s.root()));
+        // Version reconstruction before creation excludes it.
+        assert!(s.proof_at_version(&Key::new("zzz-new"), ts(5)).is_none());
+    }
+
+    #[test]
+    fn reads_do_not_change_root() {
+        let mut s = shard(8);
+        let before = s.root();
+        s.apply_commit(ts(3), &[Key::new("item-0000")], &[]);
+        assert_eq!(s.root(), before);
+    }
+
+    #[test]
+    fn tree_at_version_zero_matches_initial() {
+        let mut s = shard(8);
+        let initial = s.root();
+        s.apply_commit(ts(10), &[], &[(Key::new("item-0000"), Value::from_i64(42))]);
+        assert_eq!(s.tree_at_version(Timestamp::ZERO).root(), initial);
+    }
+}

@@ -1,0 +1,137 @@
+//! Read- and write-set entries — the `R set` and `W set` of every log
+//! block (paper Table 1).
+//!
+//! * `R set`: a list of `⟨id : value, rts, wts⟩` — the value and
+//!   timestamps observed when the transaction read the item.
+//! * `W set`: a list of `⟨id : new_val, old_val, rts, wts⟩` — `old_val`
+//!   is populated **only for blind writes** (items written without being
+//!   read), captured from the write acknowledgement (§4.2.1).
+
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+
+use crate::types::{Key, Timestamp, Value};
+
+/// One read-set entry: the item id, the value returned by the server and
+/// the item's timestamps at the time of the read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// The data-item identifier.
+    pub key: Key,
+    /// The value the server returned for the read.
+    pub value: Value,
+    /// The item's read timestamp observed at read time.
+    pub rts: Timestamp,
+    /// The item's write timestamp observed at read time.
+    pub wts: Timestamp,
+}
+
+/// One write-set entry: the item id, the new value, the old value (blind
+/// writes only) and the item's timestamps at the time of access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// The data-item identifier.
+    pub key: Key,
+    /// The value the transaction wrote.
+    pub new_value: Value,
+    /// The pre-image for blind writes (`None` when the transaction also
+    /// read the item, in which case the read entry holds the pre-image).
+    pub old_value: Option<Value>,
+    /// The item's read timestamp observed at access time.
+    pub rts: Timestamp,
+    /// The item's write timestamp observed at access time.
+    pub wts: Timestamp,
+}
+
+impl Encodable for ReadEntry {
+    fn encode_into(&self, enc: &mut Encoder) {
+        self.key.encode_into(enc);
+        self.value.encode_into(enc);
+        self.rts.encode_into(enc);
+        self.wts.encode_into(enc);
+    }
+}
+
+impl Decodable for ReadEntry {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ReadEntry {
+            key: Key::decode_from(dec)?,
+            value: Value::decode_from(dec)?,
+            rts: Timestamp::decode_from(dec)?,
+            wts: Timestamp::decode_from(dec)?,
+        })
+    }
+}
+
+impl Encodable for WriteEntry {
+    fn encode_into(&self, enc: &mut Encoder) {
+        self.key.encode_into(enc);
+        self.new_value.encode_into(enc);
+        enc.put_option(&self.old_value, |e, v| v.encode_into(e));
+        self.rts.encode_into(enc);
+        self.wts.encode_into(enc);
+    }
+}
+
+impl Decodable for WriteEntry {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(WriteEntry {
+            key: Key::decode_from(dec)?,
+            new_value: Value::decode_from(dec)?,
+            old_value: dec.take_option(Value::decode_from)?,
+            rts: Timestamp::decode_from(dec)?,
+            wts: Timestamp::decode_from(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_entry_roundtrip() {
+        let e = ReadEntry {
+            key: Key::new("x"),
+            value: Value::from_i64(1000),
+            rts: Timestamp::new(92, 0),
+            wts: Timestamp::new(88, 0),
+        };
+        assert_eq!(ReadEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn write_entry_roundtrip_blind() {
+        let e = WriteEntry {
+            key: Key::new("y"),
+            new_value: Value::from_i64(400),
+            old_value: Some(Value::from_i64(500)),
+            rts: Timestamp::new(48, 0),
+            wts: Timestamp::new(48, 0),
+        };
+        assert_eq!(WriteEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn write_entry_roundtrip_read_write() {
+        let e = WriteEntry {
+            key: Key::new("y"),
+            new_value: Value::from_i64(400),
+            old_value: None,
+            rts: Timestamp::new(48, 0),
+            wts: Timestamp::new(48, 0),
+        };
+        assert_eq!(WriteEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn blind_and_nonblind_encode_differently() {
+        let mk = |old| WriteEntry {
+            key: Key::new("y"),
+            new_value: Value::from_i64(1),
+            old_value: old,
+            rts: Timestamp::ZERO,
+            wts: Timestamp::ZERO,
+        };
+        assert_ne!(mk(None).encode(), mk(Some(Value::from_i64(1))).encode());
+    }
+}

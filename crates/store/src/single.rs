@@ -1,0 +1,186 @@
+//! Single-versioned store: keeps only the latest state of each item
+//! (paper §4.2.1, "the data can be single-versioned or multi-versioned").
+
+use std::collections::BTreeMap;
+
+use crate::types::{ItemState, Key, Timestamp, Value};
+
+/// A single-versioned key-value shard with per-item `rts`/`wts`.
+///
+/// # Example
+///
+/// ```
+/// use fides_store::{Key, SingleVersionStore, Timestamp, Value};
+///
+/// let mut store = SingleVersionStore::new();
+/// store.load(Key::new("x"), Value::from_i64(1000));
+/// store.commit_write(&Key::new("x"), Value::from_i64(900), Timestamp::new(100, 0));
+/// assert_eq!(store.get(&Key::new("x")).unwrap().value.as_i64(), Some(900));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SingleVersionStore {
+    items: BTreeMap<Key, ItemState>,
+}
+
+impl SingleVersionStore {
+    /// Creates an empty shard.
+    pub fn new() -> Self {
+        SingleVersionStore {
+            items: BTreeMap::new(),
+        }
+    }
+
+    /// Loads an item with zero timestamps (initial database population).
+    pub fn load(&mut self, key: Key, value: Value) {
+        self.items.insert(key, ItemState::initial(value));
+    }
+
+    /// Returns the current state of `key`, if present.
+    pub fn get(&self, key: &Key) -> Option<&ItemState> {
+        self.items.get(key)
+    }
+
+    /// Returns `true` if the shard stores `key`.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.items.contains_key(key)
+    }
+
+    /// Number of items in the shard.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Records that a committed transaction at `ts` read `key`:
+    /// advances `rts` to `ts` if larger (paper §4.2.1: commit updates the
+    /// timestamps of accessed items).
+    pub fn commit_read(&mut self, key: &Key, ts: Timestamp) {
+        if let Some(item) = self.items.get_mut(key) {
+            if ts > item.rts {
+                item.rts = ts;
+            }
+        }
+    }
+
+    /// Applies a committed write at `ts`: replaces the value and advances
+    /// both timestamps. Inserts the item if absent.
+    pub fn commit_write(&mut self, key: &Key, value: Value, ts: Timestamp) {
+        let item = self
+            .items
+            .entry(key.clone())
+            .or_insert_with(|| ItemState::initial(Value::default()));
+        item.value = value;
+        if ts > item.wts {
+            item.wts = ts;
+        }
+        if ts > item.rts {
+            item.rts = ts;
+        }
+    }
+
+    /// Iterates over items in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &ItemState)> {
+        self.items.iter()
+    }
+
+    /// All keys in order (the shard's keyspace).
+    pub fn keys(&self) -> impl Iterator<Item = &Key> {
+        self.items.keys()
+    }
+
+    /// Directly overwrites the stored value *without* touching
+    /// timestamps. This models datastore corruption by a malicious server
+    /// (paper §5, Scenario 3) and exists for fault-injection only.
+    #[doc(hidden)]
+    pub fn corrupt_value(&mut self, key: &Key, value: Value) -> bool {
+        match self.items.get_mut(key) {
+            Some(item) => {
+                item.value = value;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::new(s)
+    }
+
+    #[test]
+    fn load_and_get() {
+        let mut s = SingleVersionStore::new();
+        s.load(k("x"), Value::from_i64(10));
+        let item = s.get(&k("x")).unwrap();
+        assert_eq!(item.value.as_i64(), Some(10));
+        assert_eq!(item.rts, Timestamp::ZERO);
+        assert!(s.get(&k("y")).is_none());
+    }
+
+    #[test]
+    fn commit_read_advances_rts_monotonically() {
+        let mut s = SingleVersionStore::new();
+        s.load(k("x"), Value::from_i64(1));
+        s.commit_read(&k("x"), Timestamp::new(10, 0));
+        assert_eq!(s.get(&k("x")).unwrap().rts, Timestamp::new(10, 0));
+        // Older timestamp does not regress rts.
+        s.commit_read(&k("x"), Timestamp::new(5, 0));
+        assert_eq!(s.get(&k("x")).unwrap().rts, Timestamp::new(10, 0));
+    }
+
+    #[test]
+    fn commit_write_updates_value_and_both_timestamps() {
+        let mut s = SingleVersionStore::new();
+        s.load(k("x"), Value::from_i64(1000));
+        s.commit_write(&k("x"), Value::from_i64(900), Timestamp::new(100, 0));
+        let item = s.get(&k("x")).unwrap();
+        assert_eq!(item.value.as_i64(), Some(900));
+        assert_eq!(item.wts, Timestamp::new(100, 0));
+        assert_eq!(item.rts, Timestamp::new(100, 0));
+    }
+
+    #[test]
+    fn commit_write_inserts_missing_item() {
+        let mut s = SingleVersionStore::new();
+        s.commit_write(&k("new"), Value::from_i64(5), Timestamp::new(1, 0));
+        assert!(s.contains(&k("new")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn commit_read_on_missing_key_is_noop() {
+        let mut s = SingleVersionStore::new();
+        s.commit_read(&k("ghost"), Timestamp::new(1, 0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn corruption_changes_value_but_not_timestamps() {
+        let mut s = SingleVersionStore::new();
+        s.load(k("x"), Value::from_i64(1000));
+        s.commit_write(&k("x"), Value::from_i64(900), Timestamp::new(100, 0));
+        assert!(s.corrupt_value(&k("x"), Value::from_i64(999_999)));
+        let item = s.get(&k("x")).unwrap();
+        assert_eq!(item.value.as_i64(), Some(999_999));
+        assert_eq!(item.wts, Timestamp::new(100, 0));
+        assert!(!s.corrupt_value(&k("ghost"), Value::from_i64(0)));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut s = SingleVersionStore::new();
+        s.load(k("b"), Value::from_i64(2));
+        s.load(k("a"), Value::from_i64(1));
+        s.load(k("c"), Value::from_i64(3));
+        let keys: Vec<_> = s.keys().map(|k| k.as_str().to_string()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Core data-model types: [`Key`], [`Value`], [`Timestamp`] and
+//! [`ItemState`].
+
+use core::fmt;
+
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+
+/// A data-item identifier, unique within the whole database (paper §3.1:
+/// "shards consist of a set of data items, each with a unique
+/// identifier").
+///
+/// # Example
+///
+/// ```
+/// use fides_store::Key;
+///
+/// let k = Key::new("acct:alice");
+/// assert_eq!(k.as_str(), "acct:alice");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(String);
+
+impl Key {
+    /// Creates a key from any string-like value.
+    pub fn new(id: impl Into<String>) -> Self {
+        Key(id.into())
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({})", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::new(s)
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Key::new(s)
+    }
+}
+
+/// A data-item value.
+///
+/// Values are stored as strings, which covers both the paper's worked
+/// examples (dollar balances) and YCSB-style payloads; [`Value::as_i64`]
+/// parses numeric values for arithmetic in applications.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Value(String);
+
+impl Value {
+    /// Creates a value from any string-like payload.
+    pub fn new(v: impl Into<String>) -> Self {
+        Value(v.into())
+    }
+
+    /// Creates a numeric value.
+    pub fn from_i64(v: i64) -> Self {
+        Value(v.to_string())
+    }
+
+    /// The raw payload.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Parses the payload as a signed integer, if numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0.parse().ok()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::new(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::new(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::from_i64(v)
+    }
+}
+
+/// A totally-ordered commit timestamp: a Lamport pair
+/// `⟨counter, client⟩` (paper §4.1: "any timestamp that supports total
+/// ordering can be used — e.g. a Lamport clock with
+/// `⟨client id : client time⟩`").
+///
+/// Ordering is by counter first, then client id as the tie-breaker, so
+/// timestamps from different clients are always comparable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp {
+    counter: u64,
+    client: u32,
+}
+
+impl Timestamp {
+    /// The zero timestamp: initial `rts`/`wts` of freshly loaded items.
+    pub const ZERO: Timestamp = Timestamp {
+        counter: 0,
+        client: 0,
+    };
+
+    /// Creates a timestamp from a Lamport counter and a client id.
+    pub fn new(counter: u64, client: u32) -> Self {
+        Timestamp { counter, client }
+    }
+
+    /// The Lamport counter component.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// The client-id tie-breaker component.
+    pub fn client(&self) -> u32 {
+        self.client
+    }
+
+    /// The immediately following counter value for the same client.
+    pub fn next(&self) -> Timestamp {
+        Timestamp {
+            counter: self.counter + 1,
+            client: self.client,
+        }
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts-{}.{}", self.counter, self.client)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts-{}.{}", self.counter, self.client)
+    }
+}
+
+/// The state of one data item: its value plus the read and write
+/// timestamps (paper §3.1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemState {
+    /// Current value.
+    pub value: Value,
+    /// Commit timestamp of the last transaction that read the item.
+    pub rts: Timestamp,
+    /// Commit timestamp of the last transaction that wrote the item.
+    pub wts: Timestamp,
+}
+
+impl ItemState {
+    /// A freshly loaded item with zero timestamps.
+    pub fn initial(value: Value) -> Self {
+        ItemState {
+            value,
+            rts: Timestamp::ZERO,
+            wts: Timestamp::ZERO,
+        }
+    }
+}
+
+impl Encodable for Key {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_str(&self.0);
+    }
+}
+
+impl Decodable for Key {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Key::new(dec.take_str()?))
+    }
+}
+
+impl Encodable for Value {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_str(&self.0);
+    }
+}
+
+impl Decodable for Value {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Value::new(dec.take_str()?))
+    }
+}
+
+impl Encodable for Timestamp {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.counter);
+        enc.put_u32(self.client);
+    }
+}
+
+impl Decodable for Timestamp {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let counter = dec.take_u64()?;
+        let client = dec.take_u32()?;
+        Ok(Timestamp { counter, client })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_total_order() {
+        let a = Timestamp::new(5, 1);
+        let b = Timestamp::new(5, 2);
+        let c = Timestamp::new(6, 0);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Timestamp::ZERO < a);
+    }
+
+    #[test]
+    fn timestamp_next_increments_counter() {
+        let a = Timestamp::new(5, 3);
+        assert_eq!(a.next(), Timestamp::new(6, 3));
+    }
+
+    #[test]
+    fn value_numeric_parse() {
+        assert_eq!(Value::from_i64(-42).as_i64(), Some(-42));
+        assert_eq!(Value::new("1000").as_i64(), Some(1000));
+        assert_eq!(Value::new("hello").as_i64(), None);
+    }
+
+    #[test]
+    fn key_ordering_is_lexicographic() {
+        assert!(Key::new("a") < Key::new("b"));
+        assert!(Key::new("item-10") < Key::new("item-9")); // lexicographic!
+    }
+
+    #[test]
+    fn encoding_roundtrips() {
+        let k = Key::new("acct:alice");
+        assert_eq!(Key::decode(&k.encode()).unwrap(), k);
+        let v = Value::new("900");
+        assert_eq!(Value::decode(&v.encode()).unwrap(), v);
+        let ts = Timestamp::new(100, 7);
+        assert_eq!(Timestamp::decode(&ts.encode()).unwrap(), ts);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::new(100, 2).to_string(), "ts-100.2");
+        assert_eq!(Key::new("x").to_string(), "x");
+        assert_eq!(Value::from_i64(7).to_string(), "7");
+    }
+
+    #[test]
+    fn item_state_initial() {
+        let s = ItemState::initial(Value::from_i64(10));
+        assert_eq!(s.rts, Timestamp::ZERO);
+        assert_eq!(s.wts, Timestamp::ZERO);
+        assert_eq!(s.value.as_i64(), Some(10));
+    }
+}

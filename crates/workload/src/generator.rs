@@ -1,0 +1,307 @@
+//! Transaction-spec generation.
+//!
+//! A [`WorkloadGenerator`] produces [`TxnSpec`]s — the key sets of
+//! multi-record read-modify-write transactions — according to the
+//! paper's benchmark shape: `ops_per_txn` distinct items drawn "at
+//! random from a pool of all the data partitions combined" (§6).
+//!
+//! The *conflict-free window* mirrors the coordinator's batching of
+//! "non-conflicting transactions" (§4.6): within any window of
+//! `conflict_free_window` consecutive transactions, no key repeats, so
+//! a batch formed from one window always commits in a single block.
+
+use std::collections::HashSet;
+
+use fides_store::types::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipfian;
+
+/// How keys are selected from the global pool.
+#[derive(Clone, Debug)]
+pub enum KeyChooser {
+    /// Uniform over the whole pool (the paper's setting).
+    Uniform,
+    /// Zipfian-skewed over the pool (YCSB's default hot-spot model).
+    Zipfian {
+        /// Skew parameter in `(0, 1)`.
+        theta: f64,
+    },
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of servers/shards.
+    pub n_servers: u32,
+    /// Items preloaded per shard.
+    pub items_per_shard: usize,
+    /// Operations (distinct items) per transaction — the paper uses 5.
+    pub ops_per_txn: usize,
+    /// Key-selection distribution.
+    pub chooser: KeyChooser,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+    /// Size of the window within which transactions share no keys
+    /// (`1` = only intra-transaction distinctness).
+    pub conflict_free_window: usize,
+}
+
+impl WorkloadConfig {
+    /// The paper's default benchmark shape: 5 uniform operations.
+    pub fn paper_default(n_servers: u32, items_per_shard: usize) -> Self {
+        WorkloadConfig {
+            n_servers,
+            items_per_shard,
+            ops_per_txn: 5,
+            chooser: KeyChooser::Uniform,
+            seed: 42,
+            conflict_free_window: 1,
+        }
+    }
+
+    /// Sets the conflict-free window (usually the block batch size).
+    pub fn conflict_free_window(mut self, window: usize) -> Self {
+        self.conflict_free_window = window.max(1);
+        self
+    }
+
+    /// Sets the key-selection distribution.
+    pub fn chooser(mut self, chooser: KeyChooser) -> Self {
+        self.chooser = chooser;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the operations per transaction.
+    pub fn ops_per_txn(mut self, ops: usize) -> Self {
+        self.ops_per_txn = ops.max(1);
+        self
+    }
+
+    fn pool_size(&self) -> usize {
+        self.n_servers as usize * self.items_per_shard
+    }
+}
+
+/// One transaction's key set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnSpec {
+    /// The distinct keys this transaction reads and rewrites.
+    pub keys: Vec<Key>,
+}
+
+/// Generates transaction specs.
+///
+/// The generator is an iterator; `key_fn` maps a `(server, item)`
+/// coordinate to the deployment's key naming scheme (e.g.
+/// `FidesCluster::key_name`).
+///
+/// # Example
+///
+/// ```
+/// use fides_store::Key;
+/// use fides_workload::{WorkloadConfig, WorkloadGenerator};
+///
+/// let config = WorkloadConfig::paper_default(3, 100);
+/// let mut generator = WorkloadGenerator::new(config, |server, item| {
+///     Key::new(format!("s{server}:i{item}"))
+/// });
+/// let spec = generator.next_txn();
+/// assert_eq!(spec.keys.len(), 5);
+/// ```
+pub struct WorkloadGenerator<F> {
+    config: WorkloadConfig,
+    key_fn: F,
+    rng: StdRng,
+    zipf: Option<Zipfian>,
+    /// Keys used in the current conflict-free window.
+    window_used: HashSet<usize>,
+    /// Transactions generated in the current window.
+    window_count: usize,
+}
+
+impl<F: Fn(u32, usize) -> Key> WorkloadGenerator<F> {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a conflict-free window cannot possibly be satisfied
+    /// (`window × ops_per_txn > pool size`).
+    pub fn new(config: WorkloadConfig, key_fn: F) -> Self {
+        assert!(
+            config.conflict_free_window * config.ops_per_txn <= config.pool_size(),
+            "window of {} txns × {} ops exceeds the pool of {} items",
+            config.conflict_free_window,
+            config.ops_per_txn,
+            config.pool_size()
+        );
+        let zipf = match config.chooser {
+            KeyChooser::Uniform => None,
+            KeyChooser::Zipfian { theta } => Some(Zipfian::new(config.pool_size(), theta)),
+        };
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(config.seed),
+            zipf,
+            window_used: HashSet::new(),
+            window_count: 0,
+            config,
+            key_fn,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    fn draw_global_index(&mut self) -> usize {
+        match &self.zipf {
+            None => self.rng.gen_range(0..self.config.pool_size()),
+            Some(zipf) => zipf.sample(&mut self.rng),
+        }
+    }
+
+    /// Generates the next transaction's key set.
+    pub fn next_txn(&mut self) -> TxnSpec {
+        if self.window_count == self.config.conflict_free_window {
+            self.window_count = 0;
+            self.window_used.clear();
+        }
+        self.window_count += 1;
+
+        let mut chosen: Vec<usize> = Vec::with_capacity(self.config.ops_per_txn);
+        let mut tries = 0usize;
+        while chosen.len() < self.config.ops_per_txn {
+            let idx = self.draw_global_index();
+            if self.window_used.contains(&idx) || chosen.contains(&idx) {
+                tries += 1;
+                // A heavily skewed chooser can stall on hot items; fall
+                // back to a uniform sweep after enough rejections.
+                if tries > 64 * self.config.ops_per_txn {
+                    for fallback in 0..self.config.pool_size() {
+                        if !self.window_used.contains(&fallback) && !chosen.contains(&fallback) {
+                            chosen.push(fallback);
+                            break;
+                        }
+                    }
+                }
+                continue;
+            }
+            chosen.push(idx);
+        }
+        self.window_used.extend(chosen.iter().copied());
+
+        let keys = chosen
+            .into_iter()
+            .map(|global| {
+                let server = (global / self.config.items_per_shard) as u32;
+                let item = global % self.config.items_per_shard;
+                (self.key_fn)(server, item)
+            })
+            .collect();
+        TxnSpec { keys }
+    }
+
+    /// Generates `n` transaction specs.
+    pub fn take_txns(&mut self, n: usize) -> Vec<TxnSpec> {
+        (0..n).map(|_| self.next_txn()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_fn(server: u32, item: usize) -> Key {
+        Key::new(format!("s{server:03}:item-{item:06}"))
+    }
+
+    #[test]
+    fn txn_has_distinct_keys() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::paper_default(3, 100), key_fn);
+        for _ in 0..100 {
+            let spec = g.next_txn();
+            assert_eq!(spec.keys.len(), 5);
+            let set: HashSet<_> = spec.keys.iter().collect();
+            assert_eq!(set.len(), 5, "keys within a txn must be distinct");
+        }
+    }
+
+    #[test]
+    fn conflict_free_window_has_no_repeats() {
+        let config = WorkloadConfig::paper_default(3, 100).conflict_free_window(10);
+        let mut g = WorkloadGenerator::new(config, key_fn);
+        for _window in 0..20 {
+            let mut seen = HashSet::new();
+            for _ in 0..10 {
+                for key in g.next_txn().keys {
+                    assert!(seen.insert(key), "key repeated within window");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mk = || WorkloadGenerator::new(WorkloadConfig::paper_default(4, 50).seed(7), key_fn);
+        let a: Vec<TxnSpec> = mk().take_txns(50);
+        let b: Vec<TxnSpec> = mk().take_txns(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadGenerator::new(WorkloadConfig::paper_default(4, 50).seed(1), key_fn)
+            .take_txns(20);
+        let b = WorkloadGenerator::new(WorkloadConfig::paper_default(4, 50).seed(2), key_fn)
+            .take_txns(20);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keys_span_multiple_shards() {
+        // The paper: "resulting in distributed transactions".
+        let mut g = WorkloadGenerator::new(WorkloadConfig::paper_default(5, 100), key_fn);
+        let mut shards_touched = HashSet::new();
+        for spec in g.take_txns(100) {
+            for key in spec.keys {
+                let shard: u32 = key.as_str()[1..4].parse().unwrap();
+                shards_touched.insert(shard);
+            }
+        }
+        assert_eq!(shards_touched.len(), 5, "all shards should be touched");
+    }
+
+    #[test]
+    fn zipfian_workload_generates() {
+        let config = WorkloadConfig::paper_default(2, 100)
+            .chooser(KeyChooser::Zipfian { theta: 0.9 })
+            .conflict_free_window(4);
+        let mut g = WorkloadGenerator::new(config, key_fn);
+        let specs = g.take_txns(40);
+        assert_eq!(specs.len(), 40);
+        // Windows stay conflict-free even under skew.
+        for window in specs.chunks(4) {
+            let mut seen = HashSet::new();
+            for spec in window {
+                for key in &spec.keys {
+                    assert!(seen.insert(key.clone()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the pool")]
+    fn impossible_window_panics() {
+        let config = WorkloadConfig::paper_default(1, 10).conflict_free_window(100);
+        let _ = WorkloadGenerator::new(config, key_fn);
+    }
+}

@@ -1,0 +1,21 @@
+//! Transactional YCSB-like workload generation (paper §6).
+//!
+//! "To evaluate the protocol, we used Transactional-YCSB-like benchmark
+//! consisting of transactions with read-write operations. Each
+//! transaction consisted of 5 operations on different data items thus
+//! generating a multi-record workload. The data items were picked at
+//! random from a pool of all the data partitions combined, resulting in
+//! distributed transactions."
+//!
+//! * [`zipf`] — a from-scratch Zipfian sampler (the YCSB default skew
+//!   model) in addition to the paper's uniform selection,
+//! * [`generator`] — transaction-spec generation with an optional
+//!   *conflict-free window*: within a window of `w` consecutive
+//!   transactions no key repeats, matching the coordinator's
+//!   "non-conflicting transactions" batching (§4.6).
+
+pub mod generator;
+pub mod zipf;
+
+pub use generator::{KeyChooser, TxnSpec, WorkloadConfig, WorkloadGenerator};
+pub use zipf::Zipfian;

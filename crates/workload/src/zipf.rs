@@ -1,0 +1,173 @@
+//! Zipfian sampling over `{0, …, n-1}` (Gray et al.'s method, as used
+//! by YCSB).
+//!
+//! Item `i` (0-based rank) is drawn with probability proportional to
+//! `1 / (i+1)^theta`. The sampler precomputes the generalized harmonic
+//! number `zeta(n, theta)` once, then draws in O(1) per sample.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `n` ranked items.
+///
+/// # Example
+///
+/// ```
+/// use fides_workload::Zipfian;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipfian::new(1000, 0.99);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let sample = zipf.sample(&mut rng);
+/// assert!(sample < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    #[allow(dead_code)] // kept: matches the published formula set
+    zeta_2: f64,
+}
+
+impl Zipfian {
+    /// Creates a sampler over `n` items with skew `theta` (YCSB default
+    /// 0.99; `theta → 0` approaches uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zeta_n = Self::zeta(n, theta);
+        let zeta_2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            zeta_2,
+        }
+    }
+
+    /// Generalized harmonic number `Σ_{i=1..n} 1/i^theta`.
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one rank in `[0, n)`; rank 0 is the hottest item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        rank.min(self.n - 1)
+    }
+
+    /// The theoretical probability of rank `i` (testing aid).
+    pub fn probability(&self, rank: usize) -> f64 {
+        assert!(rank < self.n);
+        (1.0 / ((rank + 1) as f64).powf(self.theta)) / self.zeta_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipfian::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_makes_rank_zero_hot() {
+        let zipf = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut zero = 0usize;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if zipf.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        let observed = zero as f64 / trials as f64;
+        let expected = zipf.probability(0);
+        // Within 20% relative error of the theoretical mass.
+        assert!(
+            (observed - expected).abs() / expected < 0.2,
+            "observed {observed}, expected {expected}"
+        );
+        // And far above the uniform mass of 1/1000.
+        assert!(observed > 0.05);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let zipf = Zipfian::new(50, 0.5);
+        let total: f64 = (0..50).map(|i| zipf.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let zipf = Zipfian::new(100, 0.7);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_theta_is_flatter() {
+        let skewed = Zipfian::new(100, 0.99);
+        let flat = Zipfian::new(100, 0.1);
+        assert!(skewed.probability(0) > flat.probability(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_panics() {
+        let _ = Zipfian::new(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipfian::new(0, 0.5);
+    }
+}

@@ -1,0 +1,24 @@
+//! # Fides — auditable data management on untrusted infrastructure
+//!
+//! Umbrella crate re-exporting the full public API of the Fides
+//! reproduction (Maiyya et al., *Fides: Managing Data on Untrusted
+//! Infrastructure*, ICDCS 2020):
+//!
+//! * [`crypto`] — SHA-256, secp256k1, Schnorr, CoSi, Merkle trees,
+//! * [`store`] — timestamped sharded datastores,
+//! * [`net`] — in-memory network with latency/fault injection,
+//! * [`ledger`] — the tamper-proof, globally replicated block log,
+//! * [`core`] — TFCommit, the Fides servers/clients and the auditor,
+//! * [`workload`] — YCSB-like transactional workload generation,
+//! * [`ordserv`] — the §4.6 scaling extension (groups + ordering
+//!   service).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use fides_core as core;
+pub use fides_crypto as crypto;
+pub use fides_ledger as ledger;
+pub use fides_net as net;
+pub use fides_ordserv as ordserv;
+pub use fides_store as store;
+pub use fides_workload as workload;

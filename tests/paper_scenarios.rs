@@ -1,0 +1,205 @@
+//! Faithful re-creations of the paper's worked examples, with the
+//! exact numbers from Figures 10 and 11.
+
+use fides::core::audit::ViolationKind;
+use fides::core::behavior::Behavior;
+use fides::core::system::{ClusterConfig, FidesCluster};
+use fides::store::{Key, Value};
+
+/// Figure 10: T1 deducts $100 from accounts x ($1000) and y ($500);
+/// T2 then deducts another $100 but observes a stale $1000 for x with
+/// up-to-date timestamps. The auditor must flag the server storing x.
+#[test]
+fn figure_10_isolation_violation() {
+    let x = Key::new("s001:item-000000"); // account x on server 1
+    let cluster = FidesCluster::start(
+        ClusterConfig::new(3)
+            .items_per_shard(4)
+            .initial_value(1000)
+            .behavior(
+                1,
+                Behavior {
+                    stale_read_keys: vec![x.clone()],
+                    ..Behavior::default()
+                },
+            ),
+    );
+    let y = cluster.key_of(2, 0);
+    let mut client = cluster.client(0);
+
+    // Seed y with $500 (x keeps its initial $1000).
+    {
+        let mut txn = client.begin();
+        client.write(&mut txn, &y, Value::from_i64(500)).unwrap();
+        assert!(client.commit(txn).unwrap().committed());
+    }
+
+    // T1: x 1000 → 900, y 500 → 400.
+    {
+        let mut txn = client.begin();
+        let vx = client.read(&mut txn, &x).unwrap();
+        let vy = client.read(&mut txn, &y).unwrap();
+        assert_eq!(vx.as_i64(), Some(1000));
+        assert_eq!(vy.as_i64(), Some(500));
+        client.write(&mut txn, &x, Value::from_i64(900)).unwrap();
+        client.write(&mut txn, &y, Value::from_i64(400)).unwrap();
+        assert!(client.commit(txn).unwrap().committed());
+    }
+
+    // T2: the malicious server serves x = $1000 again (stale) with
+    // fresh timestamps, so the transaction commits.
+    {
+        let mut txn = client.begin();
+        let vx = client.read(&mut txn, &x).unwrap();
+        assert_eq!(vx.as_i64(), Some(1000), "server 1 serves the stale value");
+        let vy = client.read(&mut txn, &y).unwrap();
+        assert_eq!(vy.as_i64(), Some(400));
+        client
+            .write(&mut txn, &x, Value::from_i64(vx.as_i64().unwrap() - 100))
+            .unwrap();
+        client
+            .write(&mut txn, &y, Value::from_i64(vy.as_i64().unwrap() - 100))
+            .unwrap();
+        assert!(client.commit(txn).unwrap().committed());
+    }
+
+    let report = cluster.audit();
+    assert!(!report.is_clean());
+    let against = report.against_server(1);
+    let incorrect_read = against.iter().find_map(|v| match &v.kind {
+        ViolationKind::IncorrectRead {
+            key,
+            expected,
+            observed,
+            ..
+        } if *key == x => Some((expected.clone(), observed.clone())),
+        _ => None,
+    });
+    let (expected, observed) = incorrect_read.expect("incorrect read on x flagged");
+    assert_eq!(expected.as_i64(), Some(900), "log says x was $900");
+    assert_eq!(observed.as_i64(), Some(1000), "server returned $1000");
+    // Benign servers are not accused.
+    assert!(report.against_server(0).is_empty());
+    assert!(report.against_server(2).is_empty());
+    cluster.shutdown();
+}
+
+/// Figure 11: server Sm commits a transaction writing x = 900 at
+/// ts-100 but never updates its datastore. Auditing version ts reveals
+/// that the verification object no longer matches the co-signed root —
+/// at precisely the corrupted version.
+#[test]
+fn figure_11_data_corruption_version_pinpointed() {
+    let x = Key::new("s001:item-000002");
+    let cluster = FidesCluster::start(
+        ClusterConfig::new(3)
+            .items_per_shard(4)
+            .initial_value(1000)
+            .behavior(
+                1,
+                Behavior {
+                    skip_write_keys: vec![x.clone()],
+                    ..Behavior::default()
+                },
+            ),
+    );
+    let mut client = cluster.client(0);
+
+    // A few unrelated committed blocks first, then the poisoned write.
+    for i in 0..2 {
+        let k = cluster.key_of(0, i);
+        assert!(client.run_rmw(&[k], 1).unwrap().committed());
+    }
+    // Block 2: x := 900 — committed and co-signed but never applied on
+    // server 1.
+    {
+        let mut txn = client.begin();
+        let v = client.read(&mut txn, &x).unwrap();
+        assert_eq!(v.as_i64(), Some(1000));
+        client.write(&mut txn, &x, Value::from_i64(900)).unwrap();
+        assert!(client.commit(txn).unwrap().committed());
+    }
+    // More traffic afterwards.
+    for i in 0..2 {
+        let k = cluster.key_of(2, i);
+        assert!(client.run_rmw(&[k], 1).unwrap().committed());
+    }
+
+    let report = cluster.audit();
+    assert!(!report.is_clean());
+    let corruption = report
+        .against_server(1)
+        .iter()
+        .find_map(|v| match &v.kind {
+            ViolationKind::DatastoreCorruption { key, .. } if *key == x => Some(v.height),
+            _ => None,
+        })
+        .flatten();
+    // Pinpointed at block 2, the block whose version was corrupted.
+    assert_eq!(corruption, Some(2));
+    cluster.shutdown();
+}
+
+/// §4.5: with multiple violations, the auditor identifies the *first*
+/// occurrence; everything after it is suspect anyway.
+#[test]
+fn first_violation_identified() {
+    let early = Key::new("s001:item-000000");
+    let late = Key::new("s002:item-000000");
+    let cluster = FidesCluster::start(
+        ClusterConfig::new(3)
+            .items_per_shard(4)
+            .behavior(
+                1,
+                Behavior {
+                    skip_write_keys: vec![early.clone()],
+                    ..Behavior::default()
+                },
+            )
+            .behavior(
+                2,
+                Behavior {
+                    skip_write_keys: vec![late.clone()],
+                    ..Behavior::default()
+                },
+            ),
+    );
+    let mut client = cluster.client(0);
+    assert!(client.run_rmw(&[early], 1).unwrap().committed()); // block 0
+    assert!(client.run_rmw(&[late], 1).unwrap().committed()); // block 1
+
+    let report = cluster.audit();
+    let first = report.first().expect("violations exist");
+    assert_eq!(first.height, Some(0));
+    assert_eq!(first.server, Some(1));
+    cluster.shutdown();
+}
+
+/// The multi-version rollback path the paper motivates: "the data can
+/// be reset to the last sanitized version and the application can
+/// resume execution from there" (§4.2.1).
+#[test]
+fn recovery_by_rollback_to_sanitized_version() {
+    let cluster = FidesCluster::start(ClusterConfig::new(2).items_per_shard(4));
+    let mut client = cluster.client(0);
+    let key = cluster.key_of(0, 0);
+    let mut commit_ts = Vec::new();
+    for _ in 0..3 {
+        match client.run_rmw(&[key.clone()], 10).unwrap() {
+            fides::core::client::TxnOutcome::Committed { ts, .. } => commit_ts.push(ts),
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+    cluster.settle(std::time::Duration::from_secs(2));
+
+    let state = cluster.server_state(0);
+    {
+        let mut st = state.lock();
+        assert_eq!(st.shard.read(&key).unwrap().value.as_i64(), Some(130));
+        // Roll back to the first committed version.
+        st.shard.store_mut().rollback_to(commit_ts[0]);
+        assert_eq!(st.shard.read(&key).unwrap().value.as_i64(), Some(110));
+        assert_eq!(st.shard.store().version_count(&key), 2); // initial + first
+    }
+    cluster.shutdown();
+}
