@@ -37,9 +37,8 @@ fn bench_fig12_mechanism(c: &mut Criterion) {
                         let r = run_experiment(&mini_params(protocol, 1));
                         // Charge only the protocol-round time, matching
                         // the paper's commit-latency metric.
-                        total += Duration::from_secs_f64(
-                            r.commit_latency_ms * r.committed as f64 / 1e3,
-                        );
+                        total +=
+                            Duration::from_secs_f64(r.commit_latency_ms * r.committed as f64 / 1e3);
                     }
                     total
                 })

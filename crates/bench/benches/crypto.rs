@@ -3,8 +3,8 @@
 //! collective signing and hashing.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use fides_crypto::cosi::{self, Witness};
-use fides_crypto::schnorr::KeyPair;
+use fides_crypto::cosi::{self, CollectiveSignature, Witness};
+use fides_crypto::schnorr::{self, BatchItem, KeyPair, PublicKey, Signature};
 use fides_crypto::sha256::Sha256;
 
 fn bench_sha256(c: &mut Criterion) {
@@ -29,6 +29,92 @@ fn bench_schnorr(c: &mut Criterion) {
     group.bench_function("sign", |b| b.iter(|| kp.sign(std::hint::black_box(msg))));
     group.bench_function("verify", |b| {
         b.iter(|| kp.public_key().verify(std::hint::black_box(msg), &sig))
+    });
+    group.finish();
+}
+
+fn bench_schnorr_batch(c: &mut Criterion) {
+    // 64 distinct signers/messages — the whole-log verification shape.
+    let n = 64usize;
+    let keys: Vec<KeyPair> = (0..n)
+        .map(|i| KeyPair::from_seed(&[i as u8, 0xEE]))
+        .collect();
+    let messages: Vec<Vec<u8>> = (0..n)
+        .map(|i| format!("protocol message {i}").into_bytes())
+        .collect();
+    let signed: Vec<(PublicKey, Signature)> = keys
+        .iter()
+        .zip(&messages)
+        .map(|(kp, m)| (kp.public_key(), kp.sign(m)))
+        .collect();
+    let items: Vec<BatchItem<'_>> = signed
+        .iter()
+        .zip(&messages)
+        .map(|(&(public_key, signature), message)| BatchItem {
+            public_key,
+            message,
+            signature,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("schnorr");
+    group.sample_size(20);
+    group.bench_function("verify_batch/64", |b| {
+        b.iter(|| schnorr::verify_batch(std::hint::black_box(&items)))
+    });
+    // The baseline the batch is judged against: 64 one-by-one verifies.
+    group.bench_function("verify_sequential/64", |b| {
+        b.iter(|| {
+            items.iter().all(|it| {
+                it.public_key
+                    .verify(std::hint::black_box(it.message), &it.signature)
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_cosi_batch(c: &mut Criterion) {
+    // 64 blocks co-signed by the same 5-server witness set — exactly
+    // the validate_chain workload.
+    let n_blocks = 64usize;
+    let keys: Vec<KeyPair> = (0..5)
+        .map(|i| KeyPair::from_seed(&[i as u8, 0xEF]))
+        .collect();
+    let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+    let records: Vec<Vec<u8>> = (0..n_blocks)
+        .map(|h| format!("block #{h}").into_bytes())
+        .collect();
+    let sigs: Vec<CollectiveSignature> = records
+        .iter()
+        .enumerate()
+        .map(|(h, record)| {
+            let witnesses: Vec<Witness> = keys
+                .iter()
+                .map(|k| Witness::commit(k, &(h as u64).to_be_bytes(), record))
+                .collect();
+            let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+            let ch = cosi::challenge(&agg, record);
+            cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&ch)))
+        })
+        .collect();
+    let items: Vec<(&[u8], CollectiveSignature)> = records
+        .iter()
+        .map(Vec::as_slice)
+        .zip(sigs.iter().copied())
+        .collect();
+
+    let mut group = c.benchmark_group("cosi");
+    group.sample_size(20);
+    group.bench_function("verify_batch/64", |b| {
+        b.iter(|| cosi::verify_batch(std::hint::black_box(&items), &pks))
+    });
+    group.bench_function("verify_sequential/64", |b| {
+        b.iter(|| {
+            items
+                .iter()
+                .all(|(record, sig)| sig.verify(std::hint::black_box(record), &pks))
+        })
     });
     group.finish();
 }
@@ -71,5 +157,12 @@ fn bench_cosi(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sha256, bench_schnorr, bench_cosi);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_schnorr,
+    bench_schnorr_batch,
+    bench_cosi,
+    bench_cosi_batch
+);
 criterion_main!(benches);

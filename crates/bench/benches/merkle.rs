@@ -66,6 +66,33 @@ fn bench_block_of_writes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_update(c: &mut Criterion) {
+    // A block's worth of writes against one shard: the batch API
+    // recomputes each shared internal node once, per-leaf walks pay
+    // the full path per leaf.
+    let n = 10_000usize;
+    let k = 100usize;
+    let fresh = hash_leaf(b"batched");
+    let updates: Vec<(usize, fides_crypto::Digest)> =
+        (0..k).map(|i| ((i * 313) % n, fresh)).collect();
+    let mut group = c.benchmark_group("merkle/batch_100_of_10000");
+    group.bench_function("update_leaves", |b| {
+        let mut tree = MerkleTree::from_leaves(leaves(n));
+        b.iter(|| tree.update_leaves(std::hint::black_box(&updates)))
+    });
+    group.bench_function("per_leaf_loop", |b| {
+        let mut tree = MerkleTree::from_leaves(leaves(n));
+        b.iter(|| {
+            let mut nodes = 0usize;
+            for &(i, d) in std::hint::black_box(&updates) {
+                nodes += tree.update_leaf(i, d);
+            }
+            nodes
+        })
+    });
+    group.finish();
+}
+
 fn bench_proofs(c: &mut Criterion) {
     let tree = MerkleTree::from_leaves(leaves(10_000));
     let root = tree.root();
@@ -84,6 +111,7 @@ criterion_group!(
     bench_incremental_update,
     bench_rebuild_vs_update,
     bench_block_of_writes,
+    bench_batch_update,
     bench_proofs
 );
 criterion_main!(benches);

@@ -13,9 +13,20 @@
 //! guarantees that "a malicious fault … is undeniably linked to the
 //! malicious server" and "a benign server can always defend itself
 //! against falsified accusations" (§1).
+//!
+//! The per-block cosign check behind `verify_cosign` runs on the
+//! verification fast path: chain validation
+//! ([`fides_ledger::validate::validate_chain`]) verifies each log
+//! copy's collective signatures with **one** batched
+//! random-linear-combination check
+//! ([`fides_crypto::cosi::verify_batch`]) and falls back to per-block
+//! verification only when the batch fails — so the violation still
+//! names the exact block, at a fraction of the honest-case cost. With
+//! `S` servers each surrendering an `N`-block log, the audit performs
+//! `S` batched checks instead of `S·N` full signature verifications.
 
-use std::collections::{HashMap, HashSet};
 use core::fmt;
+use std::collections::{HashMap, HashSet};
 
 use fides_crypto::schnorr::PublicKey;
 use fides_ledger::block::{Block, Decision, TxnRecord};
@@ -382,8 +393,7 @@ impl Auditor {
                     // (possibly corrupted) store (§4.2.2).
                     let authentic = match shard.proof_at_version(&write.key, version) {
                         Some((stored_value, vo)) => {
-                            let computed =
-                                vo.compute_root(leaf_digest(&write.key, &stored_value));
+                            let computed = vo.compute_root(leaf_digest(&write.key, &stored_value));
                             computed == logged_root
                         }
                         None => false,
@@ -427,9 +437,7 @@ impl Auditor {
         let present: HashSet<u32> = block.roots.iter().map(|r| r.server).collect();
         let bad = match block.decision {
             Decision::Commit => !involved.iter().all(|s| present.contains(s)),
-            Decision::Abort => {
-                !involved.is_empty() && involved.iter().all(|s| present.contains(s))
-            }
+            Decision::Abort => !involved.is_empty() && involved.iter().all(|s| present.contains(s)),
         };
         if bad {
             violations.push(Violation {

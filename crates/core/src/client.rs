@@ -249,12 +249,7 @@ impl ClientSession {
 
     fn ensure_begun(&mut self, txn: &mut TxnCtx, server: u32) {
         if txn.begun.insert(server) {
-            self.send_to(
-                server,
-                &Message::Begin {
-                    txn: txn.handle,
-                },
-            );
+            self.send_to(server, &Message::Begin { txn: txn.handle });
         }
     }
 
@@ -376,12 +371,12 @@ impl ClientSession {
             self.send_to(COORDINATOR_IDX, &Message::EndTxn { handle, record });
 
             enum Reply {
-                Outcome(Block),
+                Outcome(Box<Block>),
                 Rejected(Timestamp),
             }
             let reply = self.wait_for("transaction outcome", move |_, msg| match msg {
                 Message::Outcome { handle: h, block } if h == handle => {
-                    Some(Reply::Outcome(block))
+                    Some(Reply::Outcome(Box::new(block)))
                 }
                 Message::EndTxnRejected { handle: h, hint } if h == handle => {
                     Some(Reply::Rejected(hint))
@@ -395,6 +390,7 @@ impl ClientSession {
                     continue;
                 }
                 Reply::Outcome(block) => {
+                    let block = *block;
                     // §4.3.1 phase 5: "The client, with the public keys of
                     // all the servers, verifies the co-sign before
                     // accepting the decision."
@@ -408,8 +404,8 @@ impl ClientSession {
                     self.oracle
                         .advance_to(block.max_txn_ts().map_or(0, |t| t.counter()));
                     let height = block.height;
-                    let committed = block.decision == Decision::Commit
-                        && block.txns.iter().any(|t| t.id == ts);
+                    let committed =
+                        block.decision == Decision::Commit && block.txns.iter().any(|t| t.id == ts);
                     return Ok(if committed {
                         TxnOutcome::Committed { ts, height }
                     } else {

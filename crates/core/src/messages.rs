@@ -148,13 +148,13 @@ pub enum Message {
     // ------------------------------------------------------------------
     /// `end_transaction(Tid, ts, Rset-Wset)` — the signed client request
     /// the coordinator encapsulates into the block.
-    EndTxn { handle: TxnHandle, record: TxnRecord },
+    EndTxn {
+        handle: TxnHandle,
+        record: TxnRecord,
+    },
     /// The coordinator refused the request (stale timestamp); the client
     /// should retry with a timestamp above `hint`.
-    EndTxnRejected {
-        handle: TxnHandle,
-        hint: Timestamp,
-    },
+    EndTxnRejected { handle: TxnHandle, hint: Timestamp },
     /// Final outcome: the signed block containing the transaction. The
     /// client verifies the collective signature before accepting
     /// (§4.3.1 phase 5).
@@ -604,7 +604,11 @@ mod tests {
         roundtrip(Message::WriteAck {
             txn,
             key: Key::new("k"),
-            old: Some((Value::from_i64(7), Timestamp::new(1, 0), Timestamp::new(2, 0))),
+            old: Some((
+                Value::from_i64(7),
+                Timestamp::new(1, 0),
+                Timestamp::new(2, 0),
+            )),
         });
         roundtrip(Message::WriteAck {
             txn,
@@ -663,10 +667,8 @@ mod tests {
             .txn(sample_record())
             .decision(Decision::Commit)
             .build_unsigned();
-        let challenge = fides_crypto::cosi::challenge(
-            &witness.commitment().0,
-            &block.signing_bytes(),
-        );
+        let challenge =
+            fides_crypto::cosi::challenge(&witness.commitment().0, &block.signing_bytes());
         roundtrip(Message::Challenge {
             block: block.clone(),
             aggregate: witness.commitment(),

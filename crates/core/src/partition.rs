@@ -92,10 +92,7 @@ impl Partitioner {
 
     /// Splits keys by owning server: `result[s]` holds the keys of
     /// server `s` (order preserved).
-    pub fn group_by_owner<'a>(
-        &self,
-        keys: impl IntoIterator<Item = &'a Key>,
-    ) -> Vec<Vec<&'a Key>> {
+    pub fn group_by_owner<'a>(&self, keys: impl IntoIterator<Item = &'a Key>) -> Vec<Vec<&'a Key>> {
         let mut groups = vec![Vec::new(); self.inner.n_servers as usize];
         for key in keys {
             groups[self.owner(key) as usize].push(key);
@@ -149,11 +146,7 @@ mod tests {
     fn involved_servers_sorted_dedup() {
         let p = Partitioner::from_assignments(
             4,
-            [
-                (Key::new("a"), 3),
-                (Key::new("b"), 1),
-                (Key::new("c"), 3),
-            ],
+            [(Key::new("a"), 3), (Key::new("b"), 1), (Key::new("c"), 3)],
         );
         let keys = [Key::new("a"), Key::new("b"), Key::new("c")];
         assert_eq!(p.involved_servers(keys.iter()), vec![1, 3]);

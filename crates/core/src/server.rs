@@ -26,9 +26,7 @@ use fides_store::authenticated::AuthenticatedShard;
 use fides_store::types::{ItemState, Key, Timestamp, Value};
 
 use crate::behavior::Behavior;
-use crate::messages::{
-    CommitProtocol, InvolvedVote, Message, PartialBlock, Refusal, TxnHandle,
-};
+use crate::messages::{CommitProtocol, InvolvedVote, Message, PartialBlock, Refusal, TxnHandle};
 use crate::occ;
 use crate::partition::Partitioner;
 
@@ -63,6 +61,10 @@ pub struct ServerState {
     /// Culprits the coordinator identified via partial-signature checks
     /// (Lemma 4): `(height, server indices)`.
     pub cosi_culprits: Vec<(u64, Vec<u32>)>,
+    /// Decision blocks that arrived ahead of this server's log tip
+    /// (out-of-order delivery). They are verified **in batch** and
+    /// applied as soon as the gap closes (the catch-up loop).
+    pending_decisions: std::collections::BTreeMap<u64, Block>,
     /// Coordinator-side round statistics: protocol rounds completed,
     /// cumulative round time, and transactions committed — the paper's
     /// "commit latency" ("time taken to terminate a transaction once
@@ -97,6 +99,7 @@ impl ServerState {
             sent_roots: HashMap::new(),
             refusals: Vec::new(),
             cosi_culprits: Vec::new(),
+            pending_decisions: std::collections::BTreeMap::new(),
             round_stats: RoundStats::default(),
         }
     }
@@ -285,10 +288,8 @@ impl Server {
                 // is pending.
                 self.handle_end_txn(from, handle, record);
             }
-            Message::Flush => {
-                if self.is_coordinator() && !self.pending.is_empty() {
-                    self.run_round();
-                }
+            Message::Flush if self.is_coordinator() && !self.pending.is_empty() => {
+                self.run_round();
             }
             Message::GetVote { partial } => self.handle_get_vote(from, partial),
             Message::Challenge {
@@ -399,10 +400,7 @@ impl Server {
                 }
             });
             // Also enforce the sequential-log rule for the whole batch.
-            let stale = partial
-                .txns
-                .iter()
-                .any(|t| t.id <= state.last_committed);
+            let stale = partial.txns.iter().any(|t| t.id <= state.last_committed);
             if failed.is_empty() && !stale {
                 // Commit vote: compute the speculative root over all of
                 // the block's writes that land on this shard.
@@ -470,8 +468,7 @@ impl Server {
         // Own-root check (Scenario 2: a malicious coordinator storing an
         // incorrect root for a benign server is caught here).
         if let Some(sent) = state.sent_roots.get(&block.height) {
-            if block.decision == Decision::Commit && block.root_of(self.config.idx) != Some(*sent)
-            {
+            if block.decision == Decision::Commit && block.root_of(self.config.idx) != Some(*sent) {
                 return Err(Refusal::RootMismatch);
             }
         }
@@ -512,7 +509,26 @@ impl Server {
     /// Phase 5: verify the co-sign, then append and apply (§4.1 steps
     /// 6–7). Both commit and abort blocks are logged; only commit
     /// blocks update the datastore.
+    ///
+    /// Decisions that arrive **ahead** of this server's log tip
+    /// (reordered delivery) are buffered unverified; once the gap
+    /// closes, the whole consecutive run is verified with one
+    /// [`cosi::verify_batch`] call in [`Server::catch_up`] instead of
+    /// one full signature check per block.
     fn handle_decision(&mut self, block: Block) {
+        /// Upper bound on buffered future decisions (memory guard).
+        const MAX_BUFFERED_DECISIONS: u64 = 1024;
+
+        let tip = self.state.lock().log.len() as u64;
+        if block.height > tip {
+            if block.height - tip <= MAX_BUFFERED_DECISIONS {
+                self.state
+                    .lock()
+                    .pending_decisions
+                    .insert(block.height, block);
+            }
+            return;
+        }
         if !block
             .cosign
             .verify(&block.signing_bytes(), &self.server_pks)
@@ -522,6 +538,67 @@ impl Server {
             return;
         }
         self.apply_block(block, CommitProtocol::TfCommit);
+        self.catch_up();
+    }
+
+    /// The catch-up loop: applies buffered decisions that have become
+    /// consecutive with the log tip.
+    ///
+    /// The whole run is verified with a **single** batched
+    /// collective-signature check; only if that fails does the loop
+    /// fall back to per-block verification, applying valid blocks and
+    /// stopping at the first invalid one (which cannot be linked into
+    /// the chain, and whose absence will surface at the audit).
+    fn catch_up(&mut self) {
+        loop {
+            let run: Vec<Block> = {
+                let mut state = self.state.lock();
+                let mut next = state.log.len() as u64;
+                let mut run = Vec::new();
+                while let Some(block) = state.pending_decisions.remove(&next) {
+                    run.push(block);
+                    next += 1;
+                }
+                // Drop stale entries at or below the tip.
+                let tip = state.log.len() as u64;
+                state.pending_decisions.retain(|&h, _| h > tip);
+                run
+            };
+            if run.is_empty() {
+                return;
+            }
+            let records: Vec<Vec<u8>> = run.iter().map(|b| b.signing_bytes()).collect();
+            let items: Vec<(&[u8], cosi::CollectiveSignature)> = records
+                .iter()
+                .map(Vec::as_slice)
+                .zip(run.iter().map(|b| b.cosign))
+                .collect();
+            if cosi::verify_batch(&items, &self.server_pks) {
+                for block in run {
+                    self.apply_block(block, CommitProtocol::TfCommit);
+                }
+            } else {
+                // Pinpoint the first invalid signature; the chain
+                // cannot continue past it.
+                let valid_prefix = items
+                    .iter()
+                    .position(|(record, sig)| !sig.verify(record, &self.server_pks))
+                    .unwrap_or(items.len());
+                let mut blocks = run.into_iter();
+                for block in blocks.by_ref().take(valid_prefix) {
+                    self.apply_block(block, CommitProtocol::TfCommit);
+                }
+                // Discard the invalid block, but re-buffer the blocks
+                // behind it: a correctly signed copy of the bad height
+                // may still arrive and let them apply.
+                let _invalid = blocks.next();
+                let mut state = self.state.lock();
+                for block in blocks {
+                    state.pending_decisions.insert(block.height, block);
+                }
+                return;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -722,10 +799,7 @@ impl Server {
         }
 
         // Phase 3 <null, SchChallenge>: form the decision and the block.
-        let all_commit = involved_votes
-            .iter()
-            .flatten()
-            .all(|v| v.commit);
+        let all_commit = involved_votes.iter().flatten().all(|v| v.commit);
         let decision = if all_commit {
             Decision::Commit
         } else {
@@ -761,9 +835,8 @@ impl Server {
 
         let all_commitments: Vec<cosi::Commitment> =
             commitments.iter().map(|c| c.expect("collected")).collect();
-        let aggregate = cosi::Commitment(cosi::aggregate_commitments(
-            all_commitments.iter().copied(),
-        ));
+        let aggregate =
+            cosi::Commitment(cosi::aggregate_commitments(all_commitments.iter().copied()));
         let challenge = cosi::challenge(&aggregate.0, &block.signing_bytes());
 
         // Fault: equivocate (Lemma 5 Case 1) — commit block to even
@@ -779,7 +852,11 @@ impl Server {
                 if s == self.config.idx {
                     continue;
                 }
-                let which = if s % 2 == 0 { block.clone() } else { alt.clone() };
+                let which = if s % 2 == 0 {
+                    block.clone()
+                } else {
+                    alt.clone()
+                };
                 self.send(
                     server_node(s),
                     &Message::Challenge {
@@ -1070,11 +1147,7 @@ impl Server {
 }
 
 /// All writes in the batch that land on `server`'s shard, in txn order.
-fn shard_writes(
-    txns: &[TxnRecord],
-    partitioner: &Partitioner,
-    server: u32,
-) -> Vec<(Key, Value)> {
+fn shard_writes(txns: &[TxnRecord], partitioner: &Partitioner, server: u32) -> Vec<(Key, Value)> {
     let mut writes = Vec::new();
     for txn in txns {
         for w in &txn.write_set {
@@ -1116,10 +1189,7 @@ mod tests {
     #[test]
     fn shard_writes_filters_by_owner() {
         use fides_store::rwset::WriteEntry;
-        let p = Partitioner::from_assignments(
-            2,
-            [(Key::new("a"), 0), (Key::new("b"), 1)],
-        );
+        let p = Partitioner::from_assignments(2, [(Key::new("a"), 0), (Key::new("b"), 1)]);
         let txn = TxnRecord {
             id: Timestamp::new(1, 0),
             read_set: vec![],
@@ -1140,7 +1210,7 @@ mod tests {
                 },
             ],
         };
-        let w0 = shard_writes(&[txn.clone()], &p, 0);
+        let w0 = shard_writes(std::slice::from_ref(&txn), &p, 0);
         assert_eq!(w0.len(), 1);
         assert_eq!(w0[0].0, Key::new("a"));
         let w1 = shard_writes(&[txn], &p, 1);

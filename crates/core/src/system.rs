@@ -167,7 +167,8 @@ impl FidesCluster {
         let directory: Directory = Arc::new(directory);
 
         // Shards and the partition map.
-        let mut assignments = Vec::with_capacity(config.n_servers as usize * config.items_per_shard);
+        let mut assignments =
+            Vec::with_capacity(config.n_servers as usize * config.items_per_shard);
         let mut initial = HashMap::new();
         let mut shards = Vec::with_capacity(config.n_servers as usize);
         for s in 0..config.n_servers {
@@ -252,9 +253,8 @@ impl FidesCluster {
 
     /// All preloaded keys, shard by shard.
     pub fn all_keys(&self) -> Vec<Key> {
-        let mut keys = Vec::with_capacity(
-            self.config.n_servers as usize * self.config.items_per_shard,
-        );
+        let mut keys =
+            Vec::with_capacity(self.config.n_servers as usize * self.config.items_per_shard);
         for s in 0..self.config.n_servers {
             for i in 0..self.config.items_per_shard {
                 keys.push(Self::key_for(s, i));
@@ -423,11 +423,7 @@ mod tests {
     use crate::client::TxnOutcome;
 
     fn small_cluster(protocol: CommitProtocol) -> FidesCluster {
-        FidesCluster::start(
-            ClusterConfig::new(3)
-                .items_per_shard(8)
-                .protocol(protocol),
-        )
+        FidesCluster::start(ClusterConfig::new(3).items_per_shard(8).protocol(protocol))
     }
 
     #[test]
@@ -439,9 +435,7 @@ mod tests {
         let mut txn = client.begin();
         let v = client.read(&mut txn, &key).unwrap();
         assert_eq!(v.as_i64(), Some(100));
-        client
-            .write(&mut txn, &key, Value::from_i64(142))
-            .unwrap();
+        client.write(&mut txn, &key, Value::from_i64(142)).unwrap();
         let outcome = client.commit(txn).unwrap();
         assert!(outcome.committed(), "outcome: {outcome:?}");
 
@@ -477,7 +471,7 @@ mod tests {
         let cluster = small_cluster(CommitProtocol::TwoPhaseCommit);
         let mut client = cluster.client(0);
         let key = cluster.key_of(0, 1);
-        let outcome = client.run_rmw(&[key.clone()], 1).unwrap();
+        let outcome = client.run_rmw(std::slice::from_ref(&key), 1).unwrap();
         assert!(outcome.committed());
         let mut txn = client.begin();
         assert_eq!(client.read(&mut txn, &key).unwrap().as_i64(), Some(101));
@@ -498,7 +492,10 @@ mod tests {
         let _ = alice.read(&mut txa, &key).unwrap();
 
         // ...Bob commits a write to the same key...
-        assert!(bob.run_rmw(&[key.clone()], 5).unwrap().committed());
+        assert!(bob
+            .run_rmw(std::slice::from_ref(&key), 5)
+            .unwrap()
+            .committed());
 
         // ...then Alice tries to commit her read: stale → abort.
         alice.write(&mut txa, &key, Value::from_i64(0)).unwrap();
@@ -516,11 +513,7 @@ mod tests {
 
     #[test]
     fn batched_transactions_commit_in_one_block() {
-        let cluster = FidesCluster::start(
-            ClusterConfig::new(3)
-                .items_per_shard(32)
-                .batch_size(4),
-        );
+        let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(32).batch_size(4));
         // Four concurrent clients, disjoint keys → one block.
         let mut handles = Vec::new();
         for c in 0..4u32 {
@@ -530,8 +523,7 @@ mod tests {
                 client.run_rmw(&[key], 1).unwrap()
             }));
         }
-        let outcomes: Vec<TxnOutcome> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let outcomes: Vec<TxnOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(outcomes.iter().all(|o| o.committed()), "{outcomes:?}");
         let heights: std::collections::HashSet<u64> = outcomes
             .iter()

@@ -27,24 +27,28 @@ fn commit_some_txns(cluster: &FidesCluster, n: usize) {
 #[test]
 fn stale_read_detected_and_attributed() {
     let victim_key_holder = 1u32;
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3).items_per_shard(4).behavior(
-            victim_key_holder,
-            Behavior {
-                stale_read_keys: vec![Key::new("s001:item-000002")],
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(4).behavior(
+        victim_key_holder,
+        Behavior {
+            stale_read_keys: vec![Key::new("s001:item-000002")],
+            ..Behavior::default()
+        },
+    ));
     let key = cluster.key_of(victim_key_holder, 2);
     let mut client = cluster.client(0);
 
     // T1 establishes a version (write 100 -> 150).
-    assert!(client.run_rmw(&[key.clone()], 50).unwrap().committed());
+    assert!(client
+        .run_rmw(std::slice::from_ref(&key), 50)
+        .unwrap()
+        .committed());
     // T2 reads: the malicious server returns the stale value (100) with
     // up-to-date timestamps — exactly Figure 10. The stale value flows
     // into T2's logged read set.
-    assert!(client.run_rmw(&[key.clone()], 7).unwrap().committed());
+    assert!(client
+        .run_rmw(std::slice::from_ref(&key), 7)
+        .unwrap()
+        .committed());
 
     let report = cluster.audit();
     assert!(!report.is_clean(), "stale read must be detected");
@@ -70,18 +74,19 @@ fn stale_read_detected_and_attributed() {
 fn skipped_write_detected_as_datastore_corruption() {
     let faulty = 2u32;
     let key = Key::new("s002:item-000001");
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3).items_per_shard(4).behavior(
-            faulty,
-            Behavior {
-                skip_write_keys: vec![key.clone()],
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(4).behavior(
+        faulty,
+        Behavior {
+            skip_write_keys: vec![key.clone()],
+            ..Behavior::default()
+        },
+    ));
     let mut client = cluster.client(0);
     // The write commits globally but the faulty server never applies it.
-    assert!(client.run_rmw(&[key.clone()], 11).unwrap().committed());
+    assert!(client
+        .run_rmw(std::slice::from_ref(&key), 11)
+        .unwrap()
+        .committed());
 
     let report = cluster.audit();
     let against = report.against_server(faulty);
@@ -101,17 +106,18 @@ fn skipped_write_detected_as_datastore_corruption() {
 fn post_commit_corruption_detected_at_precise_version() {
     let faulty = 1u32;
     let key = Key::new("s001:item-000000");
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3).items_per_shard(4).behavior(
-            faulty,
-            Behavior {
-                corrupt_after_commit: Some((key.clone(), Value::from_i64(999_999))),
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(4).behavior(
+        faulty,
+        Behavior {
+            corrupt_after_commit: Some((key.clone(), Value::from_i64(999_999))),
+            ..Behavior::default()
+        },
+    ));
     let mut client = cluster.client(0);
-    assert!(client.run_rmw(&[key.clone()], 5).unwrap().committed());
+    assert!(client
+        .run_rmw(std::slice::from_ref(&key), 5)
+        .unwrap()
+        .committed());
 
     let report = cluster.audit();
     let against = report.against_server(faulty);
@@ -135,15 +141,13 @@ fn post_commit_corruption_detected_at_precise_version() {
 #[test]
 fn fake_root_refused_by_benign_cohort() {
     let victim = 1u32;
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3).items_per_shard(4).behavior(
-            0, // the coordinator lies
-            Behavior {
-                fake_root_for: Some(victim),
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(4).behavior(
+        0, // the coordinator lies
+        Behavior {
+            fake_root_for: Some(victim),
+            ..Behavior::default()
+        },
+    ));
     let mut client = cluster.client(0);
     let key = cluster.key_of(victim, 1);
     let mut txn = client.begin();
@@ -174,15 +178,13 @@ fn fake_root_refused_by_benign_cohort() {
 #[test]
 fn corrupt_cosi_response_culprit_identified() {
     let culprit = 2u32;
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(4).items_per_shard(4).behavior(
-            culprit,
-            Behavior {
-                corrupt_cosi_response: true,
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(4).items_per_shard(4).behavior(
+        culprit,
+        Behavior {
+            corrupt_cosi_response: true,
+            ..Behavior::default()
+        },
+    ));
     let mut client = cluster.client(0);
     let key = cluster.key_of(0, 0);
     let outcome = client.run_rmw(&[key], 1).unwrap();
@@ -202,15 +204,13 @@ fn corrupt_cosi_response_culprit_identified() {
 
 #[test]
 fn equivocating_coordinator_detected() {
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(4).items_per_shard(4).behavior(
-            0,
-            Behavior {
-                equivocate_decision: true,
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(4).items_per_shard(4).behavior(
+        0,
+        Behavior {
+            equivocate_decision: true,
+            ..Behavior::default()
+        },
+    ));
     let mut client = cluster.client(0);
     let key = cluster.key_of(1, 0);
     let outcome = client.run_rmw(&[key], 1).unwrap();
@@ -235,23 +235,21 @@ fn equivocating_coordinator_detected() {
 #[test]
 fn tampered_log_detected_at_height() {
     let faulty = 1u32;
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3).items_per_shard(4).behavior(
-            faulty,
-            Behavior {
-                tamper_log_at: Some(2),
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(4).behavior(
+        faulty,
+        Behavior {
+            tamper_log_at: Some(2),
+            ..Behavior::default()
+        },
+    ));
     commit_some_txns(&cluster, 5);
 
     let report = cluster.audit();
     let against = report.against_server(faulty);
     assert!(
-        against.iter().any(|v| {
-            matches!(&v.kind, ViolationKind::TamperedLog(fault) if fault.height == 2)
-        }),
+        against
+            .iter()
+            .any(|v| { matches!(&v.kind, ViolationKind::TamperedLog(fault) if fault.height == 2) }),
         "expected TamperedLog at height 2: {report}"
     );
     assert!(report.against_server(0).is_empty());
@@ -262,15 +260,13 @@ fn tampered_log_detected_at_height() {
 #[test]
 fn reordered_log_detected() {
     let faulty = 2u32;
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3).items_per_shard(4).behavior(
-            faulty,
-            Behavior {
-                reorder_log: Some((1, 3)),
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(4).behavior(
+        faulty,
+        Behavior {
+            reorder_log: Some((1, 3)),
+            ..Behavior::default()
+        },
+    ));
     commit_some_txns(&cluster, 5);
 
     let report = cluster.audit();
@@ -287,15 +283,13 @@ fn reordered_log_detected() {
 #[test]
 fn truncated_log_detected_as_incomplete() {
     let faulty = 0u32; // even the coordinator can omit its tail
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3).items_per_shard(4).behavior(
-            faulty,
-            Behavior {
-                truncate_log_to: Some(2),
-                ..Behavior::default()
-            },
-        ),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(4).behavior(
+        faulty,
+        Behavior {
+            truncate_log_to: Some(2),
+            ..Behavior::default()
+        },
+    ));
     commit_some_txns(&cluster, 5);
 
     let report = cluster.audit();
@@ -369,7 +363,7 @@ fn partitioned_cohort_stalls_commitment() {
     let mut client = cluster.client(0);
     client.set_op_timeout(Duration::from_secs(3));
     let key = cluster.key_of(1, 0);
-    let result = client.run_rmw(&[key.clone()], 1);
+    let result = client.run_rmw(std::slice::from_ref(&key), 1);
     // Either the coordinator rejected the batch after its vote timeout
     // (client exhausts retries) or the client timed out waiting.
     assert!(result.is_err(), "commitment must not succeed: {result:?}");
@@ -392,9 +386,7 @@ fn honest_cluster_audits_clean_after_many_txns() {
     let mut handles = Vec::new();
     for c in 0..4u32 {
         let mut client = cluster.client(c);
-        let keys: Vec<Key> = (0..4)
-            .map(|s| cluster.key_of(s, c as usize * 2))
-            .collect();
+        let keys: Vec<Key> = (0..4).map(|s| cluster.key_of(s, c as usize * 2)).collect();
         handles.push(std::thread::spawn(move || {
             let mut committed = 0;
             for _ in 0..10 {

@@ -59,8 +59,8 @@ use core::fmt;
 
 use crate::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use crate::point::Point;
-use crate::schnorr::{derive_nonce, KeyPair, PublicKey};
 use crate::scalar::Scalar;
+use crate::schnorr::{derive_nonce, KeyPair, PublicKey};
 use crate::sha256::Sha256;
 
 /// A witness's Schnorr commitment `X_i = v_i·G` (phase 2).
@@ -103,7 +103,7 @@ impl Witness {
         let v = derive_nonce(key.secret_key(), &material, b"fides.cosi.nonce.v1");
         Witness {
             secret: v,
-            commitment: Commitment(Point::mul_generator(&v)),
+            commitment: Commitment(Point::mul_generator(&v).normalize()),
             key: *key,
         }
     }
@@ -127,8 +127,16 @@ impl Witness {
 }
 
 /// Aggregates witness commitments: `X = Σ X_i` (phase 3, leader side).
+///
+/// The sum is normalized to `Z = 1` once, so the challenge hash, the
+/// wire encoding and the verifier's final comparison all avoid a field
+/// inversion.
 pub fn aggregate_commitments<I: IntoIterator<Item = Commitment>>(commitments: I) -> Point {
-    commitments.into_iter().map(|c| c.0).sum()
+    commitments
+        .into_iter()
+        .map(|c| c.0)
+        .sum::<Point>()
+        .normalize()
 }
 
 /// Computes the collective challenge `c = H(enc(X) ‖ record)` (§2.2:
@@ -163,9 +171,7 @@ impl CollectiveSignature {
         aggregate_commitment: Point,
         responses: I,
     ) -> CollectiveSignature {
-        let s = responses
-            .into_iter()
-            .fold(Scalar::ZERO, |acc, r| acc + r.0);
+        let s = responses.into_iter().fold(Scalar::ZERO, |acc, r| acc + r.0);
         CollectiveSignature {
             aggregate_commitment,
             aggregate_response: s,
@@ -179,15 +185,18 @@ impl CollectiveSignature {
     /// with the public keys of all the involved servers can verify the
     /// co-sign and the verification cost is the same as verifying a
     /// single signature."
+    ///
+    /// Like [`PublicKey::verify`](crate::schnorr::PublicKey::verify),
+    /// the check `s·G == X + c·ΣPᵢ` runs as one Strauss–Shamir
+    /// double-scalar multiplication `s·G + (−c)·ΣPᵢ == X`.
     pub fn verify(&self, record: &[u8], public_keys: &[PublicKey]) -> bool {
         if public_keys.is_empty() {
             return false;
         }
         let c = challenge(&self.aggregate_commitment, record);
         let agg_pk = aggregate_public_keys(public_keys.iter());
-        let lhs = Point::mul_generator(&self.aggregate_response);
-        let rhs = self.aggregate_commitment + agg_pk * c;
-        lhs == rhs
+        Point::mul_shamir_generator(&self.aggregate_response, &(-c), &agg_pk)
+            == self.aggregate_commitment
     }
 
     /// A placeholder (all-zero) signature for blocks still under
@@ -198,6 +207,98 @@ impl CollectiveSignature {
             aggregate_response: Scalar::ZERO,
         }
     }
+}
+
+/// Verifies `N` collective signatures for the **same witness set**
+/// with one multi-scalar multiplication — the whole-log fast path used
+/// by chain validation and audit catch-up.
+///
+/// Per item `i` the single check is `sᵢ·G == Xᵢ + cᵢ·P` with the shared
+/// aggregate key `P = ΣPⱼ`. The random linear combination (128-bit
+/// `zᵢ`, `z₀ = 1`) folds all of them into
+///
+/// ```text
+/// Σ zᵢ·Xᵢ + (Σ zᵢ·cᵢ)·P  ==  (Σ zᵢ·sᵢ)·G
+/// ```
+///
+/// — note the `P` terms collapse into a *single* point term, so the
+/// marginal cost per additional block is one short-scalar ladder
+/// contribution, far below a full verification. A `false` result does
+/// not attribute blame; callers fall back to per-signature
+/// [`CollectiveSignature::verify`] to pinpoint the offending item
+/// (audit semantics preserved).
+///
+/// The empty batch is vacuously valid; an empty key set is invalid
+/// (matching the single-verify contract).
+pub fn verify_batch(items: &[(&[u8], CollectiveSignature)], public_keys: &[PublicKey]) -> bool {
+    if items.is_empty() {
+        return true;
+    }
+    if public_keys.is_empty() {
+        return false;
+    }
+    if let [(record, sig)] = items {
+        return sig.verify(record, public_keys);
+    }
+    let agg_pk = aggregate_public_keys(public_keys.iter());
+    let challenges: Vec<Scalar> = items
+        .iter()
+        .map(|(record, sig)| challenge(&sig.aggregate_commitment, record))
+        .collect();
+    let zs = batch_randomizers(items, &challenges, public_keys);
+    let mut s_combined = Scalar::ZERO;
+    let mut c_combined = Scalar::ZERO;
+    let mut terms = Vec::with_capacity(items.len() + 1);
+    for ((_, sig), (c, z)) in items.iter().zip(challenges.iter().zip(&zs)) {
+        s_combined = s_combined + *z * sig.aggregate_response;
+        c_combined = c_combined + *z * *c;
+        terms.push((*z, sig.aggregate_commitment));
+    }
+    terms.push((c_combined, agg_pk));
+    Point::multi_mul(&terms) == Point::mul_generator(&s_combined)
+}
+
+/// Derives deterministic 128-bit batch randomizers (`z₀ = 1`).
+///
+/// The transcript commits to the witness set, every signature `(X, s)`
+/// and its challenge `c = H(enc(X) ‖ record)` — the latter transitively
+/// commits to the record under collision resistance.
+fn batch_randomizers(
+    items: &[(&[u8], CollectiveSignature)],
+    challenges: &[Scalar],
+    public_keys: &[PublicKey],
+) -> Vec<Scalar> {
+    let mut transcript = Sha256::new();
+    transcript.update(b"fides.cosi.batch.v1");
+    for pk in public_keys {
+        transcript.update(&pk.to_bytes());
+    }
+    for ((_, sig), c) in items.iter().zip(challenges) {
+        transcript.update(&sig.aggregate_commitment.to_compressed_bytes());
+        transcript.update(&sig.aggregate_response.to_be_bytes());
+        transcript.update(&c.to_be_bytes());
+    }
+    let seed = transcript.finalize();
+    (0..items.len())
+        .map(|i| {
+            if i == 0 {
+                return Scalar::ONE;
+            }
+            let digest = Sha256::digest_parts(&[
+                b"fides.cosi.batch.z.v1",
+                seed.as_bytes(),
+                &(i as u64).to_be_bytes(),
+            ]);
+            let mut bytes = [0u8; 32];
+            bytes[16..].copy_from_slice(&digest.as_bytes()[16..]);
+            let z = Scalar::from_be_bytes(&bytes).expect("128-bit value is canonical");
+            if z.is_zero() {
+                Scalar::ONE
+            } else {
+                z
+            }
+        })
+        .collect()
 }
 
 /// Checks each witness's partial response against its commitment:
@@ -428,5 +529,109 @@ mod tests {
         let p2 = Point::generator().double();
         assert_ne!(challenge(&p1, b"r"), challenge(&p2, b"r"));
         assert_ne!(challenge(&p1, b"r1"), challenge(&p1, b"r2"));
+    }
+
+    /// `n` rounds signed by the same witness set, distinct records.
+    fn signed_batch(rounds: usize, keys: &[KeyPair]) -> (Vec<Vec<u8>>, Vec<CollectiveSignature>) {
+        let mut records = Vec::with_capacity(rounds);
+        let mut sigs = Vec::with_capacity(rounds);
+        for r in 0..rounds {
+            let record = format!("block #{r}").into_bytes();
+            let witnesses: Vec<Witness> = keys
+                .iter()
+                .map(|k| Witness::commit(k, &(r as u64).to_be_bytes(), &record))
+                .collect();
+            let agg = aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+            let c = challenge(&agg, &record);
+            sigs.push(CollectiveSignature::assemble(
+                agg,
+                witnesses.iter().map(|w| w.respond(&c)),
+            ));
+            records.push(record);
+        }
+        (records, sigs)
+    }
+
+    fn batch_items<'a>(
+        records: &'a [Vec<u8>],
+        sigs: &[CollectiveSignature],
+    ) -> Vec<(&'a [u8], CollectiveSignature)> {
+        records
+            .iter()
+            .map(Vec::as_slice)
+            .zip(sigs.iter().copied())
+            .collect()
+    }
+
+    #[test]
+    fn batch_accepts_valid_log() {
+        let keys: Vec<KeyPair> = (0..4).map(|i| KeyPair::from_seed(&[i, 0xC1])).collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        for rounds in [0usize, 1, 2, 5, 16] {
+            let (records, sigs) = signed_batch(rounds, &keys);
+            assert!(
+                verify_batch(&batch_items(&records, &sigs), &pks),
+                "rounds={rounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rejects_one_bad_block() {
+        let keys: Vec<KeyPair> = (0..4).map(|i| KeyPair::from_seed(&[i, 0xC2])).collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        let (records, mut sigs) = signed_batch(7, &keys);
+        sigs[3].aggregate_response = sigs[3].aggregate_response + Scalar::ONE;
+        let items = batch_items(&records, &sigs);
+        assert!(!verify_batch(&items, &pks));
+        // The per-signature fallback pinpoints block 3.
+        let bad: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, (rec, sig))| !sig.verify(rec, &pks))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(bad, vec![3]);
+    }
+
+    #[test]
+    fn batch_rejects_placeholder_in_log() {
+        let keys: Vec<KeyPair> = (0..3).map(|i| KeyPair::from_seed(&[i, 0xC3])).collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        let (records, mut sigs) = signed_batch(4, &keys);
+        sigs[2] = CollectiveSignature::placeholder();
+        assert!(!verify_batch(&batch_items(&records, &sigs), &pks));
+    }
+
+    #[test]
+    fn batch_rejects_wrong_witness_set() {
+        let keys: Vec<KeyPair> = (0..3).map(|i| KeyPair::from_seed(&[i, 0xC4])).collect();
+        let (records, sigs) = signed_batch(3, &keys);
+        let other: Vec<_> = (0..3u8)
+            .map(|i| KeyPair::from_seed(&[i, 0xC5]).public_key())
+            .collect();
+        assert!(!verify_batch(&batch_items(&records, &sigs), &other));
+    }
+
+    #[test]
+    fn batch_rejects_empty_key_set() {
+        let keys: Vec<KeyPair> = (0..2).map(|i| KeyPair::from_seed(&[i, 0xC6])).collect();
+        let (records, sigs) = signed_batch(2, &keys);
+        assert!(!verify_batch(&batch_items(&records, &sigs), &[]));
+    }
+
+    #[test]
+    fn batch_agrees_with_individual_verifies() {
+        let keys: Vec<KeyPair> = (0..3).map(|i| KeyPair::from_seed(&[i, 0xC7])).collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        let (records, mut sigs) = signed_batch(5, &keys);
+        let agree = |records: &[Vec<u8>], sigs: &[CollectiveSignature], pks: &[PublicKey]| {
+            let batch = verify_batch(&batch_items(records, sigs), pks);
+            let individual = records.iter().zip(sigs).all(|(r, s)| s.verify(r, pks));
+            batch == individual
+        };
+        assert!(agree(&records, &sigs, &pks));
+        sigs[0].aggregate_response = sigs[0].aggregate_response + Scalar::ONE;
+        assert!(agree(&records, &sigs, &pks));
     }
 }

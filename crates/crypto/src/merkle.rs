@@ -52,8 +52,14 @@ pub fn hash_nodes(left: &Digest, right: &Digest) -> Digest {
 }
 
 /// The digest used to pad the leaf level up to a power of two.
+///
+/// Computed once and cached: `from_leaves` appends this for every
+/// padding slot, and recomputing a SHA-256 digest per padding leaf is
+/// measurable on large trees.
 pub fn empty_leaf() -> Digest {
-    hash_leaf(b"fides.merkle.empty.v1")
+    use std::sync::OnceLock;
+    static EMPTY: OnceLock<Digest> = OnceLock::new();
+    *EMPTY.get_or_init(|| hash_leaf(b"fides.merkle.empty.v1"))
 }
 
 /// A binary Merkle hash tree over a vector of leaf digests.
@@ -142,6 +148,47 @@ impl MerkleTree {
             self.levels[lvl + 1][parent_idx] = hash_nodes(&left, &right);
             recomputed += 1;
             idx = parent_idx;
+        }
+        recomputed
+    }
+
+    /// Replaces a batch of leaves and recomputes each affected internal
+    /// node **once**, bottom-up — a true batch update.
+    ///
+    /// Per-leaf path walks rehash a shared ancestor once per leaf
+    /// (`k·log₂ n` node hashes for `k` updates); this recomputes the
+    /// union of the dirty paths instead, which for clustered or large
+    /// batches approaches the rebuild lower bound while still touching
+    /// nothing outside the dirty region. Duplicate indices are allowed;
+    /// the last write wins. Returns the number of internal-node hashes
+    /// recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= self.len()`.
+    pub fn update_leaves(&mut self, updates: &[(usize, Digest)]) -> usize {
+        if updates.is_empty() {
+            return 0;
+        }
+        for &(index, digest) in updates {
+            assert!(index < self.leaf_count, "leaf index out of range");
+            self.levels[0][index] = digest;
+        }
+        // Dirty parent indices, deduplicated level by level.
+        let mut dirty: Vec<usize> = updates.iter().map(|&(i, _)| i / 2).collect();
+        let mut recomputed = 0;
+        for lvl in 0..self.levels.len() - 1 {
+            dirty.sort_unstable();
+            dirty.dedup();
+            for &parent in &dirty {
+                let left = self.levels[lvl][parent * 2];
+                let right = self.levels[lvl][parent * 2 + 1];
+                self.levels[lvl + 1][parent] = hash_nodes(&left, &right);
+                recomputed += 1;
+            }
+            for parent in dirty.iter_mut() {
+                *parent /= 2;
+            }
         }
         recomputed
     }
@@ -257,7 +304,9 @@ mod tests {
     use super::*;
 
     fn leaves(n: usize) -> Vec<Digest> {
-        (0..n).map(|i| hash_leaf(&(i as u64).to_be_bytes())).collect()
+        (0..n)
+            .map(|i| hash_leaf(&(i as u64).to_be_bytes()))
+            .collect()
     }
 
     #[test]
@@ -347,6 +396,61 @@ mod tests {
     }
 
     #[test]
+    fn batch_update_matches_rebuild() {
+        let mut ls = leaves(13);
+        let mut tree = MerkleTree::from_leaves(ls.clone());
+        let updates = [
+            (0usize, hash_leaf(b"u0")),
+            (5, hash_leaf(b"u5")),
+            (6, hash_leaf(b"u6")),
+            (12, hash_leaf(b"u12")),
+        ];
+        for &(i, d) in &updates {
+            ls[i] = d;
+        }
+        tree.update_leaves(&updates);
+        assert_eq!(tree.root(), MerkleTree::from_leaves(ls).root());
+    }
+
+    #[test]
+    fn batch_update_shares_internal_nodes() {
+        // Sibling leaves share their whole path: the batch recomputes
+        // log2(n) nodes total, not 2*log2(n).
+        let mut tree = MerkleTree::from_leaves(leaves(16));
+        let recomputed = tree.update_leaves(&[(4, hash_leaf(b"a")), (5, hash_leaf(b"b"))]);
+        assert_eq!(recomputed, 4); // log2(16) shared path
+        let mut per_leaf = MerkleTree::from_leaves(leaves(16));
+        let n1 = per_leaf.update_leaf(4, hash_leaf(b"a"));
+        let n2 = per_leaf.update_leaf(5, hash_leaf(b"b"));
+        assert_eq!(n1 + n2, 8);
+        assert_eq!(tree.root(), per_leaf.root());
+    }
+
+    #[test]
+    fn batch_update_duplicate_index_last_write_wins() {
+        let mut ls = leaves(8);
+        let mut tree = MerkleTree::from_leaves(ls.clone());
+        tree.update_leaves(&[(3, hash_leaf(b"first")), (3, hash_leaf(b"second"))]);
+        ls[3] = hash_leaf(b"second");
+        assert_eq!(tree.root(), MerkleTree::from_leaves(ls).root());
+    }
+
+    #[test]
+    fn batch_update_empty_is_noop() {
+        let mut tree = MerkleTree::from_leaves(leaves(8));
+        let root = tree.root();
+        assert_eq!(tree.update_leaves(&[]), 0);
+        assert_eq!(tree.root(), root);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn batch_update_out_of_range_panics() {
+        let mut tree = MerkleTree::from_leaves(leaves(4));
+        tree.update_leaves(&[(4, Digest::ZERO)]);
+    }
+
+    #[test]
     fn update_then_prove() {
         let mut tree = MerkleTree::from_leaves(leaves(16));
         tree.update_leaf(9, hash_leaf(b"v2"));
@@ -372,7 +476,9 @@ mod tests {
         assert_eq!(tree.height(), 3); // width 8 now
         assert!(tree.proof(4).verify(hash_leaf(b"fifth"), &tree.root()));
         // Old leaves still provable.
-        assert!(tree.proof(0).verify(hash_leaf(&0u64.to_be_bytes()), &tree.root()));
+        assert!(tree
+            .proof(0)
+            .verify(hash_leaf(&0u64.to_be_bytes()), &tree.root()));
     }
 
     #[test]

@@ -2,9 +2,22 @@
 //!
 //! Points are kept in Jacobian projective coordinates `(X, Y, Z)` with
 //! affine `x = X/Z²`, `y = Y/Z³`; `Z = 0` encodes the point at infinity
-//! (the group identity). Scalar multiplication uses a 4-bit
-//! window — adequate for a research system (see the crate-level security
-//! note).
+//! (the group identity).
+//!
+//! Besides the classic windowed [`Point::mul_scalar`], the module
+//! provides the **verification engine** the upper layers build on:
+//!
+//! * [`AffinePoint`] and [`Point::add_affine`] — mixed Jacobian+affine
+//!   addition (`7M + 4S` instead of `11M + 5S`),
+//! * [`Point::batch_normalize`] — Montgomery's trick: `N` points are
+//!   converted to affine with a **single** field inversion,
+//! * [`Point::mul_shamir_generator`] — the Strauss–Shamir double-scalar
+//!   multiplication `a·G + b·P` with interleaved wNAF digits, sharing
+//!   one doubling ladder between both scalars (the shape of every
+//!   Schnorr/CoSi verification),
+//! * [`Point::multi_mul`] — `Σ aᵢ·Pᵢ` over an arbitrary term list with
+//!   batch-normalized per-point odd-multiple tables (the shape of batch
+//!   signature verification).
 
 use core::fmt;
 use core::ops::{Add, Neg};
@@ -82,6 +95,7 @@ impl Point {
     }
 
     /// Returns `true` for the identity.
+    #[inline]
     pub fn is_identity(&self) -> bool {
         self.z.is_zero()
     }
@@ -91,13 +105,35 @@ impl Point {
         if self.is_identity() {
             return None;
         }
+        if self.z == FieldElement::ONE {
+            // Already normalized (e.g. freshly decoded): skip the
+            // field inversion entirely.
+            return Some((self.x, self.y));
+        }
         let z_inv = self.z.invert().expect("non-identity point has z != 0");
         let z_inv2 = z_inv.square();
         let z_inv3 = z_inv2 * z_inv;
         Some((self.x * z_inv2, self.y * z_inv3))
     }
 
+    /// Returns the same point with `Z = 1` (or the identity unchanged).
+    ///
+    /// Normalizing once at a trust boundary (key construction, fresh
+    /// signatures) makes every later encoding/equality/mixed-addition
+    /// of the point cheap.
+    pub fn normalize(&self) -> Point {
+        match self.to_affine() {
+            None => Point::IDENTITY,
+            Some((x, y)) => Point {
+                x,
+                y,
+                z: FieldElement::ONE,
+            },
+        }
+    }
+
     /// Point doubling (Jacobian, a = 0 formulas).
+    #[inline]
     pub fn double(&self) -> Point {
         if self.is_identity() || self.y.is_zero() {
             return Point::IDENTITY;
@@ -131,9 +167,11 @@ impl Point {
     }
 
     /// Fast fixed-base multiplication `k·G` using a lazily built
-    /// 8-bit-window table (32 windows × 256 entries): 31 point
-    /// additions and no doublings. Signing, nonce commitments and the
-    /// `s·G` half of verification all go through this path.
+    /// 8-bit-window table (32 windows × 256 entries): at most 31 point
+    /// additions and no doublings. The table is stored **batch-affine**
+    /// (normalized with a single field inversion at build time), so
+    /// every table hit is a mixed addition. Signing and nonce
+    /// commitments go through this path.
     pub fn mul_generator(k: &Scalar) -> Point {
         let table = generator_table();
         let bytes = k.to_be_bytes(); // big-endian: bytes[31] is window 0
@@ -141,7 +179,7 @@ impl Point {
         for (w, byte) in bytes.iter().rev().enumerate() {
             let d = *byte as usize;
             if d != 0 {
-                acc = acc + table[w][d];
+                acc = acc.add_affine(&table[w * 256 + d]);
             }
         }
         acc
@@ -232,12 +270,435 @@ impl Point {
         }
         acc
     }
+
+    /// Mixed addition `self + rhs` where `rhs` is affine (`Z₂ = 1`):
+    /// 7M + 4S versus 11M + 5S for the general Jacobian formula
+    /// (madd-2007-bl), with the usual identity/doubling fallbacks.
+    #[inline]
+    pub fn add_affine(&self, rhs: &AffinePoint) -> Point {
+        if rhs.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return Point {
+                x: rhs.x,
+                y: rhs.y,
+                z: FieldElement::ONE,
+            };
+        }
+        let z1z1 = self.z.square();
+        let u2 = rhs.x * z1z1;
+        let s2 = rhs.y * self.z * z1z1;
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return Point::IDENTITY; // P + (-P)
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = {
+            let hh4 = hh + hh;
+            hh4 + hh4
+        };
+        let j = h * i;
+        let r = {
+            let t = s2 - self.y;
+            t + t
+        };
+        let v = self.x * i;
+        let x3 = r.square() - j - (v + v);
+        let y3 = {
+            let yj = self.y * j;
+            r * (v - x3) - (yj + yj)
+        };
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Converts a batch of points to affine with a **single** field
+    /// inversion (Montgomery's trick): multiply a running prefix of the
+    /// `Z` coordinates, invert the total once, then walk backwards
+    /// emitting each `Z⁻¹`. Identity points map to the affine point at
+    /// infinity.
+    pub fn batch_normalize(points: &[Point]) -> Vec<AffinePoint> {
+        // Prefix products over the non-identity zs.
+        let mut prefix = Vec::with_capacity(points.len());
+        let mut acc = FieldElement::ONE;
+        for p in points {
+            if !p.is_identity() {
+                acc = acc * p.z;
+            }
+            prefix.push(acc);
+        }
+        let mut inv = match acc.invert() {
+            Some(inv) => inv,
+            // All inputs are the identity.
+            None => FieldElement::ONE,
+        };
+        let mut out = vec![AffinePoint::IDENTITY; points.len()];
+        for idx in (0..points.len()).rev() {
+            let p = &points[idx];
+            if p.is_identity() {
+                continue;
+            }
+            // prefix[idx] = z_0 ⋯ z_idx, so inv * prefix[idx-1] = z_idx⁻¹.
+            let prev = if idx == 0 {
+                FieldElement::ONE
+            } else {
+                prefix[idx - 1]
+            };
+            let z_inv = inv * prev;
+            inv = inv * p.z;
+            let z_inv2 = z_inv.square();
+            out[idx] = AffinePoint {
+                x: p.x * z_inv2,
+                y: p.y * z_inv2 * z_inv,
+                infinity: false,
+            };
+        }
+        out
+    }
+
+    /// Strauss–Shamir double-scalar multiplication `a·G + b·P`.
+    ///
+    /// Both scalars are recoded to wNAF and walked over a **shared**
+    /// doubling ladder: ~256 doublings total (instead of 256 per
+    /// scalar), with `a`'s digits resolved against a precomputed static
+    /// affine table of odd generator multiples (mixed additions) and
+    /// `b`'s against a per-call table of 8 odd multiples of `P`.
+    ///
+    /// This is the shape of every Schnorr/CoSi verification:
+    /// `s·G − e·P = R`.
+    pub fn mul_shamir_generator(a: &Scalar, b: &Scalar, p: &Point) -> Point {
+        if b.is_zero() || p.is_identity() {
+            return Point::mul_generator(a);
+        }
+        if a.is_zero() {
+            return p.mul_scalar(b);
+        }
+        let na = a.wnaf(GEN_WNAF_WIDTH);
+        let nb = b.wnaf(5);
+        // Odd multiples P, 3P, …, 15P (Jacobian: one inversion per call
+        // is not worth amortizing over 8 entries).
+        let table_p = odd_multiples::<8>(p);
+        let len = na.len().max(nb.len());
+        let mut acc = Point::IDENTITY;
+        for i in (0..len).rev() {
+            acc = acc.double();
+            if let Some(&d) = na.get(i) {
+                if d != 0 {
+                    acc = acc.add_affine(&generator_wnaf_entry(d));
+                }
+            }
+            if let Some(&d) = nb.get(i) {
+                if d > 0 {
+                    acc = acc + table_p[(d as usize - 1) / 2];
+                } else if d < 0 {
+                    acc = acc + (-table_p[((-d) as usize - 1) / 2]);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Multi-scalar multiplication `Σ aᵢ·Pᵢ` (Strauss' interleaved wNAF
+    /// with batch-affine tables).
+    ///
+    /// All per-point odd-multiple tables are normalized to affine with
+    /// **one** field inversion (Montgomery's trick), so every ladder
+    /// addition is a cheap mixed addition. The ladder length adapts to
+    /// the largest scalar, so short (e.g. 128-bit randomizer) scalars
+    /// cost proportionally less — the property batch verification's
+    /// random linear combination relies on.
+    ///
+    /// Terms with a zero scalar or identity point are skipped.
+    pub fn multi_mul(terms: &[(Scalar, Point)]) -> Point {
+        let live: Vec<&(Scalar, Point)> = terms
+            .iter()
+            .filter(|(a, p)| !a.is_zero() && !p.is_identity())
+            .collect();
+        if live.is_empty() {
+            return Point::IDENTITY;
+        }
+        // Pick a wNAF width per term by scalar size and batch size. A
+        // table of `2^(w-2)` odd multiples costs real work to build, so
+        // short scalars (batch-verification randomizers are 128-bit)
+        // get narrower windows. Large batches amortize table building
+        // across terms (column-batched affine additions below), which
+        // shifts the optimum toward wider windows.
+        let column_batched = live.len() >= 16;
+        let widths: Vec<u32> = live
+            .iter()
+            .map(|(a, _)| match (column_batched, a.bits()) {
+                (_, 0..=40) => 3,
+                (_, 41..=160) => 4,
+                (false, _) => 5,
+                (true, _) => 6,
+            })
+            .collect();
+        let table_sizes: Vec<usize> = widths.iter().map(|&w| 1usize << (w - 2)).collect();
+        let mut offsets = Vec::with_capacity(live.len());
+        let mut total = 0u32;
+        for &size in &table_sizes {
+            offsets.push(total);
+            total += size as u32;
+        }
+
+        let affine: Vec<AffinePoint> = if column_batched {
+            // Odd-multiple tables built **in affine form** with batched
+            // additions: each table column `(2j+1)·P` across all points
+            // is one batch of independent affine additions sharing a
+            // single field inversion. Replaces per-point Jacobian table
+            // chains plus a final normalization pass; the per-column
+            // inversion amortizes once enough points share it.
+            let base_points: Vec<Point> = live.iter().map(|(_, p)| *p).collect();
+            let base = Point::batch_normalize(&base_points);
+            let doubled = batch_double_affine(&base);
+            let mut affine = vec![AffinePoint::IDENTITY; total as usize];
+            for (t, b) in base.iter().enumerate() {
+                affine[offsets[t] as usize] = *b;
+            }
+            let max_size = table_sizes.iter().copied().max().unwrap_or(1);
+            for j in 1..max_size {
+                let idx: Vec<usize> = (0..live.len()).filter(|&t| table_sizes[t] > j).collect();
+                let lhs: Vec<AffinePoint> = idx
+                    .iter()
+                    .map(|&t| affine[offsets[t] as usize + j - 1])
+                    .collect();
+                let rhs: Vec<AffinePoint> = idx.iter().map(|&t| doubled[t]).collect();
+                let sums = batch_add_affine(&lhs, &rhs);
+                for (&t, s) in idx.iter().zip(sums) {
+                    affine[offsets[t] as usize + j] = s;
+                }
+            }
+            affine
+        } else {
+            // Few terms: Jacobian chains plus one batch normalization.
+            let mut jacobian = Vec::with_capacity(total as usize);
+            for ((_, p), &size) in live.iter().zip(&table_sizes) {
+                match size {
+                    2 => jacobian.extend_from_slice(&odd_multiples::<2>(p)),
+                    4 => jacobian.extend_from_slice(&odd_multiples::<4>(p)),
+                    _ => jacobian.extend_from_slice(&odd_multiples::<8>(p)),
+                }
+            }
+            Point::batch_normalize(&jacobian)
+        };
+
+        // Bucket the (sparse) wNAF digit contributions by bit position.
+        let mut len = 0usize;
+        let nafs: Vec<Vec<i8>> = live
+            .iter()
+            .zip(&widths)
+            .map(|((a, _), &w)| {
+                let naf = a.wnaf(w);
+                len = len.max(naf.len());
+                naf
+            })
+            .collect();
+        let mut buckets: Vec<Vec<AffinePoint>> = vec![Vec::new(); len];
+        for (t, naf) in nafs.iter().enumerate() {
+            for (i, &d) in naf.iter().enumerate() {
+                if d != 0 {
+                    let entry = affine[(offsets[t] + (d.unsigned_abs() as u32 - 1) / 2) as usize];
+                    buckets[i].push(if d < 0 { entry.neg() } else { entry });
+                }
+            }
+        }
+
+        // Tree-reduce every bucket to at most one point. All pairwise
+        // additions of one tree level — across every bit position — are
+        // independent, so each level is a single batched affine-addition
+        // pass (3 field muls per addition plus one shared inversion),
+        // instead of a serial chain of 11-mul mixed additions into the
+        // accumulator. This is where batch verification's arithmetic
+        // advantage over sequential verification comes from.
+        loop {
+            let mut lhs = Vec::new();
+            let mut rhs = Vec::new();
+            for bucket in &buckets {
+                let mut j = 0;
+                while j + 1 < bucket.len() {
+                    lhs.push(bucket[j]);
+                    rhs.push(bucket[j + 1]);
+                    j += 2;
+                }
+            }
+            if lhs.is_empty() {
+                break;
+            }
+            let sums = batch_add_affine(&lhs, &rhs);
+            let mut consumed = 0usize;
+            for bucket in buckets.iter_mut() {
+                let pairs = bucket.len() / 2;
+                let leftover = if bucket.len() % 2 == 1 {
+                    bucket.pop()
+                } else {
+                    None
+                };
+                bucket.clear();
+                bucket.extend_from_slice(&sums[consumed..consumed + pairs]);
+                consumed += pairs;
+                if let Some(l) = leftover {
+                    bucket.push(l);
+                }
+            }
+        }
+
+        // Final ladder: one doubling per bit, at most one mixed
+        // addition per bit position.
+        let mut acc = Point::IDENTITY;
+        for i in (0..len).rev() {
+            acc = acc.double();
+            if let Some(point) = buckets[i].first() {
+                acc = acc.add_affine(point);
+            }
+        }
+        acc
+    }
+}
+
+/// Computes the odd multiples `P, 3P, 5P, …, (2N−1)P` in Jacobian form.
+fn odd_multiples<const N: usize>(p: &Point) -> [Point; N] {
+    let twice = p.double();
+    let mut table = [*p; N];
+    for i in 1..N {
+        table[i] = table[i - 1] + twice;
+    }
+    table
+}
+
+/// Element-wise affine doubling `out[i] = 2·a[i]` with one shared field
+/// inversion (`λ = 3x²/2y`). Identity inputs double to the identity.
+fn batch_double_affine(points: &[AffinePoint]) -> Vec<AffinePoint> {
+    let mut denominators: Vec<FieldElement> = points
+        .iter()
+        .map(|p| {
+            if p.infinity {
+                FieldElement::ZERO
+            } else {
+                p.y + p.y
+            }
+        })
+        .collect();
+    FieldElement::batch_invert(&mut denominators);
+    points
+        .iter()
+        .zip(&denominators)
+        .map(|(p, inv)| {
+            if p.infinity || inv.is_zero() {
+                // Identity, or y = 0 (no such secp256k1 point, but stay
+                // total): tangent is vertical, result is the identity.
+                return AffinePoint::IDENTITY;
+            }
+            let x2 = p.x.square();
+            let lambda = (x2 + x2 + x2) * *inv;
+            let x3 = lambda.square() - p.x - p.x;
+            let y3 = lambda * (p.x - x3) - p.y;
+            AffinePoint {
+                x: x3,
+                y: y3,
+                infinity: false,
+            }
+        })
+        .collect()
+}
+
+/// Element-wise affine addition `out[i] = a[i] + b[i]` with one shared
+/// field inversion (`λ = (y₂−y₁)/(x₂−x₁)`). Degenerate pairs (an
+/// identity operand, or equal x-coordinates) fall back to the generic
+/// Jacobian path.
+fn batch_add_affine(a: &[AffinePoint], b: &[AffinePoint]) -> Vec<AffinePoint> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut denominators: Vec<FieldElement> = a
+        .iter()
+        .zip(b)
+        .map(|(p, q)| {
+            if p.infinity || q.infinity || p.x == q.x {
+                FieldElement::ZERO
+            } else {
+                q.x - p.x
+            }
+        })
+        .collect();
+    FieldElement::batch_invert(&mut denominators);
+    a.iter()
+        .zip(b)
+        .zip(&denominators)
+        .map(|((p, q), inv)| {
+            if inv.is_zero() {
+                // Rare: identity operand, doubling, or cancellation.
+                let sum = p.to_point().add_affine(q);
+                return Point::batch_normalize(&[sum])[0];
+            }
+            let lambda = (q.y - p.y) * *inv;
+            let x3 = lambda.square() - p.x - q.x;
+            let y3 = lambda * (p.x - x3) - p.y;
+            AffinePoint {
+                x: x3,
+                y: y3,
+                infinity: false,
+            }
+        })
+        .collect()
+}
+
+/// A point in affine coordinates (plus an explicit infinity flag) —
+/// the representation used by precomputed tables, where mixed addition
+/// makes every table hit cheaper than a general Jacobian addition.
+#[derive(Clone, Copy, Debug)]
+pub struct AffinePoint {
+    x: FieldElement,
+    y: FieldElement,
+    infinity: bool,
+}
+
+impl AffinePoint {
+    /// The affine encoding of the group identity.
+    pub const IDENTITY: AffinePoint = AffinePoint {
+        x: FieldElement::ZERO,
+        y: FieldElement::ZERO,
+        infinity: true,
+    };
+
+    /// The negation (mirror over the x-axis).
+    pub fn neg(&self) -> AffinePoint {
+        AffinePoint {
+            x: self.x,
+            y: -self.y,
+            infinity: self.infinity,
+        }
+    }
+
+    /// Returns `true` for the identity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Converts back to Jacobian form.
+    pub fn to_point(&self) -> Point {
+        if self.infinity {
+            Point::IDENTITY
+        } else {
+            Point {
+                x: self.x,
+                y: self.y,
+                z: FieldElement::ONE,
+            }
+        }
+    }
 }
 
 impl Add for Point {
     type Output = Point;
 
     /// General Jacobian addition with doubling fallback.
+    #[inline]
     fn add(self, rhs: Point) -> Point {
         if self.is_identity() {
             return rhs;
@@ -307,27 +768,55 @@ impl core::ops::Mul<Scalar> for Point {
     }
 }
 
-/// The fixed-base window table: `TABLE[w][d] = d · 256^w · G`.
+/// The fixed-base window table, flat-indexed as `[w * 256 + d]` =
+/// `d · 256^w · G`, stored as batch-normalized **affine** points so
+/// `mul_generator` uses mixed (Jacobian+affine) additions.
 ///
-/// ~786 KiB, built once on first use (≈ 8k point additions).
-fn generator_table() -> &'static Vec<[Point; 256]> {
+/// ~528 KiB, built once on first use (≈ 8k point additions plus one
+/// field inversion for the whole normalization).
+fn generator_table() -> &'static [AffinePoint] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<Vec<[Point; 256]>> = OnceLock::new();
+    static TABLE: OnceLock<Box<[AffinePoint]>> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut table = Vec::with_capacity(32);
+        let mut jacobian = Vec::with_capacity(32 * 256);
         let mut base = Point::generator(); // 256^w · G
         for _ in 0..32 {
-            let mut window = [Point::IDENTITY; 256];
+            let window_start = jacobian.len();
+            jacobian.push(Point::IDENTITY);
             for d in 1..256 {
-                window[d] = window[d - 1] + base;
+                let prev = jacobian[window_start + d - 1];
+                jacobian.push(prev + base);
             }
             // base <<= 8 bits.
-            let next = window[255] + base;
-            table.push(window);
-            base = next;
+            base = jacobian[window_start + 255] + base;
         }
-        table
+        Point::batch_normalize(&jacobian).into_boxed_slice()
     })
+}
+
+/// Width of the generator wNAF digits used by the Strauss–Shamir path.
+const GEN_WNAF_WIDTH: u32 = 8;
+
+/// Static affine table of odd generator multiples `(2i+1)·G` for
+/// `i < 64`, backing the `a·G` half of [`Point::mul_shamir_generator`].
+fn generator_wnaf_table() -> &'static [AffinePoint] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Box<[AffinePoint]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let jacobian = odd_multiples::<{ 1 << (GEN_WNAF_WIDTH - 2) }>(&Point::generator());
+        Point::batch_normalize(&jacobian).into_boxed_slice()
+    })
+}
+
+/// The affine table entry for a (non-zero, odd) generator wNAF digit.
+fn generator_wnaf_entry(d: i8) -> AffinePoint {
+    debug_assert!(d != 0 && d % 2 != 0);
+    let entry = generator_wnaf_table()[(d.unsigned_abs() as usize - 1) / 2];
+    if d > 0 {
+        entry
+    } else {
+        entry.neg()
+    }
 }
 
 impl PartialEq for Point {
@@ -340,8 +829,7 @@ impl PartialEq for Point {
         }
         let z1z1 = self.z.square();
         let z2z2 = other.z.square();
-        self.x * z2z2 == other.x * z1z1
-            && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+        self.x * z2z2 == other.x * z1z1 && self.y * z2z2 * other.z == other.y * z1z1 * self.z
     }
 }
 
@@ -527,5 +1015,138 @@ mod tests {
         // No secp256k1 point has y = 0 (x^3 + 7 = 0 has no root), but the
         // guard must still behave: identity doubling.
         assert!(Point::IDENTITY.double().is_identity());
+    }
+
+    #[test]
+    fn add_affine_matches_general_addition() {
+        let p = g() * Scalar::from_u64(1234);
+        let q = g() * Scalar::from_u64(5678);
+        let q_affine = Point::batch_normalize(&[q])[0];
+        assert_eq!(p.add_affine(&q_affine), p + q);
+        // Identity left operand.
+        assert_eq!(Point::IDENTITY.add_affine(&q_affine), q);
+        // Identity right operand.
+        assert_eq!(p.add_affine(&AffinePoint::IDENTITY), p);
+        // Doubling fallback.
+        let p_affine = Point::batch_normalize(&[p])[0];
+        assert_eq!(p.add_affine(&p_affine), p.double());
+        // Cancellation.
+        assert!(p.add_affine(&p_affine.neg()).is_identity());
+    }
+
+    #[test]
+    fn batch_normalize_matches_to_affine() {
+        let points: Vec<Point> = (1u64..20).map(|v| g() * Scalar::from_u64(v)).collect();
+        let affine = Point::batch_normalize(&points);
+        for (p, a) in points.iter().zip(&affine) {
+            let (x, y) = p.to_affine().unwrap();
+            assert!(!a.is_identity());
+            assert_eq!(a.to_point(), *p);
+            let (ax, ay) = a.to_point().to_affine().unwrap();
+            assert_eq!((ax, ay), (x, y));
+        }
+    }
+
+    #[test]
+    fn batch_normalize_handles_identities() {
+        let p = g() * Scalar::from_u64(7);
+        let batch = [
+            Point::IDENTITY,
+            p,
+            Point::IDENTITY,
+            p.double(),
+            Point::IDENTITY,
+        ];
+        let affine = Point::batch_normalize(&batch);
+        assert!(affine[0].is_identity());
+        assert!(affine[2].is_identity());
+        assert!(affine[4].is_identity());
+        assert_eq!(affine[1].to_point(), p);
+        assert_eq!(affine[3].to_point(), p.double());
+        // All identities.
+        let all_id = Point::batch_normalize(&[Point::IDENTITY; 3]);
+        assert!(all_id.iter().all(|a| a.is_identity()));
+    }
+
+    #[test]
+    fn shamir_matches_composed_muls() {
+        let cases = [
+            (Scalar::from_u64(1), Scalar::from_u64(1), 2u64),
+            (Scalar::from_u64(12345), Scalar::from_u64(99999), 3),
+            (
+                Scalar::from_be_bytes_reduced(&[0xA7; 32]),
+                Scalar::from_be_bytes_reduced(&[0x3C; 32]),
+                77,
+            ),
+            (-Scalar::ONE, Scalar::from_be_bytes_reduced(&[0xF1; 32]), 5),
+        ];
+        for (a, b, pv) in cases {
+            let p = g() * Scalar::from_u64(pv);
+            let expect = Point::mul_generator(&a) + p.mul_scalar(&b);
+            assert_eq!(Point::mul_shamir_generator(&a, &b, &p), expect);
+        }
+    }
+
+    #[test]
+    fn shamir_degenerate_inputs() {
+        let p = g() * Scalar::from_u64(42);
+        let a = Scalar::from_be_bytes_reduced(&[0x55; 32]);
+        let b = Scalar::from_be_bytes_reduced(&[0x66; 32]);
+        assert_eq!(
+            Point::mul_shamir_generator(&a, &Scalar::ZERO, &p),
+            Point::mul_generator(&a)
+        );
+        assert_eq!(
+            Point::mul_shamir_generator(&Scalar::ZERO, &b, &p),
+            p.mul_scalar(&b)
+        );
+        assert_eq!(
+            Point::mul_shamir_generator(&a, &b, &Point::IDENTITY),
+            Point::mul_generator(&a)
+        );
+        assert!(Point::mul_shamir_generator(&Scalar::ZERO, &Scalar::ZERO, &p).is_identity());
+    }
+
+    #[test]
+    fn multi_mul_matches_naive_sum() {
+        let terms: Vec<(Scalar, Point)> = [(3u64, 2u64), (1, 9), (0xFFFF_FFFF, 31), (7919, 104729)]
+            .iter()
+            .map(|&(a, pv)| (Scalar::from_u64(a), g() * Scalar::from_u64(pv)))
+            .collect();
+        let expect = terms
+            .iter()
+            .fold(Point::IDENTITY, |acc, (a, p)| acc + p.mul_scalar(a));
+        assert_eq!(Point::multi_mul(&terms), expect);
+    }
+
+    #[test]
+    fn multi_mul_with_large_scalars() {
+        let a = Scalar::from_be_bytes_reduced(&[0xAB; 32]);
+        let b = -Scalar::from_u64(12345); // close to n
+        let p = g() * Scalar::from_u64(17);
+        let q = g() * Scalar::from_u64(23);
+        let expect = p.mul_scalar(&a) + q.mul_scalar(&b);
+        assert_eq!(Point::multi_mul(&[(a, p), (b, q)]), expect);
+    }
+
+    #[test]
+    fn multi_mul_skips_degenerate_terms() {
+        let p = g() * Scalar::from_u64(5);
+        assert!(Point::multi_mul(&[]).is_identity());
+        assert!(Point::multi_mul(&[(Scalar::ZERO, p)]).is_identity());
+        assert!(Point::multi_mul(&[(Scalar::ONE, Point::IDENTITY)]).is_identity());
+        let terms = [
+            (Scalar::ZERO, p),
+            (Scalar::from_u64(2), p),
+            (Scalar::ONE, Point::IDENTITY),
+        ];
+        assert_eq!(Point::multi_mul(&terms), p.double());
+    }
+
+    #[test]
+    fn multi_mul_cancelling_terms_give_identity() {
+        let a = Scalar::from_be_bytes_reduced(&[0x42; 32]);
+        let p = g() * Scalar::from_u64(1000);
+        assert!(Point::multi_mul(&[(a, p), (-a, p)]).is_identity());
     }
 }

@@ -100,6 +100,82 @@ impl Scalar {
     pub(crate) fn nibble(&self, i: usize) -> u8 {
         ((self.0[i / 16] >> ((i % 16) * 4)) & 0xF) as u8
     }
+
+    /// The width-`w` non-adjacent form: little-endian digits
+    /// `d_i ∈ {0, ±1, ±3, …, ±(2^(w-1) − 1)}` with `Σ d_i·2^i = self`
+    /// and no two adjacent non-zero digits.
+    ///
+    /// wNAF is the standard scalar recoding for variable-base
+    /// multiplication: only one digit in `w+1` is non-zero on average,
+    /// so a double-and-add ladder needs `~256/(w+1)` point additions
+    /// instead of `~256·(2^w−1)/2^w` for plain windows — the backbone of
+    /// the Strauss–Shamir verification path in [`crate::point`].
+    ///
+    /// Requires `2 ≤ w ≤ 8` (digits must fit `i8`).
+    ///
+    /// The recoding is a single left-to-right carry scan over the limb
+    /// array (no 256 iterations of multi-limb shift/subtract), so it
+    /// costs ~`256/w` window extractions per scalar — cheap enough to
+    /// run once per term of a large batch verification.
+    pub(crate) fn wnaf(&self, w: u32) -> Vec<i8> {
+        debug_assert!((2..=8).contains(&w), "wNAF width out of range");
+        let mut digits = Vec::with_capacity(257);
+        let half = 1u64 << (w - 1);
+        let mut carry = 0u64;
+        let mut pos = 0usize;
+        while pos < 256 || carry != 0 {
+            let bit = if pos < 256 {
+                (self.0[pos / 64] >> (pos % 64)) & 1
+            } else {
+                0
+            };
+            if bit == carry {
+                // Effective bit (bit + carry) is even: zero digit, the
+                // carry propagates unchanged.
+                digits.push(0);
+                pos += 1;
+                continue;
+            }
+            // Effective window value: odd, in [1, 2^w - 1].
+            let word = self.extract_bits(pos, w) + carry;
+            let digit = if word >= half {
+                carry = 1;
+                word as i64 - (1i64 << w)
+            } else {
+                carry = 0;
+                word as i64
+            };
+            digits.push(digit as i8);
+            digits.resize(digits.len() + (w as usize - 1), 0);
+            pos += w as usize;
+        }
+        while digits.last() == Some(&0) {
+            digits.pop();
+        }
+        digits
+    }
+
+    /// Bits `[pos, pos + w)` of the canonical representative
+    /// (zero-padded past bit 255); `w < 64`.
+    fn extract_bits(&self, pos: usize, w: u32) -> u64 {
+        let limb = pos / 64;
+        let shift = pos % 64;
+        let mut v = if limb < 4 { self.0[limb] >> shift } else { 0 };
+        if shift + w as usize > 64 && limb + 1 < 4 {
+            v |= self.0[limb + 1] << (64 - shift);
+        }
+        v & ((1u64 << w) - 1)
+    }
+
+    /// The number of significant bits of the canonical representative.
+    pub(crate) fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
 }
 
 impl Add for Scalar {
@@ -218,5 +294,96 @@ mod tests {
         let c = Scalar::from_be_bytes_reduced(&[0xEF; 32]);
         assert_eq!((a * b) * c, a * (b * c));
         assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// Evaluates a wNAF digit string back to a scalar: Σ dᵢ·2ⁱ mod n.
+    fn eval_wnaf(digits: &[i8]) -> Scalar {
+        let two = Scalar::from_u64(2);
+        let mut acc = Scalar::ZERO;
+        for &d in digits.iter().rev() {
+            acc = acc * two;
+            if d >= 0 {
+                acc = acc + Scalar::from_u64(d as u64);
+            } else {
+                acc = acc - Scalar::from_u64((-(d as i64)) as u64);
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn wnaf_reconstructs_value() {
+        let cases = [
+            Scalar::ZERO,
+            Scalar::ONE,
+            sc(2),
+            sc(0xFFFF_FFFF_FFFF_FFFF),
+            -Scalar::ONE,
+            Scalar::from_be_bytes_reduced(&[0xA7; 32]),
+            Scalar::from_be_bytes_reduced(&[0x01; 32]),
+            Scalar::from_be_bytes_reduced(&[0xFE; 32]),
+        ];
+        for w in 2..=8u32 {
+            for k in cases {
+                assert_eq!(eval_wnaf(&k.wnaf(w)), k, "w={w} k={k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wnaf_digits_are_odd_and_bounded() {
+        let k = Scalar::from_be_bytes_reduced(&[0xB3; 32]);
+        for w in 2..=8u32 {
+            let bound = 1i16 << (w - 1);
+            for &d in &k.wnaf(w) {
+                if d != 0 {
+                    assert_eq!(d.rem_euclid(2), 1, "digit {d} must be odd");
+                    assert!(
+                        (i16::from(d)).abs() < bound,
+                        "digit {d} out of range for w={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wnaf_nonzero_digits_are_spaced() {
+        // After a non-zero digit, the next w-1 digits must be zero.
+        let k = Scalar::from_be_bytes_reduced(&[0x6D; 32]);
+        for w in 2..=8u32 {
+            let naf = k.wnaf(w);
+            let mut i = 0;
+            while i < naf.len() {
+                if naf[i] != 0 {
+                    for j in 1..w as usize {
+                        if i + j < naf.len() {
+                            assert_eq!(naf[i + j], 0, "w={w} digits adjacent at {i}");
+                        }
+                    }
+                    i += w as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wnaf_length_bounded() {
+        // wNAF of a reduced scalar has at most 257 digits.
+        let k = -Scalar::ONE;
+        for w in 2..=8u32 {
+            assert!(k.wnaf(w).len() <= 257);
+        }
+    }
+
+    #[test]
+    fn bits_counts_significant_bits() {
+        assert_eq!(Scalar::ZERO.bits(), 0);
+        assert_eq!(Scalar::ONE.bits(), 1);
+        assert_eq!(sc(0xFF).bits(), 8);
+        assert_eq!(Scalar([0, 1, 0, 0]).bits(), 65);
+        assert_eq!((-Scalar::ONE).bits(), 256);
     }
 }

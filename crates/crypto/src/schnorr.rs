@@ -83,7 +83,7 @@ impl SecretKey {
 
     /// The corresponding public key `x·G`.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey(Point::mul_generator(&self.0))
+        PublicKey::from_point(Point::mul_generator(&self.0)).expect("x != 0, so x·G != O")
     }
 
     /// Exposes the underlying scalar (needed by CoSi responses).
@@ -94,11 +94,15 @@ impl SecretKey {
 
 impl PublicKey {
     /// Wraps a point; `None` for the identity (invalid key).
+    ///
+    /// The point is normalized to `Z = 1` once here, so the frequent
+    /// downstream operations (challenge hashing, encoding, mixed
+    /// addition) never pay a field inversion for it again.
     pub fn from_point(p: Point) -> Option<Self> {
         if p.is_identity() {
             None
         } else {
-            Some(PublicKey(p))
+            Some(PublicKey(p.normalize()))
         }
     }
 
@@ -123,14 +127,18 @@ impl PublicKey {
     }
 
     /// Verifies a signature over `message`.
+    ///
+    /// The check `s·G == R + e·P` is evaluated as the double-scalar
+    /// multiplication `s·G + (−e)·P == R` via
+    /// [`Point::mul_shamir_generator`], sharing a single doubling
+    /// ladder between both scalars instead of performing two
+    /// independent full-width multiplications.
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
         if sig.r.is_identity() {
             return false;
         }
         let e = challenge_scalar(&sig.r, self, message);
-        let lhs = Point::mul_generator(&sig.s);
-        let rhs = sig.r + self.0 * e;
-        lhs == rhs
+        Point::mul_shamir_generator(&sig.s, &(-e), &self.0) == sig.r
     }
 
     /// A short identifier (first hex bytes of the key) for diagnostics.
@@ -163,11 +171,126 @@ impl KeyPair {
     /// Signs `message` with a deterministic nonce.
     pub fn sign(&self, message: &[u8]) -> Signature {
         let k = derive_nonce(&self.sk, message, b"fides.schnorr.nonce.v1");
-        let r = Point::mul_generator(&k);
+        // Normalize the nonce commitment once: the challenge hash here,
+        // the wire encoding, and the verifier's final comparison all
+        // want the affine form.
+        let r = Point::mul_generator(&k).normalize();
         let e = challenge_scalar(&r, &self.pk, message);
         let s = k + e * self.sk.scalar();
         Signature { r, s }
     }
+}
+
+/// One `(public key, message, signature)` triple of a batch
+/// verification (see [`verify_batch`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchItem<'a> {
+    /// The signer's public key.
+    pub public_key: PublicKey,
+    /// The signed message.
+    pub message: &'a [u8],
+    /// The signature to check.
+    pub signature: Signature,
+}
+
+/// Verifies `N` signatures with **one** multi-scalar multiplication
+/// instead of `N` double-scalar multiplications.
+///
+/// Uses the standard random-linear-combination check: with per-item
+/// randomizers `zᵢ` (128-bit, derived deterministically from a hash of
+/// the whole batch — a cheating prover cannot predict them while
+/// choosing signatures), the batch is valid iff
+///
+/// ```text
+/// Σ zᵢ·(Rᵢ + eᵢ·Pᵢ)  ==  (Σ zᵢ·sᵢ)·G
+/// ```
+///
+/// If every signature is individually valid the equation always holds;
+/// if any is invalid it fails except with probability ~2⁻¹²⁸ over the
+/// randomizers. A `true` result is therefore a batch-soundness
+/// statement, not a per-item proof — callers that need to *attribute*
+/// a failure fall back to [`find_invalid`].
+///
+/// The empty batch is vacuously valid.
+pub fn verify_batch(items: &[BatchItem<'_>]) -> bool {
+    match items {
+        [] => return true,
+        [single] => return single.public_key.verify(single.message, &single.signature),
+        _ => {}
+    }
+    let mut challenges = Vec::with_capacity(items.len());
+    for item in items {
+        if item.signature.r.is_identity() {
+            return false;
+        }
+        challenges.push(challenge_scalar(
+            &item.signature.r,
+            &item.public_key,
+            item.message,
+        ));
+    }
+    let zs = batch_randomizers(items, &challenges);
+    let mut s_combined = Scalar::ZERO;
+    let mut terms = Vec::with_capacity(2 * items.len());
+    for ((item, e), z) in items.iter().zip(&challenges).zip(&zs) {
+        s_combined = s_combined + *z * item.signature.s;
+        terms.push((*z, item.signature.r));
+        terms.push((*z * *e, item.public_key.point()));
+    }
+    Point::multi_mul(&terms) == Point::mul_generator(&s_combined)
+}
+
+/// Verifies each item individually, returning the indices of invalid
+/// signatures — the attribution fallback after a failed
+/// [`verify_batch`].
+pub fn find_invalid(items: &[BatchItem<'_>]) -> Vec<usize> {
+    items
+        .iter()
+        .enumerate()
+        .filter(|(_, item)| !item.public_key.verify(item.message, &item.signature))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Derives the per-item batch randomizers: `z₀ = 1` (sound for a
+/// linear-combination check) and `zᵢ` = 128 bits of
+/// `H(transcript ‖ i)`.
+///
+/// The transcript commits to every signature `(R, s)` and its
+/// Fiat–Shamir challenge `e`; since `e = H(enc(R) ‖ enc(P) ‖ m)`, this
+/// transitively commits to the key and message under collision
+/// resistance without re-hashing them.
+fn batch_randomizers(items: &[BatchItem<'_>], challenges: &[Scalar]) -> Vec<Scalar> {
+    let mut transcript = Sha256::new();
+    transcript.update(b"fides.schnorr.batch.v1");
+    for (item, e) in items.iter().zip(challenges) {
+        transcript.update(&item.signature.r.to_compressed_bytes());
+        transcript.update(&item.signature.s.to_be_bytes());
+        transcript.update(&e.to_be_bytes());
+    }
+    let seed = transcript.finalize();
+    (0..items.len())
+        .map(|i| {
+            if i == 0 {
+                return Scalar::ONE;
+            }
+            let digest = Sha256::digest_parts(&[
+                b"fides.schnorr.batch.z.v1",
+                seed.as_bytes(),
+                &(i as u64).to_be_bytes(),
+            ]);
+            // Keep only the low 128 bits: short randomizers preserve
+            // soundness (~2^-128) and halve the ladder work per term.
+            let mut bytes = [0u8; 32];
+            bytes[16..].copy_from_slice(&digest.as_bytes()[16..]);
+            let z = Scalar::from_be_bytes(&bytes).expect("128-bit value is canonical");
+            if z.is_zero() {
+                Scalar::ONE
+            } else {
+                z
+            }
+        })
+        .collect()
 }
 
 /// Computes the Fiat–Shamir challenge `e = H(enc(R) ‖ enc(P) ‖ m)`.
@@ -375,5 +498,102 @@ mod tests {
         let b = KeyPair::from_seed(b"y").public_key();
         assert_eq!(a.fingerprint(), a.fingerprint());
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    /// Builds a batch of `n` valid (key, message, signature) items.
+    fn valid_batch(n: usize, messages: &mut Vec<Vec<u8>>) -> Vec<(PublicKey, Signature)> {
+        messages.clear();
+        let mut sigs = Vec::with_capacity(n);
+        for i in 0..n {
+            let kp = KeyPair::from_seed(&[i as u8, 0xB4]);
+            let msg = format!("batch message {i}").into_bytes();
+            let sig = kp.sign(&msg);
+            sigs.push((kp.public_key(), sig));
+            messages.push(msg);
+        }
+        sigs
+    }
+
+    fn items<'a>(sigs: &[(PublicKey, Signature)], messages: &'a [Vec<u8>]) -> Vec<BatchItem<'a>> {
+        sigs.iter()
+            .zip(messages)
+            .map(|(&(public_key, signature), message)| BatchItem {
+                public_key,
+                message,
+                signature,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_accepts_all_valid() {
+        let mut messages = Vec::new();
+        for n in [0usize, 1, 2, 3, 8, 33] {
+            let sigs = valid_batch(n, &mut messages);
+            assert!(verify_batch(&items(&sigs, &messages)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_single_corruption() {
+        let mut messages = Vec::new();
+        for corrupt in [0usize, 3, 7] {
+            let mut sigs = valid_batch(8, &mut messages);
+            sigs[corrupt].1.s = sigs[corrupt].1.s + Scalar::ONE;
+            let batch = items(&sigs, &messages);
+            assert!(!verify_batch(&batch), "corrupt={corrupt}");
+            assert_eq!(find_invalid(&batch), vec![corrupt]);
+        }
+    }
+
+    #[test]
+    fn batch_rejects_wrong_message() {
+        let mut messages = Vec::new();
+        let sigs = valid_batch(5, &mut messages);
+        messages[2] = b"tampered".to_vec();
+        let batch = items(&sigs, &messages);
+        assert!(!verify_batch(&batch));
+        assert_eq!(find_invalid(&batch), vec![2]);
+    }
+
+    #[test]
+    fn batch_rejects_identity_nonce() {
+        let mut messages = Vec::new();
+        let mut sigs = valid_batch(4, &mut messages);
+        sigs[1].1.r = Point::IDENTITY;
+        assert!(!verify_batch(&items(&sigs, &messages)));
+    }
+
+    #[test]
+    fn batch_localizes_multiple_corruptions() {
+        let mut messages = Vec::new();
+        let mut sigs = valid_batch(9, &mut messages);
+        sigs[2].1.s = sigs[2].1.s + Scalar::ONE;
+        sigs[6].1.s = sigs[6].1.s + Scalar::ONE;
+        let batch = items(&sigs, &messages);
+        assert!(!verify_batch(&batch));
+        assert_eq!(find_invalid(&batch), vec![2, 6]);
+    }
+
+    #[test]
+    fn batch_agrees_with_individual_verifies() {
+        // The invariant the ledger relies on: batch-true iff every
+        // individual verify is true.
+        let mut messages = Vec::new();
+        let mut sigs = valid_batch(6, &mut messages);
+        let all_individual = |sigs: &[(PublicKey, Signature)], msgs: &[Vec<u8>]| {
+            sigs.iter()
+                .zip(msgs)
+                .all(|((pk, sig), m)| pk.verify(m, sig))
+        };
+        assert_eq!(
+            verify_batch(&items(&sigs, &messages)),
+            all_individual(&sigs, &messages)
+        );
+        sigs[4].1.s = sigs[4].1.s + Scalar::ONE;
+        assert_eq!(
+            verify_batch(&items(&sigs, &messages)),
+            all_individual(&sigs, &messages)
+        );
     }
 }

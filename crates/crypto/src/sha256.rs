@@ -285,10 +285,7 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
 
     #[test]
     fn digest_parts_concatenates() {
-        assert_eq!(
-            Sha256::digest_parts(&[b"ab", b"c"]),
-            Sha256::digest(b"abc")
-        );
+        assert_eq!(Sha256::digest_parts(&[b"ab", b"c"]), Sha256::digest(b"abc"));
     }
 
     #[test]
@@ -325,7 +322,10 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
     fn hmac_long_key_is_hashed() {
         // RFC 4231 test case 6: 131-byte key.
         let key = [0xaau8; 131];
-        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let mac = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             mac.to_hex(),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

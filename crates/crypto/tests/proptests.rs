@@ -5,7 +5,7 @@ use fides_crypto::field::FieldElement;
 use fides_crypto::merkle::{hash_leaf, MerkleTree};
 use fides_crypto::point::Point;
 use fides_crypto::scalar::Scalar;
-use fides_crypto::schnorr::KeyPair;
+use fides_crypto::schnorr::{self, BatchItem, KeyPair, PublicKey, Signature};
 use fides_crypto::sha256::Sha256;
 use proptest::prelude::*;
 
@@ -188,5 +188,173 @@ proptest! {
         h.update(&data[..cut]);
         h.update(&data[cut..]);
         prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn merkle_batch_update_matches_from_leaves(
+        n in 1usize..96,
+        updates in proptest::collection::vec((any::<u16>(), any::<u64>()), 0..24),
+    ) {
+        // The batch update must agree with a from-scratch rebuild on
+        // arbitrary (possibly duplicate-index) update sets.
+        let mut data: Vec<_> = (0..n).map(|i| hash_leaf(&(i as u64).to_be_bytes())).collect();
+        let mut tree = MerkleTree::from_leaves(data.clone());
+        let updates: Vec<(usize, _)> = updates
+            .into_iter()
+            .map(|(idx, val)| ((idx as usize) % n, hash_leaf(&val.to_be_bytes())))
+            .collect();
+        for &(i, d) in &updates {
+            data[i] = d;
+        }
+        tree.update_leaves(&updates);
+        let rebuilt = MerkleTree::from_leaves(data.clone());
+        prop_assert_eq!(tree.root(), rebuilt.root());
+        // Proofs generated after the batch update still verify.
+        for (i, d) in data.iter().enumerate() {
+            prop_assert!(tree.proof(i).verify(*d, &tree.root()));
+        }
+    }
+}
+
+/// Builds `n` (key, message, signature) batch items from a seed.
+fn build_batch(n: usize, seed: u8) -> (Vec<Vec<u8>>, Vec<(PublicKey, Signature)>) {
+    let mut messages = Vec::with_capacity(n);
+    let mut signed = Vec::with_capacity(n);
+    for i in 0..n {
+        let kp = KeyPair::from_seed(&[i as u8, seed, 0x51]);
+        let msg = format!("prop batch {seed} message {i}").into_bytes();
+        let sig = kp.sign(&msg);
+        signed.push((kp.public_key(), sig));
+        messages.push(msg);
+    }
+    (messages, signed)
+}
+
+fn as_items<'a>(messages: &'a [Vec<u8>], signed: &[(PublicKey, Signature)]) -> Vec<BatchItem<'a>> {
+    signed
+        .iter()
+        .zip(messages)
+        .map(|(&(public_key, signature), message)| BatchItem {
+            public_key,
+            message,
+            signature,
+        })
+        .collect()
+}
+
+proptest! {
+    // The verification fast path: batch/Shamir/multi-scalar agreement
+    // with the definitional implementations. Group operations are
+    // slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `verify_batch` accepts iff every individual `verify` accepts —
+    /// honest batches of any size, plus batches with a random subset of
+    /// corruptions.
+    #[test]
+    fn batch_accepts_iff_individuals_accept(
+        n in 1usize..20,
+        seed in any::<u8>(),
+        corrupt_mask in any::<u32>(),
+    ) {
+        let (messages, mut signed) = build_batch(n, seed);
+        for (i, entry) in signed.iter_mut().enumerate() {
+            if (corrupt_mask >> (i % 32)) & 1 == 1 {
+                entry.1.s = entry.1.s + Scalar::ONE;
+            }
+        }
+        let items = as_items(&messages, &signed);
+        let individual = items
+            .iter()
+            .all(|it| it.public_key.verify(it.message, &it.signature));
+        prop_assert_eq!(schnorr::verify_batch(&items), individual);
+    }
+
+    /// A single corrupted signature in a batch is localized exactly.
+    #[test]
+    fn corrupted_batch_member_is_localized(
+        n in 2usize..24,
+        seed in any::<u8>(),
+        victim in any::<u16>(),
+    ) {
+        let (messages, mut signed) = build_batch(n, seed);
+        let victim = (victim as usize) % n;
+        signed[victim].1.s = signed[victim].1.s + Scalar::ONE;
+        let items = as_items(&messages, &signed);
+        prop_assert!(!schnorr::verify_batch(&items));
+        prop_assert_eq!(schnorr::find_invalid(&items), vec![victim]);
+    }
+
+    /// The Strauss–Shamir double-scalar path agrees with composed
+    /// single multiplications for arbitrary scalars.
+    #[test]
+    fn shamir_matches_composed(a in arb_scalar(), b in arb_scalar(), pv in any::<u64>()) {
+        prop_assume!(pv != 0);
+        let p = Point::generator() * Scalar::from_u64(pv);
+        let expect = Point::mul_generator(&a) + p.mul_scalar(&b);
+        prop_assert_eq!(Point::mul_shamir_generator(&a, &b, &p), expect);
+    }
+
+    /// `multi_mul` agrees with the naive sum of single multiplications,
+    /// across the small-batch and column-batched regimes.
+    #[test]
+    fn multi_mul_matches_naive(
+        scalars in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..20),
+    ) {
+        let terms: Vec<(Scalar, Point)> = scalars
+            .iter()
+            .map(|&(a, pv)| {
+                // Mix widths: even terms get full-width scalars.
+                let s = if a % 2 == 0 {
+                    Scalar::from_be_bytes_reduced(&[(a % 251) as u8 + 1; 32])
+                } else {
+                    Scalar::from_u64(a)
+                };
+                (s, Point::generator() * Scalar::from_u64(pv % 997 + 1))
+            })
+            .collect();
+        let expect = terms
+            .iter()
+            .fold(Point::IDENTITY, |acc, (s, p)| acc + p.mul_scalar(s));
+        prop_assert_eq!(Point::multi_mul(&terms), expect);
+    }
+
+    /// CoSi batch verification agrees with per-signature verification
+    /// under arbitrary corruption patterns.
+    #[test]
+    fn cosi_batch_accepts_iff_individuals_accept(
+        rounds in 1usize..12,
+        n_keys in 1usize..5,
+        corrupt_mask in any::<u16>(),
+    ) {
+        let keys: Vec<KeyPair> = (0..n_keys)
+            .map(|i| KeyPair::from_seed(&[i as u8, 0x77, 0x19]))
+            .collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        let mut records = Vec::new();
+        let mut sigs = Vec::new();
+        for r in 0..rounds {
+            let record = format!("cosi batch round {r}").into_bytes();
+            let witnesses: Vec<Witness> = keys
+                .iter()
+                .map(|k| Witness::commit(k, &(r as u64).to_be_bytes(), &record))
+                .collect();
+            let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+            let c = cosi::challenge(&agg, &record);
+            let mut sig =
+                cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+            if (corrupt_mask >> (r % 16)) & 1 == 1 {
+                sig.aggregate_response = sig.aggregate_response + Scalar::ONE;
+            }
+            records.push(record);
+            sigs.push(sig);
+        }
+        let items: Vec<(&[u8], cosi::CollectiveSignature)> = records
+            .iter()
+            .map(Vec::as_slice)
+            .zip(sigs.iter().copied())
+            .collect();
+        let individual = items.iter().all(|(rec, sig)| sig.verify(rec, &pks));
+        prop_assert_eq!(cosi::verify_batch(&items, &pks), individual);
     }
 }

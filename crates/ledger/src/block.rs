@@ -175,10 +175,7 @@ impl BlockBuilder {
     /// Records one shard root (keeps the list sorted by server index so
     /// the encoding is canonical).
     pub fn root(mut self, root: ShardRoot) -> Self {
-        let pos = self
-            .block
-            .roots
-            .partition_point(|r| r.server < root.server);
+        let pos = self.block.roots.partition_point(|r| r.server < root.server);
         self.block.roots.insert(pos, root);
         self
     }

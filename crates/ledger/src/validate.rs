@@ -14,6 +14,7 @@
 
 use core::fmt;
 
+use fides_crypto::cosi;
 use fides_crypto::schnorr::PublicKey;
 use fides_crypto::Digest;
 
@@ -59,33 +60,71 @@ impl fmt::Display for ChainFault {
 /// Validates a log against the server group's public keys: height
 /// continuity, hash pointers and per-block collective signatures.
 ///
+/// The signature work runs through [`cosi::verify_batch`]: one
+/// random-linear-combination multi-scalar check for the whole log
+/// instead of one full verification per block. Only when the batch
+/// check fails does validation fall back to per-block
+/// [`verify`](fides_crypto::cosi::CollectiveSignature::verify) to
+/// pinpoint the offending height — audit semantics (which block, which
+/// fault kind) are identical to block-by-block validation, at a
+/// fraction of the cost for honest logs (the common case: every audit
+/// validates every server's full log copy).
+///
 /// # Errors
 ///
 /// Returns the first [`ChainFault`] encountered, which pinpoints "the
 /// precise point in the execution history at which a fault occurred"
-/// (§1).
-pub fn validate_chain(
-    log: &TamperProofLog,
-    witness_keys: &[PublicKey],
-) -> Result<(), ChainFault> {
+/// (§1). Within a block, faults surface in the order height → hash
+/// link → signature, exactly as a sequential scan would report them.
+pub fn validate_chain(log: &TamperProofLog, witness_keys: &[PublicKey]) -> Result<(), ChainFault> {
+    // Structural pass: heights and hash pointers, plus the signing
+    // bytes of every block that precedes the first structural fault
+    // (only those blocks' signatures can influence the reported fault).
+    let mut structural: Option<ChainFault> = None;
+    let mut records: Vec<Vec<u8>> = Vec::with_capacity(log.len());
     let mut prev = Digest::ZERO;
     for (i, block) in log.iter().enumerate() {
-        let fault = |kind| ChainFault {
-            height: i as u64,
-            kind,
-        };
         if block.height != i as u64 {
-            return Err(fault(ChainFaultKind::BadHeight));
+            structural = Some(ChainFault {
+                height: i as u64,
+                kind: ChainFaultKind::BadHeight,
+            });
+            break;
         }
         if block.prev_hash != prev {
-            return Err(fault(ChainFaultKind::BadHashLink));
+            structural = Some(ChainFault {
+                height: i as u64,
+                kind: ChainFaultKind::BadHashLink,
+            });
+            break;
         }
-        if !block.cosign.verify(&block.signing_bytes(), witness_keys) {
-            return Err(fault(ChainFaultKind::BadCollectiveSignature));
-        }
+        records.push(block.signing_bytes());
         prev = block.hash();
     }
-    Ok(())
+
+    // Batched signature pass over the structurally sound prefix.
+    let items: Vec<(&[u8], cosi::CollectiveSignature)> = records
+        .iter()
+        .map(Vec::as_slice)
+        .zip(log.iter().map(|b| b.cosign))
+        .collect();
+    if !cosi::verify_batch(&items, witness_keys) {
+        // Fallback: scan per block to attribute the precise height. A
+        // failing batch implies at least one individual failure (a
+        // fully valid batch always passes the combined check).
+        for (i, (record, sig)) in items.iter().enumerate() {
+            if !sig.verify(record, witness_keys) {
+                return Err(ChainFault {
+                    height: i as u64,
+                    kind: ChainFaultKind::BadCollectiveSignature,
+                });
+            }
+        }
+    }
+    match structural {
+        Some(fault) => Err(fault),
+        None => Ok(()),
+    }
 }
 
 /// The auditor's verdict on one server's log copy.
@@ -138,10 +177,7 @@ pub struct LogSelection {
 /// Panics if `logs` is empty or if **no** log validates — both violate
 /// the paper's standing assumption that at least one server is correct
 /// and failure-free (§3.2).
-pub fn select_canonical_log(
-    logs: &[TamperProofLog],
-    witness_keys: &[PublicKey],
-) -> LogSelection {
+pub fn select_canonical_log(logs: &[TamperProofLog], witness_keys: &[PublicKey]) -> LogSelection {
     assert!(!logs.is_empty(), "no logs gathered");
     let verdicts: Vec<Result<(), ChainFault>> = logs
         .iter()
@@ -294,6 +330,59 @@ mod tests {
     }
 
     #[test]
+    fn earlier_bad_signature_wins_over_later_structural_fault() {
+        // Sequential semantics: block 1's bad signature is hit before
+        // block 3's bad height, so the batch path must report block 1.
+        let ks = keys(3);
+        let mut log = signed_chain(5, &ks);
+        log.tamper_block(1, |b| {
+            b.cosign = fides_crypto::cosi::CollectiveSignature::placeholder()
+        });
+        log.tamper_block(3, |b| b.height = 77);
+        let fault = validate_chain(&log, &pks(&ks)).unwrap_err();
+        assert_eq!(fault.height, 1);
+        assert_eq!(fault.kind, ChainFaultKind::BadCollectiveSignature);
+    }
+
+    #[test]
+    fn earlier_structural_fault_wins_over_later_bad_signature() {
+        // Block 1's height fault precedes block 3's bad signature; the
+        // signature after the structural fault must not be reported.
+        let ks = keys(3);
+        let mut log = signed_chain(5, &ks);
+        log.tamper_block(3, |b| {
+            b.cosign = fides_crypto::cosi::CollectiveSignature::placeholder()
+        });
+        log.tamper_block(1, |b| b.height = 77);
+        let fault = validate_chain(&log, &pks(&ks)).unwrap_err();
+        assert_eq!(fault.height, 1);
+        assert_eq!(fault.kind, ChainFaultKind::BadHeight);
+    }
+
+    #[test]
+    fn first_of_multiple_bad_signatures_reported() {
+        let ks = keys(3);
+        let mut log = signed_chain(6, &ks);
+        for h in [2u64, 4] {
+            log.tamper_block(h, |b| {
+                b.cosign = fides_crypto::cosi::CollectiveSignature::placeholder()
+            });
+        }
+        let fault = validate_chain(&log, &pks(&ks)).unwrap_err();
+        assert_eq!(fault.height, 2);
+        assert_eq!(fault.kind, ChainFaultKind::BadCollectiveSignature);
+    }
+
+    #[test]
+    fn long_honest_chain_validates_via_batch() {
+        // Exercises the batch path well past the multi_mul
+        // column-batching threshold.
+        let ks = keys(3);
+        let log = signed_chain(40, &ks);
+        assert!(validate_chain(&log, &pks(&ks)).is_ok());
+    }
+
+    #[test]
     fn selection_picks_longest_valid_lemma7() {
         let ks = keys(4);
         let full = signed_chain(6, &ks);
@@ -302,8 +391,7 @@ mod tests {
         let mut tampered = full.clone();
         tampered.tamper_block(4, |b| b.height = 99);
 
-        let selection =
-            select_canonical_log(&[truncated, tampered, full.clone()], &pks(&ks));
+        let selection = select_canonical_log(&[truncated, tampered, full.clone()], &pks(&ks));
         assert_eq!(selection.source, 2);
         assert_eq!(selection.canonical.len(), 6);
         assert_eq!(
@@ -363,8 +451,7 @@ mod tests {
                     .iter()
                     .map(|k| Witness::commit(k, b"fork", &record))
                     .collect();
-                let agg =
-                    cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+                let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
                 let c = cosi::challenge(&agg, &record);
                 let sig = cosi::CollectiveSignature::assemble(
                     agg,

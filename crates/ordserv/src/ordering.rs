@@ -7,8 +7,8 @@
 //! (`Gi ∩ Gj ≠ ∅`) their blocks have a dependency edge that the emitted
 //! order must respect; disjoint groups may be ordered arbitrarily.
 
-use std::collections::HashMap;
 use core::fmt;
+use std::collections::HashMap;
 
 use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use fides_crypto::schnorr::PublicKey;
@@ -318,10 +318,7 @@ mod tests {
         let mut seq = Sequencer::new(pks(4));
         let mut p = proposal(&[0, 1]);
         p.decision = Decision::Abort; // breaks the co-sign
-        assert_eq!(
-            seq.submit(p),
-            Err(SequenceError::InvalidProposalSignature)
-        );
+        assert_eq!(seq.submit(p), Err(SequenceError::InvalidProposalSignature));
     }
 
     #[test]

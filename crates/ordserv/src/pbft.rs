@@ -351,8 +351,8 @@ pub fn run_to_quiescence(nodes: &mut [PbftNode], initial: Vec<(usize, Outbound)>
     let mut queue: Vec<(usize, usize, PbftMessage)> = Vec::new();
     let n = nodes.len();
     let push = |queue: &mut Vec<(usize, usize, PbftMessage)>,
-                    sender: usize,
-                    (dest, msg): Outbound| match dest {
+                sender: usize,
+                (dest, msg): Outbound| match dest {
         Some(d) => queue.push((sender, d, msg)),
         None => {
             for d in 0..n {
@@ -393,7 +393,10 @@ mod tests {
     fn all_honest_commit() {
         let mut nodes = honest_group(1); // n = 4
         let out = nodes[0].propose(b"block-a".to_vec());
-        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        run_to_quiescence(
+            &mut nodes,
+            out.clone().into_iter().map(|o| (0, o)).collect(),
+        );
         for c in committed_at(&nodes, 0) {
             assert_eq!(c.map(|v| v.as_slice()), Some(&b"block-a"[..]));
         }
@@ -407,7 +410,10 @@ mod tests {
             .enumerate()
         {
             let out = nodes[0].propose(payload);
-            run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+            run_to_quiescence(
+                &mut nodes,
+                out.clone().into_iter().map(|o| (0, o)).collect(),
+            );
             for node in &nodes {
                 assert_eq!(node.committed().len(), i + 1);
             }
@@ -433,7 +439,10 @@ mod tests {
             })
             .collect();
         let out = nodes[0].propose(b"x".to_vec());
-        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        run_to_quiescence(
+            &mut nodes,
+            out.clone().into_iter().map(|o| (0, o)).collect(),
+        );
         for (i, c) in committed_at(&nodes, 0).iter().enumerate() {
             if i != 2 {
                 assert!(c.is_some(), "honest node {i} must commit");
@@ -454,9 +463,12 @@ mod tests {
             })
             .collect();
         let out = nodes[0].propose(b"y".to_vec());
-        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
-        for i in 0..3 {
-            assert!(nodes[i].committed().get(&0).is_some());
+        run_to_quiescence(
+            &mut nodes,
+            out.clone().into_iter().map(|o| (0, o)).collect(),
+        );
+        for node in nodes.iter().take(3) {
+            assert!(node.committed().get(&0).is_some());
         }
     }
 
@@ -471,7 +483,10 @@ mod tests {
             })
             .collect();
         let out = nodes[0].propose(b"z".to_vec());
-        run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        run_to_quiescence(
+            &mut nodes,
+            out.clone().into_iter().map(|o| (0, o)).collect(),
+        );
         // With 2 > f faults, progress may stall — but no two honest
         // replicas may ever commit different payloads.
         let commits: Vec<_> = [0usize, 3]
@@ -539,7 +554,10 @@ mod tests {
     fn larger_group_f2_commits() {
         let mut nodes = honest_group(2); // n = 7
         let out = nodes[0].propose(b"big".to_vec());
-        let delivered = run_to_quiescence(&mut nodes, out.clone().into_iter().map(|o| (0, o)).collect());
+        let delivered = run_to_quiescence(
+            &mut nodes,
+            out.clone().into_iter().map(|o| (0, o)).collect(),
+        );
         assert!(delivered > 0);
         for node in &nodes {
             assert!(node.committed().get(&0).is_some());

@@ -166,19 +166,15 @@ mod tests {
     #[test]
     fn signed_proposal_verifies() {
         let m = members(&[1, 3]);
-        let p = GroupProposal::build_signed(
-            &m,
-            vec![sample_txn(5, "x")],
-            vec![],
-            Decision::Commit,
-        );
+        let p = GroupProposal::build_signed(&m, vec![sample_txn(5, "x")], vec![], Decision::Commit);
         assert!(p.verify(&all_pks(5)));
     }
 
     #[test]
     fn verification_fails_for_wrong_group() {
         let m = members(&[1, 3]);
-        let mut p = GroupProposal::build_signed(&m, vec![sample_txn(5, "x")], vec![], Decision::Commit);
+        let mut p =
+            GroupProposal::build_signed(&m, vec![sample_txn(5, "x")], vec![], Decision::Commit);
         p.group = vec![1, 2]; // claim a different membership
         assert!(!p.verify(&all_pks(5)));
     }
@@ -186,7 +182,8 @@ mod tests {
     #[test]
     fn verification_fails_for_tampered_content() {
         let m = members(&[0, 2]);
-        let mut p = GroupProposal::build_signed(&m, vec![sample_txn(5, "x")], vec![], Decision::Commit);
+        let mut p =
+            GroupProposal::build_signed(&m, vec![sample_txn(5, "x")], vec![], Decision::Commit);
         p.decision = Decision::Abort;
         assert!(!p.verify(&all_pks(3)));
     }
@@ -223,8 +220,10 @@ mod tests {
     #[test]
     fn distinct_content_distinct_digest() {
         let m = members(&[0]);
-        let p1 = GroupProposal::build_signed(&m, vec![sample_txn(1, "a")], vec![], Decision::Commit);
-        let p2 = GroupProposal::build_signed(&m, vec![sample_txn(2, "a")], vec![], Decision::Commit);
+        let p1 =
+            GroupProposal::build_signed(&m, vec![sample_txn(1, "a")], vec![], Decision::Commit);
+        let p2 =
+            GroupProposal::build_signed(&m, vec![sample_txn(2, "a")], vec![], Decision::Commit);
         assert_ne!(p1.digest(), p2.digest());
     }
 }

@@ -1,0 +1,327 @@
+//! Offline shim for `criterion`.
+//!
+//! Provides the macro/API surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `iter` /
+//! `iter_custom`, `BenchmarkId`, `Throughput`) with a real measurement
+//! loop: warm-up, per-sample batching, and a `[min median max]` report
+//! printed in criterion's familiar format.
+//!
+//! It is deliberately simpler than criterion — no outlier analysis, no
+//! HTML reports, no statistical regression — but the medians it prints
+//! are stable enough to compare algorithm variants on one machine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark (soft cap).
+const MEASURE_BUDGET: Duration = Duration::from_millis(1500);
+/// Warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(150);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.to_string(), sample_size, None, f);
+    }
+}
+
+/// Bytes- or elements-per-iteration annotation for throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A `group/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates following benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size.unwrap_or(50), self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Collected per-iteration nanosecond samples.
+struct Samples {
+    per_iter_ns: Vec<f64>,
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Option<Samples>,
+}
+
+impl Bencher {
+    /// Measures `routine` (wall-clock, batched samples).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Aim for samples of >= 1ms, inside the overall budget.
+        let iters_per_sample = ((1_000_000.0 / est_ns).ceil() as u64).max(1);
+        let sample_cost = Duration::from_nanos((est_ns * iters_per_sample as f64) as u64);
+        let affordable = (MEASURE_BUDGET.as_nanos() / sample_cost.as_nanos().max(1)) as usize;
+        let n_samples = self.sample_size.min(affordable.max(5));
+
+        let mut per_iter_ns = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.samples = Some(Samples { per_iter_ns });
+    }
+
+    /// Measures with caller-controlled timing: `routine(n)` must return
+    /// the total duration of `n` iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let est = routine(1); // warm-up + estimate
+        let est_ns = (est.as_nanos() as f64).max(1.0);
+        let iters_per_sample = ((1_000_000.0 / est_ns).ceil() as u64).max(1);
+        let sample_cost_ns = est_ns * iters_per_sample as f64;
+        let affordable = (MEASURE_BUDGET.as_nanos() as f64 / sample_cost_ns.max(1.0)) as usize;
+        let n_samples = self.sample_size.min(affordable.max(3));
+
+        let mut per_iter_ns = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let d = routine(iters_per_sample);
+            per_iter_ns.push(d.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        self.samples = Some(Samples { per_iter_ns });
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: None,
+    };
+    f(&mut bencher);
+    let Some(mut samples) = bencher.samples else {
+        println!("{name:<40} (no measurement: bencher not exercised)");
+        return;
+    };
+    samples
+        .per_iter_ns
+        .sort_by(|a, b| a.partial_cmp(b).expect("no NaN in timings"));
+    let min = samples.per_iter_ns[0];
+    let max = *samples.per_iter_ns.last().expect("non-empty samples");
+    let median = samples.per_iter_ns[samples.per_iter_ns.len() / 2];
+
+    let mut line = format!(
+        "{name:<40} time:   [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => format!("{}/s", fmt_bytes(n as f64 * 1e9 / median)),
+            Throughput::Elements(n) => format!("{:.2} Melem/s", n as f64 * 1e3 / median),
+        };
+        line.push_str(&format!("  thrpt: {per_sec}"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_bytes(bytes_per_sec: f64) -> String {
+    if bytes_per_sec < 1024.0 * 1024.0 {
+        format!("{:.1} KiB", bytes_per_sec / 1024.0)
+    } else if bytes_per_sec < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1} MiB", bytes_per_sec / 1024.0 / 1024.0)
+    } else {
+        format!("{:.2} GiB", bytes_per_sec / 1024.0 / 1024.0 / 1024.0)
+    }
+}
+
+/// Declares a group function running each target against one
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("update", 64).to_string(), "update/64");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 10,
+            samples: None,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        let samples = b.samples.expect("samples collected");
+        assert!(!samples.per_iter_ns.is_empty());
+        assert!(samples.per_iter_ns.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn iter_custom_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples: None,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(10 * iters));
+        let samples = b.samples.expect("samples collected");
+        assert!(!samples.per_iter_ns.is_empty());
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(fmt_ns(12.3).contains("ns"));
+        assert!(fmt_ns(12_300.0).contains("µs"));
+        assert!(fmt_ns(12_300_000.0).contains("ms"));
+    }
+}

@@ -160,19 +160,22 @@ impl AuthenticatedShard {
             }
             return tree.root();
         }
-        // Fast path: update in place, capture the root, revert.
-        let mut saved: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
+        // Fast path: batch-update in place, capture the root, revert.
+        // `update_leaves` recomputes each shared internal node once per
+        // direction instead of once per leaf.
         let start = Instant::now();
-        let mut nodes = 0u64;
+        let mut saved: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
+        let mut updates: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
         for (key, value) in writes {
             let (idx, _) = self.index[key];
             saved.push((idx, self.tree.leaf(idx)));
-            nodes += self.tree.update_leaf(idx, leaf_digest(key, value)) as u64;
+            updates.push((idx, leaf_digest(key, value)));
         }
+        let mut nodes = self.tree.update_leaves(&updates) as u64;
         let root = self.tree.root();
-        for (idx, old) in saved.into_iter().rev() {
-            nodes += self.tree.update_leaf(idx, old) as u64;
-        }
+        // `saved` holds the pre-update digest per write (duplicate keys
+        // repeat the same original), so replaying it restores the tree.
+        nodes += self.tree.update_leaves(&saved) as u64;
         self.stats.absorb(MhtUpdateStats {
             leaf_updates: 2 * writes.len() as u64,
             nodes_recomputed: nodes,
@@ -196,13 +199,14 @@ impl AuthenticatedShard {
         let start = Instant::now();
         let mut nodes = 0u64;
         let mut leaf_updates = 0u64;
+        // Existing keys batch into one shared-path update; only new
+        // keys take the append path.
+        let mut updates: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
         for (key, value) in writes {
             self.store.commit_write(key, value.clone(), ts);
             let digest = leaf_digest(key, value);
             match self.index.get(key) {
-                Some((idx, _)) => {
-                    nodes += self.tree.update_leaf(*idx, digest) as u64;
-                }
+                Some((idx, _)) => updates.push((*idx, digest)),
                 None => {
                     let idx = self.tree.push_leaf(digest);
                     self.index.insert(key.clone(), (idx, ts));
@@ -211,6 +215,7 @@ impl AuthenticatedShard {
             }
             leaf_updates += 1;
         }
+        nodes += self.tree.update_leaves(&updates) as u64;
         let call_stats = MhtUpdateStats {
             leaf_updates,
             nodes_recomputed: nodes,
@@ -278,7 +283,11 @@ impl AuthenticatedShard {
     /// The value and verification object of `key` at version `ts`, built
     /// from the live datastore (a corrupted store yields a VO whose root
     /// mismatches the logged one — exactly Lemma 2's detection).
-    pub fn proof_at_version(&self, key: &Key, ts: Timestamp) -> Option<(Value, VerificationObject)> {
+    pub fn proof_at_version(
+        &self,
+        key: &Key,
+        ts: Timestamp,
+    ) -> Option<(Value, VerificationObject)> {
         let (idx, created) = *self.index.get(key)?;
         if created > ts {
             return None;
@@ -414,7 +423,12 @@ mod tests {
         let (value, vo) = s.proof_at_version(&key, ts(100)).unwrap();
         // The VO computed from the corrupted store no longer matches the
         // root that was logged at commit time.
-        assert!(!vo.verify(leaf_digest(&key, &Value::from_i64(900)), &s.tree_at_version(ts(100)).root()) || value.as_i64() != Some(900));
+        assert!(
+            !vo.verify(
+                leaf_digest(&key, &Value::from_i64(900)),
+                &s.tree_at_version(ts(100)).root()
+            ) || value.as_i64() != Some(900)
+        );
         assert_ne!(s.tree_at_version(ts(100)).root(), honest_root);
     }
 

@@ -120,9 +120,7 @@ impl MultiVersionStore {
             Some((last_ts, _)) if *last_ts > ts => {
                 // Out-of-order write: insert at the right position to keep
                 // the chain sorted (can occur with concurrent clients).
-                let pos = chain
-                    .versions
-                    .partition_point(|(wts, _)| *wts <= ts);
+                let pos = chain.versions.partition_point(|(wts, _)| *wts <= ts);
                 chain.versions.insert(pos, (ts, value));
             }
             _ => chain.versions.push((ts, value)),

@@ -79,7 +79,9 @@ fn scenario_3_data_corruption() {
 
     // A committed withdrawal: the log (and the co-signed Merkle root)
     // say $900, but server 2's datastore still says $1000.
-    let outcome = client.run_rmw(&[account.clone()], -100).expect("withdraw");
+    let outcome = client
+        .run_rmw(std::slice::from_ref(&account), -100)
+        .expect("withdraw");
     println!("withdrawal committed: {outcome:?}");
 
     let report = cluster.audit();
@@ -97,11 +99,7 @@ fn scenario_3_data_corruption() {
 
 fn honest_baseline() {
     println!("=== Honest baseline: transfers audit clean ===");
-    let cluster = FidesCluster::start(
-        ClusterConfig::new(3)
-            .items_per_shard(8)
-            .initial_value(1000),
-    );
+    let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(8).initial_value(1000));
     let mut client = cluster.client(0);
     // A chain of transfers between accounts on different shards.
     for i in 0..5 {
@@ -110,8 +108,12 @@ fn honest_baseline() {
         let mut txn = client.begin();
         let a = client.read(&mut txn, &from).unwrap().as_i64().unwrap();
         let b = client.read(&mut txn, &to).unwrap().as_i64().unwrap();
-        client.write(&mut txn, &from, Value::from_i64(a - 50)).unwrap();
-        client.write(&mut txn, &to, Value::from_i64(b + 50)).unwrap();
+        client
+            .write(&mut txn, &from, Value::from_i64(a - 50))
+            .unwrap();
+        client
+            .write(&mut txn, &to, Value::from_i64(b + 50))
+            .unwrap();
         let outcome = client.commit(txn).unwrap();
         assert!(outcome.committed());
     }

@@ -23,7 +23,11 @@ fn main() {
     let balance = client.read(&mut txn, &key).expect("read");
     println!("read {key} = {balance}");
     client
-        .write(&mut txn, &key, Value::from_i64(balance.as_i64().unwrap() - 25))
+        .write(
+            &mut txn,
+            &key,
+            Value::from_i64(balance.as_i64().unwrap() - 25),
+        )
         .expect("write");
     let outcome = client.commit(txn).expect("commit");
     println!("single-shard txn: {outcome:?}");

@@ -16,9 +16,7 @@
 use fides::crypto::encoding::{Decodable, Encodable};
 use fides::crypto::schnorr::KeyPair;
 use fides::ledger::block::{Decision, TxnRecord};
-use fides::ordserv::{
-    GroupLog, GroupProposal, OrderingService, PbftConfig, PbftNode, Sequencer,
-};
+use fides::ordserv::{GroupLog, GroupProposal, OrderingService, PbftConfig, PbftNode, Sequencer};
 use fides::store::rwset::WriteEntry;
 use fides::store::{Key, Timestamp, Value};
 
@@ -43,11 +41,13 @@ fn sample_txn(ts: u64, key: &str) -> TxnRecord {
 }
 
 fn group_proposal(keys: &[KeyPair], group: &[u32], ts: u64, item: &str) -> GroupProposal {
-    let members: Vec<(u32, KeyPair)> = group
-        .iter()
-        .map(|s| (*s, keys[*s as usize]))
-        .collect();
-    GroupProposal::build_signed(&members, vec![sample_txn(ts, item)], vec![], Decision::Commit)
+    let members: Vec<(u32, KeyPair)> = group.iter().map(|s| (*s, keys[*s as usize])).collect();
+    GroupProposal::build_signed(
+        &members,
+        vec![sample_txn(ts, item)],
+        vec![],
+        Decision::Commit,
+    )
 }
 
 fn main() {

@@ -159,7 +159,10 @@ fn multi_versioned_store_preserves_history() {
     let mut client = cluster.client(0);
     let key = cluster.key_of(0, 0);
     for _ in 0..3 {
-        assert!(client.run_rmw(&[key.clone()], 10).unwrap().committed());
+        assert!(client
+            .run_rmw(std::slice::from_ref(&key), 10)
+            .unwrap()
+            .committed());
     }
     cluster.settle(Duration::from_secs(2));
     let state = cluster.server_state(0);

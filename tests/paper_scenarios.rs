@@ -185,7 +185,7 @@ fn recovery_by_rollback_to_sanitized_version() {
     let key = cluster.key_of(0, 0);
     let mut commit_ts = Vec::new();
     for _ in 0..3 {
-        match client.run_rmw(&[key.clone()], 10).unwrap() {
+        match client.run_rmw(std::slice::from_ref(&key), 10).unwrap() {
             fides::core::client::TxnOutcome::Committed { ts, .. } => commit_ts.push(ts),
             other => panic!("expected commit, got {other:?}"),
         }

@@ -36,7 +36,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 8,
         max_shrink_iters: 0,
-        .. ProptestConfig::default()
     })]
 
     /// For any fault kind, any faulty server and any target item, the
@@ -82,7 +81,7 @@ proptest! {
         // Touch the target twice (stale reads need a second access) and
         // run extra traffic so log faults have material to distort.
         for _ in 0..2 {
-            let outcome = client.run_rmw(&[target.clone()], 1).unwrap();
+            let outcome = client.run_rmw(std::slice::from_ref(&target), 1).unwrap();
             prop_assert!(!outcome.is_anomaly());
         }
         for i in 0..extra_txns {
