@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/commit-8ab7093bf157ab67.d: crates/bench/benches/commit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcommit-8ab7093bf157ab67.rmeta: crates/bench/benches/commit.rs Cargo.toml
+
+crates/bench/benches/commit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_channel-556bee85d2315c9e.d: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam_channel-556bee85d2315c9e: crates/shims/crossbeam-channel/src/lib.rs
+
+crates/shims/crossbeam-channel/src/lib.rs:

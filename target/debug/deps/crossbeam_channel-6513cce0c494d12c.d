@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam_channel-6513cce0c494d12c.d: crates/shims/crossbeam-channel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam_channel-6513cce0c494d12c.rmeta: crates/shims/crossbeam-channel/src/lib.rs Cargo.toml
+
+crates/shims/crossbeam-channel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam_channel-b6e06630a0826ce6.d: crates/shims/crossbeam-channel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam_channel-b6e06630a0826ce6.rmeta: crates/shims/crossbeam-channel/src/lib.rs Cargo.toml
+
+crates/shims/crossbeam-channel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam_channel-ba74f00b71276167.d: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-ba74f00b71276167.rmeta: crates/shims/crossbeam-channel/src/lib.rs
+
+crates/shims/crossbeam-channel/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam_channel-e7daa6cef37eac3c.d: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-e7daa6cef37eac3c.rlib: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam_channel-e7daa6cef37eac3c.rmeta: crates/shims/crossbeam-channel/src/lib.rs
+
+crates/shims/crossbeam-channel/src/lib.rs:

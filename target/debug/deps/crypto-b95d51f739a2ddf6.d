@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto-b95d51f739a2ddf6.d: crates/bench/benches/crypto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto-b95d51f739a2ddf6.rmeta: crates/bench/benches/crypto.rs Cargo.toml
+
+crates/bench/benches/crypto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

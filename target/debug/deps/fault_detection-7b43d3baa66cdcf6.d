@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_detection-7b43d3baa66cdcf6.d: crates/core/tests/fault_detection.rs
+
+/root/repo/target/debug/deps/fault_detection-7b43d3baa66cdcf6: crates/core/tests/fault_detection.rs
+
+crates/core/tests/fault_detection.rs:

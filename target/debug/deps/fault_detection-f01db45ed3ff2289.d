@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_detection-f01db45ed3ff2289.d: crates/core/tests/fault_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_detection-f01db45ed3ff2289.rmeta: crates/core/tests/fault_detection.rs Cargo.toml
+
+crates/core/tests/fault_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fides-175eab704190174a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides-175eab704190174a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fides-3fd26143467c19ff.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides-3fd26143467c19ff.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fides-8ea9c1133a421b74.d: src/lib.rs
+
+/root/repo/target/debug/deps/fides-8ea9c1133a421b74: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fides-c6b7a92df769b435.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfides-c6b7a92df769b435.rmeta: src/lib.rs
+
+src/lib.rs:

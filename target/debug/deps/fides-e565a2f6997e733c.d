@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fides-e565a2f6997e733c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfides-e565a2f6997e733c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfides-e565a2f6997e733c.rmeta: src/lib.rs
+
+src/lib.rs:

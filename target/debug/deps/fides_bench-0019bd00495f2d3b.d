@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fides_bench-0019bd00495f2d3b.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_bench-0019bd00495f2d3b.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fides_bench-14cca1d384f9e574.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fides_bench-14cca1d384f9e574: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fides_bench-55e84f3039761e88.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfides_bench-55e84f3039761e88.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfides_bench-55e84f3039761e88.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fides_bench-f521cdb6a0ee61a0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfides_bench-f521cdb6a0ee61a0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fides_core-1a17910a1820bdca.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_core-1a17910a1820bdca.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/behavior.rs:
+crates/core/src/client.rs:
+crates/core/src/messages.rs:
+crates/core/src/occ.rs:
+crates/core/src/partition.rs:
+crates/core/src/server.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

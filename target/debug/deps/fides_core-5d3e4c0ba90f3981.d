@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fides_core-5d3e4c0ba90f3981.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libfides_core-5d3e4c0ba90f3981.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/behavior.rs:
+crates/core/src/client.rs:
+crates/core/src/messages.rs:
+crates/core/src/occ.rs:
+crates/core/src/partition.rs:
+crates/core/src/server.rs:
+crates/core/src/system.rs:

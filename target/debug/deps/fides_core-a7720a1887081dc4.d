@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fides_core-a7720a1887081dc4.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libfides_core-a7720a1887081dc4.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libfides_core-a7720a1887081dc4.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/behavior.rs:
+crates/core/src/client.rs:
+crates/core/src/messages.rs:
+crates/core/src/occ.rs:
+crates/core/src/partition.rs:
+crates/core/src/server.rs:
+crates/core/src/system.rs:

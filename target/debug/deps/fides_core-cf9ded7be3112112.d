@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fides_core-cf9ded7be3112112.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/fides_core-cf9ded7be3112112: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/behavior.rs:
+crates/core/src/client.rs:
+crates/core/src/messages.rs:
+crates/core/src/occ.rs:
+crates/core/src/partition.rs:
+crates/core/src/server.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fides_crypto-48f18e9e443c7033.d: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_crypto-48f18e9e443c7033.rmeta: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cosi.rs:
+crates/crypto/src/encoding.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/point.rs:
+crates/crypto/src/schnorr.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/scalar.rs:
+crates/crypto/src/arith.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fides_crypto-8e58c2d0747bcc77.d: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+/root/repo/target/debug/deps/libfides_crypto-8e58c2d0747bcc77.rlib: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+/root/repo/target/debug/deps/libfides_crypto-8e58c2d0747bcc77.rmeta: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cosi.rs:
+crates/crypto/src/encoding.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/point.rs:
+crates/crypto/src/schnorr.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/scalar.rs:
+crates/crypto/src/arith.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fides_crypto-e6e26c462f9eff48.d: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+/root/repo/target/debug/deps/fides_crypto-e6e26c462f9eff48: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cosi.rs:
+crates/crypto/src/encoding.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/point.rs:
+crates/crypto/src/schnorr.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/scalar.rs:
+crates/crypto/src/arith.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fides_ledger-0a9193e7008ee419.d: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_ledger-0a9193e7008ee419.rmeta: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs Cargo.toml
+
+crates/ledger/src/lib.rs:
+crates/ledger/src/block.rs:
+crates/ledger/src/log.rs:
+crates/ledger/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fides_ledger-518a940940743a56.d: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/debug/deps/libfides_ledger-518a940940743a56.rlib: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/debug/deps/libfides_ledger-518a940940743a56.rmeta: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+crates/ledger/src/lib.rs:
+crates/ledger/src/block.rs:
+crates/ledger/src/log.rs:
+crates/ledger/src/validate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fides_ledger-61f01786a038533c.d: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_ledger-61f01786a038533c.rmeta: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs Cargo.toml
+
+crates/ledger/src/lib.rs:
+crates/ledger/src/block.rs:
+crates/ledger/src/log.rs:
+crates/ledger/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

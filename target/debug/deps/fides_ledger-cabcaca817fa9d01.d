@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fides_ledger-cabcaca817fa9d01.d: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/debug/deps/fides_ledger-cabcaca817fa9d01: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+crates/ledger/src/lib.rs:
+crates/ledger/src/block.rs:
+crates/ledger/src/log.rs:
+crates/ledger/src/validate.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fides_ledger-d11ddac524d2cf11.d: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/debug/deps/libfides_ledger-d11ddac524d2cf11.rmeta: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+crates/ledger/src/lib.rs:
+crates/ledger/src/block.rs:
+crates/ledger/src/log.rs:
+crates/ledger/src/validate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fides_net-27bad6fbdd857fc7.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libfides_net-27bad6fbdd857fc7.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libfides_net-27bad6fbdd857fc7.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:

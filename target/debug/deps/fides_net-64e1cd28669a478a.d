@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fides_net-64e1cd28669a478a.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_net-64e1cd28669a478a.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fides_net-822bf1fd271912ac.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/fides_net-822bf1fd271912ac: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fides_net-c434146d4a981985.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/debug/deps/libfides_net-c434146d4a981985.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fides_ordserv-3eedfc53b47859ec.d: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+/root/repo/target/debug/deps/libfides_ordserv-3eedfc53b47859ec.rlib: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+/root/repo/target/debug/deps/libfides_ordserv-3eedfc53b47859ec.rmeta: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+crates/ordserv/src/lib.rs:
+crates/ordserv/src/ordering.rs:
+crates/ordserv/src/pbft.rs:
+crates/ordserv/src/proposal.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fides_ordserv-55ae274e6a8bfb58.d: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+/root/repo/target/debug/deps/libfides_ordserv-55ae274e6a8bfb58.rmeta: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+crates/ordserv/src/lib.rs:
+crates/ordserv/src/ordering.rs:
+crates/ordserv/src/pbft.rs:
+crates/ordserv/src/proposal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fides_ordserv-5f9793ea6198f791.d: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_ordserv-5f9793ea6198f791.rmeta: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs Cargo.toml
+
+crates/ordserv/src/lib.rs:
+crates/ordserv/src/ordering.rs:
+crates/ordserv/src/pbft.rs:
+crates/ordserv/src/proposal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fides_ordserv-e527f8ddb3ac33b7.d: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+/root/repo/target/debug/deps/fides_ordserv-e527f8ddb3ac33b7: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+crates/ordserv/src/lib.rs:
+crates/ordserv/src/ordering.rs:
+crates/ordserv/src/pbft.rs:
+crates/ordserv/src/proposal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fides_store-463b1930cd4bce61.d: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs
+
+/root/repo/target/debug/deps/fides_store-463b1930cd4bce61: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs
+
+crates/store/src/lib.rs:
+crates/store/src/authenticated.rs:
+crates/store/src/multi.rs:
+crates/store/src/rwset.rs:
+crates/store/src/single.rs:
+crates/store/src/types.rs:

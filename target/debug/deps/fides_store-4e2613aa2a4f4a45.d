@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fides_store-4e2613aa2a4f4a45.d: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_store-4e2613aa2a4f4a45.rmeta: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/authenticated.rs:
+crates/store/src/multi.rs:
+crates/store/src/rwset.rs:
+crates/store/src/single.rs:
+crates/store/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

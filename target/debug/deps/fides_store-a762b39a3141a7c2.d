@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fides_store-a762b39a3141a7c2.d: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs
+
+/root/repo/target/debug/deps/libfides_store-a762b39a3141a7c2.rmeta: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs
+
+crates/store/src/lib.rs:
+crates/store/src/authenticated.rs:
+crates/store/src/multi.rs:
+crates/store/src/rwset.rs:
+crates/store/src/single.rs:
+crates/store/src/types.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fides_store-dbb1710e2872040a.d: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_store-dbb1710e2872040a.rmeta: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/authenticated.rs:
+crates/store/src/multi.rs:
+crates/store/src/rwset.rs:
+crates/store/src/single.rs:
+crates/store/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fides_workload-303a4189fe798132.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libfides_workload-303a4189fe798132.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fides_workload-b2a749a3accb52d2.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/fides_workload-b2a749a3accb52d2: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fides_workload-c1a468f986aed843.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfides_workload-c1a468f986aed843.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fides_workload-d0ec24ec3c981f4e.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libfides_workload-d0ec24ec3c981f4e.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/debug/deps/libfides_workload-d0ec24ec3c981f4e.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

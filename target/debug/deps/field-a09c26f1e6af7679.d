@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/field-a09c26f1e6af7679.d: crates/bench/benches/field.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfield-a09c26f1e6af7679.rmeta: crates/bench/benches/field.rs Cargo.toml
+
+crates/bench/benches/field.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

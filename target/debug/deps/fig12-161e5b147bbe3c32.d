@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-161e5b147bbe3c32.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-161e5b147bbe3c32: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-3727bf53afd792d2.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-3727bf53afd792d2.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

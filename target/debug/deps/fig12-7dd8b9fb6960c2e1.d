@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-7dd8b9fb6960c2e1.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-7dd8b9fb6960c2e1: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-1b247288a83088bc.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-1b247288a83088bc: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-563c1d6d81dc2efa.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-563c1d6d81dc2efa: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-da466a5ffd941b06.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-da466a5ffd941b06.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-e85b1739a836a2f5.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-e85b1739a836a2f5.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

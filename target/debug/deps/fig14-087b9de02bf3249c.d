@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-087b9de02bf3249c.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-087b9de02bf3249c: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-1ca48f03c6fffc23.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-1ca48f03c6fffc23: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

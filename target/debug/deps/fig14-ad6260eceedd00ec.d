@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-ad6260eceedd00ec.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-ad6260eceedd00ec.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-e7a7226b45be9031.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/libfig14-e7a7226b45be9031.rmeta: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

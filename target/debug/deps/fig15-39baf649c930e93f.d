@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-39baf649c930e93f.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-39baf649c930e93f: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

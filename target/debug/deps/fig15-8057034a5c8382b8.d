@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-8057034a5c8382b8.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/libfig15-8057034a5c8382b8.rmeta: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-d1e3527c8d5886a6.d: crates/bench/src/bin/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-d1e3527c8d5886a6.rmeta: crates/bench/src/bin/fig15.rs Cargo.toml
+
+crates/bench/src/bin/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-ff1d21708d56323d.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-ff1d21708d56323d: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

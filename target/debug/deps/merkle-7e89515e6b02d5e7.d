@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/merkle-7e89515e6b02d5e7.d: crates/bench/benches/merkle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmerkle-7e89515e6b02d5e7.rmeta: crates/bench/benches/merkle.rs Cargo.toml
+
+crates/bench/benches/merkle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

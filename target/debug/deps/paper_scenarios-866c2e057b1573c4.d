@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_scenarios-866c2e057b1573c4.d: tests/paper_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_scenarios-866c2e057b1573c4.rmeta: tests/paper_scenarios.rs Cargo.toml
+
+tests/paper_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scenarios-ffb934f723654c01.d: tests/paper_scenarios.rs
+
+/root/repo/target/debug/deps/paper_scenarios-ffb934f723654c01: tests/paper_scenarios.rs
+
+tests/paper_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6d321bcc1f0313e1.d: crates/ledger/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6d321bcc1f0313e1.rmeta: crates/ledger/tests/proptests.rs Cargo.toml
+
+crates/ledger/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7c69e74853e445b7.d: crates/crypto/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7c69e74853e445b7: crates/crypto/tests/proptests.rs
+
+crates/crypto/tests/proptests.rs:

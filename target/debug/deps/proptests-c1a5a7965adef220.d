@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c1a5a7965adef220.d: crates/ledger/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c1a5a7965adef220: crates/ledger/tests/proptests.rs
+
+crates/ledger/tests/proptests.rs:

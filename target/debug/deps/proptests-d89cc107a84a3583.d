@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d89cc107a84a3583.d: crates/store/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d89cc107a84a3583.rmeta: crates/store/tests/proptests.rs Cargo.toml
+
+crates/store/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d9d7df841c0f5d12.d: crates/crypto/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d9d7df841c0f5d12.rmeta: crates/crypto/tests/proptests.rs Cargo.toml
+
+crates/crypto/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f1e44b4936998f1b.d: crates/store/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f1e44b4936998f1b: crates/store/tests/proptests.rs
+
+crates/store/tests/proptests.rs:

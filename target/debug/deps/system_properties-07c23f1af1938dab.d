@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_properties-07c23f1af1938dab.d: tests/system_properties.rs
+
+/root/repo/target/debug/deps/system_properties-07c23f1af1938dab: tests/system_properties.rs
+
+tests/system_properties.rs:

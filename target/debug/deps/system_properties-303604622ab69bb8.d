@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_properties-303604622ab69bb8.d: tests/system_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_properties-303604622ab69bb8.rmeta: tests/system_properties.rs Cargo.toml
+
+tests/system_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

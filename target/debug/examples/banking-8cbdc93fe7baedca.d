@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/banking-8cbdc93fe7baedca.d: examples/banking.rs
+
+/root/repo/target/debug/examples/banking-8cbdc93fe7baedca: examples/banking.rs
+
+examples/banking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/banking-fd574c0e814f1505.d: examples/banking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbanking-fd574c0e814f1505.rmeta: examples/banking.rs Cargo.toml
+
+examples/banking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/byzantine_audit-7c2504092a3a7693.d: examples/byzantine_audit.rs
+
+/root/repo/target/debug/examples/byzantine_audit-7c2504092a3a7693: examples/byzantine_audit.rs
+
+examples/byzantine_audit.rs:

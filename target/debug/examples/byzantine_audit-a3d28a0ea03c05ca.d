@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/byzantine_audit-a3d28a0ea03c05ca.d: examples/byzantine_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbyzantine_audit-a3d28a0ea03c05ca.rmeta: examples/byzantine_audit.rs Cargo.toml
+
+examples/byzantine_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-09f608bacf621c61.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-09f608bacf621c61: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-df748c7de54a8b34.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-df748c7de54a8b34.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling-63bed15ef28149a0.d: examples/scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling-63bed15ef28149a0.rmeta: examples/scaling.rs Cargo.toml
+
+examples/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling-7095078df640499a.d: examples/scaling.rs
+
+/root/repo/target/debug/examples/scaling-7095078df640499a: examples/scaling.rs
+
+examples/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/supply_chain-b59c7997e0a303d8.d: examples/supply_chain.rs
+
+/root/repo/target/debug/examples/supply_chain-b59c7997e0a303d8: examples/supply_chain.rs
+
+examples/supply_chain.rs:

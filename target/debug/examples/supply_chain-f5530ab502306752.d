@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/supply_chain-f5530ab502306752.d: examples/supply_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsupply_chain-f5530ab502306752.rmeta: examples/supply_chain.rs Cargo.toml
+
+examples/supply_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/commit-db02d29ddf5ee514.d: crates/bench/benches/commit.rs
+
+/root/repo/target/release/deps/commit-db02d29ddf5ee514: crates/bench/benches/commit.rs
+
+crates/bench/benches/commit.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-91da1f0066d3273d.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-91da1f0066d3273d.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-91da1f0066d3273d.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

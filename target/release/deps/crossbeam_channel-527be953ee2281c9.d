@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_channel-527be953ee2281c9.d: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-527be953ee2281c9.rlib: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-527be953ee2281c9.rmeta: crates/shims/crossbeam-channel/src/lib.rs
+
+crates/shims/crossbeam-channel/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam_channel-765bdb4d6ef4a8fb.d: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-765bdb4d6ef4a8fb.rlib: crates/shims/crossbeam-channel/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam_channel-765bdb4d6ef4a8fb.rmeta: crates/shims/crossbeam-channel/src/lib.rs
+
+crates/shims/crossbeam-channel/src/lib.rs:

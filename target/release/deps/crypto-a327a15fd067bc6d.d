@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto-a327a15fd067bc6d.d: crates/bench/benches/crypto.rs
+
+/root/repo/target/release/deps/crypto-a327a15fd067bc6d: crates/bench/benches/crypto.rs
+
+crates/bench/benches/crypto.rs:

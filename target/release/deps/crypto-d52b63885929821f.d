@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto-d52b63885929821f.d: crates/bench/benches/crypto.rs
+
+/root/repo/target/release/deps/crypto-d52b63885929821f: crates/bench/benches/crypto.rs
+
+crates/bench/benches/crypto.rs:

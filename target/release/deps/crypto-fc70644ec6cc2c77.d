@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto-fc70644ec6cc2c77.d: crates/bench/benches/crypto.rs
+
+/root/repo/target/release/deps/crypto-fc70644ec6cc2c77: crates/bench/benches/crypto.rs
+
+crates/bench/benches/crypto.rs:

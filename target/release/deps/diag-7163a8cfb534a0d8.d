@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diag-7163a8cfb534a0d8.d: crates/bench/src/bin/diag.rs
+
+/root/repo/target/release/deps/diag-7163a8cfb534a0d8: crates/bench/src/bin/diag.rs
+
+crates/bench/src/bin/diag.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fides-5ece11231247485f.d: src/lib.rs
+
+/root/repo/target/release/deps/libfides-5ece11231247485f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfides-5ece11231247485f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fides_bench-38cb59e3f1ff1787.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfides_bench-38cb59e3f1ff1787.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfides_bench-38cb59e3f1ff1787.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fides_bench-75ec627fe7735e79.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfides_bench-75ec627fe7735e79.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfides_bench-75ec627fe7735e79.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

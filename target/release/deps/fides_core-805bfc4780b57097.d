@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fides_core-805bfc4780b57097.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libfides_core-805bfc4780b57097.rlib: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libfides_core-805bfc4780b57097.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/behavior.rs crates/core/src/client.rs crates/core/src/messages.rs crates/core/src/occ.rs crates/core/src/partition.rs crates/core/src/server.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/behavior.rs:
+crates/core/src/client.rs:
+crates/core/src/messages.rs:
+crates/core/src/occ.rs:
+crates/core/src/partition.rs:
+crates/core/src/server.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fides_crypto-e1cca969edd536c3.d: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+/root/repo/target/release/deps/libfides_crypto-e1cca969edd536c3.rlib: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+/root/repo/target/release/deps/libfides_crypto-e1cca969edd536c3.rmeta: crates/crypto/src/lib.rs crates/crypto/src/cosi.rs crates/crypto/src/encoding.rs crates/crypto/src/hash.rs crates/crypto/src/merkle.rs crates/crypto/src/point.rs crates/crypto/src/schnorr.rs crates/crypto/src/sha256.rs crates/crypto/src/field.rs crates/crypto/src/scalar.rs crates/crypto/src/arith.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/cosi.rs:
+crates/crypto/src/encoding.rs:
+crates/crypto/src/hash.rs:
+crates/crypto/src/merkle.rs:
+crates/crypto/src/point.rs:
+crates/crypto/src/schnorr.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/field.rs:
+crates/crypto/src/scalar.rs:
+crates/crypto/src/arith.rs:

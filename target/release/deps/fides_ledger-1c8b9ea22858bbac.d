@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fides_ledger-1c8b9ea22858bbac.d: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/release/deps/libfides_ledger-1c8b9ea22858bbac.rlib: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/release/deps/libfides_ledger-1c8b9ea22858bbac.rmeta: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+crates/ledger/src/lib.rs:
+crates/ledger/src/block.rs:
+crates/ledger/src/log.rs:
+crates/ledger/src/validate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fides_ledger-c08c26ede2feb806.d: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/release/deps/libfides_ledger-c08c26ede2feb806.rlib: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+/root/repo/target/release/deps/libfides_ledger-c08c26ede2feb806.rmeta: crates/ledger/src/lib.rs crates/ledger/src/block.rs crates/ledger/src/log.rs crates/ledger/src/validate.rs
+
+crates/ledger/src/lib.rs:
+crates/ledger/src/block.rs:
+crates/ledger/src/log.rs:
+crates/ledger/src/validate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fides_net-48cd94ea825f0825.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libfides_net-48cd94ea825f0825.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+/root/repo/target/release/deps/libfides_net-48cd94ea825f0825.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/node.rs crates/net/src/sim.rs crates/net/src/transport.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/node.rs:
+crates/net/src/sim.rs:
+crates/net/src/transport.rs:

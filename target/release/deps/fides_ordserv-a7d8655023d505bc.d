@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fides_ordserv-a7d8655023d505bc.d: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+/root/repo/target/release/deps/libfides_ordserv-a7d8655023d505bc.rlib: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+/root/repo/target/release/deps/libfides_ordserv-a7d8655023d505bc.rmeta: crates/ordserv/src/lib.rs crates/ordserv/src/ordering.rs crates/ordserv/src/pbft.rs crates/ordserv/src/proposal.rs
+
+crates/ordserv/src/lib.rs:
+crates/ordserv/src/ordering.rs:
+crates/ordserv/src/pbft.rs:
+crates/ordserv/src/proposal.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fides_store-e09fb96c6f1008d9.d: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs
+
+/root/repo/target/release/deps/libfides_store-e09fb96c6f1008d9.rlib: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs
+
+/root/repo/target/release/deps/libfides_store-e09fb96c6f1008d9.rmeta: crates/store/src/lib.rs crates/store/src/authenticated.rs crates/store/src/multi.rs crates/store/src/rwset.rs crates/store/src/single.rs crates/store/src/types.rs
+
+crates/store/src/lib.rs:
+crates/store/src/authenticated.rs:
+crates/store/src/multi.rs:
+crates/store/src/rwset.rs:
+crates/store/src/single.rs:
+crates/store/src/types.rs:

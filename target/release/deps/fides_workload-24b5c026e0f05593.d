@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fides_workload-24b5c026e0f05593.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libfides_workload-24b5c026e0f05593.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libfides_workload-24b5c026e0f05593.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fides_workload-d24d9f30425a9da6.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libfides_workload-d24d9f30425a9da6.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+/root/repo/target/release/deps/libfides_workload-d24d9f30425a9da6.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/zipf.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/zipf.rs:

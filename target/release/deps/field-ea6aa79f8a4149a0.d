@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/field-ea6aa79f8a4149a0.d: crates/bench/benches/field.rs
+
+/root/repo/target/release/deps/field-ea6aa79f8a4149a0: crates/bench/benches/field.rs
+
+crates/bench/benches/field.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-25d7778a0dcf24c2.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-25d7778a0dcf24c2: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-ab60c561f9ed7d7c.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-ab60c561f9ed7d7c: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-7fd6906acf86cc6f.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-7fd6906acf86cc6f: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-d648475c959dedc4.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-d648475c959dedc4: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-5c8525cefd7f5d88.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-5c8525cefd7f5d88: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-7afceb2b3ab095cf.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-7afceb2b3ab095cf: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-054c9d39c8969a2a.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-054c9d39c8969a2a: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15-31d1c4c9e148cc66.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/release/deps/fig15-31d1c4c9e148cc66: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

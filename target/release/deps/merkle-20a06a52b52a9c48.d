@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/merkle-20a06a52b52a9c48.d: crates/bench/benches/merkle.rs
+
+/root/repo/target/release/deps/merkle-20a06a52b52a9c48: crates/bench/benches/merkle.rs
+
+crates/bench/benches/merkle.rs:

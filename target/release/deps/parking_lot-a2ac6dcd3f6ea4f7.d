@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-a2ac6dcd3f6ea4f7.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a2ac6dcd3f6ea4f7.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-a2ac6dcd3f6ea4f7.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

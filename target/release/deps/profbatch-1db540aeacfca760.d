@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profbatch-1db540aeacfca760.d: crates/bench/src/bin/profbatch.rs
+
+/root/repo/target/release/deps/profbatch-1db540aeacfca760: crates/bench/src/bin/profbatch.rs
+
+crates/bench/src/bin/profbatch.rs:

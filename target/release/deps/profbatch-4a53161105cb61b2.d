@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profbatch-4a53161105cb61b2.d: crates/bench/src/bin/profbatch.rs
+
+/root/repo/target/release/deps/profbatch-4a53161105cb61b2: crates/bench/src/bin/profbatch.rs
+
+crates/bench/src/bin/profbatch.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-474a75d6fb7364da.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-474a75d6fb7364da.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-474a75d6fb7364da.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/banking-38f9f0c46a776c41.d: examples/banking.rs
+
+/root/repo/target/release/examples/banking-38f9f0c46a776c41: examples/banking.rs
+
+examples/banking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/byzantine_audit-2371a6247c4110d9.d: examples/byzantine_audit.rs
+
+/root/repo/target/release/examples/byzantine_audit-2371a6247c4110d9: examples/byzantine_audit.rs
+
+examples/byzantine_audit.rs:

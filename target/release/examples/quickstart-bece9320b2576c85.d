@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bece9320b2576c85.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bece9320b2576c85: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling-c003b30bd4a6d0cb.d: examples/scaling.rs
+
+/root/repo/target/release/examples/scaling-c003b30bd4a6d0cb: examples/scaling.rs
+
+examples/scaling.rs:

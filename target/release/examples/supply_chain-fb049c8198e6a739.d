@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/supply_chain-fb049c8198e6a739.d: examples/supply_chain.rs
+
+/root/repo/target/release/examples/supply_chain-fb049c8198e6a739: examples/supply_chain.rs
+
+examples/supply_chain.rs:
