@@ -16,6 +16,8 @@
 //! * [`client`] — client sessions executing the transaction life-cycle
 //!   of Figure 5,
 //! * [`audit`] — the offline auditor implementing Lemmas 1–7,
+//! * [`recovery`] — persistence configuration and the verified crash
+//!   recovery path (WAL + snapshot restart via `fides-durability`),
 //! * [`system`] — the cluster harness used by tests, examples and the
 //!   benchmark suite.
 //!
@@ -49,6 +51,7 @@ pub mod client;
 pub mod messages;
 pub mod occ;
 pub mod partition;
+pub mod recovery;
 pub mod server;
 pub mod system;
 
@@ -57,4 +60,7 @@ pub use behavior::Behavior;
 pub use client::{ClientSession, TxnCtx, TxnOutcome};
 pub use messages::{CommitProtocol, Message, TxnHandle};
 pub use partition::Partitioner;
+pub use recovery::{
+    Durability, MemoryCluster, PersistenceBackend, PersistenceConfig, ServerStartError,
+};
 pub use system::{ClusterConfig, FidesCluster};

@@ -1,0 +1,334 @@
+//! Server-level crash recovery: persistence configuration, backend
+//! selection, and the verified restart path (paper §4.2.1's
+//! recoverability, hardened for untrusted disks).
+//!
+//! `fides-durability` recovers and re-verifies the *ledger* (WAL →
+//! [`TamperProofLog`] with hash links and collective signatures
+//! re-checked, snapshot bound to the verified chain). This module adds
+//! the *server* half: rebuilding the [`AuthenticatedShard`] by
+//! restoring the newest snapshot and replaying only the log suffix
+//! above it, re-deriving `last_committed`, and cross-checking the
+//! replayed shard against the per-shard Merkle roots co-signed inside
+//! the blocks — a root mismatch means the disk state disagrees with
+//! the collectively signed history, and startup is refused.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use core::fmt;
+
+use fides_crypto::schnorr::PublicKey;
+use fides_durability::{
+    recover_ledger, DurableLog, FileSnapshotStore, MemoryBlockLog, MemorySnapshotStore,
+    RecoveryError, ShardSnapshot, SnapshotStore, WalBlockLog, WalConfig,
+};
+use fides_ledger::block::{Block, Decision};
+use fides_ledger::log::TamperProofLog;
+use fides_store::authenticated::AuthenticatedShard;
+use fides_store::types::{Key, Timestamp, Value};
+
+use crate::messages::CommitProtocol;
+use crate::partition::Partitioner;
+
+/// How many blocks between automatic shard snapshots by default.
+pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 32;
+
+/// Where a cluster persists its per-server state.
+#[derive(Clone, Debug)]
+pub enum PersistenceBackend {
+    /// Segmented WAL + snapshot files under `<dir>/server-<idx>/`.
+    Files(PathBuf),
+    /// Shared in-memory stores (the pre-durability behavior, with
+    /// crash/recovery still exercisable: state outlives the servers).
+    Memory(MemoryCluster),
+}
+
+/// The shared in-memory "disks" of a [`PersistenceBackend::Memory`]
+/// cluster, one per server index. Clones share storage, so a restarted
+/// cluster built from a clone recovers the previous cluster's state.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryCluster {
+    stores: Arc<Mutex<HashMap<u32, (MemoryBlockLog, MemorySnapshotStore)>>>,
+}
+
+impl MemoryCluster {
+    /// A fresh set of empty in-memory disks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles on server `idx`'s log and snapshot stores.
+    fn open(&self, idx: u32) -> (MemoryBlockLog, MemorySnapshotStore) {
+        let mut stores = self.stores.lock().expect("memory cluster lock");
+        let (log, snaps) = stores.entry(idx).or_default();
+        (log.handle(), snaps.handle())
+    }
+}
+
+/// Persistence settings for a cluster.
+#[derive(Clone, Debug)]
+pub struct PersistenceConfig {
+    /// Which backend stores the WAL and snapshots.
+    pub backend: PersistenceBackend,
+    /// WAL tuning (segment size, sync policy).
+    pub wal: WalConfig,
+    /// Blocks between automatic shard snapshots (0 = never snapshot —
+    /// recovery then replays the full log).
+    pub snapshot_interval: u64,
+}
+
+impl PersistenceConfig {
+    /// File-backed persistence under `dir` with default tuning.
+    pub fn files(dir: impl Into<PathBuf>) -> Self {
+        PersistenceConfig {
+            backend: PersistenceBackend::Files(dir.into()),
+            wal: WalConfig::default(),
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+        }
+    }
+
+    /// In-memory persistence over `disks`.
+    pub fn memory(disks: MemoryCluster) -> Self {
+        PersistenceConfig {
+            backend: PersistenceBackend::Memory(disks),
+            wal: WalConfig::default(),
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+        }
+    }
+
+    /// Overrides the WAL configuration.
+    pub fn wal(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Overrides the snapshot interval.
+    pub fn snapshot_interval(mut self, blocks: u64) -> Self {
+        self.snapshot_interval = blocks;
+        self
+    }
+
+    /// The on-disk directory of server `idx` (file backend only).
+    pub fn server_dir(root: &std::path::Path, idx: u32) -> PathBuf {
+        root.join(format!("server-{idx:03}"))
+    }
+}
+
+/// A server's persistence handles, attached to its
+/// [`crate::server::ServerState`].
+#[derive(Debug)]
+pub struct Durability {
+    /// The durable block log (WAL or memory).
+    pub log: Box<dyn DurableLog>,
+    /// The snapshot store (files or memory).
+    pub snapshots: Box<dyn SnapshotStore>,
+    /// Blocks between automatic snapshots (0 = never).
+    pub snapshot_interval: u64,
+}
+
+/// Why a persisted server refused to start.
+#[derive(Debug)]
+pub enum ServerStartError {
+    /// The ledger-level recovery failed (corrupt WAL, tampered chain,
+    /// unlinked snapshot, ...).
+    Recovery {
+        /// The refusing server.
+        server: u32,
+        /// What failed.
+        source: RecoveryError,
+    },
+    /// Replaying the verified log left the shard with a Merkle root
+    /// different from the one this server co-signed in a block — the
+    /// persisted datastore disagrees with the signed history.
+    ShardRootMismatch {
+        /// The refusing server.
+        server: u32,
+        /// The block whose root check failed.
+        height: u64,
+    },
+}
+
+impl fmt::Display for ServerStartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerStartError::Recovery { server, source } => {
+                write!(f, "server {server}: {source}")
+            }
+            ServerStartError::ShardRootMismatch { server, height } => write!(
+                f,
+                "server {server}: refusing startup: replayed shard root at block {height} \
+                 does not match the co-signed root"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServerStartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerStartError::Recovery { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A recovered server: verified state plus the (re-opened) persistence
+/// handles to keep appending through.
+#[derive(Debug)]
+pub struct RecoveredServer {
+    /// The re-validated log.
+    pub log: TamperProofLog,
+    /// The shard with the snapshot restored and the log suffix
+    /// replayed.
+    pub shard: AuthenticatedShard,
+    /// Highest committed transaction timestamp in the recovered state.
+    pub last_committed: Timestamp,
+    /// Handles for continued persistence.
+    pub durability: Durability,
+}
+
+/// Opens server `idx`'s backend, runs the verified recovery path, and
+/// replays the log (suffix) into the shard.
+///
+/// `initial_shard` is the deterministic preloaded population — the
+/// state a fresh server starts from and the replay base when no
+/// snapshot exists. `protocol` selects the verification and replay
+/// semantics: the 2PC baseline has unsigned blocks (no cosign pass)
+/// and maintains no Merkle tree (store-only replay, and servers never
+/// snapshot under it).
+///
+/// Recovery is strictly per-server: a server whose durable log ends
+/// below its peers' restarts at its shorter height and cannot rejoin
+/// rounds above it (there is no anti-entropy/state-transfer protocol
+/// yet) — the auditor flags such a copy as incomplete rather than the
+/// cluster resynchronizing it.
+///
+/// # Errors
+///
+/// [`ServerStartError`] when the persisted state fails any integrity
+/// check; the server must not serve traffic.
+pub fn recover_server(
+    idx: u32,
+    initial_shard: AuthenticatedShard,
+    partitioner: &Partitioner,
+    server_pks: &[PublicKey],
+    protocol: CommitProtocol,
+    persistence: &PersistenceConfig,
+) -> Result<RecoveredServer, ServerStartError> {
+    let verify_cosign = protocol == CommitProtocol::TfCommit;
+    let recovery_err = |source| ServerStartError::Recovery {
+        server: idx,
+        source,
+    };
+
+    // Open the backend: durable handles + everything it already holds.
+    type OpenedBackend = (
+        Box<dyn DurableLog>,
+        Vec<Block>,
+        Box<dyn SnapshotStore>,
+        Option<ShardSnapshot>,
+    );
+    let (log_handle, blocks, snap_handle, snapshot): OpenedBackend = match &persistence.backend {
+        PersistenceBackend::Files(root) => {
+            let dir = PersistenceConfig::server_dir(root, idx);
+            let (wal, blocks) = WalBlockLog::open(dir.join("wal"), persistence.wal)
+                .map_err(|e| recovery_err(RecoveryError::Wal(e)))?;
+            let snaps = FileSnapshotStore::open(dir.join("snapshots"))
+                .map_err(|e| recovery_err(RecoveryError::Snapshot(e)))?;
+            let snapshot = snaps
+                .load_latest()
+                .map_err(|e| recovery_err(RecoveryError::Snapshot(e)))?;
+            (Box::new(wal), blocks, Box::new(snaps), snapshot)
+        }
+        PersistenceBackend::Memory(disks) => {
+            let (log, snaps) = disks.open(idx);
+            let blocks = log.blocks();
+            let snapshot = snaps
+                .load_latest()
+                .map_err(|e| recovery_err(RecoveryError::Snapshot(e)))?;
+            (Box::new(log), blocks, Box::new(snaps), snapshot)
+        }
+    };
+
+    // Ledger-level verification: chain, signatures, snapshot binding.
+    let recovered =
+        recover_ledger(blocks, snapshot, server_pks, verify_cosign).map_err(recovery_err)?;
+
+    // Shard base: restored snapshot, or the preloaded population.
+    let (mut shard, mut last_committed, replay_from) = match &recovered.snapshot {
+        Some(snap) => {
+            let shard = snap
+                .restore_verified()
+                .expect("snapshot verified by recover_ledger");
+            (shard, snap.last_committed, snap.height)
+        }
+        None => (initial_shard, Timestamp::ZERO, 0),
+    };
+
+    // Replay the suffix, cross-checking the roots this server co-signed.
+    for block in recovered.log.blocks().iter().skip(replay_from as usize) {
+        if block.decision != Decision::Commit {
+            continue;
+        }
+        replay_block(&mut shard, block, partitioner, idx, protocol);
+        if let Some(ts) = block.max_txn_ts() {
+            if ts > last_committed {
+                last_committed = ts;
+            }
+        }
+        if let Some(signed_root) = block.root_of(idx) {
+            if shard.root() != signed_root {
+                return Err(ServerStartError::ShardRootMismatch {
+                    server: idx,
+                    height: block.height,
+                });
+            }
+        }
+    }
+
+    Ok(RecoveredServer {
+        log: recovered.log,
+        shard,
+        last_committed,
+        durability: Durability {
+            log: log_handle,
+            snapshots: snap_handle,
+            snapshot_interval: persistence.snapshot_interval,
+        },
+    })
+}
+
+/// Applies one committed block's effects on `server`'s shard — the
+/// replay twin of the live commit path in `Server::apply_block`,
+/// including its protocol split (2PC keeps no Merkle tree).
+fn replay_block(
+    shard: &mut AuthenticatedShard,
+    block: &Block,
+    partitioner: &Partitioner,
+    server: u32,
+    protocol: CommitProtocol,
+) {
+    for txn in &block.txns {
+        let reads: Vec<Key> = txn
+            .read_set
+            .iter()
+            .filter(|r| partitioner.owner(&r.key) == server)
+            .map(|r| r.key.clone())
+            .collect();
+        let writes: Vec<(Key, Value)> = txn
+            .write_set
+            .iter()
+            .filter(|w| partitioner.owner(&w.key) == server)
+            .map(|w| (w.key.clone(), w.new_value.clone()))
+            .collect();
+        match protocol {
+            CommitProtocol::TfCommit => {
+                shard.apply_commit(txn.id, &reads, &writes);
+            }
+            CommitProtocol::TwoPhaseCommit => {
+                shard.apply_commit_store_only(txn.id, &reads, &writes);
+            }
+        }
+    }
+}

@@ -10,6 +10,22 @@
 //! All state lives behind an `Arc<Mutex<ServerState>>` so that the
 //! auditor can gather snapshots ("the auditor gathers the tamper-proof
 //! logs from all the servers", §3.3) and tests can inject faults.
+//!
+//! # Persistence
+//!
+//! A server may carry a [`Durability`] handle (attached at
+//! construction, see [`crate::recovery`]). Every terminated block —
+//! commit *and* abort — is then appended to the durable log **before**
+//! the datastore applies its writes (write-ahead), and made stable with
+//! one group-commit `fsync` per block; every `snapshot_interval` blocks
+//! the shard is checkpointed so restarts replay only a log suffix. On
+//! restart, [`crate::recovery::recover_server`] re-validates the whole
+//! persisted chain (hash links + batched collective-signature
+//! verification) and cross-checks the replayed shard against the
+//! co-signed Merkle roots before the server is allowed to serve
+//! traffic; a corrupted or tampered disk fails startup rather than
+//! silently serving forged state. Without a handle the server keeps the
+//! original memory-only behavior.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -25,10 +41,13 @@ use fides_net::{Endpoint, Envelope, NodeId};
 use fides_store::authenticated::AuthenticatedShard;
 use fides_store::types::{ItemState, Key, Timestamp, Value};
 
+use fides_durability::ShardSnapshot;
+
 use crate::behavior::Behavior;
 use crate::messages::{CommitProtocol, InvolvedVote, Message, PartialBlock, Refusal, TxnHandle};
 use crate::occ;
 use crate::partition::Partitioner;
+use crate::recovery::Durability;
 
 /// Map from node address to public key — the paper's "servers and
 /// clients are uniquely identifiable using their public keys" (§3.1).
@@ -65,6 +84,8 @@ pub struct ServerState {
     /// (out-of-order delivery). They are verified **in batch** and
     /// applied as soon as the gap closes (the catch-up loop).
     pending_decisions: std::collections::BTreeMap<u64, Block>,
+    /// Persistence handles (`None` = original memory-only behavior).
+    pub durability: Option<Durability>,
     /// Coordinator-side round statistics: protocol rounds completed,
     /// cumulative round time, and transactions committed — the paper's
     /// "commit latency" ("time taken to terminate a transaction once
@@ -87,7 +108,7 @@ pub struct RoundStats {
 }
 
 impl ServerState {
-    fn new(idx: u32, shard: AuthenticatedShard, behavior: Behavior) -> Self {
+    pub(crate) fn new(idx: u32, shard: AuthenticatedShard, behavior: Behavior) -> Self {
         ServerState {
             idx,
             shard,
@@ -100,6 +121,7 @@ impl ServerState {
             refusals: Vec::new(),
             cosi_culprits: Vec::new(),
             pending_decisions: std::collections::BTreeMap::new(),
+            durability: None,
             round_stats: RoundStats::default(),
         }
     }
@@ -199,9 +221,32 @@ impl Server {
         partitioner: Partitioner,
         server_pks: Vec<PublicKey>,
     ) -> (Server, Arc<parking_lot::Mutex<ServerState>>) {
-        let state = Arc::new(parking_lot::Mutex::new(ServerState::new(
-            config.idx, shard, behavior,
-        )));
+        let state = ServerState::new(config.idx, shard, behavior);
+        Server::from_state(
+            config,
+            state,
+            endpoint,
+            keypair,
+            directory,
+            partitioner,
+            server_pks,
+        )
+    }
+
+    /// Builds a server around an explicit [`ServerState`] — the restart
+    /// path, where the state (log, shard, `last_committed`, durability
+    /// handles) comes out of [`crate::recovery::recover_server`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_state(
+        config: ServerConfig,
+        state: ServerState,
+        endpoint: Endpoint,
+        keypair: KeyPair,
+        directory: Directory,
+        partitioner: Partitioner,
+        server_pks: Vec<PublicKey>,
+    ) -> (Server, Arc<parking_lot::Mutex<ServerState>>) {
+        let state = Arc::new(parking_lot::Mutex::new(state));
         let server = Server {
             state: Arc::clone(&state),
             endpoint,
@@ -641,7 +686,8 @@ impl Server {
     // ------------------------------------------------------------------
 
     fn apply_block(&mut self, block: Block, protocol: CommitProtocol) {
-        let mut state = self.state.lock();
+        let mut guard = self.state.lock();
+        let state = &mut *guard;
         if state.log.get(block.height).is_some() {
             return; // duplicate decision (e.g. coordinator's local copy)
         }
@@ -649,6 +695,15 @@ impl Server {
         let max_ts = block.max_txn_ts();
         if state.log.append(block.clone()).is_err() {
             return; // does not extend our log; ignore
+        }
+        // Write-ahead: the block is durable before the datastore moves.
+        // One sync per block = group commit over the block's whole
+        // transaction batch.
+        if let Some(dur) = state.durability.as_mut() {
+            dur.log
+                .append_block(&block)
+                .and_then(|()| dur.log.sync())
+                .expect("write-ahead log append failed");
         }
         state.witnesses.remove(&block.height);
         state.sent_roots.remove(&block.height);
@@ -696,6 +751,29 @@ impl Server {
                         state.shard.store_mut().corrupt_version(&key, ts, value);
                     }
                 }
+            }
+        }
+
+        // Periodic checkpoint: snapshot the shard (with the block's
+        // writes applied) so recovery replays only the suffix above it.
+        // Only under TFCommit: the 2PC baseline maintains no Merkle
+        // tree, so there is no meaningful root to bind a snapshot to —
+        // its recovery replays the full (unsigned) log instead.
+        if let Some(dur) = state.durability.as_mut() {
+            let height = state.log.len() as u64;
+            if protocol == CommitProtocol::TfCommit
+                && dur.snapshot_interval > 0
+                && height.is_multiple_of(dur.snapshot_interval)
+            {
+                let snapshot = ShardSnapshot::capture(
+                    &state.shard,
+                    height,
+                    state.log.tip_hash(),
+                    state.last_committed,
+                );
+                dur.snapshots
+                    .save(&snapshot)
+                    .expect("shard snapshot save failed");
             }
         }
     }

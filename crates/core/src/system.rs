@@ -23,6 +23,7 @@ use crate::behavior::Behavior;
 use crate::client::{ClientSession, TimestampOracle};
 use crate::messages::{CommitProtocol, Message};
 use crate::partition::Partitioner;
+use crate::recovery::{recover_server, PersistenceConfig, ServerStartError};
 use crate::server::{
     admin_node, client_node, server_node, Directory, Server, ServerConfig, ServerState,
 };
@@ -51,6 +52,9 @@ pub struct ClusterConfig {
     pub round_timeout: Duration,
     /// Initial numeric value of every preloaded item.
     pub initial_value: i64,
+    /// Durable storage for logs and shard snapshots (`None` = the
+    /// original memory-only cluster).
+    pub persistence: Option<PersistenceConfig>,
 }
 
 impl ClusterConfig {
@@ -67,6 +71,7 @@ impl ClusterConfig {
             flush_interval: Duration::from_millis(5),
             round_timeout: Duration::from_secs(5),
             initial_value: 100,
+            persistence: None,
         }
     }
 
@@ -124,6 +129,21 @@ impl ClusterConfig {
         self.initial_value = value;
         self
     }
+
+    /// Persists every server's log and snapshots under `dir`
+    /// (`<dir>/server-<idx>/{wal,snapshots}`). Starting a cluster twice
+    /// over the same directory is a restart: the second start recovers
+    /// and re-verifies the first one's state.
+    pub fn persist_to(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.persistence(PersistenceConfig::files(dir))
+    }
+
+    /// Sets a full persistence configuration (backend, WAL tuning,
+    /// snapshot interval).
+    pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
+        self.persistence = Some(persistence);
+        self
+    }
 }
 
 /// A running cluster.
@@ -144,7 +164,27 @@ pub struct FidesCluster {
 impl FidesCluster {
     /// Builds shards, keys and the partition map; spawns the server
     /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a persisted server refuses to start (corrupt or
+    /// tampered WAL/snapshot) — use [`FidesCluster::try_start`] to
+    /// handle the refusal.
     pub fn start(config: ClusterConfig) -> FidesCluster {
+        match Self::try_start(config) {
+            Ok(cluster) => cluster,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`FidesCluster::start`], but a persisted server that fails
+    /// verified recovery surfaces as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ServerStartError`] encountered; no threads are left
+    /// running.
+    pub fn try_start(config: ClusterConfig) -> Result<FidesCluster, ServerStartError> {
         assert!(config.n_servers > 0, "need at least one server");
         let network = Network::new(config.network.clone());
 
@@ -184,11 +224,39 @@ impl FidesCluster {
         }
         let partitioner = Partitioner::from_assignments(config.n_servers, assignments);
 
+        // Build every server's state first — recovering (and verifying)
+        // persisted state where configured — so a refused startup
+        // surfaces before any thread runs.
+        let mut server_states = Vec::with_capacity(config.n_servers as usize);
+        for (s, shard) in shards.into_iter().enumerate() {
+            let s = s as u32;
+            let behavior = config.behaviors.get(&s).cloned().unwrap_or_default();
+            let state = match &config.persistence {
+                None => ServerState::new(s, shard, behavior),
+                Some(persistence) => {
+                    let recovered = recover_server(
+                        s,
+                        shard,
+                        &partitioner,
+                        &server_pks,
+                        config.protocol,
+                        persistence,
+                    )?;
+                    let mut state = ServerState::new(s, recovered.shard, behavior);
+                    state.log = recovered.log;
+                    state.last_committed = recovered.last_committed;
+                    state.durability = Some(recovered.durability);
+                    state
+                }
+            };
+            server_states.push(state);
+        }
+
         // Spawn the servers.
         let mut states = Vec::with_capacity(config.n_servers as usize);
         let mut threads = Vec::with_capacity(config.n_servers as usize);
-        for (s, shard) in shards.into_iter().enumerate() {
-            let s = s as u32;
+        for state in server_states {
+            let s = state.idx;
             let server_config = ServerConfig {
                 idx: s,
                 n_servers: config.n_servers,
@@ -197,12 +265,10 @@ impl FidesCluster {
                 flush_interval: config.flush_interval,
                 round_timeout: config.round_timeout,
             };
-            let behavior = config.behaviors.get(&s).cloned().unwrap_or_default();
             let endpoint = network.register(server_node(s));
-            let (server, state) = Server::new(
+            let (server, state) = Server::from_state(
                 server_config,
-                shard,
-                behavior,
+                state,
                 endpoint,
                 server_kps[s as usize],
                 Arc::clone(&directory),
@@ -219,7 +285,7 @@ impl FidesCluster {
         }
 
         let admin = network.register(admin_node());
-        FidesCluster {
+        Ok(FidesCluster {
             config,
             network,
             partitioner,
@@ -231,7 +297,7 @@ impl FidesCluster {
             admin,
             admin_kp,
             initial,
-        }
+        })
     }
 
     fn key_for(server: u32, item: usize) -> Key {

@@ -1,0 +1,334 @@
+//! Verified crash recovery: rebuild and re-authenticate a server's
+//! ledger state from its WAL and newest snapshot.
+//!
+//! Persistence alone is not enough on untrusted infrastructure: the
+//! bytes read back after a restart are exactly as untrusted as a log
+//! surrendered to the auditor (paper §4.4). Recovery therefore treats
+//! the WAL like an audit input:
+//!
+//! 1. the blocks are re-chained through
+//!    [`TamperProofLog::from_blocks`], which re-checks every height and
+//!    hash pointer (Lemma 6's structural half);
+//! 2. the collective signatures of the whole chain are re-verified with
+//!    the batched fast path ([`validate_chain`] →
+//!    [`fides_crypto::cosi::verify_batch`]) — one
+//!    random-linear-combination multi-scalar check for the entire log;
+//! 3. the snapshot, if any, is bound to the verified chain: its height
+//!    must lie inside the log and its recorded tip hash must equal the
+//!    hash of the block at that height, and the restored shard must
+//!    reproduce the snapshot's Merkle root.
+//!
+//! Any failure yields a descriptive [`RecoveryError`] and the server
+//! **refuses to start** — a corrupted or tampered disk can lose
+//! availability, never integrity.
+
+use core::fmt;
+
+use fides_crypto::schnorr::PublicKey;
+use fides_ledger::block::Block;
+use fides_ledger::log::{LogError, TamperProofLog};
+use fides_ledger::validate::{validate_chain, ChainFault};
+
+use crate::snapshot::{ShardSnapshot, SnapshotError};
+use crate::wal::WalError;
+
+/// Why recovery refused to bring the server up.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The WAL could not be read (I/O, corruption, torn non-tail).
+    Wal(WalError),
+    /// The snapshot could not be read or failed its integrity checks.
+    Snapshot(SnapshotError),
+    /// The WAL's blocks do not form a height-continuous hash chain.
+    BrokenChain(LogError),
+    /// The chain's collective signatures do not verify — the persisted
+    /// log was tampered with (Lemma 6 applied at startup).
+    Tampered(ChainFault),
+    /// The snapshot claims a height beyond the recovered log.
+    SnapshotAheadOfLog {
+        /// The snapshot's height.
+        snapshot: u64,
+        /// The recovered log's length.
+        log: u64,
+    },
+    /// The snapshot's tip hash does not match the verified chain at its
+    /// height — it checkpoints a different history.
+    SnapshotUnlinked {
+        /// The snapshot's height.
+        height: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Wal(e) => write!(f, "refusing startup: {e}"),
+            RecoveryError::Snapshot(e) => write!(f, "refusing startup: {e}"),
+            RecoveryError::BrokenChain(e) => {
+                write!(f, "refusing startup: recovered log is not a chain: {e}")
+            }
+            RecoveryError::Tampered(fault) => {
+                write!(
+                    f,
+                    "refusing startup: recovered log fails verification: {fault}"
+                )
+            }
+            RecoveryError::SnapshotAheadOfLog { snapshot, log } => write!(
+                f,
+                "refusing startup: snapshot height {snapshot} exceeds recovered log length {log}"
+            ),
+            RecoveryError::SnapshotUnlinked { height } => write!(
+                f,
+                "refusing startup: snapshot at height {height} is not linked to the recovered chain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Wal(e) => Some(e),
+            RecoveryError::Snapshot(e) => Some(e),
+            RecoveryError::BrokenChain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> Self {
+        RecoveryError::Wal(e)
+    }
+}
+
+impl From<SnapshotError> for RecoveryError {
+    fn from(e: SnapshotError) -> Self {
+        RecoveryError::Snapshot(e)
+    }
+}
+
+/// The verified outcome of [`recover_ledger`].
+#[derive(Debug)]
+pub struct RecoveredLedger {
+    /// The re-validated tamper-proof log.
+    pub log: TamperProofLog,
+    /// The verified snapshot, when one was found: the restored shard
+    /// plus the metadata needed to replay the log suffix above
+    /// [`ShardSnapshot::height`].
+    pub snapshot: Option<ShardSnapshot>,
+}
+
+impl RecoveredLedger {
+    /// Height above which log blocks still need replaying into the
+    /// shard (0 when no snapshot was found).
+    pub fn replay_from(&self) -> u64 {
+        self.snapshot.as_ref().map_or(0, |s| s.height)
+    }
+}
+
+/// Rebuilds and verifies a server's ledger from WAL blocks and an
+/// optional snapshot (see module docs for the verification steps).
+///
+/// `verify_cosign` disables the collective-signature pass for
+/// deployments whose blocks are unsigned (the trusted 2PC baseline);
+/// the hash chain is always checked.
+///
+/// # Errors
+///
+/// A descriptive [`RecoveryError`]; callers must refuse to serve
+/// traffic when recovery fails.
+pub fn recover_ledger(
+    blocks: Vec<Block>,
+    snapshot: Option<ShardSnapshot>,
+    witness_keys: &[PublicKey],
+    verify_cosign: bool,
+) -> Result<RecoveredLedger, RecoveryError> {
+    let log = TamperProofLog::from_blocks(blocks).map_err(RecoveryError::BrokenChain)?;
+    if verify_cosign {
+        validate_chain(&log, witness_keys).map_err(RecoveryError::Tampered)?;
+    }
+
+    let snapshot = match snapshot {
+        None => None,
+        Some(snap) => {
+            if snap.height > log.len() as u64 {
+                return Err(RecoveryError::SnapshotAheadOfLog {
+                    snapshot: snap.height,
+                    log: log.len() as u64,
+                });
+            }
+            let expected_tip = if snap.height == 0 {
+                fides_crypto::Digest::ZERO
+            } else {
+                log.get(snap.height - 1)
+                    .expect("height <= len checked above")
+                    .hash()
+            };
+            if snap.tip_hash != expected_tip {
+                return Err(RecoveryError::SnapshotUnlinked {
+                    height: snap.height,
+                });
+            }
+            // Cross-check payload against metadata before trusting it.
+            snap.restore_verified().map_err(RecoveryError::Snapshot)?;
+            Some(snap)
+        }
+    };
+
+    Ok(RecoveredLedger { log, snapshot })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_crypto::cosi::{self, Witness};
+    use fides_crypto::schnorr::KeyPair;
+    use fides_crypto::Digest;
+    use fides_ledger::block::{BlockBuilder, Decision};
+    use fides_store::authenticated::AuthenticatedShard;
+    use fides_store::types::{Key, Timestamp, Value};
+
+    fn keys(n: u8) -> Vec<KeyPair> {
+        (0..n).map(|i| KeyPair::from_seed(&[i, 0x55])).collect()
+    }
+
+    fn pks(keys: &[KeyPair]) -> Vec<PublicKey> {
+        keys.iter().map(|k| k.public_key()).collect()
+    }
+
+    fn signed_chain(n: u64, keys: &[KeyPair]) -> Vec<Block> {
+        let mut log = TamperProofLog::new();
+        for h in 0..n {
+            let unsigned = BlockBuilder::new(h, log.tip_hash())
+                .decision(Decision::Commit)
+                .build_unsigned();
+            let record = unsigned.signing_bytes();
+            let witnesses: Vec<Witness> = keys
+                .iter()
+                .map(|k| Witness::commit(k, &h.to_be_bytes(), &record))
+                .collect();
+            let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+            let c = cosi::challenge(&agg, &record);
+            let sig =
+                cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+            log.append(Block {
+                cosign: sig,
+                ..unsigned
+            })
+            .unwrap();
+        }
+        log.to_blocks()
+    }
+
+    fn shard() -> AuthenticatedShard {
+        AuthenticatedShard::new(vec![
+            (Key::new("a"), Value::from_i64(1)),
+            (Key::new("b"), Value::from_i64(2)),
+        ])
+    }
+
+    #[test]
+    fn honest_log_recovers() {
+        let ks = keys(3);
+        let blocks = signed_chain(5, &ks);
+        let recovered = recover_ledger(blocks, None, &pks(&ks), true).unwrap();
+        assert_eq!(recovered.log.len(), 5);
+        assert_eq!(recovered.replay_from(), 0);
+    }
+
+    #[test]
+    fn tampered_block_refused() {
+        let ks = keys(3);
+        let mut blocks = signed_chain(5, &ks);
+        blocks[2].cosign = cosi::CollectiveSignature::placeholder();
+        let err = recover_ledger(blocks, None, &pks(&ks), true).unwrap_err();
+        assert!(matches!(err, RecoveryError::Tampered(f) if f.height == 2));
+        assert!(err.to_string().contains("refusing startup"));
+    }
+
+    #[test]
+    fn broken_chain_refused() {
+        let ks = keys(3);
+        let mut blocks = signed_chain(5, &ks);
+        blocks.remove(1);
+        assert!(matches!(
+            recover_ledger(blocks, None, &pks(&ks), true),
+            Err(RecoveryError::BrokenChain(_))
+        ));
+    }
+
+    #[test]
+    fn unsigned_blocks_recover_without_cosign_check() {
+        let ks = keys(2);
+        let mut log = TamperProofLog::new();
+        for h in 0..3 {
+            log.append(
+                BlockBuilder::new(h, log.tip_hash())
+                    .decision(Decision::Commit)
+                    .build_unsigned(),
+            )
+            .unwrap();
+        }
+        // With verification on, placeholder signatures fail...
+        assert!(matches!(
+            recover_ledger(log.to_blocks(), None, &pks(&ks), true),
+            Err(RecoveryError::Tampered(_))
+        ));
+        // ...with it off (the 2PC baseline), the chain still recovers.
+        assert_eq!(
+            recover_ledger(log.to_blocks(), None, &pks(&ks), false)
+                .unwrap()
+                .log
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn snapshot_binds_to_chain() {
+        let ks = keys(3);
+        let blocks = signed_chain(4, &ks);
+        let tip_at_2 = blocks[1].hash();
+        let snap = ShardSnapshot::capture(&shard(), 2, tip_at_2, Timestamp::new(5, 0));
+        let recovered =
+            recover_ledger(blocks.clone(), Some(snap.clone()), &pks(&ks), true).unwrap();
+        assert_eq!(recovered.replay_from(), 2);
+
+        // Unlinked tip hash → refused.
+        let mut bad = snap.clone();
+        bad.tip_hash = Digest::new([9; 32]);
+        assert!(matches!(
+            recover_ledger(blocks.clone(), Some(bad), &pks(&ks), true),
+            Err(RecoveryError::SnapshotUnlinked { height: 2 })
+        ));
+
+        // Height beyond the log → refused.
+        let mut ahead = snap.clone();
+        ahead.height = 9;
+        assert!(matches!(
+            recover_ledger(blocks.clone(), Some(ahead), &pks(&ks), true),
+            Err(RecoveryError::SnapshotAheadOfLog {
+                snapshot: 9,
+                log: 4
+            })
+        ));
+
+        // Forged shard contents → root mismatch → refused.
+        let mut forged = snap;
+        forged.checkpoint.items[0].versions.last_mut().unwrap().1 = Value::from_i64(999);
+        assert!(matches!(
+            recover_ledger(blocks, Some(forged), &pks(&ks), true),
+            Err(RecoveryError::Snapshot(SnapshotError::RootMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn zero_height_snapshot_links_to_empty_prefix() {
+        let ks = keys(2);
+        let blocks = signed_chain(2, &ks);
+        let snap = ShardSnapshot::capture(&shard(), 0, Digest::ZERO, Timestamp::ZERO);
+        let recovered = recover_ledger(blocks, Some(snap), &pks(&ks), true).unwrap();
+        assert_eq!(recovered.replay_from(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! A minimal scratch-directory helper for tests, benchmarks and
+//! examples (the build environment has no `tempfile` crate).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, removed on
+/// drop (best effort).
+///
+/// # Example
+///
+/// ```
+/// use fides_durability::testutil::TempDir;
+///
+/// let dir = TempDir::new("doc");
+/// assert!(dir.path().exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"<tmp>/fides-<prefix>-<pid>-<n>"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn new(prefix: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("fides-{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let path = {
+            let dir = TempDir::new("unit");
+            assert!(dir.path().is_dir());
+            std::fs::write(dir.join("f"), b"x").unwrap();
+            dir.path().to_path_buf()
+        };
+        assert!(!path.exists(), "removed on drop");
+    }
+
+    #[test]
+    fn unique_names() {
+        let a = TempDir::new("uniq");
+        let b = TempDir::new("uniq");
+        assert_ne!(a.path(), b.path());
+    }
+}

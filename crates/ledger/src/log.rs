@@ -8,6 +8,37 @@ use fides_crypto::Digest;
 use crate::block::Block;
 
 /// Errors from honest log maintenance.
+///
+/// # Example
+///
+/// Both variants surface from [`TamperProofLog::append`]: a block whose
+/// height is not the next one is [`LogError::WrongHeight`]; a block at
+/// the right height whose `prev_hash` does not match the tail is
+/// [`LogError::BrokenLink`].
+///
+/// ```
+/// use fides_crypto::Digest;
+/// use fides_ledger::{BlockBuilder, Decision, LogError, TamperProofLog};
+///
+/// let mut log = TamperProofLog::new();
+/// let genesis = BlockBuilder::new(0, Digest::ZERO)
+///     .decision(Decision::Commit)
+///     .build_unsigned();
+/// log.append(genesis)?;
+///
+/// // Wrong height: the log expects height 1 next.
+/// let skipped = BlockBuilder::new(5, log.tip_hash())
+///     .decision(Decision::Commit)
+///     .build_unsigned();
+/// assert_eq!(log.append(skipped), Err(LogError::WrongHeight { got: 5, expected: 1 }));
+///
+/// // Broken link: right height, but prev_hash is not the tip hash.
+/// let unlinked = BlockBuilder::new(1, Digest::new([0xAA; 32]))
+///     .decision(Decision::Commit)
+///     .build_unsigned();
+/// assert_eq!(log.append(unlinked), Err(LogError::BrokenLink));
+/// # Ok::<(), LogError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LogError {
     /// The appended block's height is not `len()`.
@@ -65,10 +96,33 @@ impl TamperProofLog {
         TamperProofLog { blocks: Vec::new() }
     }
 
-    /// Builds a log from pre-validated blocks (the auditor's canonical
-    /// log reconstruction). No validation is performed here; call
-    /// [`crate::validate::validate_chain`] if the source is untrusted.
-    pub fn from_blocks(blocks: Vec<Block>) -> Self {
+    /// Builds a log from a sequence of blocks, enforcing the same
+    /// height-continuity and hash-link invariants as [`append`] at every
+    /// position — the constructor crash recovery uses to rebuild a log
+    /// from a write-ahead log's records.
+    ///
+    /// Link checking alone does not authenticate the blocks; run
+    /// [`crate::validate::validate_chain`] afterwards to verify the
+    /// collective signatures when the source is untrusted.
+    ///
+    /// [`append`]: TamperProofLog::append
+    ///
+    /// # Errors
+    ///
+    /// The first [`LogError`] encountered, at the offending block.
+    pub fn from_blocks(blocks: Vec<Block>) -> Result<Self, LogError> {
+        let mut log = TamperProofLog::new();
+        for block in blocks {
+            log.append(block)?;
+        }
+        Ok(log)
+    }
+
+    /// Builds a log from pre-validated blocks without any checking (the
+    /// auditor's canonical log reconstruction, where the blocks come
+    /// from an already-validated log). Prefer
+    /// [`TamperProofLog::from_blocks`] for untrusted sources.
+    pub fn from_blocks_unchecked(blocks: Vec<Block>) -> Self {
         TamperProofLog { blocks }
     }
 
@@ -91,6 +145,11 @@ impl TamperProofLog {
     /// The block at `height`, if present.
     pub fn get(&self, height: u64) -> Option<&Block> {
         self.blocks.get(height as usize)
+    }
+
+    /// All blocks as a slice, from genesis to tip.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
     }
 
     /// The newest block.
@@ -258,6 +317,38 @@ mod tests {
         let mut log = chain(5);
         log.truncate(2);
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn from_blocks_checks_links() {
+        let good = chain(4);
+        let rebuilt = TamperProofLog::from_blocks(good.to_blocks()).unwrap();
+        assert_eq!(rebuilt, good);
+        assert_eq!(rebuilt.blocks().len(), 4);
+
+        // A broken hash link is caught at the offending position.
+        let mut blocks = good.to_blocks();
+        blocks[2].prev_hash = Digest::new([0xAB; 32]);
+        assert_eq!(
+            TamperProofLog::from_blocks(blocks),
+            Err(LogError::BrokenLink)
+        );
+
+        // A height gap is caught too.
+        let mut blocks = good.to_blocks();
+        blocks.remove(1);
+        assert!(matches!(
+            TamperProofLog::from_blocks(blocks),
+            Err(LogError::WrongHeight {
+                got: 2,
+                expected: 1
+            })
+        ));
+
+        // The unchecked constructor accepts anything.
+        let mut blocks = good.to_blocks();
+        blocks.swap(0, 3);
+        assert_eq!(TamperProofLog::from_blocks_unchecked(blocks).len(), 4);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use fides_crypto::encoding::Encoder;
 use fides_crypto::merkle::{hash_leaf, MerkleTree, VerificationObject};
 use fides_crypto::Digest;
 
+use crate::checkpoint::{CheckpointItem, ShardCheckpoint};
 use crate::multi::MultiVersionStore;
 use crate::types::{ItemState, Key, Timestamp, Value};
 
@@ -297,6 +298,60 @@ impl AuthenticatedShard {
         Some((value, tree.proof(idx)))
     }
 
+    /// Exports the shard as a [`ShardCheckpoint`]: every item in
+    /// leaf-index order with its full version chain and timestamps.
+    /// [`AuthenticatedShard::from_checkpoint`] reproduces a shard with
+    /// an identical Merkle root, datastore and historical proofs.
+    pub fn checkpoint(&self) -> ShardCheckpoint {
+        let mut entries: Vec<(usize, &Key, Timestamp)> = self
+            .index
+            .iter()
+            .map(|(k, (idx, created))| (*idx, k, *created))
+            .collect();
+        entries.sort_unstable_by_key(|(idx, _, _)| *idx);
+        let items = entries
+            .into_iter()
+            .map(|(_, key, created)| {
+                let (versions, rts) = self
+                    .store
+                    .export_chain(key)
+                    .expect("indexed key exists in the store");
+                CheckpointItem {
+                    key: key.clone(),
+                    created,
+                    rts,
+                    versions,
+                }
+            })
+            .collect();
+        ShardCheckpoint { items }
+    }
+
+    /// Rebuilds a shard from a checkpoint taken with
+    /// [`AuthenticatedShard::checkpoint`]. Leaf order, version chains
+    /// and timestamps are restored verbatim, so the Merkle root matches
+    /// the checkpointed shard's root exactly.
+    pub fn from_checkpoint(checkpoint: &ShardCheckpoint) -> Self {
+        let mut store = MultiVersionStore::new();
+        let mut index = BTreeMap::new();
+        let mut leaves = Vec::with_capacity(checkpoint.items.len());
+        for (i, item) in checkpoint.items.iter().enumerate() {
+            let (_, latest) = item
+                .versions
+                .last()
+                .expect("checkpoint chains are non-empty");
+            leaves.push(leaf_digest(&item.key, latest));
+            index.insert(item.key.clone(), (i, item.created));
+            store.restore_chain(item.key.clone(), item.versions.clone(), item.rts);
+        }
+        AuthenticatedShard {
+            store,
+            tree: MerkleTree::from_leaves(leaves),
+            index,
+            stats: MhtUpdateStats::default(),
+        }
+    }
+
     /// Cumulative Merkle-maintenance statistics since construction (or
     /// the last [`AuthenticatedShard::reset_stats`]).
     pub fn stats(&self) -> MhtUpdateStats {
@@ -461,6 +516,47 @@ mod tests {
         let before = s.root();
         s.apply_commit(ts(3), &[Key::new("item-0000")], &[]);
         assert_eq!(s.root(), before);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_root_and_history() {
+        let mut s = shard(16);
+        s.apply_commit(
+            ts(10),
+            &[Key::new("item-0001")],
+            &[(Key::new("item-0002"), Value::from_i64(77))],
+        );
+        s.apply_commit(ts(20), &[], &[(Key::new("zzz-new"), Value::from_i64(5))]);
+        let root_10 = s.tree_at_version(ts(10)).root();
+
+        let restored = s.checkpoint().restore();
+        assert_eq!(restored.root(), s.root());
+        assert_eq!(restored.len(), s.len());
+        // Latest state including timestamps.
+        let item = restored.read(&Key::new("item-0002")).unwrap();
+        assert_eq!(item.value.as_i64(), Some(77));
+        assert_eq!(item.wts, ts(10));
+        assert_eq!(restored.read(&Key::new("item-0001")).unwrap().rts, ts(10));
+        // Historical reconstruction still works (full version chains).
+        assert_eq!(restored.tree_at_version(ts(10)).root(), root_10);
+        // And so do fresh commits on the restored shard.
+        let mut a = s.clone();
+        let mut b = restored;
+        a.apply_commit(ts(30), &[], &[(Key::new("item-0003"), Value::from_i64(1))]);
+        b.apply_commit(ts(30), &[], &[(Key::new("item-0003"), Value::from_i64(1))]);
+        assert_eq!(a.root(), b.root());
+    }
+
+    #[test]
+    fn checkpoint_encoding_roundtrip() {
+        use fides_crypto::encoding::{Decodable, Encodable};
+        let mut s = shard(8);
+        s.apply_commit(ts(4), &[], &[(Key::new("item-0000"), Value::from_i64(9))]);
+        let cp = s.checkpoint();
+        let decoded =
+            crate::checkpoint::ShardCheckpoint::decode(&cp.encode()).expect("roundtrip decodes");
+        assert_eq!(decoded, cp);
+        assert_eq!(decoded.restore().root(), s.root());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Shard checkpoints: a serializable image of an [`AuthenticatedShard`].
+//!
+//! A checkpoint captures everything a server needs to reconstruct its
+//! authenticated datastore without replaying the whole log: every item
+//! in **leaf-index order** (the order determines the Merkle tree shape)
+//! with its full committed version chain, read timestamp and creation
+//! timestamp. Restoring a checkpoint and asking for
+//! [`AuthenticatedShard::root`] reproduces the exact root the shard had
+//! when the checkpoint was taken — which is how recovery verifies a
+//! snapshot against the roots co-signed in the tamper-proof log.
+//!
+//! The version chains are kept in full (not just the latest value) so
+//! that a restored shard still answers the auditor's historical queries
+//! ([`AuthenticatedShard::proof_at_version`], Lemma 2) exactly as the
+//! pre-crash shard did.
+
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+
+use crate::authenticated::AuthenticatedShard;
+use crate::types::{Key, Timestamp, Value};
+
+/// One item's checkpointed state: identity, timestamps and the full
+/// committed version chain (ascending `wts`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointItem {
+    /// The item's key.
+    pub key: Key,
+    /// Commit timestamp at which the item was created (leaf appended).
+    pub created: Timestamp,
+    /// Read timestamp — the newest committed read.
+    pub rts: Timestamp,
+    /// Committed `(wts, value)` versions in ascending timestamp order;
+    /// never empty (the last entry is the latest state).
+    pub versions: Vec<(Timestamp, Value)>,
+}
+
+/// A full shard image in leaf-index order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardCheckpoint {
+    /// All items, ordered by leaf index (= creation order).
+    pub items: Vec<CheckpointItem>,
+}
+
+impl ShardCheckpoint {
+    /// Number of checkpointed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when the checkpoint holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Restores the shard this checkpoint was taken from.
+    pub fn restore(&self) -> AuthenticatedShard {
+        AuthenticatedShard::from_checkpoint(self)
+    }
+}
+
+impl Encodable for CheckpointItem {
+    fn encode_into(&self, enc: &mut Encoder) {
+        self.key.encode_into(enc);
+        self.created.encode_into(enc);
+        self.rts.encode_into(enc);
+        enc.put_seq(&self.versions, |e, (wts, value)| {
+            wts.encode_into(e);
+            value.encode_into(e);
+        });
+    }
+}
+
+impl Decodable for CheckpointItem {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let key = Key::decode_from(dec)?;
+        let created = Timestamp::decode_from(dec)?;
+        let rts = Timestamp::decode_from(dec)?;
+        let versions = dec.take_seq(|d| {
+            let wts = Timestamp::decode_from(d)?;
+            let value = Value::decode_from(d)?;
+            Ok((wts, value))
+        })?;
+        if versions.is_empty() {
+            return Err(DecodeError::InvalidValue("checkpoint item has no versions"));
+        }
+        if versions.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(DecodeError::InvalidValue(
+                "checkpoint versions not strictly ascending",
+            ));
+        }
+        Ok(CheckpointItem {
+            key,
+            created,
+            rts,
+            versions,
+        })
+    }
+}
+
+impl Encodable for ShardCheckpoint {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_seq(&self.items, |e, item| item.encode_into(e));
+    }
+}
+
+impl Decodable for ShardCheckpoint {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ShardCheckpoint {
+            items: dec.take_seq(CheckpointItem::decode_from)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(c: u64) -> Timestamp {
+        Timestamp::new(c, 0)
+    }
+
+    fn sample() -> ShardCheckpoint {
+        ShardCheckpoint {
+            items: vec![
+                CheckpointItem {
+                    key: Key::new("a"),
+                    created: Timestamp::ZERO,
+                    rts: ts(7),
+                    versions: vec![
+                        (Timestamp::ZERO, Value::from_i64(1)),
+                        (ts(5), Value::from_i64(2)),
+                    ],
+                },
+                CheckpointItem {
+                    key: Key::new("b"),
+                    created: ts(3),
+                    rts: ts(3),
+                    versions: vec![(ts(3), Value::from_i64(9))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cp = sample();
+        assert_eq!(ShardCheckpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let cp = ShardCheckpoint::default();
+        assert!(cp.is_empty());
+        assert_eq!(ShardCheckpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn empty_version_chain_rejected() {
+        let mut enc = fides_crypto::encoding::Encoder::new();
+        enc.put_seq(&[()], |e, _| {
+            Key::new("x").encode_into(e);
+            Timestamp::ZERO.encode_into(e);
+            Timestamp::ZERO.encode_into(e);
+            e.put_u32(0); // zero versions
+        });
+        assert!(matches!(
+            ShardCheckpoint::decode(enc.as_bytes()),
+            Err(DecodeError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn unsorted_versions_rejected() {
+        let mut item = sample().items.remove(0);
+        item.versions.reverse();
+        let cp = ShardCheckpoint { items: vec![item] };
+        assert!(matches!(
+            ShardCheckpoint::decode(&cp.encode()),
+            Err(DecodeError::InvalidValue(_))
+        ));
+    }
+}

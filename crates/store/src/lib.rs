@@ -12,15 +12,19 @@
 //!   stores (§4.2.1, "Updating the datastore"),
 //! * [`authenticated`] — a store wrapped with an incrementally-maintained
 //!   Merkle hash tree, producing the per-shard roots and verification
-//!   objects that the auditor uses to authenticate datastores (§4.2.2).
+//!   objects that the auditor uses to authenticate datastores (§4.2.2),
+//! * [`checkpoint`] — serializable shard images (leaf order + version
+//!   chains + timestamps) backing `fides-durability`'s snapshots.
 
 pub mod authenticated;
+pub mod checkpoint;
 pub mod multi;
 pub mod rwset;
 pub mod single;
 pub mod types;
 
 pub use authenticated::{AuthenticatedShard, MhtUpdateStats};
+pub use checkpoint::{CheckpointItem, ShardCheckpoint};
 pub use multi::MultiVersionStore;
 pub use rwset::{ReadEntry, WriteEntry};
 pub use single::SingleVersionStore;

@@ -143,6 +143,24 @@ impl MultiVersionStore {
         self.items.retain(|_, chain| !chain.versions.is_empty());
     }
 
+    /// Exports `key`'s full committed state for checkpointing: the
+    /// version chain (ascending `wts`) and the current read timestamp.
+    pub fn export_chain(&self, key: &Key) -> Option<(Vec<(Timestamp, Value)>, Timestamp)> {
+        self.items
+            .get(key)
+            .map(|chain| (chain.versions.clone(), chain.rts))
+    }
+
+    /// Restores a checkpointed version chain verbatim, replacing any
+    /// existing state for `key`. `versions` must be non-empty and in
+    /// ascending timestamp order (as produced by
+    /// [`MultiVersionStore::export_chain`]).
+    pub fn restore_chain(&mut self, key: Key, versions: Vec<(Timestamp, Value)>, rts: Timestamp) {
+        debug_assert!(!versions.is_empty(), "restored chain must be non-empty");
+        debug_assert!(versions.windows(2).all(|w| w[0].0 < w[1].0));
+        self.items.insert(key, VersionChain { versions, rts });
+    }
+
     /// Iterates over `(key, latest state)` in key order.
     pub fn iter_latest(&self) -> impl Iterator<Item = (&Key, ItemState)> {
         self.items.iter().filter_map(|(k, chain)| {

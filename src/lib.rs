@@ -8,6 +8,8 @@
 //! * [`store`] — timestamped sharded datastores,
 //! * [`net`] — in-memory network with latency/fault injection,
 //! * [`ledger`] — the tamper-proof, globally replicated block log,
+//! * [`durability`] — segmented WAL, shard snapshots and verified
+//!   crash recovery,
 //! * [`core`] — TFCommit, the Fides servers/clients and the auditor,
 //! * [`workload`] — YCSB-like transactional workload generation,
 //! * [`ordserv`] — the §4.6 scaling extension (groups + ordering
@@ -17,6 +19,7 @@
 
 pub use fides_core as core;
 pub use fides_crypto as crypto;
+pub use fides_durability as durability;
 pub use fides_ledger as ledger;
 pub use fides_net as net;
 pub use fides_ordserv as ordserv;
