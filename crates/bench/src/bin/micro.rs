@@ -1,0 +1,110 @@
+//! Ad-hoc microbenchmarks for commit hot-path pieces (dev tool).
+use std::time::Instant;
+
+use fides_crypto::schnorr::KeyPair;
+use fides_ledger::block::{BlockBuilder, Decision, TxnRecord};
+use fides_net::{Envelope, NodeId};
+use fides_store::rwset::{ReadEntry, WriteEntry};
+use fides_store::{AuthenticatedShard, Key, Timestamp, Value};
+
+fn time(label: &str, iters: u32, mut f: impl FnMut()) {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    println!(
+        "{label}: {:.1} us",
+        t.elapsed().as_secs_f64() / iters as f64 * 1e6
+    );
+}
+
+fn main() {
+    let kp = KeyPair::from_seed(b"x");
+    let pk = kp.public_key();
+    let payload = vec![7u8; 256];
+    time("envelope sign (256B)", 2000, || {
+        let _ = Envelope::sign(&kp, NodeId::new(0), NodeId::new(1), payload.clone());
+    });
+    let env = Envelope::sign(&kp, NodeId::new(0), NodeId::new(1), payload.clone());
+    time("envelope verify (256B)", 2000, || {
+        assert!(env.verify(&pk));
+    });
+
+    // A block shaped like the driver's rounds: 10 txns x 5 RMW entries.
+    let txns: Vec<TxnRecord> = (0..10)
+        .map(|i| TxnRecord {
+            id: Timestamp::new(100 + i, 0),
+            read_set: (0..5)
+                .map(|k| ReadEntry {
+                    key: Key::new(format!("s000:item-{:06}", i * 5 + k)),
+                    value: Value::from_i64(100),
+                    rts: Timestamp::ZERO,
+                    wts: Timestamp::ZERO,
+                })
+                .collect(),
+            write_set: (0..5)
+                .map(|k| WriteEntry {
+                    key: Key::new(format!("s000:item-{:06}", i * 5 + k)),
+                    new_value: Value::from_i64(101),
+                    old_value: Some(Value::from_i64(100)),
+                    rts: Timestamp::ZERO,
+                    wts: Timestamp::ZERO,
+                })
+                .collect(),
+        })
+        .collect();
+    let block = BlockBuilder::new(0, fides_crypto::Digest::ZERO)
+        .txns(txns.clone())
+        .decision(Decision::Commit)
+        .build_unsigned();
+    time("block clone (10x5)", 2000, || {
+        let _ = block.clone();
+    });
+    time("block signing_bytes", 2000, || {
+        let _ = block.signing_bytes();
+    });
+    time("block hash", 2000, || {
+        let _ = block.hash();
+    });
+    use fides_crypto::encoding::Encodable;
+    time("block encode", 2000, || {
+        let _ = block.encode();
+    });
+
+    let items: Vec<(Key, Value)> = (0..10_000)
+        .map(|i| (Key::new(format!("s000:item-{i:06}")), Value::from_i64(100)))
+        .collect();
+    let mut shard = AuthenticatedShard::new(items);
+    let writes: Vec<(Key, Value)> = (0..50)
+        .map(|i| {
+            (
+                Key::new(format!("s000:item-{:06}", i)),
+                Value::from_i64(101),
+            )
+        })
+        .collect();
+    time("speculative_root (50 writes, 10k shard)", 500, || {
+        let _ = shard.speculative_root(&writes);
+    });
+    time("apply_commit (50 writes)", 500, || {
+        shard.apply_commit(Timestamp::new(1, 0), &[], &writes);
+    });
+
+    use fides_crypto::cosi::{self, Witness};
+    let kps: Vec<KeyPair> = (0..4).map(|i| KeyPair::from_seed(&[i])).collect();
+    let pks: Vec<_> = kps.iter().map(|k| k.public_key()).collect();
+    let record = block.signing_bytes();
+    time("witness commit", 1000, || {
+        let _ = Witness::commit(&kp, b"round", &record);
+    });
+    let witnesses: Vec<Witness> = kps
+        .iter()
+        .map(|k| Witness::commit(k, b"round", &record))
+        .collect();
+    let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+    let c = cosi::challenge(&agg, &record);
+    let sig = cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+    time("cosi verify (n=4)", 1000, || {
+        assert!(sig.verify(&record, &pks));
+    });
+}

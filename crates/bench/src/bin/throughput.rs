@@ -1,0 +1,430 @@
+//! Closed-loop multi-client throughput driver — the perf-trajectory
+//! harness behind `BENCH_PR3.json`.
+//!
+//! Each client thread runs read-modify-write transactions back to back
+//! (closed loop) against a cluster with durability on, for a fixed wall
+//! duration, recording per-transaction latency. The driver reports
+//! committed txns/s plus p50/p99 latency, optionally as one JSON object
+//! for machine consumption, and can gate CI against a checked-in
+//! baseline (`--check-baseline`).
+//!
+//! ```text
+//! throughput --servers 4 --clients 8 --duration 5 --batch 100 \
+//!            --policy pipelined --json
+//! ```
+
+use std::time::{Duration, Instant};
+
+use fides_core::client::{finalize_outcomes, PendingCommit, UnverifiedOutcome};
+use fides_core::messages::CommitProtocol;
+use fides_core::recovery::PersistenceConfig;
+use fides_core::system::{ClusterConfig, FidesCluster};
+use fides_durability::{SyncPolicy, WalConfig};
+use fides_workload::{KeyChooser, WorkloadConfig, WorkloadGenerator};
+
+#[derive(Clone, Debug)]
+struct Args {
+    servers: u32,
+    clients: u32,
+    duration: Duration,
+    batch: usize,
+    items_per_shard: usize,
+    policy: Policy,
+    json: bool,
+    label: String,
+    zipf: Option<f64>,
+    snapshot_interval: u64,
+    dir: Option<String>,
+    check_baseline: Option<String>,
+    /// Transactions each client keeps in flight (1 = classic closed
+    /// loop; >1 = a pipelined client using `commit_async` +
+    /// batch-verified outcomes).
+    inflight: usize,
+    /// Coordinator batch-formation window.
+    flush: Duration,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Policy {
+    /// No persistence at all (the pre-durability engine).
+    None,
+    /// Inline group commit: one fsync per block on the commit path.
+    Batch,
+    /// Asynchronous group commit: appends batched across rounds on a
+    /// dedicated writer thread, acks after the covering fsync.
+    Pipelined,
+    /// Persistence without fsync (lower bound; not crash-safe).
+    NoFsync,
+}
+
+impl Policy {
+    fn as_str(self) -> &'static str {
+        match self {
+            Policy::None => "none",
+            Policy::Batch => "batch",
+            Policy::Pipelined => "pipelined",
+            Policy::NoFsync => "nofsync",
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: throughput [--servers N] [--clients N] [--duration SECS] [--batch N]\n\
+         \x20                 [--items N] [--policy none|batch|pipelined|nofsync]\n\
+         \x20                 [--zipf THETA] [--snapshot-interval N] [--dir PATH]\n\
+         \x20                 [--inflight D] [--label NAME] [--json] [--check-baseline FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        servers: 4,
+        clients: 8,
+        duration: Duration::from_secs(5),
+        batch: 100,
+        items_per_shard: 10_000,
+        policy: Policy::Pipelined,
+        json: false,
+        label: String::new(),
+        zipf: None,
+        snapshot_interval: 0,
+        dir: None,
+        check_baseline: None,
+        inflight: 8,
+        flush: Duration::from_millis(10),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| match it.next() {
+            Some(v) => v,
+            None => usage(),
+        };
+        match flag.as_str() {
+            "--servers" => args.servers = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--clients" => args.clients = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--duration" => {
+                args.duration =
+                    Duration::from_secs_f64(value(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--batch" => args.batch = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--items" => args.items_per_shard = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                args.policy = match value(&mut it).as_str() {
+                    "none" => Policy::None,
+                    "batch" => Policy::Batch,
+                    "pipelined" => Policy::Pipelined,
+                    "nofsync" => Policy::NoFsync,
+                    _ => usage(),
+                }
+            }
+            "--zipf" => args.zipf = Some(value(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--snapshot-interval" => {
+                args.snapshot_interval = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--dir" => args.dir = Some(value(&mut it)),
+            "--flush" => {
+                args.flush =
+                    Duration::from_millis(value(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--inflight" => {
+                args.inflight = value(&mut it)
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| usage())
+                    .max(1)
+            }
+            "--label" => args.label = value(&mut it),
+            "--json" => args.json = true,
+            "--check-baseline" => args.check_baseline = Some(value(&mut it)),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+#[derive(Debug)]
+struct RunResult {
+    committed: usize,
+    aborted: usize,
+    elapsed: Duration,
+    txns_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    blocks: usize,
+    rounds: u64,
+    /// Mean coordinator round time (the in-protocol cost per block).
+    round_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn run(args: &Args) -> RunResult {
+    let mut config = ClusterConfig::new(args.servers)
+        .items_per_shard(args.items_per_shard)
+        .batch_size(args.batch)
+        .protocol(CommitProtocol::TfCommit)
+        .max_clients(args.clients)
+        .flush_interval(args.flush);
+
+    // Durability: a scratch directory per run unless --dir pins one.
+    let scratch;
+    if args.policy != Policy::None {
+        let dir = match &args.dir {
+            Some(d) => std::path::PathBuf::from(d),
+            None => {
+                scratch = fides_durability::testutil::TempDir::new("throughput");
+                scratch.path().to_path_buf()
+            }
+        };
+        let sync = match args.policy {
+            Policy::Batch => SyncPolicy::Batch,
+            Policy::Pipelined => SyncPolicy::Pipelined,
+            Policy::NoFsync => SyncPolicy::NoFsync,
+            Policy::None => unreachable!(),
+        };
+        config = config.persistence(
+            PersistenceConfig::files(dir)
+                .wal(WalConfig {
+                    sync,
+                    ..WalConfig::default()
+                })
+                .snapshot_interval(args.snapshot_interval),
+        );
+    }
+
+    let cluster = FidesCluster::start(config);
+    let deadline = Instant::now() + args.duration;
+    let start = Instant::now();
+
+    let mut handles = Vec::new();
+    for c in 0..args.clients {
+        let mut client = cluster.client(c);
+        let workload = WorkloadConfig::paper_default(args.servers, args.items_per_shard)
+            .seed(0x5EED_0000 + c as u64);
+        let workload = match args.zipf {
+            Some(theta) => workload.chooser(KeyChooser::Zipfian { theta }),
+            None => workload,
+        };
+        let mut generator = WorkloadGenerator::new(workload, FidesCluster::key_name);
+        let depth = args.inflight;
+        let server_pks = cluster.server_pks().to_vec();
+        let protocol = cluster.config().protocol;
+        handles.push(std::thread::spawn(move || {
+            let mut committed = 0usize;
+            let mut aborted = 0usize;
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            if depth == 1 {
+                // Classic closed loop: one transaction at a time,
+                // outcome verified synchronously (batched exec phase).
+                while Instant::now() < deadline {
+                    let spec = generator.next_txn();
+                    let t0 = Instant::now();
+                    match client.run_rmw_batched(&spec.keys, 1) {
+                        Ok(outcome) if outcome.committed() => {
+                            committed += 1;
+                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        }
+                        _ => aborted += 1,
+                    }
+                }
+                return (committed, aborted, latencies_ms);
+            }
+            // Pipelined client: keep `depth` commits in flight; verify
+            // outcome signatures in batches (`finalize_outcomes`).
+            let mut pending: Vec<PendingCommit> = Vec::new();
+            let mut started: Vec<(fides_core::messages::TxnHandle, Instant)> = Vec::new();
+            let mut unverified: Vec<UnverifiedOutcome> = Vec::new();
+            let mut submitted = 0usize;
+            loop {
+                let now = Instant::now();
+                let accepting = now < deadline;
+                if !accepting && pending.is_empty() {
+                    break;
+                }
+                // Fill the window with fresh transactions. Reads and
+                // writes go out as one batch each (burst-verified
+                // responses) instead of `ops` sequential round trips.
+                while accepting && pending.len() < depth {
+                    let spec = generator.next_txn();
+                    let t0 = Instant::now();
+                    let mut txn = client.begin();
+                    let Ok(values) = client.read_all(&mut txn, &spec.keys) else {
+                        aborted += 1;
+                        continue;
+                    };
+                    let writes: Vec<(fides_store::Key, fides_store::Value)> = spec
+                        .keys
+                        .iter()
+                        .zip(values)
+                        .map(|(key, value)| {
+                            let next =
+                                fides_store::Value::from_i64(value.as_i64().unwrap_or(0) + 1);
+                            (key.clone(), next)
+                        })
+                        .collect();
+                    if client.write_all(&mut txn, &writes).is_err() {
+                        aborted += 1;
+                        continue;
+                    }
+                    let commit = client.commit_async(txn);
+                    started.push((commit.handle, t0));
+                    pending.push(commit);
+                    submitted += 1;
+                }
+                // Service in-flight commits briefly, then refill.
+                let drain_until = Instant::now() + Duration::from_millis(2);
+                let drain_until = if accepting {
+                    drain_until
+                } else {
+                    // Past the deadline: give stragglers a real grace
+                    // period, then stop.
+                    Instant::now() + Duration::from_millis(500)
+                };
+                let resolved = client.drain_outcomes(&mut pending, drain_until);
+                if !accepting && resolved.is_empty() {
+                    break;
+                }
+                for outcome in &resolved {
+                    if let Some(at) = started.iter().position(|(h, _)| *h == outcome.handle) {
+                        let (_, t0) = started.swap_remove(at);
+                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                }
+                unverified.extend(resolved);
+            }
+            let outcomes = finalize_outcomes(unverified, &server_pks, protocol);
+            committed += outcomes.iter().filter(|o| o.committed()).count();
+            aborted += submitted - outcomes.len().min(submitted)
+                + outcomes.iter().filter(|o| !o.committed()).count();
+            (committed, aborted, latencies_ms)
+        }));
+    }
+
+    let mut committed = 0usize;
+    let mut aborted = 0usize;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for h in handles {
+        let (c, a, l) = h.join().expect("client thread");
+        committed += c;
+        aborted += a;
+        latencies_ms.extend(l);
+    }
+    let elapsed = start.elapsed();
+    cluster.flush();
+    let blocks = cluster.settle(Duration::from_secs(10)).unwrap_or(0);
+    let rounds = cluster.round_stats();
+    cluster.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    RunResult {
+        committed,
+        aborted,
+        elapsed,
+        txns_per_sec: committed as f64 / elapsed.as_secs_f64(),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        blocks,
+        rounds: rounds.rounds,
+        round_ms: if rounds.rounds > 0 {
+            rounds.round_nanos as f64 / 1e6 / rounds.rounds as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+fn emit_json(args: &Args, r: &RunResult) -> String {
+    format!(
+        "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \"batch\": {},\n  \
+         \"items_per_shard\": {},\n  \"policy\": \"{}\",\n  \"duration_s\": {:.3},\n  \
+         \"committed\": {},\n  \"aborted\": {},\n  \"txns_per_sec\": {:.1},\n  \
+         \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"blocks\": {},\n  \
+         \"rounds\": {},\n  \"round_ms\": {:.3}\n}}",
+        args.label,
+        args.servers,
+        args.clients,
+        args.batch,
+        args.items_per_shard,
+        args.policy.as_str(),
+        r.elapsed.as_secs_f64(),
+        r.committed,
+        r.aborted,
+        r.txns_per_sec,
+        r.p50_ms,
+        r.p99_ms,
+        r.blocks,
+        r.rounds,
+        r.round_ms,
+    )
+}
+
+/// Extracts `"key": <number>` from our own JSON output format — enough
+/// of a parser for the CI baseline gate, with no external crates.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let result = run(&args);
+    let json = emit_json(&args, &result);
+    if args.json {
+        println!("{json}");
+    } else {
+        println!(
+            "servers={} clients={} batch={} policy={}: {} committed ({} aborted) in {:.2}s \
+             = {:.0} txns/s, p50 {:.2} ms, p99 {:.2} ms, {} blocks, {} rounds @ {:.2} ms",
+            args.servers,
+            args.clients,
+            args.batch,
+            args.policy.as_str(),
+            result.committed,
+            result.aborted,
+            result.elapsed.as_secs_f64(),
+            result.txns_per_sec,
+            result.p50_ms,
+            result.p99_ms,
+            result.blocks,
+            result.rounds,
+            result.round_ms,
+        );
+    }
+
+    if let Some(path) = &args.check_baseline {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let Some(expected) = json_number(&baseline, "txns_per_sec") else {
+            eprintln!("baseline {path} has no txns_per_sec field");
+            std::process::exit(1);
+        };
+        // Sanity-check our own emission too: CI fails on malformed JSON.
+        let Some(measured) = json_number(&json, "txns_per_sec") else {
+            eprintln!("emitted JSON is malformed");
+            std::process::exit(1);
+        };
+        let floor = expected * 0.7;
+        if measured < floor {
+            eprintln!(
+                "throughput regression: measured {measured:.1} txns/s is below 70% of the \
+                 baseline {expected:.1} txns/s (floor {floor:.1})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("baseline check passed: {measured:.1} txns/s >= {floor:.1} (70% of baseline)");
+    }
+}

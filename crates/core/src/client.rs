@@ -114,6 +114,107 @@ impl TxnOutcome {
     }
 }
 
+/// A commit in flight on a pipelined client: everything needed to
+/// retry a rejected timestamp and classify the eventual outcome.
+#[derive(Debug)]
+pub struct PendingCommit {
+    /// The transaction's provisional handle.
+    pub handle: TxnHandle,
+    /// The (latest) commit timestamp assigned.
+    pub ts: Timestamp,
+    record: TxnRecord,
+    attempts: u32,
+}
+
+/// An outcome whose collective signature has **not** been verified yet
+/// — produced by [`ClientSession::drain_outcomes`], consumed in bulk by
+/// [`finalize_outcomes`].
+#[derive(Debug)]
+pub struct UnverifiedOutcome {
+    /// The transaction's handle.
+    pub handle: TxnHandle,
+    /// The commit timestamp the client assigned.
+    pub ts: Timestamp,
+    /// The signed decision block as received.
+    pub block: Box<Block>,
+}
+
+/// Verifies a batch of outcomes' collective signatures with **one**
+/// batched check (`cosi::verify_batch`, the random-linear-combination
+/// fast path) instead of one full verification per outcome, then
+/// classifies each as committed/aborted exactly like
+/// [`ClientSession::commit`] — §4.3.1 phase 5 at batch cost.
+///
+/// Several outcomes routinely share one block (batched rounds), so the
+/// signature work is deduplicated by height first. If the batch check
+/// fails, each distinct block is re-verified individually and only the
+/// offending outcomes degrade to [`TxnOutcome::Anomaly`].
+///
+/// Under the 2PC baseline blocks are unsigned; verification is skipped
+/// as in the synchronous path.
+pub fn finalize_outcomes(
+    outcomes: Vec<UnverifiedOutcome>,
+    server_pks: &[PublicKey],
+    protocol: CommitProtocol,
+) -> Vec<TxnOutcome> {
+    use std::collections::HashMap;
+
+    // Distinct blocks by height (identical heights carry identical
+    // blocks in an honest run; an equivocating coordinator's copies
+    // fail verification either way).
+    let mut distinct: HashMap<u64, &Block> = HashMap::new();
+    for outcome in &outcomes {
+        distinct
+            .entry(outcome.block.height)
+            .or_insert(&outcome.block);
+    }
+    let verified: HashMap<u64, bool> = if protocol == CommitProtocol::TfCommit {
+        let blocks: Vec<(u64, &Block)> = distinct.iter().map(|(h, b)| (*h, *b)).collect();
+        let records: Vec<Vec<u8>> = blocks.iter().map(|(_, b)| b.signing_bytes()).collect();
+        let items: Vec<(&[u8], fides_crypto::cosi::CollectiveSignature)> = records
+            .iter()
+            .map(Vec::as_slice)
+            .zip(blocks.iter().map(|(_, b)| b.cosign))
+            .collect();
+        if fides_crypto::cosi::verify_batch(&items, server_pks) {
+            blocks.iter().map(|(h, _)| (*h, true)).collect()
+        } else {
+            // Attribute: re-check each distinct block individually.
+            blocks
+                .iter()
+                .zip(&records)
+                .map(|((h, b), record)| (*h, b.cosign.verify(record, server_pks)))
+                .collect()
+        }
+    } else {
+        distinct.keys().map(|h| (*h, true)).collect()
+    };
+
+    outcomes
+        .into_iter()
+        .map(|outcome| {
+            let ts = outcome.ts;
+            let block = *outcome.block;
+            if !verified.get(&block.height).copied().unwrap_or(false) {
+                return TxnOutcome::Anomaly { ts };
+            }
+            let committed =
+                block.decision == Decision::Commit && block.txns.iter().any(|t| t.id == ts);
+            if committed {
+                TxnOutcome::Committed {
+                    ts,
+                    height: block.height,
+                }
+            } else {
+                TxnOutcome::Aborted {
+                    ts,
+                    height: block.height,
+                }
+            }
+        })
+        .collect()
+}
+
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientError {
@@ -152,6 +253,11 @@ pub struct ClientSession {
     protocol: CommitProtocol,
     seq: u64,
     op_timeout: Duration,
+    /// Commit traffic (outcomes/rejections) that arrived while waiting
+    /// for an execution-phase response — a pipelined client's earlier
+    /// transactions resolving mid-read. Consumed by
+    /// [`ClientSession::drain_outcomes`].
+    stash: std::collections::VecDeque<Message>,
 }
 
 impl ClientSession {
@@ -179,6 +285,7 @@ impl ClientSession {
             protocol,
             seq: 0,
             op_timeout: Duration::from_secs(10),
+            stash: std::collections::VecDeque::new(),
         }
     }
 
@@ -213,10 +320,11 @@ impl ClientSession {
         self.endpoint.send(env);
     }
 
-    /// Waits for a message matching `want`; other traffic is dropped
-    /// (clients run one transaction at a time).
+    /// Waits for a message matching `want`. Commit traffic for other
+    /// in-flight transactions (outcomes, rejections) is stashed for
+    /// [`ClientSession::drain_outcomes`]; anything else is dropped.
     fn wait_for<T>(
-        &self,
+        &mut self,
         what: &'static str,
         mut want: impl FnMut(NodeId, Message) -> Option<T>,
     ) -> Result<T, ClientError> {
@@ -237,8 +345,23 @@ impl ClientSession {
                     let Ok(msg) = Message::decode(&env.payload) else {
                         continue;
                     };
-                    if let Some(out) = want(env.from, msg) {
-                        return Ok(out);
+                    match want(env.from, msg) {
+                        Some(out) => return Ok(out),
+                        None => {
+                            // `want` consumed the message; nothing to
+                            // stash — it only declines by returning
+                            // None *without* taking ownership semantics
+                            // we can observe, so re-decode to check for
+                            // commit traffic worth keeping.
+                            if let Ok(msg) = Message::decode(&env.payload) {
+                                if matches!(
+                                    msg,
+                                    Message::Outcome { .. } | Message::EndTxnRejected { .. }
+                                ) {
+                                    self.stash.push_back(msg);
+                                }
+                            }
+                        }
                     }
                 }
                 Err(fides_net::RecvError::Timeout) => return Err(ClientError::Timeout(what)),
@@ -375,7 +498,7 @@ impl ClientSession {
                 Rejected(Timestamp),
             }
             let reply = self.wait_for("transaction outcome", move |_, msg| match msg {
-                Message::Outcome { handle: h, block } if h == handle => {
+                Message::Outcome { handles, block } if handles.contains(&handle) => {
                     Some(Reply::Outcome(Box::new(block)))
                 }
                 Message::EndTxnRejected { handle: h, hint } if h == handle => {
@@ -416,6 +539,330 @@ impl ClientSession {
         }
     }
 
+    /// Receives until at least one authenticated message is available,
+    /// draining the transport in bursts whose signatures are verified
+    /// with **one** batched check
+    /// ([`fides_net::Endpoint::recv_verified_burst`]).
+    fn recv_auth_burst(&mut self, deadline: Instant) -> Result<Vec<Message>, ClientError> {
+        const MAX_BURST: usize = 32;
+        loop {
+            let burst =
+                match self
+                    .endpoint
+                    .recv_verified_burst(deadline, &self.directory, MAX_BURST)
+                {
+                    Ok(burst) => burst,
+                    Err(fides_net::RecvError::Timeout) => {
+                        return Err(ClientError::Timeout("batched responses"))
+                    }
+                    Err(fides_net::RecvError::Disconnected) => {
+                        return Err(ClientError::Disconnected)
+                    }
+                };
+            let messages: Vec<Message> = burst
+                .iter()
+                .filter_map(|env| Message::decode(&env.payload).ok())
+                .collect();
+            if !messages.is_empty() {
+                return Ok(messages);
+            }
+        }
+    }
+
+    /// Reads several **distinct** keys in one shot: the keys are
+    /// grouped by owning server and each group goes out as **one**
+    /// signed [`Message::ReadMany`]; the per-server responses come back
+    /// with burst batch-verified signatures. One round of waiting and
+    /// roughly one signature per *server* instead of per *key* — the
+    /// execution layer's answer to block batching. Values return in
+    /// input order; all entries join the read set.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoSuchKey`] if any key is absent; network errors.
+    pub fn read_all(&mut self, txn: &mut TxnCtx, keys: &[Key]) -> Result<Vec<Value>, ClientError> {
+        use std::collections::HashMap;
+        // No explicit `Begin` round: reads need no server-side state and
+        // the server creates write buffers lazily — Figure 5 step 1 is
+        // implicit in the first operation, saving one signed message per
+        // involved server per transaction.
+        let mut per_server: HashMap<u32, Vec<Key>> = HashMap::new();
+        for key in keys {
+            per_server
+                .entry(self.partitioner.owner(key))
+                .or_default()
+                .push(key.clone());
+        }
+        for (server, group) in per_server {
+            txn.begun.insert(server);
+            self.send_to(
+                server,
+                &Message::ReadMany {
+                    txn: txn.handle,
+                    keys: group,
+                },
+            );
+        }
+        let wanted: HashSet<&Key> = keys.iter().collect();
+        let mut entries: HashMap<Key, ReadEntry> = HashMap::new();
+        let deadline = Instant::now() + self.op_timeout;
+        while entries.len() < wanted.len() {
+            for msg in self.recv_auth_burst(deadline)? {
+                match msg {
+                    Message::ReadManyResp { txn: t, items } if t == txn.handle => {
+                        for (key, state) in items {
+                            if !wanted.contains(&key) {
+                                continue;
+                            }
+                            let Some((value, rts, wts)) = state else {
+                                return Err(ClientError::NoSuchKey(key));
+                            };
+                            entries.entry(key.clone()).or_insert(ReadEntry {
+                                key,
+                                value,
+                                rts,
+                                wts,
+                            });
+                        }
+                    }
+                    msg @ (Message::Outcome { .. } | Message::EndTxnRejected { .. }) => {
+                        self.stash.push_back(msg);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut values = Vec::with_capacity(keys.len());
+        for key in keys {
+            // `get` rather than `remove`: a duplicate key in the input
+            // yields one read request but two read-set entries, exactly
+            // like two sequential `read` calls would.
+            let entry = entries.get(key).cloned().expect("collected above");
+            self.oracle
+                .advance_to(entry.rts.counter().max(entry.wts.counter()));
+            values.push(entry.value.clone());
+            txn.read_keys.insert(entry.key.clone());
+            txn.reads.push(entry);
+        }
+        Ok(values)
+    }
+
+    /// Buffers writes to several **distinct** keys in one shot — the
+    /// batched counterpart of [`ClientSession::write`].
+    ///
+    /// Writes to keys **already read in this transaction** are buffered
+    /// purely client-side: the owner's write-ack round trip would only
+    /// repeat metadata the read already returned (commit-time OCC
+    /// validates against the owner's live state either way, and the
+    /// block carries the full write set). Blind writes still consult
+    /// the owner for the pre-image (§4.2.1); their acks are collected
+    /// with burst batch-verified signatures.
+    ///
+    /// # Errors
+    ///
+    /// Network errors (timeout, disconnect).
+    pub fn write_all(
+        &mut self,
+        txn: &mut TxnCtx,
+        writes: &[(Key, Value)],
+    ) -> Result<(), ClientError> {
+        use std::collections::HashMap;
+        let mut blind: Vec<&(Key, Value)> = Vec::new();
+        for entry @ (key, value) in writes {
+            if txn.read_keys.contains(key) {
+                // Read-then-write: the read entry already pinned the
+                // version this write supersedes.
+                let (rts, wts) = txn
+                    .reads
+                    .iter()
+                    .find(|r| &r.key == key)
+                    .map(|r| (r.rts, r.wts))
+                    .unwrap_or((Timestamp::ZERO, Timestamp::ZERO));
+                txn.writes.push(WriteEntry {
+                    key: key.clone(),
+                    new_value: value.clone(),
+                    old_value: None,
+                    rts,
+                    wts,
+                });
+            } else {
+                blind.push(entry);
+            }
+        }
+        if blind.is_empty() {
+            return Ok(());
+        }
+        for (key, value) in &blind {
+            let server = self.partitioner.owner(key);
+            txn.begun.insert(server);
+            self.send_to(
+                server,
+                &Message::Write {
+                    txn: txn.handle,
+                    key: key.clone(),
+                    value: value.clone(),
+                },
+            );
+        }
+        let wanted: HashSet<&Key> = blind.iter().map(|(k, _)| k).collect();
+        type OldState = Option<(Value, Timestamp, Timestamp)>;
+        let mut acks: HashMap<Key, OldState> = HashMap::new();
+        let deadline = Instant::now() + self.op_timeout;
+        while acks.len() < wanted.len() {
+            for msg in self.recv_auth_burst(deadline)? {
+                match msg {
+                    Message::WriteAck { txn: t, key, old }
+                        if t == txn.handle && wanted.contains(&key) =>
+                    {
+                        acks.entry(key).or_insert(old);
+                    }
+                    msg @ (Message::Outcome { .. } | Message::EndTxnRejected { .. }) => {
+                        self.stash.push_back(msg);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (key, value) in &blind {
+            // `get` rather than `remove`: duplicate blind-write keys
+            // share one ack but still produce one write entry each.
+            let old = acks.get(key).cloned().expect("collected above");
+            let (old_value, rts, wts) = match &old {
+                Some((v, r, w)) => (Some(v.clone()), *r, *w),
+                None => (None, Timestamp::ZERO, Timestamp::ZERO),
+            };
+            if let Some((_, r, w)) = &old {
+                self.oracle.advance_to(r.counter().max(w.counter()));
+            }
+            txn.writes.push(WriteEntry {
+                key: key.clone(),
+                new_value: value.clone(),
+                old_value,
+                rts,
+                wts,
+            });
+        }
+        Ok(())
+    }
+
+    /// Starts terminating `txn` **without blocking**: the
+    /// end-transaction request is sent and a [`PendingCommit`] records
+    /// what is needed to retry and to classify the outcome. Combine
+    /// with [`ClientSession::drain_outcomes`] to keep several
+    /// transactions in flight, then [`finalize_outcomes`] to verify all
+    /// their collective signatures **in one batch** — the client-side
+    /// ride on `verify_batch` instead of one full Schnorr verification
+    /// per outcome.
+    pub fn commit_async(&mut self, txn: TxnCtx) -> PendingCommit {
+        let ts = Timestamp::new(self.oracle.next(), self.id);
+        let record = TxnRecord {
+            id: ts,
+            read_set: txn.reads.clone(),
+            write_set: txn.writes.clone(),
+        };
+        self.send_to(
+            COORDINATOR_IDX,
+            &Message::EndTxn {
+                handle: txn.handle,
+                record: record.clone(),
+            },
+        );
+        PendingCommit {
+            handle: txn.handle,
+            ts,
+            record,
+            attempts: 1,
+        }
+    }
+
+    /// Services the in-flight commits of a pipelined client: receives
+    /// until `deadline` (or until every pending commit resolved),
+    /// retrying rejected timestamps, and returns the **unverified**
+    /// outcomes that arrived. Resolved entries are removed from
+    /// `pending`.
+    ///
+    /// The returned outcomes' collective signatures have *not* been
+    /// checked yet — pass them (in any quantity, across calls) to
+    /// [`finalize_outcomes`], which batch-verifies all of them at once.
+    pub fn drain_outcomes(
+        &mut self,
+        pending: &mut Vec<PendingCommit>,
+        deadline: Instant,
+    ) -> Vec<UnverifiedOutcome> {
+        let mut resolved = Vec::new();
+        let mut queue: Vec<Message> = Vec::new();
+        while !pending.is_empty() {
+            // Commit traffic stashed during execution-phase waits first,
+            // then bursts off the wire (signatures batch-verified —
+            // a block's outcomes land together after the covering
+            // fsync, so bursts are the common case).
+            let msg = if let Some(msg) = self.stash.pop_front() {
+                msg
+            } else if let Some(msg) = queue.pop() {
+                msg
+            } else {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                match self.recv_auth_burst(deadline) {
+                    Ok(mut messages) => {
+                        messages.reverse(); // pop() restores arrival order
+                        queue = messages;
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            };
+            match msg {
+                Message::Outcome { handles, block } => {
+                    self.oracle
+                        .advance_to(block.max_txn_ts().map_or(0, |t| t.counter()));
+                    let block = Box::new(block);
+                    for handle in handles {
+                        if let Some(at) = pending.iter().position(|p| p.handle == handle) {
+                            let commit = pending.swap_remove(at);
+                            resolved.push(UnverifiedOutcome {
+                                handle,
+                                ts: commit.ts,
+                                block: block.clone(),
+                            });
+                        }
+                    }
+                }
+                Message::EndTxnRejected { handle, hint } => {
+                    if let Some(commit) = pending.iter_mut().find(|p| p.handle == handle) {
+                        self.oracle.advance_to(hint.counter());
+                        commit.attempts += 1;
+                        if commit.attempts > 16 {
+                            // Give up: the commit is dropped from
+                            // `pending` and produces **no** outcome —
+                            // callers account for it as the difference
+                            // between submissions and finalized
+                            // outcomes (mirrors the synchronous path's
+                            // `RetriesExhausted`).
+                            let at = pending
+                                .iter()
+                                .position(|p| p.handle == handle)
+                                .expect("found above");
+                            let _ = pending.swap_remove(at);
+                            continue;
+                        }
+                        let ts = Timestamp::new(self.oracle.next(), self.id);
+                        commit.ts = ts;
+                        commit.record.id = ts;
+                        let msg = Message::EndTxn {
+                            handle,
+                            record: commit.record.clone(),
+                        };
+                        self.send_to(COORDINATOR_IDX, &msg);
+                    }
+                }
+                _ => {}
+            }
+        }
+        resolved
+    }
+
     /// Convenience: a read-modify-write transaction over `keys`, adding
     /// `delta` to each numeric value — the benchmark's 5-operation
     /// multi-record transaction shape (§6).
@@ -430,6 +877,27 @@ impl ClientSession {
         for (key, next) in staged {
             self.write(&mut txn, &key, next)?;
         }
+        self.commit(txn)
+    }
+
+    /// [`ClientSession::run_rmw`] on the batched execution path: all
+    /// reads go out together (burst-verified responses), read-then-write
+    /// writes buffer client-side, and the outcome is verified
+    /// synchronously — the closed-loop shape with batch-priced crypto.
+    pub fn run_rmw_batched(&mut self, keys: &[Key], delta: i64) -> Result<TxnOutcome, ClientError> {
+        let mut txn = self.begin();
+        let values = self.read_all(&mut txn, keys)?;
+        let writes: Vec<(Key, Value)> = keys
+            .iter()
+            .zip(values)
+            .map(|(key, value)| {
+                (
+                    key.clone(),
+                    Value::from_i64(value.as_i64().unwrap_or(0) + delta),
+                )
+            })
+            .collect();
+        self.write_all(&mut txn, &writes)?;
         self.commit(txn)
     }
 

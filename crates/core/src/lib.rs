@@ -57,7 +57,9 @@ pub mod system;
 
 pub use audit::{AuditReport, Auditor, Violation, ViolationKind};
 pub use behavior::Behavior;
-pub use client::{ClientSession, TxnCtx, TxnOutcome};
+pub use client::{
+    finalize_outcomes, ClientSession, PendingCommit, TxnCtx, TxnOutcome, UnverifiedOutcome,
+};
 pub use messages::{CommitProtocol, Message, TxnHandle};
 pub use partition::Partitioner;
 pub use recovery::{

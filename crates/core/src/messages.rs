@@ -155,14 +155,32 @@ pub enum Message {
     /// The coordinator refused the request (stale timestamp); the client
     /// should retry with a timestamp above `hint`.
     EndTxnRejected { handle: TxnHandle, hint: Timestamp },
-    /// Final outcome: the signed block containing the transaction. The
-    /// client verifies the collective signature before accepting
-    /// (§4.3.1 phase 5).
-    Outcome { handle: TxnHandle, block: Block },
+    /// Final outcome: the signed block containing the client's
+    /// transaction(s) — one message resolves **every** commit this
+    /// client had in the block, so the coordinator signs (and the
+    /// client verifies) the multi-kilobyte block once per client
+    /// instead of once per transaction. The client verifies the
+    /// collective signature before accepting (§4.3.1 phase 5).
+    Outcome {
+        handles: Vec<TxnHandle>,
+        block: Block,
+    },
 
     // ------------------------------------------------------------------
     // TFCommit (coordinator ↔ cohorts), §4.3.1.
     // ------------------------------------------------------------------
+    /// A batched read: every key this transaction needs from one
+    /// server, in one signed message — the execution layer's
+    /// counterpart of block batching (one signature amortized over the
+    /// whole per-server key set).
+    ReadMany { txn: TxnHandle, keys: Vec<Key> },
+    /// Response to [`Message::ReadMany`]: per key, the item state or
+    /// `None` for an unknown key.
+    ReadManyResp {
+        txn: TxnHandle,
+        items: Vec<ReadManyItem>,
+    },
+
     /// Phase 1 `<GetVote, SchAnnouncement>`.
     GetVote { partial: PartialBlock },
     /// Phase 2 `<Vote, SchCommitment>`.
@@ -210,6 +228,10 @@ pub enum Message {
     Shutdown,
 }
 
+/// One entry of a [`Message::ReadManyResp`]: the key and, when the
+/// server stores it, its `(value, rts, wts)` state.
+pub type ReadManyItem = (Key, Option<(Value, Timestamp, Timestamp)>);
+
 impl Message {
     /// A short name for diagnostics.
     pub fn kind(&self) -> &'static str {
@@ -233,6 +255,8 @@ impl Message {
             Message::TwoPcDecision { .. } => "2pc-decision",
             Message::Flush => "flush",
             Message::Shutdown => "shutdown",
+            Message::ReadMany { .. } => "read-many",
+            Message::ReadManyResp { .. } => "read-many-resp",
         }
     }
 }
@@ -373,9 +397,9 @@ impl Encodable for Message {
                 handle.encode_into(enc);
                 hint.encode_into(enc);
             }
-            Message::Outcome { handle, block } => {
+            Message::Outcome { handles, block } => {
                 enc.put_u8(8);
-                handle.encode_into(enc);
+                enc.put_seq(handles, |e, h| h.encode_into(e));
                 block.encode_into(enc);
             }
             Message::GetVote { partial } => {
@@ -440,6 +464,23 @@ impl Encodable for Message {
             }
             Message::Flush => enc.put_u8(17),
             Message::Shutdown => enc.put_u8(18),
+            Message::ReadMany { txn, keys } => {
+                enc.put_u8(19);
+                txn.encode_into(enc);
+                enc.put_seq(keys, |e, k| k.encode_into(e));
+            }
+            Message::ReadManyResp { txn, items } => {
+                enc.put_u8(20);
+                txn.encode_into(enc);
+                enc.put_seq(items, |e, (key, state)| {
+                    key.encode_into(e);
+                    e.put_option(state, |e, (value, rts, wts)| {
+                        value.encode_into(e);
+                        rts.encode_into(e);
+                        wts.encode_into(e);
+                    });
+                });
+            }
         }
     }
 }
@@ -490,7 +531,7 @@ impl Decodable for Message {
                 hint: Timestamp::decode_from(dec)?,
             },
             8 => Message::Outcome {
-                handle: TxnHandle::decode_from(dec)?,
+                handles: dec.take_seq(TxnHandle::decode_from)?,
                 block: Block::decode_from(dec)?,
             },
             9 => Message::GetVote {
@@ -539,6 +580,23 @@ impl Decodable for Message {
             },
             17 => Message::Flush,
             18 => Message::Shutdown,
+            19 => Message::ReadMany {
+                txn: TxnHandle::decode_from(dec)?,
+                keys: dec.take_seq(Key::decode_from)?,
+            },
+            20 => Message::ReadManyResp {
+                txn: TxnHandle::decode_from(dec)?,
+                items: dec.take_seq(|d| {
+                    let key = Key::decode_from(d)?;
+                    let state = d.take_option(|d| {
+                        let value = Value::decode_from(d)?;
+                        let rts = Timestamp::decode_from(d)?;
+                        let wts = Timestamp::decode_from(d)?;
+                        Ok((value, rts, wts))
+                    })?;
+                    Ok((key, state))
+                })?,
+            },
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -632,7 +690,10 @@ mod tests {
             .txn(sample_record())
             .decision(Decision::Commit)
             .build_unsigned();
-        roundtrip(Message::Outcome { handle, block });
+        roundtrip(Message::Outcome {
+            handles: vec![handle, TxnHandle { client: 2, seq: 9 }],
+            block,
+        });
     }
 
     #[test]

@@ -174,6 +174,52 @@ where
     failed
 }
 
+/// [`validate_batch`], with per-transaction validation fanned out over
+/// the process-wide thread pool.
+///
+/// The coordinator batches only **non-conflicting** transactions
+/// (§4.6), so in the common case no transaction in the batch can see
+/// another's overlay effects — each one validates independently against
+/// the base state, in parallel, with the failed-id list still in batch
+/// order. Batches that *do* share keys (e.g. replayed audit input) fall
+/// back to the sequential overlay path, so the result is always
+/// identical to [`validate_batch`].
+pub fn validate_batch_parallel<F>(txns: &[TxnRecord], base_lookup: F) -> Vec<Timestamp>
+where
+    F: Fn(&Key) -> Option<ItemState> + Sync,
+{
+    use std::collections::HashSet;
+    /// Below this many transactions the fork/join overhead dominates.
+    const PARALLEL_MIN_TXNS: usize = 16;
+    if txns.len() < PARALLEL_MIN_TXNS {
+        return validate_batch(txns, base_lookup);
+    }
+    // Cross-transaction key-disjointness check (keys may repeat within
+    // one transaction — a read-modify-write — without forcing the
+    // sequential path).
+    let mut seen: HashSet<&Key> = HashSet::new();
+    for txn in txns {
+        let mut mine: HashSet<&Key> = HashSet::new();
+        let keys = txn
+            .read_set
+            .iter()
+            .map(|r| &r.key)
+            .chain(txn.write_set.iter().map(|w| &w.key));
+        for key in keys {
+            if mine.insert(key) && seen.contains(key) {
+                return validate_batch(txns, base_lookup);
+            }
+        }
+        seen.extend(mine);
+    }
+    let verdicts = rayon::parallel_map(txns, |txn| validate_txn(txn, &base_lookup).is_empty());
+    txns.iter()
+        .zip(verdicts)
+        .filter(|(_, ok)| !ok)
+        .map(|(txn, _)| txn.id)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +347,57 @@ mod tests {
             }
         });
         assert_eq!(failed, vec![ts(10)]);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_on_disjoint_keys() {
+        // 32 key-disjoint RMW transactions (each reads and writes its own
+        // key), every fourth one stale — the parallel fast path must
+        // report exactly the same failures in the same order.
+        let txns: Vec<TxnRecord> = (0..32)
+            .map(|i| {
+                let key = format!("k{i}");
+                let wts = if i % 4 == 0 { 5 } else { 0 };
+                txn(
+                    100 + i,
+                    vec![read(&key, 0, wts)],
+                    vec![WriteEntry {
+                        key: Key::new(&key),
+                        new_value: Value::from_i64(1),
+                        old_value: None,
+                        rts: ts(0),
+                        wts: ts(wts),
+                    }],
+                )
+            })
+            .collect();
+        // Base state: every item was rewritten at ts 5, so reads that
+        // observed wts 0 are stale.
+        let lookup = |_: &Key| Some(item(0, 0, 5));
+        let sequential = validate_batch(&txns, lookup);
+        let parallel = validate_batch_parallel(&txns, lookup);
+        assert_eq!(sequential, parallel);
+        assert_eq!(parallel.len(), 24, "three of every four observed wts 5");
+    }
+
+    #[test]
+    fn parallel_batch_falls_back_on_shared_keys() {
+        // T1 writes x, T17 reads x at T1's version: only the sequential
+        // overlay path can validate T17, and the parallel entry point
+        // must take it (16+ txns to clear the threshold).
+        let mut txns: Vec<TxnRecord> = (0..16)
+            .map(|i| txn(10 + i, vec![read(&format!("d{i}"), 0, 0)], vec![]))
+            .collect();
+        txns.insert(0, txn(5, vec![], vec![write("x")]));
+        let mut r = read("x", 0, 5);
+        r.value = Value::from_i64(1);
+        txns.push(txn(50, vec![r], vec![]));
+        let lookup = |_: &Key| Some(item(0, 0, 0));
+        assert_eq!(
+            validate_batch_parallel(&txns, lookup),
+            validate_batch(&txns, lookup)
+        );
+        assert!(validate_batch_parallel(&txns, lookup).is_empty());
     }
 
     #[test]

@@ -20,8 +20,9 @@ use core::fmt;
 
 use fides_crypto::schnorr::PublicKey;
 use fides_durability::{
-    recover_ledger, DurableLog, FileSnapshotStore, MemoryBlockLog, MemorySnapshotStore,
-    RecoveryError, ShardSnapshot, SnapshotStore, WalBlockLog, WalConfig,
+    recover_ledger, CommitPipeline, DurableLog, FileSnapshotStore, MemoryBlockLog,
+    MemorySnapshotStore, PipelineConfig, RecoveryError, ShardSnapshot, SnapshotStore, SyncPolicy,
+    WalBlockLog, WalConfig,
 };
 use fides_ledger::block::{Block, Decision};
 use fides_ledger::log::TamperProofLog;
@@ -71,11 +72,25 @@ impl MemoryCluster {
 pub struct PersistenceConfig {
     /// Which backend stores the WAL and snapshots.
     pub backend: PersistenceBackend,
-    /// WAL tuning (segment size, sync policy).
+    /// WAL tuning (segment size, sync policy). A
+    /// [`SyncPolicy::Pipelined`] policy moves every server's WAL behind
+    /// a dedicated writer thread with asynchronous group commit (see
+    /// [`CommitPipeline`]); other policies keep the original inline
+    /// write-ahead behavior.
     pub wal: WalConfig,
     /// Blocks between automatic shard snapshots (0 = never snapshot —
     /// recovery then replays the full log).
     pub snapshot_interval: u64,
+    /// Prune WAL segments below each saved snapshot, bounding the WAL
+    /// directory's disk footprint.
+    pub prune_wal: bool,
+    /// With `prune_wal`, park pruned segments in `<server-dir>/archive`
+    /// (file backend) instead of deleting them — the auditor can still
+    /// request the full history, and restarts rebuild the complete
+    /// in-memory log. Without it, restarts recover a *suffix* log bound
+    /// to the snapshot and an audit will flag the missing prefix as
+    /// incomplete.
+    pub archive_pruned: bool,
 }
 
 impl PersistenceConfig {
@@ -85,6 +100,8 @@ impl PersistenceConfig {
             backend: PersistenceBackend::Files(dir.into()),
             wal: WalConfig::default(),
             snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            prune_wal: false,
+            archive_pruned: true,
         }
     }
 
@@ -94,6 +111,8 @@ impl PersistenceConfig {
             backend: PersistenceBackend::Memory(disks),
             wal: WalConfig::default(),
             snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
+            prune_wal: false,
+            archive_pruned: true,
         }
     }
 
@@ -109,22 +128,82 @@ impl PersistenceConfig {
         self
     }
 
+    /// Enables WAL pruning below snapshots (see
+    /// [`PersistenceConfig::prune_wal`]).
+    pub fn prune_wal(mut self, prune: bool) -> Self {
+        self.prune_wal = prune;
+        self
+    }
+
+    /// Controls whether pruned segments are archived for the auditor or
+    /// deleted outright.
+    pub fn archive_pruned(mut self, archive: bool) -> Self {
+        self.archive_pruned = archive;
+        self
+    }
+
+    /// Whether this configuration runs the asynchronous group-commit
+    /// pipeline.
+    pub fn is_pipelined(&self) -> bool {
+        self.wal.sync == SyncPolicy::Pipelined
+    }
+
     /// The on-disk directory of server `idx` (file backend only).
     pub fn server_dir(root: &std::path::Path, idx: u32) -> PathBuf {
         root.join(format!("server-{idx:03}"))
     }
 }
 
-/// A server's persistence handles, attached to its
+/// A server's persistence engine, attached to its
 /// [`crate::server::ServerState`].
+///
+/// `Inline` is the original write-ahead shape: the server thread
+/// appends and fsyncs each block on its commit path. `Pipelined` hands
+/// both the log and the snapshot store to a [`CommitPipeline`] writer
+/// thread: appends batch across rounds behind one covering fsync and
+/// commit acknowledgements are deferred until their height is durable.
 #[derive(Debug)]
-pub struct Durability {
-    /// The durable block log (WAL or memory).
-    pub log: Box<dyn DurableLog>,
-    /// The snapshot store (files or memory).
-    pub snapshots: Box<dyn SnapshotStore>,
+pub enum Durability {
+    /// Synchronous write-ahead durability on the commit path.
+    Inline {
+        /// The durable block log (WAL or memory).
+        log: Box<dyn DurableLog>,
+        /// The snapshot store (files or memory).
+        snapshots: Box<dyn SnapshotStore>,
+        /// Blocks between automatic snapshots (0 = never).
+        snapshot_interval: u64,
+        /// Prune the WAL below each saved snapshot.
+        prune_wal: bool,
+    },
+    /// Asynchronous group commit on a dedicated writer thread.
+    Pipelined {
+        /// The writer-thread engine owning log and snapshots.
+        pipeline: CommitPipeline,
+        /// Blocks between automatic snapshots (0 = never).
+        snapshot_interval: u64,
+    },
+}
+
+impl Durability {
     /// Blocks between automatic snapshots (0 = never).
-    pub snapshot_interval: u64,
+    pub fn snapshot_interval(&self) -> u64 {
+        match self {
+            Durability::Inline {
+                snapshot_interval, ..
+            }
+            | Durability::Pipelined {
+                snapshot_interval, ..
+            } => *snapshot_interval,
+        }
+    }
+
+    /// The pipeline, when running in pipelined mode.
+    pub fn pipeline(&self) -> Option<&CommitPipeline> {
+        match self {
+            Durability::Pipelined { pipeline, .. } => Some(pipeline),
+            Durability::Inline { .. } => None,
+        }
+    }
 }
 
 /// Why a persisted server refused to start.
@@ -232,8 +311,20 @@ pub fn recover_server(
     let (log_handle, blocks, snap_handle, snapshot): OpenedBackend = match &persistence.backend {
         PersistenceBackend::Files(root) => {
             let dir = PersistenceConfig::server_dir(root, idx);
-            let (wal, blocks) = WalBlockLog::open(dir.join("wal"), persistence.wal)
-                .map_err(|e| recovery_err(RecoveryError::Wal(e)))?;
+            // With archival pruning, pruned segments park in `archive/`
+            // and the full chain is reassembled from both directories;
+            // without it the WAL may legitimately start above height 0
+            // and recovery binds the suffix to the snapshot.
+            let (wal, blocks) = if persistence.prune_wal && persistence.archive_pruned {
+                WalBlockLog::open_with_archive(
+                    dir.join("wal"),
+                    dir.join("archive"),
+                    persistence.wal,
+                )
+            } else {
+                WalBlockLog::open(dir.join("wal"), persistence.wal)
+            }
+            .map_err(|e| recovery_err(RecoveryError::Wal(e)))?;
             let snaps = FileSnapshotStore::open(dir.join("snapshots"))
                 .map_err(|e| recovery_err(RecoveryError::Snapshot(e)))?;
             let snapshot = snaps
@@ -256,18 +347,18 @@ pub fn recover_server(
         recover_ledger(blocks, snapshot, server_pks, verify_cosign).map_err(recovery_err)?;
 
     // Shard base: restored snapshot, or the preloaded population.
-    let (mut shard, mut last_committed, replay_from) = match &recovered.snapshot {
+    let (mut shard, mut last_committed) = match &recovered.snapshot {
         Some(snap) => {
             let shard = snap
                 .restore_verified()
                 .expect("snapshot verified by recover_ledger");
-            (shard, snap.last_committed, snap.height)
+            (shard, snap.last_committed)
         }
-        None => (initial_shard, Timestamp::ZERO, 0),
+        None => (initial_shard, Timestamp::ZERO),
     };
 
     // Replay the suffix, cross-checking the roots this server co-signed.
-    for block in recovered.log.blocks().iter().skip(replay_from as usize) {
+    for block in recovered.replay_blocks() {
         if block.decision != Decision::Commit {
             continue;
         }
@@ -287,15 +378,33 @@ pub fn recover_server(
         }
     }
 
+    let durability = if persistence.is_pipelined() {
+        let durable_height = recovered.log.next_height();
+        Durability::Pipelined {
+            pipeline: CommitPipeline::new(
+                log_handle,
+                snap_handle,
+                durable_height,
+                PipelineConfig {
+                    prune_wal: persistence.prune_wal,
+                },
+            ),
+            snapshot_interval: persistence.snapshot_interval,
+        }
+    } else {
+        Durability::Inline {
+            log: log_handle,
+            snapshots: snap_handle,
+            snapshot_interval: persistence.snapshot_interval,
+            prune_wal: persistence.prune_wal,
+        }
+    };
+
     Ok(RecoveredServer {
         log: recovered.log,
         shard,
         last_committed,
-        durability: Durability {
-            log: log_handle,
-            snapshots: snap_handle,
-            snapshot_interval: persistence.snapshot_interval,
-        },
+        durability,
     })
 }
 

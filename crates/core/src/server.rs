@@ -7,27 +7,49 @@
 //! (a Merkle-authenticated multi-versioned shard) and the
 //! **tamper-proof log**.
 //!
-//! All state lives behind an `Arc<Mutex<ServerState>>` so that the
-//! auditor can gather snapshots ("the auditor gathers the tamper-proof
-//! logs from all the servers", §3.3) and tests can inject faults.
+//! # The pipelined commit hot path
+//!
+//! Server state is **lock-split into independent stages** (see
+//! `docs/pipeline.md` for the full locking protocol), so the commit
+//! path of block *h* overlaps work on its neighbours instead of
+//! serializing everything behind one state mutex:
+//!
+//! * [`ExecState`] — write buffers, CoSi witnesses, buffered
+//!   out-of-order decisions (the inbox/validation stage);
+//! * [`ShardStage`] — the Merkle-authenticated datastore, whose batch
+//!   leaf updates fan out over the process-wide thread pool
+//!   (`MerkleTree::update_leaves_parallel`);
+//! * [`LedgerStage`] — the tamper-proof log plus audit evidence;
+//! * the durability stage — a [`Durability`] engine which, under
+//!   `SyncPolicy::Pipelined`, is a dedicated WAL writer thread batching
+//!   appends **across rounds** behind one covering fsync.
+//!
+//! A server therefore validates block *h+1* (exec + shard reads) while
+//! the pool is hashing *h*'s subtree updates and the writer thread is
+//! fsyncing *h−1*. Stage locks are never held two at a time by the
+//! commit path; cross-stage consistency for the auditor comes from
+//! [`ShardStage::applied_height`] (see [`ServerState::audit_snapshot`]).
 //!
 //! # Persistence
 //!
-//! A server may carry a [`Durability`] handle (attached at
+//! A server may carry a [`Durability`] engine (attached at
 //! construction, see [`crate::recovery`]). Every terminated block —
-//! commit *and* abort — is then appended to the durable log **before**
-//! the datastore applies its writes (write-ahead), and made stable with
-//! one group-commit `fsync` per block; every `snapshot_interval` blocks
-//! the shard is checkpointed so restarts replay only a log suffix. On
-//! restart, [`crate::recovery::recover_server`] re-validates the whole
-//! persisted chain (hash links + batched collective-signature
-//! verification) and cross-checks the replayed shard against the
-//! co-signed Merkle roots before the server is allowed to serve
-//! traffic; a corrupted or tampered disk fails startup rather than
-//! silently serving forged state. Without a handle the server keeps the
-//! original memory-only behavior.
+//! commit *and* abort — is appended to the durable log; inline modes
+//! fsync on the commit path, the pipelined mode defers the fsync to the
+//! writer thread and **acknowledges commits to clients only after the
+//! covering fsync** (ordered acks). Every `snapshot_interval` blocks
+//! the shard is checkpointed so restarts replay only a log suffix; the
+//! pipelined mode saves snapshots only once their height is durable and
+//! can prune WAL segments below them. On restart,
+//! [`crate::recovery::recover_server`] re-validates the whole persisted
+//! chain (hash links + batched collective-signature verification) and
+//! cross-checks the replayed shard against the co-signed Merkle roots
+//! before the server is allowed to serve traffic; a corrupted or
+//! tampered disk fails startup rather than silently serving forged
+//! state. Without an engine the server keeps the original memory-only
+//! behavior.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,7 +60,7 @@ use fides_crypto::Digest;
 use fides_ledger::block::{Block, BlockBuilder, Decision, ShardRoot, TxnRecord};
 use fides_ledger::log::TamperProofLog;
 use fides_net::{Endpoint, Envelope, NodeId};
-use fides_store::authenticated::AuthenticatedShard;
+use fides_store::authenticated::{AuthenticatedShard, MhtUpdateStats};
 use fides_store::types::{ItemState, Key, Timestamp, Value};
 
 use fides_durability::ShardSnapshot;
@@ -47,26 +69,17 @@ use crate::behavior::Behavior;
 use crate::messages::{CommitProtocol, InvolvedVote, Message, PartialBlock, Refusal, TxnHandle};
 use crate::occ;
 use crate::partition::Partitioner;
-use crate::recovery::Durability;
+use crate::recovery::{Durability, RecoveredServer};
 
 /// Map from node address to public key — the paper's "servers and
 /// clients are uniquely identifiable using their public keys" (§3.1).
 pub type Directory = Arc<HashMap<NodeId, PublicKey>>;
 
-/// Mutable server state shared with the harness/auditor.
-#[derive(Debug)]
-pub struct ServerState {
-    /// This server's index (= shard index).
-    pub idx: u32,
-    /// The authenticated datastore shard.
-    pub shard: AuthenticatedShard,
-    /// This server's copy of the globally replicated log.
-    pub log: TamperProofLog,
-    /// Highest committed transaction timestamp (end-txn requests at or
-    /// below this are ignored, §4.3.1).
-    pub last_committed: Timestamp,
-    /// Fault-injection configuration.
-    pub behavior: Behavior,
+/// The inbox/validation stage: per-transaction buffers and per-round
+/// protocol state. Touched by the execution layer and the vote/response
+/// phases — never by the block-apply hot path's heavy work.
+#[derive(Debug, Default)]
+pub struct ExecState {
     /// Buffered (unapplied) writes per in-flight transaction (§4.2.1).
     pub write_buffers: HashMap<TxnHandle, Vec<(Key, Value)>>,
     /// CoSi witness state per block height.
@@ -74,27 +87,67 @@ pub struct ServerState {
     /// Root sent in the vote for each height (to detect replacement,
     /// Scenario 2).
     sent_roots: HashMap<u64, Digest>,
+    /// Decision blocks that arrived ahead of this server's log tip
+    /// (out-of-order delivery). They are verified **in batch** and
+    /// applied as soon as the gap closes (the catch-up loop).
+    pending_decisions: BTreeMap<u64, Block>,
+}
+
+/// The datastore stage: the Merkle-authenticated shard plus the commit
+/// watermark reads validate against.
+#[derive(Debug)]
+pub struct ShardStage {
+    /// The authenticated datastore shard.
+    pub shard: AuthenticatedShard,
+    /// Highest committed transaction timestamp (end-txn requests at or
+    /// below this are ignored, §4.3.1).
+    pub last_committed: Timestamp,
+    /// Height up to which blocks have been applied to the shard. Lags
+    /// the ledger stage briefly while a block is mid-apply; the auditor
+    /// uses it to take consistent (log, shard) snapshots.
+    pub applied_height: u64,
+}
+
+/// The ledger stage: the replicated log plus the audit evidence this
+/// server accumulates.
+#[derive(Debug, Default)]
+pub struct LedgerStage {
+    /// This server's copy of the globally replicated log.
+    pub log: TamperProofLog,
     /// Rounds this server refused to co-sign (protocol anomalies it
     /// detected first-hand).
     pub refusals: Vec<(u64, Refusal)>,
     /// Culprits the coordinator identified via partial-signature checks
     /// (Lemma 4): `(height, server indices)`.
     pub cosi_culprits: Vec<(u64, Vec<u32>)>,
-    /// Decision blocks that arrived ahead of this server's log tip
-    /// (out-of-order delivery). They are verified **in batch** and
-    /// applied as soon as the gap closes (the catch-up loop).
-    pending_decisions: std::collections::BTreeMap<u64, Block>,
-    /// Persistence handles (`None` = original memory-only behavior).
-    pub durability: Option<Durability>,
-    /// Coordinator-side round statistics: protocol rounds completed,
-    /// cumulative round time, and transactions committed — the paper's
-    /// "commit latency" ("time taken to terminate a transaction once
-    /// the client sends end transaction request") is
-    /// `round_nanos / committed_txns`.
+    /// Coordinator-side round statistics.
     pub round_stats: RoundStats,
 }
 
+/// Server state shared with the harness/auditor, **lock-split into
+/// independently locked stages** so the commit pipeline's stages never
+/// contend on one global mutex (see module docs). The commit path
+/// acquires at most one stage lock at a time, in the fixed order
+/// exec → shard → ledger → durability; multi-stage readers (the
+/// auditor) synchronize through [`ShardStage::applied_height`].
+#[derive(Debug)]
+pub struct ServerState {
+    /// This server's index (= shard index).
+    pub idx: u32,
+    /// Fault-injection configuration (immutable once running).
+    behavior: Behavior,
+    exec: parking_lot::Mutex<ExecState>,
+    shard: parking_lot::Mutex<ShardStage>,
+    ledger: parking_lot::Mutex<LedgerStage>,
+    /// Persistence engine (`None` = original memory-only behavior).
+    durability: parking_lot::Mutex<Option<Durability>>,
+}
+
 /// Commit-round accounting (coordinator only).
+///
+/// The paper's "commit latency" ("time taken to terminate a transaction
+/// once the client sends end transaction request") is
+/// `round_nanos / committed_txns`.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RoundStats {
     /// Protocol rounds driven to completion.
@@ -111,25 +164,124 @@ impl ServerState {
     pub(crate) fn new(idx: u32, shard: AuthenticatedShard, behavior: Behavior) -> Self {
         ServerState {
             idx,
-            shard,
-            log: TamperProofLog::new(),
-            last_committed: Timestamp::ZERO,
             behavior,
-            write_buffers: HashMap::new(),
-            witnesses: HashMap::new(),
-            sent_roots: HashMap::new(),
-            refusals: Vec::new(),
-            cosi_culprits: Vec::new(),
-            pending_decisions: std::collections::BTreeMap::new(),
-            durability: None,
-            round_stats: RoundStats::default(),
+            exec: parking_lot::Mutex::new(ExecState::default()),
+            shard: parking_lot::Mutex::new(ShardStage {
+                shard,
+                last_committed: Timestamp::ZERO,
+                applied_height: 0,
+            }),
+            ledger: parking_lot::Mutex::new(LedgerStage::default()),
+            durability: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// State for a restarted server: log, shard, commit watermark and
+    /// durability engine come out of
+    /// [`crate::recovery::recover_server`].
+    pub(crate) fn recovered(idx: u32, behavior: Behavior, recovered: RecoveredServer) -> Self {
+        let applied_height = recovered.log.next_height();
+        ServerState {
+            idx,
+            behavior,
+            exec: parking_lot::Mutex::new(ExecState::default()),
+            shard: parking_lot::Mutex::new(ShardStage {
+                shard: recovered.shard,
+                last_committed: recovered.last_committed,
+                applied_height,
+            }),
+            ledger: parking_lot::Mutex::new(LedgerStage {
+                log: recovered.log,
+                ..LedgerStage::default()
+            }),
+            durability: parking_lot::Mutex::new(Some(recovered.durability)),
+        }
+    }
+
+    /// The fault-injection configuration.
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+
+    /// A point-in-time copy of this server's log.
+    pub fn log(&self) -> TamperProofLog {
+        self.ledger.lock().log.clone()
+    }
+
+    /// The log's tip height (`base + len` — correct for suffix logs).
+    pub fn next_height(&self) -> u64 {
+        self.ledger.lock().log.next_height()
+    }
+
+    /// Runs `f` over the shard (read access for tests/examples).
+    pub fn with_shard<R>(&self, f: impl FnOnce(&AuthenticatedShard) -> R) -> R {
+        f(&self.shard.lock().shard)
+    }
+
+    /// Runs `f` over the shard mutably — fault injection in tests.
+    #[doc(hidden)]
+    pub fn with_shard_mut<R>(&self, f: impl FnOnce(&mut AuthenticatedShard) -> R) -> R {
+        f(&mut self.shard.lock().shard)
+    }
+
+    /// Highest committed transaction timestamp.
+    pub fn last_committed(&self) -> Timestamp {
+        self.shard.lock().last_committed
+    }
+
+    /// Refusals this server recorded (protocol anomalies).
+    pub fn refusals(&self) -> Vec<(u64, Refusal)> {
+        self.ledger.lock().refusals.clone()
+    }
+
+    /// Culprits identified by partial-signature checks (Lemma 4).
+    pub fn cosi_culprits(&self) -> Vec<(u64, Vec<u32>)> {
+        self.ledger.lock().cosi_culprits.clone()
+    }
+
+    /// Commit-round statistics (meaningful on the coordinator).
+    pub fn round_stats(&self) -> RoundStats {
+        self.ledger.lock().round_stats
+    }
+
+    /// Merkle-maintenance statistics.
+    pub fn mht_stats(&self) -> MhtUpdateStats {
+        self.shard.lock().shard.stats()
+    }
+
+    /// Zeroes the Merkle-maintenance statistics.
+    pub fn reset_mht_stats(&self) {
+        self.shard.lock().shard.reset_stats();
+    }
+
+    /// Height below which this server's blocks are durable — `None`
+    /// without persistence; under inline durability every applied block
+    /// is durable.
+    pub fn durable_height(&self) -> Option<u64> {
+        let durability = self.durability.lock();
+        match durability.as_ref()? {
+            Durability::Pipelined { pipeline, .. } => Some(pipeline.durable_height()),
+            Durability::Inline { log, .. } => Some(log.block_count()),
+        }
+    }
+
+    /// Blocks until everything submitted to the durability engine is
+    /// stable (no-op without persistence or in inline mode, where the
+    /// commit path already fsyncs).
+    pub fn flush_durability(&self) {
+        let durability = self.durability.lock();
+        if let Some(Durability::Pipelined { pipeline, .. }) = durability.as_ref() {
+            pipeline.flush();
         }
     }
 
     /// The log copy this server would hand an auditor — with its log
     /// faults applied (tampering happens at surrender time, §4.4).
     pub fn log_for_audit(&self) -> TamperProofLog {
-        let mut log = self.log.clone();
+        self.faulted(self.log())
+    }
+
+    fn faulted(&self, mut log: TamperProofLog) -> TamperProofLog {
         if let Some(h) = self.behavior.tamper_log_at {
             log.tamper_block(h, |b| {
                 b.decision = match b.decision {
@@ -145,6 +297,46 @@ impl ServerState {
             log.truncate(keep);
         }
         log
+    }
+
+    /// Drops the durability engine, flushing a pipelined one (its Drop
+    /// drains, fsyncs and joins the writer thread). Called by cluster
+    /// shutdown so a restart can reopen the same directories.
+    pub(crate) fn shutdown_durability(&self) {
+        let _ = self.durability.lock().take();
+    }
+
+    /// Crash-test hook: tears the durability engine down **without**
+    /// flushing — a pipelined engine abandons its un-fsynced tail, so
+    /// the on-disk state is exactly what the last covering fsync left
+    /// (the in-process stand-in for `kill -9` mid-stream). The server
+    /// keeps running memory-only afterwards.
+    #[doc(hidden)]
+    pub fn kill_durability(&self) {
+        if let Some(Durability::Pipelined { pipeline, .. }) = self.durability.lock().take() {
+            pipeline.kill();
+        }
+    }
+
+    /// A **consistent** `(log-for-audit, shard)` pair: the shard has
+    /// applied exactly the blocks of the returned log. Because the
+    /// stages are locked independently, the apply path can momentarily
+    /// hold a block in the ledger that the shard has not absorbed yet;
+    /// this retries until the [`ShardStage::applied_height`] watermark
+    /// matches the log tip (instant on a settled cluster).
+    pub fn audit_snapshot(&self) -> (TamperProofLog, AuthenticatedShard) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let log = self.log();
+            let (shard, applied) = {
+                let stage = self.shard.lock();
+                (stage.shard.clone(), stage.applied_height)
+            };
+            if applied == log.next_height() || Instant::now() >= deadline {
+                return (self.faulted(log), shard);
+            }
+            std::thread::yield_now();
+        }
     }
 }
 
@@ -167,7 +359,7 @@ pub struct ServerConfig {
 
 /// The running server: message loop plus protocol handlers.
 pub struct Server {
-    state: Arc<parking_lot::Mutex<ServerState>>,
+    state: Arc<ServerState>,
     endpoint: Endpoint,
     keypair: KeyPair,
     directory: Directory,
@@ -177,6 +369,16 @@ pub struct Server {
     server_pks: Vec<PublicKey>,
     /// Coordinator: queued end-transaction requests.
     pending: Vec<PendingTxn>,
+    /// Coordinator: when the oldest queued end-txn must be terminated
+    /// even though the batch is not full. Deadline-based (not
+    /// idle-based): a steady stream of execution traffic cannot starve
+    /// block formation.
+    batch_deadline: Option<Instant>,
+    /// Authenticated messages awaiting dispatch: the transport is
+    /// drained in bursts whose signatures are verified with **one**
+    /// batched check ([`fides_net::verify_envelopes`]), and the decoded
+    /// survivors queue here in arrival order.
+    inbox: std::collections::VecDeque<(NodeId, Message)>,
     /// Coordinator: clients to notify per handle.
     running: bool,
 }
@@ -220,7 +422,7 @@ impl Server {
         directory: Directory,
         partitioner: Partitioner,
         server_pks: Vec<PublicKey>,
-    ) -> (Server, Arc<parking_lot::Mutex<ServerState>>) {
+    ) -> (Server, Arc<ServerState>) {
         let state = ServerState::new(config.idx, shard, behavior);
         Server::from_state(
             config,
@@ -245,8 +447,8 @@ impl Server {
         directory: Directory,
         partitioner: Partitioner,
         server_pks: Vec<PublicKey>,
-    ) -> (Server, Arc<parking_lot::Mutex<ServerState>>) {
-        let state = Arc::new(parking_lot::Mutex::new(state));
+    ) -> (Server, Arc<ServerState>) {
+        let state = Arc::new(state);
         let server = Server {
             state: Arc::clone(&state),
             endpoint,
@@ -256,6 +458,8 @@ impl Server {
             config,
             server_pks,
             pending: Vec::new(),
+            batch_deadline: None,
+            inbox: std::collections::VecDeque::new(),
             running: true,
         };
         (server, state)
@@ -267,43 +471,79 @@ impl Server {
 
     /// The server's message loop. Returns when a `Shutdown` message
     /// arrives or the network disappears.
+    ///
+    /// The coordinator terminates a round as soon as a full batch is
+    /// pending, or when the oldest pending end-txn has waited
+    /// `flush_interval` — a hard deadline, so block formation keeps
+    /// pace even while execution traffic streams in continuously.
     pub fn run(mut self) {
         while self.running {
-            match self.endpoint.recv_timeout(self.config.flush_interval) {
-                Ok(env) => {
-                    self.dispatch(env);
-                    // Keep terminating as long as full batches are
-                    // queued (later end-txns may have arrived during the
-                    // previous round).
-                    while self.running
-                        && self.is_coordinator()
-                        && self.pending.len() >= self.config.batch_size
-                    {
-                        let before = self.pending.len();
-                        self.run_round();
-                        if self.pending.len() >= before {
-                            break; // nothing progressed (all deferred)
-                        }
-                    }
+            let timeout = match self.batch_deadline {
+                Some(deadline) if self.is_coordinator() => deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(self.config.flush_interval),
+                _ => self.config.flush_interval,
+            };
+            match self.next_message(Instant::now() + timeout) {
+                Ok((from, msg)) => {
+                    self.dispatch(from, msg);
+                    self.drive_rounds();
                 }
-                Err(fides_net::RecvError::Timeout) => {
-                    if self.is_coordinator() && !self.pending.is_empty() {
-                        self.run_round();
-                    }
-                }
+                Err(fides_net::RecvError::Timeout) => self.drive_rounds(),
                 Err(fides_net::RecvError::Disconnected) => break,
             }
         }
     }
 
-    /// Verifies and decodes an envelope; returns `None` (drops it) on
-    /// any failure — unauthenticated messages are ignored (§3.1).
-    fn authenticate(&self, env: &Envelope) -> Option<Message> {
-        let pk = self.directory.get(&env.from)?;
-        if !env.verify(pk) {
-            return None;
+    /// The next authenticated message: pops the pre-verified inbox, or
+    /// drains a burst from the transport and batch-verifies its
+    /// signatures ([`fides_net::Endpoint::recv_verified_burst`] — one
+    /// batched check with per-envelope fallback, so only forgeries
+    /// drop; undecodable payloads are discarded, §3.1).
+    fn next_message(
+        &mut self,
+        deadline: Instant,
+    ) -> Result<(NodeId, Message), fides_net::RecvError> {
+        /// Upper bound on one burst (bounds worst-case batch latency).
+        const MAX_BURST: usize = 64;
+        loop {
+            if let Some(message) = self.inbox.pop_front() {
+                return Ok(message);
+            }
+            let burst = self
+                .endpoint
+                .recv_verified_burst(deadline, &self.directory, MAX_BURST)?;
+            for env in &burst {
+                if let Ok(msg) = Message::decode(&env.payload) {
+                    self.inbox.push_back((env.from, msg));
+                }
+            }
         }
-        Message::decode(&env.payload).ok()
+    }
+
+    /// Runs rounds while a full batch is queued or the batch deadline
+    /// has passed (later end-txns may arrive during a round).
+    fn drive_rounds(&mut self) {
+        while self.running && self.is_coordinator() && !self.pending.is_empty() {
+            let due = self.pending.len() >= self.config.batch_size
+                || self
+                    .batch_deadline
+                    .is_some_and(|deadline| Instant::now() >= deadline);
+            if !due {
+                return;
+            }
+            let before = self.pending.len();
+            self.run_round();
+            self.batch_deadline = if self.pending.is_empty() {
+                None
+            } else {
+                // Leftovers start a fresh window.
+                Some(Instant::now() + self.config.flush_interval)
+            };
+            if self.pending.len() >= before {
+                break; // nothing progressed (all deferred)
+            }
+        }
     }
 
     fn send(&self, to: NodeId, msg: &Message) {
@@ -319,14 +559,11 @@ impl Server {
         }
     }
 
-    fn dispatch(&mut self, env: Envelope) {
-        let Some(msg) = self.authenticate(&env) else {
-            return;
-        };
-        let from = env.from;
+    fn dispatch(&mut self, from: NodeId, msg: Message) {
         match msg {
             Message::Begin { txn } => self.handle_begin(txn),
             Message::Read { txn, key } => self.handle_read(from, txn, key),
+            Message::ReadMany { txn, keys } => self.handle_read_many(from, txn, keys),
             Message::Write { txn, key, value } => self.handle_write(from, txn, key, value),
             Message::EndTxn { handle, record } => {
                 // Rounds are driven by the main loop once a full batch
@@ -357,16 +594,39 @@ impl Server {
     // ------------------------------------------------------------------
 
     fn handle_begin(&mut self, txn: TxnHandle) {
-        self.state.lock().write_buffers.entry(txn).or_default();
+        self.state.exec.lock().write_buffers.entry(txn).or_default();
+    }
+
+    /// The batched read: one locked pass over the shard answers every
+    /// key this transaction needs from this server, and the whole
+    /// response costs one signature.
+    fn handle_read_many(&mut self, from: NodeId, txn: TxnHandle, keys: Vec<Key>) {
+        let stage = self.state.shard.lock();
+        let items: Vec<crate::messages::ReadManyItem> = keys
+            .into_iter()
+            .map(|key| {
+                let state = stage.shard.read(&key).map(|item| {
+                    let value = if self.state.behavior().stale_read_keys.contains(&key) {
+                        stale_value(&stage, &key, &item)
+                    } else {
+                        item.value.clone()
+                    };
+                    (value, item.rts, item.wts)
+                });
+                (key, state)
+            })
+            .collect();
+        drop(stage);
+        self.send(from, &Message::ReadManyResp { txn, items });
     }
 
     fn handle_read(&mut self, from: NodeId, txn: TxnHandle, key: Key) {
-        let state = self.state.lock();
-        let reply = match state.shard.read(&key) {
+        let stage = self.state.shard.lock();
+        let reply = match stage.shard.read(&key) {
             None => Message::ReadErr { txn, key },
             Some(item) => {
-                let value = if state.behavior.stale_read_keys.contains(&key) {
-                    stale_value(&state, &key, &item)
+                let value = if self.state.behavior().stale_read_keys.contains(&key) {
+                    stale_value(&stage, &key, &item)
                 } else {
                     item.value.clone()
                 };
@@ -379,22 +639,25 @@ impl Server {
                 }
             }
         };
-        drop(state);
+        drop(stage);
         self.send(from, &reply);
     }
 
     fn handle_write(&mut self, from: NodeId, txn: TxnHandle, key: Key, value: Value) {
-        let mut state = self.state.lock();
-        let old = state
+        let old = self
+            .state
+            .shard
+            .lock()
             .shard
             .read(&key)
             .map(|item| (item.value, item.rts, item.wts));
-        state
+        self.state
+            .exec
+            .lock()
             .write_buffers
             .entry(txn)
             .or_default()
             .push((key.clone(), value));
-        drop(state);
         self.send(from, &Message::WriteAck { txn, key, old });
     }
 
@@ -402,13 +665,16 @@ impl Server {
         if !self.is_coordinator() {
             return; // only the designated coordinator terminates txns
         }
-        let last = self.state.lock().last_committed;
+        let last = self.state.last_committed();
         if record.id <= last {
             // §4.3.1: "servers ignore any end transaction request with a
             // timestamp lower than the latest committed timestamp" — we
             // additionally tell the client so it can retry.
             self.send(from, &Message::EndTxnRejected { handle, hint: last });
             return;
+        }
+        if self.pending.is_empty() {
+            self.batch_deadline = Some(Instant::now() + self.config.flush_interval);
         }
         self.pending.push(PendingTxn {
             handle,
@@ -423,21 +689,30 @@ impl Server {
 
     /// Phase 2 `<Vote, SchCommitment>` — shared by cohorts (message
     /// handler) and the coordinator (local call).
+    ///
+    /// OCC validation of large batches fans out per-transaction over
+    /// the thread pool ([`occ::validate_batch_parallel`]), and the
+    /// speculative root's Merkle work runs on the pool too — the
+    /// "parallel Merkle/OCC execution" half of the commit pipeline.
     fn cohort_vote(&self, partial: &PartialBlock) -> (cosi::Commitment, Option<InvolvedVote>) {
-        let mut state = self.state.lock();
         // Round id binds the nonce to (height, prev hash).
         let mut round_id = partial.height.to_be_bytes().to_vec();
         round_id.extend_from_slice(partial.prev_hash.as_bytes());
         let record_hint = partial.encode();
         let witness = Witness::commit(&self.keypair, &round_id, &record_hint);
         let commitment = witness.commitment();
-        state.witnesses.insert(partial.height, witness);
+        self.state
+            .exec
+            .lock()
+            .witnesses
+            .insert(partial.height, witness);
 
         let involved = self.involvement(&partial.txns);
         let involved_vote = if involved.contains(&self.config.idx) {
+            let mut stage = self.state.shard.lock();
             // Local OCC validation over this shard's slice (§4.3.1).
-            let shard = &state.shard;
-            let failed = occ::validate_batch(&partial.txns, |key| {
+            let shard = &stage.shard;
+            let failed = occ::validate_batch_parallel(&partial.txns, |key| {
                 if self.partitioner.owner(key) == self.config.idx {
                     shard.read(key)
                 } else {
@@ -445,13 +720,18 @@ impl Server {
                 }
             });
             // Also enforce the sequential-log rule for the whole batch.
-            let stale = partial.txns.iter().any(|t| t.id <= state.last_committed);
+            let stale = partial.txns.iter().any(|t| t.id <= stage.last_committed);
             if failed.is_empty() && !stale {
                 // Commit vote: compute the speculative root over all of
                 // the block's writes that land on this shard.
                 let writes = shard_writes(&partial.txns, &self.partitioner, self.config.idx);
-                let root = state.shard.speculative_root(&writes);
-                state.sent_roots.insert(partial.height, root);
+                let root = stage.shard.speculative_root(&writes);
+                drop(stage);
+                self.state
+                    .exec
+                    .lock()
+                    .sent_roots
+                    .insert(partial.height, root);
                 Some(InvolvedVote {
                     commit: true,
                     root: Some(root),
@@ -490,7 +770,6 @@ impl Server {
         aggregate: &cosi::Commitment,
         challenge: &fides_crypto::scalar::Scalar,
     ) -> Result<cosi::Response, Refusal> {
-        let mut state = self.state.lock();
         let involved = self.involvement(&block.txns);
 
         // Decision/roots consistency (§4.3.1 phase 4): a commit block
@@ -510,9 +789,10 @@ impl Server {
             }
         }
 
+        let mut exec = self.state.exec.lock();
         // Own-root check (Scenario 2: a malicious coordinator storing an
         // incorrect root for a benign server is caught here).
-        if let Some(sent) = state.sent_roots.get(&block.height) {
+        if let Some(sent) = exec.sent_roots.get(&block.height) {
             if block.decision == Decision::Commit && block.root_of(self.config.idx) != Some(*sent) {
                 return Err(Refusal::RootMismatch);
             }
@@ -525,11 +805,11 @@ impl Server {
             return Err(Refusal::BadChallenge);
         }
 
-        let witness = state
+        let witness = exec
             .witnesses
             .remove(&block.height)
             .ok_or(Refusal::BadChallenge)?;
-        if state.behavior.corrupt_cosi_response {
+        if self.state.behavior().corrupt_cosi_response {
             Ok(witness.respond_corrupt(challenge))
         } else {
             Ok(witness.respond(challenge))
@@ -546,7 +826,7 @@ impl Server {
         let height = block.height;
         let result = self.cohort_response(&block, &aggregate, &challenge);
         if let Err(refusal) = &result {
-            self.state.lock().refusals.push((height, *refusal));
+            self.state.ledger.lock().refusals.push((height, *refusal));
         }
         self.send(from, &Message::Response { height, result });
     }
@@ -564,10 +844,11 @@ impl Server {
         /// Upper bound on buffered future decisions (memory guard).
         const MAX_BUFFERED_DECISIONS: u64 = 1024;
 
-        let tip = self.state.lock().log.len() as u64;
+        let tip = self.state.ledger.lock().log.next_height();
         if block.height > tip {
             if block.height - tip <= MAX_BUFFERED_DECISIONS {
                 self.state
+                    .exec
                     .lock()
                     .pending_decisions
                     .insert(block.height, block);
@@ -597,16 +878,16 @@ impl Server {
     fn catch_up(&mut self) {
         loop {
             let run: Vec<Block> = {
-                let mut state = self.state.lock();
-                let mut next = state.log.len() as u64;
+                let tip = self.state.ledger.lock().log.next_height();
+                let mut exec = self.state.exec.lock();
+                let mut next = tip;
                 let mut run = Vec::new();
-                while let Some(block) = state.pending_decisions.remove(&next) {
+                while let Some(block) = exec.pending_decisions.remove(&next) {
                     run.push(block);
                     next += 1;
                 }
                 // Drop stale entries at or below the tip.
-                let tip = state.log.len() as u64;
-                state.pending_decisions.retain(|&h, _| h > tip);
+                exec.pending_decisions.retain(|&h, _| h > tip);
                 run
             };
             if run.is_empty() {
@@ -637,9 +918,9 @@ impl Server {
                 // behind it: a correctly signed copy of the bad height
                 // may still arrive and let them apply.
                 let _invalid = blocks.next();
-                let mut state = self.state.lock();
+                let mut exec = self.state.exec.lock();
                 for block in blocks {
-                    state.pending_decisions.insert(block.height, block);
+                    exec.pending_decisions.insert(block.height, block);
                 }
                 return;
             }
@@ -651,11 +932,11 @@ impl Server {
     // ------------------------------------------------------------------
 
     fn handle_2pc_get_vote(&mut self, from: NodeId, partial: PartialBlock) {
-        let state = self.state.lock();
         let involved = self.involvement(&partial.txns);
         let (commit, failed) = if involved.contains(&self.config.idx) {
-            let shard = &state.shard;
-            let failed = occ::validate_batch(&partial.txns, |key| {
+            let stage = self.state.shard.lock();
+            let shard = &stage.shard;
+            let failed = occ::validate_batch_parallel(&partial.txns, |key| {
                 if self.partitioner.owner(key) == self.config.idx {
                     shard.read(key)
                 } else {
@@ -666,7 +947,6 @@ impl Server {
         } else {
             (true, Vec::new())
         };
-        drop(state);
         self.send(
             from,
             &Message::TwoPcVote {
@@ -685,95 +965,159 @@ impl Server {
     // Applying a terminated block.
     // ------------------------------------------------------------------
 
+    /// The staged apply path. Each stage takes exactly one lock and
+    /// releases it before the next — under pipelined durability the
+    /// expensive steps (fsync, snapshot save, WAL pruning) run on the
+    /// writer thread, off this server's message loop entirely:
+    ///
+    /// 1. **ledger** — dedupe + hash-chain append;
+    /// 2. **exec** — drop the round's witness state;
+    /// 3. **durability** — inline write-ahead (append + fsync on this
+    ///    thread) or a pipeline submit (fsync later, acks deferred);
+    /// 4. **shard** — apply committed writes with pool-parallel Merkle
+    ///    updates, then publish `applied_height`;
+    /// 5. **checkpoint** — capture a snapshot every `snapshot_interval`
+    ///    blocks; the pipeline saves it only after the covering fsync.
     fn apply_block(&mut self, block: Block, protocol: CommitProtocol) {
-        let mut guard = self.state.lock();
-        let state = &mut *guard;
-        if state.log.get(block.height).is_some() {
-            return; // duplicate decision (e.g. coordinator's local copy)
-        }
         let decision = block.decision;
         let max_ts = block.max_txn_ts();
-        if state.log.append(block.clone()).is_err() {
-            return; // does not extend our log; ignore
-        }
-        // Write-ahead: the block is durable before the datastore moves.
-        // One sync per block = group commit over the block's whole
-        // transaction batch.
-        if let Some(dur) = state.durability.as_mut() {
-            dur.log
-                .append_block(&block)
-                .and_then(|()| dur.log.sync())
-                .expect("write-ahead log append failed");
-        }
-        state.witnesses.remove(&block.height);
-        state.sent_roots.remove(&block.height);
+        let height = block.height;
+        let behavior = self.state.behavior();
 
-        if decision == Decision::Commit {
-            for txn in &block.txns {
-                let reads: Vec<Key> = txn
-                    .read_set
-                    .iter()
-                    .filter(|r| self.partitioner.owner(&r.key) == self.config.idx)
-                    .map(|r| r.key.clone())
-                    .collect();
-                let mut writes: Vec<(Key, Value)> = txn
-                    .write_set
-                    .iter()
-                    .filter(|w| self.partitioner.owner(&w.key) == self.config.idx)
-                    .map(|w| (w.key.clone(), w.new_value.clone()))
-                    .collect();
-                // Fault: silently skip configured writes (§5 Scenario 3).
-                if !state.behavior.skip_write_keys.is_empty() {
-                    let skip = state.behavior.skip_write_keys.clone();
-                    writes.retain(|(k, _)| !skip.contains(k));
-                }
-                match protocol {
-                    CommitProtocol::TfCommit => {
-                        state.shard.apply_commit(txn.id, &reads, &writes);
-                    }
-                    CommitProtocol::TwoPhaseCommit => {
-                        state.shard.apply_commit_store_only(txn.id, &reads, &writes);
-                    }
-                }
-                // Clean the paper's write buffer for this txn.
-                // (Handles are client-side; buffers are garbage-collected
-                // lazily since the block only carries timestamps.)
+        // Stage 1 — ledger.
+        let tip_hash = {
+            let mut ledger = self.state.ledger.lock();
+            if ledger.log.get(height).is_some() {
+                return; // duplicate decision (e.g. coordinator's copy)
             }
-            if let Some(ts) = max_ts {
-                if ts > state.last_committed {
-                    state.last_committed = ts;
-                }
+            if ledger.log.append(block.clone()).is_err() {
+                return; // does not extend our log; ignore
             }
-            // Fault: corrupt the datastore after applying (§5 Scenario 3).
-            if let Some((key, value)) = state.behavior.corrupt_after_commit.clone() {
-                if self.partitioner.owner(&key) == self.config.idx {
-                    if let Some(ts) = max_ts {
-                        state.shard.store_mut().corrupt_version(&key, ts, value);
-                    }
+            ledger.log.tip_hash()
+        };
+
+        // Stage 2 — exec cleanup.
+        {
+            let mut exec = self.state.exec.lock();
+            exec.witnesses.remove(&height);
+            exec.sent_roots.remove(&height);
+        }
+
+        // Stage 3 — durability. Inline modes keep the write-ahead
+        // invariant (block durable before the datastore moves); the
+        // pipelined mode trades that for asynchronous group commit —
+        // sound because recovery rebuilds purely from the WAL and
+        // clients are acked only after the covering fsync.
+        {
+            let mut durability = self.state.durability.lock();
+            match durability.as_mut() {
+                None => {}
+                Some(Durability::Inline { log, .. }) => {
+                    log.append_block(&block)
+                        .and_then(|()| log.sync())
+                        .expect("write-ahead log append failed");
+                }
+                Some(Durability::Pipelined { pipeline, .. }) => {
+                    pipeline.submit_block(&block);
                 }
             }
         }
 
-        // Periodic checkpoint: snapshot the shard (with the block's
-        // writes applied) so recovery replays only the suffix above it.
-        // Only under TFCommit: the 2PC baseline maintains no Merkle
-        // tree, so there is no meaningful root to bind a snapshot to —
-        // its recovery replays the full (unsigned) log instead.
-        if let Some(dur) = state.durability.as_mut() {
-            let height = state.log.len() as u64;
-            if protocol == CommitProtocol::TfCommit
-                && dur.snapshot_interval > 0
-                && height.is_multiple_of(dur.snapshot_interval)
-            {
-                let snapshot = ShardSnapshot::capture(
-                    &state.shard,
-                    height,
-                    state.log.tip_hash(),
-                    state.last_committed,
-                );
-                dur.snapshots
-                    .save(&snapshot)
-                    .expect("shard snapshot save failed");
+        // Stage 4 — shard.
+        {
+            let mut stage = self.state.shard.lock();
+            if decision == Decision::Commit {
+                for txn in &block.txns {
+                    let reads: Vec<Key> = txn
+                        .read_set
+                        .iter()
+                        .filter(|r| self.partitioner.owner(&r.key) == self.config.idx)
+                        .map(|r| r.key.clone())
+                        .collect();
+                    let mut writes: Vec<(Key, Value)> = txn
+                        .write_set
+                        .iter()
+                        .filter(|w| self.partitioner.owner(&w.key) == self.config.idx)
+                        .map(|w| (w.key.clone(), w.new_value.clone()))
+                        .collect();
+                    // Fault: silently skip configured writes (§5
+                    // Scenario 3).
+                    if !behavior.skip_write_keys.is_empty() {
+                        writes.retain(|(k, _)| !behavior.skip_write_keys.contains(k));
+                    }
+                    match protocol {
+                        CommitProtocol::TfCommit => {
+                            stage.shard.apply_commit(txn.id, &reads, &writes);
+                        }
+                        CommitProtocol::TwoPhaseCommit => {
+                            stage.shard.apply_commit_store_only(txn.id, &reads, &writes);
+                        }
+                    }
+                    // Clean the paper's write buffer for this txn.
+                    // (Handles are client-side; buffers are
+                    // garbage-collected lazily since the block only
+                    // carries timestamps.)
+                }
+                if let Some(ts) = max_ts {
+                    if ts > stage.last_committed {
+                        stage.last_committed = ts;
+                    }
+                }
+                // Fault: corrupt the datastore after applying (§5
+                // Scenario 3).
+                if let Some((key, value)) = behavior.corrupt_after_commit.clone() {
+                    if self.partitioner.owner(&key) == self.config.idx {
+                        if let Some(ts) = max_ts {
+                            stage.shard.store_mut().corrupt_version(&key, ts, value);
+                        }
+                    }
+                }
+            }
+            stage.applied_height = height + 1;
+        }
+
+        // Stage 5 — periodic checkpoint: snapshot the shard (with the
+        // block's writes applied) so recovery replays only the suffix
+        // above it. Only under TFCommit: the 2PC baseline maintains no
+        // Merkle tree, so there is no meaningful root to bind a
+        // snapshot to — its recovery replays the full (unsigned) log
+        // instead.
+        let snapshot_interval = self
+            .state
+            .durability
+            .lock()
+            .as_ref()
+            .map_or(0, Durability::snapshot_interval);
+        let applied = height + 1;
+        if protocol == CommitProtocol::TfCommit
+            && snapshot_interval > 0
+            && applied.is_multiple_of(snapshot_interval)
+        {
+            let snapshot = {
+                let stage = self.state.shard.lock();
+                ShardSnapshot::capture(&stage.shard, applied, tip_hash, stage.last_committed)
+            };
+            let mut durability = self.state.durability.lock();
+            match durability.as_mut() {
+                None => {}
+                Some(Durability::Inline {
+                    log,
+                    snapshots,
+                    prune_wal,
+                    ..
+                }) => {
+                    snapshots
+                        .save(&snapshot)
+                        .expect("shard snapshot save failed");
+                    if *prune_wal {
+                        log.prune_below(applied).expect("WAL prune failed");
+                    }
+                }
+                Some(Durability::Pipelined { pipeline, .. }) => {
+                    // Saved by the writer thread after the covering
+                    // fsync (and pruned there, if enabled).
+                    pipeline.submit_snapshot(snapshot);
+                }
             }
         }
     }
@@ -790,33 +1134,58 @@ impl Server {
             return;
         }
         let n_txns = batch.len() as u64;
-        let height_before = self.state.lock().log.len();
+        let height_before = self.state.ledger.lock().log.next_height();
         let start = Instant::now();
         match self.config.protocol {
             CommitProtocol::TfCommit => self.run_tfcommit_round(batch),
             CommitProtocol::TwoPhaseCommit => self.run_2pc_round(batch),
         }
         let elapsed = start.elapsed();
-        let mut state = self.state.lock();
-        state.round_stats.rounds += 1;
-        state.round_stats.round_nanos += elapsed.as_nanos();
+        let mut ledger = self.state.ledger.lock();
+        ledger.round_stats.rounds += 1;
+        ledger.round_stats.round_nanos += elapsed.as_nanos();
         // Committed iff the round appended a commit block.
-        let committed = state.log.len() > height_before
-            && state
+        let committed = ledger.log.next_height() > height_before
+            && ledger
                 .log
                 .last()
                 .is_some_and(|b| b.decision == Decision::Commit);
         if committed {
-            state.round_stats.committed_txns += n_txns;
+            ledger.round_stats.committed_txns += n_txns;
         } else {
-            state.round_stats.aborted_txns += n_txns;
+            ledger.round_stats.aborted_txns += n_txns;
         }
     }
 
     /// Picks up to `batch_size` pending transactions, in timestamp
     /// order, skipping any that conflict (share a key) with an earlier
     /// selection — "a set of non-conflicting transactions" (§4.6).
+    ///
+    /// Transactions whose timestamp has fallen at or below
+    /// `last_committed` while queued are bounced back to their clients
+    /// for a fresh timestamp instead of entering the batch: one stale
+    /// straggler would otherwise make every cohort vote abort for the
+    /// **whole block** (§4.3.1's sequential-log rule), amplifying a
+    /// single retry into a full batch of aborts under deep pipelining.
     fn select_batch(&mut self) -> Vec<PendingTxn> {
+        let last_committed = self.state.last_committed();
+        let stale: Vec<PendingTxn> = {
+            let (stale, fresh) = self
+                .pending
+                .drain(..)
+                .partition(|p| p.record.id <= last_committed);
+            self.pending = fresh;
+            stale
+        };
+        for p in &stale {
+            self.send(
+                p.client,
+                &Message::EndTxnRejected {
+                    handle: p.handle,
+                    hint: last_committed,
+                },
+            );
+        }
         self.pending.sort_by_key(|p| p.record.id);
         let mut touched: HashSet<Key> = HashSet::new();
         let mut batch = Vec::new();
@@ -843,8 +1212,8 @@ impl Server {
 
     fn run_tfcommit_round(&mut self, batch: Vec<PendingTxn>) {
         let (height, prev_hash) = {
-            let state = self.state.lock();
-            (state.log.len() as u64, state.log.tip_hash())
+            let ledger = self.state.ledger.lock();
+            (ledger.log.next_height(), ledger.log.tip_hash())
         };
         let partial = PartialBlock {
             height,
@@ -902,7 +1271,7 @@ impl Server {
         let mut block = builder.build_unsigned();
 
         // Fault: replace a benign server's root (§5 Scenario 2).
-        let fake_root_for = self.state.lock().behavior.fake_root_for;
+        let fake_root_for = self.state.behavior().fake_root_for;
         if let Some(victim) = fake_root_for {
             for r in &mut block.roots {
                 if r.server == victim {
@@ -919,7 +1288,7 @@ impl Server {
 
         // Fault: equivocate (Lemma 5 Case 1) — commit block to even
         // cohorts, abort block to odd cohorts, same challenge.
-        let equivocate = self.state.lock().behavior.equivocate_decision;
+        let equivocate = self.state.behavior().equivocate_decision;
         if equivocate {
             let alt = Block {
                 decision: Decision::Abort,
@@ -973,6 +1342,7 @@ impl Server {
                 Err(_) => refused = true,
             }
         }
+        let mut cosign_valid = false;
         let cosign = if refused {
             // At least one cohort refused: no valid signature can exist.
             fides_crypto::cosi::CollectiveSignature::placeholder()
@@ -983,7 +1353,9 @@ impl Server {
             );
             // Lemma 4: an invalid aggregate lets the coordinator identify
             // the precise culprits by checking partial signatures.
-            if !sig.verify(&block.signing_bytes(), &self.server_pks) {
+            if sig.verify(&block.signing_bytes(), &self.server_pks) {
+                cosign_valid = true;
+            } else {
                 let resp_list: Vec<cosi::Response> = ok_responses.clone();
                 let culprits: Vec<u32> = cosi::identify_invalid_responses(
                     &challenge,
@@ -994,7 +1366,11 @@ impl Server {
                 .into_iter()
                 .map(|i| i as u32)
                 .collect();
-                self.state.lock().cosi_culprits.push((height, culprits));
+                self.state
+                    .ledger
+                    .lock()
+                    .cosi_culprits
+                    .push((height, culprits));
             }
             sig
         };
@@ -1003,14 +1379,85 @@ impl Server {
         self.broadcast_to_servers(&Message::Decision {
             block: signed.clone(),
         });
-        self.handle_decision(signed.clone());
+        if cosign_valid {
+            // The coordinator verified this signature when assembling
+            // it; re-running the check in `handle_decision` would be
+            // pure waste on the hot path.
+            self.apply_block(signed.clone(), CommitProtocol::TfCommit);
+            self.catch_up();
+        } else {
+            self.handle_decision(signed.clone());
+        }
 
-        // Figure 5 step 8: respond to the clients.
-        for p in &batch {
+        // Figure 5 step 8: respond to the clients. Under pipelined
+        // durability the outcome is the commit acknowledgement, so it
+        // is deferred until the WAL writer's fsync covers this height
+        // (ordered acks — the client never observes a commit a crash
+        // could undo); the coordinator itself moves straight on to the
+        // next round. An invalidly signed block was never logged (and
+        // never reaches the WAL), so its outcome — which the clients
+        // will classify as an anomaly — goes out immediately.
+        self.send_outcomes(height, &batch, &signed, cosign_valid);
+    }
+
+    /// Sends `Outcome` messages for a terminated batch — one message
+    /// per **client** (covering all of that client's transactions in
+    /// the block).
+    ///
+    /// With `durable_when_fsynced` under pipelined durability, the
+    /// sends run from the WAL writer thread once the covering fsync
+    /// lands; otherwise (inline durability, no durability, or a block
+    /// that was never applied — e.g. an invalid collective signature
+    /// the clients must see to detect the anomaly) they go out
+    /// immediately.
+    fn send_outcomes(
+        &self,
+        height: u64,
+        batch: &[PendingTxn],
+        signed: &Block,
+        durable_when_fsynced: bool,
+    ) {
+        // Group the batch's handles by client, preserving order.
+        let mut per_client: Vec<(NodeId, Vec<TxnHandle>)> = Vec::new();
+        for p in batch {
+            match per_client.iter_mut().find(|(c, _)| *c == p.client) {
+                Some((_, handles)) => handles.push(p.handle),
+                None => per_client.push((p.client, vec![p.handle])),
+            }
+        }
+        let durability = self.state.durability.lock();
+        if let Some(Durability::Pipelined { pipeline, .. }) = durability.as_ref() {
+            if durable_when_fsynced {
+                let sender = self.endpoint.sender();
+                let keypair = self.keypair;
+                let from = self.endpoint.node();
+                let messages: Vec<(NodeId, Vec<u8>)> = per_client
+                    .into_iter()
+                    .map(|(client, handles)| {
+                        let msg = Message::Outcome {
+                            handles,
+                            block: signed.clone(),
+                        };
+                        (client, msg.encode())
+                    })
+                    .collect();
+                pipeline.on_durable(
+                    height,
+                    Box::new(move || {
+                        for (client, payload) in messages {
+                            sender.send(Envelope::sign(&keypair, from, client, payload));
+                        }
+                    }),
+                );
+                return;
+            }
+        }
+        drop(durability);
+        for (client, handles) in per_client {
             self.send(
-                p.client,
+                client,
                 &Message::Outcome {
-                    handle: p.handle,
+                    handles,
                     block: signed.clone(),
                 },
             );
@@ -1019,8 +1466,8 @@ impl Server {
 
     fn run_2pc_round(&mut self, batch: Vec<PendingTxn>) {
         let (height, prev_hash) = {
-            let state = self.state.lock();
-            (state.log.len() as u64, state.log.tip_hash())
+            let ledger = self.state.ledger.lock();
+            (ledger.log.next_height(), ledger.log.tip_hash())
         };
         let partial = PartialBlock {
             height,
@@ -1033,9 +1480,9 @@ impl Server {
 
         // Own vote.
         let own_commit = {
-            let state = self.state.lock();
-            let shard = &state.shard;
-            occ::validate_batch(&partial.txns, |key| {
+            let stage = self.state.shard.lock();
+            let shard = &stage.shard;
+            occ::validate_batch_parallel(&partial.txns, |key| {
                 if self.partitioner.owner(key) == self.config.idx {
                     shard.read(key)
                 } else {
@@ -1064,19 +1511,11 @@ impl Server {
             block: block.clone(),
         });
         self.handle_2pc_decision(block.clone());
-        for p in &batch {
-            self.send(
-                p.client,
-                &Message::Outcome {
-                    handle: p.handle,
-                    block: block.clone(),
-                },
-            );
-        }
+        self.send_outcomes(height, &batch, &block, true);
     }
 
     fn reject_batch(&mut self, batch: &[PendingTxn]) {
-        let hint = self.state.lock().last_committed;
+        let hint = self.state.last_committed();
         for p in batch {
             self.send(
                 p.client,
@@ -1178,21 +1617,14 @@ impl Server {
     /// passed.
     fn recv_during_round(&mut self, deadline: Instant) -> Option<(NodeId, Message)> {
         loop {
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            let env = match self.endpoint.recv_timeout(deadline - now) {
-                Ok(env) => env,
+            let (from, msg) = match self.next_message(deadline) {
+                Ok(message) => message,
                 Err(_) => return None,
             };
-            let Some(msg) = self.authenticate(&env) else {
-                continue;
-            };
-            let from = env.from;
             match msg {
                 Message::Begin { txn } => self.handle_begin(txn),
                 Message::Read { txn, key } => self.handle_read(from, txn, key),
+                Message::ReadMany { txn, keys } => self.handle_read_many(from, txn, keys),
                 Message::Write { txn, key, value } => self.handle_write(from, txn, key, value),
                 Message::EndTxn { handle, record } => self.handle_end_txn(from, handle, record),
                 Message::Flush => {} // already mid-round
@@ -1240,13 +1672,13 @@ fn shard_writes(txns: &[TxnRecord], partitioner: &Partitioner, server: u32) -> V
 /// Previous-version value used by the stale-read fault (§5 Scenario 1:
 /// the malicious server returns the old value with up-to-date
 /// timestamps).
-fn stale_value(state: &ServerState, key: &Key, item: &ItemState) -> Value {
+fn stale_value(stage: &ShardStage, key: &Key, item: &ItemState) -> Value {
     let wts = item.wts;
     if wts == Timestamp::ZERO {
         return item.value.clone();
     }
     let just_before = Timestamp::new(wts.counter().saturating_sub(1), u32::MAX);
-    state
+    stage
         .shard
         .store()
         .value_at(key, just_before)

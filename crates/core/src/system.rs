@@ -16,7 +16,6 @@ use fides_crypto::schnorr::{KeyPair, PublicKey};
 use fides_net::{Envelope, Network, NetworkConfig, NodeId};
 use fides_store::authenticated::{AuthenticatedShard, MhtUpdateStats};
 use fides_store::types::{Key, Value};
-use parking_lot::Mutex;
 
 use crate::audit::{AuditInput, AuditReport, Auditor};
 use crate::behavior::Behavior;
@@ -154,7 +153,7 @@ pub struct FidesCluster {
     directory: Directory,
     server_pks: Vec<PublicKey>,
     oracle: TimestampOracle,
-    states: Vec<Arc<Mutex<ServerState>>>,
+    states: Vec<Arc<ServerState>>,
     threads: Vec<JoinHandle<()>>,
     admin: fides_net::Endpoint,
     admin_kp: KeyPair,
@@ -242,11 +241,7 @@ impl FidesCluster {
                         config.protocol,
                         persistence,
                     )?;
-                    let mut state = ServerState::new(s, recovered.shard, behavior);
-                    state.log = recovered.log;
-                    state.last_committed = recovered.last_committed;
-                    state.durability = Some(recovered.durability);
-                    state
+                    ServerState::recovered(s, behavior, recovered)
                 }
             };
             server_states.push(state);
@@ -334,6 +329,13 @@ impl FidesCluster {
         &self.partitioner
     }
 
+    /// Every server's public key, by index (the CoSi witness set) —
+    /// what a client needs to verify outcomes out-of-band (e.g.
+    /// [`crate::client::finalize_outcomes`]).
+    pub fn server_pks(&self) -> &[PublicKey] {
+        &self.server_pks
+    }
+
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
@@ -381,7 +383,11 @@ impl FidesCluster {
     pub fn settle(&self, timeout: Duration) -> Option<usize> {
         let deadline = Instant::now() + timeout;
         loop {
-            let lens: Vec<usize> = self.states.iter().map(|s| s.lock().log.len()).collect();
+            let lens: Vec<usize> = self
+                .states
+                .iter()
+                .map(|s| s.next_height() as usize)
+                .collect();
             let first = lens[0];
             if lens.iter().all(|&l| l == first) {
                 return Some(first);
@@ -394,15 +400,18 @@ impl FidesCluster {
     }
 
     /// Runs a full audit: gathers every server's (possibly doctored)
-    /// log and datastore snapshot, then applies Lemmas 1–7.
+    /// log and datastore snapshot, then applies Lemmas 1–7. Each
+    /// server's `(log, shard)` pair is taken consistently
+    /// ([`ServerState::audit_snapshot`]) even while its commit pipeline
+    /// is mid-flight.
     pub fn audit(&self) -> AuditReport {
         self.settle(Duration::from_secs(2));
         let mut logs = Vec::with_capacity(self.states.len());
         let mut shards = Vec::with_capacity(self.states.len());
         for state in &self.states {
-            let st = state.lock();
-            logs.push(st.log_for_audit());
-            shards.push(st.shard.clone());
+            let (log, shard) = state.audit_snapshot();
+            logs.push(log);
+            shards.push(shard);
         }
         let auditor = Auditor::new(
             self.partitioner.clone(),
@@ -418,28 +427,26 @@ impl FidesCluster {
 
     /// Direct (read) access to a server's state, for tests and
     /// examples.
-    pub fn server_state(&self, idx: u32) -> Arc<Mutex<ServerState>> {
+    pub fn server_state(&self, idx: u32) -> Arc<ServerState> {
         Arc::clone(&self.states[idx as usize])
     }
 
     /// Per-server Merkle-maintenance statistics (Figure 14's "MHT
     /// update time").
     pub fn mht_stats(&self) -> Vec<MhtUpdateStats> {
-        self.states.iter().map(|s| s.lock().shard.stats()).collect()
+        self.states.iter().map(|s| s.mht_stats()).collect()
     }
 
     /// The coordinator's commit-round statistics (the paper's commit
     /// latency metric).
     pub fn round_stats(&self) -> crate::server::RoundStats {
-        self.states[crate::server::COORDINATOR_IDX as usize]
-            .lock()
-            .round_stats
+        self.states[crate::server::COORDINATOR_IDX as usize].round_stats()
     }
 
     /// Zeroes every server's Merkle statistics.
     pub fn reset_mht_stats(&self) {
         for state in &self.states {
-            state.lock().shard.reset_stats();
+            state.reset_mht_stats();
         }
     }
 
@@ -453,7 +460,10 @@ impl FidesCluster {
         &self.network
     }
 
-    /// Stops every server thread and joins them.
+    /// Stops every server thread and joins them, then shuts down each
+    /// server's durability engine — a pipelined engine drains and
+    /// fsyncs everything before its writer thread exits, so a restart
+    /// over the same directory recovers the complete history.
     pub fn shutdown(mut self) {
         for s in 0..self.config.n_servers {
             let env = Envelope::sign(
@@ -466,6 +476,9 @@ impl FidesCluster {
         }
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        for state in &self.states {
+            state.shutdown_durability();
         }
     }
 }
@@ -579,7 +592,15 @@ mod tests {
 
     #[test]
     fn batched_transactions_commit_in_one_block() {
-        let cluster = FidesCluster::start(ClusterConfig::new(3).items_per_shard(32).batch_size(4));
+        // A wide flush window: the batch deadline is now measured from
+        // the first queued end-txn, so all four clients must submit
+        // within it for the single-block assertion to be deterministic.
+        let cluster = FidesCluster::start(
+            ClusterConfig::new(3)
+                .items_per_shard(32)
+                .batch_size(4)
+                .flush_interval(Duration::from_millis(250)),
+        );
         // Four concurrent clients, disjoint keys → one block.
         let mut handles = Vec::new();
         for c in 0..4u32 {

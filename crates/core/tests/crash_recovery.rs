@@ -54,8 +54,8 @@ fn fingerprint(cluster: &FidesCluster) -> Vec<(usize, Digest, Digest)> {
     (0..cluster.config().n_servers)
         .map(|s| {
             let state = cluster.server_state(s);
-            let st = state.lock();
-            (st.log.len(), st.log.tip_hash(), st.shard.root())
+            let log = state.log();
+            (log.len(), log.tip_hash(), state.with_shard(|s| s.root()))
         })
         .collect()
 }
@@ -135,7 +135,7 @@ fn truncated_tail_is_repaired_on_restart() {
         let cluster = FidesCluster::start(config.clone());
         commit_txns(&cluster, 3);
         let state = cluster.server_state(0);
-        let tip = state.lock().log.get(1).expect("block 1").hash();
+        let tip = state.log().get(1).expect("block 1").hash();
         cluster.shutdown();
         tip
     };
@@ -155,13 +155,13 @@ fn truncated_tail_is_repaired_on_restart() {
     let cluster = FidesCluster::start(config);
     {
         let state = cluster.server_state(0);
-        let st = state.lock();
-        assert_eq!(st.log.len(), 2, "torn last block dropped");
-        assert_eq!(st.log.tip_hash(), tip_before_last);
+        let log = state.log();
+        assert_eq!(log.len(), 2, "torn last block dropped");
+        assert_eq!(log.tip_hash(), tip_before_last);
     }
     // And the server keeps appending from the repaired tip.
     commit_txns(&cluster, 1);
-    assert_eq!(cluster.server_state(0).lock().log.len(), 3);
+    assert_eq!(cluster.server_state(0).log().len(), 3);
     assert!(cluster.audit().is_clean());
     cluster.shutdown();
 }

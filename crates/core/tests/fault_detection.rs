@@ -161,7 +161,7 @@ fn fake_root_refused_by_benign_cohort() {
     assert!(outcome.is_anomaly(), "got {outcome:?}");
 
     let state = cluster.server_state(victim);
-    let refusals = state.lock().refusals.clone();
+    let refusals = state.refusals();
     assert!(
         refusals.iter().any(|(_, r)| *r == Refusal::RootMismatch),
         "victim should have refused with RootMismatch: {refusals:?}"
@@ -191,7 +191,7 @@ fn corrupt_cosi_response_culprit_identified() {
     assert!(outcome.is_anomaly(), "got {outcome:?}");
 
     let coord = cluster.server_state(0);
-    let culprits = coord.lock().cosi_culprits.clone();
+    let culprits = coord.cosi_culprits();
     assert_eq!(culprits.len(), 1);
     assert_eq!(culprits[0].1, vec![culprit]);
     cluster.shutdown();
@@ -220,7 +220,7 @@ fn equivocating_coordinator_detected() {
     // the root-consistency check, both manifestations of Lemma 5).
     let mut refusal_count = 0;
     for s in 1..4 {
-        refusal_count += cluster.server_state(s).lock().refusals.len();
+        refusal_count += cluster.server_state(s).refusals().len();
     }
     assert!(refusal_count > 0, "at least one cohort must refuse");
     // Atomicity preserved: nobody appended either block.

@@ -193,6 +193,193 @@ impl MerkleTree {
         recomputed
     }
 
+    /// [`MerkleTree::update_leaves`], with the subtree rehashing spread
+    /// over the process-wide thread pool.
+    ///
+    /// The dirty leaves are partitioned by the subtree they fall under
+    /// at a split level chosen from the pool width; each dirty subtree
+    /// is rehashed bottom-up by one pool task over its **disjoint**
+    /// slice of every level, and the path from the split level to the
+    /// root is merged serially. Small batches (or a one-thread pool)
+    /// fall back to the serial batch update — the result is bit-for-bit
+    /// identical either way.
+    ///
+    /// Returns the number of internal-node hashes recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= self.len()`.
+    pub fn update_leaves_parallel(&mut self, updates: &[(usize, Digest)]) -> usize {
+        /// Below this many dirty leaves the fork/join overhead exceeds
+        /// the hashing it saves.
+        const PARALLEL_MIN_LEAVES: usize = 64;
+        let pool = rayon::global();
+        let height = self.levels.len() - 1;
+        if updates.len() < PARALLEL_MIN_LEAVES || pool.current_num_threads() == 1 || height < 4 {
+            return self.update_leaves(updates);
+        }
+        // Pick the split level so there are ~4 subtrees per worker for
+        // steal-balancing; if that leaves no parallel levels, fall back.
+        let want_subtrees = (4 * pool.current_num_threads()).next_power_of_two();
+        let log_want = want_subtrees.trailing_zeros() as usize;
+        let split = height.saturating_sub(log_want).max(2);
+        let n_subtrees = self.levels[0].len() >> split;
+        if n_subtrees <= 1 {
+            return self.update_leaves(updates);
+        }
+
+        // Phase 1 (serial, cheap): write the new leaf digests.
+        for &(index, digest) in updates {
+            assert!(index < self.leaf_count, "leaf index out of range");
+            self.levels[0][index] = digest;
+        }
+
+        // Partition dirty leaves by subtree.
+        let mut dirty_leaves: Vec<Vec<usize>> = vec![Vec::new(); n_subtrees];
+        for &(index, _) in updates {
+            dirty_leaves[index >> split].push(index);
+        }
+
+        // Phase 2 (parallel): rehash levels 1..=split inside each dirty
+        // subtree. Every task owns a disjoint mutable slice of each
+        // level, carved out up front, so no synchronization is needed.
+        struct SubtreeTask<'a> {
+            /// Node index at the split level (= subtree id).
+            id: usize,
+            /// Dirty leaf indices (global) under this subtree.
+            leaves: Vec<usize>,
+            /// `chunks[k]` = this subtree's slice of level `k + 1`.
+            chunks: Vec<&'a mut [Digest]>,
+            /// Internal nodes this task recomputed.
+            recomputed: usize,
+        }
+        let (low, _high) = self.levels.split_at_mut(split + 1);
+        let (leaf_level, mid) = low.split_first_mut().expect("leaf level exists");
+        let leaf_level: &[Digest] = leaf_level;
+        let mut level_chunks: Vec<_> = mid
+            .iter_mut()
+            .enumerate()
+            .map(|(k, level)| level.chunks_mut(1usize << (split - (k + 1))))
+            .collect();
+        let mut tasks: Vec<SubtreeTask<'_>> = Vec::new();
+        for (id, leaves) in dirty_leaves.into_iter().enumerate() {
+            let chunks: Vec<&mut [Digest]> = level_chunks
+                .iter_mut()
+                .map(|it| it.next().expect("one chunk per subtree"))
+                .collect();
+            if !leaves.is_empty() {
+                tasks.push(SubtreeTask {
+                    id,
+                    leaves,
+                    chunks,
+                    recomputed: 0,
+                });
+            }
+        }
+        pool.scope(|s| {
+            for task in &mut tasks {
+                s.spawn(move || {
+                    let base_leaf = task.id << split;
+                    let mut dirty: Vec<usize> =
+                        task.leaves.iter().map(|i| (i - base_leaf) / 2).collect();
+                    for lvl in 1..=split {
+                        dirty.sort_unstable();
+                        dirty.dedup();
+                        let (children, parents) = task.chunks.split_at_mut(lvl - 1);
+                        let parents = &mut parents[0];
+                        for &p in &dirty {
+                            let (left, right) = if lvl == 1 {
+                                let g = base_leaf + 2 * p;
+                                (leaf_level[g], leaf_level[g + 1])
+                            } else {
+                                let c = &children[lvl - 2];
+                                (c[2 * p], c[2 * p + 1])
+                            };
+                            parents[p] = hash_nodes(&left, &right);
+                            task.recomputed += 1;
+                        }
+                        for p in dirty.iter_mut() {
+                            *p /= 2;
+                        }
+                    }
+                });
+            }
+        });
+        let mut recomputed: usize = tasks.iter().map(|t| t.recomputed).sum();
+        let mut dirty: Vec<usize> = tasks.iter().map(|t| t.id).collect();
+        drop(tasks);
+
+        // Phase 3 (serial): merge the dirty split-level nodes to the
+        // root — at most `n_subtrees` nodes wide, `height - split` deep.
+        for lvl in split..height {
+            for p in dirty.iter_mut() {
+                *p /= 2;
+            }
+            dirty.dedup();
+            for &parent in &dirty {
+                let left = self.levels[lvl][parent * 2];
+                let right = self.levels[lvl][parent * 2 + 1];
+                self.levels[lvl + 1][parent] = hash_nodes(&left, &right);
+                recomputed += 1;
+            }
+        }
+        recomputed
+    }
+
+    /// The root the tree **would** have if `updates` were applied —
+    /// computed against an immutable tree by carrying the dirty nodes
+    /// in a scratch overlay. One bottom-up pass, no mutation: compared
+    /// to the mutate-then-revert way of speculating (two full batch
+    /// updates), this halves the hashing and never touches the live
+    /// tree. Duplicate indices: last write wins.
+    ///
+    /// Returns `(root, nodes_hashed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= self.len()`.
+    pub fn root_with_updates(&self, updates: &[(usize, Digest)]) -> (Digest, usize) {
+        if updates.is_empty() {
+            return (self.root(), 0);
+        }
+        // The overlay: sorted (node index, digest) pairs of one level.
+        let mut overlay: Vec<(usize, Digest)> = Vec::with_capacity(updates.len());
+        for &(index, digest) in updates {
+            assert!(index < self.leaf_count, "leaf index out of range");
+            match overlay.binary_search_by_key(&index, |&(i, _)| i) {
+                Ok(at) => overlay[at].1 = digest,
+                Err(at) => overlay.insert(at, (index, digest)),
+            }
+        }
+        let mut hashed = 0;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let mut parents: Vec<(usize, Digest)> = Vec::with_capacity(overlay.len());
+            let mut i = 0;
+            while i < overlay.len() {
+                let parent = overlay[i].0 / 2;
+                let lookup = |child: usize, from: usize| {
+                    overlay[from..]
+                        .iter()
+                        .take(2)
+                        .find(|&&(idx, _)| idx == child)
+                        .map(|&(_, d)| d)
+                        .unwrap_or(level[child])
+                };
+                let left = lookup(parent * 2, i);
+                let right = lookup(parent * 2 + 1, i);
+                parents.push((parent, hash_nodes(&left, &right)));
+                hashed += 1;
+                // Skip the sibling if it is the next overlay entry.
+                i += 1;
+                if i < overlay.len() && overlay[i].0 / 2 == parent {
+                    i += 1;
+                }
+            }
+            overlay = parents;
+        }
+        (overlay[0].1, hashed)
+    }
+
     /// Appends a new leaf, growing (and if necessary re-padding) the
     /// tree. Returns the new leaf's index.
     pub fn push_leaf(&mut self, digest: Digest) -> usize {
@@ -433,6 +620,117 @@ mod tests {
         tree.update_leaves(&[(3, hash_leaf(b"first")), (3, hash_leaf(b"second"))]);
         ls[3] = hash_leaf(b"second");
         assert_eq!(tree.root(), MerkleTree::from_leaves(ls).root());
+    }
+
+    #[test]
+    fn overlay_root_matches_applied_root() {
+        for n in [1usize, 2, 5, 13, 64, 1000] {
+            let tree = MerkleTree::from_leaves(leaves(n));
+            let updates: Vec<(usize, Digest)> = (0..n.min(7))
+                .map(|i| (i * 97 % n, hash_leaf(&[i as u8, 0xAA])))
+                .collect();
+            let (root, hashed) = tree.root_with_updates(&updates);
+            let mut applied = MerkleTree::from_leaves(leaves(n));
+            applied.update_leaves(&updates);
+            assert_eq!(root, applied.root(), "n={n}");
+            if !updates.is_empty() && n > 1 {
+                assert!(hashed > 0);
+            }
+            // The live tree was never touched.
+            assert_eq!(tree.root(), MerkleTree::from_leaves(leaves(n)).root());
+        }
+    }
+
+    #[test]
+    fn overlay_root_duplicate_index_last_write_wins() {
+        let tree = MerkleTree::from_leaves(leaves(16));
+        let (root, _) = tree.root_with_updates(&[
+            (3, hash_leaf(b"first")),
+            (5, hash_leaf(b"x")),
+            (3, hash_leaf(b"second")),
+        ]);
+        let mut applied = MerkleTree::from_leaves(leaves(16));
+        applied.update_leaves(&[(5, hash_leaf(b"x")), (3, hash_leaf(b"second"))]);
+        assert_eq!(root, applied.root());
+    }
+
+    #[test]
+    fn overlay_root_adjacent_siblings() {
+        // Sibling pairs exercise the skip logic.
+        let tree = MerkleTree::from_leaves(leaves(8));
+        let updates = [
+            (2usize, hash_leaf(b"a")),
+            (3, hash_leaf(b"b")),
+            (6, hash_leaf(b"c")),
+            (7, hash_leaf(b"d")),
+        ];
+        let (root, hashed) = tree.root_with_updates(&updates);
+        let mut applied = MerkleTree::from_leaves(leaves(8));
+        let applied_count = applied.update_leaves(&updates);
+        assert_eq!(root, applied.root());
+        assert_eq!(hashed, applied_count, "same dirty-node union");
+    }
+
+    #[test]
+    fn parallel_update_matches_rebuild() {
+        // Large enough to clear the parallel threshold, odd-sized to
+        // exercise padding, scattered and clustered indices.
+        let n = 5000;
+        let mut ls = leaves(n);
+        let mut tree = MerkleTree::from_leaves(ls.clone());
+        let updates: Vec<(usize, Digest)> = (0..200)
+            .map(|i| {
+                let idx = (i * 37 + i * i) % n;
+                (idx, hash_leaf(format!("p{i}").as_bytes()))
+            })
+            .collect();
+        for &(i, d) in &updates {
+            ls[i] = d;
+        }
+        let recomputed = tree.update_leaves_parallel(&updates);
+        assert!(recomputed > 0);
+        assert_eq!(tree.root(), MerkleTree::from_leaves(ls).root());
+    }
+
+    #[test]
+    fn parallel_update_matches_serial_batch() {
+        let n = 4096;
+        let updates: Vec<(usize, Digest)> = (0..128)
+            .map(|i| (i * 31 % n, hash_leaf(&(i as u64).to_le_bytes())))
+            .collect();
+        let mut serial = MerkleTree::from_leaves(leaves(n));
+        let mut parallel = MerkleTree::from_leaves(leaves(n));
+        serial.update_leaves(&updates);
+        parallel.update_leaves_parallel(&updates);
+        assert_eq!(serial.root(), parallel.root());
+        // Every internal level must agree, not just the root.
+        for (ls, lp) in serial.levels.iter().zip(&parallel.levels) {
+            assert_eq!(ls, lp);
+        }
+    }
+
+    #[test]
+    fn parallel_update_duplicate_index_last_write_wins() {
+        let n = 2048;
+        let mut ls = leaves(n);
+        let mut updates: Vec<(usize, Digest)> = (0..100)
+            .map(|i| (i * 13 % n, hash_leaf(&[i as u8])))
+            .collect();
+        updates.push((13, hash_leaf(b"first")));
+        updates.push((13, hash_leaf(b"second")));
+        for &(i, d) in &updates {
+            ls[i] = d;
+        }
+        let mut tree = MerkleTree::from_leaves(leaves(n));
+        tree.update_leaves_parallel(&updates);
+        assert_eq!(tree.root(), MerkleTree::from_leaves(ls).root());
+    }
+
+    #[test]
+    fn parallel_update_small_batch_falls_back() {
+        let mut tree = MerkleTree::from_leaves(leaves(64));
+        let recomputed = tree.update_leaves_parallel(&[(5, hash_leaf(b"x"))]);
+        assert_eq!(recomputed, 6); // log2(64): the serial path ran
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::sync::{Arc, Mutex};
 use fides_crypto::encoding::{Decodable, Encodable};
 use fides_ledger::block::Block;
 
-use crate::wal::{SegmentedWal, WalConfig, WalError, WalOpenReport};
+use crate::wal::{DirArchive, SegmentArchive, SegmentedWal, WalConfig, WalError, WalOpenReport};
 
 /// A durable, append-only sequence of log blocks.
 pub trait DurableLog: Send + fmt::Debug {
@@ -28,17 +28,65 @@ pub trait DurableLog: Send + fmt::Debug {
 
     /// Number of blocks appended over the log's lifetime.
     fn block_count(&self) -> u64;
+
+    /// Releases storage for blocks **strictly below** `height` — called
+    /// once a shard snapshot covers that prefix, so the log's disk
+    /// footprint stays bounded. Backends that cannot (or need not)
+    /// prune simply keep everything; pruned blocks go through the
+    /// backend's archive hook when one is configured.
+    ///
+    /// Returns how many storage units (segments, blocks) were evicted.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific I/O failures.
+    fn prune_below(&mut self, height: u64) -> Result<usize, WalError> {
+        let _ = height;
+        Ok(0)
+    }
 }
 
 /// A [`DurableLog`] persisting blocks to a [`SegmentedWal`].
+///
+/// One record = one block, appended in height order, so a block's
+/// height **is** its WAL-wide record index — pruning below a height
+/// maps directly onto [`SegmentedWal::prune_segments_below`].
 #[derive(Debug)]
 pub struct WalBlockLog {
     wal: SegmentedWal,
+    /// Receives pruned segments (None = delete on prune).
+    archive: Option<DirArchive>,
+}
+
+/// Decodes every record of a WAL scan into blocks, attributing a bad
+/// record to its segment.
+fn decode_records(report: &WalOpenReport, dir: &Path) -> Result<Vec<Block>, WalError> {
+    let mut blocks = Vec::with_capacity(report.records.len());
+    for (i, record) in report.records.iter().enumerate() {
+        let index = report.first_record + i as u64;
+        match Block::decode(record) {
+            Ok(block) => blocks.push(block),
+            Err(_) => {
+                let segment = report
+                    .segment_of(index)
+                    .map_or_else(|| dir.to_path_buf(), Path::to_path_buf);
+                return Err(WalError::Corrupt {
+                    segment,
+                    offset: 0,
+                    record: index,
+                    reason: "record is not a valid block encoding",
+                });
+            }
+        }
+    }
+    Ok(blocks)
 }
 
 impl WalBlockLog {
     /// Opens the WAL in `dir` and decodes every surviving record as a
-    /// [`Block`], in append order.
+    /// [`Block`], in append order. For a pruned WAL the returned blocks
+    /// start at the first surviving height (`blocks[0].height > 0`);
+    /// recovery then binds them to a snapshot covering the gap.
     ///
     /// Torn tails are repaired by the underlying WAL
     /// ([`SegmentedWal::open`]); a record that decodes to garbage is
@@ -54,27 +102,64 @@ impl WalBlockLog {
     ) -> Result<(WalBlockLog, Vec<Block>), WalError> {
         let dir = dir.into();
         let (wal, report): (SegmentedWal, WalOpenReport) = SegmentedWal::open(&dir, config)?;
-        let mut blocks = Vec::with_capacity(report.records.len());
-        for (i, record) in report.records.iter().enumerate() {
-            match Block::decode(record) {
-                Ok(block) => blocks.push(block),
-                Err(_) => {
-                    let segment = report.segment_of(i as u64).map_or(dir, Path::to_path_buf);
-                    return Err(WalError::Corrupt {
-                        segment,
-                        offset: 0,
-                        record: i as u64,
-                        reason: "record is not a valid block encoding",
-                    });
-                }
+        let blocks = decode_records(&report, &dir)?;
+        Ok((WalBlockLog { wal, archive: None }, blocks))
+    }
+
+    /// [`WalBlockLog::open`], additionally reading **archived** segments
+    /// so the returned blocks cover the full history even after pruning:
+    /// records below the live WAL's first segment are loaded from
+    /// `archive_dir` (where [`DirArchive`] parked them), then the live
+    /// suffix follows. Future prunes archive into the same directory.
+    ///
+    /// This is the auditor-friendly configuration: the WAL directory
+    /// stays bounded while the complete chain remains requestable.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WalError`]; a gap between the archived records and the live
+    /// WAL's first record is corruption (someone deleted archived
+    /// history).
+    pub fn open_with_archive(
+        dir: impl Into<PathBuf>,
+        archive_dir: impl Into<PathBuf>,
+        config: WalConfig,
+    ) -> Result<(WalBlockLog, Vec<Block>), WalError> {
+        let dir = dir.into();
+        let archive = DirArchive::open(archive_dir)?;
+        let (wal, report): (SegmentedWal, WalOpenReport) = SegmentedWal::open(&dir, config)?;
+
+        let mut blocks = Vec::new();
+        if report.first_record > 0 {
+            let archived = crate::wal::read_sealed_segments(&archive.segments()?)?;
+            if archived.first_record != 0
+                || archived.first_record + archived.records.len() as u64 != report.first_record
+            {
+                return Err(WalError::BadHeader {
+                    segment: archive.dir().to_path_buf(),
+                    reason: "archived segments do not cover the pruned prefix",
+                });
             }
+            blocks = decode_records(&archived, archive.dir())?;
         }
-        Ok((WalBlockLog { wal }, blocks))
+        blocks.extend(decode_records(&report, &dir)?);
+        Ok((
+            WalBlockLog {
+                wal,
+                archive: Some(archive),
+            },
+            blocks,
+        ))
     }
 
     /// The underlying WAL (for inspection in tests/benchmarks).
     pub fn wal(&self) -> &SegmentedWal {
         &self.wal
+    }
+
+    /// The archive receiving pruned segments, if configured.
+    pub fn archive(&self) -> Option<&DirArchive> {
+        self.archive.as_ref()
     }
 }
 
@@ -90,10 +175,23 @@ impl DurableLog for WalBlockLog {
     fn block_count(&self) -> u64 {
         self.wal.next_record()
     }
+
+    fn prune_below(&mut self, height: u64) -> Result<usize, WalError> {
+        let hook = self.archive.as_mut().map(|a| a as &mut dyn SegmentArchive);
+        Ok(self.wal.prune_segments_below(height, hook)?.len())
+    }
 }
 
-/// The shared "disk" behind [`MemoryBlockLog`] handles.
-type SharedBlocks = Arc<Mutex<Vec<Block>>>;
+/// The shared "disk" behind [`MemoryBlockLog`] handles: the retained
+/// blocks plus the monotone append watermark (`next_height` survives
+/// pruning, like a WAL's record numbering does).
+#[derive(Debug, Default)]
+struct MemoryLogState {
+    blocks: Vec<Block>,
+    next_height: u64,
+}
+
+type SharedBlocks = Arc<Mutex<MemoryLogState>>;
 
 /// An in-memory [`DurableLog`] — the original no-persistence behavior.
 ///
@@ -119,18 +217,17 @@ impl MemoryBlockLog {
         }
     }
 
-    /// All blocks appended so far (the "reopen" path for tests).
+    /// All retained blocks (the "reopen" path for tests).
     pub fn blocks(&self) -> Vec<Block> {
-        self.blocks.lock().expect("memory log lock").clone()
+        self.blocks.lock().expect("memory log lock").blocks.clone()
     }
 }
 
 impl DurableLog for MemoryBlockLog {
     fn append_block(&mut self, block: &Block) -> Result<(), WalError> {
-        self.blocks
-            .lock()
-            .expect("memory log lock")
-            .push(block.clone());
+        let mut state = self.blocks.lock().expect("memory log lock");
+        state.next_height = state.next_height.max(block.height + 1);
+        state.blocks.push(block.clone());
         Ok(())
     }
 
@@ -139,7 +236,14 @@ impl DurableLog for MemoryBlockLog {
     }
 
     fn block_count(&self) -> u64 {
-        self.blocks.lock().expect("memory log lock").len() as u64
+        self.blocks.lock().expect("memory log lock").next_height
+    }
+
+    fn prune_below(&mut self, height: u64) -> Result<usize, WalError> {
+        let mut state = self.blocks.lock().expect("memory log lock");
+        let before = state.blocks.len();
+        state.blocks.retain(|b| b.height >= height);
+        Ok(before - state.blocks.len())
     }
 }
 

@@ -66,6 +66,7 @@
 
 pub mod blocklog;
 pub mod crc32;
+pub mod pipeline;
 pub mod recovery;
 pub mod snapshot;
 pub mod wal;
@@ -79,8 +80,11 @@ pub mod testutil {
 
 pub use blocklog::{DurableLog, MemoryBlockLog, WalBlockLog};
 pub use crc32::crc32;
+pub use pipeline::{CommitPipeline, DurableAck, PipelineConfig};
 pub use recovery::{recover_ledger, RecoveredLedger, RecoveryError};
 pub use snapshot::{
     FileSnapshotStore, MemorySnapshotStore, ShardSnapshot, SnapshotError, SnapshotStore,
 };
-pub use wal::{SegmentedWal, SyncPolicy, WalConfig, WalError, WalOpenReport};
+pub use wal::{
+    DirArchive, SegmentArchive, SegmentedWal, SyncPolicy, WalConfig, WalError, WalOpenReport,
+};

@@ -1,0 +1,570 @@
+//! Asynchronous group commit: a dedicated WAL writer thread with an
+//! ordered-ack guarantee.
+//!
+//! Under [`SyncPolicy::Pipelined`] a server no longer pays the fsync on
+//! its commit path. Terminated blocks are handed to a
+//! [`CommitPipeline`], whose writer thread drains everything queued
+//! since the last disk round-trip, appends the whole batch, issues
+//! **one** covering fsync, and only then advances the durable watermark
+//! — batching appends *across rounds*, not just within one block. The
+//! server applies block *h+1* to its shard and votes on *h+2* while the
+//! writer is still fsyncing *h*.
+//!
+//! What makes this safe:
+//!
+//! * **Ordered acks** — a commit acknowledgement registered for height
+//!   `h` ([`CommitPipeline::on_durable`]) runs only once the watermark
+//!   covers `h`, and acks always fire in height order. A client that
+//!   has seen an outcome therefore knows the block (and every block
+//!   below it) survives a crash.
+//! * **Snapshot ordering** — shard snapshots are routed through the
+//!   same writer thread and saved only after the fsync covering their
+//!   height, so a crash can never leave a snapshot ahead of the durable
+//!   log (which recovery would refuse).
+//! * **Crash shape** — a crash loses only un-fsynced tail blocks; the
+//!   WAL prefix below the watermark is intact and recovery reproduces
+//!   exactly the acknowledged history (tested in
+//!   `crates/core/tests/pipeline_stress.rs`).
+//!
+//! After a snapshot is saved the writer prunes WAL segments below it
+//! when pruning is enabled — the disk stays bounded while the pipeline
+//! runs.
+//!
+//! [`SyncPolicy::Pipelined`]: crate::wal::SyncPolicy::Pipelined
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fides_ledger::block::Block;
+
+use crate::blocklog::DurableLog;
+use crate::snapshot::{ShardSnapshot, SnapshotStore};
+
+/// A commit acknowledgement deferred until the covering fsync.
+pub type DurableAck = Box<dyn FnOnce() + Send>;
+
+/// Pipeline tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Prune WAL segments below each saved snapshot (bounded disk; the
+    /// log's archive hook, when configured, still preserves history for
+    /// the auditor).
+    pub prune_wal: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { prune_wal: true }
+    }
+}
+
+enum Cmd {
+    /// Append this block; it becomes durable at the next covering
+    /// fsync. Blocks must be submitted in height order.
+    Append(Box<Block>),
+    /// Save this snapshot after the fsync covering its height, then
+    /// prune the WAL below it (if enabled).
+    Snapshot(Box<ShardSnapshot>),
+    /// Fsync whatever is pending and signal the barrier.
+    Flush(crossbeam_channel::Sender<()>),
+    /// Test hook: stop immediately, abandoning buffered (un-fsynced)
+    /// state — the in-process stand-in for `kill -9`.
+    Kill,
+}
+
+/// Watermark + ack registry shared between the handle and the writer.
+struct DurableState {
+    /// Heights `< watermark` are fsync-covered.
+    watermark: AtomicU64,
+    /// Acks not yet runnable, keyed by the height they wait for.
+    pending_acks: Mutex<BTreeMap<u64, Vec<DurableAck>>>,
+    /// Signalled whenever the watermark advances.
+    advanced: Condvar,
+    advanced_mx: Mutex<()>,
+}
+
+impl DurableState {
+    /// Runs (in height order) every pending ack the watermark now
+    /// covers.
+    fn release_acks(&self) {
+        let runnable: Vec<DurableAck> = {
+            let watermark = self.watermark.load(Ordering::Acquire);
+            let mut pending = self.pending_acks.lock().unwrap_or_else(|e| e.into_inner());
+            let keep = pending.split_off(&watermark);
+            let runnable = std::mem::replace(&mut *pending, keep);
+            runnable.into_values().flatten().collect()
+        };
+        for ack in runnable {
+            ack();
+        }
+        let _guard = self.advanced_mx.lock().unwrap_or_else(|e| e.into_inner());
+        self.advanced.notify_all();
+    }
+}
+
+/// The asynchronous group-commit engine (see module docs).
+pub struct CommitPipeline {
+    tx: Option<crossbeam_channel::Sender<Cmd>>,
+    state: Arc<DurableState>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for CommitPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CommitPipeline(durable_height={})",
+            self.durable_height()
+        )
+    }
+}
+
+impl CommitPipeline {
+    /// Spawns the writer thread over a durable log and snapshot store
+    /// already holding `durable_height` blocks (the recovery point).
+    pub fn new(
+        log: Box<dyn DurableLog>,
+        snapshots: Box<dyn SnapshotStore>,
+        durable_height: u64,
+        config: PipelineConfig,
+    ) -> CommitPipeline {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        let state = Arc::new(DurableState {
+            watermark: AtomicU64::new(durable_height),
+            pending_acks: Mutex::new(BTreeMap::new()),
+            advanced: Condvar::new(),
+            advanced_mx: Mutex::new(()),
+        });
+        let writer_state = Arc::clone(&state);
+        let writer = std::thread::Builder::new()
+            .name("fides-wal-writer".into())
+            .spawn(move || writer_loop(rx, log, snapshots, writer_state, config))
+            .expect("spawn WAL writer thread");
+        CommitPipeline {
+            tx: Some(tx),
+            state,
+            writer: Some(writer),
+        }
+    }
+
+    fn send(&self, cmd: Cmd) {
+        self.tx
+            .as_ref()
+            .expect("pipeline alive")
+            .send(cmd)
+            .expect("WAL writer thread alive");
+    }
+
+    /// Queues a block for appending. Returns immediately; durability
+    /// arrives with a later covering fsync. Blocks must be submitted in
+    /// height order (the server's apply path guarantees this).
+    pub fn submit_block(&self, block: &Block) {
+        self.send(Cmd::Append(Box::new(block.clone())));
+    }
+
+    /// Queues a snapshot; it is saved only after the fsync covering its
+    /// height, so recovery can always bind it to the durable chain.
+    pub fn submit_snapshot(&self, snapshot: ShardSnapshot) {
+        self.send(Cmd::Snapshot(Box::new(snapshot)));
+    }
+
+    /// Registers `ack` to run once every block at height `< height + 1`
+    /// is fsync-covered — i.e. once block `height` is durable. Runs
+    /// inline when that is already true. Acks fire in height order
+    /// (the ordered-ack guarantee clients rely on).
+    pub fn on_durable(&self, height: u64, ack: DurableAck) {
+        let mut pending = self
+            .state
+            .pending_acks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if self.state.watermark.load(Ordering::Acquire) > height {
+            drop(pending);
+            ack();
+        } else {
+            pending.entry(height).or_default().push(ack);
+        }
+    }
+
+    /// Heights below this are durable.
+    pub fn durable_height(&self) -> u64 {
+        self.state.watermark.load(Ordering::Acquire)
+    }
+
+    /// Waits until block `height` is durable (or the timeout passes).
+    pub fn wait_durable(&self, height: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.durable_height() > height {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let guard = self
+                .state
+                .advanced_mx
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if self.durable_height() > height {
+                return true;
+            }
+            let _ = self
+                .state
+                .advanced
+                .wait_timeout(guard, (deadline - now).min(Duration::from_millis(10)))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocking barrier: every block submitted before this call is
+    /// durable when it returns.
+    pub fn flush(&self) {
+        let (done_tx, done_rx) = crossbeam_channel::unbounded();
+        self.send(Cmd::Flush(done_tx));
+        let _ = done_rx.recv();
+    }
+
+    /// Test hook simulating `kill -9` mid-stream: the writer stops
+    /// without flushing, abandoning whatever was queued or buffered but
+    /// not yet fsynced. The durable prefix (= everything acknowledged)
+    /// survives on disk; recovery must reproduce exactly that.
+    pub fn kill(mut self) {
+        self.send(Cmd::Kill);
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        self.tx = None;
+    }
+}
+
+impl Drop for CommitPipeline {
+    /// Graceful shutdown: close the queue, let the writer drain and
+    /// fsync everything, then join it.
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+fn writer_loop(
+    rx: crossbeam_channel::Receiver<Cmd>,
+    mut log: Box<dyn DurableLog>,
+    mut snapshots: Box<dyn SnapshotStore>,
+    state: Arc<DurableState>,
+    config: PipelineConfig,
+) {
+    // Snapshots waiting for the fsync covering their height.
+    let mut queued_snapshots: Vec<ShardSnapshot> = Vec::new();
+    'outer: loop {
+        // Block for the first command, then greedily drain everything
+        // already queued — that whole batch shares one fsync. This is
+        // what batches appends across commit rounds: while the previous
+        // fsync was in flight, several rounds' blocks piled up here.
+        let first = match rx.recv() {
+            Ok(cmd) => cmd,
+            Err(_) => break 'outer, // handle dropped: final flush below
+        };
+        let mut appended_to: Option<u64> = None;
+        let mut barriers: Vec<crossbeam_channel::Sender<()>> = Vec::new();
+        let mut batch = vec![first];
+        while let Ok(cmd) = rx.try_recv() {
+            batch.push(cmd);
+        }
+        for cmd in batch {
+            match cmd {
+                Cmd::Append(block) => {
+                    let height = block.height;
+                    log.append_block(&block)
+                        .expect("pipelined WAL append failed");
+                    appended_to = Some(height);
+                }
+                Cmd::Snapshot(snapshot) => queued_snapshots.push(*snapshot),
+                Cmd::Flush(done) => barriers.push(done),
+                Cmd::Kill => {
+                    // Abandon un-fsynced state: leak the log so not even
+                    // its buffered bytes reach the OS (Drop would flush
+                    // them) — the on-disk prefix stays exactly as the
+                    // last covering fsync left it.
+                    std::mem::forget(log);
+                    return;
+                }
+            }
+        }
+        // One fsync covers every block drained above.
+        log.sync().expect("pipelined WAL fsync failed");
+        if let Some(height) = appended_to {
+            state.watermark.store(height + 1, Ordering::Release);
+        }
+        state.release_acks();
+
+        // Snapshots whose height the watermark now covers are safe to
+        // save; then the WAL below them is dead weight.
+        let watermark = state.watermark.load(Ordering::Acquire);
+        let mut saved_up_to: Option<u64> = None;
+        queued_snapshots.retain(|snapshot| {
+            if snapshot.height <= watermark {
+                snapshots
+                    .save(snapshot)
+                    .expect("pipelined snapshot save failed");
+                saved_up_to = Some(saved_up_to.map_or(snapshot.height, |h| h.max(snapshot.height)));
+                false
+            } else {
+                true
+            }
+        });
+        if config.prune_wal {
+            if let Some(height) = saved_up_to {
+                log.prune_below(height).expect("pipelined WAL prune failed");
+            }
+        }
+        for done in barriers {
+            let _ = done.send(());
+        }
+    }
+    // Graceful shutdown: everything submitted is already appended (the
+    // drain above runs to completion before the loop re-polls), so one
+    // final sync makes the full history durable.
+    log.sync().expect("final WAL fsync failed");
+    let watermark = log.block_count();
+    state.watermark.store(watermark, Ordering::Release);
+    state.release_acks();
+    for snapshot in queued_snapshots.drain(..) {
+        if snapshot.height <= watermark {
+            snapshots
+                .save(&snapshot)
+                .expect("final snapshot save failed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocklog::{MemoryBlockLog, WalBlockLog};
+    use crate::snapshot::MemorySnapshotStore;
+    use crate::testutil::TempDir;
+    use crate::wal::{SyncPolicy, WalConfig};
+    use fides_ledger::block::{BlockBuilder, Decision};
+    use fides_ledger::log::TamperProofLog;
+    use std::sync::atomic::AtomicUsize;
+
+    fn chain(n: u64) -> Vec<Block> {
+        let mut log = TamperProofLog::new();
+        for h in 0..n {
+            let block = BlockBuilder::new(h, log.tip_hash())
+                .decision(Decision::Commit)
+                .build_unsigned();
+            log.append(block).unwrap();
+        }
+        log.to_blocks()
+    }
+
+    fn pipelined_config() -> WalConfig {
+        WalConfig {
+            segment_bytes: 1 << 16,
+            sync: SyncPolicy::Pipelined,
+        }
+    }
+
+    #[test]
+    fn blocks_become_durable_and_acks_fire_in_order() {
+        let dir = TempDir::new("pipeline-order");
+        let (log, existing) = WalBlockLog::open(dir.path(), pipelined_config()).unwrap();
+        assert!(existing.is_empty());
+        let pipeline = CommitPipeline::new(
+            Box::new(log),
+            Box::new(MemorySnapshotStore::new()),
+            0,
+            PipelineConfig::default(),
+        );
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let blocks = chain(20);
+        // Register acks in scrambled order before submitting: they must
+        // still fire in height order.
+        for &h in &[5u64, 0, 12, 19, 3] {
+            let order = Arc::clone(&order);
+            pipeline.on_durable(h, Box::new(move || order.lock().unwrap().push(h)));
+        }
+        for block in &blocks {
+            pipeline.submit_block(block);
+        }
+        assert!(pipeline.wait_durable(19, Duration::from_secs(5)));
+        assert_eq!(pipeline.durable_height(), 20);
+        drop(pipeline);
+        assert_eq!(*order.lock().unwrap(), vec![0, 3, 5, 12, 19]);
+
+        // Everything survives a reopen.
+        let (_, replayed) = WalBlockLog::open(dir.path(), pipelined_config()).unwrap();
+        assert_eq!(replayed, blocks);
+    }
+
+    #[test]
+    fn ack_for_already_durable_height_runs_inline() {
+        let pipeline = CommitPipeline::new(
+            Box::new(MemoryBlockLog::new()),
+            Box::new(MemorySnapshotStore::new()),
+            0,
+            PipelineConfig::default(),
+        );
+        let blocks = chain(3);
+        for block in &blocks {
+            pipeline.submit_block(block);
+        }
+        assert!(pipeline.wait_durable(2, Duration::from_secs(5)));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        pipeline.on_durable(
+            1,
+            Box::new(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            1,
+            "inline ack for durable height"
+        );
+    }
+
+    #[test]
+    fn graceful_drop_flushes_everything() {
+        let dir = TempDir::new("pipeline-drop");
+        let blocks = chain(7);
+        {
+            let (log, _) = WalBlockLog::open(dir.path(), pipelined_config()).unwrap();
+            let pipeline = CommitPipeline::new(
+                Box::new(log),
+                Box::new(MemorySnapshotStore::new()),
+                0,
+                PipelineConfig::default(),
+            );
+            for block in &blocks {
+                pipeline.submit_block(block);
+            }
+            // Drop without waiting: shutdown must drain and fsync.
+        }
+        let (_, replayed) = WalBlockLog::open(dir.path(), pipelined_config()).unwrap();
+        assert_eq!(replayed, blocks);
+    }
+
+    #[test]
+    fn flush_is_a_barrier() {
+        let disk = MemoryBlockLog::new();
+        let pipeline = CommitPipeline::new(
+            Box::new(disk.handle()),
+            Box::new(MemorySnapshotStore::new()),
+            0,
+            PipelineConfig::default(),
+        );
+        for block in &chain(5) {
+            pipeline.submit_block(block);
+        }
+        pipeline.flush();
+        assert_eq!(pipeline.durable_height(), 5);
+        assert_eq!(disk.blocks().len(), 5);
+    }
+
+    #[test]
+    fn kill_preserves_only_the_acked_prefix() {
+        let dir = TempDir::new("pipeline-kill");
+        let blocks = chain(30);
+        let acked = Arc::new(AtomicU64::new(0));
+        {
+            let (log, _) = WalBlockLog::open(dir.path(), pipelined_config()).unwrap();
+            let pipeline = CommitPipeline::new(
+                Box::new(log),
+                Box::new(MemorySnapshotStore::new()),
+                0,
+                PipelineConfig::default(),
+            );
+            for block in &blocks[..20] {
+                pipeline.submit_block(block);
+                let acked = Arc::clone(&acked);
+                let h = block.height;
+                pipeline.on_durable(
+                    h,
+                    Box::new(move || {
+                        acked.fetch_max(h + 1, Ordering::SeqCst);
+                    }),
+                );
+            }
+            pipeline.flush();
+            // These blocks are submitted but never covered by an fsync
+            // before the kill — they may or may not survive; nothing
+            // acked them.
+            for block in &blocks[20..] {
+                pipeline.submit_block(block);
+            }
+            pipeline.kill();
+        }
+        let acked = acked.load(Ordering::SeqCst);
+        assert_eq!(acked, 20, "flush barrier acked exactly the prefix");
+        let (_, replayed) = WalBlockLog::open(dir.path(), pipelined_config()).unwrap();
+        assert!(
+            replayed.len() as u64 >= acked,
+            "acknowledged blocks survive the kill: {} < {acked}",
+            replayed.len()
+        );
+        assert_eq!(replayed, blocks[..replayed.len()].to_vec());
+    }
+
+    #[test]
+    fn snapshot_saved_only_after_covering_fsync_then_pruned() {
+        let dir = TempDir::new("pipeline-snap");
+        let wal_dir = dir.join("wal");
+        let blocks = chain(40);
+        let (log, _) = WalBlockLog::open(
+            &wal_dir,
+            WalConfig {
+                segment_bytes: 512, // force rotations so pruning can bite
+                sync: SyncPolicy::Pipelined,
+            },
+        )
+        .unwrap();
+        let snapshots = MemorySnapshotStore::new();
+        let snap_reader = snapshots.handle();
+        let pipeline = CommitPipeline::new(
+            Box::new(log),
+            Box::new(snapshots),
+            0,
+            PipelineConfig { prune_wal: true },
+        );
+        for block in &blocks[..32] {
+            pipeline.submit_block(block);
+        }
+        // Snapshot at height 32 (tip hash of block 31).
+        let shard = fides_store::AuthenticatedShard::new(vec![(
+            fides_store::Key::new("k"),
+            fides_store::Value::from_i64(1),
+        )]);
+        let snapshot =
+            ShardSnapshot::capture(&shard, 32, blocks[31].hash(), fides_store::Timestamp::ZERO);
+        pipeline.submit_snapshot(snapshot);
+        for block in &blocks[32..] {
+            pipeline.submit_block(block);
+        }
+        pipeline.flush();
+        assert_eq!(snap_reader.load_latest().unwrap().unwrap().height, 32);
+        drop(pipeline);
+
+        // The WAL was pruned below 32 — and still recovers with the
+        // snapshot via the suffix path.
+        let (_, surviving) = WalBlockLog::open(&wal_dir, pipelined_config()).unwrap();
+        assert!(surviving[0].height > 0, "prefix segments were pruned");
+        assert!(surviving[0].height <= 32);
+        let snapshot = snap_reader.load_latest().unwrap();
+        let recovered = crate::recovery::recover_ledger(surviving, snapshot, &[], false).unwrap();
+        assert_eq!(recovered.log.next_height(), 40);
+        assert_eq!(recovered.log.tip_hash(), blocks[39].hash());
+        assert_eq!(recovered.replay_from(), 32);
+        assert_eq!(recovered.replay_blocks().len(), 8);
+    }
+}

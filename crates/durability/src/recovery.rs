@@ -51,6 +51,20 @@ pub enum RecoveryError {
         /// The recovered log's length.
         log: u64,
     },
+    /// The WAL starts above height 0 (its prefix was pruned) but no
+    /// snapshot exists to vouch for the missing history.
+    PrunedWithoutSnapshot {
+        /// First height present in the WAL.
+        first: u64,
+    },
+    /// The WAL starts above the newest snapshot's height — blocks in
+    /// `[snapshot, first)` are gone from both the WAL and the snapshot.
+    PrunedAboveSnapshot {
+        /// The snapshot's height.
+        snapshot: u64,
+        /// First height present in the WAL.
+        first: u64,
+    },
     /// The snapshot's tip hash does not match the verified chain at its
     /// height — it checkpoints a different history.
     SnapshotUnlinked {
@@ -80,6 +94,16 @@ impl fmt::Display for RecoveryError {
             RecoveryError::SnapshotUnlinked { height } => write!(
                 f,
                 "refusing startup: snapshot at height {height} is not linked to the recovered chain"
+            ),
+            RecoveryError::PrunedWithoutSnapshot { first } => write!(
+                f,
+                "refusing startup: log starts at pruned height {first} but no snapshot covers \
+                 the missing prefix"
+            ),
+            RecoveryError::PrunedAboveSnapshot { snapshot, first } => write!(
+                f,
+                "refusing startup: log starts at pruned height {first}, above the newest \
+                 snapshot at height {snapshot} — blocks in between are unrecoverable"
             ),
         }
     }
@@ -125,6 +149,13 @@ impl RecoveredLedger {
     pub fn replay_from(&self) -> u64 {
         self.snapshot.as_ref().map_or(0, |s| s.height)
     }
+
+    /// The blocks above [`RecoveredLedger::replay_from`], correctly
+    /// offset for suffix logs (whose first block sits above height 0).
+    pub fn replay_blocks(&self) -> &[Block] {
+        let skip = self.replay_from().saturating_sub(self.log.base_height()) as usize;
+        &self.log.blocks()[skip.min(self.log.len())..]
+    }
 }
 
 /// Rebuilds and verifies a server's ledger from WAL blocks and an
@@ -144,7 +175,29 @@ pub fn recover_ledger(
     witness_keys: &[PublicKey],
     verify_cosign: bool,
 ) -> Result<RecoveredLedger, RecoveryError> {
-    let log = TamperProofLog::from_blocks(blocks).map_err(RecoveryError::BrokenChain)?;
+    let first = blocks.first().map_or(0, |b| b.height);
+    let log = if first == 0 {
+        TamperProofLog::from_blocks(blocks).map_err(RecoveryError::BrokenChain)?
+    } else {
+        // A WAL starting above height 0 had its prefix pruned below a
+        // snapshot. The suffix is only trustworthy when a snapshot
+        // vouches for the missing history: the chain is checked
+        // internally here, then **pinned** to the snapshot's
+        // checkpointed tip hash below. Tampering anywhere at or below
+        // the snapshot height breaks the pin; the pruned blocks
+        // themselves are vouched for by the (verified) snapshot image.
+        let Some(snap) = snapshot.as_ref() else {
+            return Err(RecoveryError::PrunedWithoutSnapshot { first });
+        };
+        if snap.height < first {
+            return Err(RecoveryError::PrunedAboveSnapshot {
+                snapshot: snap.height,
+                first,
+            });
+        }
+        let base_tip = blocks[0].prev_hash;
+        TamperProofLog::from_suffix(first, base_tip, blocks).map_err(RecoveryError::BrokenChain)?
+    };
     if verify_cosign {
         validate_chain(&log, witness_keys).map_err(RecoveryError::Tampered)?;
     }
@@ -152,17 +205,17 @@ pub fn recover_ledger(
     let snapshot = match snapshot {
         None => None,
         Some(snap) => {
-            if snap.height > log.len() as u64 {
+            if snap.height > log.next_height() {
                 return Err(RecoveryError::SnapshotAheadOfLog {
                     snapshot: snap.height,
-                    log: log.len() as u64,
+                    log: log.next_height(),
                 });
             }
-            let expected_tip = if snap.height == 0 {
-                fides_crypto::Digest::ZERO
+            let expected_tip = if snap.height == log.base_height() {
+                log.base_tip()
             } else {
                 log.get(snap.height - 1)
-                    .expect("height <= len checked above")
+                    .expect("base < height <= next_height checked above")
                     .hash()
             };
             if snap.tip_hash != expected_tip {

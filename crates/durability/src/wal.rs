@@ -55,6 +55,13 @@ pub enum SyncPolicy {
     /// Records accumulate until an explicit [`SegmentedWal::sync`] —
     /// the group-commit mode servers run in (one fsync per block).
     Batch,
+    /// Asynchronous group commit: appends are batched **across rounds**
+    /// by a dedicated writer thread (see
+    /// [`CommitPipeline`](crate::pipeline::CommitPipeline)) and commits
+    /// are acknowledged only after the covering fsync. At the WAL layer
+    /// this behaves exactly like [`SyncPolicy::Batch`] — the asynchrony
+    /// lives in the pipeline that owns the log.
+    Pipelined,
     /// Flush to the OS but never `fsync` (tests and benchmarks only;
     /// a power failure may lose acknowledged records).
     NoFsync,
@@ -155,8 +162,12 @@ impl std::error::Error for WalError {
 /// What [`SegmentedWal::open`] found on disk.
 #[derive(Debug)]
 pub struct WalOpenReport {
-    /// Every record payload, across all segments, in append order.
+    /// Every surviving record payload, in append order, starting at
+    /// WAL-wide index [`WalOpenReport::first_record`].
     pub records: Vec<Vec<u8>>,
+    /// WAL-wide index of `records[0]` — 0 for a never-pruned log,
+    /// higher when segments below a snapshot were pruned away.
+    pub first_record: u64,
     /// Number of segment files.
     pub segments: usize,
     /// `(first record index, path)` per segment, ascending — maps a
@@ -330,7 +341,10 @@ impl SegmentedWal {
         let mut records = Vec::new();
         let mut segment_starts = Vec::with_capacity(segments.len());
         let mut repaired_bytes = 0u64;
-        let mut record_base = 0u64;
+        // A pruned WAL legitimately starts above record 0; gaps between
+        // segments are still corruption.
+        let first_record = segments.first().map_or(0, |(first, _)| *first);
+        let mut record_base = first_record;
         let mut active: Option<(PathBuf, u64)> = None;
 
         for (i, (first, path)) in segments.iter().enumerate() {
@@ -412,6 +426,7 @@ impl SegmentedWal {
             wal,
             WalOpenReport {
                 records,
+                first_record,
                 segments: segments_found,
                 segment_starts,
                 repaired_bytes,
@@ -503,6 +518,57 @@ impl SegmentedWal {
         Ok(())
     }
 
+    /// Removes sealed segments whose records all lie **strictly below**
+    /// `record` — the bounded-disk half of checkpointing: once a shard
+    /// snapshot covers a prefix of the log, the WAL bytes for that
+    /// prefix are dead weight for recovery.
+    ///
+    /// The active segment is never pruned, so the WAL always remains
+    /// openable. When an `archive` hook is given, each evicted segment
+    /// is handed to it **before** the file leaves the WAL directory (an
+    /// auditor can then still request pruned history; see
+    /// [`DirArchive`]); without a hook the segment is deleted and the
+    /// disk stays bounded.
+    ///
+    /// Returns the `(first record, path)` of every pruned segment.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when a segment cannot be archived or removed;
+    /// already-pruned segments stay pruned (the operation is
+    /// re-runnable).
+    pub fn prune_segments_below(
+        &mut self,
+        record: u64,
+        mut archive: Option<&mut dyn SegmentArchive>,
+    ) -> Result<Vec<(u64, PathBuf)>, WalError> {
+        let segments = list_segments(&self.dir)?;
+        let mut pruned = Vec::new();
+        for pair in segments.windows(2) {
+            let (first, path) = &pair[0];
+            let (next_first, _) = &pair[1];
+            // Records of this segment span [first, next_first); all of
+            // them are below `record` iff next_first <= record. The
+            // active (last) segment never appears as pair[0].
+            if *next_first > record {
+                break;
+            }
+            if let Some(hook) = archive.as_deref_mut() {
+                hook.archive(*first, path)
+                    .map_err(|e| WalError::io(path, e))?;
+            }
+            // The hook may have moved the file already (DirArchive).
+            if path.exists() {
+                fs::remove_file(path).map_err(|e| WalError::io(path, e))?;
+            }
+            pruned.push((*first, path.clone()));
+        }
+        if !pruned.is_empty() {
+            sync_dir(&self.dir)?;
+        }
+        Ok(pruned)
+    }
+
     /// Seals the active segment and starts a new one.
     fn rotate(&mut self) -> Result<(), WalError> {
         // Seal: everything in the old segment becomes durable.
@@ -534,6 +600,119 @@ fn write_segment_header(file: &mut File, first_record: u64) -> std::io::Result<(
     file.write_all(SEGMENT_MAGIC)?;
     file.write_all(&WAL_VERSION.to_be_bytes())?;
     file.write_all(&first_record.to_be_bytes())
+}
+
+/// Reads a contiguous run of **sealed** segments — e.g. an archive
+/// directory's contents — into a [`WalOpenReport`]. Unlike
+/// [`SegmentedWal::open`] there is no repairable tail here: sealed
+/// segments were fsynced before rotation, so an incomplete record
+/// anywhere is corruption.
+///
+/// # Errors
+///
+/// [`WalError`] on I/O failure, a numbering gap, or any integrity
+/// violation.
+pub fn read_sealed_segments(segments: &[(u64, PathBuf)]) -> Result<WalOpenReport, WalError> {
+    let first_record = segments.first().map_or(0, |(first, _)| *first);
+    let mut record_base = first_record;
+    let mut records = Vec::new();
+    let mut segment_starts = Vec::with_capacity(segments.len());
+    for (first, path) in segments {
+        if *first != record_base {
+            return Err(WalError::BadHeader {
+                segment: path.clone(),
+                reason: "segment numbering has a gap or overlap",
+            });
+        }
+        segment_starts.push((*first, path.clone()));
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| WalError::io(path, e))?;
+        let scan = scan_segment(path, &bytes, record_base)?;
+        if let Some((_, at)) = scan.torn {
+            return Err(WalError::Corrupt {
+                segment: path.clone(),
+                offset: at,
+                record: record_base + scan.records.len() as u64,
+                reason: "incomplete record in sealed segment",
+            });
+        }
+        record_base += scan.records.len() as u64;
+        records.extend(scan.records);
+    }
+    Ok(WalOpenReport {
+        records,
+        first_record,
+        segments: segments.len(),
+        segment_starts,
+        repaired_bytes: 0,
+    })
+}
+
+/// Receives sealed segments evicted by
+/// [`SegmentedWal::prune_segments_below`] before they leave the WAL
+/// directory — the hook through which an auditor can still obtain
+/// pruned history.
+pub trait SegmentArchive: Send {
+    /// Takes custody of `segment` (whose first record is
+    /// `first_record`). The implementation may move the file; if it is
+    /// still present afterwards, the pruner deletes it.
+    fn archive(&mut self, first_record: u64, segment: &Path) -> std::io::Result<()>;
+}
+
+/// A [`SegmentArchive`] that moves pruned segments into a directory,
+/// preserving their names — recovery and audit tooling can read them
+/// back with the same scanner that reads live segments (see
+/// [`crate::blocklog::WalBlockLog::open_with_archive`]).
+#[derive(Debug)]
+pub struct DirArchive {
+    dir: PathBuf,
+}
+
+impl DirArchive {
+    /// Opens (creating if needed) the archive directory.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DirArchive, WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| WalError::io(&dir, e))?;
+        Ok(DirArchive { dir })
+    }
+
+    /// The archive directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Archived segments, ascending by first record — what an auditor
+    /// requests when it needs history below the live WAL.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when the directory cannot be listed.
+    pub fn segments(&self) -> Result<Vec<(u64, PathBuf)>, WalError> {
+        list_segments(&self.dir)
+    }
+}
+
+impl SegmentArchive for DirArchive {
+    fn archive(&mut self, _first_record: u64, segment: &Path) -> std::io::Result<()> {
+        let name = segment.file_name().expect("segment files have names");
+        let target = self.dir.join(name);
+        // Same filesystem in practice; fall back to copy+delete across
+        // devices.
+        match fs::rename(segment, &target) {
+            Ok(()) => {}
+            Err(_) => {
+                fs::copy(segment, &target)?;
+                fs::remove_file(segment)?;
+            }
+        }
+        File::open(&self.dir).and_then(|d| d.sync_all())
+    }
 }
 
 #[cfg(test)]
@@ -759,6 +938,84 @@ mod tests {
         assert_eq!(
             report.records,
             vec![b"".to_vec(), b"x".to_vec(), b"".to_vec()]
+        );
+    }
+
+    #[test]
+    fn prune_below_removes_sealed_segments_and_reopens() {
+        let dir = TempDir::new("wal-prune");
+        let data = payloads(40);
+        let (mut wal, _) = SegmentedWal::open(dir.path(), tiny_config()).unwrap();
+        for p in &data {
+            wal.append(p).unwrap();
+        }
+        wal.sync().unwrap();
+        let before = list_segments(dir.path()).unwrap();
+        assert!(before.len() >= 3, "tiny segments must rotate");
+
+        // Prune everything below record 20: only segments wholly below
+        // 20 go; the segment containing 20 stays.
+        let pruned = wal.prune_segments_below(20, None).unwrap();
+        assert!(!pruned.is_empty());
+        let after = list_segments(dir.path()).unwrap();
+        assert!(after.len() < before.len());
+        assert!(after[0].0 <= 20, "record 20 still readable");
+        drop(wal);
+
+        // Reopen: the suffix survives, indexed from its true base.
+        let (wal, report) = SegmentedWal::open(dir.path(), tiny_config()).unwrap();
+        assert_eq!(report.first_record, after[0].0);
+        assert_eq!(
+            report.records,
+            data[report.first_record as usize..].to_vec()
+        );
+        assert_eq!(wal.next_record(), 40);
+    }
+
+    #[test]
+    fn prune_never_touches_active_segment() {
+        let dir = TempDir::new("wal-prune-active");
+        let (mut wal, _) = SegmentedWal::open(dir.path(), tiny_config()).unwrap();
+        wal.append(b"only").unwrap();
+        wal.sync().unwrap();
+        assert!(wal.prune_segments_below(u64::MAX, None).unwrap().is_empty());
+        assert_eq!(list_segments(dir.path()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn prune_archives_segments_for_the_auditor() {
+        let dir = TempDir::new("wal-prune-archive");
+        let archive_dir = TempDir::new("wal-prune-archive-store");
+        let data = payloads(40);
+        let (mut wal, _) = SegmentedWal::open(dir.path(), tiny_config()).unwrap();
+        for p in &data {
+            wal.append(p).unwrap();
+        }
+        wal.sync().unwrap();
+        let mut archive = DirArchive::open(archive_dir.path()).unwrap();
+        let pruned = wal
+            .prune_segments_below(u64::MAX, Some(&mut archive))
+            .unwrap();
+        assert!(pruned.len() >= 2);
+
+        // The archived segments still scan cleanly: an auditor can read
+        // the pruned history back record by record.
+        let archived = archive.segments().unwrap();
+        assert_eq!(archived.len(), pruned.len());
+        let mut recovered = Vec::new();
+        for (first, path) in &archived {
+            let bytes = fs::read(path).unwrap();
+            let scan = scan_segment(path, &bytes, *first).unwrap();
+            assert!(scan.torn.is_none(), "sealed segments are complete");
+            recovered.extend(scan.records);
+        }
+        assert_eq!(recovered, data[..recovered.len()].to_vec());
+        // And the live WAL still opens over the suffix.
+        drop(wal);
+        let (_, report) = SegmentedWal::open(dir.path(), tiny_config()).unwrap();
+        assert_eq!(
+            report.records,
+            data[report.first_record as usize..].to_vec()
         );
     }
 

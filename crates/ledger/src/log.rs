@@ -88,12 +88,19 @@ impl std::error::Error for LogError {}
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TamperProofLog {
     blocks: Vec<Block>,
+    /// Height of `blocks[0]` — 0 for a full log; higher for a **suffix
+    /// log** recovered from a WAL whose prefix was pruned below a
+    /// snapshot (the snapshot vouches for the missing history).
+    base: u64,
+    /// The hash the block at `base` links to — [`Digest::ZERO`] for a
+    /// full log, the checkpointed tip hash for a suffix log.
+    base_tip: Digest,
 }
 
 impl TamperProofLog {
     /// Creates an empty log.
     pub fn new() -> Self {
-        TamperProofLog { blocks: Vec::new() }
+        TamperProofLog::default()
     }
 
     /// Builds a log from a sequence of blocks, enforcing the same
@@ -118,17 +125,60 @@ impl TamperProofLog {
         Ok(log)
     }
 
+    /// Builds a **suffix log**: a chain starting at height `base` whose
+    /// first block must link to `base_tip` — the shape recovery
+    /// produces when the WAL below a snapshot was pruned and no archive
+    /// holds the evicted segments. The same height-continuity and
+    /// hash-link invariants as [`TamperProofLog::from_blocks`] apply at
+    /// every position.
+    ///
+    /// # Errors
+    ///
+    /// The first [`LogError`] encountered, at the offending block.
+    pub fn from_suffix(base: u64, base_tip: Digest, blocks: Vec<Block>) -> Result<Self, LogError> {
+        let mut log = TamperProofLog {
+            blocks: Vec::new(),
+            base,
+            base_tip,
+        };
+        for block in blocks {
+            log.append(block)?;
+        }
+        Ok(log)
+    }
+
     /// Builds a log from pre-validated blocks without any checking (the
     /// auditor's canonical log reconstruction, where the blocks come
     /// from an already-validated log). Prefer
     /// [`TamperProofLog::from_blocks`] for untrusted sources.
     pub fn from_blocks_unchecked(blocks: Vec<Block>) -> Self {
-        TamperProofLog { blocks }
+        TamperProofLog {
+            blocks,
+            ..TamperProofLog::default()
+        }
     }
 
-    /// Number of blocks.
+    /// Number of blocks held (for a suffix log, the suffix length).
     pub fn len(&self) -> usize {
         self.blocks.len()
+    }
+
+    /// Height of the first held block (0 unless this is a suffix log).
+    pub fn base_height(&self) -> u64 {
+        self.base
+    }
+
+    /// The hash the first held block links to ([`Digest::ZERO`] unless
+    /// this is a suffix log).
+    pub fn base_tip(&self) -> Digest {
+        self.base_tip
+    }
+
+    /// The height the next appended block must carry — the log's tip
+    /// height. Unlike [`TamperProofLog::len`], this stays correct for
+    /// suffix logs.
+    pub fn next_height(&self) -> u64 {
+        self.base + self.blocks.len() as u64
     }
 
     /// Returns `true` for a block-less log.
@@ -139,12 +189,13 @@ impl TamperProofLog {
     /// The hash the next appended block must use as `prev_hash`
     /// ([`Digest::ZERO`] for an empty log).
     pub fn tip_hash(&self) -> Digest {
-        self.blocks.last().map_or(Digest::ZERO, |b| b.hash())
+        self.blocks.last().map_or(self.base_tip, |b| b.hash())
     }
 
     /// The block at `height`, if present.
     pub fn get(&self, height: u64) -> Option<&Block> {
-        self.blocks.get(height as usize)
+        let index = height.checked_sub(self.base)?;
+        self.blocks.get(index as usize)
     }
 
     /// All blocks as a slice, from genesis to tip.
@@ -176,7 +227,7 @@ impl TamperProofLog {
     /// [`LogError::WrongHeight`] or [`LogError::BrokenLink`] when the
     /// block does not extend this log.
     pub fn append(&mut self, block: Block) -> Result<(), LogError> {
-        let expected = self.blocks.len() as u64;
+        let expected = self.next_height();
         if block.height != expected {
             return Err(LogError::WrongHeight {
                 got: block.height,
@@ -198,7 +249,10 @@ impl TamperProofLog {
     /// Tamper with an arbitrary block in place (§4.4 (i)).
     #[doc(hidden)]
     pub fn tamper_block(&mut self, height: u64, mutate: impl FnOnce(&mut Block)) -> bool {
-        match self.blocks.get_mut(height as usize) {
+        let Some(index) = height.checked_sub(self.base) else {
+            return false;
+        };
+        match self.blocks.get_mut(index as usize) {
             Some(b) => {
                 mutate(b);
                 true
@@ -349,6 +403,45 @@ mod tests {
         let mut blocks = good.to_blocks();
         blocks.swap(0, 3);
         assert_eq!(TamperProofLog::from_blocks_unchecked(blocks).len(), 4);
+    }
+
+    #[test]
+    fn suffix_log_chains_from_base_tip() {
+        let full = chain(6);
+        let base = 4u64;
+        let base_tip = full.get(base - 1).unwrap().hash();
+        let tail: Vec<Block> = full.blocks()[base as usize..].to_vec();
+
+        let suffix = TamperProofLog::from_suffix(base, base_tip, tail.clone()).unwrap();
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix.base_height(), 4);
+        assert_eq!(suffix.next_height(), 6);
+        assert_eq!(suffix.tip_hash(), full.tip_hash());
+        assert_eq!(suffix.get(4).unwrap().height, 4);
+        assert!(suffix.get(0).is_none(), "pruned heights are absent");
+
+        // Appending continues at the true height.
+        let mut suffix = suffix;
+        let next = BlockBuilder::new(6, suffix.tip_hash())
+            .decision(Decision::Commit)
+            .build_unsigned();
+        suffix.append(next).unwrap();
+        assert_eq!(suffix.next_height(), 7);
+
+        // A suffix that does not link to the base tip is rejected.
+        assert_eq!(
+            TamperProofLog::from_suffix(base, Digest::new([9; 32]), tail),
+            Err(LogError::BrokenLink)
+        );
+    }
+
+    #[test]
+    fn empty_suffix_tip_is_base_tip() {
+        let tip = Digest::new([3; 32]);
+        let suffix = TamperProofLog::from_suffix(7, tip, Vec::new()).unwrap();
+        assert_eq!(suffix.tip_hash(), tip);
+        assert_eq!(suffix.next_height(), 7);
+        assert!(suffix.is_empty());
     }
 
     #[test]

@@ -16,7 +16,6 @@ use core::fmt;
 
 use fides_crypto::cosi;
 use fides_crypto::schnorr::PublicKey;
-use fides_crypto::Digest;
 
 use crate::log::TamperProofLog;
 
@@ -80,20 +79,25 @@ pub fn validate_chain(log: &TamperProofLog, witness_keys: &[PublicKey]) -> Resul
     // Structural pass: heights and hash pointers, plus the signing
     // bytes of every block that precedes the first structural fault
     // (only those blocks' signatures can influence the reported fault).
+    // A suffix log (recovered above a pruned WAL prefix) starts at its
+    // base height and links to the checkpointed base tip; a full log
+    // has base 0 and links to the zero digest.
+    let base = log.base_height();
     let mut structural: Option<ChainFault> = None;
     let mut records: Vec<Vec<u8>> = Vec::with_capacity(log.len());
-    let mut prev = Digest::ZERO;
+    let mut prev = log.base_tip();
     for (i, block) in log.iter().enumerate() {
-        if block.height != i as u64 {
+        let height = base + i as u64;
+        if block.height != height {
             structural = Some(ChainFault {
-                height: i as u64,
+                height,
                 kind: ChainFaultKind::BadHeight,
             });
             break;
         }
         if block.prev_hash != prev {
             structural = Some(ChainFault {
-                height: i as u64,
+                height,
                 kind: ChainFaultKind::BadHashLink,
             });
             break;
@@ -115,7 +119,7 @@ pub fn validate_chain(log: &TamperProofLog, witness_keys: &[PublicKey]) -> Resul
         for (i, (record, sig)) in items.iter().enumerate() {
             if !sig.verify(record, witness_keys) {
                 return Err(ChainFault {
-                    height: i as u64,
+                    height: base + i as u64,
                     kind: ChainFaultKind::BadCollectiveSignature,
                 });
             }
@@ -232,6 +236,7 @@ mod tests {
     use crate::block::{Block, BlockBuilder, Decision, ShardRoot};
     use fides_crypto::cosi::{self, Witness};
     use fides_crypto::schnorr::KeyPair;
+    use fides_crypto::Digest;
 
     /// Builds a properly co-signed chain of `n` blocks over `keys`.
     fn signed_chain(n: u64, keys: &[KeyPair]) -> TamperProofLog {

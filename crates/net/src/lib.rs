@@ -23,6 +23,6 @@ pub mod node;
 pub mod sim;
 pub mod transport;
 
-pub use message::Envelope;
+pub use message::{verify_envelopes, Envelope};
 pub use node::NodeId;
-pub use transport::{Endpoint, Network, NetworkConfig, NetworkStats, RecvError};
+pub use transport::{Endpoint, EndpointSender, Network, NetworkConfig, NetworkStats, RecvError};

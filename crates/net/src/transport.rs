@@ -298,61 +298,105 @@ pub struct Endpoint {
     scheduler_tx: Option<Sender<Scheduled>>,
 }
 
-impl Endpoint {
-    /// This endpoint's address.
+/// A send-only handle detached from an [`Endpoint`]'s inbox: any number
+/// of threads (e.g. a durability writer acknowledging commits) can send
+/// *as* the endpoint's node without competing for its received
+/// messages.
+#[derive(Clone)]
+pub struct EndpointSender {
+    node: NodeId,
+    shared: Arc<Shared>,
+    scheduler_tx: Option<Sender<Scheduled>>,
+}
+
+impl EndpointSender {
+    /// The node this sender transmits as.
     pub fn node(&self) -> NodeId {
         self.node
     }
 
     /// Sends an envelope; latency, drops and partitions apply.
     pub fn send(&self, envelope: Envelope) {
-        let shared = &self.shared;
-        shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        send_via(&self.shared, &self.scheduler_tx, envelope);
+    }
+}
+
+impl core::fmt::Debug for EndpointSender {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "EndpointSender({})", self.node)
+    }
+}
+
+/// The shared send path behind [`Endpoint::send`] and
+/// [`EndpointSender::send`].
+fn send_via(shared: &Arc<Shared>, scheduler_tx: &Option<Sender<Scheduled>>, envelope: Envelope) {
+    shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .bytes_sent
+        .fetch_add(envelope.payload_len() as u64, Ordering::Relaxed);
+
+    if shared
+        .partitions
+        .lock()
+        .contains(&(envelope.from, envelope.to))
+    {
         shared
             .stats
-            .bytes_sent
-            .fetch_add(envelope.payload_len() as u64, Ordering::Relaxed);
-
-        if shared
-            .partitions
-            .lock()
-            .contains(&(envelope.from, envelope.to))
-        {
+            .messages_dropped
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if shared.config.drop_probability > 0.0 {
+        let roll: f64 = shared.rng.lock().gen();
+        if roll < shared.config.drop_probability {
             shared
                 .stats
                 .messages_dropped
                 .fetch_add(1, Ordering::Relaxed);
             return;
         }
-        if shared.config.drop_probability > 0.0 {
-            let roll: f64 = shared.rng.lock().gen();
-            if roll < shared.config.drop_probability {
-                shared
-                    .stats
-                    .messages_dropped
-                    .fetch_add(1, Ordering::Relaxed);
-                return;
-            }
+    }
+    match scheduler_tx {
+        None => shared.deliver(envelope),
+        Some(tx) => {
+            let jitter = if shared.config.jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                let nanos = shared.config.jitter.as_nanos() as u64;
+                Duration::from_nanos(shared.rng.lock().gen_range(0..=nanos))
+            };
+            let item = Scheduled {
+                deliver_at: Instant::now() + shared.config.latency + jitter,
+                seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+                envelope,
+            };
+            // A disconnected scheduler means the network is shutting
+            // down; dropping the message models a dying link.
+            let _ = tx.send(item);
         }
-        match &self.scheduler_tx {
-            None => shared.deliver(envelope),
-            Some(tx) => {
-                let jitter = if shared.config.jitter.is_zero() {
-                    Duration::ZERO
-                } else {
-                    let nanos = shared.config.jitter.as_nanos() as u64;
-                    Duration::from_nanos(shared.rng.lock().gen_range(0..=nanos))
-                };
-                let item = Scheduled {
-                    deliver_at: Instant::now() + shared.config.latency + jitter,
-                    seq: shared.seq.fetch_add(1, Ordering::Relaxed),
-                    envelope,
-                };
-                // A disconnected scheduler means the network is shutting
-                // down; dropping the message models a dying link.
-                let _ = tx.send(item);
-            }
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// A send-only clone of this endpoint (shares the network, not the
+    /// inbox).
+    pub fn sender(&self) -> EndpointSender {
+        EndpointSender {
+            node: self.node,
+            shared: Arc::clone(&self.shared),
+            scheduler_tx: self.scheduler_tx.clone(),
         }
+    }
+
+    /// Sends an envelope; latency, drops and partitions apply.
+    pub fn send(&self, envelope: Envelope) {
+        send_via(&self.shared, &self.scheduler_tx, envelope);
     }
 
     /// Blocks until a message arrives.
@@ -379,6 +423,60 @@ impl Endpoint {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope> {
         self.rx.try_recv().ok()
+    }
+
+    /// Receives a **burst**: blocks (up to `deadline`) for the first
+    /// envelope, greedily drains whatever else is already queued (at
+    /// most `max_burst`), then authenticates the whole burst with one
+    /// batched signature check ([`crate::verify_envelopes`]) — falling
+    /// back per-envelope so only actual forgeries drop. Envelopes from
+    /// senders absent from `keys` are discarded (unauthenticated
+    /// messages are ignored). Returns the verified envelopes in arrival
+    /// order; retries internally until at least one survives or the
+    /// deadline passes.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] when nothing verifiable arrives in time,
+    /// [`RecvError::Disconnected`] when the network is gone.
+    pub fn recv_verified_burst(
+        &self,
+        deadline: Instant,
+        keys: &std::collections::HashMap<NodeId, fides_crypto::schnorr::PublicKey>,
+        max_burst: usize,
+    ) -> Result<Vec<Envelope>, RecvError> {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvError::Timeout);
+            }
+            let first = self.recv_timeout(deadline - now)?;
+            let mut burst = vec![first];
+            while burst.len() < max_burst {
+                match self.try_recv() {
+                    Some(env) => burst.push(env),
+                    None => break,
+                }
+            }
+            let known: Vec<(Envelope, fides_crypto::schnorr::PublicKey)> = burst
+                .into_iter()
+                .filter_map(|env| {
+                    let pk = *keys.get(&env.from)?;
+                    Some((env, pk))
+                })
+                .collect();
+            let refs: Vec<(&Envelope, &fides_crypto::schnorr::PublicKey)> =
+                known.iter().map(|(env, pk)| (env, pk)).collect();
+            let all_valid = crate::message::verify_envelopes(&refs);
+            let verified: Vec<Envelope> = known
+                .into_iter()
+                .filter(|(env, pk)| all_valid || env.verify(pk))
+                .map(|(env, _)| env)
+                .collect();
+            if !verified.is_empty() {
+                return Ok(verified);
+            }
+        }
     }
 }
 

@@ -1,0 +1,570 @@
+//! Offline shim for `rayon`: a small work-stealing thread pool.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the (tiny) slice of the rayon API the workspace leans on —
+//! [`scope`] for structured fork/join parallelism over borrowed data,
+//! [`parallel_map`] for order-preserving data parallelism, and [`join`]
+//! for two-way forks — backed by one process-wide pool of workers.
+//!
+//! # Design
+//!
+//! Every worker owns a local LIFO deque; spawns from inside a worker
+//! push locally, spawns from outside go to a shared injector queue.
+//! Idle workers drain their own deque first, then the injector, then
+//! **steal** (FIFO) from sibling deques, and only then park. Blocking
+//! on a [`scope`] never wastes the caller's thread: while waiting for
+//! its tasks the caller helps execute queued work, so nested scopes
+//! cannot deadlock the pool.
+//!
+//! Tasks spawned on a scope may borrow from the enclosing stack frame
+//! (`'scope` lifetime). This is sound for exactly the reason rayon's
+//! scopes are: the scope does not return — even by panic — until every
+//! spawned task has finished, so the borrows outlive the tasks. A
+//! panicking task aborts the scope with the first panic payload after
+//! all tasks complete.
+//!
+//! Pool size defaults to the machine's available parallelism
+//! (`FIDES_POOL_THREADS` overrides; a value of 1 degenerates to inline
+//! execution which keeps single-core CI deterministic).
+//!
+//! # Example
+//!
+//! ```
+//! let inputs: Vec<u64> = (0..100).collect();
+//! let squares = rayon::parallel_map(&inputs, |&x| x * x);
+//! assert_eq!(squares[7], 49);
+//!
+//! let mut left = 0u64;
+//! let mut right = 0u64;
+//! rayon::scope(|s| {
+//!     s.spawn(|| left = inputs[..50].iter().sum());
+//!     s.spawn(|| right = inputs[50..].iter().sum());
+//! });
+//! assert_eq!(left + right, inputs.iter().sum());
+//! ```
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// An erased, heap-allocated unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    /// The external submission queue (spawns from non-worker threads).
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker deques, stealable by index.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake coordination for idle workers.
+    idle: Condvar,
+    /// Guarded by `injector`'s mutex conceptually; tracked separately so
+    /// wakes are cheap: number of queued-but-unclaimed jobs.
+    pending: AtomicUsize,
+    /// Set to `true` when the pool is shutting down (process exit).
+    shutdown: AtomicUsize,
+}
+
+thread_local! {
+    /// The worker index of the current thread, if it is a pool worker.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// A work-stealing thread pool.
+///
+/// Most callers use the process-wide [`global`] pool through the free
+/// functions; dedicated pools exist for tests and for callers that need
+/// an exact width.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `n_threads` workers (minimum 1).
+    pub fn new(n_threads: usize) -> ThreadPool {
+        let n_threads = n_threads.max(1);
+        let shared = Arc::new(PoolShared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..n_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            idle: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicUsize::new(0),
+        });
+        for index in 0..n_threads {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("fides-pool-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("spawn pool worker");
+        }
+        ThreadPool { shared, n_threads }
+    }
+
+    /// Number of worker threads.
+    pub fn current_num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Runs `f`, allowing it to spawn borrowed tasks on this pool; does
+    /// not return until every spawned task has completed.
+    ///
+    /// Panics from tasks are re-raised here (first payload wins), after
+    /// all tasks finish — borrows stay valid through the unwind.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope, '_>) -> R,
+    {
+        let latch = Arc::new(Latch::new());
+        let scope = Scope {
+            pool: self,
+            latch: Arc::clone(&latch),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help run queued work until every spawned task has finished —
+        // including when `f` itself panicked, because tasks may borrow
+        // the frame we are about to unwind.
+        while !latch.done() {
+            match self.shared.try_pop() {
+                Some(job) => job(),
+                None => latch.wait_briefly(),
+            }
+        }
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Applies `f` to every element of `items` in parallel, preserving
+    /// order. Falls back to inline iteration for tiny inputs or a
+    /// single-threaded pool.
+    pub fn parallel_map<'a, T, R, F>(&self, items: &'a [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        if items.len() <= 1 || self.n_threads == 1 {
+            return items.iter().map(f).collect();
+        }
+        let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        results.resize_with(items.len(), || None);
+        // Oversubscribe chunks a little so stealing can balance load.
+        let chunk = items.len().div_ceil(self.n_threads * 4).max(1);
+        self.scope(|s| {
+            for (inputs, outputs) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                let f = &f;
+                s.spawn(move || {
+                    for (input, output) in inputs.iter().zip(outputs.iter_mut()) {
+                        *output = Some(f(input));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("scope completed every chunk"))
+            .collect()
+    }
+
+    /// Runs the two closures potentially in parallel, returning both
+    /// results; `a` runs on the calling thread.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb: Option<RB> = None;
+        let ra = self.scope(|s| {
+            s.spawn(|| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("scope completed the spawned half"))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(1, Ordering::Release);
+        self.shared.idle.notify_all();
+    }
+}
+
+impl PoolShared {
+    /// Queues an erased job: locally when called from a worker, on the
+    /// injector otherwise.
+    fn push_job(&self, job: Job) {
+        let local = WORKER_INDEX.with(|w| w.get());
+        match local {
+            Some(index) if index < self.locals.len() => {
+                self.locals[index]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(job);
+            }
+            _ => {
+                self.injector
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push_back(job);
+            }
+        }
+        self.pending.fetch_add(1, Ordering::Release);
+        self.idle.notify_one();
+    }
+
+    /// Pops one queued job from anywhere: the caller's local deque
+    /// (LIFO), the injector, or a sibling's deque (steal, FIFO).
+    fn try_pop(&self) -> Option<Job> {
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let local = WORKER_INDEX.with(|w| w.get());
+        if let Some(index) = local {
+            if let Some(job) = self.locals[index]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            self.pending.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        // Steal: scan siblings starting after our own index so
+        // contending thieves spread out.
+        let start = local.map_or(0, |i| i + 1);
+        let n = self.locals.len();
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == local {
+                continue;
+            }
+            if let Some(job) = self.locals[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                self.pending.fetch_sub(1, Ordering::AcqRel);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// The completion latch of one [`ThreadPool::scope`] call.
+struct Latch {
+    /// Tasks spawned and not yet finished.
+    outstanding: AtomicUsize,
+    /// First panic payload from a task, if any.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Wakes the scope owner when `outstanding` hits zero.
+    done_cv: Condvar,
+    done_mx: Mutex<()>,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            outstanding: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_cv: Condvar::new(),
+            done_mx: Mutex::new(()),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.outstanding.load(Ordering::Acquire) == 0
+    }
+
+    fn task_finished(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done_mx.lock().unwrap_or_else(|e| e.into_inner());
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Parks the scope owner for a short beat (re-checked in a loop; the
+    /// timeout covers the race where the last task finishes between the
+    /// `done` check and the wait).
+    fn wait_briefly(&self) {
+        let guard = self.done_mx.lock().unwrap_or_else(|e| e.into_inner());
+        if !self.done() {
+            let _ = self
+                .done_cv
+                .wait_timeout(guard, Duration::from_micros(200))
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+/// A fork/join scope handed to the closure of [`ThreadPool::scope`].
+///
+/// Spawned tasks may borrow anything that outlives `'scope`.
+pub struct Scope<'scope, 'pool> {
+    pool: &'pool ThreadPool,
+    latch: Arc<Latch>,
+    /// Invariant over `'scope` (the rayon trick): tasks cannot borrow
+    /// data that lives shorter than the scope.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawns a task on the pool. The task may borrow from the frame
+    /// enclosing the scope; the scope blocks until it completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.outstanding.fetch_add(1, Ordering::AcqRel);
+        let latch = Arc::clone(&self.latch);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the scope (and thus every borrow in `task`) outlives
+        // the job: `ThreadPool::scope` does not return, even on panic,
+        // until the latch counts this task as finished — and the latch
+        // is decremented only after the closure has run to completion
+        // or unwound.
+        let task: Job = unsafe { std::mem::transmute(task) };
+        let job: Job = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(task));
+            if let Err(payload) = result {
+                latch.record_panic(payload);
+            }
+            latch.task_finished();
+        });
+        self.pool.shared.push_job(job);
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) != 0 {
+            return;
+        }
+        match shared.try_pop() {
+            Some(job) => job(),
+            None => {
+                // Park until a push notifies us (timeout bounds the
+                // lost-wakeup race window).
+                let guard = shared.injector.lock().unwrap_or_else(|e| e.into_inner());
+                if shared.pending.load(Ordering::Acquire) == 0 {
+                    let _ = shared
+                        .idle
+                        .wait_timeout(guard, Duration::from_millis(10))
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+/// The process-wide pool, created on first use.
+///
+/// Width = `FIDES_POOL_THREADS` if set, else the machine's available
+/// parallelism.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let n = std::env::var("FIDES_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            });
+        ThreadPool::new(n)
+    })
+}
+
+/// [`ThreadPool::scope`] on the [`global`] pool.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope, '_>) -> R,
+{
+    global().scope(f)
+}
+
+/// [`ThreadPool::parallel_map`] on the [`global`] pool.
+pub fn parallel_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    global().parallel_map(items, f)
+}
+
+/// [`ThreadPool::join`] on the [`global`] pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    global().join(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let inputs: Vec<u64> = (0..1000).collect();
+        let out = pool.parallel_map(&inputs, |&x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_runs_borrowed_tasks() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<u64> = (0..128).collect();
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(16) {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn scope_waits_for_slow_tasks() {
+        let pool = ThreadPool::new(2);
+        let mut wrote = false;
+        pool.scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                wrote = true;
+            });
+        });
+        assert!(wrote, "scope returned before its task finished");
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let total = AtomicU64::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let pool2 = Arc::clone(&pool);
+                let total = &total;
+                outer.spawn(move || {
+                    pool2.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_completion() {
+        let pool = ThreadPool::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let finished = Arc::clone(&finished);
+                s.spawn(move || {
+                    std::thread::sleep(Duration::from_millis(10));
+                    finished.fetch_add(1, Ordering::Relaxed);
+                });
+                s.spawn(|| panic!("task boom"));
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate out of the scope");
+        assert_eq!(
+            finished.load(Ordering::Relaxed),
+            1,
+            "sibling tasks run to completion before the scope unwinds"
+        );
+    }
+
+    #[test]
+    fn join_returns_both_halves() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 2 + 2, || "forty".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "forty");
+    }
+
+    #[test]
+    fn single_thread_pool_is_inline_for_map() {
+        let pool = ThreadPool::new(1);
+        let inputs = vec![1u32, 2, 3];
+        assert_eq!(pool.parallel_map(&inputs, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn global_pool_works() {
+        let inputs: Vec<u32> = (0..64).collect();
+        let out = parallel_map(&inputs, |&x| x ^ 1);
+        assert_eq!(out.len(), 64);
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!(a + b, 3);
+    }
+
+    #[test]
+    fn many_concurrent_scopes() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let items: Vec<u64> = (0..256).map(|i| i + t).collect();
+                let out = pool.parallel_map(&items, |&x| x * x);
+                out.iter().sum::<u64>()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -161,25 +161,18 @@ impl AuthenticatedShard {
             }
             return tree.root();
         }
-        // Fast path: batch-update in place, capture the root, revert.
-        // `update_leaves` recomputes each shared internal node once per
-        // direction instead of once per leaf.
+        // Fast path: a single overlay pass over the immutable tree —
+        // no apply, no revert, and by construction "the datastore is
+        // unaffected if Ti eventually aborts" (§4.3.1).
         let start = Instant::now();
-        let mut saved: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
-        let mut updates: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
-        for (key, value) in writes {
-            let (idx, _) = self.index[key];
-            saved.push((idx, self.tree.leaf(idx)));
-            updates.push((idx, leaf_digest(key, value)));
-        }
-        let mut nodes = self.tree.update_leaves(&updates) as u64;
-        let root = self.tree.root();
-        // `saved` holds the pre-update digest per write (duplicate keys
-        // repeat the same original), so replaying it restores the tree.
-        nodes += self.tree.update_leaves(&saved) as u64;
+        let updates: Vec<(usize, Digest)> = writes
+            .iter()
+            .map(|(key, value)| (self.index[key].0, leaf_digest(key, value)))
+            .collect();
+        let (root, nodes) = self.tree.root_with_updates(&updates);
         self.stats.absorb(MhtUpdateStats {
-            leaf_updates: 2 * writes.len() as u64,
-            nodes_recomputed: nodes,
+            leaf_updates: writes.len() as u64,
+            nodes_recomputed: nodes as u64,
             elapsed: start.elapsed(),
         });
         root
@@ -216,7 +209,7 @@ impl AuthenticatedShard {
             }
             leaf_updates += 1;
         }
-        nodes += self.tree.update_leaves(&updates) as u64;
+        nodes += self.tree.update_leaves_parallel(&updates) as u64;
         let call_stats = MhtUpdateStats {
             leaf_updates,
             nodes_recomputed: nodes,

@@ -59,11 +59,10 @@ fn run_case(name: &str, faulty_server: u32, behavior: Behavior, expect_anomaly: 
         // Protocol-level evidence at the servers:
         for s in 0..3 {
             let state = cluster.server_state(s);
-            let st = state.lock();
-            for (height, refusal) in &st.refusals {
+            for (height, refusal) in state.refusals() {
                 println!("  => server {s} refused block {height}: {refusal}");
             }
-            for (height, culprits) in &st.cosi_culprits {
+            for (height, culprits) in state.cosi_culprits() {
                 println!(
                     "  => coordinator identified CoSi culprit(s) {culprits:?} at block {height}"
                 );

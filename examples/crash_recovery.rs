@@ -34,8 +34,8 @@ fn main() {
     cluster.settle(Duration::from_secs(5)).expect("converged");
     let state = cluster.server_state(0);
     let (len, tip, root) = {
-        let st = state.lock();
-        (st.log.len(), st.log.tip_hash(), st.shard.root())
+        let log = state.log();
+        (log.len(), log.tip_hash(), state.with_shard(|s| s.root()))
     };
     println!("before crash: {len} blocks, tip {tip}, shard-0 root {root}");
     drop(state);
@@ -49,8 +49,8 @@ fn main() {
     let cluster = FidesCluster::start(config());
     let state = cluster.server_state(0);
     let (len2, tip2, root2) = {
-        let st = state.lock();
-        (st.log.len(), st.log.tip_hash(), st.shard.root())
+        let log = state.log();
+        (log.len(), log.tip_hash(), state.with_shard(|s| s.root()))
     };
     println!("after restart: {len2} blocks, tip {tip2}, shard-0 root {root2}");
     assert_eq!((len, tip, root), (len2, tip2, root2));

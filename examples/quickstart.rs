@@ -44,9 +44,9 @@ fn main() {
     // --- The tamper-proof log ----------------------------------------
     let state = cluster.server_state(1);
     {
-        let st = state.lock();
-        println!("\nserver 1's log ({} blocks):", st.log.len());
-        for block in st.log.iter() {
+        let log = state.log();
+        println!("\nserver 1's log ({} blocks):", log.len());
+        for block in log.iter() {
             println!(
                 "  block {}: {} txn(s), decision={}, prev={}, roots from {:?}",
                 block.height,

@@ -134,8 +134,7 @@ fn logs_identical_across_servers() {
     cluster.settle(Duration::from_secs(2)).expect("converges");
     let reference: Vec<_> = cluster
         .server_state(0)
-        .lock()
-        .log
+        .log()
         .iter()
         .map(|b| b.hash())
         .collect();
@@ -143,8 +142,7 @@ fn logs_identical_across_servers() {
     for s in 1..4 {
         let hashes: Vec<_> = cluster
             .server_state(s)
-            .lock()
-            .log
+            .log()
             .iter()
             .map(|b| b.hash())
             .collect();
@@ -166,11 +164,11 @@ fn multi_versioned_store_preserves_history() {
     }
     cluster.settle(Duration::from_secs(2));
     let state = cluster.server_state(0);
-    let st = state.lock();
-    // Initial version + 3 committed versions.
-    assert_eq!(st.shard.store().version_count(&key), 4);
-    // The latest value reflects all increments.
-    assert_eq!(st.shard.read(&key).unwrap().value.as_i64(), Some(130));
-    drop(st);
+    state.with_shard(|shard| {
+        // Initial version + 3 committed versions.
+        assert_eq!(shard.store().version_count(&key), 4);
+        // The latest value reflects all increments.
+        assert_eq!(shard.read(&key).unwrap().value.as_i64(), Some(130));
+    });
     cluster.shutdown();
 }

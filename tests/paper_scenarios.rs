@@ -193,13 +193,12 @@ fn recovery_by_rollback_to_sanitized_version() {
     cluster.settle(std::time::Duration::from_secs(2));
 
     let state = cluster.server_state(0);
-    {
-        let mut st = state.lock();
-        assert_eq!(st.shard.read(&key).unwrap().value.as_i64(), Some(130));
+    state.with_shard_mut(|shard| {
+        assert_eq!(shard.read(&key).unwrap().value.as_i64(), Some(130));
         // Roll back to the first committed version.
-        st.shard.store_mut().rollback_to(commit_ts[0]);
-        assert_eq!(st.shard.read(&key).unwrap().value.as_i64(), Some(110));
-        assert_eq!(st.shard.store().version_count(&key), 2); // initial + first
-    }
+        shard.store_mut().rollback_to(commit_ts[0]);
+        assert_eq!(shard.read(&key).unwrap().value.as_i64(), Some(110));
+        assert_eq!(shard.store().version_count(&key), 2); // initial + first
+    });
     cluster.shutdown();
 }
