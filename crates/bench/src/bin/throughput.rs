@@ -42,6 +42,11 @@ struct Args {
     inflight: usize,
     /// Coordinator batch-formation window.
     flush: Duration,
+    /// Fault injection: after this many seconds, kill a non-coordinator
+    /// server (`kill -9` semantics: durability torn, thread gone),
+    /// restart it over its surviving disk, and measure the repair
+    /// plane's rejoin latency plus post-rejoin throughput.
+    kill_restart: Option<Duration>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,7 +78,8 @@ fn usage() -> ! {
         "usage: throughput [--servers N] [--clients N] [--duration SECS] [--batch N]\n\
          \x20                 [--items N] [--policy none|batch|pipelined|nofsync]\n\
          \x20                 [--zipf THETA] [--snapshot-interval N] [--dir PATH]\n\
-         \x20                 [--inflight D] [--label NAME] [--json] [--check-baseline FILE]"
+         \x20                 [--inflight D] [--kill-restart SECS] [--label NAME] [--json]\n\
+         \x20                 [--check-baseline FILE]"
     );
     std::process::exit(2);
 }
@@ -94,6 +100,7 @@ fn parse_args() -> Args {
         check_baseline: None,
         inflight: 8,
         flush: Duration::from_millis(10),
+        kill_restart: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -134,6 +141,11 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage())
                     .max(1)
             }
+            "--kill-restart" => {
+                args.kill_restart = Some(Duration::from_secs_f64(
+                    value(&mut it).parse().unwrap_or_else(|_| usage()),
+                ))
+            }
             "--label" => args.label = value(&mut it),
             "--json" => args.json = true,
             "--check-baseline" => args.check_baseline = Some(value(&mut it)),
@@ -155,6 +167,19 @@ struct RunResult {
     rounds: u64,
     /// Mean coordinator round time (the in-protocol cost per block).
     round_ms: f64,
+    /// Fault-injection results (`--kill-restart`): the killed server
+    /// and how long the repair plane took to rejoin it (restart →
+    /// repaired-at-tip), plus the throughput measured after rejoin.
+    repair: Option<RepairResult>,
+}
+
+#[derive(Debug)]
+struct RepairResult {
+    victim: u32,
+    /// restart → verified rejoin at the fleet tip.
+    repair_ms: f64,
+    /// Committed txns/s over the post-rejoin window.
+    post_rejoin_txns_per_sec: f64,
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -172,6 +197,18 @@ fn run(args: &Args) -> RunResult {
         .protocol(CommitProtocol::TfCommit)
         .max_clients(args.clients)
         .flush_interval(args.flush);
+    if args.kill_restart.is_some() {
+        if args.policy == Policy::None {
+            eprintln!(
+                "--kill-restart requires a persistent --policy (the victim restarts from disk)"
+            );
+            std::process::exit(2);
+        }
+        // While the victim is dead every round stalls on its missing
+        // vote; a short phase timeout keeps the dead window readable
+        // instead of multiplying it by 5 s per round.
+        config = config.round_timeout(Duration::from_millis(300));
+    }
 
     // Durability: a scratch directory per run unless --dir pins one.
     let scratch;
@@ -199,13 +236,19 @@ fn run(args: &Args) -> RunResult {
         );
     }
 
-    let cluster = FidesCluster::start(config);
+    let mut cluster = FidesCluster::start(config);
     let deadline = Instant::now() + args.duration;
     let start = Instant::now();
 
     let mut handles = Vec::new();
     for c in 0..args.clients {
         let mut client = cluster.client(c);
+        if args.kill_restart.is_some() {
+            // Reads sent to the dead server must fail fast so the
+            // closed loop keeps probing and recovers promptly at
+            // rejoin, instead of sleeping through 10 s timeouts.
+            client.set_op_timeout(Duration::from_millis(500));
+        }
         let workload = WorkloadConfig::paper_default(args.servers, args.items_per_shard)
             .seed(0x5EED_0000 + c as u64);
         let workload = match args.zipf {
@@ -307,6 +350,29 @@ fn run(args: &Args) -> RunResult {
         }));
     }
 
+    // Fault injection: kill a non-coordinator mid-run, restart it, and
+    // time the repair plane's verified rejoin while the clients keep
+    // hammering the cluster.
+    let mut repair_marker: Option<(u32, f64, Instant, u64)> = None;
+    if let Some(kill_after) = args.kill_restart {
+        let victim = args.servers - 1;
+        let kill_at = start + kill_after;
+        let now = Instant::now();
+        if kill_at > now {
+            std::thread::sleep(kill_at - now);
+        }
+        cluster.crash_server(victim);
+        // A beat of downtime so the kill is observable as a dip.
+        std::thread::sleep(Duration::from_millis(200));
+        let restart_at = Instant::now();
+        cluster.restart_server(victim).expect("victim restart");
+        let rejoined = cluster.await_rejoin(victim, Duration::from_secs(30));
+        assert!(rejoined, "victim failed to rejoin within 30 s");
+        let repair_ms = restart_at.elapsed().as_secs_f64() * 1e3;
+        let committed_at_rejoin = cluster.round_stats().committed_txns;
+        repair_marker = Some((victim, repair_ms, Instant::now(), committed_at_rejoin));
+    }
+
     let mut committed = 0usize;
     let mut aborted = 0usize;
     let mut latencies_ms: Vec<f64> = Vec::new();
@@ -317,9 +383,27 @@ fn run(args: &Args) -> RunResult {
         latencies_ms.extend(l);
     }
     let elapsed = start.elapsed();
+    // Snapshot the commit counter *before* the flush/settle drain so
+    // the post-rejoin rate's numerator and denominator cover the same
+    // interval (client start → client join).
+    let rounds_at_join = cluster.round_stats();
     cluster.flush();
     let blocks = cluster.settle(Duration::from_secs(10)).unwrap_or(0);
     let rounds = cluster.round_stats();
+    let repair = repair_marker.map(|(victim, repair_ms, rejoined_at, committed_at_rejoin)| {
+        let window = elapsed
+            .saturating_sub(rejoined_at.duration_since(start))
+            .as_secs_f64()
+            .max(1e-6);
+        let post = rounds_at_join
+            .committed_txns
+            .saturating_sub(committed_at_rejoin);
+        RepairResult {
+            victim,
+            repair_ms,
+            post_rejoin_txns_per_sec: post as f64 / window,
+        }
+    });
     cluster.shutdown();
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -337,16 +421,27 @@ fn run(args: &Args) -> RunResult {
         } else {
             f64::NAN
         },
+        repair,
     }
 }
 
 fn emit_json(args: &Args, r: &RunResult) -> String {
+    let repair = r.repair.as_ref().map_or(String::new(), |rep| {
+        format!(
+            ",\n  \"kill_restart_s\": {:.3},\n  \"victim\": {},\n  \"repair_ms\": {:.3},\n  \
+             \"post_rejoin_txns_per_sec\": {:.1}",
+            args.kill_restart.unwrap_or_default().as_secs_f64(),
+            rep.victim,
+            rep.repair_ms,
+            rep.post_rejoin_txns_per_sec,
+        )
+    });
     format!(
         "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \"batch\": {},\n  \
          \"items_per_shard\": {},\n  \"policy\": \"{}\",\n  \"duration_s\": {:.3},\n  \
          \"committed\": {},\n  \"aborted\": {},\n  \"txns_per_sec\": {:.1},\n  \
          \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"blocks\": {},\n  \
-         \"rounds\": {},\n  \"round_ms\": {:.3}\n}}",
+         \"rounds\": {},\n  \"round_ms\": {:.3}{repair}\n}}",
         args.label,
         args.servers,
         args.clients,
@@ -401,6 +496,12 @@ fn main() {
             result.rounds,
             result.round_ms,
         );
+        if let Some(repair) = &result.repair {
+            println!(
+                "kill-restart: server {} repaired in {:.1} ms, post-rejoin {:.0} txns/s",
+                repair.victim, repair.repair_ms, repair.post_rejoin_txns_per_sec,
+            );
+        }
     }
 
     if let Some(path) = &args.check_baseline {

@@ -29,6 +29,7 @@ use core::fmt;
 use std::collections::{HashMap, HashSet};
 
 use fides_crypto::schnorr::PublicKey;
+use fides_durability::ShardSnapshot;
 use fides_ledger::block::{Block, Decision, TxnRecord};
 use fides_ledger::log::TamperProofLog;
 use fides_ledger::validate::{select_canonical_log, ChainFault, LogAssessment};
@@ -37,6 +38,7 @@ use fides_store::types::{ItemState, Key, Timestamp, Value};
 
 use crate::occ::{self, Conflict};
 use crate::partition::Partitioner;
+use crate::repair::RepairFault;
 
 /// What the auditor found.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +98,22 @@ pub enum ViolationKind {
         /// The block's decision.
         decision: Decision,
     },
+    /// A repair peer served a state-transfer payload that failed the
+    /// repairer's verification (tampered suffix, forged checkpoint) —
+    /// evidence collected by the repairing server and surrendered with
+    /// the audit.
+    TamperedTransfer {
+        /// What the repairer's verification caught.
+        fault: RepairFault,
+    },
+    /// A surrendered checkpoint does not bind to the canonical chain
+    /// (wrong tip hash, impossible height, or a payload that cannot
+    /// reproduce its recorded root) — the server's shard cannot seed
+    /// the suffix replay and its reads go unaudited below the tip.
+    BadCheckpoint {
+        /// The checkpoint's claimed height.
+        height: u64,
+    },
 }
 
 impl fmt::Display for ViolationKind {
@@ -126,6 +144,15 @@ impl fmt::Display for ViolationKind {
             }
             ViolationKind::InconsistentRoots { decision } => {
                 write!(f, "inconsistent root set for a {decision} block")
+            }
+            ViolationKind::TamperedTransfer { fault } => {
+                write!(f, "served a refused repair transfer ({fault})")
+            }
+            ViolationKind::BadCheckpoint { height } => {
+                write!(
+                    f,
+                    "surrendered checkpoint at height {height} does not bind to the chain"
+                )
             }
         }
     }
@@ -161,8 +188,16 @@ pub struct AuditReport {
     pub violations: Vec<Violation>,
     /// Length of the canonical log used for replay.
     pub canonical_len: usize,
+    /// Base height of the canonical log (0 unless every server
+    /// surrendered a pruned suffix; then replay was seeded from the
+    /// surrendered checkpoints).
+    pub canonical_base: u64,
     /// Number of committed blocks replayed.
     pub blocks_replayed: usize,
+    /// Servers whose logs stop short because they are **repairing**
+    /// within the grace deadline — lagging, not faulty, so no
+    /// incomplete-log violation is raised against them.
+    pub lagging: Vec<u32>,
 }
 
 impl AuditReport {
@@ -214,6 +249,25 @@ pub struct AuditInput {
     /// Per-server datastore snapshots (the auditor probes these for
     /// verification objects; a corrupted store yields failing proofs).
     pub shards: Vec<AuthenticatedShard>,
+    /// Per-server newest persisted checkpoints. Only consulted when
+    /// the canonical log is a *suffix* (every server pruned its WAL
+    /// below a snapshot): each checkpoint is bound to the canonical
+    /// chain (height + tip hash + root re-computation, the PR 2
+    /// snapshot-binding machinery) and then seeds the replay state for
+    /// that server's shard.
+    pub checkpoints: Vec<Option<ShardSnapshot>>,
+}
+
+impl AuditInput {
+    /// An input without surrendered checkpoints (full-log audits).
+    pub fn new(logs: Vec<TamperProofLog>, shards: Vec<AuthenticatedShard>) -> Self {
+        let checkpoints = vec![None; logs.len()];
+        AuditInput {
+            logs,
+            shards,
+            checkpoints,
+        }
+    }
 }
 
 /// The offline auditor.
@@ -227,6 +281,10 @@ pub struct Auditor {
     /// Verify collective signatures (disabled when auditing a 2PC
     /// cluster, which has none).
     verify_cosign: bool,
+    /// Servers known to be mid-repair (within the grace deadline):
+    /// their short logs are lagging, not omission faults, and their
+    /// stale shards are not probed for verification objects.
+    lagging: HashSet<u32>,
 }
 
 impl Auditor {
@@ -241,6 +299,7 @@ impl Auditor {
             server_pks,
             initial,
             verify_cosign: true,
+            lagging: HashSet::new(),
         }
     }
 
@@ -250,9 +309,16 @@ impl Auditor {
         self
     }
 
+    /// Marks servers as repairing-within-grace: lagging, not faulty.
+    pub fn with_lagging(mut self, lagging: HashSet<u32>) -> Self {
+        self.lagging = lagging;
+        self
+    }
+
     /// Runs the complete audit.
     pub fn audit(&self, input: &AuditInput) -> AuditReport {
         let mut violations = Vec::new();
+        let mut lagging_report = Vec::new();
 
         // ---- Step 1: log gathering and selection (Lemmas 6–7). -------
         let canonical = if self.verify_cosign {
@@ -262,14 +328,21 @@ impl Auditor {
                 match assessment {
                     LogAssessment::Complete => {}
                     LogAssessment::Incomplete { len, canonical_len } => {
-                        violations.push(Violation {
-                            server: Some(server),
-                            height: Some(*len as u64),
-                            kind: ViolationKind::IncompleteLog {
-                                len: *len,
-                                canonical_len: *canonical_len,
-                            },
-                        });
+                        // A repairing server (within its grace window)
+                        // is lagging, not omitting: the repair plane is
+                        // resynchronizing it.
+                        if self.lagging.contains(&server) {
+                            lagging_report.push(server);
+                        } else {
+                            violations.push(Violation {
+                                server: Some(server),
+                                height: Some(*len as u64),
+                                kind: ViolationKind::IncompleteLog {
+                                    len: *len,
+                                    canonical_len: *canonical_len,
+                                },
+                            });
+                        }
                     }
                     LogAssessment::Tampered(fault) => violations.push(Violation {
                         server: Some(server),
@@ -295,11 +368,71 @@ impl Auditor {
         };
 
         // ---- Step 2: replay (Lemmas 1 and 3). -------------------------
-        let mut state: HashMap<Key, ItemState> = self
-            .initial
-            .iter()
-            .map(|(k, v)| (k.clone(), ItemState::initial(v.clone())))
-            .collect();
+        //
+        // A canonical log with base 0 replays from the trusted genesis
+        // population. When every server pruned below a checkpoint the
+        // canonical log is a *suffix*: replay is then seeded from the
+        // surrendered checkpoints, each first **bound** to the canonical
+        // chain (height within coverage, recorded tip hash matching the
+        // chain, payload reproducing its recorded root). A shard without
+        // a bindable checkpoint stays inactive — its keys go unchecked
+        // rather than producing false accusations from unknown state.
+        let base = canonical.base_height();
+        let mut state: HashMap<Key, ItemState> = HashMap::new();
+        let mut active_from: HashMap<u32, u64> = HashMap::new();
+        if base == 0 {
+            state = self
+                .initial
+                .iter()
+                .map(|(k, v)| (k.clone(), ItemState::initial(v.clone())))
+                .collect();
+        } else {
+            for (server, checkpoint) in input.checkpoints.iter().enumerate() {
+                let server = server as u32;
+                let Some(snap) = checkpoint else {
+                    active_from.insert(server, u64::MAX);
+                    continue;
+                };
+                let expected_tip = if snap.height == base {
+                    Some(canonical.base_tip())
+                } else {
+                    canonical.get(snap.height.wrapping_sub(1)).map(Block::hash)
+                };
+                let bound = snap.height >= base
+                    && snap.height <= canonical.next_height()
+                    && expected_tip == Some(snap.tip_hash)
+                    && snap.restore_verified().is_ok();
+                if !bound {
+                    violations.push(Violation {
+                        server: Some(server),
+                        height: Some(snap.height),
+                        kind: ViolationKind::BadCheckpoint {
+                            height: snap.height,
+                        },
+                    });
+                    active_from.insert(server, u64::MAX);
+                    continue;
+                }
+                active_from.insert(server, snap.height);
+                for item in &snap.checkpoint.items {
+                    let (wts, value) = item.versions.last().expect("non-empty chains");
+                    state.insert(
+                        item.key.clone(),
+                        ItemState {
+                            value: value.clone(),
+                            rts: item.rts,
+                            wts: *wts,
+                        },
+                    );
+                }
+            }
+        }
+        // A key's checks and effects activate once replay passes its
+        // owner's seed height (everything below is already inside the
+        // seeding checkpoint).
+        let active = |active_from: &HashMap<u32, u64>, server: u32, height: u64| {
+            height >= active_from.get(&server).copied().unwrap_or(0)
+        };
         let mut committed_txns: Vec<TxnRecord> = Vec::new();
         let mut blocks_replayed = 0;
 
@@ -312,6 +445,13 @@ impl Auditor {
             for txn in &block.txns {
                 // Lemma 1: each read must reflect the latest logged write.
                 for read in &txn.read_set {
+                    if !active(
+                        &active_from,
+                        self.partitioner.owner(&read.key),
+                        block.height,
+                    ) {
+                        continue;
+                    }
                     if let Some(expected) = state.get(&read.key) {
                         if read.value != expected.value || read.wts != expected.wts {
                             violations.push(Violation {
@@ -329,6 +469,13 @@ impl Auditor {
                 }
                 // Lemma 3: timestamp-order conflicts.
                 for conflict in occ::validate_txn(txn, |key| state.get(key).cloned()) {
+                    if !active(
+                        &active_from,
+                        self.partitioner.owner(&conflict.key),
+                        block.height,
+                    ) {
+                        continue;
+                    }
                     violations.push(Violation {
                         server: Some(self.partitioner.owner(&conflict.key)),
                         height: Some(block.height),
@@ -338,8 +485,16 @@ impl Auditor {
                         },
                     });
                 }
-                // Apply effects.
+                // Apply effects (skipped below a shard's seed height —
+                // the checkpoint already includes them).
                 for read in &txn.read_set {
+                    if !active(
+                        &active_from,
+                        self.partitioner.owner(&read.key),
+                        block.height,
+                    ) {
+                        continue;
+                    }
                     if let Some(st) = state.get_mut(&read.key) {
                         if txn.id > st.rts {
                             st.rts = txn.id;
@@ -347,6 +502,13 @@ impl Auditor {
                     }
                 }
                 for write in &txn.write_set {
+                    if !active(
+                        &active_from,
+                        self.partitioner.owner(&write.key),
+                        block.height,
+                    ) {
+                        continue;
+                    }
                     let st = state
                         .entry(write.key.clone())
                         .or_insert_with(|| ItemState::initial(write.new_value.clone()));
@@ -383,6 +545,12 @@ impl Auditor {
             for txn in &block.txns {
                 for write in &txn.write_set {
                     let server = self.partitioner.owner(&write.key);
+                    if self.lagging.contains(&server) {
+                        // A mid-repair shard legitimately lacks recent
+                        // writes; it is re-audited once the transfer
+                        // installs.
+                        continue;
+                    }
                     let Some(logged_root) = block.root_of(server) else {
                         continue; // missing roots reported separately
                     };
@@ -415,7 +583,9 @@ impl Auditor {
         AuditReport {
             violations,
             canonical_len: canonical.len(),
+            canonical_base: base,
             blocks_replayed,
+            lagging: lagging_report,
         }
     }
 
@@ -687,7 +857,9 @@ mod tests {
                 },
             }],
             canonical_len: 10,
+            canonical_base: 0,
             blocks_replayed: 10,
+            lagging: Vec::new(),
         };
         assert!(!report.is_clean());
         assert_eq!(report.against_server(2).len(), 1);
@@ -703,7 +875,9 @@ mod tests {
         let report = AuditReport {
             violations: vec![],
             canonical_len: 3,
+            canonical_base: 0,
             blocks_replayed: 3,
+            lagging: Vec::new(),
         };
         assert!(report.is_clean());
         assert!(report.to_string().contains("clean"));

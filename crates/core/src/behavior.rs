@@ -52,6 +52,19 @@ pub struct Behavior {
     pub fake_root_for: Option<u32>,
 
     // ------------------------------------------------------------------
+    // Repair-plane faults: a Byzantine peer serving garbage to a
+    // rejoining server. Both are refuted by the repairer's verification
+    // (batched collective signatures, chain anchoring, root
+    // cross-checks) and reported as audit evidence.
+    // ------------------------------------------------------------------
+    /// When serving a `RepairRequest`, flip a block's decision in the
+    /// transferred chunk (the tampered-suffix attack).
+    pub tamper_repair_blocks: bool,
+    /// When serving a `RepairCheckpointRequest`, corrupt a value inside
+    /// the mirrored checkpoint before sending it.
+    pub tamper_repair_checkpoint: bool,
+
+    // ------------------------------------------------------------------
     // Log faults (§4.4, Lemmas 6–7). Applied lazily, right before logs
     // are surrendered to the auditor.
     // ------------------------------------------------------------------
@@ -77,6 +90,8 @@ impl Behavior {
             && !self.corrupt_cosi_response
             && !self.equivocate_decision
             && self.fake_root_for.is_none()
+            && !self.tamper_repair_blocks
+            && !self.tamper_repair_checkpoint
             && self.tamper_log_at.is_none()
             && self.reorder_log.is_none()
             && self.truncate_log_to.is_none()

@@ -18,6 +18,9 @@
 //! * [`audit`] — the offline auditor implementing Lemmas 1–7,
 //! * [`recovery`] — persistence configuration and the verified crash
 //!   recovery path (WAL + snapshot restart via `fides-durability`),
+//! * [`repair`] — the repair plane: verified anti-entropy state
+//!   transfer for lagging or restarted servers (gap detection, block
+//!   and checkpoint transfer, Byzantine-refuting verification),
 //! * [`system`] — the cluster harness used by tests, examples and the
 //!   benchmark suite.
 //!
@@ -52,6 +55,7 @@ pub mod messages;
 pub mod occ;
 pub mod partition;
 pub mod recovery;
+pub mod repair;
 pub mod server;
 pub mod system;
 
@@ -65,4 +69,5 @@ pub use partition::Partitioner;
 pub use recovery::{
     Durability, MemoryCluster, PersistenceBackend, PersistenceConfig, ServerStartError,
 };
+pub use repair::{RepairEvidence, RepairFault};
 pub use system::{ClusterConfig, FidesCluster};

@@ -19,6 +19,7 @@ use core::fmt;
 use fides_crypto::cosi;
 use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use fides_crypto::scalar::Scalar;
+use fides_durability::ShardSnapshot;
 use fides_ledger::block::{Block, TxnRecord};
 use fides_store::types::{Key, Timestamp, Value};
 
@@ -94,6 +95,11 @@ pub enum Refusal {
     /// An abort block carries a full root set (or other decision
     /// inconsistency).
     DecisionInconsistent,
+    /// The round targets a height this cohort's log already holds — a
+    /// stale (e.g. restarted-short) or equivocating coordinator trying
+    /// to co-sign a second block at an occupied height. Refusing keeps
+    /// an honest cohort from ever signing a fork.
+    StaleHeight,
 }
 
 impl fmt::Display for Refusal {
@@ -103,6 +109,7 @@ impl fmt::Display for Refusal {
             Refusal::RootMismatch => write!(f, "own root was replaced in the block"),
             Refusal::BadChallenge => write!(f, "challenge does not match H(X || block)"),
             Refusal::DecisionInconsistent => write!(f, "decision inconsistent with roots"),
+            Refusal::StaleHeight => write!(f, "round height already occupied in this log"),
         }
     }
 }
@@ -220,6 +227,90 @@ pub enum Message {
     TwoPcDecision { block: Block },
 
     // ------------------------------------------------------------------
+    // Repair plane (anti-entropy state transfer, server ↔ server).
+    //
+    // A lagging or freshly-restarted server detects its gap, fetches
+    // missing decision blocks — or a checkpoint + log suffix when peers
+    // have pruned — and re-verifies everything (batched collective
+    // signatures, hash-chain anchoring, shard-root cross-checks) before
+    // applying a single byte. A peer serving garbage is refuted and
+    // reported as audit evidence.
+    // ------------------------------------------------------------------
+    /// "Where are you?" — carries the sender's own tip so the exchange
+    /// doubles as gossip: a peer that is itself behind learns it here.
+    RepairQuery {
+        /// The sender's next log height.
+        next_height: u64,
+    },
+    /// Answer to [`Message::RepairQuery`].
+    RepairInfo {
+        /// The responder's next log height (its tip).
+        next_height: u64,
+        /// The responder's tip hash — lets a server that provisionally
+        /// adopted a snapshot ahead of its torn WAL confirm the
+        /// adoption against a peer at the same height.
+        tip_hash: fides_crypto::Digest,
+        /// Lowest height the responder can serve blocks from (its
+        /// in-memory log base; lower if its archive reaches further).
+        base_height: u64,
+        /// Height of the checkpoint mirror the responder holds for the
+        /// *requester*, if any — the bulk-transfer fallback.
+        mirror_height: Option<u64>,
+    },
+    /// Fetch up to `max` decision blocks starting at height `from`.
+    RepairRequest {
+        /// First height wanted.
+        from: u64,
+        /// Chunk-size cap.
+        max: u32,
+    },
+    /// One chunk of transferred blocks. An empty chunk with
+    /// `base_height > from` means the responder pruned that history
+    /// (fall back to a checkpoint); an empty chunk otherwise means the
+    /// responder has nothing newer.
+    RepairBlocks {
+        /// The height the requester asked for.
+        from: u64,
+        /// The served blocks (consecutive from `from` when non-empty).
+        blocks: Vec<Block>,
+        /// Lowest height the responder can serve.
+        base_height: u64,
+        /// The responder's tip (lets the requester track a moving
+        /// target).
+        next_height: u64,
+    },
+    /// Ask the peer for the checkpoint mirror of the **requester's own
+    /// shard** (served when the requester restarted below every peer's
+    /// pruned-WAL floor).
+    RepairCheckpointRequest,
+    /// The mirrored checkpoint, or `None` when the peer holds none.
+    RepairCheckpoint {
+        /// The requester's own shard image, as last mirrored.
+        snapshot: Option<Box<ShardSnapshot>>,
+    },
+    /// Broadcast after a server saves a snapshot: peers persist the
+    /// mirror so the origin's shard state stays recoverable even after
+    /// the cluster prunes its WALs below the snapshot (quorum-durable
+    /// checkpoints — the precondition that makes pruning safe
+    /// fleet-wide).
+    CheckpointMirror {
+        /// The origin's shard image.
+        snapshot: Box<ShardSnapshot>,
+    },
+
+    // ------------------------------------------------------------------
+    // Quorum-durable acknowledgements (cohort → coordinator).
+    // ------------------------------------------------------------------
+    /// The sending cohort's copy of block `height` is fsync-durable.
+    /// With `PersistenceConfig::quorum_acks` the coordinator withholds
+    /// client outcomes until a quorum of servers (itself included)
+    /// reports this.
+    Durable {
+        /// The durable block's height.
+        height: u64,
+    },
+
+    // ------------------------------------------------------------------
     // Harness control.
     // ------------------------------------------------------------------
     /// Ask the coordinator to terminate whatever is pending now.
@@ -257,6 +348,14 @@ impl Message {
             Message::Shutdown => "shutdown",
             Message::ReadMany { .. } => "read-many",
             Message::ReadManyResp { .. } => "read-many-resp",
+            Message::RepairQuery { .. } => "repair-query",
+            Message::RepairInfo { .. } => "repair-info",
+            Message::RepairRequest { .. } => "repair-request",
+            Message::RepairBlocks { .. } => "repair-blocks",
+            Message::RepairCheckpointRequest => "repair-checkpoint-request",
+            Message::RepairCheckpoint { .. } => "repair-checkpoint",
+            Message::CheckpointMirror { .. } => "checkpoint-mirror",
+            Message::Durable { .. } => "durable",
         }
     }
 }
@@ -324,6 +423,7 @@ impl Encodable for Refusal {
             Refusal::RootMismatch => 1,
             Refusal::BadChallenge => 2,
             Refusal::DecisionInconsistent => 3,
+            Refusal::StaleHeight => 4,
         });
     }
 }
@@ -335,6 +435,7 @@ impl Decodable for Refusal {
             1 => Ok(Refusal::RootMismatch),
             2 => Ok(Refusal::BadChallenge),
             3 => Ok(Refusal::DecisionInconsistent),
+            4 => Ok(Refusal::StaleHeight),
             t => Err(DecodeError::InvalidTag(t)),
         }
     }
@@ -481,6 +582,52 @@ impl Encodable for Message {
                     });
                 });
             }
+            Message::RepairQuery { next_height } => {
+                enc.put_u8(21);
+                enc.put_u64(*next_height);
+            }
+            Message::RepairInfo {
+                next_height,
+                tip_hash,
+                base_height,
+                mirror_height,
+            } => {
+                enc.put_u8(22);
+                enc.put_u64(*next_height);
+                enc.put_digest(tip_hash);
+                enc.put_u64(*base_height);
+                enc.put_option(mirror_height, |e, h| e.put_u64(*h));
+            }
+            Message::RepairRequest { from, max } => {
+                enc.put_u8(23);
+                enc.put_u64(*from);
+                enc.put_u32(*max);
+            }
+            Message::RepairBlocks {
+                from,
+                blocks,
+                base_height,
+                next_height,
+            } => {
+                enc.put_u8(24);
+                enc.put_u64(*from);
+                enc.put_seq(blocks, |e, b| b.encode_into(e));
+                enc.put_u64(*base_height);
+                enc.put_u64(*next_height);
+            }
+            Message::RepairCheckpointRequest => enc.put_u8(25),
+            Message::RepairCheckpoint { snapshot } => {
+                enc.put_u8(26);
+                enc.put_option(snapshot, |e, s| s.encode_into(e));
+            }
+            Message::CheckpointMirror { snapshot } => {
+                enc.put_u8(27);
+                snapshot.encode_into(enc);
+            }
+            Message::Durable { height } => {
+                enc.put_u8(28);
+                enc.put_u64(*height);
+            }
         }
     }
 }
@@ -596,6 +743,35 @@ impl Decodable for Message {
                     })?;
                     Ok((key, state))
                 })?,
+            },
+            21 => Message::RepairQuery {
+                next_height: dec.take_u64()?,
+            },
+            22 => Message::RepairInfo {
+                next_height: dec.take_u64()?,
+                tip_hash: dec.take_digest()?,
+                base_height: dec.take_u64()?,
+                mirror_height: dec.take_option(|d| d.take_u64())?,
+            },
+            23 => Message::RepairRequest {
+                from: dec.take_u64()?,
+                max: dec.take_u32()?,
+            },
+            24 => Message::RepairBlocks {
+                from: dec.take_u64()?,
+                blocks: dec.take_seq(Block::decode_from)?,
+                base_height: dec.take_u64()?,
+                next_height: dec.take_u64()?,
+            },
+            25 => Message::RepairCheckpointRequest,
+            26 => Message::RepairCheckpoint {
+                snapshot: dec.take_option(|d| ShardSnapshot::decode_from(d).map(Box::new))?,
+            },
+            27 => Message::CheckpointMirror {
+                snapshot: Box::new(ShardSnapshot::decode_from(dec)?),
+            },
+            28 => Message::Durable {
+                height: dec.take_u64()?,
             },
             t => return Err(DecodeError::InvalidTag(t)),
         })
@@ -765,6 +941,51 @@ mod tests {
         roundtrip(Message::TwoPcDecision { block });
         roundtrip(Message::Flush);
         roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn repair_messages_roundtrip() {
+        roundtrip(Message::RepairQuery { next_height: 17 });
+        roundtrip(Message::RepairInfo {
+            next_height: 40,
+            tip_hash: Digest::new([8; 32]),
+            base_height: 32,
+            mirror_height: Some(36),
+        });
+        roundtrip(Message::RepairInfo {
+            next_height: 0,
+            tip_hash: Digest::ZERO,
+            base_height: 0,
+            mirror_height: None,
+        });
+        roundtrip(Message::RepairRequest { from: 9, max: 64 });
+        let block = BlockBuilder::new(9, Digest::new([2; 32]))
+            .txn(sample_record())
+            .decision(Decision::Commit)
+            .build_unsigned();
+        roundtrip(Message::RepairBlocks {
+            from: 9,
+            blocks: vec![block],
+            base_height: 4,
+            next_height: 12,
+        });
+        roundtrip(Message::RepairCheckpointRequest);
+
+        let shard = fides_store::AuthenticatedShard::new(vec![(Key::new("m"), Value::from_i64(3))]);
+        let snapshot = fides_durability::ShardSnapshot::capture(
+            &shard,
+            8,
+            Digest::new([5; 32]),
+            Timestamp::new(7, 0),
+        );
+        roundtrip(Message::RepairCheckpoint {
+            snapshot: Some(Box::new(snapshot.clone())),
+        });
+        roundtrip(Message::RepairCheckpoint { snapshot: None });
+        roundtrip(Message::CheckpointMirror {
+            snapshot: Box::new(snapshot),
+        });
+        roundtrip(Message::Durable { height: 3 });
     }
 
     #[test]

@@ -86,11 +86,25 @@ pub struct PersistenceConfig {
     pub prune_wal: bool,
     /// With `prune_wal`, park pruned segments in `<server-dir>/archive`
     /// (file backend) instead of deleting them — the auditor can still
-    /// request the full history, and restarts rebuild the complete
-    /// in-memory log. Without it, restarts recover a *suffix* log bound
-    /// to the snapshot and an audit will flag the missing prefix as
-    /// incomplete.
+    /// request the full history, restarts rebuild the complete
+    /// in-memory log, and repair peers can serve archived blocks.
+    /// Without it, restarts recover a *suffix* log bound to the
+    /// snapshot; the audit then seeds its replay from each server's
+    /// surrendered checkpoint.
     pub archive_pruned: bool,
+    /// Broadcast every saved snapshot to peers as a checkpoint
+    /// *mirror*, and persist received mirrors. This is what keeps a
+    /// server repairable after the whole fleet prunes below its crash
+    /// height: its own shard image can be fetched back from any peer
+    /// (checkpoint state transfer).
+    pub mirror_checkpoints: bool,
+    /// Acknowledge client outcomes only once a **quorum** of servers
+    /// (majority, coordinator included) reports the block durable —
+    /// closing the gap where an ack covered only the coordinator's
+    /// copy. Cohorts report with `Message::Durable` after their own
+    /// fsync (immediately under inline policies, from the WAL writer
+    /// under `SyncPolicy::Pipelined`).
+    pub quorum_acks: bool,
 }
 
 impl PersistenceConfig {
@@ -102,6 +116,8 @@ impl PersistenceConfig {
             snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
             prune_wal: false,
             archive_pruned: true,
+            mirror_checkpoints: true,
+            quorum_acks: false,
         }
     }
 
@@ -113,6 +129,8 @@ impl PersistenceConfig {
             snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
             prune_wal: false,
             archive_pruned: true,
+            mirror_checkpoints: true,
+            quorum_acks: false,
         }
     }
 
@@ -139,6 +157,20 @@ impl PersistenceConfig {
     /// deleted outright.
     pub fn archive_pruned(mut self, archive: bool) -> Self {
         self.archive_pruned = archive;
+        self
+    }
+
+    /// Controls checkpoint mirroring to peers (see
+    /// [`PersistenceConfig::mirror_checkpoints`]).
+    pub fn mirror_checkpoints(mut self, mirror: bool) -> Self {
+        self.mirror_checkpoints = mirror;
+        self
+    }
+
+    /// Enables quorum-durable client acknowledgements (see
+    /// [`PersistenceConfig::quorum_acks`]).
+    pub fn quorum_acks(mut self, quorum: bool) -> Self {
+        self.quorum_acks = quorum;
         self
     }
 
@@ -265,6 +297,16 @@ pub struct RecoveredServer {
     pub last_committed: Timestamp,
     /// Handles for continued persistence.
     pub durability: Durability,
+    /// Peers' checkpoint mirrors persisted on this disk — reloaded so
+    /// the server keeps serving them after its own restart (repair
+    /// plane).
+    pub mirrors: Vec<(u32, ShardSnapshot)>,
+    /// `true` when recovery adopted a snapshot found **ahead** of the
+    /// durable log (the WAL lost its tail past the checkpoint): the
+    /// adopted tip hash is trusted provisionally and the server starts
+    /// in `Repairing` until a peer's co-signed chain confirms or
+    /// replaces it.
+    pub provisional: bool,
 }
 
 /// Opens server `idx`'s backend, runs the verified recovery path, and
@@ -277,11 +319,14 @@ pub struct RecoveredServer {
 /// and maintains no Merkle tree (store-only replay, and servers never
 /// snapshot under it).
 ///
-/// Recovery is strictly per-server: a server whose durable log ends
-/// below its peers' restarts at its shorter height and cannot rejoin
-/// rounds above it (there is no anti-entropy/state-transfer protocol
-/// yet) — the auditor flags such a copy as incomplete rather than the
-/// cluster resynchronizing it.
+/// A server whose durable log ends below its peers' (torn by a crash,
+/// or the disk lost entirely) starts at whatever verified height its
+/// disk supports and then **repairs**: the repair plane
+/// ([`crate::repair`]) fetches the missing decision blocks — or a
+/// mirrored checkpoint plus log suffix when peers have pruned below the
+/// restart height — from its peers, re-verifies everything, and rejoins
+/// live rounds. Until the repair completes the auditor treats the
+/// server as lagging, not faulty.
 ///
 /// # Errors
 ///
@@ -342,6 +387,45 @@ pub fn recover_server(
         }
     };
 
+    // Peers' checkpoint mirrors survive this server's own restart.
+    let mirrors = snap_handle
+        .load_mirrors()
+        .map_err(|e| recovery_err(RecoveryError::Snapshot(e)))?;
+
+    // A snapshot AHEAD of the durable log: the WAL lost blocks the
+    // checkpoint had already absorbed (a torn adoption, or segments
+    // destroyed past the checkpoint). The pre-repair system refused
+    // such disks outright; with the repair plane the checkpoint is
+    // adopted *provisionally* — the server starts as a suffix at the
+    // checkpoint height, in `Repairing`, and only rejoins once a peer's
+    // co-signed chain confirms (or extends past) the adopted tip hash.
+    // A forged snapshot therefore quarantines the server instead of
+    // letting it serve fabricated state.
+    let log_end = blocks.last().map_or(0, |b| b.height + 1);
+    if let Some(snap) = &snapshot {
+        if snap.height > log_end {
+            let shard = snap
+                .restore_verified()
+                .map_err(|e| recovery_err(RecoveryError::Snapshot(e)))?;
+            let mut log_handle = log_handle;
+            log_handle
+                .reset_to(snap.height)
+                .map_err(|e| recovery_err(RecoveryError::Wal(e)))?;
+            let log = TamperProofLog::from_suffix(snap.height, snap.tip_hash, Vec::new())
+                .expect("empty suffix always chains");
+            let durability =
+                build_durability(persistence, log_handle, snap_handle, log.next_height());
+            return Ok(RecoveredServer {
+                log,
+                shard,
+                last_committed: snap.last_committed,
+                durability,
+                mirrors,
+                provisional: true,
+            });
+        }
+    }
+
     // Ledger-level verification: chain, signatures, snapshot binding.
     let recovered =
         recover_ledger(blocks, snapshot, server_pks, verify_cosign).map_err(recovery_err)?;
@@ -378,8 +462,32 @@ pub fn recover_server(
         }
     }
 
-    let durability = if persistence.is_pipelined() {
-        let durable_height = recovered.log.next_height();
+    let durability = build_durability(
+        persistence,
+        log_handle,
+        snap_handle,
+        recovered.log.next_height(),
+    );
+
+    Ok(RecoveredServer {
+        log: recovered.log,
+        shard,
+        last_committed,
+        durability,
+        mirrors,
+        provisional: false,
+    })
+}
+
+/// Wraps the opened backend handles in the configured persistence
+/// engine (inline write-ahead, or the pipelined writer thread).
+fn build_durability(
+    persistence: &PersistenceConfig,
+    log_handle: Box<dyn DurableLog>,
+    snap_handle: Box<dyn SnapshotStore>,
+    durable_height: u64,
+) -> Durability {
+    if persistence.is_pipelined() {
         Durability::Pipelined {
             pipeline: CommitPipeline::new(
                 log_handle,
@@ -398,20 +506,15 @@ pub fn recover_server(
             snapshot_interval: persistence.snapshot_interval,
             prune_wal: persistence.prune_wal,
         }
-    };
-
-    Ok(RecoveredServer {
-        log: recovered.log,
-        shard,
-        last_committed,
-        durability,
-    })
+    }
 }
 
 /// Applies one committed block's effects on `server`'s shard — the
 /// replay twin of the live commit path in `Server::apply_block`,
-/// including its protocol split (2PC keeps no Merkle tree).
-fn replay_block(
+/// including its protocol split (2PC keeps no Merkle tree). Also used
+/// by the repair plane to replay verified transfers
+/// ([`crate::repair::verify_transfer`]).
+pub(crate) fn replay_block(
     shard: &mut AuthenticatedShard,
     block: &Block,
     partitioner: &Partitioner,

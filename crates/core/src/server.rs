@@ -64,12 +64,14 @@ use fides_store::authenticated::{AuthenticatedShard, MhtUpdateStats};
 use fides_store::types::{ItemState, Key, Timestamp, Value};
 
 use fides_durability::ShardSnapshot;
+use fides_net::EndpointSender;
 
 use crate::behavior::Behavior;
 use crate::messages::{CommitProtocol, InvolvedVote, Message, PartialBlock, Refusal, TxnHandle};
 use crate::occ;
 use crate::partition::Partitioner;
 use crate::recovery::{Durability, RecoveredServer};
+use crate::repair::{verify_transfer, RepairEvidence, RepairFault, RepairShared};
 
 /// Map from node address to public key — the paper's "servers and
 /// clients are uniquely identifiable using their public keys" (§3.1).
@@ -141,6 +143,9 @@ pub struct ServerState {
     ledger: parking_lot::Mutex<LedgerStage>,
     /// Persistence engine (`None` = original memory-only behavior).
     durability: parking_lot::Mutex<Option<Durability>>,
+    /// Repair-plane state: lagging/repairing status, refuted-transfer
+    /// evidence, and peers' checkpoint mirrors.
+    repair: parking_lot::Mutex<RepairShared>,
 }
 
 /// Commit-round accounting (coordinator only).
@@ -173,14 +178,25 @@ impl ServerState {
             }),
             ledger: parking_lot::Mutex::new(LedgerStage::default()),
             durability: parking_lot::Mutex::new(None),
+            repair: parking_lot::Mutex::new(RepairShared::default()),
         }
     }
 
-    /// State for a restarted server: log, shard, commit watermark and
-    /// durability engine come out of
+    /// State for a restarted server: log, shard, commit watermark,
+    /// durability engine and persisted checkpoint mirrors come out of
     /// [`crate::recovery::recover_server`].
     pub(crate) fn recovered(idx: u32, behavior: Behavior, recovered: RecoveredServer) -> Self {
         let applied_height = recovered.log.next_height();
+        let repair = RepairShared {
+            mirrors: recovered.mirrors.into_iter().collect(),
+            // A provisionally adopted checkpoint (snapshot ahead of a
+            // torn WAL) starts the server in `Repairing`: it must not
+            // serve commit votes until a peer's co-signed chain
+            // confirms or replaces the adopted tip.
+            repairing: recovered.provisional,
+            since: recovered.provisional.then(Instant::now),
+            ..RepairShared::default()
+        };
         ServerState {
             idx,
             behavior,
@@ -195,6 +211,7 @@ impl ServerState {
                 ..LedgerStage::default()
             }),
             durability: parking_lot::Mutex::new(Some(recovered.durability)),
+            repair: parking_lot::Mutex::new(repair),
         }
     }
 
@@ -252,6 +269,52 @@ impl ServerState {
     /// Zeroes the Merkle-maintenance statistics.
     pub fn reset_mht_stats(&self) {
         self.shard.lock().shard.reset_stats();
+    }
+
+    /// `true` while this server is repairing (gap detected, verified
+    /// state transfer not yet installed). A repairing server votes
+    /// abort for blocks touching its shard and is treated by the
+    /// auditor as lagging, not faulty, until the grace deadline.
+    pub fn is_repairing(&self) -> bool {
+        self.repair.lock().repairing
+    }
+
+    /// When the current repair began (`None` when not repairing).
+    pub fn repair_since(&self) -> Option<Instant> {
+        self.repair.lock().since
+    }
+
+    /// Completed verified repairs over this server's lifetime.
+    pub fn repair_completions(&self) -> u64 {
+        self.repair.lock().completions
+    }
+
+    /// Refuted transfer attempts recorded against Byzantine peers.
+    pub fn repair_evidence(&self) -> Vec<RepairEvidence> {
+        self.repair.lock().evidence.clone()
+    }
+
+    /// Heights of the checkpoint mirrors this server holds for peers.
+    pub fn mirror_heights(&self) -> Vec<(u32, u64)> {
+        let repair = self.repair.lock();
+        let mut heights: Vec<(u32, u64)> = repair
+            .mirrors
+            .iter()
+            .map(|(origin, snap)| (*origin, snap.height))
+            .collect();
+        heights.sort_unstable();
+        heights
+    }
+
+    /// The newest snapshot persisted on this server's disk — what it
+    /// surrenders to the auditor so a suffix-log audit (peers pruned
+    /// their WALs) can seed its replay from verified checkpoints.
+    pub fn persisted_snapshot(&self) -> Option<ShardSnapshot> {
+        let durability = self.durability.lock();
+        match durability.as_ref()? {
+            Durability::Inline { snapshots, .. } => snapshots.load_latest().ok().flatten(),
+            Durability::Pipelined { pipeline, .. } => pipeline.load_latest_snapshot(),
+        }
     }
 
     /// Height below which this server's blocks are durable — `None`
@@ -355,6 +418,18 @@ pub struct ServerConfig {
     pub flush_interval: Duration,
     /// Phase timeout for vote/response collection.
     pub round_timeout: Duration,
+    /// Run the repair plane (anti-entropy state transfer). Only
+    /// meaningful under TFCommit — 2PC blocks are unsigned, so a
+    /// transfer could not be verified.
+    pub repair: bool,
+    /// Broadcast saved snapshots to peers as checkpoint mirrors and
+    /// persist received ones (see
+    /// [`crate::recovery::PersistenceConfig::mirror_checkpoints`]).
+    pub mirror_checkpoints: bool,
+    /// Withhold client outcomes until a majority of servers reports the
+    /// block durable (see
+    /// [`crate::recovery::PersistenceConfig::quorum_acks`]).
+    pub quorum_acks: bool,
 }
 
 /// The running server: message loop plus protocol handlers.
@@ -379,6 +454,16 @@ pub struct Server {
     /// batched check ([`fides_net::verify_envelopes`]), and the decoded
     /// survivors queue here in arrival order.
     inbox: std::collections::VecDeque<(NodeId, Message)>,
+    /// The in-flight anti-entropy repair, when this server detected a
+    /// gap. While a task is active incoming decisions are buffered
+    /// (never applied) so the verified transfer installs against a
+    /// frozen base.
+    repair_task: Option<RepairTask>,
+    /// Rate limiter for repair-gap gossip queries.
+    last_repair_query: Option<Instant>,
+    /// Coordinator-only: outcomes withheld until a quorum of servers
+    /// reports the block durable (`ServerConfig::quorum_acks`).
+    quorum: Option<Arc<QuorumAcks>>,
     /// Coordinator: clients to notify per handle.
     running: bool,
 }
@@ -388,6 +473,107 @@ struct PendingTxn {
     handle: TxnHandle,
     client: NodeId,
     record: TxnRecord,
+}
+
+/// Blocks fetched per `RepairRequest` round trip.
+const REPAIR_CHUNK: u32 = 64;
+
+/// Minimum spacing between repair-gap gossip broadcasts.
+const REPAIR_QUERY_GAP: Duration = Duration::from_millis(100);
+
+/// One anti-entropy repair attempt: the staging area for blocks (and
+/// possibly a checkpoint) fetched from `peer`, verified as a whole
+/// before any byte reaches live state.
+#[derive(Debug)]
+struct RepairTask {
+    /// The peer currently serving the transfer.
+    peer: u32,
+    /// Height the staged run starts at (this server's frozen tip, or
+    /// the transferred checkpoint's height).
+    base_height: u64,
+    /// The hash the first staged block must link to (own verified tip,
+    /// or the checkpoint's recorded tip hash).
+    base_tip: Digest,
+    /// A transferred checkpoint of this server's own shard, staged when
+    /// peers pruned below `base_height` (verified internally on
+    /// receipt; cross-checked against co-signed roots at install).
+    checkpoint: Option<ShardSnapshot>,
+    /// Blocks staged so far, consecutive from `base_height`.
+    staged: Vec<Block>,
+    /// The tip to reach (grows if the serving peer advances).
+    target: u64,
+    /// Peers that failed or refused this repair (tried and excluded).
+    excluded: HashSet<u32>,
+    /// Whether a checkpoint was already requested from `peer`.
+    asked_checkpoint: bool,
+    /// Last time `peer` responded (drives the unresponsive-peer
+    /// retarget).
+    last_activity: Instant,
+}
+
+/// Coordinator-side quorum-durable outcome gate: client outcomes for a
+/// block are released only once `quorum` distinct servers (the
+/// coordinator included) report the block fsync-durable. Shared with
+/// the WAL writer thread, whose ordered-ack callback records the
+/// coordinator's own durability.
+struct QuorumAcks {
+    quorum: usize,
+    sender: EndpointSender,
+    keypair: KeyPair,
+    from: NodeId,
+    inner: parking_lot::Mutex<QuorumInner>,
+}
+
+#[derive(Default)]
+struct QuorumInner {
+    /// Outcome payloads withheld per height.
+    pending: HashMap<u64, Vec<(NodeId, Vec<u8>)>>,
+    /// Servers whose copy of each height is durable.
+    acks: HashMap<u64, HashSet<u32>>,
+}
+
+impl QuorumAcks {
+    /// Registers a block's withheld outcomes (coordinator thread, after
+    /// the decision broadcast and before any `Durable` message for the
+    /// height can be dispatched).
+    fn register(&self, height: u64, payloads: Vec<(NodeId, Vec<u8>)>) {
+        let mut inner = self.inner.lock();
+        inner.pending.insert(height, payloads);
+        self.release_if_ready(&mut inner, height);
+    }
+
+    /// Records that `server`'s copy of `height` is durable, releasing
+    /// the withheld outcomes once the quorum is reached.
+    fn record(&self, height: u64, server: u32) {
+        let mut inner = self.inner.lock();
+        inner.acks.entry(height).or_default().insert(server);
+        // Bound stale entries: acks from rounds that never registered
+        // outcomes, and withheld payloads whose quorum can no longer
+        // realistically arrive (their clients timed out long ago).
+        if height > 4096 {
+            let floor = height - 4096;
+            inner.acks.retain(|h, _| *h >= floor);
+            inner.pending.retain(|h, _| *h >= floor);
+        }
+        self.release_if_ready(&mut inner, height);
+    }
+
+    fn release_if_ready(&self, inner: &mut QuorumInner, height: u64) {
+        let ready = inner
+            .acks
+            .get(&height)
+            .is_some_and(|acks| acks.len() >= self.quorum)
+            && inner.pending.contains_key(&height);
+        if !ready {
+            return;
+        }
+        let payloads = inner.pending.remove(&height).expect("checked");
+        inner.acks.remove(&height);
+        for (client, payload) in payloads {
+            self.sender
+                .send(Envelope::sign(&self.keypair, self.from, client, payload));
+        }
+    }
 }
 
 /// The coordinator index (the "designated server", §4.1).
@@ -449,6 +635,15 @@ impl Server {
         server_pks: Vec<PublicKey>,
     ) -> (Server, Arc<ServerState>) {
         let state = Arc::new(state);
+        let quorum = (config.quorum_acks && config.idx == COORDINATOR_IDX).then(|| {
+            Arc::new(QuorumAcks {
+                quorum: (config.n_servers as usize / 2) + 1,
+                sender: endpoint.sender(),
+                keypair,
+                from: endpoint.node(),
+                inner: parking_lot::Mutex::new(QuorumInner::default()),
+            })
+        });
         let server = Server {
             state: Arc::clone(&state),
             endpoint,
@@ -460,6 +655,9 @@ impl Server {
             pending: Vec::new(),
             batch_deadline: None,
             inbox: std::collections::VecDeque::new(),
+            repair_task: None,
+            last_repair_query: None,
+            quorum,
             running: true,
         };
         (server, state)
@@ -477,6 +675,12 @@ impl Server {
     /// `flush_interval` — a hard deadline, so block formation keeps
     /// pace even while execution traffic streams in continuously.
     pub fn run(mut self) {
+        // Startup gossip: announce our tip so peers can tell us (and we
+        // can tell them) about any gap — the rejoin path after a
+        // restart, and a no-op on a fresh, level cluster.
+        if self.repair_enabled() {
+            self.broadcast_repair_query();
+        }
         while self.running {
             let timeout = match self.batch_deadline {
                 Some(deadline) if self.is_coordinator() => deadline
@@ -488,8 +692,12 @@ impl Server {
                 Ok((from, msg)) => {
                     self.dispatch(from, msg);
                     self.drive_rounds();
+                    self.drive_repair();
                 }
-                Err(fides_net::RecvError::Timeout) => self.drive_rounds(),
+                Err(fides_net::RecvError::Timeout) => {
+                    self.drive_rounds();
+                    self.drive_repair();
+                }
                 Err(fides_net::RecvError::Disconnected) => break,
             }
         }
@@ -523,7 +731,15 @@ impl Server {
 
     /// Runs rounds while a full batch is queued or the batch deadline
     /// has passed (later end-txns may arrive during a round).
+    ///
+    /// A repairing coordinator drives no rounds: its log tip is behind
+    /// the chain, so any block it formed would not extend its peers'
+    /// logs. Pending end-txns wait (or get bounced as stale) until the
+    /// repair installs.
     fn drive_rounds(&mut self) {
+        if self.repair_task.is_some() || self.state.is_repairing() {
+            return;
+        }
         while self.running && self.is_coordinator() && !self.pending.is_empty() {
             let due = self.pending.len() >= self.config.batch_size
                 || self
@@ -570,7 +786,11 @@ impl Server {
                 // is pending.
                 self.handle_end_txn(from, handle, record);
             }
-            Message::Flush if self.is_coordinator() && !self.pending.is_empty() => {
+            Message::Flush
+                if self.is_coordinator()
+                    && !self.pending.is_empty()
+                    && !self.state.is_repairing() =>
+            {
                 self.run_round();
             }
             Message::GetVote { partial } => self.handle_get_vote(from, partial),
@@ -582,6 +802,30 @@ impl Server {
             Message::Decision { block } => self.handle_decision(block),
             Message::TwoPcGetVote { partial } => self.handle_2pc_get_vote(from, partial),
             Message::TwoPcDecision { block } => self.handle_2pc_decision(block),
+            Message::RepairQuery { next_height } => self.handle_repair_query(from, next_height),
+            Message::RepairInfo {
+                next_height,
+                tip_hash,
+                base_height,
+                mirror_height,
+            } => self.handle_repair_info(from, next_height, tip_hash, base_height, mirror_height),
+            Message::RepairRequest { from: wanted, max } => {
+                self.handle_repair_request(from, wanted, max);
+            }
+            Message::RepairBlocks {
+                from: served_from,
+                blocks,
+                base_height,
+                next_height,
+            } => self.handle_repair_blocks(from, served_from, blocks, base_height, next_height),
+            Message::RepairCheckpointRequest => self.handle_repair_checkpoint_request(from),
+            Message::RepairCheckpoint { snapshot } => {
+                self.handle_repair_checkpoint(from, snapshot.map(|s| *s));
+            }
+            Message::CheckpointMirror { snapshot } => {
+                self.handle_checkpoint_mirror(from, *snapshot);
+            }
+            Message::Durable { height } => self.handle_durable(from, height),
             Message::Shutdown => self.running = false,
             // Responses to rounds we are not currently collecting for —
             // stale protocol traffic — are dropped.
@@ -709,6 +953,21 @@ impl Server {
 
         let involved = self.involvement(&partial.txns);
         let involved_vote = if involved.contains(&self.config.idx) {
+            if self.state.is_repairing() {
+                // A repairing shard cannot validate reads or compute a
+                // trustworthy speculative root — vote abort until the
+                // verified transfer installs. The CoSi witness half
+                // above still participates, so rounds not touching this
+                // shard proceed at full speed.
+                return (
+                    commitment,
+                    Some(InvolvedVote {
+                        commit: false,
+                        root: None,
+                        failed: Vec::new(),
+                    }),
+                );
+            }
             let mut stage = self.state.shard.lock();
             // Local OCC validation over this shard's slice (§4.3.1).
             let shard = &stage.shard;
@@ -770,6 +1029,13 @@ impl Server {
         aggregate: &cosi::Commitment,
         challenge: &fides_crypto::scalar::Scalar,
     ) -> Result<cosi::Response, Refusal> {
+        // Fork guard: never co-sign a block at a height this log
+        // already holds — a coordinator that restarted short (and has
+        // not finished repairing) or is equivocating could otherwise
+        // collect honest signatures for a second history.
+        if block.height < self.state.ledger.lock().log.next_height() {
+            return Err(Refusal::StaleHeight);
+        }
         let involved = self.involvement(&block.txns);
 
         // Decision/roots consistency (§4.3.1 phase 4): a commit block
@@ -845,13 +1111,23 @@ impl Server {
         const MAX_BUFFERED_DECISIONS: u64 = 1024;
 
         let tip = self.state.ledger.lock().log.next_height();
-        if block.height > tip {
-            if block.height - tip <= MAX_BUFFERED_DECISIONS {
+        // While a repair task is staging a transfer, every decision is
+        // buffered — the verified install must land against a frozen
+        // base, and the catch-up loop drains the buffer afterwards.
+        if block.height > tip || self.repair_task.is_some() {
+            let gapped = block.height > tip;
+            if block.height >= tip && block.height - tip <= MAX_BUFFERED_DECISIONS {
                 self.state
                     .exec
                     .lock()
                     .pending_decisions
                     .insert(block.height, block);
+            }
+            if gapped {
+                // A gap: the decisions between our tip and this height
+                // went missing (or we restarted short). Gossip our tip
+                // so a peer's RepairInfo can start a transfer.
+                self.maybe_query_repair();
             }
             return;
         }
@@ -876,6 +1152,9 @@ impl Server {
     /// stopping at the first invalid one (which cannot be linked into
     /// the chain, and whose absence will surface at the audit).
     fn catch_up(&mut self) {
+        if self.repair_task.is_some() {
+            return; // frozen while a transfer is staging
+        }
         loop {
             let run: Vec<Block> = {
                 let tip = self.state.ledger.lock().log.next_height();
@@ -962,6 +1241,656 @@ impl Server {
     }
 
     // ------------------------------------------------------------------
+    // Repair plane: serving side (any up-to-date server is a repair
+    // peer) and requesting side (the gap-detection / staging / verified
+    // install state machine). See `crate::repair` for the verification
+    // obligations and `docs/repair.md` for the message flow.
+    // ------------------------------------------------------------------
+
+    /// Whether the repair plane runs on this server: TFCommit only
+    /// (2PC blocks are unsigned, so a transfer could not be verified)
+    /// and pointless without peers.
+    fn repair_enabled(&self) -> bool {
+        self.config.repair
+            && self.config.protocol == CommitProtocol::TfCommit
+            && self.config.n_servers > 1
+    }
+
+    /// Broadcasts our tip to every peer (rate-limited): the gossip that
+    /// turns a height divergence into a repair in either direction.
+    fn maybe_query_repair(&mut self) {
+        if !self.repair_enabled() {
+            return;
+        }
+        if self
+            .last_repair_query
+            .is_some_and(|at| at.elapsed() < REPAIR_QUERY_GAP)
+        {
+            return;
+        }
+        self.broadcast_repair_query();
+    }
+
+    fn broadcast_repair_query(&mut self) {
+        self.last_repair_query = Some(Instant::now());
+        let next_height = self.state.ledger.lock().log.next_height();
+        self.broadcast_to_servers(&Message::RepairQuery { next_height });
+    }
+
+    /// Serving side of the gossip: answer with our tip, our servable
+    /// floor and any mirror we hold for the requester — and, if the
+    /// *requester* is ahead of us, treat the query as our own gap
+    /// detection.
+    fn handle_repair_query(&mut self, from: NodeId, their_next: u64) {
+        if !self.repair_enabled() || from.raw() >= self.config.n_servers {
+            return;
+        }
+        let (next_height, tip_hash, base_height) = {
+            let ledger = self.state.ledger.lock();
+            (
+                ledger.log.next_height(),
+                ledger.log.tip_hash(),
+                ledger.log.base_height(),
+            )
+        };
+        let mirror_height = self
+            .state
+            .repair
+            .lock()
+            .mirrors
+            .get(&from.raw())
+            .map(|snap| snap.height);
+        self.send(
+            from,
+            &Message::RepairInfo {
+                next_height,
+                tip_hash,
+                base_height,
+                mirror_height,
+            },
+        );
+        if their_next > next_height {
+            self.begin_repair(from.raw(), their_next);
+        }
+    }
+
+    fn handle_repair_info(
+        &mut self,
+        from: NodeId,
+        next_height: u64,
+        tip_hash: Digest,
+        _base_height: u64,
+        _mirror_height: Option<u64>,
+    ) {
+        if !self.repair_enabled() || from.raw() >= self.config.n_servers {
+            return;
+        }
+        let (mine_next, mine_tip) = {
+            let ledger = self.state.ledger.lock();
+            (ledger.log.next_height(), ledger.log.tip_hash())
+        };
+        if next_height > mine_next {
+            self.begin_repair(from.raw(), next_height);
+            return;
+        }
+        if next_height == mine_next && tip_hash == mine_tip && self.repair_task.is_none() {
+            // A peer at our exact tip: a provisionally adopted
+            // checkpoint (snapshot recovered ahead of a torn WAL) is
+            // now confirmed against the live chain.
+            let mut repair = self.state.repair.lock();
+            if repair.repairing {
+                repair.repairing = false;
+                repair.since = None;
+            }
+        }
+    }
+
+    /// Serving side of a block fetch. Ranges below the in-memory log's
+    /// base are retried against the durability archive (pruned segments
+    /// parked by [`fides_durability::SegmentArchive`]; inline engines
+    /// only — under `SyncPolicy::Pipelined` the writer thread owns the
+    /// log, and an archive-configured server holds the full history in
+    /// memory anyway); a range gone from both is answered empty with
+    /// our floor, steering the requester toward checkpoint transfer.
+    fn handle_repair_request(&mut self, from: NodeId, wanted: u64, max: u32) {
+        if !self.repair_enabled() || from.raw() >= self.config.n_servers {
+            return;
+        }
+        let max = max.min(REPAIR_CHUNK) as usize;
+        let (mut blocks, mut base_height, next_height) = {
+            let ledger = self.state.ledger.lock();
+            (
+                ledger.log.blocks_from(wanted, max),
+                ledger.log.base_height(),
+                ledger.log.next_height(),
+            )
+        };
+        if blocks.is_empty() && wanted < base_height {
+            // The in-memory log is a suffix; pruned history may still be
+            // readable from the archive directory.
+            let durability = self.state.durability.lock();
+            if let Some(Durability::Inline { log, .. }) = durability.as_ref() {
+                if let Ok(Some(archived)) = log.read_archived() {
+                    if let Some(first) = archived.first() {
+                        base_height = base_height.min(first.height);
+                        let skip = wanted.saturating_sub(first.height) as usize;
+                        if skip < archived.len() {
+                            let end = skip.saturating_add(max).min(archived.len());
+                            blocks = archived[skip..end].to_vec();
+                        }
+                    }
+                }
+            }
+        }
+        if self.state.behavior().tamper_repair_blocks {
+            if let Some(block) = blocks.first_mut() {
+                block.decision = match block.decision {
+                    Decision::Commit => Decision::Abort,
+                    Decision::Abort => Decision::Commit,
+                };
+            }
+        }
+        self.send(
+            from,
+            &Message::RepairBlocks {
+                from: wanted,
+                blocks,
+                base_height,
+                next_height,
+            },
+        );
+    }
+
+    /// Serving side of checkpoint transfer: hand back the requester's
+    /// own mirrored shard image, if we hold one.
+    fn handle_repair_checkpoint_request(&mut self, from: NodeId) {
+        if !self.repair_enabled() || from.raw() >= self.config.n_servers {
+            return;
+        }
+        let mut snapshot = self.state.repair.lock().mirrors.get(&from.raw()).cloned();
+        if self.state.behavior().tamper_repair_checkpoint {
+            if let Some(snap) = &mut snapshot {
+                if let Some(item) = snap.checkpoint.items.first_mut() {
+                    if let Some(version) = item.versions.last_mut() {
+                        version.1 = fides_store::types::Value::from_i64(i64::MAX);
+                    }
+                }
+            }
+        }
+        self.send(
+            from,
+            &Message::RepairCheckpoint {
+                snapshot: snapshot.map(Box::new),
+            },
+        );
+    }
+
+    /// Stores (and persists) a peer's checkpoint mirror. The mirror is
+    /// only provisional custody — a repairer adopting it re-verifies it
+    /// against the co-signed chain — but refusing internally
+    /// inconsistent images early keeps garbage off the disk.
+    fn handle_checkpoint_mirror(&mut self, from: NodeId, snapshot: ShardSnapshot) {
+        let origin = from.raw();
+        if !self.config.mirror_checkpoints
+            || !self.repair_enabled()
+            || origin >= self.config.n_servers
+            || origin == self.config.idx
+        {
+            return;
+        }
+        if snapshot.restore_verified().is_err() {
+            return;
+        }
+        {
+            let mut repair = self.state.repair.lock();
+            let newer = repair
+                .mirrors
+                .get(&origin)
+                .is_none_or(|held| snapshot.height > held.height);
+            if !newer {
+                return;
+            }
+            repair.mirrors.insert(origin, snapshot.clone());
+        }
+        let mut durability = self.state.durability.lock();
+        match durability.as_mut() {
+            None => {}
+            Some(Durability::Inline { snapshots, .. }) => {
+                snapshots
+                    .save_mirror(origin, &snapshot)
+                    .expect("mirror save failed");
+            }
+            Some(Durability::Pipelined { pipeline, .. }) => {
+                pipeline.submit_mirror(origin, snapshot);
+            }
+        }
+    }
+
+    /// Quorum-durable acks: a cohort reported its copy of `height`
+    /// fsync-durable.
+    fn handle_durable(&mut self, from: NodeId, height: u64) {
+        if from.raw() >= self.config.n_servers {
+            return;
+        }
+        if let Some(quorum) = &self.quorum {
+            quorum.record(height, from.raw());
+        }
+    }
+
+    // ---- Requesting side ------------------------------------------------
+
+    /// Starts a repair toward `target` served by `peer`, unless one is
+    /// already running or we are not actually behind.
+    fn begin_repair(&mut self, peer: u32, target: u64) {
+        if !self.repair_enabled() || self.repair_task.is_some() || peer == self.config.idx {
+            return;
+        }
+        let (tip, tip_hash) = {
+            let ledger = self.state.ledger.lock();
+            (ledger.log.next_height(), ledger.log.tip_hash())
+        };
+        if target <= tip {
+            return;
+        }
+        {
+            let mut repair = self.state.repair.lock();
+            if !repair.repairing {
+                repair.repairing = true;
+                repair.since = Some(Instant::now());
+            }
+        }
+        let mut excluded = HashSet::new();
+        excluded.insert(self.config.idx);
+        self.repair_task = Some(RepairTask {
+            peer,
+            base_height: tip,
+            base_tip: tip_hash,
+            checkpoint: None,
+            staged: Vec::new(),
+            target,
+            excluded,
+            asked_checkpoint: false,
+            last_activity: Instant::now(),
+        });
+        self.send_repair_request();
+    }
+
+    fn send_repair_request(&mut self) {
+        let Some(task) = &mut self.repair_task else {
+            return;
+        };
+        let from = task.base_height + task.staged.len() as u64;
+        let peer = server_node(task.peer);
+        task.last_activity = Instant::now();
+        self.send(
+            peer,
+            &Message::RepairRequest {
+                from,
+                max: REPAIR_CHUNK,
+            },
+        );
+    }
+
+    /// Requesting side: stage a served chunk, fall back to checkpoint
+    /// transfer when the peer pruned the range, finalize when the
+    /// target is reached.
+    fn handle_repair_blocks(
+        &mut self,
+        from: NodeId,
+        served_from: u64,
+        blocks: Vec<Block>,
+        peer_base: u64,
+        peer_next: u64,
+    ) {
+        let Some(task) = &mut self.repair_task else {
+            return;
+        };
+        if from.raw() != task.peer {
+            return;
+        }
+        task.last_activity = Instant::now();
+        let expected = task.base_height + task.staged.len() as u64;
+        if served_from != expected {
+            return; // stale response from an earlier staging position
+        }
+        task.target = task.target.max(peer_next);
+        if blocks.is_empty() {
+            if expected < peer_base {
+                // The peer pruned this range: its own WAL floor is above
+                // what we need. Fall back to a checkpoint of our shard.
+                if task.checkpoint.is_none() && !task.asked_checkpoint {
+                    task.asked_checkpoint = true;
+                    let peer = server_node(task.peer);
+                    self.send(peer, &Message::RepairCheckpointRequest);
+                    return;
+                }
+                self.retarget_repair(true);
+                return;
+            }
+            if expected >= task.target {
+                self.finalize_repair();
+            } else {
+                // The peer claims a tip it cannot serve toward: move on.
+                self.retarget_repair(true);
+            }
+            return;
+        }
+        // Cheap structural gate (full verification happens at install):
+        // the chunk must be consecutive from the requested height.
+        if blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.height != expected + i as u64)
+        {
+            self.retarget_repair(true);
+            return;
+        }
+        task.staged.extend(blocks);
+        if task.base_height + task.staged.len() as u64 >= task.target {
+            self.finalize_repair();
+        } else {
+            self.send_repair_request();
+        }
+    }
+
+    /// Requesting side of checkpoint transfer: verify the mirrored
+    /// image internally, then restage the fetch from its height — the
+    /// chain anchoring at install refutes a forged `tip_hash`.
+    fn handle_repair_checkpoint(&mut self, from: NodeId, snapshot: Option<ShardSnapshot>) {
+        let Some(task) = &mut self.repair_task else {
+            return;
+        };
+        if from.raw() != task.peer || !task.asked_checkpoint {
+            return;
+        }
+        task.last_activity = Instant::now();
+        let Some(snapshot) = snapshot else {
+            // An honest "I hold no mirror for you" — not evidence.
+            self.retarget_repair(true);
+            return;
+        };
+        if snapshot.restore_verified().is_err() {
+            let peer = task.peer;
+            self.record_repair_evidence(peer, RepairFault::BadCheckpoint);
+            self.retarget_repair(true);
+            return;
+        }
+        if snapshot.height <= task.base_height {
+            // Older than what we already hold: useless here.
+            self.retarget_repair(true);
+            return;
+        }
+        task.target = task.target.max(snapshot.height);
+        task.base_height = snapshot.height;
+        task.base_tip = snapshot.tip_hash;
+        task.checkpoint = Some(snapshot);
+        task.staged.clear();
+        if task.base_height >= task.target {
+            self.finalize_repair();
+        } else {
+            self.send_repair_request();
+        }
+    }
+
+    /// Verifies the complete staged transfer and installs it, or
+    /// records evidence against the serving peer and retries elsewhere.
+    fn finalize_repair(&mut self) {
+        let Some(task) = self.repair_task.take() else {
+            return;
+        };
+        let (base_shard, base_last_committed) = match &task.checkpoint {
+            Some(snap) => (
+                snap.restore_verified().expect("verified on receipt"),
+                snap.last_committed,
+            ),
+            None => {
+                let stage = self.state.shard.lock();
+                (stage.shard.clone(), stage.last_committed)
+            }
+        };
+        match verify_transfer(
+            self.config.idx,
+            &self.partitioner,
+            &self.server_pks,
+            self.config.protocol,
+            crate::repair::TransferBase {
+                height: task.base_height,
+                tip: task.base_tip,
+                shard: base_shard,
+                last_committed: base_last_committed,
+            },
+            &task.staged,
+        ) {
+            Err(fault) => {
+                // Attribution discipline: a base mismatch on an
+                // *extension* transfer means our own (provisionally
+                // adopted) anchor is wrong — the peer served genuinely
+                // co-signed blocks and must not be accused. On a
+                // checkpoint transfer the same fault proves the
+                // checkpoint the peer served carries a forged tip hash.
+                match fault {
+                    RepairFault::BaseMismatch { .. } if task.checkpoint.is_none() => {}
+                    RepairFault::BaseMismatch { .. } => {
+                        self.record_repair_evidence(task.peer, RepairFault::BadCheckpoint);
+                    }
+                    fault => self.record_repair_evidence(task.peer, fault),
+                }
+                let mut excluded = task.excluded;
+                excluded.insert(task.peer);
+                self.restart_repair_task(excluded, task.target);
+            }
+            Ok(verified) => {
+                // A checkpoint installed with no co-signed suffix on top
+                // carries an unconfirmed tip hash: stay provisional
+                // (repairing) until a peer at the same height confirms
+                // it — see `handle_repair_info`.
+                let provisional = task.checkpoint.is_some() && task.staged.is_empty();
+                self.install_transfer(&task, verified.shard, verified.last_committed);
+                {
+                    let mut repair = self.state.repair.lock();
+                    repair.repairing = provisional;
+                    repair.since = provisional.then(Instant::now);
+                    repair.completions += 1;
+                }
+                // Buffered live decisions apply now that the base moved.
+                self.catch_up();
+                // The chain may have advanced while we staged: re-gossip
+                // so a remaining gap starts a fresh (short) repair.
+                self.broadcast_repair_query();
+            }
+        }
+    }
+
+    /// Installs a verified transfer into the staged server state, one
+    /// stage lock at a time (same order as the live apply path). For a
+    /// checkpoint bootstrap the ledger becomes a suffix log, the WAL is
+    /// reset to restart at the checkpoint height (which is persisted
+    /// first), and the shard is replaced wholesale.
+    fn install_transfer(
+        &mut self,
+        task: &RepairTask,
+        shard: AuthenticatedShard,
+        last_committed: Timestamp,
+    ) {
+        let new_tip = task.base_height + task.staged.len() as u64;
+        // Stage 1 — ledger.
+        {
+            let mut ledger = self.state.ledger.lock();
+            if task.checkpoint.is_some() {
+                ledger.log = TamperProofLog::from_suffix(
+                    task.base_height,
+                    task.base_tip,
+                    task.staged.clone(),
+                )
+                .expect("verified transfer chains");
+            } else {
+                for block in task.staged.iter().cloned() {
+                    ledger
+                        .log
+                        .append(block)
+                        .expect("verified transfer extends the log");
+                }
+            }
+        }
+        // Stage 2 — exec: round state below the new tip is stale; the
+        // buffered decisions at or above it feed the catch-up loop.
+        {
+            let mut exec = self.state.exec.lock();
+            exec.witnesses.retain(|h, _| *h >= new_tip);
+            exec.sent_roots.retain(|h, _| *h >= new_tip);
+            exec.pending_decisions.retain(|h, _| *h >= new_tip);
+        }
+        // Stage 3 — durability: checkpoint first (it vouches for the
+        // discarded prefix), then the WAL restarts at its height and the
+        // transferred blocks follow. With quorum acks on, a repaired
+        // cohort also reports the transferred heights durable — the
+        // coordinator may still be withholding outcomes for them.
+        let quorum_cohort = self.config.quorum_acks && !self.is_coordinator();
+        {
+            let mut durability = self.state.durability.lock();
+            match durability.as_mut() {
+                None => {}
+                Some(Durability::Inline { log, snapshots, .. }) => {
+                    if let Some(snap) = &task.checkpoint {
+                        snapshots
+                            .save(snap)
+                            .expect("checkpoint-adoption snapshot save failed");
+                        log.reset_to(task.base_height).expect("WAL reset failed");
+                    }
+                    for block in &task.staged {
+                        log.append_block(block).expect("repair WAL append failed");
+                    }
+                    log.sync().expect("repair WAL fsync failed");
+                }
+                Some(Durability::Pipelined { pipeline, .. }) => {
+                    if let Some(snap) = &task.checkpoint {
+                        pipeline.reset_to(snap.clone());
+                    }
+                    for block in &task.staged {
+                        pipeline.submit_block(block);
+                        if quorum_cohort {
+                            let height = block.height;
+                            let sender = self.endpoint.sender();
+                            let keypair = self.keypair;
+                            let from = self.endpoint.node();
+                            pipeline.on_durable(
+                                height,
+                                Box::new(move || {
+                                    let msg = Message::Durable { height };
+                                    sender.send(Envelope::sign(
+                                        &keypair,
+                                        from,
+                                        server_node(COORDINATOR_IDX),
+                                        msg.encode(),
+                                    ));
+                                }),
+                            );
+                        }
+                    }
+                }
+            }
+            let inline_durable = !matches!(durability.as_ref(), Some(Durability::Pipelined { .. }));
+            drop(durability);
+            if quorum_cohort && inline_durable {
+                for block in &task.staged {
+                    self.send(
+                        server_node(COORDINATOR_IDX),
+                        &Message::Durable {
+                            height: block.height,
+                        },
+                    );
+                }
+            }
+        }
+        // Stage 4 — shard: swap in the verified replay and publish the
+        // watermark.
+        {
+            let mut stage = self.state.shard.lock();
+            stage.shard = shard;
+            stage.last_committed = last_committed;
+            stage.applied_height = new_tip;
+        }
+    }
+
+    /// Retries the current repair with the next untried peer (dropping
+    /// the staged transfer); with every peer tried, the task is
+    /// abandoned and the rate-limited gossip loop starts over.
+    fn retarget_repair(&mut self, exclude_current: bool) {
+        let Some(task) = self.repair_task.take() else {
+            return;
+        };
+        let mut excluded = task.excluded;
+        if exclude_current {
+            excluded.insert(task.peer);
+        }
+        self.restart_repair_task(excluded, task.target);
+    }
+
+    fn restart_repair_task(&mut self, excluded: HashSet<u32>, target: u64) {
+        let (tip, tip_hash) = {
+            let ledger = self.state.ledger.lock();
+            (ledger.log.next_height(), ledger.log.tip_hash())
+        };
+        if target <= tip {
+            // Caught up through other means; nothing left to repair.
+            let mut repair = self.state.repair.lock();
+            repair.repairing = false;
+            repair.since = None;
+            return;
+        }
+        let Some(peer) =
+            (0..self.config.n_servers).find(|s| *s != self.config.idx && !excluded.contains(s))
+        else {
+            // Every peer tried and failed: leave the repairing flag up
+            // (the audit grace clock keeps ticking) and let the gossip
+            // loop retry from scratch.
+            self.repair_task = None;
+            return;
+        };
+        self.repair_task = Some(RepairTask {
+            peer,
+            base_height: tip,
+            base_tip: tip_hash,
+            checkpoint: None,
+            staged: Vec::new(),
+            target,
+            excluded,
+            asked_checkpoint: false,
+            last_activity: Instant::now(),
+        });
+        self.send_repair_request();
+    }
+
+    /// Periodic repair upkeep from the message loop: drop an
+    /// unresponsive serving peer, and keep gossiping while lagging with
+    /// no active task.
+    fn drive_repair(&mut self) {
+        if !self.repair_enabled() {
+            return;
+        }
+        if let Some(task) = &self.repair_task {
+            if task.last_activity.elapsed() > self.config.round_timeout {
+                self.retarget_repair(true);
+            }
+        } else if self.state.is_repairing() {
+            self.maybe_query_repair();
+        }
+    }
+
+    fn record_repair_evidence(&self, peer: u32, fault: RepairFault) {
+        /// Hard cap: a retry loop against persistent Byzantine peers
+        /// must not grow evidence without bound.
+        const MAX_EVIDENCE: usize = 512;
+        let evidence = RepairEvidence { peer, fault };
+        let mut repair = self.state.repair.lock();
+        // A stuck retry loop against the same Byzantine peer would
+        // otherwise record the identical refutation every cycle.
+        if repair.evidence.len() < MAX_EVIDENCE && repair.evidence.last() != Some(&evidence) {
+            repair.evidence.push(evidence);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Applying a terminated block.
     // ------------------------------------------------------------------
 
@@ -1009,6 +1938,8 @@ impl Server {
         // sound because recovery rebuilds purely from the WAL and
         // clients are acked only after the covering fsync.
         {
+            let quorum_cohort = self.config.quorum_acks && !self.is_coordinator();
+            let mut report_now = quorum_cohort;
             let mut durability = self.state.durability.lock();
             match durability.as_mut() {
                 None => {}
@@ -1019,7 +1950,34 @@ impl Server {
                 }
                 Some(Durability::Pipelined { pipeline, .. }) => {
                     pipeline.submit_block(&block);
+                    if quorum_cohort {
+                        // Report durability from the writer thread once
+                        // the covering fsync lands (ordered acks).
+                        report_now = false;
+                        let sender = self.endpoint.sender();
+                        let keypair = self.keypair;
+                        let from = self.endpoint.node();
+                        pipeline.on_durable(
+                            height,
+                            Box::new(move || {
+                                let msg = Message::Durable { height };
+                                sender.send(Envelope::sign(
+                                    &keypair,
+                                    from,
+                                    server_node(COORDINATOR_IDX),
+                                    msg.encode(),
+                                ));
+                            }),
+                        );
+                    }
                 }
+            }
+            drop(durability);
+            if report_now {
+                // Inline durability fsynced above (and a memory-only
+                // cohort has nothing a crash could take back): report
+                // immediately.
+                self.send(server_node(COORDINATOR_IDX), &Message::Durable { height });
             }
         }
 
@@ -1097,6 +2055,15 @@ impl Server {
                 let stage = self.state.shard.lock();
                 ShardSnapshot::capture(&stage.shard, applied, tip_hash, stage.last_committed)
             };
+            // Mirror the checkpoint to peers before pruning can bite:
+            // once every server prunes its WAL below this height, the
+            // mirrors are what keep *this* shard recoverable should our
+            // disk die with the history (checkpoint state transfer).
+            if self.config.mirror_checkpoints && self.repair_enabled() {
+                self.broadcast_to_servers(&Message::CheckpointMirror {
+                    snapshot: Box::new(snapshot.clone()),
+                });
+            }
             let mut durability = self.state.durability.lock();
             match durability.as_mut() {
                 None => {}
@@ -1425,6 +2392,38 @@ impl Server {
                 None => per_client.push((p.client, vec![p.handle])),
             }
         }
+        // Quorum-durable acks: withhold the outcomes until a majority
+        // of servers (this coordinator included) reports the block
+        // fsync-durable — an acknowledged commit then survives the loss
+        // of any minority of disks, not just a coordinator crash.
+        if durable_when_fsynced {
+            if let Some(quorum) = &self.quorum {
+                let payloads: Vec<(NodeId, Vec<u8>)> = per_client
+                    .into_iter()
+                    .map(|(client, handles)| {
+                        let msg = Message::Outcome {
+                            handles,
+                            block: signed.clone(),
+                        };
+                        (client, msg.encode())
+                    })
+                    .collect();
+                quorum.register(height, payloads);
+                // The coordinator's own durability vote.
+                let durability = self.state.durability.lock();
+                match durability.as_ref() {
+                    Some(Durability::Pipelined { pipeline, .. }) => {
+                        let quorum = Arc::clone(quorum);
+                        let own = self.config.idx;
+                        pipeline.on_durable(height, Box::new(move || quorum.record(height, own)));
+                    }
+                    // Inline engines fsynced on the apply path; a
+                    // memory-only coordinator has nothing to lose.
+                    _ => quorum.record(height, self.config.idx),
+                }
+                return;
+            }
+        }
         let durability = self.state.durability.lock();
         if let Some(Durability::Pipelined { pipeline, .. }) = durability.as_ref() {
             if durable_when_fsynced {
@@ -1627,6 +2626,20 @@ impl Server {
                 Message::ReadMany { txn, keys } => self.handle_read_many(from, txn, keys),
                 Message::Write { txn, key, value } => self.handle_write(from, txn, key, value),
                 Message::EndTxn { handle, record } => self.handle_end_txn(from, handle, record),
+                // Repair-plane service and durability acks are also
+                // handled inline: a mid-round coordinator must neither
+                // starve a repairing peer nor drop quorum votes.
+                Message::RepairQuery { next_height } => {
+                    self.handle_repair_query(from, next_height);
+                }
+                Message::RepairRequest { from: wanted, max } => {
+                    self.handle_repair_request(from, wanted, max);
+                }
+                Message::RepairCheckpointRequest => self.handle_repair_checkpoint_request(from),
+                Message::CheckpointMirror { snapshot } => {
+                    self.handle_checkpoint_mirror(from, *snapshot);
+                }
+                Message::Durable { height } => self.handle_durable(from, height),
                 Message::Flush => {} // already mid-round
                 Message::Shutdown => {
                     self.running = false;

@@ -54,6 +54,10 @@ pub struct ClusterConfig {
     /// Durable storage for logs and shard snapshots (`None` = the
     /// original memory-only cluster).
     pub persistence: Option<PersistenceConfig>,
+    /// How long a repairing server counts as *lagging* (no
+    /// incomplete-log violation) before the audit treats the missing
+    /// tail as an omission fault after all.
+    pub repair_grace: Duration,
 }
 
 impl ClusterConfig {
@@ -71,6 +75,7 @@ impl ClusterConfig {
             round_timeout: Duration::from_secs(5),
             initial_value: 100,
             persistence: None,
+            repair_grace: Duration::from_secs(30),
         }
     }
 
@@ -129,6 +134,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the repairing-server audit grace window (see
+    /// [`ClusterConfig::repair_grace`]).
+    pub fn repair_grace(mut self, grace: Duration) -> Self {
+        self.repair_grace = grace;
+        self
+    }
+
     /// Persists every server's log and snapshots under `dir`
     /// (`<dir>/server-<idx>/{wal,snapshots}`). Starting a cluster twice
     /// over the same directory is a restart: the second start recovers
@@ -154,7 +166,10 @@ pub struct FidesCluster {
     server_pks: Vec<PublicKey>,
     oracle: TimestampOracle,
     states: Vec<Arc<ServerState>>,
-    threads: Vec<JoinHandle<()>>,
+    /// One slot per server; `None` while that server is crashed
+    /// (between [`FidesCluster::crash_server`] and
+    /// [`FidesCluster::restart_server`]).
+    threads: Vec<Option<JoinHandle<()>>>,
     admin: fides_net::Endpoint,
     admin_kp: KeyPair,
     initial: HashMap<Key, Value>,
@@ -211,15 +226,12 @@ impl FidesCluster {
         let mut initial = HashMap::new();
         let mut shards = Vec::with_capacity(config.n_servers as usize);
         for s in 0..config.n_servers {
-            let mut items = Vec::with_capacity(config.items_per_shard);
             for i in 0..config.items_per_shard {
                 let key = Self::key_for(s, i);
-                let value = Value::from_i64(config.initial_value);
                 assignments.push((key.clone(), s));
-                initial.insert(key.clone(), value.clone());
-                items.push((key, value));
+                initial.insert(key, Value::from_i64(config.initial_value));
             }
-            shards.push(AuthenticatedShard::new(items));
+            shards.push(Self::build_initial_shard(&config, s));
         }
         let partitioner = Partitioner::from_assignments(config.n_servers, assignments);
 
@@ -252,14 +264,7 @@ impl FidesCluster {
         let mut threads = Vec::with_capacity(config.n_servers as usize);
         for state in server_states {
             let s = state.idx;
-            let server_config = ServerConfig {
-                idx: s,
-                n_servers: config.n_servers,
-                protocol: config.protocol,
-                batch_size: config.batch_size,
-                flush_interval: config.flush_interval,
-                round_timeout: config.round_timeout,
-            };
+            let server_config = Self::build_server_config(&config, s);
             let endpoint = network.register(server_node(s));
             let (server, state) = Server::from_state(
                 server_config,
@@ -271,12 +276,12 @@ impl FidesCluster {
                 server_pks.clone(),
             );
             states.push(state);
-            threads.push(
+            threads.push(Some(
                 std::thread::Builder::new()
                     .name(format!("fides-server-{s}"))
                     .spawn(move || server.run())
                     .expect("spawn server thread"),
-            );
+            ));
         }
 
         let admin = network.register(admin_node());
@@ -297,6 +302,33 @@ impl FidesCluster {
 
     fn key_for(server: u32, item: usize) -> Key {
         Key::new(format!("s{server:03}:item-{item:06}"))
+    }
+
+    /// The deterministic preloaded population of server `s`'s shard —
+    /// a fresh server's starting state and the replay base when its
+    /// disk holds no snapshot.
+    fn build_initial_shard(config: &ClusterConfig, s: u32) -> AuthenticatedShard {
+        let items = (0..config.items_per_shard)
+            .map(|i| (Self::key_for(s, i), Value::from_i64(config.initial_value)))
+            .collect();
+        AuthenticatedShard::new(items)
+    }
+
+    fn build_server_config(config: &ClusterConfig, idx: u32) -> ServerConfig {
+        ServerConfig {
+            idx,
+            n_servers: config.n_servers,
+            protocol: config.protocol,
+            batch_size: config.batch_size,
+            flush_interval: config.flush_interval,
+            round_timeout: config.round_timeout,
+            repair: true,
+            mirror_checkpoints: config
+                .persistence
+                .as_ref()
+                .is_some_and(|p| p.mirror_checkpoints),
+            quorum_acks: config.persistence.as_ref().is_some_and(|p| p.quorum_acks),
+        }
     }
 
     /// The cluster's key naming scheme, usable without a running
@@ -377,18 +409,22 @@ impl FidesCluster {
         self.admin.send(env);
     }
 
-    /// Waits until all server logs converge to the same length (rounds
-    /// fully propagated) or the timeout passes. Returns the converged
-    /// length, or `None` on timeout.
+    /// Waits until all *running* server logs converge to the same tip
+    /// height (rounds fully propagated, repairs installed) or the
+    /// timeout passes. Returns the converged height, or `None` on
+    /// timeout. Crashed servers (between [`FidesCluster::crash_server`]
+    /// and [`FidesCluster::restart_server`]) are excluded.
     pub fn settle(&self, timeout: Duration) -> Option<usize> {
         let deadline = Instant::now() + timeout;
         loop {
             let lens: Vec<usize> = self
                 .states
                 .iter()
-                .map(|s| s.next_height() as usize)
+                .enumerate()
+                .filter(|(i, _)| self.threads[*i].is_some())
+                .map(|(_, s)| s.next_height() as usize)
                 .collect();
-            let first = lens[0];
+            let first = lens.first().copied().unwrap_or(0);
             if lens.iter().all(|&l| l == first) {
                 return Some(first);
             }
@@ -399,30 +435,177 @@ impl FidesCluster {
         }
     }
 
+    /// Kills one server mid-run: its durability engine is torn down
+    /// **without** flushing (the on-disk state is whatever the last
+    /// covering fsync left — `kill -9`), and its thread exits. The
+    /// remaining cluster keeps running; rounds involving the dead
+    /// shard abort until [`FidesCluster::restart_server`] brings it
+    /// back through verified recovery + repair.
+    pub fn crash_server(&mut self, idx: u32) {
+        let slot = idx as usize;
+        self.states[slot].kill_durability();
+        let env = Envelope::sign(
+            &self.admin_kp,
+            admin_node(),
+            server_node(idx),
+            Message::Shutdown.encode(),
+        );
+        self.admin.send(env);
+        if let Some(thread) = self.threads[slot].take() {
+            let _ = thread.join();
+        }
+    }
+
+    /// Restarts a crashed server over its surviving disk state: the
+    /// verified recovery path re-checks whatever the disk holds, the
+    /// server re-registers with the transport, announces its tip, and
+    /// the repair plane transfers (and re-verifies) everything it
+    /// missed before it serves commit votes again.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerStartError`] when the surviving disk state fails
+    /// integrity verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cluster has no persistence configured or the
+    /// server was not crashed first.
+    pub fn restart_server(&mut self, idx: u32) -> Result<(), ServerStartError> {
+        let slot = idx as usize;
+        assert!(
+            self.threads[slot].is_none(),
+            "crash_server({idx}) before restart_server({idx})"
+        );
+        let persistence = self
+            .config
+            .persistence
+            .clone()
+            .expect("restart requires a persistence configuration");
+        let recovered = recover_server(
+            idx,
+            Self::build_initial_shard(&self.config, idx),
+            &self.partitioner,
+            &self.server_pks,
+            self.config.protocol,
+            &persistence,
+        )?;
+        let behavior = self.config.behaviors.get(&idx).cloned().unwrap_or_default();
+        let state = ServerState::recovered(idx, behavior, recovered);
+        let endpoint = self.network.reregister(server_node(idx));
+        let keypair = KeyPair::from_seed(format!("fides-server-{idx}").as_bytes());
+        let (server, state) = Server::from_state(
+            Self::build_server_config(&self.config, idx),
+            state,
+            endpoint,
+            keypair,
+            Arc::clone(&self.directory),
+            self.partitioner.clone(),
+            self.server_pks.clone(),
+        );
+        self.states[slot] = state;
+        self.threads[slot] = Some(
+            std::thread::Builder::new()
+                .name(format!("fides-server-{idx}"))
+                .spawn(move || server.run())
+                .expect("spawn server thread"),
+        );
+        Ok(())
+    }
+
+    /// Waits until server `idx` has finished repairing **and** reached
+    /// the running cluster's converged tip. Returns `true` on success
+    /// within the timeout — the rejoin barrier tests and the bench
+    /// driver use to measure repair time.
+    pub fn await_rejoin(&self, idx: u32, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let state = &self.states[idx as usize];
+            if !state.is_repairing() {
+                let tip = state.next_height();
+                let max = self
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| self.threads[*i].is_some())
+                    .map(|(_, s)| s.next_height())
+                    .max()
+                    .unwrap_or(0);
+                if tip == max {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
     /// Runs a full audit: gathers every server's (possibly doctored)
-    /// log and datastore snapshot, then applies Lemmas 1–7. Each
-    /// server's `(log, shard)` pair is taken consistently
-    /// ([`ServerState::audit_snapshot`]) even while its commit pipeline
-    /// is mid-flight.
+    /// log, datastore snapshot and newest persisted checkpoint, then
+    /// applies Lemmas 1–7. Each server's `(log, shard)` pair is taken
+    /// consistently ([`ServerState::audit_snapshot`]) even while its
+    /// commit pipeline is mid-flight.
+    ///
+    /// Repair-plane integration: a server that is repairing within
+    /// [`ClusterConfig::repair_grace`] is reported as *lagging* rather
+    /// than accused of an incomplete log, and every refuted transfer a
+    /// repairer recorded is surfaced as a violation against the peer
+    /// that served it.
     pub fn audit(&self) -> AuditReport {
         self.settle(Duration::from_secs(2));
         let mut logs = Vec::with_capacity(self.states.len());
         let mut shards = Vec::with_capacity(self.states.len());
+        let mut checkpoints = Vec::with_capacity(self.states.len());
+        let mut lagging = std::collections::HashSet::new();
         for state in &self.states {
+            if state.is_repairing()
+                && state
+                    .repair_since()
+                    .is_some_and(|since| since.elapsed() <= self.config.repair_grace)
+            {
+                lagging.insert(state.idx);
+            }
             let (log, shard) = state.audit_snapshot();
             logs.push(log);
             shards.push(shard);
+            checkpoints.push(state.persisted_snapshot());
         }
         let auditor = Auditor::new(
             self.partitioner.clone(),
             self.server_pks.clone(),
             self.initial.clone(),
-        );
+        )
+        .with_lagging(lagging);
         let auditor = match self.config.protocol {
             CommitProtocol::TfCommit => auditor,
             CommitProtocol::TwoPhaseCommit => auditor.without_cosign_verification(),
         };
-        auditor.audit(&AuditInput { logs, shards })
+        let mut report = auditor.audit(&AuditInput {
+            logs,
+            shards,
+            checkpoints,
+        });
+        // Byzantine repair peers: evidence the repairers collected.
+        for state in &self.states {
+            for evidence in state.repair_evidence() {
+                report.violations.push(crate::audit::Violation {
+                    server: Some(evidence.peer),
+                    height: None,
+                    kind: crate::audit::ViolationKind::TamperedTransfer {
+                        fault: evidence.fault,
+                    },
+                });
+            }
+        }
+        report
+    }
+
+    /// Adjusts the repairing-server audit grace window on a running
+    /// cluster (tests exercising the lagging deadline).
+    pub fn set_repair_grace(&mut self, grace: Duration) {
+        self.config.repair_grace = grace;
     }
 
     /// Direct (read) access to a server's state, for tests and
@@ -474,7 +657,7 @@ impl FidesCluster {
             );
             self.admin.send(env);
         }
-        for t in self.threads.drain(..) {
+        for t in self.threads.drain(..).flatten() {
             let _ = t.join();
         }
         for state in &self.states {

@@ -44,6 +44,31 @@ pub trait DurableLog: Send + fmt::Debug {
         let _ = height;
         Ok(0)
     }
+
+    /// Discards every stored block and restarts the log at `height` —
+    /// the durable half of adopting a transferred checkpoint during
+    /// anti-entropy repair. The caller persists the checkpoint (which
+    /// vouches for everything below `height`) before appending through
+    /// the reset log.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific I/O failures.
+    fn reset_to(&mut self, height: u64) -> Result<(), WalError>;
+
+    /// Blocks this backend parked in its archive when pruning (the
+    /// [`crate::wal::SegmentArchive`] hook) — what a repair peer serves
+    /// when a lagging server asks for history below the live log.
+    /// `None` when the backend keeps no archive.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] when the archived segments fail their integrity
+    /// checks — archived history is as untrusted as any other disk
+    /// bytes.
+    fn read_archived(&self) -> Result<Option<Vec<Block>>, WalError> {
+        Ok(None)
+    }
 }
 
 /// A [`DurableLog`] persisting blocks to a [`SegmentedWal`].
@@ -180,6 +205,22 @@ impl DurableLog for WalBlockLog {
         let hook = self.archive.as_mut().map(|a| a as &mut dyn SegmentArchive);
         Ok(self.wal.prune_segments_below(height, hook)?.len())
     }
+
+    fn reset_to(&mut self, height: u64) -> Result<(), WalError> {
+        self.wal.reset_to(height)
+    }
+
+    fn read_archived(&self) -> Result<Option<Vec<Block>>, WalError> {
+        let Some(archive) = &self.archive else {
+            return Ok(None);
+        };
+        let segments = archive.segments()?;
+        if segments.is_empty() {
+            return Ok(None);
+        }
+        let report = crate::wal::read_sealed_segments(&segments)?;
+        decode_records(&report, archive.dir()).map(Some)
+    }
 }
 
 /// The shared "disk" behind [`MemoryBlockLog`] handles: the retained
@@ -245,6 +286,13 @@ impl DurableLog for MemoryBlockLog {
         state.blocks.retain(|b| b.height >= height);
         Ok(before - state.blocks.len())
     }
+
+    fn reset_to(&mut self, height: u64) -> Result<(), WalError> {
+        let mut state = self.blocks.lock().expect("memory log lock");
+        state.blocks.clear();
+        state.next_height = height;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +333,71 @@ mod tests {
         }
         let (_, replayed) = WalBlockLog::open(dir.path(), config).unwrap();
         assert_eq!(replayed, blocks);
+    }
+
+    #[test]
+    fn reset_to_restarts_record_numbering() {
+        let dir = TempDir::new("blocklog-reset");
+        let blocks = chain(8);
+        let config = WalConfig {
+            segment_bytes: 256,
+            sync: SyncPolicy::Batch,
+        };
+        {
+            let (mut log, _) = WalBlockLog::open(dir.path(), config).unwrap();
+            for b in &blocks[..5] {
+                log.append_block(b).unwrap();
+            }
+            log.sync().unwrap();
+            // Adopt a checkpoint at height 6: everything below is now
+            // vouched for elsewhere; the WAL restarts there.
+            log.reset_to(6).unwrap();
+            assert_eq!(log.block_count(), 6);
+            for b in &blocks[6..] {
+                log.append_block(b).unwrap();
+            }
+            log.sync().unwrap();
+        }
+        let (log, replayed) = WalBlockLog::open(dir.path(), config).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].height, 6);
+        assert_eq!(log.block_count(), 8);
+
+        // The superseded pre-reset records were parked, not destroyed.
+        let parked = dir.join("superseded");
+        assert!(
+            std::fs::read_dir(&parked).unwrap().count() > 0,
+            "superseded segments are preserved for forensics"
+        );
+    }
+
+    #[test]
+    fn archived_blocks_read_back_for_repair() {
+        let dir = TempDir::new("blocklog-archive-read");
+        let blocks = chain(40);
+        let config = WalConfig {
+            segment_bytes: 512,
+            sync: SyncPolicy::Batch,
+        };
+        let (mut log, _) =
+            WalBlockLog::open_with_archive(dir.join("wal"), dir.join("archive"), config).unwrap();
+        for b in &blocks {
+            log.append_block(b).unwrap();
+        }
+        log.sync().unwrap();
+        assert!(log.prune_below(30).unwrap() > 0, "segments were pruned");
+        let archived = log.read_archived().unwrap().expect("archive has blocks");
+        assert_eq!(archived[0].height, 0, "archive starts at genesis");
+        assert_eq!(archived, blocks[..archived.len()].to_vec());
+        assert!(
+            archived.len() >= 20,
+            "a meaningful prefix was archived: {}",
+            archived.len()
+        );
+
+        // A log without an archive reports none.
+        let (plain, _) = WalBlockLog::open(dir.join("wal2"), config).unwrap();
+        assert!(plain.read_archived().unwrap().is_none());
     }
 
     #[test]

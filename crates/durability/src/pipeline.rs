@@ -68,6 +68,16 @@ enum Cmd {
     /// Save this snapshot after the fsync covering its height, then
     /// prune the WAL below it (if enabled).
     Snapshot(Box<ShardSnapshot>),
+    /// Persist a mirror of a peer's checkpoint (anti-entropy repair:
+    /// the peer can fetch its own shard image back after losing its
+    /// disk). Saved immediately — mirrors carry no local ack semantics.
+    Mirror(u32, Box<ShardSnapshot>),
+    /// Adopt a transferred checkpoint: save it, reset the log to start
+    /// at its height, move the watermark there, and signal the barrier.
+    /// The server guarantees no acks are pending across a reset.
+    Reset(Box<ShardSnapshot>, crossbeam_channel::Sender<()>),
+    /// Reply with the newest persisted snapshot (audit surrender).
+    LoadLatest(crossbeam_channel::Sender<Option<ShardSnapshot>>),
     /// Fsync whatever is pending and signal the barrier.
     Flush(crossbeam_channel::Sender<()>),
     /// Test hook: stop immediately, abandoning buffered (un-fsynced)
@@ -169,6 +179,33 @@ impl CommitPipeline {
     /// height, so recovery can always bind it to the durable chain.
     pub fn submit_snapshot(&self, snapshot: ShardSnapshot) {
         self.send(Cmd::Snapshot(Box::new(snapshot)));
+    }
+
+    /// Queues a peer's checkpoint mirror for persistence (see
+    /// [`crate::SnapshotStore::save_mirror`]).
+    pub fn submit_mirror(&self, origin: u32, snapshot: ShardSnapshot) {
+        self.send(Cmd::Mirror(origin, Box::new(snapshot)));
+    }
+
+    /// Adopts a transferred checkpoint (anti-entropy repair): persists
+    /// it, resets the WAL to restart at `snapshot.height`, and moves the
+    /// durable watermark there. Blocking — on return the checkpoint is
+    /// durable and subsequent [`CommitPipeline::submit_block`] calls
+    /// must continue from `snapshot.height`. The caller must not have
+    /// acks pending below the new height.
+    pub fn reset_to(&self, snapshot: ShardSnapshot) {
+        let (done_tx, done_rx) = crossbeam_channel::unbounded();
+        self.send(Cmd::Reset(Box::new(snapshot), done_tx));
+        let _ = done_rx.recv();
+    }
+
+    /// The newest persisted snapshot, fetched through the writer thread
+    /// (which owns the store) — what a server surrenders to the auditor
+    /// so a suffix-log audit can seed its replay.
+    pub fn load_latest_snapshot(&self) -> Option<ShardSnapshot> {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        self.send(Cmd::LoadLatest(tx));
+        rx.recv().ok().flatten()
     }
 
     /// Registers `ack` to run once every block at height `< height + 1`
@@ -286,6 +323,29 @@ fn writer_loop(
                     appended_to = Some(height);
                 }
                 Cmd::Snapshot(snapshot) => queued_snapshots.push(*snapshot),
+                Cmd::Mirror(origin, snapshot) => {
+                    snapshots
+                        .save_mirror(origin, &snapshot)
+                        .expect("pipelined mirror save failed");
+                }
+                Cmd::Reset(snapshot, done) => {
+                    // Checkpoint adoption: persist the checkpoint first
+                    // (it vouches for everything below its height), then
+                    // restart the log there. Queued pre-reset snapshots
+                    // are superseded.
+                    let height = snapshot.height;
+                    snapshots
+                        .save(&snapshot)
+                        .expect("checkpoint-adoption snapshot save failed");
+                    log.reset_to(height).expect("WAL reset failed");
+                    queued_snapshots.retain(|s| s.height > height);
+                    appended_to = None;
+                    state.watermark.store(height, Ordering::Release);
+                    barriers.push(done);
+                }
+                Cmd::LoadLatest(reply) => {
+                    let _ = reply.send(snapshots.load_latest().ok().flatten());
+                }
                 Cmd::Flush(done) => barriers.push(done),
                 Cmd::Kill => {
                     // Abandon un-fsynced state: leak the log so not even
@@ -348,7 +408,7 @@ fn writer_loop(
 mod tests {
     use super::*;
     use crate::blocklog::{MemoryBlockLog, WalBlockLog};
-    use crate::snapshot::MemorySnapshotStore;
+    use crate::snapshot::{FileSnapshotStore, MemorySnapshotStore};
     use crate::testutil::TempDir;
     use crate::wal::{SyncPolicy, WalConfig};
     use fides_ledger::block::{BlockBuilder, Decision};
@@ -514,6 +574,61 @@ mod tests {
             replayed.len()
         );
         assert_eq!(replayed, blocks[..replayed.len()].to_vec());
+    }
+
+    #[test]
+    fn reset_adopts_checkpoint_and_restarts_the_wal() {
+        let dir = TempDir::new("pipeline-reset");
+        let blocks = chain(12);
+        let shard = fides_store::AuthenticatedShard::new(vec![(
+            fides_store::Key::new("k"),
+            fides_store::Value::from_i64(1),
+        )]);
+        {
+            let (log, _) = WalBlockLog::open(dir.join("wal"), pipelined_config()).unwrap();
+            let snapshots = FileSnapshotStore::open(dir.join("snapshots")).unwrap();
+            let pipeline = CommitPipeline::new(
+                Box::new(log),
+                Box::new(snapshots),
+                0,
+                PipelineConfig::default(),
+            );
+            // A short prefix exists, then a checkpoint at height 8 is
+            // adopted via state transfer and appends continue from there.
+            for block in &blocks[..3] {
+                pipeline.submit_block(block);
+            }
+            pipeline.flush();
+            let snapshot =
+                ShardSnapshot::capture(&shard, 8, blocks[7].hash(), fides_store::Timestamp::ZERO);
+            pipeline.reset_to(snapshot);
+            assert_eq!(pipeline.durable_height(), 8);
+            for block in &blocks[8..] {
+                pipeline.submit_block(block);
+            }
+            pipeline.submit_mirror(
+                3,
+                ShardSnapshot::capture(&shard, 2, blocks[1].hash(), fides_store::Timestamp::ZERO),
+            );
+            pipeline.flush();
+            assert_eq!(pipeline.durable_height(), 12);
+            assert_eq!(pipeline.load_latest_snapshot().unwrap().height, 8);
+        }
+        // Reopen: the WAL is a suffix starting at the adopted height,
+        // bound to the saved checkpoint; the mirror survived too.
+        let (_, replayed) = WalBlockLog::open(dir.join("wal"), pipelined_config()).unwrap();
+        assert_eq!(replayed.first().unwrap().height, 8);
+        assert_eq!(replayed.len(), 4);
+        let snapshots = FileSnapshotStore::open(dir.join("snapshots")).unwrap();
+        let latest = snapshots.load_latest().unwrap().unwrap();
+        assert_eq!(latest.height, 8);
+        let recovered =
+            crate::recovery::recover_ledger(replayed, Some(latest), &[], false).unwrap();
+        assert_eq!(recovered.log.next_height(), 12);
+        assert_eq!(recovered.log.tip_hash(), blocks[11].hash());
+        let mirrors = snapshots.load_mirrors().unwrap();
+        assert_eq!(mirrors.len(), 1);
+        assert_eq!(mirrors[0].0, 3);
     }
 
     #[test]

@@ -197,12 +197,38 @@ impl std::error::Error for SnapshotError {
 ///
 /// Implementations keep (at least) the newest snapshot; older ones may
 /// be garbage-collected.
+///
+/// Beyond its own checkpoints, a store can hold **mirrors**: peers'
+/// checkpoints replicated here so that a peer which later loses its
+/// disk below the cluster's pruned-WAL floor can fetch its own shard
+/// image back during anti-entropy repair (checkpoint state transfer).
+/// Only the newest mirror per origin server is kept.
 pub trait SnapshotStore: Send + fmt::Debug {
     /// Persists a snapshot atomically.
     fn save(&mut self, snapshot: &ShardSnapshot) -> Result<(), SnapshotError>;
 
     /// Loads the newest stored snapshot, or `None` when none exists.
     fn load_latest(&self) -> Result<Option<ShardSnapshot>, SnapshotError>;
+
+    /// Persists a mirror of `origin`'s checkpoint, replacing any older
+    /// mirror for that origin. Backends without mirror support drop it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on I/O failure.
+    fn save_mirror(&mut self, origin: u32, snapshot: &ShardSnapshot) -> Result<(), SnapshotError> {
+        let _ = (origin, snapshot);
+        Ok(())
+    }
+
+    /// Every stored mirror, as `(origin, snapshot)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on I/O failure or a corrupt mirror file.
+    fn load_mirrors(&self) -> Result<Vec<(u32, ShardSnapshot)>, SnapshotError> {
+        Ok(Vec::new())
+    }
 }
 
 /// File-backed [`SnapshotStore`]: one `snap-<height>.fsnap` per
@@ -214,6 +240,71 @@ pub struct FileSnapshotStore {
 
 fn snapshot_path(dir: &Path, height: u64) -> PathBuf {
     dir.join(format!("snap-{height:020}.fsnap"))
+}
+
+fn mirror_path(dir: &Path, origin: u32) -> PathBuf {
+    dir.join(format!("mirror-{origin:010}.fsnap"))
+}
+
+/// Writes one framed snapshot file atomically (tmp → fsync → rename →
+/// directory fsync) — shared by own checkpoints and mirrors.
+fn write_snapshot_file(
+    dir: &Path,
+    final_path: &Path,
+    snapshot: &ShardSnapshot,
+) -> Result<(), SnapshotError> {
+    let payload = snapshot.encode();
+    let tmp_path = final_path.with_extension("fsnap.tmp");
+    {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| SnapshotError::io(&tmp_path, e))?;
+        file.write_all(SNAPSHOT_MAGIC)
+            .and_then(|()| file.write_all(&SNAPSHOT_VERSION.to_be_bytes()))
+            .and_then(|()| file.write_all(&crc32(&payload).to_be_bytes()))
+            .and_then(|()| file.write_all(&payload))
+            .and_then(|()| file.sync_all())
+            .map_err(|e| SnapshotError::io(&tmp_path, e))?;
+    }
+    fs::rename(&tmp_path, final_path).map_err(|e| SnapshotError::io(final_path, e))?;
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| SnapshotError::io(dir, e))
+}
+
+/// Reads and integrity-checks one framed snapshot file.
+fn read_snapshot_file(path: &Path) -> Result<ShardSnapshot, SnapshotError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| SnapshotError::io(path, e))?;
+    if bytes.len() < 16 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadHeader {
+            file: path.to_path_buf(),
+            reason: "magic bytes missing",
+        });
+    }
+    let version = u32::from_be_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadHeader {
+            file: path.to_path_buf(),
+            reason: "unsupported format version",
+        });
+    }
+    let expected_crc = u32::from_be_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let payload = &bytes[16..];
+    if crc32(payload) != expected_crc {
+        return Err(SnapshotError::ChecksumMismatch {
+            file: path.to_path_buf(),
+        });
+    }
+    ShardSnapshot::decode(payload).map_err(|source| SnapshotError::Decode {
+        file: path.to_path_buf(),
+        source,
+    })
 }
 
 impl FileSnapshotStore {
@@ -251,27 +342,8 @@ impl FileSnapshotStore {
 
 impl SnapshotStore for FileSnapshotStore {
     fn save(&mut self, snapshot: &ShardSnapshot) -> Result<(), SnapshotError> {
-        let payload = snapshot.encode();
         let final_path = snapshot_path(&self.dir, snapshot.height);
-        let tmp_path = final_path.with_extension("fsnap.tmp");
-        {
-            let mut file = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp_path)
-                .map_err(|e| SnapshotError::io(&tmp_path, e))?;
-            file.write_all(SNAPSHOT_MAGIC)
-                .and_then(|()| file.write_all(&SNAPSHOT_VERSION.to_be_bytes()))
-                .and_then(|()| file.write_all(&crc32(&payload).to_be_bytes()))
-                .and_then(|()| file.write_all(&payload))
-                .and_then(|()| file.sync_all())
-                .map_err(|e| SnapshotError::io(&tmp_path, e))?;
-        }
-        fs::rename(&tmp_path, &final_path).map_err(|e| SnapshotError::io(&final_path, e))?;
-        File::open(&self.dir)
-            .and_then(|d| d.sync_all())
-            .map_err(|e| SnapshotError::io(&self.dir, e))?;
+        write_snapshot_file(&self.dir, &final_path, snapshot)?;
 
         // Garbage-collect older snapshots (best effort — the newest one
         // is already durable).
@@ -287,31 +359,33 @@ impl SnapshotStore for FileSnapshotStore {
         let Some((_, path)) = self.list()?.pop() else {
             return Ok(None);
         };
-        let mut bytes = Vec::new();
-        File::open(&path)
-            .and_then(|mut f| f.read_to_end(&mut bytes))
-            .map_err(|e| SnapshotError::io(&path, e))?;
-        if bytes.len() < 16 || &bytes[..8] != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadHeader {
-                file: path,
-                reason: "magic bytes missing",
-            });
+        read_snapshot_file(&path).map(Some)
+    }
+
+    fn save_mirror(&mut self, origin: u32, snapshot: &ShardSnapshot) -> Result<(), SnapshotError> {
+        // One file per origin, atomically replaced: the newest mirror
+        // supersedes older ones.
+        let final_path = mirror_path(&self.dir, origin);
+        write_snapshot_file(&self.dir, &final_path, snapshot)
+    }
+
+    fn load_mirrors(&self) -> Result<Vec<(u32, ShardSnapshot)>, SnapshotError> {
+        let mut mirrors = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| SnapshotError::io(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| SnapshotError::io(&self.dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(origin) = name
+                .strip_prefix("mirror-")
+                .and_then(|n| n.strip_suffix(".fsnap"))
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                mirrors.push((origin, read_snapshot_file(&entry.path())?));
+            }
         }
-        let version = u32::from_be_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::BadHeader {
-                file: path,
-                reason: "unsupported format version",
-            });
-        }
-        let expected_crc = u32::from_be_bytes(bytes[12..16].try_into().expect("4 bytes"));
-        let payload = &bytes[16..];
-        if crc32(payload) != expected_crc {
-            return Err(SnapshotError::ChecksumMismatch { file: path });
-        }
-        ShardSnapshot::decode(payload)
-            .map(Some)
-            .map_err(|source| SnapshotError::Decode { file: path, source })
+        mirrors.sort_unstable_by_key(|(origin, _)| *origin);
+        Ok(mirrors)
     }
 }
 
@@ -319,7 +393,13 @@ impl SnapshotStore for FileSnapshotStore {
 /// to run the persistence-aware server paths without touching disk.
 #[derive(Debug, Default)]
 pub struct MemorySnapshotStore {
-    latest: std::sync::Arc<std::sync::Mutex<Option<ShardSnapshot>>>,
+    state: std::sync::Arc<std::sync::Mutex<MemorySnapshotState>>,
+}
+
+#[derive(Debug, Default)]
+struct MemorySnapshotState {
+    latest: Option<ShardSnapshot>,
+    mirrors: std::collections::BTreeMap<u32, ShardSnapshot>,
 }
 
 impl MemorySnapshotStore {
@@ -332,19 +412,44 @@ impl MemorySnapshotStore {
     /// the original (simulating a disk across a simulated crash).
     pub fn handle(&self) -> MemorySnapshotStore {
         MemorySnapshotStore {
-            latest: std::sync::Arc::clone(&self.latest),
+            state: std::sync::Arc::clone(&self.state),
         }
     }
 }
 
 impl SnapshotStore for MemorySnapshotStore {
     fn save(&mut self, snapshot: &ShardSnapshot) -> Result<(), SnapshotError> {
-        *self.latest.lock().expect("snapshot store lock") = Some(snapshot.clone());
+        self.state.lock().expect("snapshot store lock").latest = Some(snapshot.clone());
         Ok(())
     }
 
     fn load_latest(&self) -> Result<Option<ShardSnapshot>, SnapshotError> {
-        Ok(self.latest.lock().expect("snapshot store lock").clone())
+        Ok(self
+            .state
+            .lock()
+            .expect("snapshot store lock")
+            .latest
+            .clone())
+    }
+
+    fn save_mirror(&mut self, origin: u32, snapshot: &ShardSnapshot) -> Result<(), SnapshotError> {
+        self.state
+            .lock()
+            .expect("snapshot store lock")
+            .mirrors
+            .insert(origin, snapshot.clone());
+        Ok(())
+    }
+
+    fn load_mirrors(&self) -> Result<Vec<(u32, ShardSnapshot)>, SnapshotError> {
+        Ok(self
+            .state
+            .lock()
+            .expect("snapshot store lock")
+            .mirrors
+            .iter()
+            .map(|(origin, snap)| (*origin, snap.clone()))
+            .collect())
     }
 }
 
@@ -432,6 +537,31 @@ mod tests {
         assert!(store.load_latest().unwrap().is_none());
         store.save(&sample(2)).unwrap();
         assert_eq!(store.load_latest().unwrap().unwrap().height, 2);
+    }
+
+    #[test]
+    fn mirrors_roundtrip_and_replace_per_origin() {
+        let dir = TempDir::new("snap-mirrors");
+        let mut store = FileSnapshotStore::open(dir.path()).unwrap();
+        assert!(store.load_mirrors().unwrap().is_empty());
+        store.save_mirror(2, &sample(4)).unwrap();
+        store.save_mirror(0, &sample(8)).unwrap();
+        store.save_mirror(2, &sample(12)).unwrap(); // replaces origin 2
+        store.save(&sample(16)).unwrap(); // own snapshot is separate
+        let mirrors = store.load_mirrors().unwrap();
+        assert_eq!(mirrors.len(), 2);
+        assert_eq!(mirrors[0].0, 0);
+        assert_eq!(mirrors[0].1.height, 8);
+        assert_eq!(mirrors[1].0, 2);
+        assert_eq!(mirrors[1].1.height, 12);
+        assert_eq!(store.load_latest().unwrap().unwrap().height, 16);
+
+        let mut memory = MemorySnapshotStore::new();
+        memory.save_mirror(1, &sample(4)).unwrap();
+        memory.save_mirror(1, &sample(6)).unwrap();
+        let mirrors = memory.load_mirrors().unwrap();
+        assert_eq!(mirrors.len(), 1);
+        assert_eq!(mirrors[0].1.height, 6);
     }
 
     #[test]

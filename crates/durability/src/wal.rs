@@ -569,6 +569,59 @@ impl SegmentedWal {
         Ok(pruned)
     }
 
+    /// Supersedes **everything** and restarts the WAL at record index
+    /// `next_record` — the durable half of adopting a transferred
+    /// checkpoint: the existing records belong to a history prefix the
+    /// checkpoint replaces, and subsequent appends must carry record
+    /// indices starting at the checkpoint height (the WAL invariant
+    /// that a block's height is its record index). The caller persists
+    /// the checkpoint itself **before** relying on the reset WAL, so a
+    /// crash mid-adoption recovers either the old state or the new one,
+    /// never a gap.
+    ///
+    /// The old segments are **not destroyed**: they are parked under
+    /// `<dir>/superseded/` (invisible to [`SegmentedWal::open`], which
+    /// only scans files in the WAL directory itself). A reset driven by
+    /// a checkpoint whose trust later fails to confirm must not have
+    /// erased genuinely co-signed durable history — an operator (or the
+    /// auditor) can still recover the superseded records.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Io`] when segments cannot be parked or the fresh
+    /// segment cannot be created.
+    pub fn reset_to(&mut self, next_record: u64) -> Result<(), WalError> {
+        let parked = self.dir.join("superseded");
+        fs::create_dir_all(&parked).map_err(|e| WalError::io(&parked, e))?;
+        for (first, path) in list_segments(&self.dir)? {
+            let name = path.file_name().expect("segment files have names");
+            let mut target = parked.join(name);
+            let mut attempt = 1u32;
+            while target.exists() {
+                // A later reset can supersede a segment with the same
+                // first-record index; keep both copies.
+                target = parked.join(format!("wal-{first:020}.seg.{attempt}"));
+                attempt += 1;
+            }
+            fs::rename(&path, &target).map_err(|e| WalError::io(&path, e))?;
+        }
+        let path = segment_path(&self.dir, next_record);
+        let mut file = File::create(&path).map_err(|e| WalError::io(&path, e))?;
+        write_segment_header(&mut file, next_record).map_err(|e| WalError::io(&path, e))?;
+        if self.config.sync != SyncPolicy::NoFsync {
+            file.sync_all().map_err(|e| WalError::io(&path, e))?;
+            sync_dir(&self.dir)?;
+        }
+        // Dropping the old writer may flush buffered bytes into the
+        // now-unlinked segment; harmless.
+        self.writer = BufWriter::new(file);
+        self.active_path = path;
+        self.active_len = SEGMENT_HEADER_BYTES;
+        self.next_record = next_record;
+        self.dirty = false;
+        Ok(())
+    }
+
     /// Seals the active segment and starts a new one.
     fn rotate(&mut self) -> Result<(), WalError> {
         // Seal: everything in the old segment becomes durable.

@@ -218,6 +218,23 @@ impl TamperProofLog {
         self.blocks.clone()
     }
 
+    /// A range read for state transfer: up to `max` blocks starting at
+    /// height `from`, cloned in height order. Empty when `from` lies
+    /// below [`TamperProofLog::base_height`] (the prefix was pruned — a
+    /// repair peer must fall back to its archive or a checkpoint) or at
+    /// or above the tip.
+    pub fn blocks_from(&self, from: u64, max: usize) -> Vec<Block> {
+        let Some(start) = from.checked_sub(self.base) else {
+            return Vec::new();
+        };
+        let start = start as usize;
+        if start >= self.blocks.len() {
+            return Vec::new();
+        }
+        let end = start.saturating_add(max).min(self.blocks.len());
+        self.blocks[start..end].to_vec()
+    }
+
     /// Appends a block after checking height continuity and the hash
     /// link — what every *correct* server does at the end of a TFCommit
     /// round (§4.1 step 6).
@@ -442,6 +459,28 @@ mod tests {
         assert_eq!(suffix.tip_hash(), tip);
         assert_eq!(suffix.next_height(), 7);
         assert!(suffix.is_empty());
+    }
+
+    #[test]
+    fn blocks_from_is_clamped_and_base_aware() {
+        let log = chain(6);
+        let got = log.blocks_from(2, 3);
+        assert_eq!(
+            got.iter().map(|b| b.height).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(log.blocks_from(5, 10).len(), 1);
+        assert!(log.blocks_from(6, 10).is_empty());
+
+        let base = 3u64;
+        let base_tip = log.get(base - 1).unwrap().hash();
+        let tail: Vec<Block> = log.blocks()[base as usize..].to_vec();
+        let suffix = TamperProofLog::from_suffix(base, base_tip, tail).unwrap();
+        assert!(
+            suffix.blocks_from(1, 10).is_empty(),
+            "pruned heights are unservable"
+        );
+        assert_eq!(suffix.blocks_from(4, 10).len(), 2);
     }
 
     #[test]

@@ -16,8 +16,10 @@ use core::fmt;
 
 use fides_crypto::cosi;
 use fides_crypto::schnorr::PublicKey;
+use fides_crypto::Digest;
 
-use crate::log::TamperProofLog;
+use crate::block::Block;
+use crate::log::{LogError, TamperProofLog};
 
 /// Why a block failed validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,17 +133,78 @@ pub fn validate_chain(log: &TamperProofLog, witness_keys: &[PublicKey]) -> Resul
     }
 }
 
+/// Why a transferred block range was refused (anti-entropy state
+/// transfer: a repairing server re-verifies everything a peer serves
+/// before applying a single byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferFault {
+    /// The blocks do not form a height-continuous hash chain starting
+    /// at the expected base.
+    Structure(LogError),
+    /// The chain is structurally sound but a collective signature (or
+    /// a height/link relative to the base) fails verification.
+    Chain(ChainFault),
+}
+
+impl fmt::Display for TransferFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferFault::Structure(e) => write!(f, "transferred blocks are not a chain: {e}"),
+            TransferFault::Chain(fault) => {
+                write!(f, "transferred chain fails verification: {fault}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransferFault {}
+
+/// Validates a transferred block range against a trusted anchor: the
+/// blocks must form a chain starting at height `base` whose first block
+/// links to `base_tip`, and (under TFCommit) every collective signature
+/// must verify over `witness_keys` — the batched
+/// [`cosi::verify_batch`] path, same as [`validate_chain`].
+///
+/// The anchor makes the verification Byzantine-proof end to end: for an
+/// extension transfer `base_tip` is the receiving server's own verified
+/// tip hash; for a checkpoint-bootstrapped transfer it is the
+/// checkpoint's recorded tip hash, which the co-signed `prev_hash` of
+/// the first transferred block must reproduce — a forged checkpoint or
+/// a tampered suffix cannot survive both checks.
+///
+/// Returns the verified suffix log (base-aware, ready to adopt).
+///
+/// # Errors
+///
+/// The first [`TransferFault`], pinpointing the offending block.
+pub fn validate_transfer(
+    base: u64,
+    base_tip: Digest,
+    blocks: Vec<Block>,
+    witness_keys: &[PublicKey],
+    verify_cosign: bool,
+) -> Result<TamperProofLog, TransferFault> {
+    let log =
+        TamperProofLog::from_suffix(base, base_tip, blocks).map_err(TransferFault::Structure)?;
+    if verify_cosign {
+        validate_chain(&log, witness_keys).map_err(TransferFault::Chain)?;
+    }
+    Ok(log)
+}
+
 /// The auditor's verdict on one server's log copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogAssessment {
-    /// Valid and as long as the canonical log.
+    /// Valid and reaching the canonical tip height. A suffix log whose
+    /// pruned prefix is vouched for by a checkpoint still counts as
+    /// complete — omission faults are about the *tail* (§4.4 (iii)).
     Complete,
-    /// Valid but missing the canonical tail (§4.4 (iii)): the server
-    /// omitted `canonical_len - len` blocks.
+    /// Valid but missing the canonical tail (§4.4 (iii)): the server's
+    /// tip stops `canonical_len - len` blocks short.
     Incomplete {
-        /// Blocks this server kept.
+        /// The server's tip height.
         len: usize,
-        /// Canonical length.
+        /// Canonical tip height.
         canonical_len: usize,
     },
     /// Chain validation failed — the log was tampered with or reordered.
@@ -176,6 +239,14 @@ pub struct LogSelection {
 /// Selects the correct and complete log from the copies gathered from
 /// all servers, assessing each copy (Lemmas 6 and 7).
 ///
+/// Base-aware: a server that legitimately pruned its prefix below a
+/// checkpoint surrenders a *suffix* log. The canonical log is the valid
+/// copy with the highest tip (ties broken toward the most retained
+/// history), every copy is compared to it height-by-height over their
+/// overlap, and a suffix log must additionally *link into* the
+/// canonical chain at its base — so a pruned-prefix copy that belongs
+/// to a different history is still flagged as forked.
+///
 /// # Panics
 ///
 /// Panics if `logs` is empty or if **no** log validates — both violate
@@ -192,7 +263,7 @@ pub fn select_canonical_log(logs: &[TamperProofLog], witness_keys: &[PublicKey])
         .iter()
         .enumerate()
         .filter(|(i, _)| verdicts[*i].is_ok())
-        .max_by_key(|(_, log)| log.len())
+        .max_by_key(|(_, log)| (log.next_height(), core::cmp::Reverse(log.base_height())))
         .map(|(i, log)| (i, log.clone()))
         .expect("at least one server is correct (paper assumption, §3.2)");
 
@@ -202,19 +273,34 @@ pub fn select_canonical_log(logs: &[TamperProofLog], witness_keys: &[PublicKey])
         .map(|(log, verdict)| match verdict {
             Err(fault) => LogAssessment::Tampered(*fault),
             Ok(()) => {
-                // A valid log must be a hash-prefix of the canonical one.
-                for (h, block) in log.iter().enumerate() {
-                    let canon = canonical
-                        .get(h as u64)
-                        .expect("canonical is the longest valid log");
-                    if canon.hash() != block.hash() {
-                        return LogAssessment::Forked { height: h as u64 };
+                // Hash agreement over the overlapping height range.
+                let lo = log.base_height().max(canonical.base_height());
+                let hi = log.next_height().min(canonical.next_height());
+                for h in lo..hi {
+                    let (a, b) = (log.get(h), canonical.get(h));
+                    if a.map(Block::hash) != b.map(Block::hash) {
+                        return LogAssessment::Forked { height: h };
                     }
                 }
-                if log.len() < canonical.len() {
+                // A suffix log must link into the other chain at its
+                // base (and vice versa when the canonical prunes more).
+                let linked = if log.base_height() > canonical.base_height() {
+                    canonical.get(log.base_height() - 1).map(Block::hash) == Some(log.base_tip())
+                } else if canonical.base_height() > log.base_height() {
+                    log.get(canonical.base_height() - 1).map(Block::hash)
+                        == Some(canonical.base_tip())
+                } else {
+                    log.base_tip() == canonical.base_tip()
+                };
+                if !linked {
+                    return LogAssessment::Forked {
+                        height: log.base_height().max(canonical.base_height()),
+                    };
+                }
+                if log.next_height() < canonical.next_height() {
                     LogAssessment::Incomplete {
-                        len: log.len(),
-                        canonical_len: canonical.len(),
+                        len: log.next_height() as usize,
+                        canonical_len: canonical.next_height() as usize,
                     }
                 } else {
                     LogAssessment::Complete
@@ -431,6 +517,85 @@ mod tests {
         let mut log = signed_chain(3, &ks);
         log.tamper_block(0, |b| b.height = 9);
         select_canonical_log(&[log], &pks(&ks));
+    }
+
+    #[test]
+    fn transfer_validates_against_anchor() {
+        let ks = keys(3);
+        let full = signed_chain(6, &ks);
+        let base = 2u64;
+        let base_tip = full.get(base - 1).unwrap().hash();
+        let tail: Vec<Block> = full.blocks()[base as usize..].to_vec();
+
+        // An honest transfer verifies and yields the adoptable suffix.
+        let log = validate_transfer(base, base_tip, tail.clone(), &pks(&ks), true).unwrap();
+        assert_eq!(log.next_height(), 6);
+        assert_eq!(log.tip_hash(), full.tip_hash());
+
+        // A tampered block fails the collective-signature pass — repair
+        // the downstream hash links so only the signatures can catch it.
+        let mut tampered = tail.clone();
+        tampered[1].decision = Decision::Abort;
+        for i in 2..tampered.len() {
+            tampered[i].prev_hash = tampered[i - 1].hash();
+        }
+        let err = validate_transfer(base, base_tip, tampered, &pks(&ks), true).unwrap_err();
+        assert_eq!(
+            err,
+            TransferFault::Chain(ChainFault {
+                height: 3,
+                kind: ChainFaultKind::BadCollectiveSignature
+            })
+        );
+
+        // ...and a wrong anchor (forged checkpoint tip) breaks the
+        // first link.
+        let err =
+            validate_transfer(base, Digest::new([0xAB; 32]), tail, &pks(&ks), true).unwrap_err();
+        assert!(matches!(
+            err,
+            TransferFault::Structure(crate::log::LogError::BrokenLink)
+        ));
+    }
+
+    #[test]
+    fn suffix_copy_assessed_complete_when_it_links() {
+        let ks = keys(3);
+        let full = signed_chain(6, &ks);
+        let base = 3u64;
+        let base_tip = full.get(base - 1).unwrap().hash();
+        let tail: Vec<Block> = full.blocks()[base as usize..].to_vec();
+        let suffix = TamperProofLog::from_suffix(base, base_tip, tail.clone()).unwrap();
+
+        let selection = select_canonical_log(&[full.clone(), suffix], &pks(&ks));
+        assert_eq!(selection.source, 0);
+        assert!(
+            selection.assessments[1].is_complete(),
+            "a pruned-but-linked suffix reaching the tip is complete: {:?}",
+            selection.assessments[1]
+        );
+
+        // A suffix that does not link into the canonical chain is
+        // forked, not merely incomplete.
+        let unlinked =
+            TamperProofLog::from_suffix(base, Digest::new([0x13; 32]), Vec::new()).unwrap();
+        let selection = select_canonical_log(&[full.clone(), unlinked], &pks(&ks));
+        assert!(matches!(
+            selection.assessments[1],
+            LogAssessment::Forked { height: 3 }
+        ));
+
+        // A suffix stopping short of the canonical tip is incomplete,
+        // measured in tip heights.
+        let short = TamperProofLog::from_suffix(base, base_tip, tail[..2].to_vec()).unwrap();
+        let selection = select_canonical_log(&[full, short], &pks(&ks));
+        assert_eq!(
+            selection.assessments[1],
+            LogAssessment::Incomplete {
+                len: 5,
+                canonical_len: 6
+            }
+        );
     }
 
     #[test]

@@ -228,6 +228,23 @@ impl Network {
         }
     }
 
+    /// Re-registers a node that crashed and restarted, replacing its
+    /// inbox: messages still queued for the dead endpoint are lost (as
+    /// they would be for a rebooted machine), and new traffic flows to
+    /// the returned endpoint. Unlike [`Network::register`] this never
+    /// panics on an existing registration — it is the transport half of
+    /// a server rejoin.
+    pub fn reregister(&self, node: NodeId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.shared.inboxes.lock().insert(node, tx);
+        Endpoint {
+            node,
+            rx,
+            shared: Arc::clone(&self.shared),
+            scheduler_tx: self.scheduler_tx.clone(),
+        }
+    }
+
     /// Cuts the directed link `from → to`.
     pub fn partition(&self, from: NodeId, to: NodeId) {
         self.shared.partitions.lock().insert((from, to));
@@ -603,6 +620,30 @@ mod tests {
         a.send(env(&kp, 0, 99, b"void"));
         // No panic; nothing to assert beyond the send not failing.
         assert_eq!(net.stats().messages_sent(), 1);
+    }
+
+    #[test]
+    fn reregistration_replaces_the_inbox() {
+        let net = Network::new(NetworkConfig::default());
+        let a = net.register(NodeId::new(0));
+        let b_old = net.register(NodeId::new(1));
+        let kp = KeyPair::from_seed(b"k");
+        a.send(env(&kp, 0, 1, b"before-crash"));
+        assert_eq!(b_old.recv().unwrap().payload, b"before-crash");
+
+        // Node 1 "reboots": the replacement inbox gets new traffic, the
+        // dead endpoint gets nothing further.
+        let b_new = net.reregister(NodeId::new(1));
+        a.send(env(&kp, 0, 1, b"after-restart"));
+        assert_eq!(b_new.recv().unwrap().payload, b"after-restart");
+        // Its network-side sender was dropped with the replacement.
+        assert_eq!(
+            b_old.recv_timeout(Duration::from_millis(20)),
+            Err(RecvError::Disconnected)
+        );
+        // The restarted node can still send.
+        b_new.send(env(&kp, 1, 0, b"hello"));
+        assert_eq!(a.recv().unwrap().payload, b"hello");
     }
 
     #[test]

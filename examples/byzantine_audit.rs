@@ -13,12 +13,21 @@
 //! | tampered log           | log        | co-sign per block (Lemma 6) |
 //! | reordered log          | log        | hash chain (Lemma 6) |
 //! | truncated log          | log        | canonical-log selection (Lemma 7) |
+//! | tampered state transfer | repair    | transfer verification + audit evidence |
+//!
+//! The repair case also demonstrates the converse guarantee: a server
+//! that is merely **repairing** (lagging behind while the repair plane
+//! resynchronizes it) is *not* reported as misbehaving — its short log
+//! is excused as lagging until the grace deadline.
 //!
 //! ```text
 //! cargo run --release --example byzantine_audit
 //! ```
 
+use std::time::Duration;
+
 use fides::core::behavior::Behavior;
+use fides::core::recovery::PersistenceConfig;
 use fides::core::system::{ClusterConfig, FidesCluster};
 use fides::store::{Key, Value};
 
@@ -186,5 +195,102 @@ fn main() {
         false,
     );
 
-    println!("all nine faults detected and attributed correctly.");
+    run_repair_case();
+
+    println!("all ten faults detected and attributed correctly.");
+}
+
+/// A Byzantine repair peer serves a tampered state transfer to a server
+/// rejoining after total disk loss: the transfer is refuted (nothing
+/// tampered is applied), the audit attributes the attempt to the
+/// precise peer, and the *repairing* victim is never accused — while it
+/// lags it is reported as lagging, not faulty.
+fn run_repair_case() {
+    println!("--- tampered state transfer (repair plane) ---");
+    let dir = fides::durability::testutil::TempDir::new("byzantine-audit-repair");
+    let victim = 2u32;
+    let liar = 1u32;
+    let config = |byzantine: bool| {
+        let mut config = ClusterConfig::new(3)
+            .items_per_shard(8)
+            .flush_interval(Duration::from_millis(5))
+            .round_timeout(Duration::from_millis(300))
+            .persistence(PersistenceConfig::files(dir.path()).snapshot_interval(0));
+        if byzantine {
+            config = config.behavior(
+                liar,
+                Behavior {
+                    tamper_repair_blocks: true,
+                    ..Behavior::default()
+                },
+            );
+        }
+        config
+    };
+
+    let mut cluster = FidesCluster::start(config(true));
+    let mut client = cluster.client(0);
+    for i in 0..4 {
+        let keys = [cluster.key_of(0, i), cluster.key_of(2, i)];
+        assert!(client.run_rmw(&keys, 1).unwrap().committed());
+    }
+    cluster.settle(Duration::from_secs(5)).expect("settles");
+
+    // The victim dies with its disk; only the liar is reachable when it
+    // comes back, so the first transfer attempt is tampered.
+    cluster.crash_server(victim);
+    std::fs::remove_dir_all(PersistenceConfig::server_dir(dir.path(), victim))
+        .expect("wipe victim disk");
+    cluster
+        .network()
+        .partition_pair(fides::net::NodeId::new(victim), fides::net::NodeId::new(0));
+    cluster.restart_server(victim).expect("restart");
+
+    // The tampered transfer is refuted...
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.server_state(victim).repair_evidence().is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "tampered transfer must be refuted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for evidence in cluster
+        .server_state(victim)
+        .repair_evidence()
+        .iter()
+        .take(2)
+    {
+        println!("  => victim refuted: {evidence}");
+    }
+    // ...and while the victim is still behind, the audit calls it
+    // lagging instead of accusing it.
+    let report = cluster.audit();
+    assert!(
+        report.against_server(victim).is_empty(),
+        "a repairing server must not be reported as misbehaving: {report}"
+    );
+    if report.lagging.contains(&victim) {
+        println!("  => audit: server {victim} is lagging (repairing), not faulty");
+    }
+    assert!(
+        !report.against_server(liar).is_empty(),
+        "the tampering peer must be attributed: {report}"
+    );
+    for v in report.against_server(liar).iter().take(1) {
+        println!("  => audit: {v}");
+    }
+
+    // Heal: the honest peer completes the verified transfer.
+    cluster.network().heal();
+    assert!(
+        cluster.await_rejoin(victim, Duration::from_secs(10)),
+        "victim must rejoin via the honest peer"
+    );
+    println!(
+        "  => victim rejoined at height {} with a verified transfer",
+        cluster.server_state(victim).next_height()
+    );
+    cluster.shutdown();
+    println!();
 }
