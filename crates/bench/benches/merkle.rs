@@ -106,12 +106,48 @@ fn bench_proofs(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multiproof(c: &mut Criterion) {
+    // The verified read plane's per-key proof cost at batch sizes
+    // 1/16/256: one multiproof with shared-path deduplication vs. one
+    // verification object per key. Per-key cost falls as the batch
+    // grows — shared ancestors are generated and hashed exactly once.
+    let n = 10_000usize;
+    let ls = leaves(n);
+    let tree = MerkleTree::from_leaves(ls.clone());
+    let root = tree.root();
+    for k in [1usize, 16, 256] {
+        let indices: Vec<usize> = (0..k).map(|i| (i * 37 + 11) % n).collect();
+        let pairs: Vec<(u64, fides_crypto::Digest)> =
+            indices.iter().map(|&i| (i as u64, ls[i])).collect();
+        let proof = tree.multiproof(&indices);
+        let vos: Vec<_> = indices.iter().map(|&i| tree.proof(i)).collect();
+
+        let mut group = c.benchmark_group(format!("merkle/multiproof_k{k}_of_10000"));
+        group.bench_function("generate", |b| {
+            b.iter(|| tree.multiproof(std::hint::black_box(&indices)))
+        });
+        group.bench_function("verify", |b| {
+            b.iter(|| proof.verify(std::hint::black_box(&pairs), &root))
+        });
+        group.bench_function("verify_per_key_vos", |b| {
+            b.iter(|| {
+                indices
+                    .iter()
+                    .zip(&vos)
+                    .all(|(&i, vo)| vo.verify(std::hint::black_box(ls[i]), &root))
+            })
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_incremental_update,
     bench_rebuild_vs_update,
     bench_block_of_writes,
     bench_batch_update,
-    bench_proofs
+    bench_proofs,
+    bench_multiproof
 );
 criterion_main!(benches);

@@ -15,10 +15,11 @@
 
 use std::time::{Duration, Instant};
 
-use fides_core::client::{finalize_outcomes, PendingCommit, UnverifiedOutcome};
+use fides_core::client::{finalize_outcomes, PendingCommit, ReadStats, UnverifiedOutcome};
 use fides_core::messages::CommitProtocol;
 use fides_core::recovery::PersistenceConfig;
 use fides_core::system::{ClusterConfig, FidesCluster};
+use fides_core::ReadConsistency;
 use fides_durability::{SyncPolicy, WalConfig};
 use fides_workload::{KeyChooser, WorkloadConfig, WorkloadGenerator};
 
@@ -47,6 +48,24 @@ struct Args {
     /// restart it over its surviving disk, and measure the repair
     /// plane's rejoin latency plus post-rejoin throughput.
     kill_restart: Option<Duration>,
+    /// Percentage of transactions that are read-only (served by the
+    /// verified read plane, or forced through commit rounds with
+    /// `--reads-via-commit`).
+    read_pct: u32,
+    /// Consistency policy for verified reads.
+    consistency: ReadConsistency,
+    /// Baseline mode: run read-only transactions as commit-round
+    /// transactions (begin → read_all → commit) instead of verified
+    /// snapshot reads — what the read plane is measured against.
+    reads_via_commit: bool,
+}
+
+fn consistency_str(c: ReadConsistency) -> String {
+    match c {
+        ReadConsistency::Fresh => "fresh".into(),
+        ReadConsistency::BoundedStaleness(k) => format!("bounded:{k}"),
+        ReadConsistency::AtHeight(h) => format!("at:{h}"),
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -79,7 +98,8 @@ fn usage() -> ! {
          \x20                 [--items N] [--policy none|batch|pipelined|nofsync]\n\
          \x20                 [--zipf THETA] [--snapshot-interval N] [--dir PATH]\n\
          \x20                 [--inflight D] [--kill-restart SECS] [--label NAME] [--json]\n\
-         \x20                 [--check-baseline FILE]"
+         \x20                 [--read-pct P] [--consistency fresh|bounded:K|at:H]\n\
+         \x20                 [--reads-via-commit] [--check-baseline FILE]"
     );
     std::process::exit(2);
 }
@@ -101,6 +121,9 @@ fn parse_args() -> Args {
         inflight: 8,
         flush: Duration::from_millis(10),
         kill_restart: None,
+        read_pct: 0,
+        consistency: ReadConsistency::BoundedStaleness(64),
+        reads_via_commit: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -146,6 +169,25 @@ fn parse_args() -> Args {
                     value(&mut it).parse().unwrap_or_else(|_| usage()),
                 ))
             }
+            "--read-pct" => {
+                args.read_pct = value(&mut it)
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| usage())
+                    .min(100)
+            }
+            "--consistency" => {
+                let v = value(&mut it);
+                args.consistency = if v == "fresh" {
+                    ReadConsistency::Fresh
+                } else if let Some(k) = v.strip_prefix("bounded:") {
+                    ReadConsistency::BoundedStaleness(k.parse().unwrap_or_else(|_| usage()))
+                } else if let Some(h) = v.strip_prefix("at:") {
+                    ReadConsistency::AtHeight(h.parse().unwrap_or_else(|_| usage()))
+                } else {
+                    usage()
+                };
+            }
+            "--reads-via-commit" => args.reads_via_commit = true,
             "--label" => args.label = value(&mut it),
             "--json" => args.json = true,
             "--check-baseline" => args.check_baseline = Some(value(&mut it)),
@@ -160,6 +202,8 @@ struct RunResult {
     committed: usize,
     aborted: usize,
     elapsed: Duration,
+    /// All completed transactions (write commits + read-only) per
+    /// second — identical to the old definition when `--read-pct 0`.
     txns_per_sec: f64,
     p50_ms: f64,
     p99_ms: f64,
@@ -171,6 +215,35 @@ struct RunResult {
     /// and how long the repair plane took to rejoin it (restart →
     /// repaired-at-tip), plus the throughput measured after rejoin.
     repair: Option<RepairResult>,
+    /// Read-plane results (`--read-pct > 0`).
+    reads: Option<ReadResult>,
+}
+
+#[derive(Debug)]
+struct ReadResult {
+    /// Read-only transactions completed.
+    completed: usize,
+    /// Read-only transactions that failed (refused/timed out/refuted).
+    failed: usize,
+    read_txns_per_sec: f64,
+    read_p50_ms: f64,
+    /// Client-side proof verification cost, µs per key (0 in
+    /// `--reads-via-commit` mode, where no proofs exist).
+    verify_us_per_key: f64,
+    /// Observed staleness histogram (heights behind tip → count).
+    staleness: std::collections::BTreeMap<u64, u64>,
+}
+
+/// One client thread's tallies.
+#[derive(Default)]
+struct ClientOut {
+    committed: usize,
+    aborted: usize,
+    latencies_ms: Vec<f64>,
+    reads: usize,
+    read_failed: usize,
+    read_latencies_ms: Vec<f64>,
+    read_stats: ReadStats,
 }
 
 #[derive(Debug)]
@@ -259,28 +332,65 @@ fn run(args: &Args) -> RunResult {
         let depth = args.inflight;
         let server_pks = cluster.server_pks().to_vec();
         let protocol = cluster.config().protocol;
+        let read_pct = args.read_pct as u64;
+        let consistency = args.consistency;
+        let reads_via_commit = args.reads_via_commit;
         handles.push(std::thread::spawn(move || {
-            let mut committed = 0usize;
-            let mut aborted = 0usize;
-            let mut latencies_ms: Vec<f64> = Vec::new();
+            let mut out = ClientOut::default();
+            // Deterministic per-client coin for the read/write mix.
+            let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((c as u64) << 17);
+            let mut roll_read = move || {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (rng >> 33) % 100 < read_pct
+            };
+            // One read-only transaction: the verified read plane, or
+            // the same read set forced through a commit round (the
+            // baseline the plane is measured against).
+            let run_read = |client: &mut fides_core::ClientSession,
+                            keys: &[fides_store::Key],
+                            out: &mut ClientOut| {
+                let t0 = Instant::now();
+                let ok = if reads_via_commit {
+                    let mut txn = client.begin();
+                    client.read_all(&mut txn, keys).is_ok()
+                        && client.commit(txn).map(|o| o.committed()).unwrap_or(false)
+                } else {
+                    client.read_only(keys, consistency).is_ok()
+                };
+                if ok {
+                    out.reads += 1;
+                    out.read_latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                } else {
+                    out.read_failed += 1;
+                }
+            };
             if depth == 1 {
                 // Classic closed loop: one transaction at a time,
                 // outcome verified synchronously (batched exec phase).
                 while Instant::now() < deadline {
                     let spec = generator.next_txn();
+                    if roll_read() {
+                        run_read(&mut client, &spec.keys, &mut out);
+                        continue;
+                    }
                     let t0 = Instant::now();
                     match client.run_rmw_batched(&spec.keys, 1) {
                         Ok(outcome) if outcome.committed() => {
-                            committed += 1;
-                            latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            out.committed += 1;
+                            out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                         }
-                        _ => aborted += 1,
+                        _ => out.aborted += 1,
                     }
                 }
-                return (committed, aborted, latencies_ms);
+                out.read_stats = client.take_read_stats();
+                return out;
             }
             // Pipelined client: keep `depth` commits in flight; verify
             // outcome signatures in batches (`finalize_outcomes`).
+            // Read-only transactions run synchronously between fills —
+            // they occupy no commit slot (they enter no round).
             let mut pending: Vec<PendingCommit> = Vec::new();
             let mut started: Vec<(fides_core::messages::TxnHandle, Instant)> = Vec::new();
             let mut unverified: Vec<UnverifiedOutcome> = Vec::new();
@@ -296,10 +406,14 @@ fn run(args: &Args) -> RunResult {
                 // responses) instead of `ops` sequential round trips.
                 while accepting && pending.len() < depth {
                     let spec = generator.next_txn();
+                    if roll_read() {
+                        run_read(&mut client, &spec.keys, &mut out);
+                        continue;
+                    }
                     let t0 = Instant::now();
                     let mut txn = client.begin();
                     let Ok(values) = client.read_all(&mut txn, &spec.keys) else {
-                        aborted += 1;
+                        out.aborted += 1;
                         continue;
                     };
                     let writes: Vec<(fides_store::Key, fides_store::Value)> = spec
@@ -313,7 +427,7 @@ fn run(args: &Args) -> RunResult {
                         })
                         .collect();
                     if client.write_all(&mut txn, &writes).is_err() {
-                        aborted += 1;
+                        out.aborted += 1;
                         continue;
                     }
                     let commit = client.commit_async(txn);
@@ -337,16 +451,17 @@ fn run(args: &Args) -> RunResult {
                 for outcome in &resolved {
                     if let Some(at) = started.iter().position(|(h, _)| *h == outcome.handle) {
                         let (_, t0) = started.swap_remove(at);
-                        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
                     }
                 }
                 unverified.extend(resolved);
             }
             let outcomes = finalize_outcomes(unverified, &server_pks, protocol);
-            committed += outcomes.iter().filter(|o| o.committed()).count();
-            aborted += submitted - outcomes.len().min(submitted)
+            out.committed += outcomes.iter().filter(|o| o.committed()).count();
+            out.aborted += submitted - outcomes.len().min(submitted)
                 + outcomes.iter().filter(|o| !o.committed()).count();
-            (committed, aborted, latencies_ms)
+            out.read_stats = client.take_read_stats();
+            out
         }));
     }
 
@@ -376,11 +491,25 @@ fn run(args: &Args) -> RunResult {
     let mut committed = 0usize;
     let mut aborted = 0usize;
     let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut reads = 0usize;
+    let mut read_failed = 0usize;
+    let mut read_latencies_ms: Vec<f64> = Vec::new();
+    let mut verify_nanos = 0u128;
+    let mut keys_verified = 0u64;
+    let mut staleness: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     for h in handles {
-        let (c, a, l) = h.join().expect("client thread");
-        committed += c;
-        aborted += a;
-        latencies_ms.extend(l);
+        let out = h.join().expect("client thread");
+        committed += out.committed;
+        aborted += out.aborted;
+        latencies_ms.extend(out.latencies_ms);
+        reads += out.reads;
+        read_failed += out.read_failed;
+        read_latencies_ms.extend(out.read_latencies_ms);
+        verify_nanos += out.read_stats.verify_nanos;
+        keys_verified += out.read_stats.keys_read;
+        for (bucket, count) in out.read_stats.staleness {
+            *staleness.entry(bucket).or_insert(0) += count;
+        }
     }
     let elapsed = start.elapsed();
     // Snapshot the commit counter *before* the flush/settle drain so
@@ -407,11 +536,24 @@ fn run(args: &Args) -> RunResult {
     cluster.shutdown();
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    read_latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let read_result = (args.read_pct > 0).then(|| ReadResult {
+        completed: reads,
+        failed: read_failed,
+        read_txns_per_sec: reads as f64 / elapsed.as_secs_f64(),
+        read_p50_ms: percentile(&read_latencies_ms, 0.50),
+        verify_us_per_key: if keys_verified > 0 {
+            verify_nanos as f64 / 1e3 / keys_verified as f64
+        } else {
+            0.0
+        },
+        staleness,
+    });
     RunResult {
         committed,
         aborted,
         elapsed,
-        txns_per_sec: committed as f64 / elapsed.as_secs_f64(),
+        txns_per_sec: (committed + reads) as f64 / elapsed.as_secs_f64(),
         p50_ms: percentile(&latencies_ms, 0.50),
         p99_ms: percentile(&latencies_ms, 0.99),
         blocks,
@@ -422,10 +564,34 @@ fn run(args: &Args) -> RunResult {
             f64::NAN
         },
         repair,
+        reads: read_result,
     }
 }
 
 fn emit_json(args: &Args, r: &RunResult) -> String {
+    let reads = r.reads.as_ref().map_or(String::new(), |rr| {
+        let hist: Vec<String> = rr
+            .staleness
+            .iter()
+            .map(|(bucket, count)| format!("\"{bucket}\": {count}"))
+            .collect();
+        format!(
+            ",\n  \"read_pct\": {},\n  \"consistency\": \"{}\",\n  \
+             \"reads_via_commit\": {},\n  \"reads_completed\": {},\n  \
+             \"reads_failed\": {},\n  \"read_txns_per_sec\": {:.1},\n  \
+             \"read_p50_ms\": {:.3},\n  \"read_verify_us_per_key\": {:.3},\n  \
+             \"staleness_hist\": {{{}}}",
+            args.read_pct,
+            consistency_str(args.consistency),
+            args.reads_via_commit,
+            rr.completed,
+            rr.failed,
+            rr.read_txns_per_sec,
+            rr.read_p50_ms,
+            rr.verify_us_per_key,
+            hist.join(", "),
+        )
+    });
     let repair = r.repair.as_ref().map_or(String::new(), |rep| {
         format!(
             ",\n  \"kill_restart_s\": {:.3},\n  \"victim\": {},\n  \"repair_ms\": {:.3},\n  \
@@ -441,7 +607,7 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
          \"items_per_shard\": {},\n  \"policy\": \"{}\",\n  \"duration_s\": {:.3},\n  \
          \"committed\": {},\n  \"aborted\": {},\n  \"txns_per_sec\": {:.1},\n  \
          \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"blocks\": {},\n  \
-         \"rounds\": {},\n  \"round_ms\": {:.3}{repair}\n}}",
+         \"rounds\": {},\n  \"round_ms\": {:.3}{reads}{repair}\n}}",
         args.label,
         args.servers,
         args.clients,
@@ -496,6 +662,25 @@ fn main() {
             result.rounds,
             result.round_ms,
         );
+        if let Some(reads) = &result.reads {
+            println!(
+                "reads ({}% of mix, {}, {}): {} completed ({} failed) = {:.0} read txns/s, \
+                 p50 {:.2} ms, proof-verify {:.2} µs/key, staleness {:?}",
+                args.read_pct,
+                consistency_str(args.consistency),
+                if args.reads_via_commit {
+                    "via commit rounds"
+                } else {
+                    "verified read plane"
+                },
+                reads.completed,
+                reads.failed,
+                reads.read_txns_per_sec,
+                reads.read_p50_ms,
+                reads.verify_us_per_key,
+                reads.staleness,
+            );
+        }
         if let Some(repair) = &result.repair {
             println!(
                 "kill-restart: server {} repaired in {:.1} ms, post-rejoin {:.0} txns/s",

@@ -114,6 +114,14 @@ pub enum ViolationKind {
         /// The checkpoint's claimed height.
         height: u64,
     },
+    /// A server answered a proof-carrying snapshot read with a response
+    /// the client's verification refuted — a forged value, a forged
+    /// absence, a forged header, or a stale-beyond-bound serve
+    /// (evidence collected client-side, surrendered with the audit).
+    TamperedRead {
+        /// What the client's verification caught.
+        fault: fides_read::ReadFault,
+    },
 }
 
 impl fmt::Display for ViolationKind {
@@ -153,6 +161,9 @@ impl fmt::Display for ViolationKind {
                     f,
                     "surrendered checkpoint at height {height} does not bind to the chain"
                 )
+            }
+            ViolationKind::TamperedRead { fault } => {
+                write!(f, "served a refuted snapshot read ({fault})")
             }
         }
     }
@@ -535,6 +546,14 @@ impl Auditor {
         }
 
         // ---- Step 3: datastore authentication (Lemma 2). -------------
+        //
+        // The logged root is the **composite** `H(value_root ‖
+        // key_root)` ([`fides_store::combine_roots`]): the VO computed
+        // from the (possibly corrupted) store yields the value half,
+        // the reconstructed key tree at that version the other half.
+        // The key-root reconstruction is cached per (server, version) —
+        // it only changes when a key is created.
+        let mut key_roots: HashMap<(u32, Timestamp), fides_crypto::Digest> = HashMap::new();
         for block in canonical.iter() {
             if block.decision != Decision::Commit {
                 continue;
@@ -561,8 +580,12 @@ impl Auditor {
                     // (possibly corrupted) store (§4.2.2).
                     let authentic = match shard.proof_at_version(&write.key, version) {
                         Some((stored_value, vo)) => {
-                            let computed = vo.compute_root(leaf_digest(&write.key, &stored_value));
-                            computed == logged_root
+                            let value_root =
+                                vo.compute_root(leaf_digest(&write.key, &stored_value));
+                            let key_root = *key_roots
+                                .entry((server, version))
+                                .or_insert_with(|| shard.key_tree_at_version(version).root());
+                            fides_store::combine_roots(&value_root, &key_root) == logged_root
                         }
                         None => false,
                     };

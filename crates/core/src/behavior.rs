@@ -65,6 +65,24 @@ pub struct Behavior {
     pub tamper_repair_checkpoint: bool,
 
     // ------------------------------------------------------------------
+    // Verified-read-plane faults: a Byzantine server answering
+    // `SnapshotRead` with garbage. All three are refuted client-side
+    // (the proofs cannot be forged) and filed as `ReadEvidence` →
+    // `TamperedRead` audit violations against this server.
+    // ------------------------------------------------------------------
+    /// Serve a corrupted value for snapshot reads of these keys (the
+    /// genuine proof then fails to link the forged value to the
+    /// co-signed root).
+    pub forge_read_values: Vec<Key>,
+    /// Claim these keys absent in snapshot reads, with a fabricated
+    /// absence bracket.
+    pub forge_read_absence: Vec<Key>,
+    /// Ignore the request's freshness bound and serve whatever state is
+    /// at hand — the stale-beyond-bound attack (an honest server
+    /// refuses with `ReadRefusal::TooStale`).
+    pub ignore_read_bounds: bool,
+
+    // ------------------------------------------------------------------
     // Log faults (§4.4, Lemmas 6–7). Applied lazily, right before logs
     // are surrendered to the auditor.
     // ------------------------------------------------------------------
@@ -92,6 +110,9 @@ impl Behavior {
             && self.fake_root_for.is_none()
             && !self.tamper_repair_blocks
             && !self.tamper_repair_checkpoint
+            && self.forge_read_values.is_empty()
+            && self.forge_read_absence.is_empty()
+            && !self.ignore_read_bounds
             && self.tamper_log_at.is_none()
             && self.reorder_log.is_none()
             && self.truncate_log_to.is_none()

@@ -13,12 +13,16 @@ use std::time::{Duration, Instant};
 
 use fides_crypto::encoding::{Decodable, Encodable};
 use fides_crypto::schnorr::{KeyPair, PublicKey};
+use fides_crypto::Digest;
 use fides_ledger::block::{Block, Decision, TxnRecord};
 use fides_net::{Endpoint, Envelope, NodeId};
+use fides_read::{
+    verify_read, ReadConsistency, ReadEvidence, ReadFault, ReadResponse, RootRegistry, VerifiedRead,
+};
 use fides_store::rwset::{ReadEntry, WriteEntry};
 use fides_store::types::{Key, Timestamp, Value};
 
-use crate::messages::{CommitProtocol, Message, TxnHandle};
+use crate::messages::{CommitProtocol, Message, ReadRefusal, TxnHandle};
 use crate::partition::Partitioner;
 use crate::server::{client_node, server_node, Directory, COORDINATOR_IDX};
 
@@ -226,6 +230,16 @@ pub enum ClientError {
     Disconnected,
     /// The coordinator kept rejecting our timestamps.
     RetriesExhausted,
+    /// The session has no read context (registry + evidence sink) —
+    /// verified reads need [`ClientSession::with_read_context`].
+    NoReadContext,
+    /// Every eligible server honestly refused the read under the
+    /// requested consistency (the last refusal is carried).
+    ReadRefused(ReadRefusal),
+    /// The read was refuted: the targeted server served a response that
+    /// failed verification (evidence was filed) and no honest fallback
+    /// could satisfy the request.
+    ReadRefuted(ReadFault),
 }
 
 impl core::fmt::Display for ClientError {
@@ -235,6 +249,16 @@ impl core::fmt::Display for ClientError {
             ClientError::Timeout(what) => write!(f, "timed out waiting for {what}"),
             ClientError::Disconnected => write!(f, "network disconnected"),
             ClientError::RetriesExhausted => write!(f, "coordinator kept rejecting timestamps"),
+            ClientError::NoReadContext => {
+                write!(
+                    f,
+                    "verified reads need a read context (registry + evidence sink)"
+                )
+            }
+            ClientError::ReadRefused(reason) => {
+                write!(f, "every eligible server refused the read: {reason}")
+            }
+            ClientError::ReadRefuted(fault) => write!(f, "read refuted: {fault}"),
         }
     }
 }
@@ -258,6 +282,63 @@ pub struct ClientSession {
     /// transactions resolving mid-read. Consumed by
     /// [`ClientSession::drain_outcomes`].
     stash: std::collections::VecDeque<Message>,
+    /// Verified-read-plane state (`None` until
+    /// [`ClientSession::with_read_context`] attaches it).
+    read: Option<ReadContext>,
+}
+
+/// The verified read plane's client-side state.
+struct ReadContext {
+    /// Co-signed root cache (seeded with genesis, fed by headers and
+    /// outcomes).
+    registry: RootRegistry,
+    /// Where refuted reads are filed (shared with the harness, folded
+    /// into audits as `TamperedRead` violations).
+    evidence: Arc<parking_lot::Mutex<Vec<ReadEvidence>>>,
+    /// Round-robin cursor for mirror load-balancing.
+    next_target: u32,
+    /// Request id sequence.
+    req_seq: u64,
+    /// Accumulated read metrics.
+    stats: ReadStats,
+    /// Negative cache: `(server, shard)` pairs that recently answered
+    /// `NoSnapshot`, skipped in the rotation until the entry expires —
+    /// a mirror-less cluster degrades to straight owner reads instead
+    /// of paying refused round trips on every read.
+    no_mirror: std::collections::HashMap<(u32, u32), Instant>,
+}
+
+/// How long a `NoSnapshot` refusal keeps a `(server, shard)` pair out
+/// of the read rotation (mirrors appear at checkpoint cadence, so a
+/// short TTL re-probes soon enough).
+const NO_MIRROR_TTL: Duration = Duration::from_secs(2);
+
+/// Client-side verified-read metrics (drained by
+/// [`ClientSession::take_read_stats`]).
+#[derive(Debug, Default, Clone)]
+pub struct ReadStats {
+    /// Verified read-only requests completed.
+    pub reads: u64,
+    /// Keys proof-verified across those reads.
+    pub keys_read: u64,
+    /// Wall-clock nanoseconds spent inside proof verification
+    /// ([`fides_read::verify_read`]).
+    pub verify_nanos: u128,
+    /// Staleness histogram: observed `known_tip − covered_height` →
+    /// count.
+    pub staleness: std::collections::BTreeMap<u64, u64>,
+}
+
+/// What one snapshot-read attempt against one server produced.
+enum ReadAttempt {
+    /// Verified values.
+    Ok(VerifiedRead),
+    /// Honest refusal — retarget, no evidence.
+    Refused(ReadRefusal),
+    /// Refuted response — evidence filed against the server.
+    Refuted(ReadFault),
+    /// No (matching) response before the deadline.
+    TimedOut,
 }
 
 impl ClientSession {
@@ -286,7 +367,42 @@ impl ClientSession {
             seq: 0,
             op_timeout: Duration::from_secs(10),
             stash: std::collections::VecDeque::new(),
+            read: None,
         }
+    }
+
+    /// Attaches the verified read plane: the trusted genesis composite
+    /// roots (one per shard — the same standing trust as the server
+    /// public keys) and the shared evidence sink refuted reads are
+    /// filed into. Normally wired by
+    /// [`crate::system::FidesCluster::client`].
+    pub fn with_read_context(
+        mut self,
+        genesis_roots: Vec<Digest>,
+        evidence: Arc<parking_lot::Mutex<Vec<ReadEvidence>>>,
+    ) -> Self {
+        self.read = Some(ReadContext {
+            registry: RootRegistry::new(self.server_pks.clone(), genesis_roots),
+            evidence,
+            next_target: self.id % self.partitioner.n_servers(),
+            req_seq: 0,
+            stats: ReadStats::default(),
+            no_mirror: std::collections::HashMap::new(),
+        });
+        self
+    }
+
+    /// Drains the accumulated verified-read metrics.
+    pub fn take_read_stats(&mut self) -> ReadStats {
+        self.read
+            .as_mut()
+            .map(|ctx| std::mem::take(&mut ctx.stats))
+            .unwrap_or_default()
+    }
+
+    /// The newest co-signed chain tip this client has evidence for.
+    pub fn known_tip(&self) -> u64 {
+        self.read.as_ref().map_or(0, |ctx| ctx.registry.known_tip())
     }
 
     /// This client's id.
@@ -326,9 +442,19 @@ impl ClientSession {
     fn wait_for<T>(
         &mut self,
         what: &'static str,
-        mut want: impl FnMut(NodeId, Message) -> Option<T>,
+        want: impl FnMut(NodeId, Message) -> Option<T>,
     ) -> Result<T, ClientError> {
         let deadline = Instant::now() + self.op_timeout;
+        self.wait_for_until(what, deadline, want)
+    }
+
+    /// [`ClientSession::wait_for`] against an explicit deadline.
+    fn wait_for_until<T>(
+        &mut self,
+        what: &'static str,
+        deadline: Instant,
+        mut want: impl FnMut(NodeId, Message) -> Option<T>,
+    ) -> Result<T, ClientError> {
         loop {
             let now = Instant::now();
             if now >= deadline {
@@ -523,6 +649,17 @@ impl ClientSession {
                             .verify(&block.signing_bytes(), &self.server_pks)
                     {
                         return Ok(TxnOutcome::Anomaly { ts });
+                    }
+                    // A verified outcome feeds the read plane's root
+                    // registry for free (commit roots only — an abort
+                    // block's roots are speculative).
+                    if let Some(ctx) = &mut self.read {
+                        if block.decision == Decision::Commit {
+                            ctx.registry
+                                .note_verified_roots(block.height + 1, &block.roots);
+                        } else {
+                            ctx.registry.note_tip(block.height + 1);
+                        }
                     }
                     self.oracle
                         .advance_to(block.max_txn_ts().map_or(0, |t| t.counter()));
@@ -905,6 +1042,488 @@ impl ClientSession {
     /// paths use short values).
     pub fn set_op_timeout(&mut self, timeout: Duration) {
         self.op_timeout = timeout;
+    }
+
+    // ------------------------------------------------------------------
+    // The verified read plane (see `docs/reads.md`): read-only
+    // transactions that hit one server per shard, verify every value
+    // (and every absence) against a cached co-signed root, and never
+    // enter a commit round.
+    // ------------------------------------------------------------------
+
+    /// Reads `keys` without a commit round, proof-verifying every
+    /// value (and absence) client-side. Keys are grouped per owning
+    /// shard; each group is served by one server — the owner for
+    /// [`ReadConsistency::Fresh`], any server (load-balanced across
+    /// owners **and** checkpoint-mirror holders, with owner fallback)
+    /// for bounded-staleness and pinned reads. Returns values in input
+    /// order; `None` = proven absent.
+    ///
+    /// A server answering with a forged value, a forged absence, or a
+    /// stale-beyond-bound root is refuted here and filed as
+    /// [`ReadEvidence`] for the audit; honest refusals (repairing, no
+    /// mirror, too stale) retarget silently.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::NoReadContext`] without a read context; timeout/
+    /// refusal/refutation errors when no eligible server could serve.
+    pub fn read_only(
+        &mut self,
+        keys: &[Key],
+        consistency: ReadConsistency,
+    ) -> Result<Vec<Option<Value>>, ClientError> {
+        use std::collections::HashMap;
+        if self.read.is_none() {
+            return Err(ClientError::NoReadContext);
+        }
+        let mut per_shard: HashMap<u32, Vec<Key>> = HashMap::new();
+        for key in keys {
+            let group = per_shard.entry(self.partitioner.owner(key)).or_default();
+            if !group.contains(key) {
+                group.push(key.clone());
+            }
+        }
+        let groups: Vec<(u32, Vec<Key>)> = per_shard.into_iter().collect();
+        let mut resolved: HashMap<Key, Option<Value>> = HashMap::new();
+        // Fast path: every shard's request goes out at once (one round
+        // of waiting for the whole read set); shards whose fast attempt
+        // fails fall back to the robust per-shard retry loop.
+        let fallback = self.read_shards_parallel(&groups, consistency, &mut resolved)?;
+        for idx in fallback {
+            let (shard, group) = &groups[idx];
+            let verified = self.read_shard(*shard, group, consistency)?;
+            for (key, value) in group.iter().zip(verified.values) {
+                resolved.insert(key.clone(), value);
+            }
+        }
+        Ok(keys
+            .iter()
+            .map(|k| resolved.get(k).cloned().expect("every key resolved"))
+            .collect())
+    }
+
+    /// One parallel fan-out attempt: a single `SnapshotRead` per shard
+    /// group, all outstanding at once. Successes land in `resolved`;
+    /// the returned indices need the sequential fallback.
+    fn read_shards_parallel(
+        &mut self,
+        groups: &[(u32, Vec<Key>)],
+        consistency: ReadConsistency,
+        resolved: &mut std::collections::HashMap<Key, Option<Value>>,
+    ) -> Result<Vec<usize>, ClientError> {
+        use fides_ledger::block::BlockHeader;
+        use fides_store::ShardReadProof;
+        let n = self.partitioner.n_servers();
+        // req id → (group index, target, min_covered).
+        let mut outstanding: std::collections::HashMap<u64, (usize, u32, u64)> =
+            std::collections::HashMap::new();
+        for (idx, (shard, group)) in groups.iter().enumerate() {
+            let ctx = self.read.as_mut().expect("checked by caller");
+            let target = match consistency {
+                ReadConsistency::Fresh => *shard,
+                _ => {
+                    let start = ctx.next_target;
+                    ctx.next_target = (ctx.next_target + 1) % n;
+                    let now = Instant::now();
+                    ctx.no_mirror
+                        .retain(|_, at| now.duration_since(*at) < NO_MIRROR_TTL);
+                    (0..n)
+                        .map(|i| (start + i) % n)
+                        .find(|s| *s == *shard || !ctx.no_mirror.contains_key(&(*s, *shard)))
+                        .unwrap_or(*shard)
+                }
+            };
+            let req = ctx.req_seq;
+            ctx.req_seq += 1;
+            let min_covered = consistency.min_covered(ctx.registry.known_tip());
+            let at_height = match consistency {
+                ReadConsistency::AtHeight(h) => Some(h),
+                _ => None,
+            };
+            outstanding.insert(req, (idx, target, min_covered));
+            self.send_to(
+                target,
+                &Message::SnapshotRead {
+                    req,
+                    shard: *shard,
+                    keys: group.clone(),
+                    min_covered,
+                    at_height,
+                },
+            );
+        }
+        let deadline = Instant::now() + self.op_timeout;
+        let mut fallback: Vec<usize> = Vec::new();
+        while !outstanding.is_empty() {
+            type Parts = (u64, u64, Option<Box<BlockHeader>>, Box<ShardReadProof>);
+            enum Reply {
+                Resp(u64, Parts),
+                Refused(u64, ReadRefusal),
+            }
+            let reqs: Vec<u64> = outstanding.keys().copied().collect();
+            let reply = self.wait_for_until("snapshot reads", deadline, |_, msg| match msg {
+                Message::SnapshotReadResp {
+                    req,
+                    root_height,
+                    covered_height,
+                    header,
+                    proof,
+                    ..
+                } if reqs.contains(&req) => Some(Reply::Resp(
+                    req,
+                    (root_height, covered_height, header, proof),
+                )),
+                Message::SnapshotReadRefused { req, reason } if reqs.contains(&req) => {
+                    Some(Reply::Refused(req, reason))
+                }
+                _ => None,
+            });
+            let reply = match reply {
+                Ok(reply) => reply,
+                Err(ClientError::Timeout(_)) => break,
+                Err(e) => return Err(e),
+            };
+            match reply {
+                Reply::Refused(req, reason) => {
+                    let (idx, target, _) = outstanding.remove(&req).expect("outstanding");
+                    if matches!(reason, ReadRefusal::NoSnapshot) {
+                        let ctx = self.read.as_mut().expect("checked by caller");
+                        ctx.no_mirror
+                            .insert((target, groups[idx].0), Instant::now());
+                    }
+                    fallback.push(idx);
+                }
+                Reply::Resp(req, (root_height, covered, header, proof)) => {
+                    let (idx, target, min_covered) = outstanding.remove(&req).expect("outstanding");
+                    let (shard, group) = &groups[idx];
+                    let pinned = match consistency {
+                        ReadConsistency::AtHeight(h) => Some(h),
+                        _ => None,
+                    };
+                    match self.classify_response(
+                        target,
+                        *shard,
+                        group,
+                        min_covered,
+                        pinned,
+                        root_height,
+                        covered,
+                        header.as_deref(),
+                        &proof,
+                    ) {
+                        Ok(verified) => {
+                            for (key, value) in group.iter().zip(verified.values) {
+                                resolved.insert(key.clone(), value);
+                            }
+                        }
+                        Err(_) => fallback.push(idx),
+                    }
+                }
+            }
+        }
+        // Anything still outstanding timed out: fall back.
+        for (_, (idx, _, _)) in outstanding {
+            fallback.push(idx);
+        }
+        Ok(fallback)
+    }
+
+    /// Verifies one response's parts, updating stats and filing
+    /// evidence on evidence-grade faults — shared by the sequential and
+    /// parallel read paths.
+    #[allow(clippy::too_many_arguments)]
+    fn classify_response(
+        &mut self,
+        target: u32,
+        shard: u32,
+        keys: &[Key],
+        min_covered: u64,
+        pinned: Option<u64>,
+        root_height: u64,
+        covered: u64,
+        header: Option<&fides_ledger::block::BlockHeader>,
+        proof: &fides_store::ShardReadProof,
+    ) -> Result<VerifiedRead, ReadFault> {
+        let ctx = self.read.as_mut().expect("read context exists");
+        let t0 = Instant::now();
+        let result = verify_read(
+            &mut ctx.registry,
+            &ReadResponse {
+                server: target,
+                shard,
+                root_height,
+                covered_height: covered,
+                header,
+                proof,
+            },
+            keys,
+            min_covered,
+            pinned,
+        );
+        ctx.stats.verify_nanos += t0.elapsed().as_nanos();
+        match result {
+            Ok(verified) => {
+                ctx.stats.reads += 1;
+                ctx.stats.keys_read += keys.len() as u64;
+                *ctx.stats.staleness.entry(verified.staleness).or_insert(0) += 1;
+                Ok(verified)
+            }
+            Err(fault) => {
+                if fault.is_evidence() {
+                    /// Evidence cap (a retry loop against a persistent
+                    /// forger must not grow it forever).
+                    const MAX_READ_EVIDENCE: usize = 512;
+                    let evidence = ReadEvidence {
+                        server: target,
+                        shard,
+                        fault: fault.clone(),
+                    };
+                    let mut sink = ctx.evidence.lock();
+                    if sink.len() < MAX_READ_EVIDENCE && sink.last() != Some(&evidence) {
+                        sink.push(evidence);
+                    }
+                }
+                Err(fault)
+            }
+        }
+    }
+
+    /// One shard's read: candidate servers tried round-robin (owner
+    /// first under `Fresh`), cycling until success or the op-timeout.
+    fn read_shard(
+        &mut self,
+        shard: u32,
+        keys: &[Key],
+        consistency: ReadConsistency,
+    ) -> Result<VerifiedRead, ClientError> {
+        let n = self.partitioner.n_servers();
+        let candidates: Vec<u32> = match consistency {
+            // Only the owner is guaranteed fresh (a mirror could serve
+            // Fresh only in the no-new-blocks race; not worth the hop).
+            ReadConsistency::Fresh => vec![shard],
+            _ => {
+                let ctx = self.read.as_mut().expect("checked by caller");
+                let start = ctx.next_target;
+                ctx.next_target = (ctx.next_target + 1) % n;
+                let now = Instant::now();
+                ctx.no_mirror
+                    .retain(|_, refused_at| now.duration_since(*refused_at) < NO_MIRROR_TTL);
+                // Rotate through every server, skipping peers that
+                // recently answered `NoSnapshot` for this shard; the
+                // owner is always in the rotation, so a mirror-less
+                // cluster degrades to straight owner reads.
+                (0..n)
+                    .map(|i| (start + i) % n)
+                    .filter(|s| *s == shard || !ctx.no_mirror.contains_key(&(*s, shard)))
+                    .collect()
+            }
+        };
+        let deadline = Instant::now() + self.op_timeout;
+        let mut last_refusal: Option<ReadRefusal> = None;
+        let mut last_fault: Option<ReadFault> = None;
+        loop {
+            // Transient outcomes (a Fresh read racing a commit apply, a
+            // repairing peer, a timeout) are worth another cycle;
+            // deterministic ones (a refuted forgery, no mirror held)
+            // are not — retrying would only spin out the op-timeout.
+            let mut transient = false;
+            for &target in &candidates {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                match self.try_read_from(target, shard, keys, consistency, deadline)? {
+                    ReadAttempt::Ok(verified) => return Ok(verified),
+                    ReadAttempt::Refused(reason) => {
+                        if matches!(reason, ReadRefusal::NoSnapshot) {
+                            let ctx = self.read.as_mut().expect("checked by caller");
+                            ctx.no_mirror.insert((target, shard), Instant::now());
+                        } else {
+                            transient = true;
+                        }
+                        last_refusal = Some(reason);
+                    }
+                    ReadAttempt::Refuted(fault) => last_fault = Some(fault),
+                    ReadAttempt::TimedOut => transient = true,
+                }
+            }
+            if !transient || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+        Err(match (last_fault, last_refusal) {
+            (Some(fault), _) => ClientError::ReadRefuted(fault),
+            (None, Some(reason)) => ClientError::ReadRefused(reason),
+            (None, None) => ClientError::Timeout("snapshot read"),
+        })
+    }
+
+    /// A single verified read against a specific server, **no**
+    /// fallback — the building block of [`ClientSession::read_only`]
+    /// and the direct hook tests/benches use to target mirrors or
+    /// Byzantine servers. All keys must belong to one shard.
+    ///
+    /// # Errors
+    ///
+    /// Network errors, [`ClientError::ReadRefused`] on an honest
+    /// refusal, [`ClientError::ReadRefuted`] when the response failed
+    /// verification (evidence filed).
+    pub fn read_only_from(
+        &mut self,
+        server: u32,
+        keys: &[Key],
+        consistency: ReadConsistency,
+    ) -> Result<VerifiedRead, ClientError> {
+        if self.read.is_none() {
+            return Err(ClientError::NoReadContext);
+        }
+        let shard = self.partitioner.owner(&keys[0]);
+        debug_assert!(
+            keys.iter().all(|k| self.partitioner.owner(k) == shard),
+            "read_only_from takes keys of one shard"
+        );
+        let deadline = Instant::now() + self.op_timeout;
+        match self.try_read_from(server, shard, keys, consistency, deadline)? {
+            ReadAttempt::Ok(verified) => Ok(verified),
+            ReadAttempt::Refused(reason) => Err(ClientError::ReadRefused(reason)),
+            ReadAttempt::Refuted(fault) => Err(ClientError::ReadRefuted(fault)),
+            ReadAttempt::TimedOut => Err(ClientError::Timeout("snapshot read")),
+        }
+    }
+
+    /// Sends one `SnapshotRead` and classifies the outcome. On an
+    /// unknown-root response the registry is refreshed (one
+    /// `RootQuery`) and the read retried once.
+    fn try_read_from(
+        &mut self,
+        target: u32,
+        shard: u32,
+        keys: &[Key],
+        consistency: ReadConsistency,
+        deadline: Instant,
+    ) -> Result<ReadAttempt, ClientError> {
+        use fides_ledger::block::BlockHeader;
+        use fides_store::ShardReadProof;
+        let mut refreshed = false;
+        loop {
+            let ctx = self.read.as_mut().expect("checked by caller");
+            let req = ctx.req_seq;
+            ctx.req_seq += 1;
+            let min_covered = consistency.min_covered(ctx.registry.known_tip());
+            let at_height = match consistency {
+                ReadConsistency::AtHeight(h) => Some(h),
+                _ => None,
+            };
+            self.send_to(
+                target,
+                &Message::SnapshotRead {
+                    req,
+                    shard,
+                    keys: keys.to_vec(),
+                    min_covered,
+                    at_height,
+                },
+            );
+            enum Reply {
+                Resp {
+                    root_height: u64,
+                    covered: u64,
+                    header: Option<Box<BlockHeader>>,
+                    proof: Box<ShardReadProof>,
+                },
+                Refused(ReadRefusal),
+            }
+            let want_from = server_node(target);
+            let reply =
+                self.wait_for_until("snapshot read", deadline, move |from, msg| match msg {
+                    Message::SnapshotReadResp {
+                        req: r,
+                        shard: s,
+                        root_height,
+                        covered_height,
+                        header,
+                        proof,
+                        ..
+                    } if r == req && s == shard && from == want_from => Some(Reply::Resp {
+                        root_height,
+                        covered: covered_height,
+                        header,
+                        proof,
+                    }),
+                    Message::SnapshotReadRefused { req: r, reason }
+                        if r == req && from == want_from =>
+                    {
+                        Some(Reply::Refused(reason))
+                    }
+                    _ => None,
+                });
+            let reply = match reply {
+                Ok(reply) => reply,
+                Err(ClientError::Timeout(_)) => return Ok(ReadAttempt::TimedOut),
+                Err(e) => return Err(e),
+            };
+            let (root_height, covered, header, proof) = match reply {
+                Reply::Refused(reason) => return Ok(ReadAttempt::Refused(reason)),
+                Reply::Resp {
+                    root_height,
+                    covered,
+                    header,
+                    proof,
+                } => (root_height, covered, header, proof),
+            };
+            match self.classify_response(
+                target,
+                shard,
+                keys,
+                min_covered,
+                at_height,
+                root_height,
+                covered,
+                header.as_deref(),
+                &proof,
+            ) {
+                Ok(verified) => return Ok(ReadAttempt::Ok(verified)),
+                Err(ReadFault::UnknownRoot { .. }) if !refreshed => {
+                    // Client-side ignorance, not misbehaviour: learn the
+                    // newer co-signed roots and retry once.
+                    refreshed = true;
+                    self.refresh_roots(target, shard, deadline)?;
+                }
+                Err(fault) => return Ok(ReadAttempt::Refuted(fault)),
+            }
+        }
+    }
+
+    /// Pulls recent co-signed headers from `target` into the registry
+    /// (each header's collective signature is verified before any root
+    /// is trusted; a forged one is filed as evidence).
+    fn refresh_roots(
+        &mut self,
+        target: u32,
+        shard: u32,
+        deadline: Instant,
+    ) -> Result<(), ClientError> {
+        let from_height = self.known_tip();
+        self.send_to(target, &Message::RootQuery { from: from_height });
+        let want_from = server_node(target);
+        let headers =
+            self.wait_for_until("root announce", deadline, move |from, msg| match msg {
+                Message::RootAnnounce { headers } if from == want_from => Some(headers),
+                _ => None,
+            })?;
+        let ctx = self.read.as_mut().expect("read context exists");
+        for header in &headers {
+            if ctx.registry.note_header(header).is_err() {
+                ctx.evidence.lock().push(ReadEvidence {
+                    server: target,
+                    shard,
+                    fault: ReadFault::ForgedHeader,
+                });
+                break;
+            }
+        }
+        Ok(())
     }
 }
 

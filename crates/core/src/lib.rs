@@ -62,9 +62,11 @@ pub mod system;
 pub use audit::{AuditReport, Auditor, Violation, ViolationKind};
 pub use behavior::Behavior;
 pub use client::{
-    finalize_outcomes, ClientSession, PendingCommit, TxnCtx, TxnOutcome, UnverifiedOutcome,
+    finalize_outcomes, ClientSession, PendingCommit, ReadStats, TxnCtx, TxnOutcome,
+    UnverifiedOutcome,
 };
-pub use messages::{CommitProtocol, Message, TxnHandle};
+pub use fides_read::{ReadConsistency, ReadEvidence, ReadFault};
+pub use messages::{CommitProtocol, Message, ReadRefusal, TxnHandle};
 pub use partition::Partitioner;
 pub use recovery::{
     Durability, MemoryCluster, PersistenceBackend, PersistenceConfig, ServerStartError,

@@ -20,7 +20,8 @@ use fides_crypto::cosi;
 use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use fides_crypto::scalar::Scalar;
 use fides_durability::ShardSnapshot;
-use fides_ledger::block::{Block, TxnRecord};
+use fides_ledger::block::{Block, BlockHeader, TxnRecord};
+use fides_store::proofs::ShardReadProof;
 use fides_store::types::{Key, Timestamp, Value};
 
 /// Which atomic commitment protocol a cluster runs.
@@ -299,6 +300,73 @@ pub enum Message {
     },
 
     // ------------------------------------------------------------------
+    // Verified read plane (client ↔ any server).
+    //
+    // Read-only transactions never enter a commit round: the client
+    // asks one server for a proof-carrying snapshot read, verifies the
+    // multiproof/absence proofs against a cached co-signed root, and
+    // is done. Any peer holding a verified checkpoint mirror of another
+    // server's shard serves (stale-bounded) reads for it.
+    // ------------------------------------------------------------------
+    /// A batched proof-carrying read of `keys` (all owned by `shard`).
+    /// The server must serve state current through at least
+    /// `min_covered` applied blocks (an honest server refuses
+    /// otherwise); `at_height` pins an exact snapshot instead.
+    SnapshotRead {
+        /// Client-local request id (correlates the response).
+        req: u64,
+        /// The shard the keys belong to.
+        shard: u32,
+        /// The keys to read.
+        keys: Vec<Key>,
+        /// Minimum applied height the served state must cover.
+        min_covered: u64,
+        /// Serve state exactly as of this applied height (`AtHeight`).
+        at_height: Option<u64>,
+    },
+    /// The proof-carrying answer: values + multiproof + absence proofs
+    /// anchored at the co-signed root of applied height `root_height`
+    /// (0 = genesis), optionally with the co-signed header proving that
+    /// root to a client that has not cached it.
+    SnapshotReadResp {
+        /// Echo of the request id.
+        req: u64,
+        /// The shard read.
+        shard: u32,
+        /// Applied height of the anchoring co-signed root.
+        root_height: u64,
+        /// Applied height the served state is current through.
+        covered_height: u64,
+        /// The co-signed root carrier (`None` = genesis or
+        /// client-cached).
+        header: Option<Box<BlockHeader>>,
+        /// The proof bundle (values ride inside).
+        proof: Box<ShardReadProof>,
+    },
+    /// The server cannot serve the read under the requested policy —
+    /// an *honest* refusal carrying a retargeting hint, never evidence.
+    SnapshotReadRefused {
+        /// Echo of the request id.
+        req: u64,
+        /// Why, plus how the client should retarget.
+        reason: ReadRefusal,
+    },
+    /// Ask a server for recent co-signed block headers (the pull side
+    /// of the lightweight root announcement): headers at or above
+    /// `from`, newest first, capped.
+    RootQuery {
+        /// Lowest applied height of interest.
+        from: u64,
+    },
+    /// Answer to [`Message::RootQuery`]: enough recent headers to cover
+    /// the newest co-signed root of every shard (clients verify each
+    /// header's collective signature before trusting it).
+    RootAnnounce {
+        /// The served headers.
+        headers: Vec<BlockHeader>,
+    },
+
+    // ------------------------------------------------------------------
     // Quorum-durable acknowledgements (cohort → coordinator).
     // ------------------------------------------------------------------
     /// The sending cohort's copy of block `height` is fsync-durable.
@@ -322,6 +390,76 @@ pub enum Message {
 /// One entry of a [`Message::ReadManyResp`]: the key and, when the
 /// server stores it, its `(value, rts, wts)` state.
 pub type ReadManyItem = (Key, Option<(Value, Timestamp, Timestamp)>);
+
+/// Why a server honestly refused a [`Message::SnapshotRead`] — always a
+/// retargeting hint, never evidence (a *Byzantine* server serves a bad
+/// response instead, and the client's verification refutes it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadRefusal {
+    /// The server is mid-repair and cannot serve trustworthy reads;
+    /// retry (or retarget) after roughly `eta_hint_ms` — the
+    /// repair-aware retry hint that keeps clients from burning their
+    /// op-timeout against a repairing server.
+    Repairing {
+        /// Coarse estimate of the remaining repair time.
+        eta_hint_ms: u32,
+    },
+    /// The server holds no checkpoint mirror of the requested shard
+    /// (and does not own it): ask the owner or another peer.
+    NoSnapshot,
+    /// The server's best servable state is older than the request's
+    /// bound; `best_covered` says how far it could serve, so the client
+    /// can fall back to the owner (or relax its policy).
+    TooStale {
+        /// The newest applied height this server could cover.
+        best_covered: u64,
+    },
+}
+
+impl fmt::Display for ReadRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadRefusal::Repairing { eta_hint_ms } => {
+                write!(f, "repairing (retry in ~{eta_hint_ms} ms)")
+            }
+            ReadRefusal::NoSnapshot => write!(f, "no mirror of that shard held here"),
+            ReadRefusal::TooStale { best_covered } => {
+                write!(f, "best servable height {best_covered} is below the bound")
+            }
+        }
+    }
+}
+
+impl Encodable for ReadRefusal {
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            ReadRefusal::Repairing { eta_hint_ms } => {
+                enc.put_u8(0);
+                enc.put_u32(*eta_hint_ms);
+            }
+            ReadRefusal::NoSnapshot => enc.put_u8(1),
+            ReadRefusal::TooStale { best_covered } => {
+                enc.put_u8(2);
+                enc.put_u64(*best_covered);
+            }
+        }
+    }
+}
+
+impl Decodable for ReadRefusal {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.take_u8()? {
+            0 => ReadRefusal::Repairing {
+                eta_hint_ms: dec.take_u32()?,
+            },
+            1 => ReadRefusal::NoSnapshot,
+            2 => ReadRefusal::TooStale {
+                best_covered: dec.take_u64()?,
+            },
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
 
 impl Message {
     /// A short name for diagnostics.
@@ -356,6 +494,11 @@ impl Message {
             Message::RepairCheckpoint { .. } => "repair-checkpoint",
             Message::CheckpointMirror { .. } => "checkpoint-mirror",
             Message::Durable { .. } => "durable",
+            Message::SnapshotRead { .. } => "snapshot-read",
+            Message::SnapshotReadResp { .. } => "snapshot-read-resp",
+            Message::SnapshotReadRefused { .. } => "snapshot-read-refused",
+            Message::RootQuery { .. } => "root-query",
+            Message::RootAnnounce { .. } => "root-announce",
         }
     }
 }
@@ -628,6 +771,49 @@ impl Encodable for Message {
                 enc.put_u8(28);
                 enc.put_u64(*height);
             }
+            Message::SnapshotRead {
+                req,
+                shard,
+                keys,
+                min_covered,
+                at_height,
+            } => {
+                enc.put_u8(29);
+                enc.put_u64(*req);
+                enc.put_u32(*shard);
+                enc.put_seq(keys, |e, k| k.encode_into(e));
+                enc.put_u64(*min_covered);
+                enc.put_option(at_height, |e, h| e.put_u64(*h));
+            }
+            Message::SnapshotReadResp {
+                req,
+                shard,
+                root_height,
+                covered_height,
+                header,
+                proof,
+            } => {
+                enc.put_u8(30);
+                enc.put_u64(*req);
+                enc.put_u32(*shard);
+                enc.put_u64(*root_height);
+                enc.put_u64(*covered_height);
+                enc.put_option(header, |e, h| h.encode_into(e));
+                proof.encode_into(enc);
+            }
+            Message::SnapshotReadRefused { req, reason } => {
+                enc.put_u8(31);
+                enc.put_u64(*req);
+                reason.encode_into(enc);
+            }
+            Message::RootQuery { from } => {
+                enc.put_u8(32);
+                enc.put_u64(*from);
+            }
+            Message::RootAnnounce { headers } => {
+                enc.put_u8(33);
+                enc.put_seq(headers, |e, h| h.encode_into(e));
+            }
         }
     }
 }
@@ -772,6 +958,31 @@ impl Decodable for Message {
             },
             28 => Message::Durable {
                 height: dec.take_u64()?,
+            },
+            29 => Message::SnapshotRead {
+                req: dec.take_u64()?,
+                shard: dec.take_u32()?,
+                keys: dec.take_seq(Key::decode_from)?,
+                min_covered: dec.take_u64()?,
+                at_height: dec.take_option(|d| d.take_u64())?,
+            },
+            30 => Message::SnapshotReadResp {
+                req: dec.take_u64()?,
+                shard: dec.take_u32()?,
+                root_height: dec.take_u64()?,
+                covered_height: dec.take_u64()?,
+                header: dec.take_option(|d| BlockHeader::decode_from(d).map(Box::new))?,
+                proof: Box::new(ShardReadProof::decode_from(dec)?),
+            },
+            31 => Message::SnapshotReadRefused {
+                req: dec.take_u64()?,
+                reason: ReadRefusal::decode_from(dec)?,
+            },
+            32 => Message::RootQuery {
+                from: dec.take_u64()?,
+            },
+            33 => Message::RootAnnounce {
+                headers: dec.take_seq(BlockHeader::decode_from)?,
             },
             t => return Err(DecodeError::InvalidTag(t)),
         })
@@ -986,6 +1197,50 @@ mod tests {
             snapshot: Box::new(snapshot),
         });
         roundtrip(Message::Durable { height: 3 });
+    }
+
+    #[test]
+    fn read_plane_messages_roundtrip() {
+        roundtrip(Message::SnapshotRead {
+            req: 7,
+            shard: 2,
+            keys: vec![Key::new("a"), Key::new("b")],
+            min_covered: 12,
+            at_height: Some(10),
+        });
+        let shard = fides_store::AuthenticatedShard::new(vec![(Key::new("m"), Value::from_i64(3))]);
+        let proof = shard.prove_read(&[Key::new("m"), Key::new("missing")]);
+        let block = BlockBuilder::new(4, Digest::new([2; 32]))
+            .txn(sample_record())
+            .decision(Decision::Commit)
+            .build_unsigned();
+        roundtrip(Message::SnapshotReadResp {
+            req: 7,
+            shard: 2,
+            root_height: 5,
+            covered_height: 9,
+            header: Some(Box::new(block.header())),
+            proof: Box::new(proof.clone()),
+        });
+        roundtrip(Message::SnapshotReadResp {
+            req: 8,
+            shard: 2,
+            root_height: 0,
+            covered_height: 0,
+            header: None,
+            proof: Box::new(proof),
+        });
+        for reason in [
+            crate::messages::ReadRefusal::Repairing { eta_hint_ms: 120 },
+            crate::messages::ReadRefusal::NoSnapshot,
+            crate::messages::ReadRefusal::TooStale { best_covered: 4 },
+        ] {
+            roundtrip(Message::SnapshotReadRefused { req: 3, reason });
+        }
+        roundtrip(Message::RootQuery { from: 9 });
+        roundtrip(Message::RootAnnounce {
+            headers: vec![block.header()],
+        });
     }
 
     #[test]

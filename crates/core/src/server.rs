@@ -57,7 +57,7 @@ use fides_crypto::cosi::{self, Witness};
 use fides_crypto::encoding::{Decodable, Encodable};
 use fides_crypto::schnorr::{KeyPair, PublicKey};
 use fides_crypto::Digest;
-use fides_ledger::block::{Block, BlockBuilder, Decision, ShardRoot, TxnRecord};
+use fides_ledger::block::{Block, BlockBuilder, BlockHeader, Decision, ShardRoot, TxnRecord};
 use fides_ledger::log::TamperProofLog;
 use fides_net::{Endpoint, Envelope, NodeId};
 use fides_store::authenticated::{AuthenticatedShard, MhtUpdateStats};
@@ -95,6 +95,52 @@ pub struct ExecState {
     pending_decisions: BTreeMap<u64, Block>,
 }
 
+/// Where the co-signed root covering a shard's current state lives —
+/// what a snapshot-read response must hand the client as its trust
+/// anchor.
+#[derive(Debug, Clone)]
+pub enum RootProvenance {
+    /// No root-bearing block has touched this shard yet: its state is
+    /// the deterministic genesis population, which clients hold as a
+    /// trusted root (applied height 0).
+    Genesis,
+    /// The newest applied block that carried this shard's root; its
+    /// header is the self-authenticating carrier (applied height =
+    /// `header.height + 1`).
+    Header(Box<BlockHeader>),
+    /// The state descends from a checkpoint whose co-signed root lives
+    /// in a block this server no longer holds (checkpoint bootstrap
+    /// with a root-less suffix): reads are refused until the next
+    /// root-bearing block lands.
+    Unknown,
+}
+
+impl RootProvenance {
+    /// The newest applied block carrying the shard's root, from a log.
+    fn from_log(log: &TamperProofLog, idx: u32) -> RootProvenance {
+        for block in log.blocks().iter().rev() {
+            if block.decision == Decision::Commit && block.root_of(idx).is_some() {
+                return RootProvenance::Header(Box::new(block.header()));
+            }
+        }
+        if log.base_height() == 0 {
+            RootProvenance::Genesis
+        } else {
+            RootProvenance::Unknown
+        }
+    }
+
+    /// `(applied root height, header to ship)` — `None` when reads
+    /// cannot be anchored.
+    fn anchor(&self) -> Option<(u64, Option<BlockHeader>)> {
+        match self {
+            RootProvenance::Genesis => Some((0, None)),
+            RootProvenance::Header(h) => Some((h.height + 1, Some((**h).clone()))),
+            RootProvenance::Unknown => None,
+        }
+    }
+}
+
 /// The datastore stage: the Merkle-authenticated shard plus the commit
 /// watermark reads validate against.
 #[derive(Debug)]
@@ -108,6 +154,25 @@ pub struct ShardStage {
     /// the ledger stage briefly while a block is mid-apply; the auditor
     /// uses it to take consistent (log, shard) snapshots.
     pub applied_height: u64,
+    /// Provenance of the co-signed root covering the shard's current
+    /// state (the verified read plane's trust anchor).
+    pub last_root: RootProvenance,
+}
+
+/// A mirror's read-serving state, built once per mirrored checkpoint
+/// and swapped **atomically** (one `Arc` per checkpoint): a read served
+/// mid-supersede sees exactly one `(shard, root)` pair, never a torn
+/// mix of old and new mirror.
+#[derive(Debug)]
+struct MirrorReadState {
+    /// The mirrored checkpoint's applied height (= coverage watermark).
+    covered: u64,
+    /// Applied height of the co-signed root anchoring the mirror.
+    root_height: u64,
+    /// The root's carrier (`None` = genesis).
+    header: Option<BlockHeader>,
+    /// The restored shard the proofs are generated from.
+    shard: AuthenticatedShard,
 }
 
 /// The ledger stage: the replicated log plus the audit evidence this
@@ -146,6 +211,9 @@ pub struct ServerState {
     /// Repair-plane state: lagging/repairing status, refuted-transfer
     /// evidence, and peers' checkpoint mirrors.
     repair: parking_lot::Mutex<RepairShared>,
+    /// Per-origin mirror read-serving state, rebuilt lazily whenever a
+    /// newer mirror supersedes the cached one (see [`MirrorReadState`]).
+    mirror_reads: parking_lot::Mutex<HashMap<u32, Arc<MirrorReadState>>>,
 }
 
 /// Commit-round accounting (coordinator only).
@@ -175,10 +243,12 @@ impl ServerState {
                 shard,
                 last_committed: Timestamp::ZERO,
                 applied_height: 0,
+                last_root: RootProvenance::Genesis,
             }),
             ledger: parking_lot::Mutex::new(LedgerStage::default()),
             durability: parking_lot::Mutex::new(None),
             repair: parking_lot::Mutex::new(RepairShared::default()),
+            mirror_reads: parking_lot::Mutex::new(HashMap::new()),
         }
     }
 
@@ -197,6 +267,7 @@ impl ServerState {
             since: recovered.provisional.then(Instant::now),
             ..RepairShared::default()
         };
+        let last_root = RootProvenance::from_log(&recovered.log, idx);
         ServerState {
             idx,
             behavior,
@@ -205,6 +276,7 @@ impl ServerState {
                 shard: recovered.shard,
                 last_committed: recovered.last_committed,
                 applied_height,
+                last_root,
             }),
             ledger: parking_lot::Mutex::new(LedgerStage {
                 log: recovered.log,
@@ -212,6 +284,7 @@ impl ServerState {
             }),
             durability: parking_lot::Mutex::new(Some(recovered.durability)),
             repair: parking_lot::Mutex::new(repair),
+            mirror_reads: parking_lot::Mutex::new(HashMap::new()),
         }
     }
 
@@ -826,6 +899,14 @@ impl Server {
                 self.handle_checkpoint_mirror(from, *snapshot);
             }
             Message::Durable { height } => self.handle_durable(from, height),
+            Message::SnapshotRead {
+                req,
+                shard,
+                keys,
+                min_covered,
+                at_height,
+            } => self.handle_snapshot_read(from, req, shard, keys, min_covered, at_height),
+            Message::RootQuery { from: from_height } => self.handle_root_query(from, from_height),
             Message::Shutdown => self.running = false,
             // Responses to rounds we are not currently collecting for —
             // stale protocol traffic — are dropped.
@@ -1452,6 +1533,10 @@ impl Server {
             }
             repair.mirrors.insert(origin, snapshot.clone());
         }
+        // The superseded mirror's read cache is stale now; the next
+        // snapshot read rebuilds it from the new checkpoint (reads in
+        // flight keep their Arc — exactly one co-signed root each).
+        self.state.mirror_reads.lock().remove(&origin);
         let mut durability = self.state.durability.lock();
         match durability.as_mut() {
             None => {}
@@ -1475,6 +1560,274 @@ impl Server {
         if let Some(quorum) = &self.quorum {
             quorum.record(height, from.raw());
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Verified read plane: proof-carrying snapshot reads served from
+    // the live shard (owner) or from a verified checkpoint mirror of a
+    // peer's shard (any holder) — read-only traffic never enters a
+    // commit round. See `docs/reads.md`.
+    // ------------------------------------------------------------------
+
+    /// Coarse estimate of the remaining repair time, shipped in
+    /// `ReadRefusal::Repairing` so clients retarget instead of burning
+    /// their op-timeout against this server.
+    fn repair_eta_ms(&self) -> u32 {
+        match &self.repair_task {
+            Some(task) => {
+                let staged = task.base_height + task.staged.len() as u64;
+                let remaining = task.target.saturating_sub(staged);
+                // ~1 ms/block transfer+verify, floored at one gossip gap.
+                (remaining.saturating_mul(1).clamp(100, 5_000)) as u32
+            }
+            None => 100,
+        }
+    }
+
+    fn refuse_read(&self, to: NodeId, req: u64, reason: crate::messages::ReadRefusal) {
+        self.send(to, &Message::SnapshotReadRefused { req, reason });
+    }
+
+    /// Serves a proof-carrying snapshot read: from the live shard when
+    /// this server owns it, from a cached verified mirror otherwise.
+    fn handle_snapshot_read(
+        &mut self,
+        from: NodeId,
+        req: u64,
+        shard_idx: u32,
+        keys: Vec<Key>,
+        min_covered: u64,
+        at_height: Option<u64>,
+    ) {
+        use crate::messages::ReadRefusal;
+        if self.config.protocol != CommitProtocol::TfCommit {
+            // The 2PC baseline co-signs nothing and keeps no Merkle
+            // tree: no proof a client could verify exists. Refusing is
+            // the honest answer (serving would only earn an honest
+            // server false TamperedRead evidence).
+            self.refuse_read(from, req, ReadRefusal::NoSnapshot);
+            return;
+        }
+        if self.state.is_repairing() {
+            // A repairing shard cannot anchor trustworthy reads, and a
+            // mirror held here may be what the repair itself is about.
+            let eta_hint_ms = self.repair_eta_ms();
+            self.refuse_read(from, req, ReadRefusal::Repairing { eta_hint_ms });
+            return;
+        }
+        let ignore_bounds = self.state.behavior().ignore_read_bounds;
+        let (root_height, covered, header, proof) = if shard_idx == self.config.idx {
+            // Owner path: one shard-stage lock covers proof generation
+            // and the anchor — a consistent (state, root) pair even
+            // while the commit pipeline is mid-flight.
+            let stage = self.state.shard.lock();
+            let Some((root_height, header)) = stage.last_root.anchor() else {
+                // Checkpoint bootstrap with no root-bearing block yet.
+                self.refuse_read(from, req, ReadRefusal::TooStale { best_covered: 0 });
+                return;
+            };
+            let covered = stage.applied_height;
+            if covered < min_covered && !ignore_bounds {
+                self.refuse_read(
+                    from,
+                    req,
+                    ReadRefusal::TooStale {
+                        best_covered: covered,
+                    },
+                );
+                return;
+            }
+            if at_height.is_some_and(|h| root_height > h || h > covered) && !ignore_bounds {
+                // The live state is not the state at `h` (a root landed
+                // after it, or `h` is in the future).
+                self.refuse_read(
+                    from,
+                    req,
+                    ReadRefusal::TooStale {
+                        best_covered: covered,
+                    },
+                );
+                return;
+            }
+            let proof = stage.shard.prove_read(&keys);
+            (root_height, covered, header, proof)
+        } else {
+            // Mirror path: serve a *peer's* shard from its verified
+            // checkpoint mirror. The whole response derives from one
+            // cached `Arc<MirrorReadState>` — a mirror superseded
+            // mid-read cannot produce a torn (state, root) mix.
+            let Some(mirror) = self.mirror_read_state(shard_idx) else {
+                self.refuse_read(from, req, ReadRefusal::NoSnapshot);
+                return;
+            };
+            if mirror.covered < min_covered && !ignore_bounds {
+                self.refuse_read(
+                    from,
+                    req,
+                    ReadRefusal::TooStale {
+                        best_covered: mirror.covered,
+                    },
+                );
+                return;
+            }
+            if at_height.is_some_and(|h| mirror.root_height > h || h > mirror.covered)
+                && !ignore_bounds
+            {
+                self.refuse_read(
+                    from,
+                    req,
+                    ReadRefusal::TooStale {
+                        best_covered: mirror.covered,
+                    },
+                );
+                return;
+            }
+            let proof = mirror.shard.prove_read(&keys);
+            (
+                mirror.root_height,
+                mirror.covered,
+                mirror.header.clone(),
+                proof,
+            )
+        };
+
+        // Byzantine switches: forge values/absences inside the response
+        // (the genuine proofs then refute the forgery client-side).
+        let mut proof = proof;
+        let behavior = self.state.behavior();
+        if !behavior.forge_read_values.is_empty() || !behavior.forge_read_absence.is_empty() {
+            for (key, entry) in keys.iter().zip(proof.entries.iter_mut()) {
+                if behavior.forge_read_values.contains(key) {
+                    if let fides_store::ReadEntryProof::Present { value, .. } = entry {
+                        *value = Value::from_i64(i64::MAX);
+                    }
+                }
+                if behavior.forge_read_absence.contains(key) {
+                    *entry = fides_store::ReadEntryProof::Absent(fides_store::AbsenceProof {
+                        pred: None,
+                        succ: fides_store::AbsenceSuccessor::Empty,
+                    });
+                }
+            }
+        }
+
+        self.send(
+            from,
+            &Message::SnapshotReadResp {
+                req,
+                shard: shard_idx,
+                root_height,
+                covered_height: covered,
+                header: header.map(Box::new),
+                proof: Box::new(proof),
+            },
+        );
+    }
+
+    /// The cached read-serving state for `origin`'s mirror, built (and
+    /// cross-checked against the co-signed chain) on first use per
+    /// checkpoint.
+    fn mirror_read_state(&self, origin: u32) -> Option<Arc<MirrorReadState>> {
+        let snapshot = self.state.repair.lock().mirrors.get(&origin).cloned()?;
+        {
+            let cache = self.state.mirror_reads.lock();
+            if let Some(state) = cache.get(&origin) {
+                if state.covered == snapshot.height {
+                    return Some(Arc::clone(state));
+                }
+            }
+        }
+        // Build outside the cache lock (restore is expensive).
+        let shard = snapshot.restore_verified().ok()?;
+        // Anchor: the newest commit block below the checkpoint height
+        // carrying the origin's root. The restored mirror must match it
+        // — a forged-but-internally-consistent mirror is refused here
+        // rather than served.
+        let (root_height, header) = {
+            let ledger = self.state.ledger.lock();
+            let base = ledger.log.base_height();
+            let mut found = None;
+            let mut h = snapshot.height;
+            while h > base {
+                h -= 1;
+                let block = ledger.log.get(h)?;
+                if block.decision == Decision::Commit && block.root_of(origin).is_some() {
+                    found = Some(Box::new(block.header()));
+                    break;
+                }
+            }
+            match found {
+                Some(header) => (header.height + 1, Some(*header)),
+                None if base == 0 => (0, None),
+                // The anchoring history is pruned here: cannot serve.
+                None => return None,
+            }
+        };
+        if let Some(header) = &header {
+            if header.root_of(origin) != Some(shard.root()) {
+                return None;
+            }
+        }
+        let state = Arc::new(MirrorReadState {
+            covered: snapshot.height,
+            root_height,
+            header,
+            shard,
+        });
+        self.state
+            .mirror_reads
+            .lock()
+            .insert(origin, Arc::clone(&state));
+        Some(state)
+    }
+
+    /// Serves recent co-signed headers (the pull half of the root
+    /// announcement): walking down from the tip, every header that
+    /// contributes a shard's newest commit root, until all shards are
+    /// covered, the scan cap is hit, or `from` is passed.
+    fn handle_root_query(&mut self, from: NodeId, from_height: u64) {
+        const MAX_SCAN: usize = 256;
+        const MAX_HEADERS: usize = 32;
+        if self.config.protocol != CommitProtocol::TfCommit {
+            // Unsigned (2PC) blocks yield no verifiable headers.
+            self.send(
+                from,
+                &Message::RootAnnounce {
+                    headers: Vec::new(),
+                },
+            );
+            return;
+        }
+        let headers = {
+            let ledger = self.state.ledger.lock();
+            let tip = ledger.log.next_height();
+            let base = ledger.log.base_height();
+            let mut headers: Vec<BlockHeader> = Vec::new();
+            let mut covered: HashSet<u32> = HashSet::new();
+            let mut scanned = 0usize;
+            let mut h = tip;
+            while h > base && scanned < MAX_SCAN && headers.len() < MAX_HEADERS {
+                h -= 1;
+                scanned += 1;
+                let Some(block) = ledger.log.get(h) else {
+                    break;
+                };
+                let contributes = block.decision == Decision::Commit
+                    && block.roots.iter().any(|r| !covered.contains(&r.server));
+                // The tip header always ships (freshness evidence).
+                if headers.is_empty() || contributes {
+                    if block.decision == Decision::Commit {
+                        covered.extend(block.roots.iter().map(|r| r.server));
+                    }
+                    headers.push(block.header());
+                }
+                if covered.len() >= self.config.n_servers as usize && h <= from_height {
+                    break;
+                }
+            }
+            headers
+        };
+        self.send(from, &Message::RootAnnounce { headers });
     }
 
     // ---- Requesting side ------------------------------------------------
@@ -1803,12 +2156,16 @@ impl Server {
             }
         }
         // Stage 4 — shard: swap in the verified replay and publish the
-        // watermark.
+        // watermark. The read anchor is re-derived from the installed
+        // log (the staged run may or may not carry this shard's root).
         {
+            let last_root =
+                RootProvenance::from_log(&self.state.ledger.lock().log, self.config.idx);
             let mut stage = self.state.shard.lock();
             stage.shard = shard;
             stage.last_committed = last_committed;
             stage.applied_height = new_tip;
+            stage.last_root = last_root;
         }
     }
 
@@ -1912,6 +2269,13 @@ impl Server {
         let max_ts = block.max_txn_ts();
         let height = block.height;
         let behavior = self.state.behavior();
+        // A commit block carrying this shard's root becomes the read
+        // plane's new trust anchor (abort blocks carry *speculative*
+        // roots that were never applied — they must not move it).
+        let read_anchor = (protocol == CommitProtocol::TfCommit
+            && decision == Decision::Commit
+            && block.root_of(self.config.idx).is_some())
+        .then(|| Box::new(block.header()));
 
         // Stage 1 — ledger.
         let tip_hash = {
@@ -2029,6 +2393,9 @@ impl Server {
                             stage.shard.store_mut().corrupt_version(&key, ts, value);
                         }
                     }
+                }
+                if let Some(header) = read_anchor {
+                    stage.last_root = RootProvenance::Header(header);
                 }
             }
             stage.applied_height = height + 1;
@@ -2640,6 +3007,18 @@ impl Server {
                     self.handle_checkpoint_mirror(from, *snapshot);
                 }
                 Message::Durable { height } => self.handle_durable(from, height),
+                // Snapshot reads are served mid-round too: the read
+                // plane must not stall behind commit traffic.
+                Message::SnapshotRead {
+                    req,
+                    shard,
+                    keys,
+                    min_covered,
+                    at_height,
+                } => self.handle_snapshot_read(from, req, shard, keys, min_covered, at_height),
+                Message::RootQuery { from: from_height } => {
+                    self.handle_root_query(from, from_height);
+                }
                 Message::Flush => {} // already mid-round
                 Message::Shutdown => {
                     self.running = false;

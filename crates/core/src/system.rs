@@ -165,6 +165,13 @@ pub struct FidesCluster {
     directory: Directory,
     server_pks: Vec<PublicKey>,
     oracle: TimestampOracle,
+    /// The deterministic genesis composite root of every shard — the
+    /// verified read plane's trusted anchor for pre-commit state,
+    /// handed to every client's root registry.
+    genesis_roots: Vec<fides_crypto::Digest>,
+    /// Refuted snapshot reads filed by this cluster's clients; folded
+    /// into audits as `TamperedRead` violations.
+    read_evidence: Arc<parking_lot::Mutex<Vec<fides_read::ReadEvidence>>>,
     states: Vec<Arc<ServerState>>,
     /// One slot per server; `None` while that server is crashed
     /// (between [`FidesCluster::crash_server`] and
@@ -233,6 +240,7 @@ impl FidesCluster {
             }
             shards.push(Self::build_initial_shard(&config, s));
         }
+        let genesis_roots: Vec<fides_crypto::Digest> = shards.iter().map(|s| s.root()).collect();
         let partitioner = Partitioner::from_assignments(config.n_servers, assignments);
 
         // Build every server's state first — recovering (and verifying)
@@ -292,6 +300,8 @@ impl FidesCluster {
             directory,
             server_pks,
             oracle: TimestampOracle::new(),
+            genesis_roots,
+            read_evidence: Arc::new(parking_lot::Mutex::new(Vec::new())),
             states,
             threads,
             admin,
@@ -396,6 +406,20 @@ impl FidesCluster {
             self.oracle.clone(),
             self.config.protocol,
         )
+        .with_read_context(self.genesis_roots.clone(), Arc::clone(&self.read_evidence))
+    }
+
+    /// The deterministic genesis composite root of every shard — what a
+    /// stand-alone client needs to seed its own
+    /// [`fides_read::RootRegistry`].
+    pub fn genesis_roots(&self) -> &[fides_crypto::Digest] {
+        &self.genesis_roots
+    }
+
+    /// A snapshot of the refuted snapshot reads this cluster's clients
+    /// have filed so far.
+    pub fn read_evidence(&self) -> Vec<fides_read::ReadEvidence> {
+        self.read_evidence.lock().clone()
     }
 
     /// Asks the coordinator to terminate any pending partial batch.
@@ -598,6 +622,18 @@ impl FidesCluster {
                     },
                 });
             }
+        }
+        // Byzantine read servers: refuted snapshot reads the clients
+        // filed — each names the precise server that served the forged
+        // value/absence/header or the stale-beyond-bound root.
+        for evidence in self.read_evidence.lock().iter() {
+            report.violations.push(crate::audit::Violation {
+                server: Some(evidence.server),
+                height: None,
+                kind: crate::audit::ViolationKind::TamperedRead {
+                    fault: evidence.fault.clone(),
+                },
+            });
         }
         report
     }

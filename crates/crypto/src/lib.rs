@@ -79,7 +79,7 @@ pub mod scalar;
 mod arith;
 
 pub use hash::Digest;
-pub use merkle::{MerkleTree, VerificationObject};
+pub use merkle::{MerkleTree, MultiProof, VerificationObject};
 pub use point::Point;
 pub use schnorr::{KeyPair, PublicKey, SecretKey, Signature};
 pub use sha256::Sha256;

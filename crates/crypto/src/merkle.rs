@@ -424,6 +424,182 @@ impl MerkleTree {
     pub fn leaves(&self) -> &[Digest] {
         &self.levels[0][..self.leaf_count]
     }
+
+    /// Like [`MerkleTree::proof`], but also allows proving a **padding
+    /// slot** (an index in `len()..width`): the proof then links the
+    /// public [`empty_leaf`] digest to the root. Absence proofs use
+    /// this to show that the slot right after the last real leaf is
+    /// padding — i.e. nothing sorts after that leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is at or beyond the padded width.
+    pub fn proof_padding(&self, index: usize) -> VerificationObject {
+        assert!(index < self.levels[0].len(), "index beyond padded width");
+        let mut siblings = Vec::with_capacity(self.height());
+        let mut idx = index;
+        for lvl in 0..self.levels.len() - 1 {
+            siblings.push(self.levels[lvl][idx ^ 1]);
+            idx /= 2;
+        }
+        VerificationObject {
+            index: index as u64,
+            siblings,
+        }
+    }
+
+    /// Generates one **batched** proof covering all of `indices` against
+    /// this tree's root — the multiproof behind the verified read
+    /// plane's `SnapshotRead`.
+    ///
+    /// Per-leaf verification objects repeat every shared ancestor's
+    /// sibling once per leaf (`k·log₂ n` digests for `k` leaves); the
+    /// multiproof carries only the **frontier complement** — siblings
+    /// not derivable from the proven leaves themselves — so clustered
+    /// key sets approach `log₂ n` total digests and verification hashes
+    /// each shared ancestor exactly once. Duplicate indices are
+    /// deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= self.len()`.
+    pub fn multiproof(&self, indices: &[usize]) -> MultiProof {
+        for &index in indices {
+            assert!(index < self.leaf_count, "leaf index out of range");
+        }
+        let mut frontier: Vec<usize> = indices.to_vec();
+        frontier.sort_unstable();
+        frontier.dedup();
+        let mut siblings = Vec::new();
+        for level in &self.levels[..self.levels.len() - 1] {
+            let mut parents = Vec::with_capacity(frontier.len());
+            let mut i = 0;
+            while i < frontier.len() {
+                let idx = frontier[i];
+                let sibling = idx ^ 1;
+                if idx & 1 == 0 && frontier.get(i + 1) == Some(&sibling) {
+                    // The sibling is itself proven: derivable, not sent.
+                    i += 2;
+                } else {
+                    siblings.push(level[sibling]);
+                    i += 1;
+                }
+                parents.push(idx / 2);
+            }
+            parents.dedup();
+            frontier = parents;
+        }
+        MultiProof {
+            height: self.height() as u32,
+            siblings,
+        }
+    }
+}
+
+/// A batched Merkle proof for a *set* of leaves against one root, with
+/// shared-path deduplication (see [`MerkleTree::multiproof`]).
+///
+/// Verification recomputes the root bottom-up from the proven
+/// `(index, leaf digest)` pairs, pairing adjacent proven leaves
+/// internally and consuming one carried sibling everywhere the
+/// complement is needed — the same deterministic order generation used,
+/// so a proof is valid for exactly one leaf set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiProof {
+    /// Tree height in levels (so verification knows when the frontier
+    /// must have collapsed to the root).
+    height: u32,
+    /// The complement siblings, in consumption order.
+    siblings: Vec<Digest>,
+}
+
+impl MultiProof {
+    /// Tree height this proof was generated against.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of carried sibling digests (the proof's wire size driver).
+    pub fn sibling_count(&self) -> usize {
+        self.siblings.len()
+    }
+
+    /// Recomputes the root implied by this proof for the given
+    /// `(leaf index, leaf digest)` set. Returns `None` when the proof is
+    /// malformed for this set: wrong sibling count, duplicate indices,
+    /// or an empty set. Pairs may be given in any order.
+    pub fn compute_root(&self, leaves: &[(u64, Digest)]) -> Option<Digest> {
+        // `height < 64` keeps the `1 << height` width computation below
+        // from overflowing on attacker-supplied proofs.
+        if leaves.is_empty() || self.height >= 64 {
+            return None;
+        }
+        let mut frontier: Vec<(u64, Digest)> = leaves.to_vec();
+        frontier.sort_unstable_by_key(|&(i, _)| i);
+        if frontier.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None; // duplicate indices
+        }
+        if frontier.last()?.0 >= (1u64 << self.height) {
+            return None; // index outside the tree
+        }
+        let mut stream = self.siblings.iter();
+        for _ in 0..self.height {
+            let mut parents: Vec<(u64, Digest)> = Vec::with_capacity(frontier.len());
+            let mut i = 0;
+            while i < frontier.len() {
+                let (idx, digest) = frontier[i];
+                let parent = if idx & 1 == 0
+                    && frontier
+                        .get(i + 1)
+                        .is_some_and(|&(next, _)| next == idx + 1)
+                {
+                    let (_, right) = frontier[i + 1];
+                    i += 2;
+                    hash_nodes(&digest, &right)
+                } else {
+                    let sibling = stream.next()?;
+                    i += 1;
+                    if idx & 1 == 0 {
+                        hash_nodes(&digest, sibling)
+                    } else {
+                        hash_nodes(sibling, &digest)
+                    }
+                };
+                parents.push((idx / 2, parent));
+            }
+            frontier = parents;
+        }
+        if stream.next().is_some() || frontier.len() != 1 {
+            return None; // leftover siblings / unmerged frontier
+        }
+        Some(frontier[0].1)
+    }
+
+    /// Returns `true` if the proof links every `(index, leaf)` pair to
+    /// `root`.
+    pub fn verify(&self, leaves: &[(u64, Digest)], root: &Digest) -> bool {
+        self.compute_root(leaves) == Some(*root)
+    }
+}
+
+impl Encodable for MultiProof {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u32(self.height);
+        enc.put_seq(&self.siblings, |e, d| e.put_digest(d));
+    }
+}
+
+impl Decodable for MultiProof {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let height = dec.take_u32()?;
+        if height >= 64 {
+            return Err(DecodeError::InvalidValue(
+                "multiproof 64 or more levels deep",
+            ));
+        }
+        let siblings = dec.take_seq(|d| d.take_digest())?;
+        Ok(MultiProof { height, siblings })
+    }
 }
 
 /// A Merkle proof: the sibling path for one leaf (paper §2.3's VO).
@@ -829,6 +1005,105 @@ mod tests {
     fn out_of_range_update_panics() {
         let mut tree = MerkleTree::from_leaves(leaves(4));
         tree.update_leaf(4, Digest::ZERO);
+    }
+
+    #[test]
+    fn multiproof_verifies_for_many_shapes() {
+        for n in [1usize, 2, 3, 5, 8, 13, 64, 100] {
+            let ls = leaves(n);
+            let tree = MerkleTree::from_leaves(ls.clone());
+            let root = tree.root();
+            for mut set in [
+                vec![0usize],
+                vec![n - 1],
+                vec![0, n - 1],
+                (0..n).step_by(3).collect::<Vec<_>>(),
+                (0..n).collect::<Vec<_>>(),
+            ] {
+                set.dedup();
+                let proof = tree.multiproof(&set);
+                let pairs: Vec<(u64, Digest)> = set.iter().map(|&i| (i as u64, ls[i])).collect();
+                assert!(proof.verify(&pairs, &root), "n={n} set={set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiproof_shares_paths() {
+        // Adjacent leaves 4,5 share everything: one multiproof carries
+        // log2(16)-1 siblings vs 2*log2(16) for two VOs.
+        let tree = MerkleTree::from_leaves(leaves(16));
+        let proof = tree.multiproof(&[4, 5]);
+        assert_eq!(proof.sibling_count(), 3);
+        assert_eq!(
+            tree.proof(4).siblings().len() + tree.proof(5).siblings().len(),
+            8
+        );
+    }
+
+    #[test]
+    fn multiproof_rejects_wrong_leaf() {
+        let ls = leaves(16);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let proof = tree.multiproof(&[2, 9]);
+        let mut pairs = vec![(2u64, ls[2]), (9u64, ls[9])];
+        assert!(proof.verify(&pairs, &tree.root()));
+        pairs[1].1 = hash_leaf(b"forged");
+        assert!(!proof.verify(&pairs, &tree.root()));
+    }
+
+    #[test]
+    fn multiproof_rejects_wrong_index_set() {
+        let ls = leaves(16);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let proof = tree.multiproof(&[2, 9]);
+        // A subset, a superset and a swapped index all fail.
+        assert!(!proof.verify(&[(2, ls[2])], &tree.root()));
+        assert!(!proof.verify(&[(2, ls[2]), (9, ls[9]), (10, ls[10])], &tree.root()));
+        assert!(!proof.verify(&[(3, ls[2]), (9, ls[9])], &tree.root()));
+    }
+
+    #[test]
+    fn multiproof_rejects_duplicates_and_empty() {
+        let ls = leaves(8);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let proof = tree.multiproof(&[1]);
+        assert!(proof.compute_root(&[]).is_none());
+        assert!(proof.compute_root(&[(1, ls[1]), (1, ls[1])]).is_none());
+        assert!(proof.compute_root(&[(99, ls[1])]).is_none());
+    }
+
+    #[test]
+    fn multiproof_unsorted_input_and_duplicates_in_generation() {
+        let ls = leaves(32);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let proof = tree.multiproof(&[20, 3, 20, 7]);
+        let pairs = vec![(7u64, ls[7]), (3, ls[3]), (20, ls[20])];
+        assert!(proof.verify(&pairs, &tree.root()));
+    }
+
+    #[test]
+    fn multiproof_single_leaf_tree() {
+        let ls = leaves(1);
+        let tree = MerkleTree::from_leaves(ls.clone());
+        let proof = tree.multiproof(&[0]);
+        assert_eq!(proof.sibling_count(), 0);
+        assert!(proof.verify(&[(0, ls[0])], &tree.root()));
+    }
+
+    #[test]
+    fn multiproof_encoding_roundtrip() {
+        let tree = MerkleTree::from_leaves(leaves(40));
+        let proof = tree.multiproof(&[0, 17, 39]);
+        let decoded = MultiProof::decode(&proof.encode()).unwrap();
+        assert_eq!(decoded, proof);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn multiproof_out_of_range_panics() {
+        let tree = MerkleTree::from_leaves(leaves(4));
+        let _ = tree.multiproof(&[4]);
     }
 
     #[test]

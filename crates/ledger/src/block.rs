@@ -89,18 +89,47 @@ pub struct Block {
     pub cosign: CollectiveSignature,
 }
 
+/// Computes the canonical digest of a block's transaction list — the
+/// commitment that stands in for the (multi-kilobyte) transaction
+/// bodies inside the signing bytes, so a [`BlockHeader`] can be
+/// verified without them.
+pub fn txns_digest(txns: &[TxnRecord]) -> Digest {
+    let mut enc = Encoder::with_capacity(256);
+    enc.put_seq(txns, |e, t| t.encode_into(e));
+    Sha256::digest(enc.as_bytes())
+}
+
 impl Block {
     /// The canonical bytes that the CoSi round signs: every field except
-    /// the co-sign.
+    /// the co-sign, with the transaction list committed by its digest
+    /// ([`txns_digest`]) rather than inlined. Hashing the transactions
+    /// first keeps the signed record small **and** lets a
+    /// [`BlockHeader`] — the block minus its transaction bodies — carry
+    /// a verifiable collective signature on its own (the verified read
+    /// plane's lightweight root announcement).
     pub fn signing_bytes(&self) -> Vec<u8> {
-        let mut enc = Encoder::with_capacity(256);
-        enc.put_fixed(b"fides.block.v1");
-        enc.put_u64(self.height);
-        enc.put_seq(&self.txns, |e, t| t.encode_into(e));
-        enc.put_seq(&self.roots, |e, r| r.encode_into(e));
-        self.decision.encode_into(&mut enc);
-        enc.put_digest(&self.prev_hash);
-        enc.into_bytes()
+        header_signing_bytes(
+            self.height,
+            &txns_digest(&self.txns),
+            &self.roots,
+            self.decision,
+            &self.prev_hash,
+        )
+    }
+
+    /// Extracts this block's [`BlockHeader`]: the co-signed fields with
+    /// the transactions reduced to their digest. The header's signing
+    /// bytes (and therefore its collective signature and chain-link
+    /// hash) are identical to the full block's.
+    pub fn header(&self) -> BlockHeader {
+        BlockHeader {
+            height: self.height,
+            txns_digest: txns_digest(&self.txns),
+            roots: self.roots.clone(),
+            decision: self.decision,
+            prev_hash: self.prev_hash,
+            cosign: self.cosign,
+        }
     }
 
     /// The chain-link hash: SHA-256 of the signing bytes.
@@ -120,6 +149,110 @@ impl Block {
     /// empty block).
     pub fn max_txn_ts(&self) -> Option<Timestamp> {
         self.txns.iter().map(|t| t.id).max()
+    }
+}
+
+/// Shared canonical encoding of the co-signed fields, used by both
+/// [`Block::signing_bytes`] and [`BlockHeader::signing_bytes`] so the
+/// two can never drift apart.
+fn header_signing_bytes(
+    height: u64,
+    txns_digest: &Digest,
+    roots: &[ShardRoot],
+    decision: Decision,
+    prev_hash: &Digest,
+) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(256);
+    // v2: the transaction list is committed by digest (v1 inlined it).
+    // Bumping the domain tag on the layout change keeps v1 signatures
+    // from ever being interpreted under the v2 layout (and vice versa).
+    enc.put_fixed(b"fides.block.v2");
+    enc.put_u64(height);
+    enc.put_digest(txns_digest);
+    enc.put_seq(roots, |e, r| r.encode_into(e));
+    decision.encode_into(&mut enc);
+    enc.put_digest(prev_hash);
+    enc.into_bytes()
+}
+
+/// A block minus its transaction bodies: the co-signed per-shard Merkle
+/// roots, decision and chain link, with the transactions committed by
+/// their digest.
+///
+/// Because [`Block::signing_bytes`] commits the transaction list as
+/// [`txns_digest`], a header carries exactly the bytes the CoSi round
+/// signed — its collective signature verifies stand-alone, and its
+/// [`BlockHeader::hash`] equals the full block's chain-link hash. The
+/// verified read plane ships headers to clients as the lightweight,
+/// self-authenticating source of co-signed per-shard roots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Position in the chain.
+    pub height: u64,
+    /// Digest of the block's transaction list ([`txns_digest`]).
+    pub txns_digest: Digest,
+    /// Per-shard Merkle roots, sorted by server index.
+    pub roots: Vec<ShardRoot>,
+    /// The collective decision.
+    pub decision: Decision,
+    /// Hash of the previous block.
+    pub prev_hash: Digest,
+    /// The CoSi collective signature over the signing bytes.
+    pub cosign: CollectiveSignature,
+}
+
+impl BlockHeader {
+    /// The canonical signed bytes — identical to the full block's.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        header_signing_bytes(
+            self.height,
+            &self.txns_digest,
+            &self.roots,
+            self.decision,
+            &self.prev_hash,
+        )
+    }
+
+    /// The chain-link hash — identical to the full block's.
+    pub fn hash(&self) -> Digest {
+        Sha256::digest(&self.signing_bytes())
+    }
+
+    /// Verifies the collective signature against the witness set.
+    pub fn verify(&self, public_keys: &[fides_crypto::schnorr::PublicKey]) -> bool {
+        self.cosign.verify(&self.signing_bytes(), public_keys)
+    }
+
+    /// The root contributed by `server`, if present.
+    pub fn root_of(&self, server: u32) -> Option<Digest> {
+        self.roots
+            .iter()
+            .find(|r| r.server == server)
+            .map(|r| r.root)
+    }
+}
+
+impl Encodable for BlockHeader {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_u64(self.height);
+        enc.put_digest(&self.txns_digest);
+        enc.put_seq(&self.roots, |e, r| r.encode_into(e));
+        self.decision.encode_into(enc);
+        enc.put_digest(&self.prev_hash);
+        self.cosign.encode_into(enc);
+    }
+}
+
+impl Decodable for BlockHeader {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockHeader {
+            height: dec.take_u64()?,
+            txns_digest: dec.take_digest()?,
+            roots: dec.take_seq(ShardRoot::decode_from)?,
+            decision: Decision::decode_from(dec)?,
+            prev_hash: dec.take_digest()?,
+            cosign: CollectiveSignature::decode_from(dec)?,
+        })
     }
 }
 
@@ -383,6 +516,64 @@ mod tests {
         assert_eq!(b.max_txn_ts(), Some(Timestamp::new(9, 1)));
         let empty = BlockBuilder::new(0, Digest::ZERO).build_unsigned();
         assert!(empty.max_txn_ts().is_none());
+    }
+
+    #[test]
+    fn header_signing_bytes_match_block() {
+        let b = sample_block(3, Digest::new([9; 32]));
+        let h = b.header();
+        assert_eq!(h.signing_bytes(), b.signing_bytes());
+        assert_eq!(h.hash(), b.hash());
+        assert_eq!(h.root_of(1), b.root_of(1));
+        assert_eq!(h.root_of(42), None);
+    }
+
+    #[test]
+    fn header_encoding_roundtrip() {
+        let h = sample_block(2, Digest::new([4; 32])).header();
+        assert_eq!(BlockHeader::decode(&h.encode()).unwrap(), h);
+    }
+
+    #[test]
+    fn header_verifies_standalone() {
+        use fides_crypto::cosi::{self, Witness};
+        use fides_crypto::schnorr::KeyPair;
+        let keys: Vec<KeyPair> = (0..3u8).map(|i| KeyPair::from_seed(&[i, 0x55])).collect();
+        let pks: Vec<_> = keys.iter().map(|k| k.public_key()).collect();
+        let unsigned = sample_block(0, Digest::ZERO);
+        let record = unsigned.signing_bytes();
+        let witnesses: Vec<Witness> = keys
+            .iter()
+            .map(|k| Witness::commit(k, b"hdr", &record))
+            .collect();
+        let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+        let c = cosi::challenge(&agg, &record);
+        let sig = cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+        let block = Block {
+            cosign: sig,
+            ..unsigned
+        };
+        let header = block.header();
+        // The header verifies without the transaction bodies...
+        assert!(header.verify(&pks));
+        // ...and any doctored field breaks it.
+        let mut forged = header.clone();
+        forged.roots[0].root = Digest::new([0xEE; 32]);
+        assert!(!forged.verify(&pks));
+        let mut forged = header.clone();
+        forged.height += 1;
+        assert!(!forged.verify(&pks));
+        let mut forged = header;
+        forged.txns_digest = Digest::ZERO;
+        assert!(!forged.verify(&pks));
+    }
+
+    #[test]
+    fn txns_digest_binds_transactions() {
+        let a = txns_digest(&[sample_txn(1)]);
+        let b = txns_digest(&[sample_txn(2)]);
+        assert_ne!(a, b);
+        assert_eq!(a, txns_digest(&[sample_txn(1)]));
     }
 
     #[test]

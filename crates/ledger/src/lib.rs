@@ -19,7 +19,7 @@ pub mod block;
 pub mod log;
 pub mod validate;
 
-pub use block::{Block, BlockBuilder, Decision, ShardRoot, TxnRecord};
+pub use block::{txns_digest, Block, BlockBuilder, BlockHeader, Decision, ShardRoot, TxnRecord};
 pub use log::{LogError, TamperProofLog};
 pub use validate::{
     select_canonical_log, validate_chain, ChainFault, ChainFaultKind, LogAssessment, LogSelection,

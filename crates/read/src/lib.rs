@@ -1,0 +1,793 @@
+//! The client side of the **verified read plane**: read-only
+//! transactions that never enter a commit round, yet accept nothing a
+//! server cannot *prove*.
+//!
+//! Fides' premise is that servers are untrusted — but the execution
+//! path of a read-write transaction only distrusts them *a posteriori*
+//! (the audit catches incorrect reads after the fact), and a read-only
+//! workload still pays a full TFCommit round just to learn its reads
+//! were honest. This crate closes that gap with three pieces:
+//!
+//! * a [`RootRegistry`] — the client's cache of **co-signed per-shard
+//!   composite roots**, seeded from the trusted genesis population and
+//!   fed by verified [`BlockHeader`]s (the lightweight root
+//!   announcement: a header carries the co-signed roots *without* the
+//!   transaction bodies, and its collective signature verifies
+//!   stand-alone) and by the decision blocks the client already
+//!   verifies for its own commits;
+//! * a freshness policy — [`ReadConsistency`]: `Fresh` (state current
+//!   through the chain tip the client knows), `BoundedStaleness(k)`
+//!   (at most `k` blocks behind that tip — the mode that lets **any
+//!   peer holding a checkpoint mirror serve another server's shard**),
+//!   and `AtHeight(h)` (a pinned snapshot for repeatable multi-shard
+//!   reads);
+//! * the verification engine — [`verify_read`]: multiproof + absence
+//!   proofs against one co-signed root, plus the staleness cross-checks
+//!   that turn a lying server into attributable [`ReadEvidence`].
+//!
+//! # Trust argument (why no CoSi round is needed)
+//!
+//! A value is accepted only if a Merkle proof links it to a composite
+//! shard root that a **quorum of servers collectively signed** into a
+//! block (or to the deterministic genesis root the client is configured
+//! with, the same trust anchor as the server public keys). The server
+//! answering the read contributes nothing but the proof: forging a
+//! value, claiming a bound key absent, or serving a root the chain has
+//! superseded each requires either breaking the hash tree, breaking
+//! the collective signature, or being caught by the client's own root
+//! cache — all refuted client-side, with the refutation recorded
+//! against the precise server.
+
+use std::collections::BTreeMap;
+
+use fides_crypto::schnorr::PublicKey;
+use fides_crypto::Digest;
+use fides_ledger::block::BlockHeader;
+use fides_ledger::{Decision, ShardRoot};
+use fides_store::proofs::{ReadProofError, ShardReadProof};
+use fides_store::types::{Key, Value};
+
+/// How fresh a verified read must be, measured in **applied block
+/// heights** against the chain tip the client currently knows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadConsistency {
+    /// State current through the client's known chain tip. Served by
+    /// the shard owner (a mirror can satisfy it only when no block has
+    /// landed since its checkpoint).
+    Fresh,
+    /// State at most `k` applied blocks behind the client's known tip —
+    /// the mode that turns every checkpoint mirror into a read replica.
+    BoundedStaleness(u64),
+    /// State exactly as of applied height `h` (all blocks `< h`
+    /// applied): a pinned snapshot for repeatable reads across shards.
+    AtHeight(u64),
+}
+
+impl ReadConsistency {
+    /// The lowest `covered_height` (state-current-through watermark) a
+    /// server may serve under this policy, given the client's tip.
+    pub fn min_covered(&self, known_tip: u64) -> u64 {
+        match self {
+            ReadConsistency::Fresh => known_tip,
+            ReadConsistency::BoundedStaleness(k) => known_tip.saturating_sub(*k),
+            ReadConsistency::AtHeight(h) => *h,
+        }
+    }
+}
+
+/// Why a snapshot-read response was rejected by the verification
+/// engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadFault {
+    /// The carried block header's collective signature does not verify.
+    ForgedHeader,
+    /// The response anchors to a root height the client has no
+    /// co-signed root for and carried no header proving one — client
+    /// ignorance, **not** server misbehaviour (fetch headers, retry).
+    UnknownRoot {
+        /// The applied height the response claimed a root at.
+        root_height: u64,
+    },
+    /// The proof bundle fails against the co-signed root (forged value,
+    /// forged absence, torn root pair, ...).
+    Proof(ReadProofError),
+    /// The response claims its state is current through
+    /// `claimed_covered`, but the client holds a *different* co-signed
+    /// root for this shard at a height inside that coverage — the claim
+    /// is provably false.
+    StaleClaim {
+        /// The coverage watermark the server claimed.
+        claimed_covered: u64,
+        /// The newer co-signed root height that refutes it.
+        known_root_height: u64,
+    },
+    /// The (verified) response is staler than the bound the request
+    /// stated — a defiant serve where an honest server refuses.
+    StaleBeyondBound {
+        /// The response's coverage watermark.
+        covered: u64,
+        /// The minimum the request demanded.
+        required: u64,
+    },
+    /// An `AtHeight` read was answered with state **newer** than the
+    /// pin: the proven root postdates the pinned height, so this is
+    /// not the pinned snapshot (an honest server refuses instead).
+    PinViolated {
+        /// The applied height of the served root.
+        root_height: u64,
+        /// The height the request pinned.
+        pinned: u64,
+    },
+    /// Structurally malformed (coverage below root height, header for
+    /// the wrong height, header without this shard's root, ...).
+    Malformed,
+}
+
+impl ReadFault {
+    /// `true` when the fault proves server misbehaviour (worth filing
+    /// as [`ReadEvidence`]); `false` for client-side ignorance.
+    pub fn is_evidence(&self) -> bool {
+        !matches!(self, ReadFault::UnknownRoot { .. })
+    }
+}
+
+impl core::fmt::Display for ReadFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReadFault::ForgedHeader => write!(f, "header collective signature does not verify"),
+            ReadFault::UnknownRoot { root_height } => {
+                write!(f, "no co-signed root known at height {root_height}")
+            }
+            ReadFault::Proof(e) => write!(f, "proof refuted: {e}"),
+            ReadFault::StaleClaim {
+                claimed_covered,
+                known_root_height,
+            } => write!(
+                f,
+                "claimed current through {claimed_covered} but a newer co-signed root exists at \
+                 {known_root_height}"
+            ),
+            ReadFault::StaleBeyondBound { covered, required } => write!(
+                f,
+                "served height {covered} below the requested bound {required}"
+            ),
+            ReadFault::PinViolated {
+                root_height,
+                pinned,
+            } => write!(
+                f,
+                "served a root at height {root_height}, newer than the pinned height {pinned}"
+            ),
+            ReadFault::Malformed => write!(f, "malformed read response"),
+        }
+    }
+}
+
+/// One refuted snapshot read: which server served it and what the
+/// client's verification caught. Folded into the audit report as a
+/// `TamperedRead` violation against that exact server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadEvidence {
+    /// The server that served the refuted response.
+    pub server: u32,
+    /// The shard the read targeted.
+    pub shard: u32,
+    /// What the verification caught.
+    pub fault: ReadFault,
+}
+
+impl core::fmt::Display for ReadEvidence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "server {} served a refuted read of shard {}: {}",
+            self.server, self.shard, self.fault
+        )
+    }
+}
+
+/// A verified snapshot read: the proven values plus the provenance the
+/// caller may want for staleness accounting.
+#[derive(Clone, Debug)]
+pub struct VerifiedRead {
+    /// Per requested key, in request order (`None` = proven absent).
+    pub values: Vec<Option<Value>>,
+    /// Applied height of the co-signed root the proofs anchored to.
+    pub root_height: u64,
+    /// Applied height the state is current through.
+    pub covered_height: u64,
+    /// `known_tip − covered_height` at verification time.
+    pub staleness: u64,
+}
+
+/// Cache cap per shard (heights retained besides genesis).
+const MAX_ROOTS_PER_SHARD: usize = 128;
+
+/// The client's cache of co-signed per-shard **composite roots**, keyed
+/// by *applied height*: height `0` is the trusted genesis state (before
+/// any block), height `h > 0` is the root after block `h − 1` applied.
+///
+/// Roots enter the registry three ways, all rooted in the same trust
+/// anchors (the server public keys and the deterministic genesis
+/// population):
+///
+/// 1. genesis seeding ([`RootRegistry::new`]),
+/// 2. verified [`BlockHeader`]s ([`RootRegistry::note_header`] — one
+///    collective-signature check, cached so re-announcements are free),
+/// 3. blocks the client has already verified elsewhere (its own commit
+///    outcomes, [`RootRegistry::note_verified_roots`]).
+#[derive(Debug, Clone)]
+pub struct RootRegistry {
+    server_pks: Vec<PublicKey>,
+    /// Per shard: applied height → composite root.
+    roots: Vec<BTreeMap<u64, Digest>>,
+    /// The highest applied height the client has evidence for.
+    chain_tip: u64,
+}
+
+impl RootRegistry {
+    /// Creates a registry over the cluster's witness set, seeded with
+    /// the trusted genesis composite roots (one per shard, the
+    /// deterministic preloaded population — the same standing trust as
+    /// the public keys themselves).
+    pub fn new(server_pks: Vec<PublicKey>, genesis_roots: Vec<Digest>) -> Self {
+        let roots = genesis_roots
+            .into_iter()
+            .map(|root| BTreeMap::from([(0u64, root)]))
+            .collect();
+        RootRegistry {
+            server_pks,
+            roots,
+            chain_tip: 0,
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn n_shards(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The highest applied height the client has evidence for.
+    pub fn known_tip(&self) -> u64 {
+        self.chain_tip
+    }
+
+    /// The co-signed root of `shard` at exactly applied height
+    /// `root_height`, if cached.
+    pub fn root_at(&self, shard: u32, root_height: u64) -> Option<Digest> {
+        self.roots.get(shard as usize)?.get(&root_height).copied()
+    }
+
+    /// The newest cached root of `shard`: `(applied height, root)`.
+    pub fn newest_root(&self, shard: u32) -> Option<(u64, Digest)> {
+        let (h, d) = self.roots.get(shard as usize)?.iter().next_back()?;
+        Some((*h, *d))
+    }
+
+    /// The newest cached root of `shard` at or below `height`.
+    pub fn newest_root_at_or_below(&self, shard: u32, height: u64) -> Option<(u64, Digest)> {
+        let (h, d) = self
+            .roots
+            .get(shard as usize)?
+            .range(..=height)
+            .next_back()?;
+        Some((*h, *d))
+    }
+
+    /// Absorbs a block header after verifying its collective signature
+    /// (skipped when this height's roots are already cached). Headers
+    /// are the read plane's lightweight root announcement.
+    ///
+    /// Only **commit** headers contribute roots — an abort block's
+    /// roots are the *speculative* roots of cohorts that voted commit,
+    /// a state that never applied. (Both kinds still advance the known
+    /// chain tip.)
+    ///
+    /// # Errors
+    ///
+    /// [`ReadFault::ForgedHeader`] when the signature does not verify;
+    /// nothing is cached then.
+    pub fn note_header(&mut self, header: &BlockHeader) -> Result<(), ReadFault> {
+        let applied = header.height + 1;
+        let already = header
+            .roots
+            .iter()
+            .all(|r| self.root_at(r.server, applied).is_some())
+            && applied <= self.chain_tip;
+        if already {
+            return Ok(());
+        }
+        if !header.verify(&self.server_pks) {
+            return Err(ReadFault::ForgedHeader);
+        }
+        if header.decision == Decision::Commit {
+            self.note_verified_roots(applied, &header.roots);
+        } else {
+            self.note_tip(applied);
+        }
+        Ok(())
+    }
+
+    /// Absorbs roots from a block whose collective signature the caller
+    /// has already verified (e.g. a commit outcome). `applied` is the
+    /// block's height **plus one**.
+    pub fn note_verified_roots(&mut self, applied: u64, roots: &[ShardRoot]) {
+        for r in roots {
+            if let Some(map) = self.roots.get_mut(r.server as usize) {
+                map.insert(applied, r.root);
+                // Bounded cache: keep genesis and the newest heights.
+                while map.len() > MAX_ROOTS_PER_SHARD {
+                    let oldest = *map.range(1..).next().expect("len > 1").0;
+                    map.remove(&oldest);
+                }
+            }
+        }
+        self.note_tip(applied);
+    }
+
+    /// Raises the known chain tip (verified evidence only — e.g. a
+    /// verified header or outcome at that height).
+    pub fn note_tip(&mut self, applied: u64) {
+        self.chain_tip = self.chain_tip.max(applied);
+    }
+}
+
+/// One snapshot-read response, as received (already envelope-
+/// authenticated as coming from `server`).
+#[derive(Debug)]
+pub struct ReadResponse<'a> {
+    /// The server that served the response.
+    pub server: u32,
+    /// The shard read.
+    pub shard: u32,
+    /// Applied height of the root the proofs anchor to (0 = genesis).
+    pub root_height: u64,
+    /// Applied height the served state claims to be current through.
+    pub covered_height: u64,
+    /// The co-signed carrier of the root — required when the client
+    /// has not cached `root_height` yet; `None` is always fine for
+    /// genesis.
+    pub header: Option<&'a BlockHeader>,
+    /// The proof bundle.
+    pub proof: &'a ShardReadProof,
+}
+
+/// Verifies a snapshot-read response end to end: root resolution
+/// (header signature if needed), multiproof + absence proofs, the
+/// stale-claim cross-check, the request's freshness bound, and — for
+/// `AtHeight` reads — that the served root does not postdate the pin
+/// (`pinned`).
+///
+/// # Errors
+///
+/// The [`ReadFault`] the response was refuted with. Faults with
+/// [`ReadFault::is_evidence`] prove misbehaviour by the serving server;
+/// [`ReadFault::UnknownRoot`] only means the client must learn newer
+/// roots first.
+pub fn verify_read(
+    registry: &mut RootRegistry,
+    response: &ReadResponse<'_>,
+    keys: &[Key],
+    min_covered: u64,
+    pinned: Option<u64>,
+) -> Result<VerifiedRead, ReadFault> {
+    let ReadResponse {
+        shard,
+        root_height,
+        covered_height,
+        header,
+        proof,
+        ..
+    } = *response;
+    if covered_height < root_height {
+        return Err(ReadFault::Malformed);
+    }
+
+    // Resolve the trusted root for `root_height`.
+    let expected_root = match registry.root_at(shard, root_height) {
+        Some(root) => root,
+        None => {
+            let Some(header) = header else {
+                return Err(ReadFault::UnknownRoot { root_height });
+            };
+            if root_height == 0 || header.height + 1 != root_height {
+                return Err(ReadFault::Malformed);
+            }
+            registry.note_header(header)?;
+            match registry.root_at(shard, root_height) {
+                Some(root) => root,
+                // A genuine header that carries no root for this shard
+                // cannot anchor the read: the server pointed at the
+                // wrong block.
+                None => return Err(ReadFault::Malformed),
+            }
+        }
+    };
+
+    // The proofs themselves.
+    let values = proof
+        .verify(keys, &expected_root)
+        .map_err(ReadFault::Proof)?;
+
+    // Stale-claim cross-check: inside the claimed coverage window, the
+    // newest co-signed root the client knows must be the one served
+    // (two *different* roots cannot both be current at `covered`).
+    if let Some((known_height, known_root)) =
+        registry.newest_root_at_or_below(shard, covered_height)
+    {
+        if known_height > root_height && known_root != expected_root {
+            return Err(ReadFault::StaleClaim {
+                claimed_covered: covered_height,
+                known_root_height: known_height,
+            });
+        }
+    }
+
+    // The request's freshness bound (an honest server refuses instead).
+    if covered_height < min_covered {
+        return Err(ReadFault::StaleBeyondBound {
+            covered: covered_height,
+            required: min_covered,
+        });
+    }
+
+    // An `AtHeight` pin also bounds from above: a root newer than the
+    // pin means this is not the pinned snapshot.
+    if let Some(pinned) = pinned {
+        if root_height > pinned {
+            return Err(ReadFault::PinViolated {
+                root_height,
+                pinned,
+            });
+        }
+    }
+
+    Ok(VerifiedRead {
+        values,
+        root_height,
+        covered_height,
+        staleness: registry.known_tip().saturating_sub(covered_height),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fides_crypto::cosi::{self, Witness};
+    use fides_crypto::schnorr::KeyPair;
+    use fides_ledger::block::{Block, BlockBuilder, Decision};
+    use fides_store::AuthenticatedShard;
+
+    fn keys(n: u8) -> Vec<KeyPair> {
+        (0..n).map(|i| KeyPair::from_seed(&[i, 0x42])).collect()
+    }
+
+    fn pks(kps: &[KeyPair]) -> Vec<PublicKey> {
+        kps.iter().map(|k| k.public_key()).collect()
+    }
+
+    fn sign_block(unsigned: Block, kps: &[KeyPair]) -> Block {
+        let record = unsigned.signing_bytes();
+        let witnesses: Vec<Witness> = kps
+            .iter()
+            .map(|k| Witness::commit(k, b"read-test", &record))
+            .collect();
+        let agg = cosi::aggregate_commitments(witnesses.iter().map(|w| w.commitment()));
+        let c = cosi::challenge(&agg, &record);
+        let sig = cosi::CollectiveSignature::assemble(agg, witnesses.iter().map(|w| w.respond(&c)));
+        Block {
+            cosign: sig,
+            ..unsigned
+        }
+    }
+
+    fn shard(n: usize) -> AuthenticatedShard {
+        AuthenticatedShard::new(
+            (0..n)
+                .map(|i| (Key::new(format!("item-{i:04}")), Value::from_i64(i as i64)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn genesis_read_verifies_without_header() {
+        let kps = keys(3);
+        let s = shard(8);
+        let mut registry = RootRegistry::new(pks(&kps), vec![s.root()]);
+        let request = vec![Key::new("item-0003"), Key::new("missing")];
+        let proof = s.prove_read(&request);
+        let verified = verify_read(
+            &mut registry,
+            &ReadResponse {
+                server: 0,
+                shard: 0,
+                root_height: 0,
+                covered_height: 0,
+                header: None,
+                proof: &proof,
+            },
+            &request,
+            0,
+            None,
+        )
+        .unwrap();
+        assert_eq!(verified.values[0].as_ref().unwrap().as_i64(), Some(3));
+        assert!(verified.values[1].is_none());
+        assert_eq!(verified.staleness, 0);
+    }
+
+    #[test]
+    fn header_carried_root_verifies_and_caches() {
+        let kps = keys(3);
+        let mut s = shard(8);
+        let genesis = s.root();
+        s.apply_commit(
+            fides_store::Timestamp::new(5, 0),
+            &[],
+            &[(Key::new("item-0001"), Value::from_i64(111))],
+        );
+        let block = sign_block(
+            BlockBuilder::new(0, Digest::ZERO)
+                .decision(Decision::Commit)
+                .root(ShardRoot {
+                    server: 0,
+                    root: s.root(),
+                })
+                .build_unsigned(),
+            &kps,
+        );
+        let header = block.header();
+
+        let mut registry = RootRegistry::new(pks(&kps), vec![genesis]);
+        let request = vec![Key::new("item-0001")];
+        let proof = s.prove_read(&request);
+        let response = ReadResponse {
+            server: 0,
+            shard: 0,
+            root_height: 1,
+            covered_height: 1,
+            header: Some(&header),
+            proof: &proof,
+        };
+        let verified = verify_read(&mut registry, &response, &request, 1, None).unwrap();
+        assert_eq!(verified.values[0].as_ref().unwrap().as_i64(), Some(111));
+        // Cached: a second verification needs no header.
+        assert_eq!(registry.root_at(0, 1), Some(s.root()));
+        assert_eq!(registry.known_tip(), 1);
+        let response = ReadResponse {
+            header: None,
+            ..response
+        };
+        assert!(verify_read(&mut registry, &response, &request, 1, None).is_ok());
+    }
+
+    #[test]
+    fn forged_header_refuted() {
+        let kps = keys(3);
+        let s = shard(4);
+        let mut registry = RootRegistry::new(pks(&kps), vec![s.root()]);
+        let mut header = sign_block(
+            BlockBuilder::new(0, Digest::ZERO)
+                .decision(Decision::Commit)
+                .root(ShardRoot {
+                    server: 0,
+                    root: Digest::new([1; 32]),
+                })
+                .build_unsigned(),
+            &kps,
+        )
+        .header();
+        header.roots[0].root = Digest::new([0xEE; 32]); // forged after signing
+        let request = vec![Key::new("item-0000")];
+        let proof = s.prove_read(&request);
+        let fault = verify_read(
+            &mut registry,
+            &ReadResponse {
+                server: 2,
+                shard: 0,
+                root_height: 1,
+                covered_height: 1,
+                header: Some(&header),
+                proof: &proof,
+            },
+            &request,
+            0,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(fault, ReadFault::ForgedHeader);
+        assert!(fault.is_evidence());
+    }
+
+    #[test]
+    fn forged_value_refuted() {
+        let kps = keys(3);
+        let s = shard(4);
+        let mut registry = RootRegistry::new(pks(&kps), vec![s.root()]);
+        let request = vec![Key::new("item-0002")];
+        let mut proof = s.prove_read(&request);
+        if let fides_store::ReadEntryProof::Present { value, .. } = &mut proof.entries[0] {
+            *value = Value::from_i64(666);
+        }
+        let fault = verify_read(
+            &mut registry,
+            &ReadResponse {
+                server: 1,
+                shard: 0,
+                root_height: 0,
+                covered_height: 0,
+                header: None,
+                proof: &proof,
+            },
+            &request,
+            0,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(fault, ReadFault::Proof(ReadProofError::BadValueProof));
+        assert!(fault.is_evidence());
+    }
+
+    #[test]
+    fn stale_claim_refuted_by_known_newer_root() {
+        let kps = keys(3);
+        let mut s = shard(4);
+        let genesis_proof_shard = s.clone();
+        let genesis = s.root();
+        s.apply_commit(
+            fides_store::Timestamp::new(5, 0),
+            &[],
+            &[(Key::new("item-0000"), Value::from_i64(9))],
+        );
+        let mut registry = RootRegistry::new(pks(&kps), vec![genesis]);
+        // The client learns the newer co-signed root at applied height 3.
+        registry.note_verified_roots(
+            3,
+            &[ShardRoot {
+                server: 0,
+                root: s.root(),
+            }],
+        );
+        // A lying server serves the *genesis* state claiming coverage
+        // through height 5 (which would include the height-3 root).
+        let request = vec![Key::new("item-0000")];
+        let proof = genesis_proof_shard.prove_read(&request);
+        let fault = verify_read(
+            &mut registry,
+            &ReadResponse {
+                server: 2,
+                shard: 0,
+                root_height: 0,
+                covered_height: 5,
+                header: None,
+                proof: &proof,
+            },
+            &request,
+            0,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(
+            fault,
+            ReadFault::StaleClaim {
+                claimed_covered: 5,
+                known_root_height: 3
+            }
+        );
+        // Served honestly (coverage 2, before the newer root) it is
+        // accepted when the bound allows, refused when it does not.
+        let honest = ReadResponse {
+            server: 2,
+            shard: 0,
+            root_height: 0,
+            covered_height: 2,
+            header: None,
+            proof: &proof,
+        };
+        assert!(verify_read(&mut registry, &honest, &request, 2, None).is_ok());
+        assert_eq!(
+            verify_read(&mut registry, &honest, &request, 3, None).unwrap_err(),
+            ReadFault::StaleBeyondBound {
+                covered: 2,
+                required: 3
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_root_is_not_evidence() {
+        let kps = keys(3);
+        let s = shard(4);
+        let mut registry = RootRegistry::new(pks(&kps), vec![s.root()]);
+        let request = vec![Key::new("item-0000")];
+        let proof = s.prove_read(&request);
+        let fault = verify_read(
+            &mut registry,
+            &ReadResponse {
+                server: 0,
+                shard: 0,
+                root_height: 7,
+                covered_height: 7,
+                header: None,
+                proof: &proof,
+            },
+            &request,
+            0,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(fault, ReadFault::UnknownRoot { root_height: 7 });
+        assert!(!fault.is_evidence());
+    }
+
+    #[test]
+    fn pinned_read_rejects_newer_state() {
+        // An `AtHeight(1)` read answered with state anchored at a root
+        // from height 3 is not the pinned snapshot — refuted even
+        // though it satisfies the lower bound.
+        let kps = keys(3);
+        let mut s = shard(4);
+        let genesis = s.root();
+        s.apply_commit(
+            fides_store::Timestamp::new(5, 0),
+            &[],
+            &[(Key::new("item-0000"), Value::from_i64(9))],
+        );
+        let mut registry = RootRegistry::new(pks(&kps), vec![genesis]);
+        registry.note_verified_roots(
+            3,
+            &[ShardRoot {
+                server: 0,
+                root: s.root(),
+            }],
+        );
+        let request = vec![Key::new("item-0000")];
+        let proof = s.prove_read(&request);
+        let response = ReadResponse {
+            server: 1,
+            shard: 0,
+            root_height: 3,
+            covered_height: 3,
+            header: None,
+            proof: &proof,
+        };
+        let fault = verify_read(&mut registry, &response, &request, 1, Some(1)).unwrap_err();
+        assert_eq!(
+            fault,
+            ReadFault::PinViolated {
+                root_height: 3,
+                pinned: 1
+            }
+        );
+        assert!(fault.is_evidence());
+        // The same response under a plain bound is fine.
+        assert!(verify_read(&mut registry, &response, &request, 1, None).is_ok());
+    }
+
+    #[test]
+    fn consistency_min_covered() {
+        assert_eq!(ReadConsistency::Fresh.min_covered(10), 10);
+        assert_eq!(ReadConsistency::BoundedStaleness(3).min_covered(10), 7);
+        assert_eq!(ReadConsistency::BoundedStaleness(30).min_covered(10), 0);
+        assert_eq!(ReadConsistency::AtHeight(4).min_covered(10), 4);
+    }
+
+    #[test]
+    fn registry_cache_is_bounded_and_keeps_genesis() {
+        let kps = keys(2);
+        let mut registry = RootRegistry::new(pks(&kps), vec![Digest::new([7; 32])]);
+        for h in 1..=300u64 {
+            registry.note_verified_roots(
+                h,
+                &[ShardRoot {
+                    server: 0,
+                    root: Digest::new([h as u8; 32]),
+                }],
+            );
+        }
+        assert!(registry.root_at(0, 0).is_some(), "genesis never evicted");
+        assert!(registry.root_at(0, 300).is_some());
+        assert!(registry.root_at(0, 5).is_none(), "old heights evicted");
+        assert_eq!(registry.known_tip(), 300);
+    }
+}

@@ -15,6 +15,19 @@
 //! The timestamps (`rts`/`wts`) are deliberately *not* part of the leaf
 //! hash: the auditor verifies timestamps by replaying the log (Lemmas 1
 //! and 3); the tree authenticates values.
+//!
+//! # The composite shard root
+//!
+//! The root a shard publishes (and cohorts co-sign into blocks) is a
+//! **composite**: `H(value_root ‖ key_root)`, where the *value tree*
+//! holds `H(key ‖ value)` leaves in creation order and the *key tree*
+//! holds `H(key)` leaves in **sorted key order**. The value tree backs
+//! membership proofs (verification objects, multiproofs); the key tree
+//! backs **absence proofs** — two key-adjacent leaves bracketing a
+//! missing key prove it is unbound, so negative reads are as
+//! tamper-evident as positive ones (see [`crate::proofs`]). Updating an
+//! existing key leaves the key tree untouched; only key *creation*
+//! (rare — the keyspace is preloaded) rebuilds it.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -55,6 +68,29 @@ pub fn leaf_digest(key: &Key, value: &Value) -> Digest {
     hash_leaf(enc.as_bytes())
 }
 
+/// Computes the canonical **key tree** leaf digest for a key — domain
+/// separated from [`leaf_digest`] so a key leaf can never be confused
+/// with a value leaf.
+pub fn key_leaf_digest(key: &Key) -> Digest {
+    let mut enc = Encoder::new();
+    enc.put_str("fides.key.v1");
+    enc.put_str(key.as_str());
+    hash_leaf(enc.as_bytes())
+}
+
+/// Combines a value-tree root and a key-tree root into the composite
+/// shard root that cohorts co-sign into blocks. Hash binding makes the
+/// pair unique: a prover must exhibit the genuine `(value_root,
+/// key_root)` halves for any co-signed composite, so value proofs and
+/// absence proofs anchor to the same 32-byte commitment.
+pub fn combine_roots(value_root: &Digest, key_root: &Digest) -> Digest {
+    fides_crypto::sha256::Sha256::digest_parts(&[
+        b"fides.shardroot.v1",
+        value_root.as_bytes(),
+        key_root.as_bytes(),
+    ])
+}
+
 /// A shard whose contents are authenticated by a Merkle hash tree.
 ///
 /// # Example
@@ -72,15 +108,29 @@ pub fn leaf_digest(key: &Key, value: &Value) -> Digest {
 /// shard.apply_commit(ts, &[Key::new("y")], &[(Key::new("x"), Value::from_i64(900))]);
 /// assert_ne!(shard.root(), root_before);
 ///
-/// // The auditor can verify x's value against the new root.
+/// // The auditor can verify x's value against the new value root.
 /// let (value, vo) = shard.proof_latest(&Key::new("x")).unwrap();
 /// assert_eq!(value.as_i64(), Some(900));
-/// assert!(vo.verify(fides_store::authenticated::leaf_digest(&Key::new("x"), &value), &shard.root()));
+/// assert!(vo.verify(fides_store::authenticated::leaf_digest(&Key::new("x"), &value), &shard.value_root()));
+/// // ...and the value root chains into the co-signed composite root.
+/// assert_eq!(
+///     fides_store::authenticated::combine_roots(&shard.value_root(), &shard.key_root()),
+///     shard.root(),
+/// );
 /// ```
 #[derive(Clone, Debug)]
 pub struct AuthenticatedShard {
     store: MultiVersionStore,
     tree: MerkleTree,
+    /// Merkle tree over [`key_leaf_digest`] leaves in sorted key order —
+    /// the absence-proof half of the composite root. Rebuilt only when
+    /// a key is created.
+    key_tree: MerkleTree,
+    /// The key tree's leaf order (all keys, sorted): `key_order[i]` is
+    /// leaf `i`. Kept in lock-step with `key_tree` so live absence
+    /// proofs find their bracket by binary search instead of an `O(n)`
+    /// scan under the shard lock.
+    key_order: Vec<Key>,
     /// Key → (leaf index, creation timestamp). Leaf indexes are assigned
     /// in creation order, so the keys existing at any version occupy a
     /// prefix of the leaf level.
@@ -101,9 +151,13 @@ impl AuthenticatedShard {
             index.insert(key.clone(), (i, Timestamp::ZERO));
             store.load(key, value);
         }
+        let key_order: Vec<Key> = index.keys().cloned().collect();
+        let key_tree = key_tree_of(key_order.iter());
         AuthenticatedShard {
             store,
             tree: MerkleTree::from_leaves(leaves),
+            key_tree,
+            key_order,
             index,
             stats: MhtUpdateStats::default(),
         }
@@ -134,9 +188,22 @@ impl AuthenticatedShard {
         self.index.keys()
     }
 
-    /// The current Merkle root of the shard.
+    /// The current **composite** root of the shard — what cohorts
+    /// co-sign into blocks: `H(value_root ‖ key_root)`
+    /// ([`combine_roots`]).
     pub fn root(&self) -> Digest {
+        combine_roots(&self.tree.root(), &self.key_tree.root())
+    }
+
+    /// The value tree's root (membership proofs verify against this
+    /// half of the composite).
+    pub fn value_root(&self) -> Digest {
         self.tree.root()
+    }
+
+    /// The key tree's root (absence proofs verify against this half).
+    pub fn key_root(&self) -> Digest {
+        self.key_tree.root()
     }
 
     /// The root the shard would have after applying `writes`, computed
@@ -144,7 +211,9 @@ impl AuthenticatedShard {
     /// sends in its TFCommit vote (§4.3.1).
     ///
     /// Writes to keys not yet in the shard are appended on a cloned tree
-    /// (slower path, kept rare by preloading the keyspace).
+    /// (slower path, kept rare by preloading the keyspace); only that
+    /// path recomputes the key tree — updates to existing keys reuse the
+    /// live key root unchanged.
     pub fn speculative_root(&mut self, writes: &[(Key, Value)]) -> Digest {
         let any_new = writes.iter().any(|(k, _)| !self.index.contains_key(k));
         if any_new {
@@ -159,7 +228,18 @@ impl AuthenticatedShard {
                     }
                 }
             }
-            return tree.root();
+            // The created keys join the sorted key set.
+            let mut keys: Vec<&Key> = self.index.keys().collect();
+            keys.extend(
+                writes
+                    .iter()
+                    .map(|(k, _)| k)
+                    .filter(|k| !self.index.contains_key(*k)),
+            );
+            keys.sort_unstable();
+            keys.dedup();
+            let key_tree = key_tree_of(keys.into_iter());
+            return combine_roots(&tree.root(), &key_tree.root());
         }
         // Fast path: a single overlay pass over the immutable tree —
         // no apply, no revert, and by construction "the datastore is
@@ -175,7 +255,7 @@ impl AuthenticatedShard {
             nodes_recomputed: nodes as u64,
             elapsed: start.elapsed(),
         });
-        root
+        combine_roots(&root, &self.key_tree.root())
     }
 
     /// Applies a committed transaction at `ts`: advances `rts` of read
@@ -193,6 +273,7 @@ impl AuthenticatedShard {
         let start = Instant::now();
         let mut nodes = 0u64;
         let mut leaf_updates = 0u64;
+        let mut created = false;
         // Existing keys batch into one shared-path update; only new
         // keys take the append path.
         let mut updates: Vec<(usize, Digest)> = Vec::with_capacity(writes.len());
@@ -205,11 +286,19 @@ impl AuthenticatedShard {
                     let idx = self.tree.push_leaf(digest);
                     self.index.insert(key.clone(), (idx, ts));
                     nodes += self.tree.height() as u64;
+                    created = true;
                 }
             }
             leaf_updates += 1;
         }
         nodes += self.tree.update_leaves_parallel(&updates) as u64;
+        if created {
+            // Key creation changes the sorted key set: rebuild the key
+            // tree (rare — the keyspace is preloaded).
+            self.key_order = self.index.keys().cloned().collect();
+            self.key_tree = key_tree_of(self.key_order.iter());
+            nodes += self.key_tree.len() as u64;
+        }
         let call_stats = MhtUpdateStats {
             leaf_updates,
             nodes_recomputed: nodes,
@@ -272,6 +361,26 @@ impl AuthenticatedShard {
             })
             .collect();
         MerkleTree::from_leaves(leaves)
+    }
+
+    /// Reconstructs the **key tree** as of version `ts`: the sorted set
+    /// of keys created at or before `ts`.
+    pub fn key_tree_at_version(&self, ts: Timestamp) -> MerkleTree {
+        key_tree_of(
+            self.index
+                .iter()
+                .filter(|(_, (_, created))| *created <= ts)
+                .map(|(k, _)| k),
+        )
+    }
+
+    /// The composite shard root as of version `ts` — what this shard
+    /// co-signed in the last block whose writes reached `ts`.
+    pub fn root_at_version(&self, ts: Timestamp) -> Digest {
+        combine_roots(
+            &self.tree_at_version(ts).root(),
+            &self.key_tree_at_version(ts).root(),
+        )
     }
 
     /// The value and verification object of `key` at version `ts`, built
@@ -337,9 +446,13 @@ impl AuthenticatedShard {
             index.insert(item.key.clone(), (i, item.created));
             store.restore_chain(item.key.clone(), item.versions.clone(), item.rts);
         }
+        let key_order: Vec<Key> = index.keys().cloned().collect();
+        let key_tree = key_tree_of(key_order.iter());
         AuthenticatedShard {
             store,
             tree: MerkleTree::from_leaves(leaves),
+            key_tree,
+            key_order,
             index,
             stats: MhtUpdateStats::default(),
         }
@@ -367,6 +480,62 @@ impl AuthenticatedShard {
     pub fn store(&self) -> &MultiVersionStore {
         &self.store
     }
+
+    /// The value-tree leaf index and creation timestamp of `key`, if
+    /// stored here (proof plumbing for [`crate::proofs`]).
+    pub(crate) fn leaf_index(&self, key: &Key) -> Option<(usize, Timestamp)> {
+        self.index.get(key).copied()
+    }
+
+    /// The live value tree (proof plumbing).
+    pub(crate) fn value_tree(&self) -> &MerkleTree {
+        &self.tree
+    }
+
+    /// The live key tree (proof plumbing).
+    pub(crate) fn live_key_tree(&self) -> &MerkleTree {
+        &self.key_tree
+    }
+
+    /// The key tree's sorted leaf order (proof plumbing): live absence
+    /// proofs binary-search their bracket here in `O(log n)`.
+    pub(crate) fn key_order(&self) -> &[Key] {
+        &self.key_order
+    }
+
+    /// Position of `key` in sorted key order among keys created at or
+    /// before `ts` (= its key-tree slot if present), plus the bracketing
+    /// predecessor/successor keys. `O(n)` over the shard's key set —
+    /// audit-path only (historical absence proofs); the live path uses
+    /// [`AuthenticatedShard::key_order`] instead.
+    pub(crate) fn key_neighbors_at(
+        &self,
+        key: &Key,
+        ts: Timestamp,
+    ) -> (usize, Option<Key>, Option<Key>, usize) {
+        let mut pos = 0usize;
+        let mut total = 0usize;
+        let mut pred: Option<&Key> = None;
+        let mut succ: Option<&Key> = None;
+        for (k, (_, created)) in self.index.iter() {
+            if *created > ts {
+                continue;
+            }
+            total += 1;
+            if k < key {
+                pos += 1;
+                pred = Some(k);
+            } else if k > key && succ.is_none() {
+                succ = Some(k);
+            }
+        }
+        (pos, pred.cloned(), succ.cloned(), total)
+    }
+}
+
+/// Builds the sorted key tree over an (ascending) key iterator.
+fn key_tree_of<'a>(keys: impl Iterator<Item = &'a Key>) -> MerkleTree {
+    MerkleTree::from_leaves(keys.map(key_leaf_digest).collect())
 }
 
 #[cfg(test)]
@@ -439,7 +608,9 @@ mod tests {
         let mut s = shard(20);
         s.apply_commit(ts(5), &[], &[(Key::new("item-0007"), Value::from_i64(70))]);
         let (value, vo) = s.proof_latest(&Key::new("item-0007")).unwrap();
-        assert!(vo.verify(leaf_digest(&Key::new("item-0007"), &value), &s.root()));
+        assert!(vo.verify(leaf_digest(&Key::new("item-0007"), &value), &s.value_root()));
+        // The value root chains into the co-signed composite.
+        assert_eq!(combine_roots(&s.value_root(), &s.key_root()), s.root());
     }
 
     #[test]
@@ -447,14 +618,17 @@ mod tests {
         let mut s = shard(8);
         let key = Key::new("item-0004");
         s.apply_commit(ts(10), &[], &[(key.clone(), Value::from_i64(100))]);
+        let value_root_10 = s.value_root();
         let root_10 = s.root();
         s.apply_commit(ts(20), &[], &[(key.clone(), Value::from_i64(200))]);
 
         let (value, vo) = s.proof_at_version(&key, ts(10)).unwrap();
         assert_eq!(value.as_i64(), Some(100));
-        assert!(vo.verify(leaf_digest(&key, &value), &root_10));
-        // And the reconstruction root matches the live root recorded then.
-        assert_eq!(s.tree_at_version(ts(10)).root(), root_10);
+        assert!(vo.verify(leaf_digest(&key, &value), &value_root_10));
+        // And the reconstruction matches the live roots recorded then —
+        // both the value half and the composite.
+        assert_eq!(s.tree_at_version(ts(10)).root(), value_root_10);
+        assert_eq!(s.root_at_version(ts(10)), root_10);
     }
 
     #[test]
@@ -495,12 +669,16 @@ mod tests {
     #[test]
     fn new_key_extends_tree() {
         let mut s = shard(4);
+        let key_root_before = s.key_root();
         s.apply_commit(ts(9), &[], &[(Key::new("zzz-new"), Value::from_i64(1))]);
         assert_eq!(s.len(), 5);
         let (value, vo) = s.proof_latest(&Key::new("zzz-new")).unwrap();
-        assert!(vo.verify(leaf_digest(&Key::new("zzz-new"), &value), &s.root()));
+        assert!(vo.verify(leaf_digest(&Key::new("zzz-new"), &value), &s.value_root()));
+        // Key creation moves the key tree too.
+        assert_ne!(s.key_root(), key_root_before);
         // Version reconstruction before creation excludes it.
         assert!(s.proof_at_version(&Key::new("zzz-new"), ts(5)).is_none());
+        assert_eq!(s.key_tree_at_version(ts(5)).root(), key_root_before);
     }
 
     #[test]
@@ -509,6 +687,88 @@ mod tests {
         let before = s.root();
         s.apply_commit(ts(3), &[Key::new("item-0000")], &[]);
         assert_eq!(s.root(), before);
+    }
+
+    // ------------------------------------------------------------------
+    // proof_at_version boundary regressions: exact-height, pre-first-
+    // write (absence), and post-checkpoint-restore reconstruction. The
+    // commit timestamp's client tie-breaker participates in the
+    // boundary, so `ts-10.2` written state must be invisible at
+    // `ts-10.1` and visible at `ts-10.2`/`ts-10.3`.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn proof_at_version_exact_write_boundary() {
+        let mut s = shard(8);
+        let key = Key::new("item-0004");
+        s.apply_commit(
+            Timestamp::new(10, 2),
+            &[],
+            &[(key.clone(), Value::from_i64(100))],
+        );
+        s.apply_commit(
+            Timestamp::new(20, 0),
+            &[],
+            &[(key.clone(), Value::from_i64(200))],
+        );
+
+        // Exactly at the write timestamp: the written value.
+        let (v, vo) = s.proof_at_version(&key, Timestamp::new(10, 2)).unwrap();
+        assert_eq!(v.as_i64(), Some(100));
+        assert!(vo.verify(
+            leaf_digest(&key, &v),
+            &s.tree_at_version(Timestamp::new(10, 2)).root()
+        ));
+        // One client-tiebreak below: the previous value.
+        let (v, _) = s.proof_at_version(&key, Timestamp::new(10, 1)).unwrap();
+        assert_eq!(v.as_i64(), Some(4));
+        // One above: still the ts-10.2 value.
+        let (v, _) = s.proof_at_version(&key, Timestamp::new(10, 3)).unwrap();
+        assert_eq!(v.as_i64(), Some(100));
+    }
+
+    #[test]
+    fn proof_at_version_before_creation_is_absence() {
+        let mut s = shard(4);
+        let key = Key::new("zzz-new");
+        s.apply_commit(
+            Timestamp::new(10, 1),
+            &[],
+            &[(key.clone(), Value::from_i64(1))],
+        );
+        // Strictly before creation (including the exact-counter, lower
+        // tie-break boundary): no membership proof, but a verifying
+        // absence proof against the same version's key root.
+        for before in [Timestamp::new(5, 0), Timestamp::new(10, 0)] {
+            assert!(s.proof_at_version(&key, before).is_none(), "{before}");
+            let absence = s.absence_proof_at_version(&key, before).unwrap();
+            assert!(absence.verify(&key, &s.key_tree_at_version(before).root()));
+        }
+        // At (and after) creation: membership, no absence.
+        assert!(s.proof_at_version(&key, Timestamp::new(10, 1)).is_some());
+        assert!(s
+            .absence_proof_at_version(&key, Timestamp::new(10, 1))
+            .is_none());
+    }
+
+    #[test]
+    fn proof_at_version_survives_checkpoint_restore() {
+        // Version chains are restored verbatim, so historical proofs
+        // keep working after a restart from a checkpoint — including at
+        // the exact write boundary.
+        let mut s = shard(8);
+        let key = Key::new("item-0002");
+        s.apply_commit(ts(10), &[], &[(key.clone(), Value::from_i64(22))]);
+        s.apply_commit(ts(20), &[], &[(key.clone(), Value::from_i64(33))]);
+        let value_root_10 = s.tree_at_version(ts(10)).root();
+        let root_10 = s.root_at_version(ts(10));
+
+        let restored = s.checkpoint().restore();
+        let (v, vo) = restored.proof_at_version(&key, ts(10)).unwrap();
+        assert_eq!(v.as_i64(), Some(22));
+        assert!(vo.verify(leaf_digest(&key, &v), &value_root_10));
+        assert_eq!(restored.root_at_version(ts(10)), root_10);
+        assert_eq!(restored.tree_at_version(ts(10)).root(), value_root_10);
     }
 
     #[test]
@@ -557,6 +817,6 @@ mod tests {
         let mut s = shard(8);
         let initial = s.root();
         s.apply_commit(ts(10), &[], &[(Key::new("item-0000"), Value::from_i64(42))]);
-        assert_eq!(s.tree_at_version(Timestamp::ZERO).root(), initial);
+        assert_eq!(s.root_at_version(Timestamp::ZERO), initial);
     }
 }

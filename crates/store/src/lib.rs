@@ -19,13 +19,15 @@
 pub mod authenticated;
 pub mod checkpoint;
 pub mod multi;
+pub mod proofs;
 pub mod rwset;
 pub mod single;
 pub mod types;
 
-pub use authenticated::{AuthenticatedShard, MhtUpdateStats};
+pub use authenticated::{combine_roots, key_leaf_digest, AuthenticatedShard, MhtUpdateStats};
 pub use checkpoint::{CheckpointItem, ShardCheckpoint};
 pub use multi::MultiVersionStore;
+pub use proofs::{AbsenceProof, AbsenceSuccessor, ReadEntryProof, ReadProofError, ShardReadProof};
 pub use rwset::{ReadEntry, WriteEntry};
 pub use single::SingleVersionStore;
 pub use types::{ItemState, Key, Timestamp, Value};

@@ -1,0 +1,618 @@
+//! Proof-carrying read bundles: batched membership proofs and
+//! tamper-evident **absence proofs** for the verified read plane.
+//!
+//! A server answering a snapshot read returns a [`ShardReadProof`]: the
+//! two halves of the composite shard root
+//! ([`crate::authenticated::combine_roots`]), one Merkle **multiproof**
+//! covering every present key's `(key, value)` leaf in the value tree,
+//! and one [`AbsenceProof`] per absent key against the sorted key tree.
+//! The client recombines the halves, checks them against a co-signed
+//! root, and accepts the values only if *every* proof verifies — a
+//! forged value, a forged absence, or a proof against the wrong root is
+//! refuted without any server cooperation.
+//!
+//! # Why absence is provable
+//!
+//! The key tree's leaves are `H(key)` in **sorted key order**, padded
+//! with the public [`empty_leaf`] digest. For a missing key `k`, the
+//! prover exhibits two *adjacent* slots bracketing `k`: the predecessor
+//! leaf (greatest key `< k`) and its immediate successor — either the
+//! smallest key `> k`, or a padding slot (nothing sorts after the
+//! predecessor), or nothing at all when the tree is full and the
+//! predecessor occupies the last slot. Sorted order makes slot
+//! adjacency equal key adjacency, so the bracket proves no leaf for `k`
+//! exists anywhere in the tree.
+
+use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
+use fides_crypto::merkle::{empty_leaf, MultiProof, VerificationObject};
+use fides_crypto::Digest;
+
+use crate::authenticated::{combine_roots, key_leaf_digest, leaf_digest, AuthenticatedShard};
+use crate::types::{Key, Timestamp, Value};
+
+/// The successor half of an [`AbsenceProof`] bracket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsenceSuccessor {
+    /// The smallest stored key greater than the absent key, with its
+    /// key-tree proof (must sit in the slot right after the
+    /// predecessor's).
+    Key(Key, VerificationObject),
+    /// The slot right after the predecessor's is **padding** (the
+    /// public empty-leaf digest): the predecessor is the last stored
+    /// key.
+    Padding(VerificationObject),
+    /// The predecessor occupies the key tree's last slot (the tree is
+    /// full): no successor slot exists.
+    End,
+    /// The shard stores no keys at all: the key tree is the canonical
+    /// empty tree.
+    Empty,
+}
+
+/// Proof that a key is **unbound** in a shard: a bracket of two
+/// adjacent key-tree slots with the absent key strictly between them
+/// (see the module docs for the soundness argument).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbsenceProof {
+    /// Greatest stored key `<` the absent key, with its key-tree proof.
+    /// `None` when the absent key sorts before every stored key.
+    pub pred: Option<(Key, VerificationObject)>,
+    /// The successor slot.
+    pub succ: AbsenceSuccessor,
+}
+
+impl AbsenceProof {
+    /// Returns `true` if this proof establishes that `key` is unbound
+    /// in the key tree committed by `key_root`.
+    pub fn verify(&self, key: &Key, key_root: &Digest) -> bool {
+        match (&self.pred, &self.succ) {
+            (None, AbsenceSuccessor::Empty) => *key_root == empty_leaf(),
+            (None, AbsenceSuccessor::Key(succ, vo)) => {
+                // The absent key sorts before every stored key: the
+                // successor must occupy slot 0.
+                key < succ && vo.index() == 0 && vo.verify(key_leaf_digest(succ), key_root)
+            }
+            (Some((pred, pvo)), succ) => {
+                if pred >= key || !pvo.verify(key_leaf_digest(pred), key_root) {
+                    return false;
+                }
+                let next_slot = pvo.index() + 1;
+                match succ {
+                    AbsenceSuccessor::Key(sk, svo) => {
+                        key < sk
+                            && svo.index() == next_slot
+                            && svo.siblings().len() == pvo.siblings().len()
+                            && svo.verify(key_leaf_digest(sk), key_root)
+                    }
+                    AbsenceSuccessor::Padding(svo) => {
+                        svo.index() == next_slot
+                            && svo.siblings().len() == pvo.siblings().len()
+                            && svo.verify(empty_leaf(), key_root)
+                    }
+                    AbsenceSuccessor::End => {
+                        // Predecessor sits in the last slot of a full
+                        // tree of width 2^height.
+                        pvo.siblings().len() < 64 && next_slot == 1u64 << pvo.siblings().len()
+                    }
+                    AbsenceSuccessor::Empty => false,
+                }
+            }
+            // A missing predecessor with a padding/end successor would
+            // claim an empty tree — that is the `Empty` variant's job.
+            (None, _) => false,
+        }
+    }
+}
+
+/// Why a [`ShardReadProof`] failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadProofError {
+    /// `H(value_root ‖ key_root)` does not reproduce the expected
+    /// co-signed composite root.
+    RootMismatch,
+    /// The batched membership proof does not link the claimed values to
+    /// the value root.
+    BadValueProof,
+    /// An absence proof fails for this key.
+    BadAbsenceProof(Key),
+    /// Structurally malformed (entry count mismatch, missing multiproof,
+    /// conflicting duplicate entries).
+    Malformed,
+}
+
+impl core::fmt::Display for ReadProofError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReadProofError::RootMismatch => {
+                write!(f, "roots do not recombine into the co-signed composite")
+            }
+            ReadProofError::BadValueProof => write!(f, "value multiproof fails"),
+            ReadProofError::BadAbsenceProof(k) => write!(f, "absence proof for {k} fails"),
+            ReadProofError::Malformed => write!(f, "malformed read proof"),
+        }
+    }
+}
+
+impl std::error::Error for ReadProofError {}
+
+/// One requested key's proof entry, aligned with the request order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadEntryProof {
+    /// The key is bound: its value and value-tree leaf index (proven by
+    /// the bundle's shared multiproof).
+    Present {
+        /// The key's value-tree leaf index.
+        index: u64,
+        /// The value at that leaf.
+        value: Value,
+    },
+    /// The key is unbound, with the bracketing absence proof.
+    Absent(AbsenceProof),
+}
+
+/// The proof-carrying answer to a batched snapshot read: everything a
+/// client needs to verify N keys against **one** co-signed shard root.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardReadProof {
+    /// The value tree's root (half of the composite).
+    pub value_root: Digest,
+    /// The key tree's root (the other half).
+    pub key_root: Digest,
+    /// Per requested key, in request order.
+    pub entries: Vec<ReadEntryProof>,
+    /// One batched proof covering every `Present` entry's leaf.
+    /// `None` when no requested key is present.
+    pub multiproof: Option<MultiProof>,
+}
+
+impl ShardReadProof {
+    /// Verifies the bundle against the expected **composite** shard
+    /// root and returns the per-key values (`None` = proven absent) in
+    /// request order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ReadProofError`] encountered; on any error the
+    /// caller must discard every value in the bundle.
+    pub fn verify(
+        &self,
+        keys: &[Key],
+        expected_root: &Digest,
+    ) -> Result<Vec<Option<Value>>, ReadProofError> {
+        if keys.len() != self.entries.len() {
+            return Err(ReadProofError::Malformed);
+        }
+        if combine_roots(&self.value_root, &self.key_root) != *expected_root {
+            return Err(ReadProofError::RootMismatch);
+        }
+        let mut present: Vec<(u64, Digest)> = Vec::new();
+        let mut values = Vec::with_capacity(keys.len());
+        for (key, entry) in keys.iter().zip(&self.entries) {
+            match entry {
+                ReadEntryProof::Present { index, value } => {
+                    present.push((*index, leaf_digest(key, value)));
+                    values.push(Some(value.clone()));
+                }
+                ReadEntryProof::Absent(proof) => {
+                    if !proof.verify(key, &self.key_root) {
+                        return Err(ReadProofError::BadAbsenceProof(key.clone()));
+                    }
+                    values.push(None);
+                }
+            }
+        }
+        if present.is_empty() {
+            if self.multiproof.is_some() {
+                return Err(ReadProofError::Malformed);
+            }
+            return Ok(values);
+        }
+        // A key requested twice yields two identical pairs — legal;
+        // one index claimed with two different digests is a forgery.
+        present.sort_unstable();
+        present.dedup();
+        if present.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(ReadProofError::Malformed);
+        }
+        let Some(multiproof) = &self.multiproof else {
+            return Err(ReadProofError::Malformed);
+        };
+        if !multiproof.verify(&present, &self.value_root) {
+            return Err(ReadProofError::BadValueProof);
+        }
+        Ok(values)
+    }
+}
+
+impl AuthenticatedShard {
+    /// Proves the latest state of every requested key in one bundle:
+    /// present keys share a single value-tree multiproof, absent keys
+    /// get bracketing absence proofs. Verifiable against this shard's
+    /// current [`AuthenticatedShard::root`].
+    pub fn prove_read(&self, keys: &[Key]) -> ShardReadProof {
+        let mut entries = Vec::with_capacity(keys.len());
+        let mut proven: Vec<usize> = Vec::new();
+        for key in keys {
+            match self.leaf_index(key) {
+                Some((index, _)) => {
+                    let value = self
+                        .read(key)
+                        .expect("indexed key has a latest version")
+                        .value;
+                    proven.push(index);
+                    entries.push(ReadEntryProof::Present {
+                        index: index as u64,
+                        value,
+                    });
+                }
+                None => entries.push(ReadEntryProof::Absent(
+                    self.absence_proof(key)
+                        .expect("key not in the index is absent"),
+                )),
+            }
+        }
+        let multiproof = (!proven.is_empty()).then(|| self.value_tree().multiproof(&proven));
+        ShardReadProof {
+            value_root: self.value_root(),
+            key_root: self.key_root(),
+            entries,
+            multiproof,
+        }
+    }
+
+    /// Builds the absence proof for `key` against the **live** key
+    /// tree, or `None` when the key is present.
+    pub fn absence_proof(&self, key: &Key) -> Option<AbsenceProof> {
+        if self.leaf_index(key).is_some() {
+            return None;
+        }
+        // The bracket comes from a binary search over the sorted leaf
+        // order — O(log n), safe to run under the server's shard lock.
+        let order = self.key_order();
+        let pos = order.binary_search(key).err()?;
+        let pred = (pos > 0).then(|| order[pos - 1].clone());
+        let succ = order.get(pos).cloned();
+        Some(build_absence_proof(
+            self.live_key_tree(),
+            (pos, pred, succ, order.len()),
+        ))
+    }
+
+    /// Builds the absence proof for `key` as of version `ts` (against
+    /// [`AuthenticatedShard::key_tree_at_version`]), or `None` when the
+    /// key was already bound at `ts`.
+    pub fn absence_proof_at_version(&self, key: &Key, ts: Timestamp) -> Option<AbsenceProof> {
+        if self
+            .leaf_index(key)
+            .is_some_and(|(_, created)| created <= ts)
+        {
+            return None;
+        }
+        let tree = self.key_tree_at_version(ts);
+        Some(build_absence_proof(&tree, self.key_neighbors_at(key, ts)))
+    }
+}
+
+/// Assembles the bracket from a key tree and the
+/// `(slot, pred, succ, total)` neighborhood of the absent key.
+fn build_absence_proof(
+    tree: &fides_crypto::merkle::MerkleTree,
+    neighborhood: (usize, Option<Key>, Option<Key>, usize),
+) -> AbsenceProof {
+    let (pos, pred, succ, total) = neighborhood;
+    if total == 0 {
+        return AbsenceProof {
+            pred: None,
+            succ: AbsenceSuccessor::Empty,
+        };
+    }
+    let pred = pred.map(|k| (k, tree.proof(pos - 1)));
+    let succ = match succ {
+        Some(k) => AbsenceSuccessor::Key(k, tree.proof(pos)),
+        // No stored key sorts after the absent one: slot `pos` (= the
+        // slot right past the last real leaf) is padding when it exists.
+        None if pos < padded_width(tree) => AbsenceSuccessor::Padding(tree.proof_padding(pos)),
+        None => AbsenceSuccessor::End,
+    };
+    AbsenceProof { pred, succ }
+}
+
+/// The key tree's padded width (`2^height`).
+fn padded_width(tree: &fides_crypto::merkle::MerkleTree) -> usize {
+    1usize << tree.height()
+}
+
+// ----------------------------------------------------------------------
+// Canonical encoding (these ride inside signed protocol messages).
+// ----------------------------------------------------------------------
+
+impl Encodable for AbsenceSuccessor {
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            AbsenceSuccessor::Key(key, vo) => {
+                enc.put_u8(0);
+                key.encode_into(enc);
+                vo.encode_into(enc);
+            }
+            AbsenceSuccessor::Padding(vo) => {
+                enc.put_u8(1);
+                vo.encode_into(enc);
+            }
+            AbsenceSuccessor::End => enc.put_u8(2),
+            AbsenceSuccessor::Empty => enc.put_u8(3),
+        }
+    }
+}
+
+impl Decodable for AbsenceSuccessor {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.take_u8()? {
+            0 => AbsenceSuccessor::Key(
+                Key::decode_from(dec)?,
+                VerificationObject::decode_from(dec)?,
+            ),
+            1 => AbsenceSuccessor::Padding(VerificationObject::decode_from(dec)?),
+            2 => AbsenceSuccessor::End,
+            3 => AbsenceSuccessor::Empty,
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+impl Encodable for AbsenceProof {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_option(&self.pred, |e, (k, vo)| {
+            k.encode_into(e);
+            vo.encode_into(e);
+        });
+        self.succ.encode_into(enc);
+    }
+}
+
+impl Decodable for AbsenceProof {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(AbsenceProof {
+            pred: dec
+                .take_option(|d| Ok((Key::decode_from(d)?, VerificationObject::decode_from(d)?)))?,
+            succ: AbsenceSuccessor::decode_from(dec)?,
+        })
+    }
+}
+
+impl Encodable for ReadEntryProof {
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            ReadEntryProof::Present { index, value } => {
+                enc.put_u8(0);
+                enc.put_u64(*index);
+                value.encode_into(enc);
+            }
+            ReadEntryProof::Absent(proof) => {
+                enc.put_u8(1);
+                proof.encode_into(enc);
+            }
+        }
+    }
+}
+
+impl Decodable for ReadEntryProof {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.take_u8()? {
+            0 => ReadEntryProof::Present {
+                index: dec.take_u64()?,
+                value: Value::decode_from(dec)?,
+            },
+            1 => ReadEntryProof::Absent(AbsenceProof::decode_from(dec)?),
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+impl Encodable for ShardReadProof {
+    fn encode_into(&self, enc: &mut Encoder) {
+        enc.put_digest(&self.value_root);
+        enc.put_digest(&self.key_root);
+        enc.put_seq(&self.entries, |e, entry| entry.encode_into(e));
+        enc.put_option(&self.multiproof, |e, p| p.encode_into(e));
+    }
+}
+
+impl Decodable for ShardReadProof {
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(ShardReadProof {
+            value_root: dec.take_digest()?,
+            key_root: dec.take_digest()?,
+            entries: dec.take_seq(ReadEntryProof::decode_from)?,
+            multiproof: dec.take_option(MultiProof::decode_from)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(n: usize) -> AuthenticatedShard {
+        AuthenticatedShard::new(
+            (0..n)
+                .map(|i| (Key::new(format!("item-{i:04}")), Value::from_i64(i as i64)))
+                .collect(),
+        )
+    }
+
+    fn ts(c: u64) -> Timestamp {
+        Timestamp::new(c, 0)
+    }
+
+    #[test]
+    fn prove_read_present_keys_verify() {
+        let mut s = shard(16);
+        s.apply_commit(ts(5), &[], &[(Key::new("item-0007"), Value::from_i64(700))]);
+        let keys = vec![Key::new("item-0002"), Key::new("item-0007")];
+        let proof = s.prove_read(&keys);
+        let values = proof.verify(&keys, &s.root()).unwrap();
+        assert_eq!(values[0].as_ref().unwrap().as_i64(), Some(2));
+        assert_eq!(values[1].as_ref().unwrap().as_i64(), Some(700));
+    }
+
+    #[test]
+    fn prove_read_mixed_presence() {
+        let s = shard(8);
+        let keys = vec![
+            Key::new("item-0003"),
+            Key::new("missing-middle"),
+            Key::new("aaaa-before-all"),
+            Key::new("zzzz-after-all"),
+        ];
+        let proof = s.prove_read(&keys);
+        let values = proof.verify(&keys, &s.root()).unwrap();
+        assert!(values[0].is_some());
+        assert!(values[1].is_none());
+        assert!(values[2].is_none());
+        assert!(values[3].is_none());
+    }
+
+    #[test]
+    fn forged_value_refuted() {
+        let s = shard(8);
+        let keys = vec![Key::new("item-0001")];
+        let mut proof = s.prove_read(&keys);
+        if let ReadEntryProof::Present { value, .. } = &mut proof.entries[0] {
+            *value = Value::from_i64(9999);
+        }
+        assert_eq!(
+            proof.verify(&keys, &s.root()),
+            Err(ReadProofError::BadValueProof)
+        );
+    }
+
+    #[test]
+    fn forged_absence_refuted() {
+        let s = shard(8);
+        let present = Key::new("item-0004");
+        // A lying server claims a present key is absent, reusing a real
+        // bracket from some other missing key.
+        let fake = s.absence_proof(&Key::new("item-0004x")).unwrap();
+        let proof = ShardReadProof {
+            value_root: s.value_root(),
+            key_root: s.key_root(),
+            entries: vec![ReadEntryProof::Absent(fake)],
+            multiproof: None,
+        };
+        assert_eq!(
+            proof.verify(std::slice::from_ref(&present), &s.root()),
+            Err(ReadProofError::BadAbsenceProof(present.clone()))
+        );
+    }
+
+    #[test]
+    fn wrong_root_refuted() {
+        let s = shard(8);
+        let keys = vec![Key::new("item-0001")];
+        let proof = s.prove_read(&keys);
+        assert_eq!(
+            proof.verify(&keys, &Digest::new([9; 32])),
+            Err(ReadProofError::RootMismatch)
+        );
+    }
+
+    #[test]
+    fn absence_proof_before_all_keys() {
+        let s = shard(4);
+        let k = Key::new("aaa");
+        let proof = s.absence_proof(&k).unwrap();
+        assert!(proof.pred.is_none());
+        assert!(proof.verify(&k, &s.key_root()));
+        // The same bracket does not prove a different key absent when a
+        // stored key sorts below it.
+        assert!(!proof.verify(&Key::new("item-0001x"), &s.key_root()));
+    }
+
+    #[test]
+    fn absence_proof_after_all_keys() {
+        // 4 keys → full width-4 tree (End), 5 keys → padding slot.
+        for n in [4usize, 5] {
+            let s = shard(n);
+            let k = Key::new("zzz");
+            let proof = s.absence_proof(&k).unwrap();
+            assert!(proof.verify(&k, &s.key_root()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn absence_proof_empty_shard() {
+        let s = shard(0);
+        let k = Key::new("anything");
+        let proof = s.absence_proof(&k).unwrap();
+        assert_eq!(proof.succ, AbsenceSuccessor::Empty);
+        assert!(proof.verify(&k, &s.key_root()));
+    }
+
+    #[test]
+    fn absence_proof_none_for_present_key() {
+        let s = shard(4);
+        assert!(s.absence_proof(&Key::new("item-0002")).is_none());
+    }
+
+    #[test]
+    fn absence_proof_survives_value_updates_but_not_creation() {
+        let mut s = shard(8);
+        let k = Key::new("item-00035");
+        let proof = s.absence_proof(&k).unwrap();
+        assert!(proof.verify(&k, &s.key_root()));
+        // Updating values does not move the key tree.
+        s.apply_commit(ts(1), &[], &[(Key::new("item-0003"), Value::from_i64(7))]);
+        assert!(proof.verify(&k, &s.key_root()));
+        // Creating the key changes the key root; the old bracket no
+        // longer verifies against it, and no new bracket exists.
+        s.apply_commit(ts(2), &[], &[(k.clone(), Value::from_i64(1))]);
+        assert!(!proof.verify(&k, &s.key_root()));
+        assert!(s.absence_proof(&k).is_none());
+    }
+
+    #[test]
+    fn historical_absence_proof() {
+        let mut s = shard(4);
+        let k = Key::new("zzz-new");
+        s.apply_commit(ts(10), &[], &[(k.clone(), Value::from_i64(5))]);
+        // At ts 5 the key did not exist: provable against the ts-5 key
+        // root, which chains into the ts-5 composite root.
+        let proof = s.absence_proof_at_version(&k, ts(5)).unwrap();
+        let key_root_5 = s.key_tree_at_version(ts(5)).root();
+        assert!(proof.verify(&k, &key_root_5));
+        assert_eq!(
+            combine_roots(&s.tree_at_version(ts(5)).root(), &key_root_5),
+            s.root_at_version(ts(5)),
+        );
+        // At ts 10 it exists.
+        assert!(s.absence_proof_at_version(&k, ts(10)).is_none());
+    }
+
+    #[test]
+    fn read_proof_encoding_roundtrip() {
+        let s = shard(8);
+        let keys = vec![Key::new("item-0001"), Key::new("missing"), Key::new("aa")];
+        let proof = s.prove_read(&keys);
+        let decoded = ShardReadProof::decode(&proof.encode()).unwrap();
+        assert_eq!(decoded, proof);
+        assert!(decoded.verify(&keys, &s.root()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_requested_key_is_legal() {
+        let s = shard(8);
+        let keys = vec![Key::new("item-0001"), Key::new("item-0001")];
+        let proof = s.prove_read(&keys);
+        let values = proof.verify(&keys, &s.root()).unwrap();
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[0], values[1]);
+    }
+
+    #[test]
+    fn entry_count_mismatch_is_malformed() {
+        let s = shard(8);
+        let keys = vec![Key::new("item-0001")];
+        let proof = s.prove_read(&keys);
+        assert_eq!(proof.verify(&[], &s.root()), Err(ReadProofError::Malformed));
+    }
+}

@@ -63,14 +63,27 @@ proptest! {
                 &[(key(k % n), Value::from_i64(v))],
             );
         }
-        let root = shard.root();
+        // Membership proofs anchor to the value root, which recombines
+        // with the key root into the co-signed composite root.
+        let value_root = shard.value_root();
+        prop_assert_eq!(
+            fides_store::combine_roots(&value_root, &shard.key_root()),
+            shard.root()
+        );
         for i in 0..n {
             let (value, vo) = shard.proof_latest(&key(i)).expect("preloaded");
-            prop_assert!(vo.verify(leaf_digest(&key(i), &value), &root));
+            prop_assert!(vo.verify(leaf_digest(&key(i), &value), &value_root));
             // A different value must not verify.
             let wrong = Value::from_i64(value.as_i64().unwrap_or(0) + 1);
-            prop_assert!(!vo.verify(leaf_digest(&key(i), &wrong), &root));
+            prop_assert!(!vo.verify(leaf_digest(&key(i), &wrong), &value_root));
         }
+        // Batched reads (multiproof + absence brackets) verify against
+        // the composite root, and absent keys are provably unbound.
+        let request: Vec<Key> = (0..n).map(key).chain([Key::new("nope")]).collect();
+        let bundle = shard.prove_read(&request);
+        let values = bundle.verify(&request, &shard.root()).expect("bundle verifies");
+        prop_assert!(values[..n as usize].iter().all(|v| v.is_some()));
+        prop_assert!(values[n as usize].is_none());
     }
 
     /// Historical reconstruction agrees with the roots observed live at
@@ -92,7 +105,7 @@ proptest! {
             observed.push((stamp, shard.root()));
         }
         for (stamp, root) in observed {
-            prop_assert_eq!(shard.tree_at_version(stamp).root(), root);
+            prop_assert_eq!(shard.root_at_version(stamp), root);
         }
     }
 

@@ -23,5 +23,6 @@ pub use fides_durability as durability;
 pub use fides_ledger as ledger;
 pub use fides_net as net;
 pub use fides_ordserv as ordserv;
+pub use fides_read as read;
 pub use fides_store as store;
 pub use fides_workload as workload;
