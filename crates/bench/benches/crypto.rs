@@ -16,6 +16,30 @@ fn bench_sha256(c: &mut Criterion) {
             b.iter(|| Sha256::digest(std::hint::black_box(&data)))
         });
     }
+    // 64 Merkle-node-shaped messages (65 bytes: prefix + two child
+    // digests) through the multi-lane path vs one-by-one scalar
+    // digests — the hottest hash call site in block apply.
+    let node_msgs: Vec<[u8; 65]> = (0..64u8)
+        .map(|i| {
+            let mut m = [0u8; 65];
+            m[0] = 0x01;
+            m[1..33].copy_from_slice(Sha256::digest(&[i]).as_bytes());
+            m[33..].copy_from_slice(Sha256::digest(&[i, i]).as_bytes());
+            m
+        })
+        .collect();
+    let refs: Vec<&[u8]> = node_msgs.iter().map(|m| m.as_slice()).collect();
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("digest_many/64x65B", |b| {
+        b.iter(|| Sha256::digest_many(std::hint::black_box(&refs)))
+    });
+    group.bench_function("digest_sequential/64x65B", |b| {
+        b.iter(|| {
+            refs.iter()
+                .map(|m| Sha256::digest(std::hint::black_box(m)))
+                .collect::<Vec<_>>()
+        })
+    });
     group.finish();
 }
 
@@ -29,6 +53,11 @@ fn bench_schnorr(c: &mut Criterion) {
     group.bench_function("sign", |b| b.iter(|| kp.sign(std::hint::black_box(msg))));
     group.bench_function("verify", |b| {
         b.iter(|| kp.public_key().verify(std::hint::black_box(msg), &sig))
+    });
+    // The kept pre-GLV full-width wNAF ladder — the "before" side of
+    // BENCH_PR6.json's schnorr_verify entry.
+    group.bench_function("verify_wnaf", |b| {
+        b.iter(|| kp.public_key().verify_wnaf(std::hint::black_box(msg), &sig))
     });
     group.finish();
 }

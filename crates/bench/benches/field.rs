@@ -41,6 +41,22 @@ fn bench_field(c: &mut Criterion) {
             x
         })
     });
+    // The shipping safegcd divstep inversion vs the kept Fermat-ladder
+    // reference — the pair behind BENCH_PR6.json's field_invert entry.
+    group.bench_function("invert", |bch| {
+        let mut x = a;
+        bch.iter(|| {
+            x = x.invert().expect("nonzero");
+            x
+        })
+    });
+    group.bench_function("invert_fermat", |bch| {
+        let mut x = a;
+        bch.iter(|| {
+            x = x.invert_fermat().expect("nonzero");
+            x
+        })
+    });
     group.finish();
 }
 

@@ -58,6 +58,17 @@ struct Args {
     /// transactions (begin → read_all → commit) instead of verified
     /// snapshot reads — what the read plane is measured against.
     reads_via_commit: bool,
+    /// Pin the process-wide thread pool to this many workers (sets
+    /// `FIDES_POOL_THREADS` before the pool initializes).
+    workers: Option<u32>,
+    /// Multicore scaling rig: run the same workload once per worker
+    /// count (each in a fresh child process, since the pool width is
+    /// fixed at first use) and emit a combined txns/s-vs-cores JSON
+    /// with the primitive microbenches.
+    sweep_workers: Option<Vec<u32>>,
+    /// Write the sweep JSON here (e.g. `BENCH_PR6.json`) instead of
+    /// stdout only.
+    out: Option<String>,
 }
 
 fn consistency_str(c: ReadConsistency) -> String {
@@ -99,7 +110,8 @@ fn usage() -> ! {
          \x20                 [--zipf THETA] [--snapshot-interval N] [--dir PATH]\n\
          \x20                 [--inflight D] [--kill-restart SECS] [--label NAME] [--json]\n\
          \x20                 [--read-pct P] [--consistency fresh|bounded:K|at:H]\n\
-         \x20                 [--reads-via-commit] [--check-baseline FILE]"
+         \x20                 [--reads-via-commit] [--check-baseline FILE]\n\
+         \x20                 [--workers N] [--sweep-workers N,N,...] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -124,6 +136,9 @@ fn parse_args() -> Args {
         read_pct: 0,
         consistency: ReadConsistency::BoundedStaleness(64),
         reads_via_commit: false,
+        workers: None,
+        sweep_workers: None,
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -188,6 +203,26 @@ fn parse_args() -> Args {
                 };
             }
             "--reads-via-commit" => args.reads_via_commit = true,
+            "--workers" => {
+                args.workers = Some(
+                    value(&mut it)
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--sweep-workers" => {
+                let list: Option<Vec<u32>> = value(&mut it)
+                    .split(',')
+                    .map(|s| s.trim().parse::<u32>().ok().filter(|&n| n >= 1))
+                    .collect();
+                args.sweep_workers = Some(match list {
+                    Some(l) if !l.is_empty() => l,
+                    _ => usage(),
+                });
+            }
+            "--out" => args.out = Some(value(&mut it)),
             "--label" => args.label = value(&mut it),
             "--json" => args.json = true,
             "--check-baseline" => args.check_baseline = Some(value(&mut it)),
@@ -638,8 +673,134 @@ fn json_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// One worker-count point of the scaling sweep, parsed back out of a
+/// child run's JSON.
+struct SweepPoint {
+    workers: u32,
+    txns_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    committed: f64,
+}
+
+/// The multicore scaling rig: re-runs this binary once per requested
+/// worker count and combines the points with the primitive
+/// microbenches into one JSON document (`BENCH_PR6.json` shape).
+///
+/// A child process per point is mandatory, not a convenience — the
+/// process-wide thread pool fixes its width on first use, so a single
+/// process cannot measure two widths.
+fn run_sweep(args: &Args, worker_counts: &[u32]) {
+    let exe = std::env::current_exe().expect("own executable path");
+    // Child args: everything we were invoked with, minus the sweep
+    // control flags, plus the pinned worker count and --json.
+    let mut base: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--sweep-workers" | "--out" | "--workers" | "--check-baseline" => {
+                let _ = it.next();
+            }
+            "--json" => {}
+            _ => base.push(flag),
+        }
+    }
+
+    eprintln!("primitive microbenches (before/after)...");
+    let primitives = fides_bench::primitives::run();
+    for p in &primitives {
+        eprintln!(
+            "  {}: {:.0} ns -> {:.0} ns ({:.2}x)",
+            p.name,
+            p.before_ns,
+            p.after_ns,
+            p.speedup()
+        );
+    }
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &workers in worker_counts {
+        eprintln!("sweep: {workers} worker(s)...");
+        let output = std::process::Command::new(&exe)
+            .args(&base)
+            .args(["--workers", &workers.to_string(), "--json"])
+            .output()
+            .expect("spawn sweep child");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        if !output.status.success() {
+            eprintln!("sweep child ({workers} workers) failed:");
+            eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+            std::process::exit(1);
+        }
+        let field = |key: &str| {
+            json_number(&stdout, key).unwrap_or_else(|| {
+                eprintln!("sweep child ({workers} workers) emitted no {key}:\n{stdout}");
+                std::process::exit(1);
+            })
+        };
+        let point = SweepPoint {
+            workers,
+            txns_per_sec: field("txns_per_sec"),
+            p50_ms: field("p50_ms"),
+            p99_ms: field("p99_ms"),
+            committed: field("committed"),
+        };
+        eprintln!(
+            "  {} workers: {:.0} txns/s (p50 {:.2} ms)",
+            workers, point.txns_per_sec, point.p50_ms
+        );
+        points.push(point);
+    }
+
+    let sweep_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"workers\": {}, \"txns_per_sec\": {:.1}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"committed\": {:.0}}}",
+                p.workers, p.txns_per_sec, p.p50_ms, p.p99_ms, p.committed
+            )
+        })
+        .collect();
+    let base_rate = points.first().map_or(0.0, |p| p.txns_per_sec);
+    let scaling: Vec<String> = points
+        .iter()
+        .map(|p| format!("{:.2}", p.txns_per_sec / base_rate.max(1e-9)))
+        .collect();
+    let json = format!(
+        "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \
+         \"policy\": \"{}\",\n  \"duration_s\": {:.1},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"speedup_vs_1_worker\": [{}],\n  \"primitives\": {}\n}}",
+        args.label,
+        args.servers,
+        args.clients,
+        args.policy.as_str(),
+        args.duration.as_secs_f64(),
+        sweep_json.join(",\n"),
+        scaling.join(", "),
+        fides_bench::primitives::to_json(&primitives),
+    );
+    println!("{json}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(counts) = args.sweep_workers.clone() {
+        run_sweep(&args, &counts);
+        return;
+    }
+    if let Some(workers) = args.workers {
+        // Must precede the first thread-pool use anywhere in the
+        // process; the pool reads this once and fixes its width.
+        std::env::set_var("FIDES_POOL_THREADS", workers.to_string());
+    }
     let result = run(&args);
     let json = emit_json(&args, &result);
     if args.json {

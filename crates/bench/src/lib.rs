@@ -20,6 +20,8 @@
 //! placement), `FIDES_RUNS` (averaging runs, default 1; the paper
 //! averages 3).
 
+pub mod primitives;
+
 use std::time::{Duration, Instant};
 
 use fides_core::messages::CommitProtocol;

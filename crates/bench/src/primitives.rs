@@ -1,0 +1,131 @@
+//! Before/after microbenchmarks of the three raw-speed crypto
+//! primitives: field inversion (Fermat ladder → safegcd), Schnorr
+//! verification (full-width wNAF ladder → GLV four-stream ladder), and
+//! batch SHA-256 (sequential digests → multi-lane `digest_many`).
+//!
+//! Both sides of each pair are public (the "before" paths are kept as
+//! `#[doc(hidden)]` reference implementations), so the comparison is
+//! measured on the same build with the same inputs. The scaling rig
+//! (`throughput --sweep-workers`) embeds these numbers in
+//! `BENCH_PR6.json` next to the txns/s-vs-cores sweep.
+
+use std::time::Instant;
+
+use fides_crypto::field::FieldElement;
+use fides_crypto::schnorr::KeyPair;
+use fides_crypto::{Digest, Sha256};
+
+/// One primitive's before/after timing, nanoseconds per operation.
+pub struct Primitive {
+    /// Stable JSON key (`field_invert`, `schnorr_verify`, ...).
+    pub name: &'static str,
+    /// The pre-optimization reference path.
+    pub before_ns: f64,
+    /// The shipping path.
+    pub after_ns: f64,
+}
+
+impl Primitive {
+    /// `before / after` — how many times faster the shipping path is.
+    pub fn speedup(&self) -> f64 {
+        self.before_ns / self.after_ns
+    }
+}
+
+/// Times `f` as `rounds` samples of `reps` calls each and returns the
+/// median per-call cost in nanoseconds. The median makes one preempted
+/// sample harmless, which matters on the shared CI boxes these run on.
+fn median_ns<R>(rounds: usize, reps: usize, mut f: impl FnMut(usize) -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t0 = Instant::now();
+            for i in 0..reps {
+                std::hint::black_box(f(i));
+            }
+            t0.elapsed().as_nanos() as f64 / reps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Runs all three before/after pairs and returns their timings.
+pub fn run() -> Vec<Primitive> {
+    // Deterministic pseudo-random field elements, away from any special
+    // values either inversion algorithm could shortcut on.
+    let mut seed = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        seed
+    };
+    let elements: Vec<FieldElement> = (0..64)
+        .map(|_| FieldElement::from_limbs([next(), next(), next(), next() >> 1]))
+        .collect();
+
+    let invert = Primitive {
+        name: "field_invert",
+        before_ns: median_ns(7, 200, |i| elements[i % elements.len()].invert_fermat()),
+        after_ns: median_ns(7, 200, |i| elements[i % elements.len()].invert()),
+    };
+
+    let kp = KeyPair::from_seed(b"bench-primitives");
+    let pk = kp.public_key();
+    let messages: Vec<Vec<u8>> = (0..16u32)
+        .map(|i| format!("scaling rig message {i}").into_bytes())
+        .collect();
+    let sigs: Vec<_> = messages.iter().map(|m| kp.sign(m)).collect();
+    let verify = Primitive {
+        name: "schnorr_verify",
+        before_ns: median_ns(7, 48, |i| {
+            let i = i % sigs.len();
+            assert!(pk.verify_wnaf(&messages[i], &sigs[i]));
+        }),
+        after_ns: median_ns(7, 48, |i| {
+            let i = i % sigs.len();
+            assert!(pk.verify(&messages[i], &sigs[i]));
+        }),
+    };
+
+    // 64 node-hash-shaped messages (65 bytes: prefix + two digests) —
+    // the Merkle batch-update workload. Reported per message.
+    let node_msgs: Vec<[u8; 65]> = (0..64u8)
+        .map(|i| {
+            let mut m = [0u8; 65];
+            m[0] = 0x01;
+            m[1..33].copy_from_slice(Sha256::digest(&[i]).as_bytes());
+            m[33..].copy_from_slice(Sha256::digest(&[i, i]).as_bytes());
+            m
+        })
+        .collect();
+    let refs: Vec<&[u8]> = node_msgs.iter().map(|m| m.as_slice()).collect();
+    let sha = Primitive {
+        name: "sha256_digest_many",
+        before_ns: median_ns(7, 100, |_| {
+            let out: Vec<Digest> = refs.iter().map(|m| Sha256::digest(m)).collect();
+            out
+        }) / refs.len() as f64,
+        after_ns: median_ns(7, 100, |_| Sha256::digest_many(&refs)) / refs.len() as f64,
+    };
+
+    vec![invert, verify, sha]
+}
+
+/// Formats the primitive timings as the `"primitives"` JSON object
+/// value (matching the hand-rolled JSON style of the figure binaries).
+pub fn to_json(primitives: &[Primitive]) -> String {
+    let entries: Vec<String> = primitives
+        .iter()
+        .map(|p| {
+            format!(
+                "    \"{}\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.2}}}",
+                p.name,
+                p.before_ns,
+                p.after_ns,
+                p.speedup()
+            )
+        })
+        .collect();
+    format!("{{\n{}\n  }}", entries.join(",\n"))
+}

@@ -274,6 +274,48 @@ pub(crate) fn pow_mod(a: &[u64; 4], e: &[u64; 4], m: &[u64; 4], c: &[u64; 4]) ->
     result
 }
 
+/// Round-to-nearest division of a 512-bit numerator by a 256-bit
+/// divisor: `round(num / d)` = `floor((num + d/2) / d)`.
+///
+/// Plain binary long division — this backs the **one-time** derivation
+/// of the GLV decomposition constants `round(2^384·b/n)` in
+/// [`crate::scalar`]; per-scalar splits then need only a widening
+/// multiply and a shift. The quotient must fit 4 limbs (guaranteed for
+/// numerators below `2^510` with `d` near `2^256`).
+pub(crate) fn div_rounded_wide(num: &[u64; 8], d: &[u64; 4]) -> [u64; 4] {
+    let half = shr4(d, 1);
+    let mut n = *num;
+    let mut carry = 0u64;
+    for i in 0..8 {
+        let add = if i < 4 { half[i] } else { 0 };
+        let (s, c) = adc(n[i], add, carry);
+        n[i] = s;
+        carry = c;
+    }
+    debug_assert_eq!(carry, 0, "numerator overflowed 512 bits");
+    let mut rem = [0u64; 5];
+    let mut q = [0u64; 4];
+    for bit in (0..512).rev() {
+        // rem = rem << 1 | bit(n, bit)
+        let mut incoming = (n[bit / 64] >> (bit % 64)) & 1;
+        for limb in rem.iter_mut() {
+            let outgoing = *limb >> 63;
+            *limb = (*limb << 1) | incoming;
+            incoming = outgoing;
+        }
+        let low = [rem[0], rem[1], rem[2], rem[3]];
+        if rem[4] != 0 || cmp4(&low, d) != Ordering::Less {
+            let (diff, borrow) = sub4(&low, d);
+            rem[..4].copy_from_slice(&diff);
+            rem[4] -= borrow;
+            debug_assert_eq!(rem[4], 0, "long-division remainder invariant");
+            debug_assert!(bit < 256, "quotient overflowed 4 limbs");
+            q[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+    q
+}
+
 /// Parse 32 big-endian bytes into 4 little-endian limbs (no reduction).
 pub(crate) fn limbs_from_be_bytes(bytes: &[u8; 32]) -> [u64; 4] {
     let mut limbs = [0u64; 4];

@@ -77,6 +77,7 @@ pub mod field;
 pub mod scalar;
 
 mod arith;
+mod safegcd;
 
 pub use hash::Digest;
 pub use merkle::{MerkleTree, MultiProof, VerificationObject};

@@ -51,6 +51,27 @@ pub fn hash_nodes(left: &Digest, right: &Digest) -> Digest {
     Sha256::digest_parts(&[&[NODE_PREFIX], left.as_bytes(), right.as_bytes()])
 }
 
+/// Batch form of [`hash_nodes`]: hashes every `(left, right)` pair
+/// through the multi-lane [`Sha256::digest_many`], compressing up to 8
+/// node messages per pass. Identical output to mapping [`hash_nodes`].
+pub fn hash_nodes_many(pairs: &[(Digest, Digest)]) -> Vec<Digest> {
+    if pairs.len() < 2 {
+        return pairs.iter().map(|(l, r)| hash_nodes(l, r)).collect();
+    }
+    let messages: Vec<[u8; 65]> = pairs
+        .iter()
+        .map(|(l, r)| {
+            let mut m = [0u8; 65];
+            m[0] = NODE_PREFIX;
+            m[1..33].copy_from_slice(l.as_bytes());
+            m[33..].copy_from_slice(r.as_bytes());
+            m
+        })
+        .collect();
+    let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+    Sha256::digest_many(&refs)
+}
+
 /// The digest used to pad the leaf level up to a power of two.
 ///
 /// Computed once and cached: `from_leaves` appends this for every
@@ -87,11 +108,8 @@ impl MerkleTree {
         let mut levels = vec![level0];
         while levels.last().expect("at least one level").len() > 1 {
             let prev = levels.last().expect("at least one level");
-            let mut next = Vec::with_capacity(prev.len() / 2);
-            for pair in prev.chunks_exact(2) {
-                next.push(hash_nodes(&pair[0], &pair[1]));
-            }
-            levels.push(next);
+            let pairs: Vec<(Digest, Digest)> = prev.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+            levels.push(hash_nodes_many(&pairs));
         }
         MerkleTree { levels, leaf_count }
     }
@@ -180,12 +198,16 @@ impl MerkleTree {
         for lvl in 0..self.levels.len() - 1 {
             dirty.sort_unstable();
             dirty.dedup();
-            for &parent in &dirty {
-                let left = self.levels[lvl][parent * 2];
-                let right = self.levels[lvl][parent * 2 + 1];
-                self.levels[lvl + 1][parent] = hash_nodes(&left, &right);
-                recomputed += 1;
+            // One multi-lane batch per level: all dirty parents hash
+            // together instead of one compression chain at a time.
+            let pairs: Vec<(Digest, Digest)> = dirty
+                .iter()
+                .map(|&p| (self.levels[lvl][p * 2], self.levels[lvl][p * 2 + 1]))
+                .collect();
+            for (&parent, digest) in dirty.iter().zip(hash_nodes_many(&pairs)) {
+                self.levels[lvl + 1][parent] = digest;
             }
+            recomputed += dirty.len();
             for parent in dirty.iter_mut() {
                 *parent /= 2;
             }
@@ -287,17 +309,22 @@ impl MerkleTree {
                         dirty.dedup();
                         let (children, parents) = task.chunks.split_at_mut(lvl - 1);
                         let parents = &mut parents[0];
-                        for &p in &dirty {
-                            let (left, right) = if lvl == 1 {
-                                let g = base_leaf + 2 * p;
-                                (leaf_level[g], leaf_level[g + 1])
-                            } else {
-                                let c = &children[lvl - 2];
-                                (c[2 * p], c[2 * p + 1])
-                            };
-                            parents[p] = hash_nodes(&left, &right);
-                            task.recomputed += 1;
+                        let pairs: Vec<(Digest, Digest)> = dirty
+                            .iter()
+                            .map(|&p| {
+                                if lvl == 1 {
+                                    let g = base_leaf + 2 * p;
+                                    (leaf_level[g], leaf_level[g + 1])
+                                } else {
+                                    let c = &children[lvl - 2];
+                                    (c[2 * p], c[2 * p + 1])
+                                }
+                            })
+                            .collect();
+                        for (&p, digest) in dirty.iter().zip(hash_nodes_many(&pairs)) {
+                            parents[p] = digest;
                         }
+                        task.recomputed += dirty.len();
                         for p in dirty.iter_mut() {
                             *p /= 2;
                         }
@@ -316,12 +343,14 @@ impl MerkleTree {
                 *p /= 2;
             }
             dirty.dedup();
-            for &parent in &dirty {
-                let left = self.levels[lvl][parent * 2];
-                let right = self.levels[lvl][parent * 2 + 1];
-                self.levels[lvl + 1][parent] = hash_nodes(&left, &right);
-                recomputed += 1;
+            let pairs: Vec<(Digest, Digest)> = dirty
+                .iter()
+                .map(|&p| (self.levels[lvl][p * 2], self.levels[lvl][p * 2 + 1]))
+                .collect();
+            for (&parent, digest) in dirty.iter().zip(hash_nodes_many(&pairs)) {
+                self.levels[lvl + 1][parent] = digest;
             }
+            recomputed += dirty.len();
         }
         recomputed
     }
@@ -544,30 +573,37 @@ impl MultiProof {
         }
         let mut stream = self.siblings.iter();
         for _ in 0..self.height {
-            let mut parents: Vec<(u64, Digest)> = Vec::with_capacity(frontier.len());
+            // Resolve every parent's (left, right) children first, then
+            // hash the whole level in one multi-lane batch.
+            let mut jobs: Vec<(u64, (Digest, Digest))> = Vec::with_capacity(frontier.len());
             let mut i = 0;
             while i < frontier.len() {
                 let (idx, digest) = frontier[i];
-                let parent = if idx & 1 == 0
+                let children = if idx & 1 == 0
                     && frontier
                         .get(i + 1)
                         .is_some_and(|&(next, _)| next == idx + 1)
                 {
                     let (_, right) = frontier[i + 1];
                     i += 2;
-                    hash_nodes(&digest, &right)
+                    (digest, right)
                 } else {
-                    let sibling = stream.next()?;
+                    let sibling = *stream.next()?;
                     i += 1;
                     if idx & 1 == 0 {
-                        hash_nodes(&digest, sibling)
+                        (digest, sibling)
                     } else {
-                        hash_nodes(sibling, &digest)
+                        (sibling, digest)
                     }
                 };
-                parents.push((idx / 2, parent));
+                jobs.push((idx / 2, children));
             }
-            frontier = parents;
+            let pairs: Vec<(Digest, Digest)> = jobs.iter().map(|&(_, p)| p).collect();
+            frontier = jobs
+                .iter()
+                .zip(hash_nodes_many(&pairs))
+                .map(|(&(idx, _), digest)| (idx, digest))
+                .collect();
         }
         if stream.next().is_some() || frontier.len() != 1 {
             return None; // leftover siblings / unmerged frontier

@@ -61,6 +61,22 @@ const GY: [u64; 4] = [
     0x483A_DA77_26A3_C465,
 ];
 
+/// The GLV endomorphism constant `β`: a primitive cube root of unity in
+/// the base field, with `λ·(x, y) = (β·x, y)` for `λ` =
+/// [`crate::scalar::LAMBDA`]. Applying the endomorphism is one field
+/// multiplication — that asymmetry is what makes the GLV split pay.
+const BETA: [u64; 4] = [
+    0xC139_6C28_7195_01EE,
+    0x9CF0_4975_12F5_8995,
+    0x6E64_479E_AC34_34E9,
+    0x7AE9_6A2B_657C_0710,
+];
+
+#[inline]
+fn beta() -> FieldElement {
+    FieldElement::from_limbs(BETA)
+}
+
 impl Point {
     /// The group identity (point at infinity).
     pub const IDENTITY: Point = Point {
@@ -271,6 +287,18 @@ impl Point {
         acc
     }
 
+    /// The curve endomorphism `φ(x, y) = (β·x, y)`, which equals
+    /// multiplication by `λ` ([`crate::scalar::LAMBDA`]) at the cost of
+    /// a single field multiplication. In Jacobian coordinates scaling
+    /// `X` scales the affine `x = X/Z²` identically.
+    pub fn endomorphism(&self) -> Point {
+        Point {
+            x: self.x * beta(),
+            y: self.y,
+            z: self.z,
+        }
+    }
+
     /// Mixed addition `self + rhs` where `rhs` is affine (`Z₂ = 1`):
     /// 7M + 4S versus 11M + 5S for the general Jacobian formula
     /// (madd-2007-bl), with the usual identity/doubling fallbacks.
@@ -364,13 +392,18 @@ impl Point {
         out
     }
 
-    /// Strauss–Shamir double-scalar multiplication `a·G + b·P`.
+    /// Strauss–Shamir double-scalar multiplication `a·G + b·P` with GLV
+    /// splitting.
     ///
-    /// Both scalars are recoded to wNAF and walked over a **shared**
-    /// doubling ladder: ~256 doublings total (instead of 256 per
-    /// scalar), with `a`'s digits resolved against a precomputed static
-    /// affine table of odd generator multiples (mixed additions) and
-    /// `b`'s against a per-call table of 8 odd multiples of `P`.
+    /// Both scalars are decomposed as `k = ±k1 + λ·(±k2)` with
+    /// half-width halves ([`Scalar::split_glv`]), turning the sum into
+    /// four half-width terms — `a1·G + a2·φ(G) + b1·P + b2·φ(P)` —
+    /// recoded to wNAF and walked over one **shared** doubling ladder
+    /// of ~130 doublings (half the pre-GLV count). The generator halves
+    /// resolve against static affine tables of odd multiples of `G` and
+    /// `φ(G)`; `P`'s halves against a per-call batch-normalized table
+    /// (one shared field inversion for all 16 entries, so every ladder
+    /// addition is a mixed addition).
     ///
     /// This is the shape of every Schnorr/CoSi verification:
     /// `s·G − e·P = R`.
@@ -381,10 +414,67 @@ impl Point {
         if a.is_zero() {
             return p.mul_scalar(b);
         }
+        let ((a1, sa1), (a2, sa2)) = a.split_glv();
+        let ((b1, sb1), (b2, sb2)) = b.split_glv();
+        let na1 = a1.wnaf(GEN_WNAF_WIDTH);
+        let na2 = a2.wnaf(GEN_WNAF_WIDTH);
+        let nb1 = b1.wnaf(5);
+        let nb2 = b2.wnaf(5);
+        // Odd multiples P, 3P, …, 15P and their endomorphism images,
+        // batch-normalized together: one field inversion for 16 mixed-
+        // addition-ready table entries.
+        let jacobian = odd_multiples::<8>(p);
+        let mut both = Vec::with_capacity(16);
+        both.extend_from_slice(&jacobian);
+        both.extend(jacobian.iter().map(Point::endomorphism));
+        let table = Point::batch_normalize(&both);
+        let (table_p, table_pe) = table.split_at(8);
+        let signed = |d: i8, negate: bool| if negate { -d } else { d };
+        let table_digit = |acc: Point, d: i8, table: &[AffinePoint]| {
+            let entry = table[(d.unsigned_abs() as usize - 1) / 2];
+            acc.add_affine(&if d < 0 { entry.neg() } else { entry })
+        };
+        let len = na1.len().max(na2.len()).max(nb1.len()).max(nb2.len());
+        let mut acc = Point::IDENTITY;
+        for i in (0..len).rev() {
+            acc = acc.double();
+            if let Some(&d) = na1.get(i) {
+                if d != 0 {
+                    acc = acc.add_affine(&generator_wnaf_entry(signed(d, sa1)));
+                }
+            }
+            if let Some(&d) = na2.get(i) {
+                if d != 0 {
+                    acc = acc.add_affine(&generator_endo_wnaf_entry(signed(d, sa2)));
+                }
+            }
+            if let Some(&d) = nb1.get(i) {
+                if d != 0 {
+                    acc = table_digit(acc, signed(d, sb1), table_p);
+                }
+            }
+            if let Some(&d) = nb2.get(i) {
+                if d != 0 {
+                    acc = table_digit(acc, signed(d, sb2), table_pe);
+                }
+            }
+        }
+        acc
+    }
+
+    /// The pre-GLV Strauss–Shamir ladder (full-width wNAF over ~256
+    /// doublings). Kept as a differential-test oracle and the "before"
+    /// side of the GLV speedup microbenchmark — not a production path.
+    #[doc(hidden)]
+    pub fn mul_shamir_generator_wnaf(a: &Scalar, b: &Scalar, p: &Point) -> Point {
+        if b.is_zero() || p.is_identity() {
+            return Point::mul_generator(a);
+        }
+        if a.is_zero() {
+            return p.mul_scalar(b);
+        }
         let na = a.wnaf(GEN_WNAF_WIDTH);
         let nb = b.wnaf(5);
-        // Odd multiples P, 3P, …, 15P (Jacobian: one inversion per call
-        // is not worth amortizing over 8 entries).
         let table_p = odd_multiples::<8>(p);
         let len = na.len().max(nb.len());
         let mut acc = Point::IDENTITY;
@@ -417,11 +507,32 @@ impl Point {
     /// random linear combination relies on.
     ///
     /// Terms with a zero scalar or identity point are skipped.
+    ///
+    /// Wide scalars are first GLV-split ([`Scalar::split_glv`]) into
+    /// two half-width terms against `P` and `φ(P)` (one field
+    /// multiplication per split), so the shared ladder shrinks to
+    /// ~130 doublings even when full-width scalars are present — batch
+    /// verification's 128-bit randomizer terms and the split halves
+    /// then all have comparable length.
     pub fn multi_mul(terms: &[(Scalar, Point)]) -> Point {
-        let live: Vec<&(Scalar, Point)> = terms
-            .iter()
-            .filter(|(a, p)| !a.is_zero() && !p.is_identity())
-            .collect();
+        let mut live: Vec<(Scalar, Point)> = Vec::with_capacity(terms.len());
+        for (a, p) in terms {
+            if a.is_zero() || p.is_identity() {
+                continue;
+            }
+            if a.bits() > 160 {
+                let ((k1, s1), (k2, s2)) = a.split_glv();
+                if !k1.is_zero() {
+                    live.push((k1, if s1 { -*p } else { *p }));
+                }
+                if !k2.is_zero() {
+                    let pe = p.endomorphism();
+                    live.push((k2, if s2 { -pe } else { pe }));
+                }
+            } else {
+                live.push((*a, *p));
+            }
+        }
         if live.is_empty() {
             return Point::IDENTITY;
         }
@@ -819,6 +930,37 @@ fn generator_wnaf_entry(d: i8) -> AffinePoint {
     }
 }
 
+/// Static affine table of odd multiples of `φ(G) = λ·G` — the
+/// generator-half partner of the GLV split. Since
+/// `φ((2i+1)·G) = (2i+1)·φ(G)`, this is just the `G` table with every
+/// x-coordinate scaled by `β`.
+fn generator_endo_wnaf_table() -> &'static [AffinePoint] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Box<[AffinePoint]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let b = beta();
+        generator_wnaf_table()
+            .iter()
+            .map(|p| AffinePoint {
+                x: p.x * b,
+                y: p.y,
+                infinity: p.infinity,
+            })
+            .collect()
+    })
+}
+
+/// The affine table entry for a (non-zero, odd) `φ(G)` wNAF digit.
+fn generator_endo_wnaf_entry(d: i8) -> AffinePoint {
+    debug_assert!(d != 0 && d % 2 != 0);
+    let entry = generator_endo_wnaf_table()[(d.unsigned_abs() as usize - 1) / 2];
+    if d > 0 {
+        entry
+    } else {
+        entry.neg()
+    }
+}
+
 impl PartialEq for Point {
     /// Projective equality: compares affine coordinates without division.
     fn eq(&self, other: &Point) -> bool {
@@ -1141,6 +1283,43 @@ mod tests {
             (Scalar::ONE, Point::IDENTITY),
         ];
         assert_eq!(Point::multi_mul(&terms), p.double());
+    }
+
+    #[test]
+    fn endomorphism_is_lambda_multiplication() {
+        use crate::scalar::LAMBDA;
+        let lambda = Scalar::from_be_bytes_reduced(&arith_be(&LAMBDA));
+        for v in [1u64, 2, 7, 123_456_789] {
+            let p = g() * Scalar::from_u64(v);
+            assert_eq!(p.endomorphism(), p.mul_scalar(&lambda), "v={v}");
+        }
+        assert!(Point::IDENTITY.endomorphism().is_identity());
+    }
+
+    fn arith_be(limbs: &[u64; 4]) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in limbs.iter().enumerate() {
+            out[(3 - i) * 8..(4 - i) * 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn shamir_matches_for_full_width_scalars() {
+        // Exercise the GLV four-stream ladder with scalars spanning the
+        // whole range, including negatives of small values (bits = 256).
+        let p = g() * Scalar::from_u64(987_654_321);
+        let cases = [
+            (-Scalar::ONE, -Scalar::from_u64(2)),
+            (
+                Scalar::from_be_bytes_reduced(&[0xFF; 32]),
+                -Scalar::from_be_bytes_reduced(&[0x80; 32]),
+            ),
+        ];
+        for (a, b) in cases {
+            let expect = Point::mul_generator(&a) + p.mul_scalar(&b);
+            assert_eq!(Point::mul_shamir_generator(&a, &b, &p), expect);
+        }
     }
 
     #[test]

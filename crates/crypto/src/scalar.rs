@@ -22,6 +22,44 @@ pub(crate) const N: [u64; 4] = [
 /// `c = 2^256 - n`.
 const C: [u64; 4] = [0x402D_A173_2FC9_BEBF, 0x4551_2319_50B7_5FC4, 0x1, 0];
 
+/// The GLV endomorphism eigenvalue `λ`: a primitive cube root of unity
+/// mod `n`, satisfying `λ·(x, y) = (β·x, y)` on the curve. Splitting
+/// `k = k1 + λ·k2` with half-width `k1, k2` halves the doubling count
+/// of every scalar-multiplication ladder (see [`crate::point`]).
+pub(crate) const LAMBDA: [u64; 4] = [
+    0xDF02_967C_1B23_BD72,
+    0x122E_22EA_2081_6678,
+    0xA526_1C02_8812_645A,
+    0x5363_AD4C_C05C_30E0,
+];
+
+/// GLV lattice basis: `(a1, b1)` and `(a2, b2)` with
+/// `a_i + b_i·λ ≡ 0 (mod n)` and all entries ≈ `√n`. `b1` is negative;
+/// `MINUS_B1` stores its absolute value, and `b2 = a1`.
+const MINUS_B1: [u64; 4] = [0x6F54_7FA9_0ABF_E4C3, 0xE443_7ED6_010E_8828, 0, 0];
+const B2: [u64; 4] = [0xE86C_90E4_9284_EB15, 0x3086_D221_A7D4_6BCD, 0, 0];
+
+/// The precomputed rounding multipliers `g1 = round(2^384·b2/n)` and
+/// `g2 = round(2^384·(−b1)/n)`, derived once by exact long division so
+/// each split costs two widening multiplies and a shift.
+fn glv_multipliers() -> &'static ([u64; 4], [u64; 4]) {
+    use std::sync::OnceLock;
+    static G: OnceLock<([u64; 4], [u64; 4])> = OnceLock::new();
+    G.get_or_init(|| {
+        let wide = |v: &[u64; 4]| {
+            // v · 2^384 (v has two significant limbs).
+            let mut w = [0u64; 8];
+            w[6] = v[0];
+            w[7] = v[1];
+            w
+        };
+        (
+            arith::div_rounded_wide(&wide(&B2), &N),
+            arith::div_rounded_wide(&wide(&MINUS_B1), &N),
+        )
+    })
+}
+
 /// An integer modulo the secp256k1 group order.
 ///
 /// # Example
@@ -81,9 +119,19 @@ impl Scalar {
         arith::is_zero4(&self.0)
     }
 
-    /// Multiplicative inverse via Fermat (`a^(n-2) mod n`); `None` for
-    /// zero.
+    /// Multiplicative inverse via the safegcd divstep algorithm
+    /// ([`crate::safegcd`]); `None` for zero.
     pub fn invert(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        Some(Scalar(crate::safegcd::modinv(&self.0, &N)))
+    }
+
+    /// Multiplicative inverse via Fermat (`a^(n-2) mod n`) — the
+    /// pre-safegcd reference path, kept for differential testing.
+    #[doc(hidden)]
+    pub fn invert_fermat(&self) -> Option<Self> {
         if self.is_zero() {
             return None;
         }
@@ -165,6 +213,52 @@ impl Scalar {
             v |= self.0[limb + 1] << (64 - shift);
         }
         v & ((1u64 << w) - 1)
+    }
+
+    /// GLV decomposition: returns `((|k1|, neg1), (|k2|, neg2))` with
+    /// `±|k1| + λ·±|k2| ≡ self (mod n)` and both magnitudes below
+    /// ~`2^129` — about half the bits of a full scalar, so a ladder
+    /// over the split halves needs half the doublings.
+    ///
+    /// Uses the classic lattice rounding: `c_i = round(g_i·k / 2^384)`
+    /// approximates the closest lattice vector, `k2 = c1·(−b1) − c2·b2`
+    /// and `k1 = k − λ·k2` (mod n). The recomposition identity holds by
+    /// construction for *any* `c_i`; the constants only govern how
+    /// small the halves come out, and the differential proptests pin
+    /// both properties.
+    #[doc(hidden)] // pub for the differential proptests
+    pub fn split_glv(&self) -> ((Scalar, bool), (Scalar, bool)) {
+        let (g1, g2) = glv_multipliers();
+        let c1 = self.mul_shift_384(g1);
+        let c2 = self.mul_shift_384(g2);
+        let k2 = c1 * Scalar(MINUS_B1) - c2 * Scalar(B2);
+        let k1 = *self - k2 * Scalar(LAMBDA);
+        (Self::abs_small(k1), Self::abs_small(k2))
+    }
+
+    /// The GLV endomorphism eigenvalue `λ` as a scalar (test support).
+    #[doc(hidden)]
+    pub fn glv_lambda() -> Scalar {
+        Scalar(LAMBDA)
+    }
+
+    /// `round(self · g / 2^384)` — the split's lattice-rounding kernel.
+    fn mul_shift_384(&self, g: &[u64; 4]) -> Scalar {
+        let wide = arith::mul4(&self.0, g);
+        let round_up = wide[5] >> 63;
+        let (r, carry) = arith::add4(&[wide[6], wide[7], 0, 0], &[round_up, 0, 0, 0]);
+        debug_assert_eq!(carry, 0);
+        Scalar(r)
+    }
+
+    /// Canonicalizes a known-small (±~2^129) residue to its magnitude
+    /// and sign: representatives near `n` are negative small values.
+    fn abs_small(k: Scalar) -> (Scalar, bool) {
+        if k.bits() > 140 {
+            (-k, true)
+        } else {
+            (k, false)
+        }
     }
 
     /// The number of significant bits of the canonical representative.
@@ -376,6 +470,51 @@ mod tests {
         for w in 2..=8u32 {
             assert!(k.wnaf(w).len() <= 257);
         }
+    }
+
+    #[test]
+    fn lambda_is_cube_root_of_unity() {
+        let lambda = Scalar(LAMBDA);
+        assert_ne!(lambda, Scalar::ONE);
+        assert_eq!(lambda * lambda * lambda, Scalar::ONE);
+    }
+
+    #[test]
+    fn glv_basis_vectors_annihilate() {
+        // a1 + b1·λ ≡ 0 with b1 = −MINUS_B1 and a1 = B2.
+        let lambda = Scalar(LAMBDA);
+        assert_eq!(Scalar(B2), Scalar(MINUS_B1) * lambda);
+    }
+
+    #[test]
+    fn glv_split_recomposes_and_is_short() {
+        let lambda = Scalar(LAMBDA);
+        let cases = [
+            Scalar::ONE,
+            sc(2),
+            -Scalar::ONE,
+            lambda,
+            -lambda,
+            Scalar::from_be_bytes_reduced(&[0xA7; 32]),
+            Scalar::from_be_bytes_reduced(&[0x01; 32]),
+            Scalar::from_be_bytes_reduced(&[0xFE; 32]),
+            Scalar::from_be_bytes_reduced(&[0x5A; 32]),
+        ];
+        for k in cases {
+            let ((k1, s1), (k2, s2)) = k.split_glv();
+            let v1 = if s1 { -k1 } else { k1 };
+            let v2 = if s2 { -k2 } else { k2 };
+            assert_eq!(v1 + lambda * v2, k, "recomposition failed for {k:?}");
+            assert!(k1.bits() <= 129, "k1 too wide: {} bits", k1.bits());
+            assert!(k2.bits() <= 129, "k2 too wide: {} bits", k2.bits());
+        }
+    }
+
+    #[test]
+    fn glv_split_of_zero() {
+        let ((k1, _), (k2, _)) = Scalar::ZERO.split_glv();
+        assert!(k1.is_zero());
+        assert!(k2.is_zero());
     }
 
     #[test]

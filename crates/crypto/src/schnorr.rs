@@ -141,6 +141,19 @@ impl PublicKey {
         Point::mul_shamir_generator(&sig.s, &(-e), &self.0) == sig.r
     }
 
+    /// [`PublicKey::verify`] evaluated over the pre-GLV wNAF ladder
+    /// ([`Point::mul_shamir_generator_wnaf`]) — the "before" side of
+    /// the GLV microbenchmark and a differential-test oracle. Not a
+    /// production path.
+    #[doc(hidden)]
+    pub fn verify_wnaf(&self, message: &[u8], sig: &Signature) -> bool {
+        if sig.r.is_identity() {
+            return false;
+        }
+        let e = challenge_scalar(&sig.r, self, message);
+        Point::mul_shamir_generator_wnaf(&sig.s, &(-e), &self.0) == sig.r
+    }
+
     /// A short identifier (first hex bytes of the key) for diagnostics.
     pub fn short_id(&self) -> String {
         let b = self.to_bytes();
@@ -218,17 +231,10 @@ pub fn verify_batch(items: &[BatchItem<'_>]) -> bool {
         [single] => return single.public_key.verify(single.message, &single.signature),
         _ => {}
     }
-    let mut challenges = Vec::with_capacity(items.len());
-    for item in items {
-        if item.signature.r.is_identity() {
-            return false;
-        }
-        challenges.push(challenge_scalar(
-            &item.signature.r,
-            &item.public_key,
-            item.message,
-        ));
+    if items.iter().any(|item| item.signature.r.is_identity()) {
+        return false;
     }
+    let challenges = challenge_scalars(items);
     let zs = batch_randomizers(items, &challenges);
     let mut s_combined = Scalar::ZERO;
     let mut terms = Vec::with_capacity(2 * items.len());
@@ -269,39 +275,67 @@ fn batch_randomizers(items: &[BatchItem<'_>], challenges: &[Scalar]) -> Vec<Scal
         transcript.update(&e.to_be_bytes());
     }
     let seed = transcript.finalize();
-    (0..items.len())
+    // The per-item derivation messages are fixed-width and independent:
+    // hash them all through the multi-lane batch API.
+    const Z_DOMAIN: &[u8; 24] = b"fides.schnorr.batch.z.v1";
+    let messages: Vec<[u8; 64]> = (1..items.len())
         .map(|i| {
-            if i == 0 {
-                return Scalar::ONE;
-            }
-            let digest = Sha256::digest_parts(&[
-                b"fides.schnorr.batch.z.v1",
-                seed.as_bytes(),
-                &(i as u64).to_be_bytes(),
-            ]);
-            // Keep only the low 128 bits: short randomizers preserve
-            // soundness (~2^-128) and halve the ladder work per term.
-            let mut bytes = [0u8; 32];
-            bytes[16..].copy_from_slice(&digest.as_bytes()[16..]);
-            let z = Scalar::from_be_bytes(&bytes).expect("128-bit value is canonical");
-            if z.is_zero() {
-                Scalar::ONE
-            } else {
-                z
-            }
+            let mut m = [0u8; 64];
+            m[..24].copy_from_slice(Z_DOMAIN);
+            m[24..56].copy_from_slice(seed.as_bytes());
+            m[56..].copy_from_slice(&(i as u64).to_be_bytes());
+            m
         })
-        .collect()
+        .collect();
+    let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+    let mut zs = Vec::with_capacity(items.len());
+    zs.push(Scalar::ONE);
+    for digest in Sha256::digest_many(&refs) {
+        // Keep only the low 128 bits: short randomizers preserve
+        // soundness (~2^-128) and halve the ladder work per term.
+        let mut bytes = [0u8; 32];
+        bytes[16..].copy_from_slice(&digest.as_bytes()[16..]);
+        let z = Scalar::from_be_bytes(&bytes).expect("128-bit value is canonical");
+        zs.push(if z.is_zero() { Scalar::ONE } else { z });
+    }
+    zs
 }
+
+/// Domain-separation prefix of the Fiat–Shamir challenge hash.
+const CHALLENGE_DOMAIN: &[u8] = b"fides.schnorr.challenge.v1";
 
 /// Computes the Fiat–Shamir challenge `e = H(enc(R) ‖ enc(P) ‖ m)`.
 fn challenge_scalar(r: &Point, pk: &PublicKey, message: &[u8]) -> Scalar {
     let digest = Sha256::digest_parts(&[
-        b"fides.schnorr.challenge.v1",
+        CHALLENGE_DOMAIN,
         &r.to_compressed_bytes(),
         &pk.to_bytes(),
         message,
     ]);
     Scalar::from_digest(&digest)
+}
+
+/// Batch form of [`challenge_scalar`]: builds every item's challenge
+/// preimage and hashes them with the multi-lane
+/// [`Sha256::digest_many`] — the per-message hashing that dominates
+/// envelope batch verification once the point arithmetic is shared.
+fn challenge_scalars(items: &[BatchItem<'_>]) -> Vec<Scalar> {
+    let messages: Vec<Vec<u8>> = items
+        .iter()
+        .map(|item| {
+            let mut m = Vec::with_capacity(CHALLENGE_DOMAIN.len() + 66 + item.message.len());
+            m.extend_from_slice(CHALLENGE_DOMAIN);
+            m.extend_from_slice(&item.signature.r.to_compressed_bytes());
+            m.extend_from_slice(&item.public_key.to_bytes());
+            m.extend_from_slice(item.message);
+            m
+        })
+        .collect();
+    let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+    Sha256::digest_many(&refs)
+        .iter()
+        .map(Scalar::from_digest)
+        .collect()
 }
 
 /// Deterministic nonce derivation: HMAC keyed by the secret key over the

@@ -358,3 +358,118 @@ proptest! {
         prop_assert_eq!(cosi::verify_batch(&items, &pks), individual);
     }
 }
+
+/// True iff the 256-bit big-endian value fits in `bits` bits.
+fn fits_in_bits(bytes: &[u8; 32], bits: usize) -> bool {
+    let full_zero_bytes = 32 - bits.div_ceil(8);
+    let top_mask = if bits.is_multiple_of(8) {
+        0xFF
+    } else {
+        (1u16 << (bits % 8)) as u8 - 1
+    };
+    bytes[..full_zero_bytes].iter().all(|&b| b == 0) && bytes[full_zero_bytes] & !top_mask == 0
+}
+
+/// Message lengths biased toward SHA-256 padding boundaries (55/56 is
+/// the one-vs-two padding-block cliff; 64 the block size), with a
+/// uniform tail covering multi-block messages.
+fn arb_msg_len() -> impl Strategy<Value = usize> {
+    (any::<u8>(), any::<u16>()).prop_map(|(pick, raw)| {
+        const BOUNDARIES: [usize; 14] = [0, 1, 54, 55, 56, 57, 63, 64, 65, 118, 119, 120, 127, 128];
+        if pick < 180 {
+            BOUNDARIES[(pick as usize) % BOUNDARIES.len()]
+        } else {
+            raw as usize % 300
+        }
+    })
+}
+
+proptest! {
+    // Differential tests: the raw-speed paths (safegcd inversion, the
+    // GLV-split ladders, multi-lane SHA-256) against their slow
+    // reference implementations.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// safegcd field inversion agrees with the Fermat ladder.
+    #[test]
+    fn field_invert_safegcd_matches_fermat(a in arb_fe()) {
+        prop_assert_eq!(a.invert(), a.invert_fermat());
+    }
+
+    /// safegcd scalar inversion agrees with the Fermat ladder.
+    #[test]
+    fn scalar_invert_safegcd_matches_fermat(a in arb_scalar()) {
+        prop_assert_eq!(a.invert(), a.invert_fermat());
+    }
+
+    /// The GLV decomposition recomposes (`k = k1 + λ·k2` with signs
+    /// applied) and both halves stay within the half-width bound that
+    /// the four-stream ladder's window tables assume.
+    #[test]
+    fn glv_split_recomposes_within_bounds(k in arb_scalar()) {
+        let ((k1, neg1), (k2, neg2)) = k.split_glv();
+        let v1 = if neg1 { -k1 } else { k1 };
+        let v2 = if neg2 { -k2 } else { k2 };
+        prop_assert_eq!(v1 + Scalar::glv_lambda() * v2, k);
+        prop_assert!(fits_in_bits(&k1.to_be_bytes(), 129));
+        prop_assert!(fits_in_bits(&k2.to_be_bytes(), 129));
+    }
+
+    /// Batched `digest_many` agrees with per-message scalar SHA-256 on
+    /// mixed-length batches straddling block boundaries (so lanes mask
+    /// in and out at different block indices).
+    #[test]
+    fn digest_many_matches_scalar_at_boundaries(
+        lens in proptest::collection::vec(arb_msg_len(), 1..24),
+        seed in any::<u8>(),
+    ) {
+        let msgs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (0..n).map(|j| (j as u8) ^ (i as u8) ^ seed).collect())
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        let batched = Sha256::digest_many(&refs);
+        prop_assert_eq!(batched.len(), refs.len());
+        for (m, d) in refs.iter().zip(&batched) {
+            prop_assert_eq!(*d, Sha256::digest(m));
+        }
+    }
+}
+
+proptest! {
+    // Ladder equivalence needs group operations; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The GLV four-stream Strauss–Shamir ladder agrees with the
+    /// pre-GLV full-width wNAF ladder on arbitrary scalar pairs.
+    #[test]
+    fn glv_ladder_matches_pre_glv_ladder(a in arb_scalar(), b in arb_scalar(), s in arb_scalar()) {
+        prop_assume!(!s.is_zero());
+        let p = Point::generator() * s;
+        prop_assert_eq!(
+            Point::mul_shamir_generator(&a, &b, &p),
+            Point::mul_shamir_generator_wnaf(&a, &b, &p)
+        );
+    }
+}
+
+/// The deterministic inversion edge cases both algorithms must agree
+/// on: 0 (no inverse), 1 (self-inverse), and `modulus − 1`
+/// (self-inverse, and the largest canonical value).
+#[test]
+fn inversion_edge_cases_agree() {
+    assert_eq!(FieldElement::ZERO.invert(), None);
+    assert_eq!(FieldElement::ZERO.invert_fermat(), None);
+    assert_eq!(FieldElement::ONE.invert(), Some(FieldElement::ONE));
+    let p_minus_one = -FieldElement::ONE;
+    assert_eq!(p_minus_one.invert(), Some(p_minus_one));
+    assert_eq!(p_minus_one.invert(), p_minus_one.invert_fermat());
+
+    assert_eq!(Scalar::ZERO.invert(), None);
+    assert_eq!(Scalar::ZERO.invert_fermat(), None);
+    assert_eq!(Scalar::ONE.invert(), Some(Scalar::ONE));
+    let n_minus_one = -Scalar::ONE;
+    assert_eq!(n_minus_one.invert(), Some(n_minus_one));
+    assert_eq!(n_minus_one.invert(), n_minus_one.invert_fermat());
+}

@@ -72,7 +72,10 @@ impl Envelope {
 /// with **one** random-linear-combination check
 /// ([`fides_crypto::schnorr::verify_batch`]) instead of one full
 /// Schnorr verification per message — how a busy receiver authenticates
-/// an inbox burst at a fraction of the sequential cost.
+/// an inbox burst at a fraction of the sequential cost. The per-message
+/// challenge hashing inside the batch runs through the multi-lane
+/// [`fides_crypto::Sha256::digest_many`], so both the point arithmetic
+/// *and* the hashing are batched.
 ///
 /// Returns `true` only if *every* envelope verifies; on `false` the
 /// caller falls back to per-envelope [`Envelope::verify`] to drop just
