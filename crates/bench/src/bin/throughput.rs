@@ -21,6 +21,7 @@ use fides_core::recovery::PersistenceConfig;
 use fides_core::system::{ClusterConfig, FidesCluster};
 use fides_core::ReadConsistency;
 use fides_durability::{SyncPolicy, WalConfig};
+use fides_telemetry::{log_error, log_info, Histogram, MetricsSnapshot, Stage};
 use fides_workload::{KeyChooser, WorkloadConfig, WorkloadGenerator};
 
 #[derive(Clone, Debug)]
@@ -241,6 +242,7 @@ struct RunResult {
     /// second — identical to the old definition when `--read-pct 0`.
     txns_per_sec: f64,
     p50_ms: f64,
+    p95_ms: f64,
     p99_ms: f64,
     blocks: usize,
     rounds: u64,
@@ -252,6 +254,10 @@ struct RunResult {
     repair: Option<RepairResult>,
     /// Read-plane results (`--read-pct > 0`).
     reads: Option<ReadResult>,
+    /// Cluster-wide metrics snapshot (every server merged), captured
+    /// after settle and before shutdown — the source of the per-stage
+    /// latency breakdown and durability numbers in the JSON.
+    metrics: MetricsSnapshot,
 }
 
 #[derive(Debug)]
@@ -260,13 +266,20 @@ struct ReadResult {
     completed: usize,
     /// Read-only transactions that failed (refused/timed out/refuted).
     failed: usize,
+    /// Server-side refusals observed by the clients (a subset of
+    /// `failed` unless retries succeeded).
+    refused: u64,
     read_txns_per_sec: f64,
     read_p50_ms: f64,
     /// Client-side proof verification cost, µs per key (0 in
     /// `--reads-via-commit` mode, where no proofs exist).
     verify_us_per_key: f64,
-    /// Observed staleness histogram (heights behind tip → count).
-    staleness: std::collections::BTreeMap<u64, u64>,
+    /// Client root-registry header cache hits/misses.
+    registry_hits: u64,
+    registry_misses: u64,
+    /// Observed staleness histogram entries (heights behind tip →
+    /// count), at telemetry-histogram bucket resolution.
+    staleness: Vec<(u64, u64)>,
 }
 
 /// One client thread's tallies.
@@ -274,7 +287,8 @@ struct ReadResult {
 struct ClientOut {
     committed: usize,
     aborted: usize,
-    latencies_ms: Vec<f64>,
+    /// Client-observed commit latency in nanoseconds.
+    latency: Histogram,
     reads: usize,
     read_failed: usize,
     read_latencies_ms: Vec<f64>,
@@ -307,7 +321,8 @@ fn run(args: &Args) -> RunResult {
         .flush_interval(args.flush);
     if args.kill_restart.is_some() {
         if args.policy == Policy::None {
-            eprintln!(
+            log_error!(
+                "bench",
                 "--kill-restart requires a persistent --policy (the victim restarts from disk)"
             );
             std::process::exit(2);
@@ -414,7 +429,7 @@ fn run(args: &Args) -> RunResult {
                     match client.run_rmw_batched(&spec.keys, 1) {
                         Ok(outcome) if outcome.committed() => {
                             out.committed += 1;
-                            out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            out.latency.record_duration(t0.elapsed());
                         }
                         _ => out.aborted += 1,
                     }
@@ -486,7 +501,7 @@ fn run(args: &Args) -> RunResult {
                 for outcome in &resolved {
                     if let Some(at) = started.iter().position(|(h, _)| *h == outcome.handle) {
                         let (_, t0) = started.swap_remove(at);
-                        out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                        out.latency.record_duration(t0.elapsed());
                     }
                 }
                 unverified.extend(resolved);
@@ -525,26 +540,20 @@ fn run(args: &Args) -> RunResult {
 
     let mut committed = 0usize;
     let mut aborted = 0usize;
-    let mut latencies_ms: Vec<f64> = Vec::new();
+    let latency = Histogram::new();
     let mut reads = 0usize;
     let mut read_failed = 0usize;
     let mut read_latencies_ms: Vec<f64> = Vec::new();
-    let mut verify_nanos = 0u128;
-    let mut keys_verified = 0u64;
-    let mut staleness: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut read_stats = ReadStats::default();
     for h in handles {
         let out = h.join().expect("client thread");
         committed += out.committed;
         aborted += out.aborted;
-        latencies_ms.extend(out.latencies_ms);
+        latency.merge(&out.latency);
         reads += out.reads;
         read_failed += out.read_failed;
         read_latencies_ms.extend(out.read_latencies_ms);
-        verify_nanos += out.read_stats.verify_nanos;
-        keys_verified += out.read_stats.keys_read;
-        for (bucket, count) in out.read_stats.staleness {
-            *staleness.entry(bucket).or_insert(0) += count;
-        }
+        read_stats.merge(&out.read_stats);
     }
     let elapsed = start.elapsed();
     // Snapshot the commit counter *before* the flush/settle drain so
@@ -568,29 +577,36 @@ fn run(args: &Args) -> RunResult {
             post_rejoin_txns_per_sec: post as f64 / window,
         }
     });
+    // Server-side metrics must be read before shutdown tears the
+    // states down; taken after settle so stage counts are final.
+    let metrics = cluster.metrics();
     cluster.shutdown();
 
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     read_latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let lat = latency.snapshot();
     let read_result = (args.read_pct > 0).then(|| ReadResult {
         completed: reads,
         failed: read_failed,
+        refused: read_stats.refusals,
         read_txns_per_sec: reads as f64 / elapsed.as_secs_f64(),
         read_p50_ms: percentile(&read_latencies_ms, 0.50),
-        verify_us_per_key: if keys_verified > 0 {
-            verify_nanos as f64 / 1e3 / keys_verified as f64
+        verify_us_per_key: if read_stats.keys_read > 0 {
+            read_stats.verify_nanos() as f64 / 1e3 / read_stats.keys_read as f64
         } else {
             0.0
         },
-        staleness,
+        registry_hits: read_stats.registry.hits,
+        registry_misses: read_stats.registry.misses,
+        staleness: read_stats.staleness.snapshot().entries(),
     });
     RunResult {
         committed,
         aborted,
         elapsed,
         txns_per_sec: (committed + reads) as f64 / elapsed.as_secs_f64(),
-        p50_ms: percentile(&latencies_ms, 0.50),
-        p99_ms: percentile(&latencies_ms, 0.99),
+        p50_ms: lat.percentile(50.0) as f64 / 1e6,
+        p95_ms: lat.percentile(95.0) as f64 / 1e6,
+        p99_ms: lat.percentile(99.0) as f64 / 1e6,
         blocks,
         rounds: rounds.rounds,
         round_ms: if rounds.rounds > 0 {
@@ -600,7 +616,30 @@ fn run(args: &Args) -> RunResult {
         },
         repair,
         reads: read_result,
+        metrics,
     }
+}
+
+/// The per-stage latency breakdown as a JSON object: for each commit
+/// stage, sample count, p50/p99 in µs and total time spent in ms,
+/// summed across every server (coordinator + cohorts).
+fn stages_json(m: &MetricsSnapshot) -> String {
+    let per_stage: Vec<String> = Stage::ALL
+        .iter()
+        .map(|s| {
+            let h = m.histogram(s.metric_name());
+            format!(
+                "    \"{}\": {{\"samples\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+                 \"total_ms\": {:.3}}}",
+                s.name(),
+                h.count,
+                h.percentile(50.0) as f64 / 1e3,
+                h.percentile(99.0) as f64 / 1e3,
+                h.sum as f64 / 1e6,
+            )
+        })
+        .collect();
+    format!("{{\n{}\n  }}", per_stage.join(",\n"))
 }
 
 fn emit_json(args: &Args, r: &RunResult) -> String {
@@ -613,17 +652,22 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
         format!(
             ",\n  \"read_pct\": {},\n  \"consistency\": \"{}\",\n  \
              \"reads_via_commit\": {},\n  \"reads_completed\": {},\n  \
-             \"reads_failed\": {},\n  \"read_txns_per_sec\": {:.1},\n  \
+             \"reads_failed\": {},\n  \"reads_refused\": {},\n  \
+             \"read_txns_per_sec\": {:.1},\n  \
              \"read_p50_ms\": {:.3},\n  \"read_verify_us_per_key\": {:.3},\n  \
+             \"registry_hits\": {},\n  \"registry_misses\": {},\n  \
              \"staleness_hist\": {{{}}}",
             args.read_pct,
             consistency_str(args.consistency),
             args.reads_via_commit,
             rr.completed,
             rr.failed,
+            rr.refused,
             rr.read_txns_per_sec,
             rr.read_p50_ms,
             rr.verify_us_per_key,
+            rr.registry_hits,
+            rr.registry_misses,
             hist.join(", "),
         )
     });
@@ -637,12 +681,22 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
             rep.post_rejoin_txns_per_sec,
         )
     });
+    let fsync = r.metrics.histogram("durability.fsync_ns");
+    let batch_blocks = r.metrics.histogram("durability.batch_blocks");
+    let queue_peak = r
+        .metrics
+        .gauges
+        .get("durability.queue_depth")
+        .map_or(0, |g| g.max);
     format!(
         "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \"batch\": {},\n  \
          \"items_per_shard\": {},\n  \"policy\": \"{}\",\n  \"duration_s\": {:.3},\n  \
          \"committed\": {},\n  \"aborted\": {},\n  \"txns_per_sec\": {:.1},\n  \
-         \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"blocks\": {},\n  \
-         \"rounds\": {},\n  \"round_ms\": {:.3}{reads}{repair}\n}}",
+         \"p50_ms\": {:.3},\n  \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"blocks\": {},\n  \
+         \"rounds\": {},\n  \"round_ms\": {:.3},\n  \"round_timeouts\": {},\n  \
+         \"stages\": {},\n  \
+         \"fsync_p50_us\": {:.1},\n  \"fsync_p99_us\": {:.1},\n  \
+         \"fsync_batch_mean\": {:.2},\n  \"wal_queue_peak\": {}{reads}{repair}\n}}",
         args.label,
         args.servers,
         args.clients,
@@ -654,10 +708,17 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
         r.aborted,
         r.txns_per_sec,
         r.p50_ms,
+        r.p95_ms,
         r.p99_ms,
         r.blocks,
         r.rounds,
         r.round_ms,
+        r.metrics.counter("commit.round.timeouts"),
+        stages_json(&r.metrics),
+        fsync.percentile(50.0) as f64 / 1e3,
+        fsync.percentile(99.0) as f64 / 1e3,
+        batch_blocks.mean(),
+        queue_peak,
     )
 }
 
@@ -706,10 +767,11 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
         }
     }
 
-    eprintln!("primitive microbenches (before/after)...");
+    log_info!("bench", "primitive microbenches (before/after)...");
     let primitives = fides_bench::primitives::run();
     for p in &primitives {
-        eprintln!(
+        log_info!(
+            "bench",
             "  {}: {:.0} ns -> {:.0} ns ({:.2}x)",
             p.name,
             p.before_ns,
@@ -720,7 +782,7 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
 
     let mut points: Vec<SweepPoint> = Vec::new();
     for &workers in worker_counts {
-        eprintln!("sweep: {workers} worker(s)...");
+        log_info!("bench", "sweep: {workers} worker(s)...");
         let output = std::process::Command::new(&exe)
             .args(&base)
             .args(["--workers", &workers.to_string(), "--json"])
@@ -728,13 +790,19 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
             .expect("spawn sweep child");
         let stdout = String::from_utf8_lossy(&output.stdout);
         if !output.status.success() {
-            eprintln!("sweep child ({workers} workers) failed:");
-            eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+            log_error!(
+                "bench",
+                "sweep child ({workers} workers) failed:\n{}",
+                String::from_utf8_lossy(&output.stderr)
+            );
             std::process::exit(1);
         }
         let field = |key: &str| {
             json_number(&stdout, key).unwrap_or_else(|| {
-                eprintln!("sweep child ({workers} workers) emitted no {key}:\n{stdout}");
+                log_error!(
+                    "bench",
+                    "sweep child ({workers} workers) emitted no {key}:\n{stdout}"
+                );
                 std::process::exit(1);
             })
         };
@@ -745,9 +813,12 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
             p99_ms: field("p99_ms"),
             committed: field("committed"),
         };
-        eprintln!(
+        log_info!(
+            "bench",
             "  {} workers: {:.0} txns/s (p50 {:.2} ms)",
-            workers, point.txns_per_sec, point.p50_ms
+            workers,
+            point.txns_per_sec,
+            point.p50_ms
         );
         points.push(point);
     }
@@ -783,10 +854,10 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
     println!("{json}");
     if let Some(path) = &args.out {
         std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
+            log_error!("bench", "cannot write {path}: {e}");
             std::process::exit(1);
         });
-        eprintln!("wrote {path}");
+        log_info!("bench", "wrote {path}");
     }
 }
 
@@ -803,6 +874,13 @@ fn main() {
     }
     let result = run(&args);
     let json = emit_json(&args, &result);
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+            log_error!("bench", "cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        log_info!("bench", "wrote {path}");
+    }
     if args.json {
         println!("{json}");
     } else {
@@ -852,26 +930,30 @@ fn main() {
 
     if let Some(path) = &args.check_baseline {
         let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read baseline {path}: {e}");
+            log_error!("bench", "cannot read baseline {path}: {e}");
             std::process::exit(1);
         });
         let Some(expected) = json_number(&baseline, "txns_per_sec") else {
-            eprintln!("baseline {path} has no txns_per_sec field");
+            log_error!("bench", "baseline {path} has no txns_per_sec field");
             std::process::exit(1);
         };
         // Sanity-check our own emission too: CI fails on malformed JSON.
         let Some(measured) = json_number(&json, "txns_per_sec") else {
-            eprintln!("emitted JSON is malformed");
+            log_error!("bench", "emitted JSON is malformed");
             std::process::exit(1);
         };
         let floor = expected * 0.7;
         if measured < floor {
-            eprintln!(
+            log_error!(
+                "bench",
                 "throughput regression: measured {measured:.1} txns/s is below 70% of the \
                  baseline {expected:.1} txns/s (floor {floor:.1})"
             );
             std::process::exit(1);
         }
-        eprintln!("baseline check passed: {measured:.1} txns/s >= {floor:.1} (70% of baseline)");
+        log_info!(
+            "bench",
+            "baseline check passed: {measured:.1} txns/s >= {floor:.1} (70% of baseline)"
+        );
     }
 }

@@ -321,12 +321,35 @@ pub struct ReadStats {
     pub reads: u64,
     /// Keys proof-verified across those reads.
     pub keys_read: u64,
-    /// Wall-clock nanoseconds spent inside proof verification
-    /// ([`fides_read::verify_read`]).
-    pub verify_nanos: u128,
-    /// Staleness histogram: observed `known_tip − covered_height` →
-    /// count.
-    pub staleness: std::collections::BTreeMap<u64, u64>,
+    /// Honest refusals observed while retargeting (repairing peers,
+    /// missing mirrors, staleness bounds).
+    pub refusals: u64,
+    /// Root-registry cache effectiveness (hits avoid a header
+    /// signature verification on the read path).
+    pub registry: fides_read::RegistryStats,
+    /// Per-response proof-verification latency
+    /// ([`fides_read::verify_read`]), nanoseconds.
+    pub verify_ns: fides_telemetry::Histogram,
+    /// Staleness per verified read: observed
+    /// `known_tip − covered_height` in blocks.
+    pub staleness: fides_telemetry::Histogram,
+}
+
+impl ReadStats {
+    /// Total nanoseconds spent inside proof verification.
+    pub fn verify_nanos(&self) -> u64 {
+        self.verify_ns.snapshot().sum
+    }
+
+    /// Folds another client's stats into this one (bench aggregation).
+    pub fn merge(&mut self, other: &ReadStats) {
+        self.reads += other.reads;
+        self.keys_read += other.keys_read;
+        self.refusals += other.refusals;
+        self.registry.merge(&other.registry);
+        self.verify_ns.merge(&other.verify_ns);
+        self.staleness.merge(&other.staleness);
+    }
 }
 
 /// What one snapshot-read attempt against one server produced.
@@ -392,11 +415,16 @@ impl ClientSession {
         self
     }
 
-    /// Drains the accumulated verified-read metrics.
+    /// Drains the accumulated verified-read metrics (the root
+    /// registry's cache counters folded in).
     pub fn take_read_stats(&mut self) -> ReadStats {
         self.read
             .as_mut()
-            .map(|ctx| std::mem::take(&mut ctx.stats))
+            .map(|ctx| {
+                let mut stats = std::mem::take(&mut ctx.stats);
+                stats.registry = ctx.registry.stats.take();
+                stats
+            })
             .unwrap_or_default()
     }
 
@@ -1261,12 +1289,12 @@ impl ClientSession {
             min_covered,
             pinned,
         );
-        ctx.stats.verify_nanos += t0.elapsed().as_nanos();
+        ctx.stats.verify_ns.record_duration(t0.elapsed());
         match result {
             Ok(verified) => {
                 ctx.stats.reads += 1;
                 ctx.stats.keys_read += keys.len() as u64;
-                *ctx.stats.staleness.entry(verified.staleness).or_insert(0) += 1;
+                ctx.stats.staleness.record(verified.staleness);
                 Ok(verified)
             }
             Err(fault) => {
@@ -1464,7 +1492,12 @@ impl ClientSession {
                 Err(e) => return Err(e),
             };
             let (root_height, covered, header, proof) = match reply {
-                Reply::Refused(reason) => return Ok(ReadAttempt::Refused(reason)),
+                Reply::Refused(reason) => {
+                    if let Some(ctx) = self.read.as_mut() {
+                        ctx.stats.refusals += 1;
+                    }
+                    return Ok(ReadAttempt::Refused(reason));
+                }
                 Reply::Resp {
                     root_height,
                     covered,

@@ -22,7 +22,10 @@
 //!   transfer for lagging or restarted servers (gap detection, block
 //!   and checkpoint transfer, Byzantine-refuting verification),
 //! * [`system`] — the cluster harness used by tests, examples and the
-//!   benchmark suite.
+//!   benchmark suite,
+//! * [`telemetry`] — the per-server metric bundle: commit-round stage
+//!   timers, durability/read/repair counters and the structured event
+//!   ring (built on `fides-telemetry`).
 //!
 //! # Quick start
 //!
@@ -58,6 +61,7 @@ pub mod recovery;
 pub mod repair;
 pub mod server;
 pub mod system;
+pub mod telemetry;
 
 pub use audit::{AuditReport, Auditor, Violation, ViolationKind};
 pub use behavior::Behavior;
@@ -73,3 +77,4 @@ pub use recovery::{
 };
 pub use repair::{RepairEvidence, RepairFault};
 pub use system::{ClusterConfig, FidesCluster};
+pub use telemetry::ServerTelemetry;

@@ -72,6 +72,8 @@ use crate::occ;
 use crate::partition::Partitioner;
 use crate::recovery::{Durability, RecoveredServer};
 use crate::repair::{verify_transfer, RepairEvidence, RepairFault, RepairShared};
+use crate::telemetry::ServerTelemetry;
+use fides_telemetry::{Level, Stage, Stopwatch};
 
 /// Map from node address to public key — the paper's "servers and
 /// clients are uniquely identifiable using their public keys" (§3.1).
@@ -214,6 +216,10 @@ pub struct ServerState {
     /// Per-origin mirror read-serving state, rebuilt lazily whenever a
     /// newer mirror supersedes the cached one (see [`MirrorReadState`]).
     mirror_reads: parking_lot::Mutex<HashMap<u32, Arc<MirrorReadState>>>,
+    /// Lock-free metric handles (stage timers, counters, event ring).
+    /// Recording never takes a stage lock; snapshots go through
+    /// [`ServerState::metrics`].
+    pub telemetry: ServerTelemetry,
 }
 
 /// Commit-round accounting (coordinator only).
@@ -249,6 +255,7 @@ impl ServerState {
             durability: parking_lot::Mutex::new(None),
             repair: parking_lot::Mutex::new(RepairShared::default()),
             mirror_reads: parking_lot::Mutex::new(HashMap::new()),
+            telemetry: ServerTelemetry::new(),
         }
     }
 
@@ -285,7 +292,19 @@ impl ServerState {
             durability: parking_lot::Mutex::new(Some(recovered.durability)),
             repair: parking_lot::Mutex::new(repair),
             mirror_reads: parking_lot::Mutex::new(HashMap::new()),
+            telemetry: ServerTelemetry::new(),
         }
+    }
+
+    /// A point-in-time snapshot of this server's metrics.
+    pub fn metrics(&self) -> fides_telemetry::MetricsSnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// The structured events this server recorded (newest-capacity
+    /// window), ordered by sequence number.
+    pub fn events(&self) -> Vec<fides_telemetry::Event> {
+        self.telemetry.events.snapshot()
     }
 
     /// The fault-injection configuration.
@@ -582,6 +601,9 @@ struct RepairTask {
     /// Last time `peer` responded (drives the unresponsive-peer
     /// retarget).
     last_activity: Instant,
+    /// When the gap was first detected (spans retargets; feeds the
+    /// `repair.duration_ns` histogram at install).
+    started: Instant,
 }
 
 /// Coordinator-side quorum-durable outcome gate: client outcomes for a
@@ -708,6 +730,11 @@ impl Server {
         server_pks: Vec<PublicKey>,
     ) -> (Server, Arc<ServerState>) {
         let state = Arc::new(state);
+        // Attach the metric handles the WAL writer thread records into
+        // (fsync latency, batch size, queue depth) before any traffic.
+        if let Some(Durability::Pipelined { pipeline, .. }) = state.durability.lock().as_ref() {
+            pipeline.set_metrics(state.telemetry.pipeline_metrics());
+        }
         let quorum = (config.quorum_acks && config.idx == COORDINATOR_IDX).then(|| {
             Arc::new(QuorumAcks {
                 quorum: (config.n_servers as usize / 2) + 1,
@@ -1091,7 +1118,12 @@ impl Server {
     }
 
     fn handle_get_vote(&mut self, from: NodeId, partial: PartialBlock) {
+        let t0 = Instant::now();
         let (commitment, involved) = self.cohort_vote(&partial);
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::OccValidate, t0.elapsed().as_nanos() as u64);
         self.send(
             from,
             &Message::Vote {
@@ -1171,8 +1203,18 @@ impl Server {
         challenge: fides_crypto::scalar::Scalar,
     ) {
         let height = block.height;
+        let t0 = Instant::now();
         let result = self.cohort_response(&block, &aggregate, &challenge);
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::CosiAssemble, t0.elapsed().as_nanos() as u64);
         if let Err(refusal) = &result {
+            self.state.telemetry.events.record(
+                Level::Warn,
+                "commit",
+                format!("refused to co-sign height {height}: {refusal:?}"),
+            );
             self.state.ledger.lock().refusals.push((height, *refusal));
         }
         self.send(from, &Message::Response { height, result });
@@ -1585,6 +1627,12 @@ impl Server {
     }
 
     fn refuse_read(&self, to: NodeId, req: u64, reason: crate::messages::ReadRefusal) {
+        self.state.telemetry.read_refusals.inc();
+        self.state.telemetry.events.record(
+            Level::Debug,
+            "read",
+            format!("refused snapshot read {req}: {reason:?}"),
+        );
         self.send(to, &Message::SnapshotReadRefused { req, reason });
     }
 
@@ -1711,6 +1759,11 @@ impl Server {
             }
         }
 
+        if shard_idx == self.config.idx {
+            self.state.telemetry.reads_owner.inc();
+        } else {
+            self.state.telemetry.reads_mirror.inc();
+        }
         self.send(
             from,
             &Message::SnapshotReadResp {
@@ -1854,6 +1907,12 @@ impl Server {
         }
         let mut excluded = HashSet::new();
         excluded.insert(self.config.idx);
+        self.state.telemetry.repair_started.inc();
+        self.state.telemetry.events.record(
+            Level::Info,
+            "repair",
+            format!("gap detected: tip {tip}, target {target}, serving peer {peer}"),
+        );
         self.repair_task = Some(RepairTask {
             peer,
             base_height: tip,
@@ -1864,6 +1923,7 @@ impl Server {
             excluded,
             asked_checkpoint: false,
             last_activity: Instant::now(),
+            started: Instant::now(),
         });
         self.send_repair_request();
     }
@@ -1938,6 +1998,11 @@ impl Server {
             self.retarget_repair(true);
             return;
         }
+        self.state.telemetry.repair_blocks.add(blocks.len() as u64);
+        self.state
+            .telemetry
+            .repair_bytes
+            .add(blocks.iter().map(|b| b.encode().len() as u64).sum());
         task.staged.extend(blocks);
         if task.base_height + task.staged.len() as u64 >= task.target {
             self.finalize_repair();
@@ -1976,6 +2041,10 @@ impl Server {
         task.target = task.target.max(snapshot.height);
         task.base_height = snapshot.height;
         task.base_tip = snapshot.tip_hash;
+        self.state
+            .telemetry
+            .repair_bytes
+            .add(snapshot.encode().len() as u64);
         task.checkpoint = Some(snapshot);
         task.staged.clear();
         if task.base_height >= task.target {
@@ -2030,7 +2099,7 @@ impl Server {
                 }
                 let mut excluded = task.excluded;
                 excluded.insert(task.peer);
-                self.restart_repair_task(excluded, task.target);
+                self.restart_repair_task(excluded, task.target, task.started);
             }
             Ok(verified) => {
                 // A checkpoint installed with no co-signed suffix on top
@@ -2038,13 +2107,34 @@ impl Server {
                 // (repairing) until a peer at the same height confirms
                 // it — see `handle_repair_info`.
                 let provisional = task.checkpoint.is_some() && task.staged.is_empty();
+                let install_start = Instant::now();
                 self.install_transfer(&task, verified.shard, verified.last_committed);
+                self.state
+                    .telemetry
+                    .repair_install_ns
+                    .record_duration(install_start.elapsed());
                 {
                     let mut repair = self.state.repair.lock();
                     repair.repairing = provisional;
                     repair.since = provisional.then(Instant::now);
                     repair.completions += 1;
                 }
+                self.state.telemetry.repair_completed.inc();
+                self.state
+                    .telemetry
+                    .repair_duration_ns
+                    .record_duration(task.started.elapsed());
+                self.state.telemetry.events.record(
+                    Level::Info,
+                    "repair",
+                    format!(
+                        "installed verified transfer from peer {}: {} blocks to height {}{}",
+                        task.peer,
+                        task.staged.len(),
+                        task.base_height + task.staged.len() as u64,
+                        if provisional { " (provisional)" } else { "" },
+                    ),
+                );
                 // Buffered live decisions apply now that the base moved.
                 self.catch_up();
                 // The chain may have advanced while we staged: re-gossip
@@ -2180,10 +2270,10 @@ impl Server {
         if exclude_current {
             excluded.insert(task.peer);
         }
-        self.restart_repair_task(excluded, task.target);
+        self.restart_repair_task(excluded, task.target, task.started);
     }
 
-    fn restart_repair_task(&mut self, excluded: HashSet<u32>, target: u64) {
+    fn restart_repair_task(&mut self, excluded: HashSet<u32>, target: u64, started: Instant) {
         let (tip, tip_hash) = {
             let ledger = self.state.ledger.lock();
             (ledger.log.next_height(), ledger.log.tip_hash())
@@ -2204,6 +2294,12 @@ impl Server {
             self.repair_task = None;
             return;
         };
+        self.state.telemetry.repair_retargets.inc();
+        self.state.telemetry.events.record(
+            Level::Info,
+            "repair",
+            format!("retargeting repair to peer {peer} (target {target})"),
+        );
         self.repair_task = Some(RepairTask {
             peer,
             base_height: tip,
@@ -2214,6 +2310,7 @@ impl Server {
             excluded,
             asked_checkpoint: false,
             last_activity: Instant::now(),
+            started,
         });
         self.send_repair_request();
     }
@@ -2243,6 +2340,11 @@ impl Server {
         // A stuck retry loop against the same Byzantine peer would
         // otherwise record the identical refutation every cycle.
         if repair.evidence.len() < MAX_EVIDENCE && repair.evidence.last() != Some(&evidence) {
+            self.state.telemetry.events.record(
+                Level::Warn,
+                "repair",
+                format!("refuted transfer from peer {peer}: {:?}", evidence.fault),
+            );
             repair.evidence.push(evidence);
         }
     }
@@ -2265,6 +2367,8 @@ impl Server {
     /// 5. **checkpoint** — capture a snapshot every `snapshot_interval`
     ///    blocks; the pipeline saves it only after the covering fsync.
     fn apply_block(&mut self, block: Block, protocol: CommitProtocol) {
+        let apply_start = Instant::now();
+        let durability_ns;
         let decision = block.decision;
         let max_ts = block.max_txn_ts();
         let height = block.height;
@@ -2302,6 +2406,7 @@ impl Server {
         // sound because recovery rebuilds purely from the WAL and
         // clients are acked only after the covering fsync.
         {
+            let durability_start = Instant::now();
             let quorum_cohort = self.config.quorum_acks && !self.is_coordinator();
             let mut report_now = quorum_cohort;
             let mut durability = self.state.durability.lock();
@@ -2343,6 +2448,7 @@ impl Server {
                 // immediately.
                 self.send(server_node(COORDINATOR_IDX), &Message::Durable { height });
             }
+            durability_ns = durability_start.elapsed().as_nanos() as u64;
         }
 
         // Stage 4 — shard.
@@ -2454,6 +2560,22 @@ impl Server {
                 }
             }
         }
+
+        // Stage split for the round breakdown: the durability hand-off
+        // (inline fsync, or pipeline submit — the asynchronous fsync
+        // itself shows up as `durability.fsync_ns`) vs everything else
+        // in the apply (ledger append, Merkle recomputation, exec
+        // cleanup, checkpointing). Recorded on every role: the
+        // coordinator's round laps deliberately skip this segment.
+        let total_ns = apply_start.elapsed().as_nanos() as u64;
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::WalFsync, durability_ns);
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::MerkleUpdate, total_ns.saturating_sub(durability_ns));
     }
 
     // ------------------------------------------------------------------
@@ -2462,19 +2584,29 @@ impl Server {
     // ------------------------------------------------------------------
 
     /// Terminates the current pending batch with one protocol round.
+    ///
+    /// The round clock starts *before* batch selection so the six stage
+    /// histograms ([`Stage`]) tile `round_nanos`: contiguous
+    /// [`Stopwatch`] laps cover batch formation through outcome send.
     fn run_round(&mut self) {
+        let start = Instant::now();
+        let mut watch = Stopwatch::new();
         let batch = self.select_batch();
         if batch.is_empty() {
             return;
         }
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::BatchForm, watch.lap_ns());
         let n_txns = batch.len() as u64;
         let height_before = self.state.ledger.lock().log.next_height();
-        let start = Instant::now();
         match self.config.protocol {
-            CommitProtocol::TfCommit => self.run_tfcommit_round(batch),
+            CommitProtocol::TfCommit => self.run_tfcommit_round(batch, &mut watch),
             CommitProtocol::TwoPhaseCommit => self.run_2pc_round(batch),
         }
         let elapsed = start.elapsed();
+        self.state.telemetry.rounds.inc();
         let mut ledger = self.state.ledger.lock();
         ledger.round_stats.rounds += 1;
         ledger.round_stats.round_nanos += elapsed.as_nanos();
@@ -2544,7 +2676,7 @@ impl Server {
         batch
     }
 
-    fn run_tfcommit_round(&mut self, batch: Vec<PendingTxn>) {
+    fn run_tfcommit_round(&mut self, batch: Vec<PendingTxn>, watch: &mut Stopwatch) {
         let (height, prev_hash) = {
             let ledger = self.state.ledger.lock();
             (ledger.log.next_height(), ledger.log.tip_hash())
@@ -2571,10 +2703,20 @@ impl Server {
         involved_votes[self.config.idx as usize] = own_involved;
 
         let ok = self.collect_votes(height, &mut commitments, &mut involved_votes);
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::OccValidate, watch.lap_ns());
         if !ok {
             // Timed-out round (crashed cohort): TFCommit is blocking
             // (§4.3.1); we surface the failure to the clients instead of
             // blocking forever.
+            self.state.telemetry.round_timeouts.inc();
+            self.state.telemetry.events.record(
+                Level::Warn,
+                "commit",
+                format!("vote collection timed out at height {height}"),
+            );
             self.reject_batch(&batch);
             return;
         }
@@ -2663,6 +2805,16 @@ impl Server {
             vec![None; self.config.n_servers as usize];
         responses[self.config.idx as usize] = Some(own_response);
         if !self.collect_responses(height, &mut responses) {
+            self.state
+                .telemetry
+                .stages
+                .record(Stage::CosiAssemble, watch.lap_ns());
+            self.state.telemetry.round_timeouts.inc();
+            self.state.telemetry.events.record(
+                Level::Warn,
+                "commit",
+                format!("response collection timed out at height {height}"),
+            );
             self.reject_batch(&batch);
             return;
         }
@@ -2713,6 +2865,10 @@ impl Server {
         self.broadcast_to_servers(&Message::Decision {
             block: signed.clone(),
         });
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::CosiAssemble, watch.lap_ns());
         if cosign_valid {
             // The coordinator verified this signature when assembling
             // it; re-running the check in `handle_decision` would be
@@ -2722,6 +2878,10 @@ impl Server {
         } else {
             self.handle_decision(signed.clone());
         }
+        // The apply segment was recorded from inside `apply_block`
+        // (MerkleUpdate + WalFsync); restart the lap clock so the
+        // outcome stage does not double-count it.
+        let _ = watch.lap_ns();
 
         // Figure 5 step 8: respond to the clients. Under pipelined
         // durability the outcome is the commit acknowledgement, so it
@@ -2732,6 +2892,10 @@ impl Server {
         // never reaches the WAL), so its outcome — which the clients
         // will classify as an anomaly — goes out immediately.
         self.send_outcomes(height, &batch, &signed, cosign_valid);
+        self.state
+            .telemetry
+            .stages
+            .record(Stage::OutcomeSend, watch.lap_ns());
     }
 
     /// Sends `Outcome` messages for a terminated batch — one message

@@ -422,6 +422,22 @@ impl FidesCluster {
         self.read_evidence.lock().clone()
     }
 
+    /// The metrics of one server (stage latencies, durability, read and
+    /// repair planes — see `docs/telemetry.md`).
+    pub fn server_metrics(&self, idx: u32) -> fides_telemetry::MetricsSnapshot {
+        self.states[idx as usize].metrics()
+    }
+
+    /// The cluster-wide metric aggregate: every server's snapshot
+    /// merged (counters/histograms add, gauges add with watermark max).
+    pub fn metrics(&self) -> fides_telemetry::MetricsSnapshot {
+        let mut merged = fides_telemetry::MetricsSnapshot::default();
+        for state in &self.states {
+            merged.merge(&state.metrics());
+        }
+        merged
+    }
+
     /// Asks the coordinator to terminate any pending partial batch.
     pub fn flush(&self) {
         let env = Envelope::sign(

@@ -187,6 +187,86 @@ fn zipf_stress_audit_clean_and_restart_identical() {
     cluster.shutdown();
 }
 
+/// The commit-round stage breakdown tiles the measured round latency:
+/// the coordinator's six stage histograms (batch formation, OCC
+/// validation, Merkle update, CoSi assembly, WAL fsync hand-off,
+/// outcome send) are recorded as contiguous laps of the same clock
+/// that accumulates `round_nanos`, so (a) every stage reports samples
+/// and (b) their sums reproduce the total to within the residual the
+/// laps deliberately skip (catch-up, lock hand-offs).
+#[test]
+fn stage_breakdown_tiles_round_latency() {
+    use fides_telemetry::Stage;
+
+    let dir = TempDir::new("pipeline-stages");
+    let cluster = FidesCluster::start(pipelined_config(&dir, 8));
+    let mut committed = 0usize;
+    let mut waves = 0usize;
+    while committed < 15 && waves < 4 {
+        let (c, _aborted) = run_zipf_clients(&cluster, 4, 10);
+        committed += c;
+        waves += 1;
+    }
+    cluster.flush();
+    cluster
+        .settle(Duration::from_secs(5))
+        .expect("logs converge");
+
+    let stats = cluster.round_stats();
+    assert!(stats.rounds > 0);
+    let metrics = cluster.server_metrics(0);
+    assert_eq!(metrics.counter("commit.rounds"), stats.rounds);
+
+    // (a) Every commit-path stage saw every round on the coordinator.
+    for stage in Stage::ALL {
+        let h = metrics.histogram(stage.metric_name());
+        assert!(
+            h.count > 0,
+            "stage {} reported no samples: {:?}",
+            stage.name(),
+            metrics.counters
+        );
+    }
+
+    // (b) The stage sums tile the measured round latency. The laps are
+    // contiguous segments of the `round_nanos` clock, so the staged
+    // sum can never exceed the total; the shortfall is the residual
+    // between the apply's outer (discarded) lap and its inner
+    // (recorded) split — catch-up work and per-lap clock reads.
+    let staged: u64 = Stage::ALL
+        .iter()
+        .map(|s| metrics.histogram(s.metric_name()).sum)
+        .sum();
+    let total = u64::try_from(stats.round_nanos).expect("round nanos fit");
+    assert!(
+        staged <= total,
+        "stage sums exceed the round clock: {staged} > {total}"
+    );
+    let tolerance = total / 5 + 5_000_000;
+    assert!(
+        total - staged < tolerance,
+        "stage sums {staged} fall more than {tolerance}ns short of {total}"
+    );
+
+    // The cohorts contribute their half of the pipeline: vote-side OCC
+    // validation and the apply split show up cluster-wide too.
+    let cluster_metrics = cluster.metrics();
+    for stage in [Stage::OccValidate, Stage::MerkleUpdate, Stage::WalFsync] {
+        assert!(
+            cluster_metrics.histogram(stage.metric_name()).count
+                > metrics.histogram(stage.metric_name()).count,
+            "cohorts recorded no {} samples",
+            stage.name()
+        );
+    }
+    // The asynchronous group-commit fsync is reported out-of-band of
+    // the round clock.
+    assert!(cluster_metrics.histogram("durability.fsync_ns").count > 0);
+    assert!(cluster_metrics.histogram("durability.batch_blocks").count > 0);
+
+    cluster.shutdown();
+}
+
 /// The ordered-ack guarantee under a mid-stream kill: acknowledged
 /// commits survive on the coordinator's disk, every server's recovered
 /// log is a hash-chain prefix of its pre-kill log, and startup's

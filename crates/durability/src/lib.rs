@@ -80,7 +80,7 @@ pub mod testutil {
 
 pub use blocklog::{DurableLog, MemoryBlockLog, WalBlockLog};
 pub use crc32::crc32;
-pub use pipeline::{CommitPipeline, DurableAck, PipelineConfig};
+pub use pipeline::{CommitPipeline, DurableAck, PipelineConfig, PipelineMetrics};
 pub use recovery::{recover_ledger, RecoveredLedger, RecoveryError};
 pub use snapshot::{
     FileSnapshotStore, MemorySnapshotStore, ShardSnapshot, SnapshotError, SnapshotStore,

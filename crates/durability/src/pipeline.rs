@@ -34,11 +34,12 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fides_ledger::block::Block;
+use fides_telemetry::{Gauge, Histogram};
 
 use crate::blocklog::DurableLog;
 use crate::snapshot::{ShardSnapshot, SnapshotStore};
@@ -59,6 +60,22 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig { prune_wal: true }
     }
+}
+
+/// Observability handles the writer thread records into (see
+/// `docs/telemetry.md`): attach with [`CommitPipeline::set_metrics`]
+/// before traffic starts. Without them the pipeline records nothing.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineMetrics {
+    /// Covering-fsync latency, nanoseconds (`durability.fsync_ns`) —
+    /// the disk round-trip the commit path no longer waits for.
+    pub fsync_ns: Arc<Histogram>,
+    /// Blocks covered per fsync (`durability.batch_blocks`) — the
+    /// group-commit batching factor.
+    pub batch_blocks: Arc<Histogram>,
+    /// Commands queued to the writer but not yet drained
+    /// (`durability.queue_depth`), with a high-watermark.
+    pub queue_depth: Arc<Gauge>,
 }
 
 enum Cmd {
@@ -120,6 +137,7 @@ pub struct CommitPipeline {
     tx: Option<crossbeam_channel::Sender<Cmd>>,
     state: Arc<DurableState>,
     writer: Option<JoinHandle<()>>,
+    metrics: Arc<OnceLock<PipelineMetrics>>,
 }
 
 impl std::fmt::Debug for CommitPipeline {
@@ -149,15 +167,25 @@ impl CommitPipeline {
             advanced_mx: Mutex::new(()),
         });
         let writer_state = Arc::clone(&state);
+        let metrics: Arc<OnceLock<PipelineMetrics>> = Arc::new(OnceLock::new());
+        let writer_metrics = Arc::clone(&metrics);
         let writer = std::thread::Builder::new()
             .name("fides-wal-writer".into())
-            .spawn(move || writer_loop(rx, log, snapshots, writer_state, config))
+            .spawn(move || writer_loop(rx, log, snapshots, writer_state, config, writer_metrics))
             .expect("spawn WAL writer thread");
         CommitPipeline {
             tx: Some(tx),
             state,
             writer: Some(writer),
+            metrics,
         }
+    }
+
+    /// Attaches observability handles (idempotent; the first attach
+    /// wins). Call before traffic starts so the queue-depth gauge
+    /// balances.
+    pub fn set_metrics(&self, metrics: PipelineMetrics) {
+        let _ = self.metrics.set(metrics);
     }
 
     fn send(&self, cmd: Cmd) {
@@ -172,6 +200,9 @@ impl CommitPipeline {
     /// arrives with a later covering fsync. Blocks must be submitted in
     /// height order (the server's apply path guarantees this).
     pub fn submit_block(&self, block: &Block) {
+        if let Some(m) = self.metrics.get() {
+            m.queue_depth.add(1);
+        }
         self.send(Cmd::Append(Box::new(block.clone())));
     }
 
@@ -296,6 +327,7 @@ fn writer_loop(
     mut snapshots: Box<dyn SnapshotStore>,
     state: Arc<DurableState>,
     config: PipelineConfig,
+    metrics: Arc<OnceLock<PipelineMetrics>>,
 ) {
     // Snapshots waiting for the fsync covering their height.
     let mut queued_snapshots: Vec<ShardSnapshot> = Vec::new();
@@ -309,6 +341,7 @@ fn writer_loop(
             Err(_) => break 'outer, // handle dropped: final flush below
         };
         let mut appended_to: Option<u64> = None;
+        let mut appended_blocks = 0u64;
         let mut barriers: Vec<crossbeam_channel::Sender<()>> = Vec::new();
         let mut batch = vec![first];
         while let Ok(cmd) = rx.try_recv() {
@@ -321,6 +354,7 @@ fn writer_loop(
                     log.append_block(&block)
                         .expect("pipelined WAL append failed");
                     appended_to = Some(height);
+                    appended_blocks += 1;
                 }
                 Cmd::Snapshot(snapshot) => queued_snapshots.push(*snapshot),
                 Cmd::Mirror(origin, snapshot) => {
@@ -358,7 +392,17 @@ fn writer_loop(
             }
         }
         // One fsync covers every block drained above.
-        log.sync().expect("pipelined WAL fsync failed");
+        if let Some(m) = metrics.get() {
+            let t0 = Instant::now();
+            log.sync().expect("pipelined WAL fsync failed");
+            m.fsync_ns.record_duration(t0.elapsed());
+            if appended_blocks > 0 {
+                m.batch_blocks.record(appended_blocks);
+                m.queue_depth.add(-(appended_blocks as i64));
+            }
+        } else {
+            log.sync().expect("pipelined WAL fsync failed");
+        }
         if let Some(height) = appended_to {
             state.watermark.store(height + 1, Ordering::Release);
         }

@@ -203,6 +203,35 @@ pub struct VerifiedRead {
 /// Cache cap per shard (heights retained besides genesis).
 const MAX_ROOTS_PER_SHARD: usize = 128;
 
+/// Root-cache effectiveness counters (folded into the client's
+/// `ReadStats` and the bench driver's read section): how often
+/// [`verify_read`] resolved its anchoring root from the cache versus
+/// paying a header collective-signature verification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Reads whose root resolved straight from the cache.
+    pub hits: u64,
+    /// Reads that had to fall back to the carried header.
+    pub misses: u64,
+    /// Header collective-signature verifications actually performed
+    /// (a re-announced, already-cached header costs none).
+    pub header_verifies: u64,
+}
+
+impl RegistryStats {
+    /// Drains the counters (the client's take-stats path).
+    pub fn take(&mut self) -> RegistryStats {
+        std::mem::take(self)
+    }
+
+    /// Adds another registry's counters (cross-client aggregation).
+    pub fn merge(&mut self, other: &RegistryStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.header_verifies += other.header_verifies;
+    }
+}
+
 /// The client's cache of co-signed per-shard **composite roots**, keyed
 /// by *applied height*: height `0` is the trusted genesis state (before
 /// any block), height `h > 0` is the root after block `h − 1` applied.
@@ -223,6 +252,8 @@ pub struct RootRegistry {
     roots: Vec<BTreeMap<u64, Digest>>,
     /// The highest applied height the client has evidence for.
     chain_tip: u64,
+    /// Cache-effectiveness counters (see [`RegistryStats`]).
+    pub stats: RegistryStats,
 }
 
 impl RootRegistry {
@@ -239,6 +270,7 @@ impl RootRegistry {
             server_pks,
             roots,
             chain_tip: 0,
+            stats: RegistryStats::default(),
         }
     }
 
@@ -297,6 +329,7 @@ impl RootRegistry {
         if already {
             return Ok(());
         }
+        self.stats.header_verifies += 1;
         if !header.verify(&self.server_pks) {
             return Err(ReadFault::ForgedHeader);
         }
@@ -385,8 +418,12 @@ pub fn verify_read(
 
     // Resolve the trusted root for `root_height`.
     let expected_root = match registry.root_at(shard, root_height) {
-        Some(root) => root,
+        Some(root) => {
+            registry.stats.hits += 1;
+            root
+        }
         None => {
+            registry.stats.misses += 1;
             let Some(header) = header else {
                 return Err(ReadFault::UnknownRoot { root_height });
             };

@@ -1,0 +1,93 @@
+//! The bounded ring-buffer event log for *rare* structured events
+//! (repair transitions, refusals, Byzantine evidence, timeouts).
+//!
+//! Writers claim a slot with one `fetch_add` (total order by sequence
+//! number) and fill it under a per-slot lock — writers never contend
+//! unless the ring has fully wrapped between two claims of the same
+//! slot. The ring keeps the newest `capacity` events; a snapshot
+//! returns them in sequence order.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::log::{self, Level};
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    pub level: Level,
+    /// Coarse source plane, e.g. `"repair"`, `"refusal"`.
+    pub category: &'static str,
+    pub message: String,
+    /// Nanoseconds since the log was created.
+    pub at_ns: u64,
+}
+
+/// A bounded ring of the newest [`Event`]s (see module docs).
+pub struct EventLog {
+    start: Instant,
+    next_seq: AtomicU64,
+    slots: Vec<Mutex<Option<Event>>>,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event ring needs at least one slot");
+        EventLog {
+            start: Instant::now(),
+            next_seq: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Records an event (overwriting the oldest once full) and mirrors
+    /// it to stderr when the `FIDES_LOG` filter admits its level.
+    pub fn record(&self, level: Level, category: &'static str, message: String) {
+        log::emit(level, category, format_args!("{message}"));
+        let seq = self.next_seq.fetch_add(1, Relaxed);
+        let event = Event {
+            seq,
+            level,
+            category,
+            message,
+            at_ns: self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        };
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        // A racing wrap may have written a *newer* seq here already;
+        // keep the newest.
+        if guard.as_ref().is_none_or(|held| held.seq < seq) {
+            *guard = Some(event);
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Relaxed)
+    }
+
+    /// The retained events, in ascending sequence order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EventLog {{ capacity: {}, recorded: {} }}",
+            self.slots.len(),
+            self.recorded()
+        )
+    }
+}

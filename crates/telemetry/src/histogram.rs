@@ -1,0 +1,259 @@
+//! The lock-free log-bucketed histogram.
+//!
+//! Values are bucketed by octave with [`SUB_BITS`] sub-buckets per
+//! octave (HdrHistogram-style): values below `2^SUB_BITS` are exact,
+//! everything above lands in a bucket whose width is `1/2^SUB_BITS` of
+//! its magnitude — a bounded ≤ 12.5 % relative error at `SUB_BITS = 3`,
+//! good enough for latency percentiles while keeping the whole
+//! histogram a flat array of [`NUM_BUCKETS`] atomics (~4 KiB).
+//!
+//! Recording is wait-free (`fetch_add`/`fetch_min`/`fetch_max`,
+//! `Relaxed`). A [`HistogramSnapshot`] derives its total count from the
+//! bucket array it read — never from a separately-raced counter — so a
+//! snapshot taken mid-storm is always *internally* consistent: its
+//! percentiles are computed over exactly the samples it counted.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Sub-bucket resolution: `1 << SUB_BITS` buckets per octave.
+pub const SUB_BITS: u32 = 3;
+const SUB_COUNT: usize = 1 << SUB_BITS;
+const SUB_MASK: u64 = (SUB_COUNT - 1) as u64;
+
+/// Total bucket count covering the full `u64` range: one exact group
+/// of `2^SUB_BITS` values plus `64 − SUB_BITS` octave groups.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB_COUNT;
+
+/// A lock-free log-bucketed histogram (see module docs).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket `value` lands in.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value < SUB_COUNT as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let group = (msb - SUB_BITS + 1) as usize;
+        (group << SUB_BITS) + ((value >> (msb - SUB_BITS)) & SUB_MASK) as usize
+    }
+
+    /// Smallest value mapping to bucket `index`.
+    #[inline]
+    pub fn bucket_lower(index: usize) -> u64 {
+        let group = index >> SUB_BITS;
+        let sub = (index & SUB_MASK as usize) as u64;
+        if group == 0 {
+            return sub;
+        }
+        ((1u64 << SUB_BITS) + sub) << (group - 1)
+    }
+
+    /// Number of distinct values mapping to bucket `index`.
+    #[inline]
+    pub fn bucket_width(index: usize) -> u64 {
+        let group = index >> SUB_BITS;
+        if group == 0 {
+            1
+        } else {
+            1u64 << (group - 1)
+        }
+    }
+
+    /// The value a bucket reports as (its midpoint; exact for the
+    /// width-1 buckets below `2^SUB_BITS`).
+    #[inline]
+    pub fn bucket_value(index: usize) -> u64 {
+        Self::bucket_lower(index) + (Self::bucket_width(index) - 1) / 2
+    }
+
+    /// Records one sample. Wait-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds another histogram's current contents into this one.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Relaxed);
+            }
+        }
+        self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        self.min.fetch_min(other.min.load(Relaxed), Relaxed);
+        self.max.fetch_max(other.max.load(Relaxed), Relaxed);
+    }
+
+    /// A point-in-time copy. The count is derived from the buckets
+    /// actually read, so the snapshot's percentiles are internally
+    /// consistent even while recorders are running.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: self.min.load(Relaxed),
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let copy = Histogram::new();
+        copy.merge(self);
+        copy
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        write!(
+            f,
+            "Histogram {{ count: {}, sum: {}, p50: {}, p99: {} }}",
+            snap.count,
+            snap.sum,
+            snap.percentile(50.0),
+            snap.percentile(99.0)
+        )
+    }
+}
+
+/// A point-in-time, mergeable copy of a [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Samples recorded (sum of the bucket counts read).
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty — use
+    /// [`HistogramSnapshot::min`]).
+    min: u64,
+    /// Largest recorded value.
+    max: u64,
+    buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at percentile `p` (0–100), reported at bucket
+    /// midpoint resolution (≤ 12.5 % relative error; exact below
+    /// `2^SUB_BITS`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64)
+            .ceil()
+            .clamp(1.0, self.count as f64) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Histogram::bucket_value(i);
+            }
+        }
+        Histogram::bucket_value(NUM_BUCKETS - 1)
+    }
+
+    /// Folds `other` into `self` (bucket-wise).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(representative value, count)`, ascending —
+    /// the compact form the bench driver prints a staleness histogram
+    /// in.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Histogram::bucket_value(i), c))
+            .collect()
+    }
+
+    /// Count in the bucket `value` maps to (bucket-boundary tests).
+    pub fn count_at(&self, value: u64) -> u64 {
+        self.buckets[Histogram::bucket_index(value)]
+    }
+}

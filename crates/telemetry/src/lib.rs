@@ -1,0 +1,79 @@
+//! Lock-free observability for the Fides reproduction.
+//!
+//! Fides' premise is *auditable* trust — and an unobservable pipeline
+//! cannot be audited for performance any more than an unsigned block
+//! can be audited for integrity. This crate is the substrate every
+//! runtime plane (commit, durability, read, repair) reports through:
+//!
+//! * [`Counter`] / [`Gauge`] — single-word atomics, `Relaxed` on the
+//!   hot path;
+//! * [`Histogram`] — log-bucketed (8 sub-buckets per octave, ≤ 12.5 %
+//!   relative error) with wait-free recording and consistent
+//!   [`HistogramSnapshot`]s exposing p50/p95/p99;
+//! * [`Stage`] + [`Stopwatch`] — the commit-round stage taxonomy
+//!   (batch formation → OCC validate → Merkle update → CoSi assembly →
+//!   WAL fsync → outcome send) and the lap timer that tiles a round
+//!   into contiguous stage segments;
+//! * [`EventLog`] — a bounded ring buffer for *rare* structured events
+//!   (repair transitions, refusals, Byzantine evidence, timeouts);
+//! * [`Registry`] / [`MetricsSnapshot`] — string-named handles
+//!   (registration takes a lock once; recording never does) and the
+//!   mergeable point-in-time snapshot the cluster aggregates;
+//! * [`log`] — leveled stderr diagnostics gated by the `FIDES_LOG`
+//!   environment filter (default `warn`: tests stay quiet).
+//!
+//! Like the `crates/shims/*` crates, this is pure `std`: the build
+//! environment has no crates.io access.
+//!
+//! See `docs/telemetry.md` for the metric naming scheme and how to
+//! read a stage breakdown.
+
+mod events;
+mod histogram;
+pub mod log;
+mod metrics;
+mod registry;
+mod stage;
+
+pub use events::{Event, EventLog};
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_BITS};
+pub use log::Level;
+pub use metrics::{Counter, Gauge, GaugeSnapshot};
+pub use registry::{MetricsSnapshot, Registry};
+pub use stage::{Stage, StageTimers, Stopwatch};
+
+/// Logs at [`Level::Error`]: unrecoverable or operator-actionable
+/// failures. Printed by default.
+#[macro_export]
+macro_rules! log_error {
+    ($cat:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::Level::Error, $cat, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`]: anomalies worth seeing without opting in
+/// (timeouts, refusals, evidence). Printed by default.
+#[macro_export]
+macro_rules! log_warn {
+    ($cat:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::Level::Warn, $cat, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`]: progress diagnostics (bench phases, repair
+/// completions). Quiet unless `FIDES_LOG=info` (or `debug`).
+#[macro_export]
+macro_rules! log_info {
+    ($cat:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::Level::Info, $cat, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`]: high-volume tracing. Quiet unless
+/// `FIDES_LOG=debug`.
+#[macro_export]
+macro_rules! log_debug {
+    ($cat:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::Level::Debug, $cat, ::core::format_args!($($arg)*))
+    };
+}

@@ -1,0 +1,64 @@
+//! Leveled stderr diagnostics gated by the `FIDES_LOG` environment
+//! filter.
+//!
+//! `FIDES_LOG` takes `off`, `error`, `warn` (the default), `info` or
+//! `debug`; everything at or above the filter level prints to stderr.
+//! The default keeps test and bench output quiet (progress chatter is
+//! `info`) while anomalies — timeouts, refusals, Byzantine evidence —
+//! stay visible. Use the [`crate::log_error!`]/[`crate::log_warn!`]/
+//! [`crate::log_info!`]/[`crate::log_debug!`] macros; formatting cost
+//! is only paid when the level is enabled.
+
+use std::sync::OnceLock;
+
+/// Event/diagnostic severity, ordered most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error,
+    Warn,
+    Info,
+    Debug,
+}
+
+impl Level {
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// `None` = `FIDES_LOG=off`.
+fn filter() -> Option<Level> {
+    static FILTER: OnceLock<Option<Level>> = OnceLock::new();
+    *FILTER.get_or_init(|| {
+        match std::env::var("FIDES_LOG")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "off" | "none" => None,
+            "error" => Some(Level::Error),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            // Unset or unrecognized: warnings and errors only.
+            _ => Some(Level::Warn),
+        }
+    })
+}
+
+/// Whether `level` passes the `FIDES_LOG` filter.
+pub fn enabled(level: Level) -> bool {
+    filter().is_some_and(|f| level <= f)
+}
+
+/// Prints one line to stderr when `level` is enabled. Called by the
+/// `log_*!` macros and by [`crate::EventLog::record`].
+pub fn emit(level: Level, category: &'static str, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        eprintln!("[fides:{} {}] {}", level.name(), category, args);
+    }
+}

@@ -1,0 +1,99 @@
+//! Single-word atomic metrics: [`Counter`] and [`Gauge`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing counter. Wait-free.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A signed level with a high-watermark (e.g. the WAL pipeline's queue
+/// depth). Wait-free.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Relaxed) + delta;
+        if delta > 0 {
+            self.max.fetch_max(now, Relaxed);
+        }
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn high_watermark(&self) -> i64 {
+        self.max.load(Relaxed)
+    }
+
+    pub fn snapshot(&self) -> GaugeSnapshot {
+        GaugeSnapshot {
+            value: self.get(),
+            max: self.high_watermark(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({}, max {})", self.get(), self.high_watermark())
+    }
+}
+
+/// A point-in-time copy of a [`Gauge`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Current level.
+    pub value: i64,
+    /// Highest level ever observed.
+    pub max: i64,
+}
+
+impl GaugeSnapshot {
+    /// Cross-server aggregation: levels add, watermarks take the max.
+    pub fn merge(&mut self, other: &GaugeSnapshot) {
+        self.value += other.value;
+        self.max = self.max.max(other.max);
+    }
+}

@@ -1,0 +1,172 @@
+//! String-named metric handles and the mergeable cluster snapshot.
+//!
+//! Registration (name → handle) takes a mutex once per metric; the
+//! returned `Arc` handles record lock-free thereafter. Names follow
+//! `plane.component.metric` (see `docs/telemetry.md`).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge, GaugeSnapshot};
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics (one per server, plus one for the
+/// bench driver's client-side observations).
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.metrics.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.lock();
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.snapshot());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A mergeable point-in-time copy of a [`Registry`] — what one server
+/// exposes and the cluster aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds another server's snapshot into this one: counters and
+    /// histograms add, gauge levels add with watermark max.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, n) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, g) in &other.gauges {
+            self.gauges.entry(name.clone()).or_default().merge(g);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot (empty when absent).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
+    /// A compact JSON rendering: counters verbatim, gauges as
+    /// `{value, max}`, histograms as count/sum/min/max/p50/p95/p99.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        let mut field = |out: &mut String, name: &str, value: String| {
+            if !std::mem::take(&mut first) {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        };
+        for (name, n) in &self.counters {
+            field(&mut out, name, n.to_string());
+        }
+        for (name, g) in &self.gauges {
+            field(
+                &mut out,
+                name,
+                format!("{{\"value\": {}, \"max\": {}}}", g.value, g.max),
+            );
+        }
+        for (name, h) in &self.histograms {
+            field(
+                &mut out,
+                name,
+                format!(
+                    "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                     \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    h.count,
+                    h.sum,
+                    h.min(),
+                    h.max(),
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.percentile(99.0)
+                ),
+            );
+        }
+        out.push('}');
+        out
+    }
+}

@@ -1,0 +1,127 @@
+//! The commit-round stage taxonomy and the lap timer that tiles a
+//! round into contiguous stage segments.
+//!
+//! The six stages partition one TFCommit round *as observed at the
+//! recording server* (the coordinator records all six; a cohort records
+//! the three it executes). Because [`Stopwatch::lap_ns`] restarts the
+//! clock at every lap, the recorded segments are contiguous by
+//! construction — summing the six stage histograms' `sum` fields
+//! reproduces the measured round latency to within measurement noise,
+//! which `pipeline_stress` asserts.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+
+/// One stage of a commit round, in pipeline order. See
+/// `docs/telemetry.md` for what each covers at coordinator vs cohort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Selecting a non-conflicting batch from the pending queue.
+    BatchForm,
+    /// OCC validation: `GetVote` broadcast, the local cohort vote
+    /// (validate + speculative root), and vote collection.
+    OccValidate,
+    /// Applying the decided block to the authenticated shard (Merkle
+    /// recomputation) and the surrounding ledger/exec bookkeeping.
+    MerkleUpdate,
+    /// Challenge distribution, response collection and collective-
+    /// signature assembly + verification.
+    CosiAssemble,
+    /// The durability hand-off: inline WAL append + fsync, or the
+    /// pipeline submit (the asynchronous fsync itself is reported
+    /// separately as `durability.fsync_ns`).
+    WalFsync,
+    /// Outcome delivery (or its registration for deferred, fsync-
+    /// ordered delivery).
+    OutcomeSend,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::BatchForm,
+        Stage::OccValidate,
+        Stage::MerkleUpdate,
+        Stage::CosiAssemble,
+        Stage::WalFsync,
+        Stage::OutcomeSend,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::BatchForm => "batch_form",
+            Stage::OccValidate => "occ_validate",
+            Stage::MerkleUpdate => "merkle_update",
+            Stage::CosiAssemble => "cosi_assemble",
+            Stage::WalFsync => "wal_fsync",
+            Stage::OutcomeSend => "outcome_send",
+        }
+    }
+
+    /// The registry name of this stage's latency histogram.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Stage::BatchForm => "commit.stage.batch_form",
+            Stage::OccValidate => "commit.stage.occ_validate",
+            Stage::MerkleUpdate => "commit.stage.merkle_update",
+            Stage::CosiAssemble => "commit.stage.cosi_assemble",
+            Stage::WalFsync => "commit.stage.wal_fsync",
+            Stage::OutcomeSend => "commit.stage.outcome_send",
+        }
+    }
+}
+
+/// The six per-stage latency histograms (nanoseconds), resolved once
+/// from a [`Registry`] so recording is handle-indexed and lock-free.
+#[derive(Clone, Debug)]
+pub struct StageTimers {
+    hists: [Arc<Histogram>; 6],
+}
+
+impl StageTimers {
+    pub fn new(registry: &Registry) -> Self {
+        StageTimers {
+            hists: Stage::ALL.map(|s| registry.histogram(s.metric_name())),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, stage: Stage, nanos: u64) {
+        self.hists[stage as usize].record(nanos);
+    }
+
+    pub fn histogram(&self, stage: Stage) -> &Arc<Histogram> {
+        &self.hists[stage as usize]
+    }
+}
+
+/// A lap timer: each [`Stopwatch::lap_ns`] returns the nanoseconds
+/// since the previous lap (or start) and restarts the clock, so
+/// consecutive laps tile the elapsed time with no gaps.
+pub struct Stopwatch {
+    last: Instant,
+}
+
+impl Stopwatch {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Stopwatch {
+            last: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the previous lap; restarts the clock.
+    #[inline]
+    pub fn lap_ns(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now
+            .duration_since(self.last)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        self.last = now;
+        ns
+    }
+}

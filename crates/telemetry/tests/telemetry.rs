@@ -1,0 +1,272 @@
+//! Telemetry invariants: histogram bucket-boundary exactness, snapshot
+//! consistency under concurrent recorders, ring-buffer wraparound
+//! ordering, and registry merge semantics.
+
+use std::sync::Arc;
+
+use fides_telemetry::{
+    EventLog, Histogram, HistogramSnapshot, Level, MetricsSnapshot, Registry, Stage, StageTimers,
+    Stopwatch, NUM_BUCKETS, SUB_BITS,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Bucket-boundary exactness.
+// ---------------------------------------------------------------------
+
+#[test]
+fn buckets_below_first_octave_are_exact() {
+    for v in 0..(1u64 << SUB_BITS) {
+        let idx = Histogram::bucket_index(v);
+        assert_eq!(idx, v as usize);
+        assert_eq!(Histogram::bucket_lower(idx), v);
+        assert_eq!(Histogram::bucket_width(idx), 1);
+        assert_eq!(Histogram::bucket_value(idx), v);
+    }
+}
+
+#[test]
+fn bucket_boundaries_tile_the_u64_range() {
+    // Every bucket starts exactly where the previous one ends.
+    let mut expected_lower = 0u64;
+    for idx in 0..NUM_BUCKETS {
+        assert_eq!(
+            Histogram::bucket_lower(idx),
+            expected_lower,
+            "bucket {idx} does not start at the previous bucket's end"
+        );
+        expected_lower = expected_lower.wrapping_add(Histogram::bucket_width(idx));
+    }
+    // The last bucket ends exactly at u64::MAX (lower + width wraps to 0).
+    assert_eq!(expected_lower, 0, "buckets do not cover the full u64 range");
+}
+
+#[test]
+fn boundary_values_land_in_their_own_bucket() {
+    for idx in 0..NUM_BUCKETS {
+        let lower = Histogram::bucket_lower(idx);
+        let upper = lower + (Histogram::bucket_width(idx) - 1);
+        assert_eq!(Histogram::bucket_index(lower), idx, "lower bound of {idx}");
+        assert_eq!(Histogram::bucket_index(upper), idx, "upper bound of {idx}");
+    }
+    assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn bucket_relative_error_is_bounded(v in any::<u64>()) {
+        let idx = Histogram::bucket_index(v);
+        let lower = Histogram::bucket_lower(idx);
+        let width = Histogram::bucket_width(idx);
+        prop_assert!(lower <= v);
+        prop_assert!(v - lower < width);
+        // Width ≤ lower / 2^SUB_BITS for the octave groups: ≤ 12.5 %
+        // relative error at SUB_BITS = 3.
+        if idx >= (1 << SUB_BITS) {
+            prop_assert!(width <= lower >> SUB_BITS);
+        }
+    }
+
+    #[test]
+    fn percentile_brackets_recorded_values(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut values = values;
+        values.sort_unstable();
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min(), values[0]);
+        prop_assert_eq!(snap.max(), *values.last().unwrap());
+        for p in [50.0, 95.0, 99.0] {
+            let reported = snap.percentile(p);
+            // The reported value is the bucket midpoint of a recorded
+            // rank: bounded by the true extremes widened by one bucket.
+            let lo_idx = Histogram::bucket_index(values[0]);
+            let hi_idx = Histogram::bucket_index(*values.last().unwrap());
+            prop_assert!(reported >= Histogram::bucket_lower(lo_idx));
+            prop_assert!(
+                reported < Histogram::bucket_lower(hi_idx) + Histogram::bucket_width(hi_idx)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot consistency under concurrent recorders.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn concurrent_snapshots_are_internally_consistent(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 50..200),
+            2..5,
+        ),
+    ) {
+        let hist = Arc::new(Histogram::new());
+        let expected_count: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        let expected_sum: u64 = per_thread.iter().flatten().sum();
+
+        let recorders: Vec<_> = per_thread
+            .into_iter()
+            .map(|values| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for v in values {
+                        hist.record(v);
+                    }
+                })
+            })
+            .collect();
+        // Snapshot while recorders are running: every snapshot must be
+        // internally consistent (count = Σ buckets, by construction
+        // checked via percentile never exceeding the global max seen).
+        let snapshotter = {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                // No recorded value exceeds 100_000, so no percentile
+                // may exceed that value's bucket upper bound.
+                let top = Histogram::bucket_index(100_000);
+                let bound = Histogram::bucket_lower(top) + Histogram::bucket_width(top) - 1;
+                let mut last_count = 0u64;
+                for _ in 0..100 {
+                    let snap = hist.snapshot();
+                    assert!(snap.count >= last_count, "snapshot count went backwards");
+                    assert!(snap.percentile(100.0) <= bound);
+                    last_count = snap.count;
+                }
+            })
+        };
+        for r in recorders {
+            r.join().unwrap();
+        }
+        snapshotter.join().unwrap();
+
+        let final_snap = hist.snapshot();
+        prop_assert_eq!(final_snap.count, expected_count);
+        prop_assert_eq!(final_snap.sum, expected_sum);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ring-buffer wraparound ordering.
+// ---------------------------------------------------------------------
+
+#[test]
+fn event_ring_wraparound_keeps_newest_in_order() {
+    let ring = EventLog::new(8);
+    for i in 0..20 {
+        ring.record(Level::Info, "test", format!("event-{i}"));
+    }
+    assert_eq!(ring.recorded(), 20);
+    let events = ring.snapshot();
+    assert_eq!(events.len(), 8, "ring retains exactly its capacity");
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, (12..20).collect::<Vec<u64>>());
+    for e in &events {
+        assert_eq!(e.message, format!("event-{}", e.seq));
+    }
+}
+
+#[test]
+fn event_ring_concurrent_writers_keep_total_order() {
+    let ring = Arc::new(EventLog::new(64));
+    let writers: Vec<_> = (0..4)
+        .map(|t| {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    ring.record(Level::Debug, "race", format!("t{t}-{i}"));
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    assert_eq!(ring.recorded(), 400);
+    let events = ring.snapshot();
+    assert_eq!(events.len(), 64);
+    // Strictly ascending, all from the newest window.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+    assert!(events.iter().all(|e| e.seq >= 400 - 64));
+}
+
+// ---------------------------------------------------------------------
+// Registry, stages, merge.
+// ---------------------------------------------------------------------
+
+#[test]
+fn registry_handles_are_shared_and_snapshots_merge() {
+    let a = Registry::new();
+    a.counter("commit.rounds").add(3);
+    a.counter("commit.rounds").add(2); // same underlying counter
+    a.gauge("durability.queue_depth").add(5);
+    a.gauge("durability.queue_depth").add(-2);
+    a.histogram("durability.fsync_ns").record(1000);
+
+    let b = Registry::new();
+    b.counter("commit.rounds").add(10);
+    b.gauge("durability.queue_depth").add(1);
+    b.histogram("durability.fsync_ns").record(3000);
+
+    let mut merged = MetricsSnapshot::default();
+    merged.merge(&a.snapshot());
+    merged.merge(&b.snapshot());
+    assert_eq!(merged.counter("commit.rounds"), 15);
+    let gauge = merged.gauges["durability.queue_depth"];
+    assert_eq!(gauge.value, 4);
+    assert_eq!(gauge.max, 5);
+    let hist = merged.histogram("durability.fsync_ns");
+    assert_eq!(hist.count, 2);
+    assert_eq!(hist.sum, 4000);
+    let json = merged.to_json();
+    assert!(json.contains("\"commit.rounds\": 15"), "{json}");
+    assert!(json.contains("\"count\": 2"), "{json}");
+}
+
+#[test]
+fn stage_timers_tile_a_stopwatch() {
+    let registry = Registry::new();
+    let timers = StageTimers::new(&registry);
+    let mut watch = Stopwatch::new();
+    let t0 = std::time::Instant::now();
+    for stage in Stage::ALL {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        timers.record(stage, watch.lap_ns());
+    }
+    let total = t0.elapsed().as_nanos() as u64;
+    let snap = registry.snapshot();
+    let staged: u64 = Stage::ALL
+        .iter()
+        .map(|s| snap.histogram(s.metric_name()).sum)
+        .sum();
+    for stage in Stage::ALL {
+        assert_eq!(snap.histogram(stage.metric_name()).count, 1);
+    }
+    // Laps are contiguous: the staged sum reproduces the wall clock to
+    // within the final lap-to-elapsed measurement gap.
+    let tolerance = total / 5 + 1_000_000;
+    assert!(
+        staged <= total && total - staged < tolerance,
+        "staged {staged} vs total {total}"
+    );
+}
+
+#[test]
+fn empty_histogram_snapshot_is_sane() {
+    let snap = HistogramSnapshot::default();
+    assert!(snap.is_empty());
+    assert_eq!(snap.percentile(50.0), 0);
+    assert_eq!(snap.min(), 0);
+    assert_eq!(snap.max(), 0);
+    assert_eq!(snap.mean(), 0.0);
+    assert!(snap.entries().is_empty());
+}

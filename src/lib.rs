@@ -25,4 +25,5 @@ pub use fides_net as net;
 pub use fides_ordserv as ordserv;
 pub use fides_read as read;
 pub use fides_store as store;
+pub use fides_telemetry as telemetry;
 pub use fides_workload as workload;
