@@ -70,6 +70,13 @@ struct Args {
     /// Write the sweep JSON here (e.g. `BENCH_PR6.json`) instead of
     /// stdout only.
     out: Option<String>,
+    /// Rotate commit leadership by block height (`height % n`) and
+    /// overlap consecutive rounds across leaders.
+    rotate: bool,
+    /// Pipelined WAL writer gather window: how long the writer keeps
+    /// collecting appends past its greedy drain before the covering
+    /// fsync (raises `fsync_batch_mean` under overlapped rounds).
+    gather: Duration,
 }
 
 fn consistency_str(c: ReadConsistency) -> String {
@@ -112,7 +119,8 @@ fn usage() -> ! {
          \x20                 [--inflight D] [--kill-restart SECS] [--label NAME] [--json]\n\
          \x20                 [--read-pct P] [--consistency fresh|bounded:K|at:H]\n\
          \x20                 [--reads-via-commit] [--check-baseline FILE]\n\
-         \x20                 [--workers N] [--sweep-workers N,N,...] [--out FILE]"
+         \x20                 [--workers N] [--sweep-workers N,N,...] [--out FILE]\n\
+         \x20                 [--rotate] [--gather-ms MS]"
     );
     std::process::exit(2);
 }
@@ -140,6 +148,8 @@ fn parse_args() -> Args {
         workers: None,
         sweep_workers: None,
         out: None,
+        rotate: false,
+        gather: Duration::ZERO,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -222,6 +232,11 @@ fn parse_args() -> Args {
                     Some(l) if !l.is_empty() => l,
                     _ => usage(),
                 });
+            }
+            "--rotate" => args.rotate = true,
+            "--gather-ms" => {
+                let ms: f64 = value(&mut it).parse().unwrap_or_else(|_| usage());
+                args.gather = Duration::from_secs_f64(ms.max(0.0) / 1e3);
             }
             "--out" => args.out = Some(value(&mut it)),
             "--label" => args.label = value(&mut it),
@@ -317,6 +332,7 @@ fn run(args: &Args) -> RunResult {
         .items_per_shard(args.items_per_shard)
         .batch_size(args.batch)
         .protocol(CommitProtocol::TfCommit)
+        .rotate_leaders(args.rotate)
         .max_clients(args.clients)
         .flush_interval(args.flush);
     if args.kill_restart.is_some() {
@@ -355,7 +371,8 @@ fn run(args: &Args) -> RunResult {
                     sync,
                     ..WalConfig::default()
                 })
-                .snapshot_interval(args.snapshot_interval),
+                .snapshot_interval(args.snapshot_interval)
+                .gather_window(args.gather),
         );
     }
 
@@ -690,7 +707,8 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
         .map_or(0, |g| g.max);
     format!(
         "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \"batch\": {},\n  \
-         \"items_per_shard\": {},\n  \"policy\": \"{}\",\n  \"duration_s\": {:.3},\n  \
+         \"items_per_shard\": {},\n  \"policy\": \"{}\",\n  \"rotate\": {},\n  \
+         \"gather_ms\": {:.3},\n  \"duration_s\": {:.3},\n  \
          \"committed\": {},\n  \"aborted\": {},\n  \"txns_per_sec\": {:.1},\n  \
          \"p50_ms\": {:.3},\n  \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"blocks\": {},\n  \
          \"rounds\": {},\n  \"round_ms\": {:.3},\n  \"round_timeouts\": {},\n  \
@@ -703,6 +721,8 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
         args.batch,
         args.items_per_shard,
         args.policy.as_str(),
+        args.rotate,
+        args.gather.as_secs_f64() * 1e3,
         r.elapsed.as_secs_f64(),
         r.committed,
         r.aborted,
@@ -766,6 +786,43 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
             _ => base.push(flag),
         }
     }
+
+    // Headline point: one child at the invoked worker configuration
+    // (no pinned pool width), whose numbers land at the top level of
+    // the document — directly comparable with earlier BENCH_PR*.json
+    // single-run files.
+    log_info!("bench", "headline run...");
+    let headline_out = std::process::Command::new(&exe)
+        .args(&base)
+        .arg("--json")
+        .output()
+        .expect("spawn headline child");
+    let headline = String::from_utf8_lossy(&headline_out.stdout).into_owned();
+    if !headline_out.status.success() {
+        log_error!(
+            "bench",
+            "headline child failed:\n{}",
+            String::from_utf8_lossy(&headline_out.stderr)
+        );
+        std::process::exit(1);
+    }
+    let headline_field = |key: &str| {
+        json_number(&headline, key).unwrap_or_else(|| {
+            log_error!("bench", "headline child emitted no {key}:\n{headline}");
+            std::process::exit(1);
+        })
+    };
+    let headline_txns = headline_field("txns_per_sec");
+    let headline_committed = headline_field("committed");
+    let headline_aborted = headline_field("aborted");
+    let headline_p50 = headline_field("p50_ms");
+    let headline_p99 = headline_field("p99_ms");
+    let headline_fsync_mean = headline_field("fsync_batch_mean");
+    log_info!(
+        "bench",
+        "  headline: {headline_txns:.0} txns/s (p50 {headline_p50:.2} ms, \
+         fsync batch x{headline_fsync_mean:.2})"
+    );
 
     log_info!("bench", "primitive microbenches (before/after)...");
     let primitives = fides_bench::primitives::run();
@@ -840,13 +897,25 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
         .collect();
     let json = format!(
         "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \
-         \"policy\": \"{}\",\n  \"duration_s\": {:.1},\n  \"sweep\": [\n{}\n  ],\n  \
+         \"policy\": \"{}\",\n  \"rotate\": {},\n  \"gather_ms\": {:.3},\n  \
+         \"duration_s\": {:.1},\n  \
+         \"txns_per_sec\": {:.1},\n  \"committed\": {:.0},\n  \"aborted\": {:.0},\n  \
+         \"p50_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"fsync_batch_mean\": {:.2},\n  \
+         \"sweep\": [\n{}\n  ],\n  \
          \"speedup_vs_1_worker\": [{}],\n  \"primitives\": {}\n}}",
         args.label,
         args.servers,
         args.clients,
         args.policy.as_str(),
+        args.rotate,
+        args.gather.as_secs_f64() * 1e3,
         args.duration.as_secs_f64(),
+        headline_txns,
+        headline_committed,
+        headline_aborted,
+        headline_p50,
+        headline_p99,
+        headline_fsync_mean,
         sweep_json.join(",\n"),
         scaling.join(", "),
         fides_bench::primitives::to_json(&primitives),

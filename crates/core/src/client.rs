@@ -24,7 +24,7 @@ use fides_store::types::{Key, Timestamp, Value};
 
 use crate::messages::{CommitProtocol, Message, ReadRefusal, TxnHandle};
 use crate::partition::Partitioner;
-use crate::server::{client_node, server_node, Directory, COORDINATOR_IDX};
+use crate::server::{client_node, server_node, Directory};
 
 /// A shared monotone counter from which clients derive commit
 /// timestamps.
@@ -285,6 +285,14 @@ pub struct ClientSession {
     /// Verified-read-plane state (`None` until
     /// [`ClientSession::with_read_context`] attaches it).
     read: Option<ReadContext>,
+    /// The cluster rotates commit leadership by height
+    /// ([`crate::server::leader_for_height`]): end-txn traffic aims at
+    /// the estimated frontier leader instead of the fixed coordinator.
+    rotate_leaders: bool,
+    /// Estimated next block height, advanced by every outcome observed.
+    /// A stale estimate only mis-aims an end-txn, which the receiving
+    /// server forwards to the true leader.
+    est_height: u64,
 }
 
 /// The verified read plane's client-side state.
@@ -391,7 +399,32 @@ impl ClientSession {
             op_timeout: Duration::from_secs(10),
             stash: std::collections::VecDeque::new(),
             read: None,
+            rotate_leaders: false,
+            est_height: 0,
         }
+    }
+
+    /// Enables rotating-leadership targeting: end-txn traffic goes to
+    /// `leader_for_height(estimated next height)` instead of the fixed
+    /// coordinator. Wired by [`crate::system::FidesCluster::client`]
+    /// when the cluster rotates.
+    pub fn with_rotation(mut self, rotate: bool) -> Self {
+        self.rotate_leaders = rotate;
+        self
+    }
+
+    /// Where to aim the next end-transaction request.
+    fn commit_target(&self) -> u32 {
+        crate::server::leader_for_height(
+            self.est_height,
+            self.partitioner.n_servers(),
+            self.rotate_leaders,
+        )
+    }
+
+    /// Folds an observed outcome height into the frontier estimate.
+    fn note_outcome_height(&mut self, height: u64) {
+        self.est_height = self.est_height.max(height + 1);
     }
 
     /// Attaches the verified read plane: the trusted genesis composite
@@ -645,7 +678,7 @@ impl ClientSession {
                 read_set: txn.reads.clone(),
                 write_set: txn.writes.clone(),
             };
-            self.send_to(COORDINATOR_IDX, &Message::EndTxn { handle, record });
+            self.send_to(self.commit_target(), &Message::EndTxn { handle, record });
 
             enum Reply {
                 Outcome(Box<Block>),
@@ -692,6 +725,7 @@ impl ClientSession {
                     self.oracle
                         .advance_to(block.max_txn_ts().map_or(0, |t| t.counter()));
                     let height = block.height;
+                    self.note_outcome_height(height);
                     let committed =
                         block.decision == Decision::Commit && block.txns.iter().any(|t| t.id == ts);
                     return Ok(if committed {
@@ -926,7 +960,7 @@ impl ClientSession {
             write_set: txn.writes.clone(),
         };
         self.send_to(
-            COORDINATOR_IDX,
+            self.commit_target(),
             &Message::EndTxn {
                 handle: txn.handle,
                 record: record.clone(),
@@ -982,6 +1016,7 @@ impl ClientSession {
                 Message::Outcome { handles, block } => {
                     self.oracle
                         .advance_to(block.max_txn_ts().map_or(0, |t| t.counter()));
+                    self.note_outcome_height(block.height);
                     let block = Box::new(block);
                     for handle in handles {
                         if let Some(at) = pending.iter().position(|p| p.handle == handle) {
@@ -1019,7 +1054,8 @@ impl ClientSession {
                             handle,
                             record: commit.record.clone(),
                         };
-                        self.send_to(COORDINATOR_IDX, &msg);
+                        let target = self.commit_target();
+                        self.send_to(target, &msg);
                     }
                 }
                 _ => {}

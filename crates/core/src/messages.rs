@@ -101,6 +101,12 @@ pub enum Refusal {
     /// to co-sign a second block at an occupied height. Refusing keeps
     /// an honest cohort from ever signing a fork.
     StaleHeight,
+    /// Under rotating leadership the challenge came from a server that
+    /// is not `height % n` — the designated leader for that height.
+    /// Refusing extends the double-sign guard to rotation: even a
+    /// Byzantine server that races the schedule cannot gather a full
+    /// co-signature out of turn.
+    WrongLeader,
 }
 
 impl fmt::Display for Refusal {
@@ -111,6 +117,7 @@ impl fmt::Display for Refusal {
             Refusal::BadChallenge => write!(f, "challenge does not match H(X || block)"),
             Refusal::DecisionInconsistent => write!(f, "decision inconsistent with roots"),
             Refusal::StaleHeight => write!(f, "round height already occupied in this log"),
+            Refusal::WrongLeader => write!(f, "challenge from a non-leader for this height"),
         }
     }
 }
@@ -163,6 +170,18 @@ pub enum Message {
     /// The coordinator refused the request (stale timestamp); the client
     /// should retry with a timestamp above `hint`.
     EndTxnRejected { handle: TxnHandle, hint: Timestamp },
+    /// Server-to-server forwarding of a pending [`Message::EndTxn`]
+    /// under rotating leadership: a server holding client requests that
+    /// is not the leader for the frontier height hands them to the
+    /// server that is, preserving the original client identity so the
+    /// new leader can route the outcome. Keeps the chain live when
+    /// clients (by staleness or crash timing) target the wrong leader.
+    EndTxnFwd {
+        /// Raw node id of the client that issued the transaction.
+        client: u32,
+        handle: TxnHandle,
+        record: TxnRecord,
+    },
     /// Final outcome: the signed block containing the client's
     /// transaction(s) — one message resolves **every** commit this
     /// client had in the block, so the coordinator signs (and the
@@ -473,6 +492,7 @@ impl Message {
             Message::WriteAck { .. } => "write-ack",
             Message::EndTxn { .. } => "end-txn",
             Message::EndTxnRejected { .. } => "end-txn-rejected",
+            Message::EndTxnFwd { .. } => "end-txn-fwd",
             Message::Outcome { .. } => "outcome",
             Message::GetVote { .. } => "get-vote",
             Message::Vote { .. } => "vote",
@@ -567,6 +587,7 @@ impl Encodable for Refusal {
             Refusal::BadChallenge => 2,
             Refusal::DecisionInconsistent => 3,
             Refusal::StaleHeight => 4,
+            Refusal::WrongLeader => 5,
         });
     }
 }
@@ -579,9 +600,23 @@ impl Decodable for Refusal {
             2 => Ok(Refusal::BadChallenge),
             3 => Ok(Refusal::DecisionInconsistent),
             4 => Ok(Refusal::StaleHeight),
+            5 => Ok(Refusal::WrongLeader),
             t => Err(DecodeError::InvalidTag(t)),
         }
     }
+}
+
+/// Encodes a [`Message::Outcome`] wire payload from **pre-encoded**
+/// block bytes. The block dominates the payload for batch-sized rounds;
+/// the outcome fan-out encodes it once per block and reuses the bytes
+/// across every per-client envelope instead of re-encoding per client.
+/// Must stay byte-identical to the `Message::Outcome` arm below.
+pub fn encode_outcome_payload(handles: &[TxnHandle], block_bytes: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u8(8); // Message::Outcome wire tag
+    enc.put_seq(handles, |e, h| h.encode_into(e));
+    enc.put_fixed(block_bytes);
+    enc.into_bytes()
 }
 
 impl Encodable for Message {
@@ -814,6 +849,16 @@ impl Encodable for Message {
                 enc.put_u8(33);
                 enc.put_seq(headers, |e, h| h.encode_into(e));
             }
+            Message::EndTxnFwd {
+                client,
+                handle,
+                record,
+            } => {
+                enc.put_u8(34);
+                enc.put_u32(*client);
+                handle.encode_into(enc);
+                record.encode_into(enc);
+            }
         }
     }
 }
@@ -984,6 +1029,11 @@ impl Decodable for Message {
             33 => Message::RootAnnounce {
                 headers: dec.take_seq(BlockHeader::decode_from)?,
             },
+            34 => Message::EndTxnFwd {
+                client: dec.take_u32()?,
+                handle: TxnHandle::decode_from(dec)?,
+                record: TxnRecord::decode_from(dec)?,
+            },
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -1073,6 +1123,11 @@ mod tests {
             handle,
             hint: Timestamp::new(50, 0),
         });
+        roundtrip(Message::EndTxnFwd {
+            client: 5,
+            handle,
+            record: sample_record(),
+        });
         let block = BlockBuilder::new(0, Digest::ZERO)
             .txn(sample_record())
             .decision(Decision::Commit)
@@ -1129,6 +1184,10 @@ mod tests {
         roundtrip(Message::Response {
             height: 4,
             result: Err(Refusal::RootMismatch),
+        });
+        roundtrip(Message::Response {
+            height: 4,
+            result: Err(Refusal::WrongLeader),
         });
         roundtrip(Message::Decision { block });
     }

@@ -105,6 +105,14 @@ pub struct PersistenceConfig {
     /// fsync (immediately under inline policies, from the WAL writer
     /// under `SyncPolicy::Pipelined`).
     pub quorum_acks: bool,
+    /// How long the pipelined WAL writer keeps gathering appends after
+    /// its greedy queue drain before issuing the covering fsync (see
+    /// [`fides_durability::PipelineConfig::gather_window`]). Zero — the
+    /// default — fsyncs as soon as the queue runs dry. A small window
+    /// lets overlapped commit rounds share one disk round-trip (the
+    /// `durability.batch_blocks` mean rises above 1). Ignored under
+    /// inline durability.
+    pub gather_window: std::time::Duration,
 }
 
 impl PersistenceConfig {
@@ -118,6 +126,7 @@ impl PersistenceConfig {
             archive_pruned: true,
             mirror_checkpoints: true,
             quorum_acks: false,
+            gather_window: std::time::Duration::ZERO,
         }
     }
 
@@ -131,6 +140,7 @@ impl PersistenceConfig {
             archive_pruned: true,
             mirror_checkpoints: true,
             quorum_acks: false,
+            gather_window: std::time::Duration::ZERO,
         }
     }
 
@@ -171,6 +181,13 @@ impl PersistenceConfig {
     /// [`PersistenceConfig::quorum_acks`]).
     pub fn quorum_acks(mut self, quorum: bool) -> Self {
         self.quorum_acks = quorum;
+        self
+    }
+
+    /// Sets the pipelined writer's append-gather window (see
+    /// [`PersistenceConfig::gather_window`]).
+    pub fn gather_window(mut self, window: std::time::Duration) -> Self {
+        self.gather_window = window;
         self
     }
 
@@ -495,6 +512,7 @@ fn build_durability(
                 durable_height,
                 PipelineConfig {
                     prune_wal: persistence.prune_wal,
+                    gather_window: persistence.gather_window,
                 },
             ),
             snapshot_interval: persistence.snapshot_interval,

@@ -95,6 +95,21 @@ pub struct ExecState {
     /// (out-of-order delivery). They are verified **in batch** and
     /// applied as soon as the gap closes (the catch-up loop).
     pending_decisions: BTreeMap<u64, Block>,
+    /// Rotation: `GetVote` rounds that arrived ahead of this server's
+    /// log tip — the next leader raced this cohort's application of the
+    /// previous decision. Voted as soon as catch-up closes the gap.
+    gated_votes: BTreeMap<u64, (NodeId, PartialBlock)>,
+    /// Rotation: `Challenge` phases that arrived ahead of the log tip,
+    /// replayed after catch-up (same race as `gated_votes`).
+    gated_challenges: BTreeMap<
+        u64,
+        (
+            NodeId,
+            Box<Block>,
+            cosi::Commitment,
+            fides_crypto::scalar::Scalar,
+        ),
+    >,
 }
 
 /// Where the co-signed root covering a shard's current state lives —
@@ -159,6 +174,12 @@ pub struct ShardStage {
     /// Provenance of the co-signed root covering the shard's current
     /// state (the verified read plane's trust anchor).
     pub last_root: RootProvenance,
+    /// Newest committed write timestamp per key, across **all** shards
+    /// (every server applies every commit block). The leader's batch
+    /// former consults this to keep transactions whose read set is
+    /// already overwritten — certain to abort under OCC — out of clean
+    /// blocks ([`Server::select_batch`]).
+    pub write_watermarks: HashMap<Key, Timestamp>,
 }
 
 /// A mirror's read-serving state, built once per mirrored checkpoint
@@ -239,6 +260,17 @@ pub struct RoundStats {
     pub aborted_txns: u64,
 }
 
+impl RoundStats {
+    /// Folds another server's stats in — under rotating leadership the
+    /// cluster's round accounting is the sum over every leader.
+    pub fn merge(&mut self, other: &RoundStats) {
+        self.rounds += other.rounds;
+        self.round_nanos += other.round_nanos;
+        self.committed_txns += other.committed_txns;
+        self.aborted_txns += other.aborted_txns;
+    }
+}
+
 impl ServerState {
     pub(crate) fn new(idx: u32, shard: AuthenticatedShard, behavior: Behavior) -> Self {
         ServerState {
@@ -250,6 +282,7 @@ impl ServerState {
                 last_committed: Timestamp::ZERO,
                 applied_height: 0,
                 last_root: RootProvenance::Genesis,
+                write_watermarks: HashMap::new(),
             }),
             ledger: parking_lot::Mutex::new(LedgerStage::default()),
             durability: parking_lot::Mutex::new(None),
@@ -284,6 +317,7 @@ impl ServerState {
                 last_committed: recovered.last_committed,
                 applied_height,
                 last_root,
+                write_watermarks: watermarks_from_log(&recovered.log),
             }),
             ledger: parking_lot::Mutex::new(LedgerStage {
                 log: recovered.log,
@@ -522,6 +556,12 @@ pub struct ServerConfig {
     /// block durable (see
     /// [`crate::recovery::PersistenceConfig::quorum_acks`]).
     pub quorum_acks: bool,
+    /// Rotate commit leadership deterministically by block height
+    /// (`height % n_servers`) instead of pinning every round on
+    /// [`COORDINATOR_IDX`]. TFCommit only; under rotation every server
+    /// accepts end-transaction traffic and forwards queued work to the
+    /// frontier leader ([`Message::EndTxnFwd`]) so no batch starves.
+    pub rotate_leaders: bool,
 }
 
 /// The running server: message loop plus protocol handlers.
@@ -565,10 +605,25 @@ struct PendingTxn {
     handle: TxnHandle,
     client: NodeId,
     record: TxnRecord,
+    /// Rounds this transaction sat out because the leader's write
+    /// watermarks already doom its read set (see
+    /// [`Server::select_batch`]). Bounded by [`MAX_DOOMED_DEFERRALS`].
+    deferrals: u32,
 }
 
 /// Blocks fetched per `RepairRequest` round trip.
 const REPAIR_CHUNK: u32 = 64;
+
+/// Cap on rounds parked in [`ExecState::gated_votes`] /
+/// [`ExecState::gated_challenges`] (same bound as buffered decisions —
+/// a Byzantine leader cannot balloon cohort memory with far-future
+/// rounds).
+const MAX_GATED_ROUNDS: usize = 1024;
+
+/// How many rounds a doomed transaction (read set already overwritten
+/// per the leader's write watermarks) may be held out of clean batches
+/// before it is flushed into a dedicated abort round anyway.
+const MAX_DOOMED_DEFERRALS: u32 = 4;
 
 /// Minimum spacing between repair-gap gossip broadcasts.
 const REPAIR_QUERY_GAP: Duration = Duration::from_millis(100);
@@ -674,6 +729,19 @@ impl QuorumAcks {
 /// The coordinator index (the "designated server", §4.1).
 pub const COORDINATOR_IDX: u32 = 0;
 
+/// The commit leader for block `height`: `height % n_servers` under
+/// rotating leadership ([`ServerConfig::rotate_leaders`]), the fixed
+/// [`COORDINATOR_IDX`] otherwise. Clients use this to aim end-txn
+/// traffic at the server that will form the next block; a miss is
+/// harmless (the receiver forwards via [`Message::EndTxnFwd`]).
+pub fn leader_for_height(height: u64, n_servers: u32, rotate: bool) -> u32 {
+    if rotate {
+        (height % n_servers.max(1) as u64) as u32
+    } else {
+        COORDINATOR_IDX
+    }
+}
+
 /// Computes the node id of server `idx` (servers occupy the low id
 /// range).
 pub fn server_node(idx: u32) -> NodeId {
@@ -735,15 +803,19 @@ impl Server {
         if let Some(Durability::Pipelined { pipeline, .. }) = state.durability.lock().as_ref() {
             pipeline.set_metrics(state.telemetry.pipeline_metrics());
         }
-        let quorum = (config.quorum_acks && config.idx == COORDINATOR_IDX).then(|| {
-            Arc::new(QuorumAcks {
-                quorum: (config.n_servers as usize / 2) + 1,
-                sender: endpoint.sender(),
-                keypair,
-                from: endpoint.node(),
-                inner: parking_lot::Mutex::new(QuorumInner::default()),
-            })
-        });
+        // Under rotation every server leads some heights, so every
+        // server needs the quorum tracker for the outcomes it withholds.
+        let quorum = (config.quorum_acks
+            && (config.idx == COORDINATOR_IDX || config.rotate_leaders))
+            .then(|| {
+                Arc::new(QuorumAcks {
+                    quorum: (config.n_servers as usize / 2) + 1,
+                    sender: endpoint.sender(),
+                    keypair,
+                    from: endpoint.node(),
+                    inner: parking_lot::Mutex::new(QuorumInner::default()),
+                })
+            });
         let server = Server {
             state: Arc::clone(&state),
             endpoint,
@@ -767,6 +839,34 @@ impl Server {
         self.config.idx == COORDINATOR_IDX
     }
 
+    /// Whether deterministic leader rotation is active (TFCommit only —
+    /// 2PC keeps the fixed designated coordinator).
+    fn rotation_on(&self) -> bool {
+        self.config.rotate_leaders && matches!(self.config.protocol, CommitProtocol::TfCommit)
+    }
+
+    /// The leader of the round at `height`.
+    fn leader_of(&self, height: u64) -> u32 {
+        leader_for_height(height, self.config.n_servers, self.rotation_on())
+    }
+
+    /// The height the next formed block will occupy — the frontier
+    /// round. Takes the ledger lock; never call while holding a stage
+    /// lock.
+    fn frontier_height(&self) -> u64 {
+        self.state.ledger.lock().log.next_height()
+    }
+
+    /// Whether this server leads the frontier round (and may therefore
+    /// form the next batch).
+    fn leads_frontier(&self) -> bool {
+        if self.rotation_on() {
+            self.leader_of(self.frontier_height()) == self.config.idx
+        } else {
+            self.is_coordinator()
+        }
+    }
+
     /// The server's message loop. Returns when a `Shutdown` message
     /// arrives or the network disappears.
     ///
@@ -783,7 +883,7 @@ impl Server {
         }
         while self.running {
             let timeout = match self.batch_deadline {
-                Some(deadline) if self.is_coordinator() => deadline
+                Some(deadline) if self.is_coordinator() || self.rotation_on() => deadline
                     .saturating_duration_since(Instant::now())
                     .min(self.config.flush_interval),
                 _ => self.config.flush_interval,
@@ -792,10 +892,12 @@ impl Server {
                 Ok((from, msg)) => {
                     self.dispatch(from, msg);
                     self.drive_rounds();
+                    self.maybe_forward_pending();
                     self.drive_repair();
                 }
                 Err(fides_net::RecvError::Timeout) => {
                     self.drive_rounds();
+                    self.maybe_forward_pending();
                     self.drive_repair();
                 }
                 Err(fides_net::RecvError::Disconnected) => break,
@@ -840,7 +942,7 @@ impl Server {
         if self.repair_task.is_some() || self.state.is_repairing() {
             return;
         }
-        while self.running && self.is_coordinator() && !self.pending.is_empty() {
+        while self.running && self.leads_frontier() && !self.pending.is_empty() {
             let due = self.pending.len() >= self.config.batch_size
                 || self
                     .batch_deadline
@@ -860,6 +962,49 @@ impl Server {
                 break; // nothing progressed (all deferred)
             }
         }
+    }
+
+    /// Rotation liveness *and* batch concentration: a server holding
+    /// queued end-txns it does not lead at the frontier (clients aim at
+    /// an estimated leader and may race a leadership change) hands them
+    /// to the frontier leader immediately. Forwarding eagerly — rather
+    /// than waiting out the batch deadline — keeps the whole cluster's
+    /// backlog concentrated at the one server about to run a round, so
+    /// rotating blocks stay as full as fixed-coordinator blocks. A
+    /// forward that races another leadership change simply hops again
+    /// from the new recipient until it lands on the current leader.
+    fn maybe_forward_pending(&mut self) {
+        if !self.rotation_on()
+            || self.pending.is_empty()
+            || self.repair_task.is_some()
+            || self.state.is_repairing()
+        {
+            return;
+        }
+        if !self.leads_frontier() {
+            self.forward_pending();
+        }
+    }
+
+    /// Sends every queued end-txn to the frontier leader as
+    /// [`Message::EndTxnFwd`]. The forward carries the originating
+    /// client's raw node id so the leader answers the client directly.
+    fn forward_pending(&mut self) {
+        let leader = self.leader_of(self.frontier_height());
+        if leader == self.config.idx {
+            return;
+        }
+        for txn in std::mem::take(&mut self.pending) {
+            self.send(
+                server_node(leader),
+                &Message::EndTxnFwd {
+                    client: txn.client.raw(),
+                    handle: txn.handle,
+                    record: txn.record,
+                },
+            );
+        }
+        self.batch_deadline = None;
     }
 
     fn send(&self, to: NodeId, msg: &Message) {
@@ -886,12 +1031,19 @@ impl Server {
                 // is pending.
                 self.handle_end_txn(from, handle, record);
             }
-            Message::Flush
-                if self.is_coordinator()
-                    && !self.pending.is_empty()
-                    && !self.state.is_repairing() =>
-            {
-                self.run_round();
+            Message::EndTxnFwd {
+                client,
+                handle,
+                record,
+            } if self.rotation_on() && from.raw() < self.config.n_servers => {
+                self.enqueue_end_txn(NodeId::new(client), handle, record);
+            }
+            Message::Flush if !self.pending.is_empty() && !self.state.is_repairing() => {
+                if self.leads_frontier() {
+                    self.run_round();
+                } else if self.rotation_on() {
+                    self.forward_pending();
+                }
             }
             Message::GetVote { partial } => self.handle_get_vote(from, partial),
             Message::Challenge {
@@ -1014,24 +1166,36 @@ impl Server {
     }
 
     fn handle_end_txn(&mut self, from: NodeId, handle: TxnHandle, record: TxnRecord) {
-        if !self.is_coordinator() {
+        if !self.is_coordinator() && !self.rotation_on() {
             return; // only the designated coordinator terminates txns
         }
+        self.enqueue_end_txn(from, handle, record);
+    }
+
+    /// Queues a termination request (from a client directly, or relayed
+    /// by a peer via [`Message::EndTxnFwd`]). Under rotation every
+    /// server queues; a non-leader hands its queue to the frontier
+    /// leader when the batch deadline passes.
+    fn enqueue_end_txn(&mut self, client: NodeId, handle: TxnHandle, record: TxnRecord) {
         let last = self.state.last_committed();
         if record.id <= last {
             // §4.3.1: "servers ignore any end transaction request with a
             // timestamp lower than the latest committed timestamp" — we
             // additionally tell the client so it can retry.
-            self.send(from, &Message::EndTxnRejected { handle, hint: last });
+            self.send(client, &Message::EndTxnRejected { handle, hint: last });
             return;
+        }
+        if self.pending.iter().any(|p| p.handle == handle) {
+            return; // forwarded duplicate of a request already queued
         }
         if self.pending.is_empty() {
             self.batch_deadline = Some(Instant::now() + self.config.flush_interval);
         }
         self.pending.push(PendingTxn {
             handle,
-            client: from,
+            client,
             record,
+            deferrals: 0,
         });
     }
 
@@ -1053,11 +1217,15 @@ impl Server {
         let record_hint = partial.encode();
         let witness = Witness::commit(&self.keypair, &round_id, &record_hint);
         let commitment = witness.commitment();
-        self.state
-            .exec
-            .lock()
-            .witnesses
-            .insert(partial.height, witness);
+        {
+            let mut exec = self.state.exec.lock();
+            exec.witnesses.insert(partial.height, witness);
+            // Open rounds from this server's view: voted, not applied.
+            self.state
+                .telemetry
+                .inflight_rounds
+                .set(exec.witnesses.len() as i64);
+        }
 
         let involved = self.involvement(&partial.txns);
         let involved_vote = if involved.contains(&self.config.idx) {
@@ -1118,6 +1286,25 @@ impl Server {
     }
 
     fn handle_get_vote(&mut self, from: NodeId, partial: PartialBlock) {
+        if self.rotation_on() {
+            if from.raw() != self.leader_of(partial.height) {
+                return; // not that round's leader — ignore
+            }
+            let tip = self.frontier_height();
+            if partial.height < tip {
+                return; // stale round; the chain moved past it
+            }
+            if partial.height > tip {
+                // The next leader raced our application of the previous
+                // decision: park the round and vote right after
+                // catch-up closes the gap.
+                let mut exec = self.state.exec.lock();
+                if exec.gated_votes.len() < MAX_GATED_ROUNDS {
+                    exec.gated_votes.insert(partial.height, (from, partial));
+                }
+                return;
+            }
+        }
         let t0 = Instant::now();
         let (commitment, involved) = self.cohort_vote(&partial);
         self.state
@@ -1203,6 +1390,41 @@ impl Server {
         challenge: fides_crypto::scalar::Scalar,
     ) {
         let height = block.height;
+        if self.rotation_on() {
+            if from.raw() != self.leader_of(height) {
+                // Fork guard, rotation case: only `height % n` may
+                // assemble the challenge for this height.
+                self.state.telemetry.events.record(
+                    Level::Warn,
+                    "commit",
+                    format!("refused to co-sign height {height}: WrongLeader"),
+                );
+                self.state
+                    .ledger
+                    .lock()
+                    .refusals
+                    .push((height, Refusal::WrongLeader));
+                self.send(
+                    from,
+                    &Message::Response {
+                        height,
+                        result: Err(Refusal::WrongLeader),
+                    },
+                );
+                return;
+            }
+            if height > self.frontier_height() {
+                // Reordered ahead of the decision we have not applied
+                // yet: park and replay after catch-up. (A height below
+                // the tip falls through to the StaleHeight refusal.)
+                let mut exec = self.state.exec.lock();
+                if exec.gated_challenges.len() < MAX_GATED_ROUNDS {
+                    exec.gated_challenges
+                        .insert(height, (from, Box::new(block), aggregate, challenge));
+                }
+                return;
+            }
+        }
         let t0 = Instant::now();
         let result = self.cohort_response(&block, &aggregate, &challenge);
         self.state
@@ -1275,6 +1497,36 @@ impl Server {
     /// stopping at the first invalid one (which cannot be linked into
     /// the chain, and whose absence will surface at the audit).
     fn catch_up(&mut self) {
+        self.catch_up_decisions();
+        self.drain_gated();
+    }
+
+    /// Rotation: replays `GetVote`/`Challenge` phases that were parked
+    /// because they arrived ahead of the log tip, now that catch-up may
+    /// have closed the gap. Entries the chain moved past are dropped.
+    fn drain_gated(&mut self) {
+        if !self.rotation_on() {
+            return;
+        }
+        let tip = self.frontier_height();
+        let (vote, challenge) = {
+            let mut exec = self.state.exec.lock();
+            exec.gated_votes.retain(|&h, _| h >= tip);
+            exec.gated_challenges.retain(|&h, _| h >= tip);
+            (
+                exec.gated_votes.remove(&tip),
+                exec.gated_challenges.remove(&tip),
+            )
+        };
+        if let Some((from, partial)) = vote {
+            self.handle_get_vote(from, partial);
+        }
+        if let Some((from, block, aggregate, scalar)) = challenge {
+            self.handle_challenge(from, *block, aggregate, scalar);
+        }
+    }
+
+    fn catch_up_decisions(&mut self) {
         if self.repair_task.is_some() {
             return; // frozen while a transfer is staging
         }
@@ -2188,7 +2440,10 @@ impl Server {
         // transferred blocks follow. With quorum acks on, a repaired
         // cohort also reports the transferred heights durable — the
         // coordinator may still be withholding outcomes for them.
-        let quorum_cohort = self.config.quorum_acks && !self.is_coordinator();
+        // Under rotation the repairer is a cohort for every height it
+        // did not lead (per-height check below where the target varies).
+        let quorum_cohort =
+            self.config.quorum_acks && (self.rotation_on() || !self.is_coordinator());
         {
             let mut durability = self.state.durability.lock();
             match durability.as_mut() {
@@ -2211,11 +2466,12 @@ impl Server {
                     }
                     for block in &task.staged {
                         pipeline.submit_block(block);
-                        if quorum_cohort {
+                        if quorum_cohort && self.leader_of(block.height) != self.config.idx {
                             let height = block.height;
                             let sender = self.endpoint.sender();
                             let keypair = self.keypair;
                             let from = self.endpoint.node();
+                            let leader = server_node(self.leader_of(height));
                             pipeline.on_durable(
                                 height,
                                 Box::new(move || {
@@ -2223,7 +2479,7 @@ impl Server {
                                     sender.send(Envelope::sign(
                                         &keypair,
                                         from,
-                                        server_node(COORDINATOR_IDX),
+                                        leader,
                                         msg.encode(),
                                     ));
                                 }),
@@ -2236,8 +2492,11 @@ impl Server {
             drop(durability);
             if quorum_cohort && inline_durable {
                 for block in &task.staged {
+                    if self.leader_of(block.height) == self.config.idx {
+                        continue;
+                    }
                     self.send(
-                        server_node(COORDINATOR_IDX),
+                        server_node(self.leader_of(block.height)),
                         &Message::Durable {
                             height: block.height,
                         },
@@ -2249,13 +2508,19 @@ impl Server {
         // watermark. The read anchor is re-derived from the installed
         // log (the staged run may or may not carry this shard's root).
         {
-            let last_root =
-                RootProvenance::from_log(&self.state.ledger.lock().log, self.config.idx);
+            let (last_root, watermarks) = {
+                let ledger = self.state.ledger.lock();
+                (
+                    RootProvenance::from_log(&ledger.log, self.config.idx),
+                    watermarks_from_log(&ledger.log),
+                )
+            };
             let mut stage = self.state.shard.lock();
             stage.shard = shard;
             stage.last_committed = last_committed;
             stage.applied_height = new_tip;
             stage.last_root = last_root;
+            stage.write_watermarks = watermarks;
         }
     }
 
@@ -2398,6 +2663,10 @@ impl Server {
             let mut exec = self.state.exec.lock();
             exec.witnesses.remove(&height);
             exec.sent_roots.remove(&height);
+            self.state
+                .telemetry
+                .inflight_rounds
+                .set(exec.witnesses.len() as i64);
         }
 
         // Stage 3 — durability. Inline modes keep the write-ahead
@@ -2407,7 +2676,8 @@ impl Server {
         // clients are acked only after the covering fsync.
         {
             let durability_start = Instant::now();
-            let quorum_cohort = self.config.quorum_acks && !self.is_coordinator();
+            let quorum_cohort =
+                self.config.quorum_acks && self.leader_of(height) != self.config.idx;
             let mut report_now = quorum_cohort;
             let mut durability = self.state.durability.lock();
             match durability.as_mut() {
@@ -2426,16 +2696,12 @@ impl Server {
                         let sender = self.endpoint.sender();
                         let keypair = self.keypair;
                         let from = self.endpoint.node();
+                        let leader = server_node(self.leader_of(height));
                         pipeline.on_durable(
                             height,
                             Box::new(move || {
                                 let msg = Message::Durable { height };
-                                sender.send(Envelope::sign(
-                                    &keypair,
-                                    from,
-                                    server_node(COORDINATOR_IDX),
-                                    msg.encode(),
-                                ));
+                                sender.send(Envelope::sign(&keypair, from, leader, msg.encode()));
                             }),
                         );
                     }
@@ -2446,7 +2712,10 @@ impl Server {
                 // Inline durability fsynced above (and a memory-only
                 // cohort has nothing a crash could take back): report
                 // immediately.
-                self.send(server_node(COORDINATOR_IDX), &Message::Durable { height });
+                self.send(
+                    server_node(self.leader_of(height)),
+                    &Message::Durable { height },
+                );
             }
             durability_ns = durability_start.elapsed().as_nanos() as u64;
         }
@@ -2479,6 +2748,17 @@ impl Server {
                         }
                         CommitProtocol::TwoPhaseCommit => {
                             stage.shard.apply_commit_store_only(txn.id, &reads, &writes);
+                        }
+                    }
+                    // Batch-former doom filter: track the newest
+                    // committed write per key across *all* shards.
+                    for w in &txn.write_set {
+                        let mark = stage
+                            .write_watermarks
+                            .entry(w.key.clone())
+                            .or_insert(txn.id);
+                        if txn.id > *mark {
+                            *mark = txn.id;
                         }
                     }
                     // Clean the paper's write buffer for this txn.
@@ -2607,6 +2887,7 @@ impl Server {
         }
         let elapsed = start.elapsed();
         self.state.telemetry.rounds.inc();
+        self.state.telemetry.rounds_led.inc();
         let mut ledger = self.state.ledger.lock();
         ledger.round_stats.rounds += 1;
         ledger.round_stats.round_nanos += elapsed.as_nanos();
@@ -2653,10 +2934,39 @@ impl Server {
             );
         }
         self.pending.sort_by_key(|p| p.record.id);
+        // Doom filter: a transaction whose read entry (key, wts) is
+        // older than the newest committed write of that key is certain
+        // to fail OCC at its owner — one such straggler makes every
+        // cohort vote abort for the whole block. Keep doomed
+        // transactions out of clean batches; they terminate through a
+        // dedicated round of their own (which aborts and gives their
+        // clients a properly co-signed abort outcome) once no clean
+        // work is pending or they have deferred [`MAX_DOOMED_DEFERRALS`]
+        // times.
+        let (clean, mut doomed): (Vec<PendingTxn>, Vec<PendingTxn>) = {
+            let stage = self.state.shard.lock();
+            self.pending.drain(..).partition(|p| {
+                !p.record.read_set.iter().any(|r| {
+                    stage
+                        .write_watermarks
+                        .get(&r.key)
+                        .is_some_and(|mark| *mark > r.wts)
+                })
+            })
+        };
+        let flush_doomed = !doomed.is_empty()
+            && (clean.is_empty() || doomed.iter().any(|p| p.deferrals >= MAX_DOOMED_DEFERRALS));
+        let (mut source, mut rest) = if flush_doomed {
+            (doomed, clean)
+        } else {
+            for p in &mut doomed {
+                p.deferrals += 1;
+            }
+            (clean, doomed)
+        };
         let mut touched: HashSet<Key> = HashSet::new();
         let mut batch = Vec::new();
-        let mut rest = Vec::new();
-        for txn in self.pending.drain(..) {
+        for txn in source.drain(..) {
             let keys: Vec<Key> = txn
                 .record
                 .read_set
@@ -2923,6 +3233,13 @@ impl Server {
                 None => per_client.push((p.client, vec![p.handle])),
             }
         }
+        // Encode the block once; every client's payload reuses the
+        // bytes (the block is the payload's dominant cost at batch
+        // sizes, and re-encoding it per client serialized the whole
+        // fan-out on the leader).
+        let block_bytes = signed.encode();
+        let payload_for =
+            |handles: &[TxnHandle]| crate::messages::encode_outcome_payload(handles, &block_bytes);
         // Quorum-durable acks: withhold the outcomes until a majority
         // of servers (this coordinator included) reports the block
         // fsync-durable — an acknowledged commit then survives the loss
@@ -2932,11 +3249,8 @@ impl Server {
                 let payloads: Vec<(NodeId, Vec<u8>)> = per_client
                     .into_iter()
                     .map(|(client, handles)| {
-                        let msg = Message::Outcome {
-                            handles,
-                            block: signed.clone(),
-                        };
-                        (client, msg.encode())
+                        let payload = payload_for(&handles);
+                        (client, payload)
                     })
                     .collect();
                 quorum.register(height, payloads);
@@ -2964,11 +3278,8 @@ impl Server {
                 let messages: Vec<(NodeId, Vec<u8>)> = per_client
                     .into_iter()
                     .map(|(client, handles)| {
-                        let msg = Message::Outcome {
-                            handles,
-                            block: signed.clone(),
-                        };
-                        (client, msg.encode())
+                        let payload = payload_for(&handles);
+                        (client, payload)
                     })
                     .collect();
                 pipeline.on_durable(
@@ -2984,13 +3295,13 @@ impl Server {
         }
         drop(durability);
         for (client, handles) in per_client {
-            self.send(
+            let payload = payload_for(&handles);
+            self.endpoint.send(Envelope::sign(
+                &self.keypair,
+                self.endpoint.node(),
                 client,
-                &Message::Outcome {
-                    handles,
-                    block: signed.clone(),
-                },
-            );
+                payload,
+            ));
         }
     }
 
@@ -3157,6 +3468,13 @@ impl Server {
                 Message::ReadMany { txn, keys } => self.handle_read_many(from, txn, keys),
                 Message::Write { txn, key, value } => self.handle_write(from, txn, key, value),
                 Message::EndTxn { handle, record } => self.handle_end_txn(from, handle, record),
+                Message::EndTxnFwd {
+                    client,
+                    handle,
+                    record,
+                } if self.rotation_on() && from.raw() < self.config.n_servers => {
+                    self.enqueue_end_txn(NodeId::new(client), handle, record);
+                }
                 // Repair-plane service and durability acks are also
                 // handled inline: a mid-round coordinator must neither
                 // starve a repairing peer nor drop quorum votes.
@@ -3210,6 +3528,29 @@ impl Server {
         }
         set
     }
+}
+
+/// Rebuilds the per-key committed-write watermarks from a log's commit
+/// blocks — the recovery and repair-install paths, where the live map
+/// cannot be patched incrementally. A checkpoint-truncated log yields a
+/// partial map, which only weakens the batch former's doom filter
+/// (stale stragglers then abort through a round, as before).
+fn watermarks_from_log(log: &TamperProofLog) -> HashMap<Key, Timestamp> {
+    let mut marks: HashMap<Key, Timestamp> = HashMap::new();
+    for block in log.blocks() {
+        if block.decision != Decision::Commit {
+            continue;
+        }
+        for txn in &block.txns {
+            for w in &txn.write_set {
+                let mark = marks.entry(w.key.clone()).or_insert(txn.id);
+                if txn.id > *mark {
+                    *mark = txn.id;
+                }
+            }
+        }
+    }
+    marks
 }
 
 /// All writes in the batch that land on `server`'s shard, in txn order.

@@ -58,6 +58,10 @@ pub struct ClusterConfig {
     /// incomplete-log violation) before the audit treats the missing
     /// tail as an omission fault after all.
     pub repair_grace: Duration,
+    /// Rotate commit leadership by block height (`height % n_servers`)
+    /// instead of pinning every round on the designated coordinator.
+    /// TFCommit only; see [`crate::server::ServerConfig::rotate_leaders`].
+    pub rotate_leaders: bool,
 }
 
 impl ClusterConfig {
@@ -76,7 +80,14 @@ impl ClusterConfig {
             initial_value: 100,
             persistence: None,
             repair_grace: Duration::from_secs(30),
+            rotate_leaders: false,
         }
+    }
+
+    /// Enables (or disables) rotating commit leadership.
+    pub fn rotate_leaders(mut self, rotate: bool) -> Self {
+        self.rotate_leaders = rotate;
+        self
     }
 
     /// Sets the number of preloaded items per shard.
@@ -338,6 +349,7 @@ impl FidesCluster {
                 .as_ref()
                 .is_some_and(|p| p.mirror_checkpoints),
             quorum_acks: config.persistence.as_ref().is_some_and(|p| p.quorum_acks),
+            rotate_leaders: config.rotate_leaders,
         }
     }
 
@@ -407,6 +419,9 @@ impl FidesCluster {
             self.config.protocol,
         )
         .with_read_context(self.genesis_roots.clone(), Arc::clone(&self.read_evidence))
+        .with_rotation(
+            self.config.rotate_leaders && matches!(self.config.protocol, CommitProtocol::TfCommit),
+        )
     }
 
     /// The deterministic genesis composite root of every shard — what a
@@ -438,15 +453,20 @@ impl FidesCluster {
         merged
     }
 
-    /// Asks the coordinator to terminate any pending partial batch.
+    /// Asks the commit leader to terminate any pending partial batch.
+    /// Under rotating leadership any server may hold queued end-txns,
+    /// so the flush goes to every server (a server with nothing queued
+    /// ignores it).
     pub fn flush(&self) {
-        let env = Envelope::sign(
-            &self.admin_kp,
-            admin_node(),
-            server_node(crate::server::COORDINATOR_IDX),
-            Message::Flush.encode(),
-        );
-        self.admin.send(env);
+        for s in 0..self.config.n_servers {
+            let env = Envelope::sign(
+                &self.admin_kp,
+                admin_node(),
+                server_node(s),
+                Message::Flush.encode(),
+            );
+            self.admin.send(env);
+        }
     }
 
     /// Waits until all *running* server logs converge to the same tip
@@ -672,10 +692,16 @@ impl FidesCluster {
         self.states.iter().map(|s| s.mht_stats()).collect()
     }
 
-    /// The coordinator's commit-round statistics (the paper's commit
-    /// latency metric).
+    /// The cluster's commit-round statistics (the paper's commit
+    /// latency metric) — summed over every server, since under rotating
+    /// leadership each leads the rounds at its heights. With the fixed
+    /// coordinator every non-coordinator contributes zeros.
     pub fn round_stats(&self) -> crate::server::RoundStats {
-        self.states[crate::server::COORDINATOR_IDX as usize].round_stats()
+        let mut stats = crate::server::RoundStats::default();
+        for state in &self.states {
+            stats.merge(&state.round_stats());
+        }
+        stats
     }
 
     /// Zeroes every server's Merkle statistics.

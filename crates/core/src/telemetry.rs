@@ -42,6 +42,15 @@ pub struct ServerTelemetry {
     pub stages: StageTimers,
     /// Commit rounds driven to completion (coordinator).
     pub rounds: Arc<Counter>,
+    /// Rounds this server led as the (possibly rotating) commit leader —
+    /// under rotation every server's count grows; the differential
+    /// tests assert leadership actually spread.
+    pub rounds_led: Arc<Counter>,
+    /// Rounds currently open from this server's point of view: votes
+    /// cast (CoSi witness live) whose decision has not yet applied. The
+    /// high watermark > 1 is the signature of overlapped rounds under
+    /// rotating leadership.
+    pub inflight_rounds: Arc<fides_telemetry::Gauge>,
     /// Rounds that hit a vote/response collection timeout.
     pub round_timeouts: Arc<Counter>,
     /// Group-commit fsync latency (recorded by the writer thread).
@@ -80,6 +89,8 @@ impl ServerTelemetry {
             events: Arc::new(EventLog::new(EVENT_CAPACITY)),
             stages,
             rounds: registry.counter("commit.rounds"),
+            rounds_led: registry.counter("commit.rounds_led"),
+            inflight_rounds: registry.gauge("commit.inflight_rounds"),
             round_timeouts: registry.counter("commit.round.timeouts"),
             fsync_ns: registry.histogram("durability.fsync_ns"),
             batch_blocks: registry.histogram("durability.batch_blocks"),
