@@ -19,9 +19,10 @@ use fides_core::client::{finalize_outcomes, PendingCommit, ReadStats, Unverified
 use fides_core::messages::CommitProtocol;
 use fides_core::recovery::PersistenceConfig;
 use fides_core::system::{ClusterConfig, FidesCluster};
-use fides_core::ReadConsistency;
+use fides_core::{Behavior, ReadConsistency};
 use fides_durability::{SyncPolicy, WalConfig};
-use fides_telemetry::{log_error, log_info, Histogram, MetricsSnapshot, Stage};
+use fides_telemetry::trace::{assemble, to_chrome_json};
+use fides_telemetry::{log_error, log_info, Histogram, MetricsSnapshot, Span, Stage, Stall};
 use fides_workload::{KeyChooser, WorkloadConfig, WorkloadGenerator};
 
 #[derive(Clone, Debug)]
@@ -77,6 +78,19 @@ struct Args {
     /// collecting appends past its greedy drain before the covering
     /// fsync (raises `fsync_batch_mean` under overlapped rounds).
     gather: Duration,
+    /// Trace 1-in-N committed transactions (sets `FIDES_TRACE_SAMPLE`
+    /// before any client starts; 0 = off). Defaults to the environment.
+    trace_sample: Option<u64>,
+    /// Write the N slowest committed-txn traces here as Chrome
+    /// trace-event JSON, plus every retained span at `FILE.all`.
+    trace_out: Option<String>,
+    /// Write the merged cluster metrics here in Prometheus text format.
+    prom_out: Option<String>,
+    /// Tracing-cost rig: re-run the workload with tracing off, 1/64,
+    /// and 1/1 (child process per point), measure watchdog detection
+    /// latency on a stalled leader, and emit one combined JSON document
+    /// (`BENCH_PR10.json` shape).
+    trace_sweep: bool,
 }
 
 fn consistency_str(c: ReadConsistency) -> String {
@@ -120,7 +134,9 @@ fn usage() -> ! {
          \x20                 [--read-pct P] [--consistency fresh|bounded:K|at:H]\n\
          \x20                 [--reads-via-commit] [--check-baseline FILE]\n\
          \x20                 [--workers N] [--sweep-workers N,N,...] [--out FILE]\n\
-         \x20                 [--rotate] [--gather-ms MS]"
+         \x20                 [--rotate] [--gather-ms MS]\n\
+         \x20                 [--trace-sample N] [--trace-out FILE] [--prom-out FILE]\n\
+         \x20                 [--trace-sweep]"
     );
     std::process::exit(2);
 }
@@ -150,6 +166,10 @@ fn parse_args() -> Args {
         out: None,
         rotate: false,
         gather: Duration::ZERO,
+        trace_sample: None,
+        trace_out: None,
+        prom_out: None,
+        trace_sweep: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -238,6 +258,12 @@ fn parse_args() -> Args {
                 let ms: f64 = value(&mut it).parse().unwrap_or_else(|_| usage());
                 args.gather = Duration::from_secs_f64(ms.max(0.0) / 1e3);
             }
+            "--trace-sample" => {
+                args.trace_sample = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--trace-out" => args.trace_out = Some(value(&mut it)),
+            "--prom-out" => args.prom_out = Some(value(&mut it)),
+            "--trace-sweep" => args.trace_sweep = true,
             "--out" => args.out = Some(value(&mut it)),
             "--label" => args.label = value(&mut it),
             "--json" => args.json = true,
@@ -273,6 +299,9 @@ struct RunResult {
     /// after settle and before shutdown — the source of the per-stage
     /// latency breakdown and durability numbers in the JSON.
     metrics: MetricsSnapshot,
+    /// Every retained fides-trace span, server sinks + client sinks
+    /// (empty unless `FIDES_TRACE_SAMPLE` was set).
+    spans: Vec<Span>,
 }
 
 #[derive(Debug)]
@@ -308,6 +337,8 @@ struct ClientOut {
     read_failed: usize,
     read_latencies_ms: Vec<f64>,
     read_stats: ReadStats,
+    /// The client's retained trace spans (empty when sampling is off).
+    spans: Vec<Span>,
 }
 
 #[derive(Debug)]
@@ -452,6 +483,7 @@ fn run(args: &Args) -> RunResult {
                     }
                 }
                 out.read_stats = client.take_read_stats();
+                out.spans = client.spans();
                 return out;
             }
             // Pipelined client: keep `depth` commits in flight; verify
@@ -528,6 +560,7 @@ fn run(args: &Args) -> RunResult {
             out.aborted += submitted - outcomes.len().min(submitted)
                 + outcomes.iter().filter(|o| !o.committed()).count();
             out.read_stats = client.take_read_stats();
+            out.spans = client.spans();
             out
         }));
     }
@@ -562,6 +595,7 @@ fn run(args: &Args) -> RunResult {
     let mut read_failed = 0usize;
     let mut read_latencies_ms: Vec<f64> = Vec::new();
     let mut read_stats = ReadStats::default();
+    let mut spans: Vec<Span> = Vec::new();
     for h in handles {
         let out = h.join().expect("client thread");
         committed += out.committed;
@@ -571,6 +605,7 @@ fn run(args: &Args) -> RunResult {
         read_failed += out.read_failed;
         read_latencies_ms.extend(out.read_latencies_ms);
         read_stats.merge(&out.read_stats);
+        spans.extend(out.spans);
     }
     let elapsed = start.elapsed();
     // Snapshot the commit counter *before* the flush/settle drain so
@@ -597,6 +632,7 @@ fn run(args: &Args) -> RunResult {
     // Server-side metrics must be read before shutdown tears the
     // states down; taken after settle so stage counts are final.
     let metrics = cluster.metrics();
+    spans.extend(cluster.dump_traces());
     cluster.shutdown();
 
     read_latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -634,6 +670,7 @@ fn run(args: &Args) -> RunResult {
         repair,
         reads: read_result,
         metrics,
+        spans,
     }
 }
 
@@ -657,6 +694,73 @@ fn stages_json(m: &MetricsSnapshot) -> String {
         })
         .collect();
     format!("{{\n{}\n  }}", per_stage.join(",\n"))
+}
+
+/// The sample rate the clients actually saw (`main` folds
+/// `--trace-sample` into the environment before any client starts).
+fn effective_trace_sample() -> u64 {
+    std::env::var("FIDES_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// How many of the slowest committed-txn traces `--trace-out` keeps in
+/// the exemplar file.
+const SLOWEST_TRACES: usize = 5;
+
+/// Writes the run's trace exemplars: the `SLOWEST_TRACES` slowest
+/// traces that retained their `client.commit` root to `path` (the file
+/// to open in `chrome://tracing`), and every retained span to
+/// `path.all`.
+fn write_trace_out(path: &str, spans: &[Span]) {
+    let trees = assemble(spans);
+    let mut commits: Vec<_> = trees
+        .iter()
+        .filter(|t| t.span("client.commit").is_some())
+        .collect();
+    commits.sort_by_key(|t| std::cmp::Reverse(t.duration_ns()));
+    let slowest: Vec<Span> = commits
+        .iter()
+        .take(SLOWEST_TRACES)
+        .flat_map(|t| t.spans.iter().cloned())
+        .collect();
+    for t in commits.iter().take(SLOWEST_TRACES) {
+        log_info!(
+            "bench",
+            "  slow trace {:#x}: {:.3} ms across {} spans",
+            t.trace_id,
+            t.duration_ns() as f64 / 1e6,
+            t.spans.len()
+        );
+    }
+    let write = |file: &str, json: String| {
+        std::fs::write(file, format!("{json}\n")).unwrap_or_else(|e| {
+            log_error!("bench", "cannot write {file}: {e}");
+            std::process::exit(1);
+        });
+    };
+    write(path, to_chrome_json(&slowest));
+    write(&format!("{path}.all"), to_chrome_json(spans));
+    log_info!(
+        "bench",
+        "wrote {path} ({} slowest of {} traces) and {path}.all ({} spans)",
+        commits.len().min(SLOWEST_TRACES),
+        commits.len(),
+        spans.len()
+    );
+}
+
+/// A failed child's stderr is its `FIDES_LOG` stream. Replay the raw
+/// bytes — not a lossy re-decode through the parent's logger — so the
+/// failure is diagnosable from the sweep output alone.
+fn replay_child_stderr(what: &str, stderr: &[u8]) {
+    use std::io::Write;
+    log_error!("bench", "{what} failed; replaying its stderr:");
+    let err = std::io::stderr();
+    let mut err = err.lock();
+    let _ = err.write_all(stderr);
+    let _ = err.flush();
 }
 
 fn emit_json(args: &Args, r: &RunResult) -> String {
@@ -708,7 +812,8 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
     format!(
         "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \"batch\": {},\n  \
          \"items_per_shard\": {},\n  \"policy\": \"{}\",\n  \"rotate\": {},\n  \
-         \"gather_ms\": {:.3},\n  \"duration_s\": {:.3},\n  \
+         \"gather_ms\": {:.3},\n  \"trace_sample\": {},\n  \"trace_spans\": {},\n  \
+         \"duration_s\": {:.3},\n  \
          \"committed\": {},\n  \"aborted\": {},\n  \"txns_per_sec\": {:.1},\n  \
          \"p50_ms\": {:.3},\n  \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"blocks\": {},\n  \
          \"rounds\": {},\n  \"round_ms\": {:.3},\n  \"round_timeouts\": {},\n  \
@@ -723,6 +828,8 @@ fn emit_json(args: &Args, r: &RunResult) -> String {
         args.policy.as_str(),
         args.rotate,
         args.gather.as_secs_f64() * 1e3,
+        effective_trace_sample(),
+        r.spans.len(),
         r.elapsed.as_secs_f64(),
         r.committed,
         r.aborted,
@@ -779,10 +886,11 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
-            "--sweep-workers" | "--out" | "--workers" | "--check-baseline" => {
+            "--sweep-workers" | "--out" | "--workers" | "--check-baseline" | "--trace-out"
+            | "--prom-out" => {
                 let _ = it.next();
             }
-            "--json" => {}
+            "--json" | "--trace-sweep" => {}
             _ => base.push(flag),
         }
     }
@@ -799,11 +907,7 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
         .expect("spawn headline child");
     let headline = String::from_utf8_lossy(&headline_out.stdout).into_owned();
     if !headline_out.status.success() {
-        log_error!(
-            "bench",
-            "headline child failed:\n{}",
-            String::from_utf8_lossy(&headline_out.stderr)
-        );
+        replay_child_stderr("headline child", &headline_out.stderr);
         std::process::exit(1);
     }
     let headline_field = |key: &str| {
@@ -847,11 +951,7 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
             .expect("spawn sweep child");
         let stdout = String::from_utf8_lossy(&output.stdout);
         if !output.status.success() {
-            log_error!(
-                "bench",
-                "sweep child ({workers} workers) failed:\n{}",
-                String::from_utf8_lossy(&output.stderr)
-            );
+            replay_child_stderr(&format!("sweep child ({workers} workers)"), &output.stderr);
             std::process::exit(1);
         }
         let field = |key: &str| {
@@ -930,8 +1030,236 @@ fn run_sweep(args: &Args, worker_counts: &[u32]) {
     }
 }
 
+/// One tracing-cost point of the trace sweep, parsed back out of a
+/// child run's JSON.
+struct TracePoint {
+    sample: u64,
+    txns_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    committed: f64,
+    spans: f64,
+}
+
+/// Watchdog detection latency measured against a real stalled leader.
+struct WatchdogResult {
+    round_timeout: Duration,
+    /// Commit submission → first cohort `Stall` report.
+    detect: Duration,
+    stall: Stall,
+    /// Whether a flight-recorder dump names the stalled height.
+    dump_names_height: bool,
+}
+
+/// Stalls a 4-server cluster's leader after vote collection
+/// (`Behavior::stall_after_votes`) and times how long the cohorts'
+/// round-progress watchdogs take to declare the stall. The stall
+/// timeout follows the round timeout (the `ClusterConfig` default), so
+/// detection within 2× the round timeout is the acceptance bar.
+fn measure_watchdog_detection() -> WatchdogResult {
+    let round_timeout = Duration::from_millis(100);
+    let servers = 4u32;
+    let items = 256usize;
+    let config = ClusterConfig::new(servers)
+        .items_per_shard(items)
+        .batch_size(1)
+        .protocol(CommitProtocol::TfCommit)
+        .flush_interval(Duration::from_millis(5))
+        .round_timeout(round_timeout)
+        .behavior(
+            0,
+            Behavior {
+                stall_after_votes: true,
+                ..Behavior::default()
+            },
+        );
+    let cluster = FidesCluster::start(config);
+    let mut client = cluster.client(0);
+    let workload = WorkloadConfig::paper_default(servers, items).seed(0xD06);
+    let mut generator = WorkloadGenerator::new(workload, FidesCluster::key_name);
+    let spec = generator.next_txn();
+    let mut txn = client.begin();
+    let values = client
+        .read_all(&mut txn, &spec.keys)
+        .expect("warm-up reads");
+    let writes: Vec<(fides_store::Key, fides_store::Value)> = spec
+        .keys
+        .iter()
+        .zip(values)
+        .map(|(key, value)| {
+            let next = fides_store::Value::from_i64(value.as_i64().unwrap_or(0) + 1);
+            (key.clone(), next)
+        })
+        .collect();
+    client.write_all(&mut txn, &writes).expect("writes");
+    let t0 = Instant::now();
+    // The leader collects every vote for this transaction's round and
+    // then goes silent; the outcome never arrives.
+    let _abandoned = client.commit_async(txn);
+    let deadline = t0 + Duration::from_secs(10);
+    let stall = loop {
+        let found = (1..servers).find_map(|s| cluster.stall_log(s).stalls().into_iter().next());
+        if let Some(stall) = found {
+            break stall;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never fired on the stalled leader"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let detect = t0.elapsed();
+    let needle = format!("height {}", stall.height);
+    let dump_names_height = (1..servers)
+        .flat_map(|s| cluster.stall_log(s).dumps())
+        .any(|d| d.render().contains(&needle));
+    cluster.shutdown();
+    WatchdogResult {
+        round_timeout,
+        detect,
+        stall,
+        dump_names_height,
+    }
+}
+
+/// The tracing-cost rig behind `BENCH_PR10.json`: one child run per
+/// sampling rate — off, 1/64, 1/1 — so each point's clients read a
+/// fresh `FIDES_TRACE_SAMPLE`, plus the stalled-leader watchdog rig
+/// for detection latency.
+fn run_trace_sweep(args: &Args) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let mut base: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace-sample" | "--out" | "--check-baseline" | "--trace-out" | "--prom-out"
+            | "--sweep-workers" => {
+                let _ = it.next();
+            }
+            "--json" | "--trace-sweep" => {}
+            _ => base.push(flag),
+        }
+    }
+
+    let mut points: Vec<TracePoint> = Vec::new();
+    for sample in [0u64, 64, 1] {
+        let rate = if sample == 0 {
+            "off".to_string()
+        } else {
+            format!("1-in-{sample}")
+        };
+        log_info!("bench", "trace sweep: sampling {rate}...");
+        let output = std::process::Command::new(&exe)
+            .args(&base)
+            .args(["--trace-sample", &sample.to_string(), "--json"])
+            .output()
+            .expect("spawn trace-sweep child");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        if !output.status.success() {
+            replay_child_stderr(&format!("trace-sweep child ({rate})"), &output.stderr);
+            std::process::exit(1);
+        }
+        let field = |key: &str| {
+            json_number(&stdout, key).unwrap_or_else(|| {
+                log_error!(
+                    "bench",
+                    "trace-sweep child ({rate}) emitted no {key}:\n{stdout}"
+                );
+                std::process::exit(1);
+            })
+        };
+        let point = TracePoint {
+            sample,
+            txns_per_sec: field("txns_per_sec"),
+            p50_ms: field("p50_ms"),
+            p99_ms: field("p99_ms"),
+            committed: field("committed"),
+            spans: field("trace_spans"),
+        };
+        if sample > 0 && point.spans == 0.0 {
+            log_error!("bench", "traced run ({rate}) retained no spans");
+            std::process::exit(1);
+        }
+        log_info!(
+            "bench",
+            "  {rate}: {:.0} txns/s (p50 {:.2} ms, {:.0} spans)",
+            point.txns_per_sec,
+            point.p50_ms,
+            point.spans
+        );
+        points.push(point);
+    }
+    let off = points[0].txns_per_sec.max(1e-9);
+
+    log_info!("bench", "watchdog rig: stalling the leader after votes...");
+    let wd = measure_watchdog_detection();
+    log_info!(
+        "bench",
+        "  stall declared in {:.1} ms (round timeout {:.0} ms): height {}, leader {}",
+        wd.detect.as_secs_f64() * 1e3,
+        wd.round_timeout.as_secs_f64() * 1e3,
+        wd.stall.height,
+        wd.stall.leader
+    );
+
+    let curve: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"sample\": {}, \"txns_per_sec\": {:.1}, \"p50_ms\": {:.3}, \
+                 \"p99_ms\": {:.3}, \"committed\": {:.0}, \"spans\": {:.0}, \
+                 \"vs_off\": {:.3}}}",
+                p.sample,
+                p.txns_per_sec,
+                p.p50_ms,
+                p.p99_ms,
+                p.committed,
+                p.spans,
+                p.txns_per_sec / off
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"label\": \"{}\",\n  \"servers\": {},\n  \"clients\": {},\n  \"batch\": {},\n  \
+         \"policy\": \"{}\",\n  \"rotate\": {},\n  \"duration_s\": {:.1},\n  \
+         \"txns_per_sec\": {:.1},\n  \
+         \"trace_overhead\": [\n{}\n  ],\n  \
+         \"watchdog\": {{\"round_timeout_ms\": {:.0}, \"detect_ms\": {:.1}, \
+         \"detect_vs_timeout\": {:.2}, \"stalled_height\": {}, \"leader\": {}, \
+         \"waited_ms\": {}, \"dump_names_height\": {}}}\n}}",
+        args.label,
+        args.servers,
+        args.clients,
+        args.batch,
+        args.policy.as_str(),
+        args.rotate,
+        args.duration.as_secs_f64(),
+        off,
+        curve.join(",\n"),
+        wd.round_timeout.as_secs_f64() * 1e3,
+        wd.detect.as_secs_f64() * 1e3,
+        wd.detect.as_secs_f64() / wd.round_timeout.as_secs_f64().max(1e-9),
+        wd.stall.height,
+        wd.stall.leader,
+        wd.stall.waited_ms,
+        wd.dump_names_height,
+    );
+    println!("{json}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+            log_error!("bench", "cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        log_info!("bench", "wrote {path}");
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.trace_sweep {
+        run_trace_sweep(&args);
+        return;
+    }
     if let Some(counts) = args.sweep_workers.clone() {
         run_sweep(&args, &counts);
         return;
@@ -941,10 +1269,28 @@ fn main() {
         // process; the pool reads this once and fixes its width.
         std::env::set_var("FIDES_POOL_THREADS", workers.to_string());
     }
+    if let Some(every) = args.trace_sample {
+        // Must precede the first ClientSession construction; each
+        // client's sampler reads this once.
+        std::env::set_var("FIDES_TRACE_SAMPLE", every.to_string());
+    } else if args.trace_out.is_some() && std::env::var_os("FIDES_TRACE_SAMPLE").is_none() {
+        // A trace file with no sampled traffic helps nobody.
+        std::env::set_var("FIDES_TRACE_SAMPLE", "1");
+    }
     let result = run(&args);
     let json = emit_json(&args, &result);
     if let Some(path) = &args.out {
         std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+            log_error!("bench", "cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        log_info!("bench", "wrote {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        write_trace_out(path, &result.spans);
+    }
+    if let Some(path) = &args.prom_out {
+        std::fs::write(path, result.metrics.to_prometheus()).unwrap_or_else(|e| {
             log_error!("bench", "cannot write {path}: {e}");
             std::process::exit(1);
         });

@@ -50,6 +50,11 @@ pub struct Behavior {
     /// Replace this server's root in the block with garbage
     /// (Scenario 2: incorrect block creation against a benign server).
     pub fake_root_for: Option<u32>,
+    /// As leader, collect every vote and then go silent — no
+    /// `Challenge`, no `Decision`, no rejection. Cohorts are left
+    /// holding live CoSi witnesses forever: the stalled-leader scenario
+    /// the liveness watchdog must detect.
+    pub stall_after_votes: bool,
 
     // ------------------------------------------------------------------
     // Repair-plane faults: a Byzantine peer serving garbage to a
@@ -108,6 +113,7 @@ impl Behavior {
             && !self.corrupt_cosi_response
             && !self.equivocate_decision
             && self.fake_root_for.is_none()
+            && !self.stall_after_votes
             && !self.tamper_repair_blocks
             && !self.tamper_repair_checkpoint
             && self.forge_read_values.is_empty()

@@ -21,6 +21,8 @@ use fides_read::{
 };
 use fides_store::rwset::{ReadEntry, WriteEntry};
 use fides_store::types::{Key, Timestamp, Value};
+use fides_telemetry::trace::{now_ns, CLIENT_TAG_BASE};
+use fides_telemetry::{Sampler, Span, SpanSink, TraceContext};
 
 use crate::messages::{CommitProtocol, Message, ReadRefusal, TxnHandle};
 use crate::partition::Partitioner;
@@ -128,6 +130,28 @@ pub struct PendingCommit {
     pub ts: Timestamp,
     record: TxnRecord,
     attempts: u32,
+    /// Sampled fides-trace root, closed when the outcome resolves.
+    trace: Option<ClientTrace>,
+}
+
+/// A sampled commit's client-side trace state: the ids allocated at
+/// submission, closed into a `client.commit` root span on resolution.
+#[derive(Clone, Copy, Debug)]
+struct ClientTrace {
+    trace_id: u64,
+    root_span: u64,
+    start_ns: u64,
+}
+
+impl ClientTrace {
+    /// The context end-txn envelopes carry: the round a leader runs for
+    /// this transaction parents its spans under the client root.
+    fn ctx(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: self.root_span,
+        }
+    }
 }
 
 /// An outcome whose collective signature has **not** been verified yet
@@ -293,7 +317,17 @@ pub struct ClientSession {
     /// A stale estimate only mis-aims an end-txn, which the receiving
     /// server forwards to the true leader.
     est_height: u64,
+    /// fides-trace head sampling: 1-in-N commits (`FIDES_TRACE_SAMPLE`)
+    /// carry a [`TraceContext`] on their end-txn envelopes.
+    sampler: Sampler,
+    /// This client's finished spans (the `client.commit` round-trip
+    /// roots), tagged `CLIENT_TAG_BASE + id`.
+    spans: Arc<SpanSink>,
 }
+
+/// Finished spans retained per client — commits are sampled, so a
+/// small ring holds plenty.
+const CLIENT_SPAN_CAPACITY: usize = 1024;
 
 /// The verified read plane's client-side state.
 struct ReadContext {
@@ -401,6 +435,13 @@ impl ClientSession {
             read: None,
             rotate_leaders: false,
             est_height: 0,
+            sampler: Sampler::from_env(),
+            // Node tags are 16-bit; ids above the 61 440 client-tag
+            // slots wrap rather than panic.
+            spans: Arc::new(SpanSink::new(
+                CLIENT_TAG_BASE + (id as u64 % ((1 << 16) - CLIENT_TAG_BASE)),
+                CLIENT_SPAN_CAPACITY,
+            )),
         }
     }
 
@@ -488,13 +529,49 @@ impl ClientSession {
     }
 
     fn send_to(&self, server: u32, msg: &Message) {
-        let env = Envelope::sign(
+        self.send_to_traced(server, msg, None);
+    }
+
+    fn send_to_traced(&self, server: u32, msg: &Message, trace: Option<TraceContext>) {
+        let env = Envelope::sign_traced(
             &self.keypair,
             client_node(self.id),
             server_node(server),
             msg.encode(),
+            trace,
         );
         self.endpoint.send(env);
+    }
+
+    /// Decides whether this commit is traced and allocates its ids.
+    fn sample_commit(&self) -> Option<ClientTrace> {
+        self.sampler.sample().then(|| ClientTrace {
+            trace_id: self.spans.next_id(),
+            root_span: self.spans.next_id(),
+            start_ns: now_ns(),
+        })
+    }
+
+    /// Closes a sampled commit's `client.commit` root span — the
+    /// client-observed round trip, submission to resolved outcome.
+    fn close_commit_trace(&self, trace: Option<ClientTrace>, handle: TxnHandle) {
+        if let Some(t) = trace {
+            self.spans.close(
+                t.trace_id,
+                t.root_span,
+                0,
+                "client.commit",
+                t.start_ns,
+                handle.seq,
+            );
+        }
+    }
+
+    /// This client's finished spans (sampled `client.commit` round
+    /// trips) — append to [`crate::FidesCluster::dump_traces`] output
+    /// for the complete cross-node picture.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.snapshot()
     }
 
     /// Waits for a message matching `want`. Commit traffic for other
@@ -666,6 +743,9 @@ impl ClientSession {
     /// coordinator keeps rejecting our timestamps.
     pub fn commit(&mut self, txn: TxnCtx) -> Result<TxnOutcome, ClientError> {
         let handle = txn.handle;
+        // One sampling decision per transaction; retries re-send the
+        // same context, so the whole retry tail lands in one trace.
+        let trace = self.sample_commit();
         let mut attempts = 0;
         loop {
             attempts += 1;
@@ -678,7 +758,11 @@ impl ClientSession {
                 read_set: txn.reads.clone(),
                 write_set: txn.writes.clone(),
             };
-            self.send_to(self.commit_target(), &Message::EndTxn { handle, record });
+            self.send_to_traced(
+                self.commit_target(),
+                &Message::EndTxn { handle, record },
+                trace.map(|t| t.ctx()),
+            );
 
             enum Reply {
                 Outcome(Box<Block>),
@@ -701,6 +785,9 @@ impl ClientSession {
                 }
                 Reply::Outcome(block) => {
                     let block = *block;
+                    // The round trip is over whatever the verdict —
+                    // close the sampled root span before classifying.
+                    self.close_commit_trace(trace, handle);
                     // §4.3.1 phase 5: "The client, with the public keys of
                     // all the servers, verifies the co-sign before
                     // accepting the decision."
@@ -953,24 +1040,27 @@ impl ClientSession {
     /// ride on `verify_batch` instead of one full Schnorr verification
     /// per outcome.
     pub fn commit_async(&mut self, txn: TxnCtx) -> PendingCommit {
+        let trace = self.sample_commit();
         let ts = Timestamp::new(self.oracle.next(), self.id);
         let record = TxnRecord {
             id: ts,
             read_set: txn.reads.clone(),
             write_set: txn.writes.clone(),
         };
-        self.send_to(
+        self.send_to_traced(
             self.commit_target(),
             &Message::EndTxn {
                 handle: txn.handle,
                 record: record.clone(),
             },
+            trace.map(|t| t.ctx()),
         );
         PendingCommit {
             handle: txn.handle,
             ts,
             record,
             attempts: 1,
+            trace,
         }
     }
 
@@ -1021,6 +1111,7 @@ impl ClientSession {
                     for handle in handles {
                         if let Some(at) = pending.iter().position(|p| p.handle == handle) {
                             let commit = pending.swap_remove(at);
+                            self.close_commit_trace(commit.trace, handle);
                             resolved.push(UnverifiedOutcome {
                                 handle,
                                 ts: commit.ts,
@@ -1054,8 +1145,9 @@ impl ClientSession {
                             handle,
                             record: commit.record.clone(),
                         };
+                        let trace = commit.trace.map(|t| t.ctx());
                         let target = self.commit_target();
-                        self.send_to(target, &msg);
+                        self.send_to_traced(target, &msg, trace);
                     }
                 }
                 _ => {}

@@ -73,7 +73,8 @@ use crate::partition::Partitioner;
 use crate::recovery::{Durability, RecoveredServer};
 use crate::repair::{verify_transfer, RepairEvidence, RepairFault, RepairShared};
 use crate::telemetry::ServerTelemetry;
-use fides_telemetry::{Level, Stage, Stopwatch};
+use fides_telemetry::trace::now_ns;
+use fides_telemetry::{FlightRecorder, Level, Span, Stage, Stall, Stopwatch, TraceContext};
 
 /// Map from node address to public key — the paper's "servers and
 /// clients are uniquely identifiable using their public keys" (§3.1).
@@ -288,7 +289,7 @@ impl ServerState {
             durability: parking_lot::Mutex::new(None),
             repair: parking_lot::Mutex::new(RepairShared::default()),
             mirror_reads: parking_lot::Mutex::new(HashMap::new()),
-            telemetry: ServerTelemetry::new(),
+            telemetry: ServerTelemetry::new(idx as u64),
         }
     }
 
@@ -326,7 +327,7 @@ impl ServerState {
             durability: parking_lot::Mutex::new(Some(recovered.durability)),
             repair: parking_lot::Mutex::new(repair),
             mirror_reads: parking_lot::Mutex::new(HashMap::new()),
-            telemetry: ServerTelemetry::new(),
+            telemetry: ServerTelemetry::new(idx as u64),
         }
     }
 
@@ -562,6 +563,15 @@ pub struct ServerConfig {
     /// accepts end-transaction traffic and forwards queued work to the
     /// frontier leader ([`Message::EndTxnFwd`]) so no batch starves.
     pub rotate_leaders: bool,
+    /// Liveness watchdog threshold: how long the frontier may sit still
+    /// *with work outstanding* (live CoSi witnesses or queued end-txns)
+    /// before the round-progress monitor declares a [`Stall`] and dumps
+    /// the flight recorder. `Duration::ZERO` disables the watchdog.
+    /// The main loop ticks at least every `flush_interval`, so
+    /// detection lands within `stall_timeout + flush_interval` — with
+    /// the default `stall_timeout == round_timeout`, well inside 2×
+    /// the round timeout.
+    pub stall_timeout: Duration,
 }
 
 /// The running server: message loop plus protocol handlers.
@@ -585,7 +595,7 @@ pub struct Server {
     /// drained in bursts whose signatures are verified with **one**
     /// batched check ([`fides_net::verify_envelopes`]), and the decoded
     /// survivors queue here in arrival order.
-    inbox: std::collections::VecDeque<(NodeId, Message)>,
+    inbox: std::collections::VecDeque<(NodeId, Message, Option<TraceContext>)>,
     /// The in-flight anti-entropy repair, when this server detected a
     /// gap. While a task is active incoming decisions are buffered
     /// (never applied) so the verified transfer installs against a
@@ -596,6 +606,12 @@ pub struct Server {
     /// Coordinator-only: outcomes withheld until a quorum of servers
     /// reports the block durable (`ServerConfig::quorum_acks`).
     quorum: Option<Arc<QuorumAcks>>,
+    /// Per-peer liveness gauges (`net.peer.<i>.last_heard_ms`): set to
+    /// milliseconds-on-the-process-epoch at every authenticated
+    /// envelope receipt from that server.
+    peer_last_heard: Vec<Arc<fides_telemetry::Gauge>>,
+    /// Round-progress monitor state (see [`Server::tick_watchdog`]).
+    watchdog: WatchdogTick,
     /// Coordinator: clients to notify per handle.
     running: bool,
 }
@@ -605,10 +621,44 @@ struct PendingTxn {
     handle: TxnHandle,
     client: NodeId,
     record: TxnRecord,
+    /// The sampled trace context this end-txn arrived with (fides-trace
+    /// — `None` for the unsampled 1−1/N of traffic). Survives
+    /// forwarding; the round that terminates the transaction parents
+    /// its spans under this context.
+    trace: Option<TraceContext>,
     /// Rounds this transaction sat out because the leader's write
     /// watermarks already doom its read set (see
     /// [`Server::select_batch`]). Bounded by [`MAX_DOOMED_DEFERRALS`].
     deferrals: u32,
+}
+
+/// Round-progress watchdog state: when the frontier last moved, and
+/// which stalled height was already reported (fire once per height).
+struct WatchdogTick {
+    last_frontier: u64,
+    since: Instant,
+    fired_for: Option<u64>,
+}
+
+/// The per-round causal context on the leader: every stage span of the
+/// round hangs off `round_span`, which itself hangs off the sampled
+/// client's root span.
+#[derive(Clone, Copy)]
+struct RoundTrace {
+    ctx: TraceContext,
+    round_span: u64,
+    start_ns: u64,
+}
+
+impl RoundTrace {
+    /// The context downstream messages (GetVote/Challenge/Decision) and
+    /// spans carry: same trace, parented under the round span.
+    fn child_ctx(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.ctx.trace_id,
+            parent_span: self.round_span,
+        }
+    }
 }
 
 /// Blocks fetched per `RepairRequest` round trip.
@@ -816,6 +866,14 @@ impl Server {
                     inner: parking_lot::Mutex::new(QuorumInner::default()),
                 })
             });
+        let peer_last_heard = (0..config.n_servers)
+            .map(|peer| {
+                state
+                    .telemetry
+                    .registry
+                    .gauge(&format!("net.peer.{peer}.last_heard_ms"))
+            })
+            .collect();
         let server = Server {
             state: Arc::clone(&state),
             endpoint,
@@ -830,6 +888,12 @@ impl Server {
             repair_task: None,
             last_repair_query: None,
             quorum,
+            peer_last_heard,
+            watchdog: WatchdogTick {
+                last_frontier: 0,
+                since: Instant::now(),
+                fired_for: None,
+            },
             running: true,
         };
         (server, state)
@@ -889,8 +953,8 @@ impl Server {
                 _ => self.config.flush_interval,
             };
             match self.next_message(Instant::now() + timeout) {
-                Ok((from, msg)) => {
-                    self.dispatch(from, msg);
+                Ok((from, msg, trace)) => {
+                    self.dispatch(from, msg, trace);
                     self.drive_rounds();
                     self.maybe_forward_pending();
                     self.drive_repair();
@@ -902,7 +966,81 @@ impl Server {
                 }
                 Err(fides_net::RecvError::Disconnected) => break,
             }
+            self.tick_watchdog();
         }
+    }
+
+    /// The round-progress liveness monitor, ticked every main-loop
+    /// iteration (the loop wakes at least every `flush_interval`).
+    ///
+    /// A stall is declared when the frontier height has not moved for
+    /// [`ServerConfig::stall_timeout`] **while work is outstanding** —
+    /// live CoSi witnesses (votes cast whose decision never arrived)
+    /// or queued end-transactions. Idle quiet is not a stall. On
+    /// detection it records a structured [`Stall`] naming the stalled
+    /// height and its leader, dumps a [`FlightRecorder`] (recent event
+    /// ring + metrics snapshot + inflight round state) into the
+    /// server's [`fides_telemetry::StallLog`], and fires once per
+    /// stalled height — the trigger substrate for a timeout-driven
+    /// view change (ROADMAP item 1).
+    fn tick_watchdog(&mut self) {
+        if self.config.stall_timeout.is_zero() {
+            return;
+        }
+        let frontier = self.frontier_height();
+        if frontier != self.watchdog.last_frontier {
+            self.watchdog.last_frontier = frontier;
+            self.watchdog.since = Instant::now();
+            self.watchdog.fired_for = None;
+            return;
+        }
+        let (witness_heights, gated) = {
+            let exec = self.state.exec.lock();
+            (
+                exec.witnesses.keys().copied().collect::<Vec<u64>>(),
+                exec.gated_votes.len() + exec.gated_challenges.len(),
+            )
+        };
+        if witness_heights.is_empty() && self.pending.is_empty() {
+            // Nothing outstanding: a still frontier is just quiet.
+            self.watchdog.since = Instant::now();
+            return;
+        }
+        let waited = self.watchdog.since.elapsed();
+        if waited < self.config.stall_timeout || self.watchdog.fired_for == Some(frontier) {
+            return;
+        }
+        self.watchdog.fired_for = Some(frontier);
+        let stall = Stall {
+            leader: self.leader_of(frontier) as u64,
+            height: frontier,
+            waited_ms: waited.as_millis() as u64,
+        };
+        self.state.telemetry.stalls.inc();
+        self.state.telemetry.events.record(
+            Level::Error,
+            "watchdog",
+            format!(
+                "stall at height {} (leader {}, waited {} ms)",
+                stall.height, stall.leader, stall.waited_ms
+            ),
+        );
+        let mut notes = vec![
+            format!("observer: server {}", self.config.idx),
+            format!("live CoSi witnesses at heights {witness_heights:?}"),
+            format!("queued end-txns: {}", self.pending.len()),
+            format!("gated rounds (votes+challenges): {gated}"),
+        ];
+        if self.state.is_repairing() {
+            notes.push("shard is repairing".to_string());
+        }
+        self.state.telemetry.stall_log.report(FlightRecorder {
+            stall,
+            at_ns: now_ns(),
+            events: self.state.telemetry.events.snapshot(),
+            metrics: self.state.telemetry.snapshot(),
+            notes,
+        });
     }
 
     /// The next authenticated message: pops the pre-verified inbox, or
@@ -913,7 +1051,7 @@ impl Server {
     fn next_message(
         &mut self,
         deadline: Instant,
-    ) -> Result<(NodeId, Message), fides_net::RecvError> {
+    ) -> Result<(NodeId, Message, Option<TraceContext>), fides_net::RecvError> {
         /// Upper bound on one burst (bounds worst-case batch latency).
         const MAX_BURST: usize = 64;
         loop {
@@ -924,8 +1062,13 @@ impl Server {
                 .endpoint
                 .recv_verified_burst(deadline, &self.directory, MAX_BURST)?;
             for env in &burst {
+                // Liveness gauge: any authenticated envelope from a
+                // server peer counts as hearing from it.
+                if let Some(gauge) = self.peer_last_heard.get(env.from.raw() as usize) {
+                    gauge.set((now_ns() / 1_000_000) as i64);
+                }
                 if let Ok(msg) = Message::decode(&env.payload) {
-                    self.inbox.push_back((env.from, msg));
+                    self.inbox.push_back((env.from, msg, env.trace));
                 }
             }
         }
@@ -995,32 +1138,45 @@ impl Server {
             return;
         }
         for txn in std::mem::take(&mut self.pending) {
-            self.send(
+            // A sampled txn's context rides the forward envelope, so
+            // the eventual leader still parents the round under the
+            // client's root span.
+            self.send_traced(
                 server_node(leader),
                 &Message::EndTxnFwd {
                     client: txn.client.raw(),
                     handle: txn.handle,
                     record: txn.record,
                 },
+                txn.trace,
             );
         }
         self.batch_deadline = None;
     }
 
     fn send(&self, to: NodeId, msg: &Message) {
-        let env = Envelope::sign(&self.keypair, self.endpoint.node(), to, msg.encode());
+        self.send_traced(to, msg, None);
+    }
+
+    fn send_traced(&self, to: NodeId, msg: &Message, trace: Option<TraceContext>) {
+        let env =
+            Envelope::sign_traced(&self.keypair, self.endpoint.node(), to, msg.encode(), trace);
         self.endpoint.send(env);
     }
 
     fn broadcast_to_servers(&self, msg: &Message) {
+        self.broadcast_to_servers_traced(msg, None);
+    }
+
+    fn broadcast_to_servers_traced(&self, msg: &Message, trace: Option<TraceContext>) {
         for s in 0..self.config.n_servers {
             if s != self.config.idx {
-                self.send(server_node(s), msg);
+                self.send_traced(server_node(s), msg, trace);
             }
         }
     }
 
-    fn dispatch(&mut self, from: NodeId, msg: Message) {
+    fn dispatch(&mut self, from: NodeId, msg: Message, trace: Option<TraceContext>) {
         match msg {
             Message::Begin { txn } => self.handle_begin(txn),
             Message::Read { txn, key } => self.handle_read(from, txn, key),
@@ -1029,14 +1185,14 @@ impl Server {
             Message::EndTxn { handle, record } => {
                 // Rounds are driven by the main loop once a full batch
                 // is pending.
-                self.handle_end_txn(from, handle, record);
+                self.handle_end_txn(from, handle, record, trace);
             }
             Message::EndTxnFwd {
                 client,
                 handle,
                 record,
             } if self.rotation_on() && from.raw() < self.config.n_servers => {
-                self.enqueue_end_txn(NodeId::new(client), handle, record);
+                self.enqueue_end_txn(NodeId::new(client), handle, record, trace);
             }
             Message::Flush if !self.pending.is_empty() && !self.state.is_repairing() => {
                 if self.leads_frontier() {
@@ -1045,13 +1201,13 @@ impl Server {
                     self.forward_pending();
                 }
             }
-            Message::GetVote { partial } => self.handle_get_vote(from, partial),
+            Message::GetVote { partial } => self.handle_get_vote(from, partial, trace),
             Message::Challenge {
                 block,
                 aggregate,
                 challenge,
-            } => self.handle_challenge(from, block, aggregate, challenge),
-            Message::Decision { block } => self.handle_decision(block),
+            } => self.handle_challenge(from, block, aggregate, challenge, trace),
+            Message::Decision { block } => self.handle_decision_traced(block, trace),
             Message::TwoPcGetVote { partial } => self.handle_2pc_get_vote(from, partial),
             Message::TwoPcDecision { block } => self.handle_2pc_decision(block),
             Message::RepairQuery { next_height } => self.handle_repair_query(from, next_height),
@@ -1165,18 +1321,30 @@ impl Server {
         self.send(from, &Message::WriteAck { txn, key, old });
     }
 
-    fn handle_end_txn(&mut self, from: NodeId, handle: TxnHandle, record: TxnRecord) {
+    fn handle_end_txn(
+        &mut self,
+        from: NodeId,
+        handle: TxnHandle,
+        record: TxnRecord,
+        trace: Option<TraceContext>,
+    ) {
         if !self.is_coordinator() && !self.rotation_on() {
             return; // only the designated coordinator terminates txns
         }
-        self.enqueue_end_txn(from, handle, record);
+        self.enqueue_end_txn(from, handle, record, trace);
     }
 
     /// Queues a termination request (from a client directly, or relayed
     /// by a peer via [`Message::EndTxnFwd`]). Under rotation every
     /// server queues; a non-leader hands its queue to the frontier
     /// leader when the batch deadline passes.
-    fn enqueue_end_txn(&mut self, client: NodeId, handle: TxnHandle, record: TxnRecord) {
+    fn enqueue_end_txn(
+        &mut self,
+        client: NodeId,
+        handle: TxnHandle,
+        record: TxnRecord,
+        trace: Option<TraceContext>,
+    ) {
         let last = self.state.last_committed();
         if record.id <= last {
             // §4.3.1: "servers ignore any end transaction request with a
@@ -1195,6 +1363,7 @@ impl Server {
             handle,
             client,
             record,
+            trace,
             deferrals: 0,
         });
     }
@@ -1285,7 +1454,12 @@ impl Server {
         (commitment, involved_vote)
     }
 
-    fn handle_get_vote(&mut self, from: NodeId, partial: PartialBlock) {
+    fn handle_get_vote(
+        &mut self,
+        from: NodeId,
+        partial: PartialBlock,
+        trace: Option<TraceContext>,
+    ) {
         if self.rotation_on() {
             if from.raw() != self.leader_of(partial.height) {
                 return; // not that round's leader — ignore
@@ -1306,11 +1480,25 @@ impl Server {
             }
         }
         let t0 = Instant::now();
+        let start_ns = now_ns();
         let (commitment, involved) = self.cohort_vote(&partial);
         self.state
             .telemetry
             .stages
             .record(Stage::OccValidate, t0.elapsed().as_nanos() as u64);
+        if let Some(ctx) = trace {
+            // Cohort-side child of the leader's round span: where this
+            // server spent the vote phase for the sampled transaction.
+            let sink = &self.state.telemetry.spans;
+            sink.close(
+                ctx.trace_id,
+                sink.next_id(),
+                ctx.parent_span,
+                "cohort.occ_validate",
+                start_ns,
+                partial.height,
+            );
+        }
         self.send(
             from,
             &Message::Vote {
@@ -1388,6 +1576,7 @@ impl Server {
         block: Block,
         aggregate: cosi::Commitment,
         challenge: fides_crypto::scalar::Scalar,
+        trace: Option<TraceContext>,
     ) {
         let height = block.height;
         if self.rotation_on() {
@@ -1426,11 +1615,23 @@ impl Server {
             }
         }
         let t0 = Instant::now();
+        let start_ns = now_ns();
         let result = self.cohort_response(&block, &aggregate, &challenge);
         self.state
             .telemetry
             .stages
             .record(Stage::CosiAssemble, t0.elapsed().as_nanos() as u64);
+        if let Some(ctx) = trace {
+            let sink = &self.state.telemetry.spans;
+            sink.close(
+                ctx.trace_id,
+                sink.next_id(),
+                ctx.parent_span,
+                "cohort.cosi_respond",
+                start_ns,
+                height,
+            );
+        }
         if let Err(refusal) = &result {
             self.state.telemetry.events.record(
                 Level::Warn,
@@ -1451,7 +1652,11 @@ impl Server {
     /// closes, the whole consecutive run is verified with one
     /// [`cosi::verify_batch`] call in [`Server::catch_up`] instead of
     /// one full signature check per block.
-    fn handle_decision(&mut self, block: Block) {
+    ///
+    /// Takes the envelope's trace context when the decision arrived for
+    /// a sampled round (buffered/replayed decisions lose it — only the
+    /// direct path is attributed, which is the common case).
+    fn handle_decision_traced(&mut self, block: Block, trace: Option<TraceContext>) {
         /// Upper bound on buffered future decisions (memory guard).
         const MAX_BUFFERED_DECISIONS: u64 = 1024;
 
@@ -1484,7 +1689,7 @@ impl Server {
             // anomaly surfaces at the clients and the audit.
             return;
         }
-        self.apply_block(block, CommitProtocol::TfCommit);
+        self.apply_block_traced(block, CommitProtocol::TfCommit, trace);
         self.catch_up();
     }
 
@@ -1519,10 +1724,10 @@ impl Server {
             )
         };
         if let Some((from, partial)) = vote {
-            self.handle_get_vote(from, partial);
+            self.handle_get_vote(from, partial, None);
         }
         if let Some((from, block, aggregate, scalar)) = challenge {
-            self.handle_challenge(from, *block, aggregate, scalar);
+            self.handle_challenge(from, *block, aggregate, scalar, None);
         }
     }
 
@@ -2632,7 +2837,23 @@ impl Server {
     /// 5. **checkpoint** — capture a snapshot every `snapshot_interval`
     ///    blocks; the pipeline saves it only after the covering fsync.
     fn apply_block(&mut self, block: Block, protocol: CommitProtocol) {
+        self.apply_block_traced(block, protocol, None);
+    }
+
+    /// [`Server::apply_block`] attributing the durability hand-off and
+    /// the Merkle/apply segment to a sampled transaction's trace. The
+    /// fsync itself is recorded by the WAL writer thread
+    /// (`wal.fsync`, submit → covering fsync), so the queue wait is
+    /// visible; the `commit.stage.merkle_update` span covers the rest
+    /// of the apply.
+    fn apply_block_traced(
+        &mut self,
+        block: Block,
+        protocol: CommitProtocol,
+        trace: Option<TraceContext>,
+    ) {
         let apply_start = Instant::now();
+        let apply_start_ns = now_ns();
         let durability_ns;
         let decision = block.decision;
         let max_ts = block.max_txn_ts();
@@ -2688,7 +2909,7 @@ impl Server {
                         .expect("write-ahead log append failed");
                 }
                 Some(Durability::Pipelined { pipeline, .. }) => {
-                    pipeline.submit_block(&block);
+                    pipeline.submit_block_traced(&block, trace);
                     if quorum_cohort {
                         // Report durability from the writer thread once
                         // the covering fsync lands (ordered acks).
@@ -2856,6 +3077,29 @@ impl Server {
             .telemetry
             .stages
             .record(Stage::MerkleUpdate, total_ns.saturating_sub(durability_ns));
+        if let Some(ctx) = trace {
+            let sink = &self.state.telemetry.spans;
+            // The inline durability hand-off (pipelined mode's real
+            // fsync is the writer thread's `wal.fsync` span instead).
+            sink.record(Span {
+                trace_id: ctx.trace_id,
+                span_id: sink.next_id(),
+                parent: ctx.parent_span,
+                name: Stage::WalFsync.metric_name(),
+                node: sink.tag(),
+                start_ns: apply_start_ns,
+                end_ns: apply_start_ns + durability_ns,
+                aux: height,
+            });
+            sink.close(
+                ctx.trace_id,
+                sink.next_id(),
+                ctx.parent_span,
+                Stage::MerkleUpdate.metric_name(),
+                apply_start_ns + durability_ns,
+                height,
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -2871,19 +3115,50 @@ impl Server {
     fn run_round(&mut self) {
         let start = Instant::now();
         let mut watch = Stopwatch::new();
+        let round_start_ns = now_ns();
         let batch = self.select_batch();
         if batch.is_empty() {
             return;
         }
+        // One sampled transaction makes the whole round traced: the
+        // round span parents every stage span this leader records and
+        // (via the traced broadcasts) every cohort span elsewhere.
+        let round_trace = batch.iter().find_map(|p| p.trace).map(|ctx| RoundTrace {
+            ctx,
+            round_span: self.state.telemetry.spans.next_id(),
+            start_ns: round_start_ns,
+        });
         self.state
             .telemetry
             .stages
             .record(Stage::BatchForm, watch.lap_ns());
         let n_txns = batch.len() as u64;
         let height_before = self.state.ledger.lock().log.next_height();
+        if let Some(rt) = round_trace {
+            let sink = &self.state.telemetry.spans;
+            sink.close(
+                rt.ctx.trace_id,
+                sink.next_id(),
+                rt.round_span,
+                Stage::BatchForm.metric_name(),
+                round_start_ns,
+                height_before,
+            );
+        }
         match self.config.protocol {
-            CommitProtocol::TfCommit => self.run_tfcommit_round(batch, &mut watch),
+            CommitProtocol::TfCommit => self.run_tfcommit_round(batch, &mut watch, round_trace),
             CommitProtocol::TwoPhaseCommit => self.run_2pc_round(batch),
+        }
+        if let Some(rt) = round_trace {
+            let sink = &self.state.telemetry.spans;
+            sink.close(
+                rt.ctx.trace_id,
+                rt.round_span,
+                rt.ctx.parent_span,
+                "commit.round",
+                rt.start_ns,
+                height_before,
+            );
         }
         let elapsed = start.elapsed();
         self.state.telemetry.rounds.inc();
@@ -2986,7 +3261,12 @@ impl Server {
         batch
     }
 
-    fn run_tfcommit_round(&mut self, batch: Vec<PendingTxn>, watch: &mut Stopwatch) {
+    fn run_tfcommit_round(
+        &mut self,
+        batch: Vec<PendingTxn>,
+        watch: &mut Stopwatch,
+        trace: Option<RoundTrace>,
+    ) {
         let (height, prev_hash) = {
             let ledger = self.state.ledger.lock();
             (ledger.log.next_height(), ledger.log.tip_hash())
@@ -2996,11 +3276,18 @@ impl Server {
             txns: batch.iter().map(|p| p.record.clone()).collect(),
             prev_hash,
         };
+        // Downstream envelopes carry the round span as parent, so the
+        // cohort spans of a sampled round attach under it.
+        let child_ctx = trace.map(|t| t.child_ctx());
+        let mut stage_start_ns = now_ns();
 
         // Phase 1 <GetVote, SchAnnouncement>.
-        self.broadcast_to_servers(&Message::GetVote {
-            partial: partial.clone(),
-        });
+        self.broadcast_to_servers_traced(
+            &Message::GetVote {
+                partial: partial.clone(),
+            },
+            child_ctx,
+        );
         // The coordinator is also a witness/cohort (§4.3.1 phase 2).
         let (own_commitment, own_involved) = self.cohort_vote(&partial);
 
@@ -3017,6 +3304,30 @@ impl Server {
             .telemetry
             .stages
             .record(Stage::OccValidate, watch.lap_ns());
+        if let Some(rt) = trace {
+            let sink = &self.state.telemetry.spans;
+            sink.close(
+                rt.ctx.trace_id,
+                sink.next_id(),
+                rt.round_span,
+                Stage::OccValidate.metric_name(),
+                stage_start_ns,
+                height,
+            );
+        }
+        stage_start_ns = now_ns();
+        if ok && self.state.behavior().stall_after_votes {
+            // Fault hook for the liveness watchdog tests: the leader
+            // collects every vote, then goes silent — no Challenge, no
+            // Decision, no rejection. Cohorts hold their CoSi witnesses
+            // open forever; their round-progress watchdogs must fire.
+            self.state.telemetry.events.record(
+                Level::Warn,
+                "commit",
+                format!("stall_after_votes: abandoning round at height {height}"),
+            );
+            return;
+        }
         if !ok {
             // Timed-out round (crashed cohort): TFCommit is blocking
             // (§4.3.1); we surface the failure to the clients instead of
@@ -3100,11 +3411,14 @@ impl Server {
                 );
             }
         } else {
-            self.broadcast_to_servers(&Message::Challenge {
-                block: block.clone(),
-                aggregate,
-                challenge,
-            });
+            self.broadcast_to_servers_traced(
+                &Message::Challenge {
+                    block: block.clone(),
+                    aggregate,
+                    challenge,
+                },
+                child_ctx,
+            );
         }
 
         // The coordinator's own response.
@@ -3172,26 +3486,41 @@ impl Server {
         };
 
         let signed = Block { cosign, ..block };
-        self.broadcast_to_servers(&Message::Decision {
-            block: signed.clone(),
-        });
+        self.broadcast_to_servers_traced(
+            &Message::Decision {
+                block: signed.clone(),
+            },
+            child_ctx,
+        );
         self.state
             .telemetry
             .stages
             .record(Stage::CosiAssemble, watch.lap_ns());
+        if let Some(rt) = trace {
+            let sink = &self.state.telemetry.spans;
+            sink.close(
+                rt.ctx.trace_id,
+                sink.next_id(),
+                rt.round_span,
+                Stage::CosiAssemble.metric_name(),
+                stage_start_ns,
+                height,
+            );
+        }
         if cosign_valid {
             // The coordinator verified this signature when assembling
             // it; re-running the check in `handle_decision` would be
             // pure waste on the hot path.
-            self.apply_block(signed.clone(), CommitProtocol::TfCommit);
+            self.apply_block_traced(signed.clone(), CommitProtocol::TfCommit, child_ctx);
             self.catch_up();
         } else {
-            self.handle_decision(signed.clone());
+            self.handle_decision_traced(signed.clone(), child_ctx);
         }
         // The apply segment was recorded from inside `apply_block`
         // (MerkleUpdate + WalFsync); restart the lap clock so the
         // outcome stage does not double-count it.
         let _ = watch.lap_ns();
+        stage_start_ns = now_ns();
 
         // Figure 5 step 8: respond to the clients. Under pipelined
         // durability the outcome is the commit acknowledgement, so it
@@ -3206,6 +3535,17 @@ impl Server {
             .telemetry
             .stages
             .record(Stage::OutcomeSend, watch.lap_ns());
+        if let Some(rt) = trace {
+            let sink = &self.state.telemetry.spans;
+            sink.close(
+                rt.ctx.trace_id,
+                sink.next_id(),
+                rt.round_span,
+                Stage::OutcomeSend.metric_name(),
+                stage_start_ns,
+                height,
+            );
+        }
     }
 
     /// Sends `Outcome` messages for a terminated batch — one message
@@ -3458,7 +3798,7 @@ impl Server {
     /// passed.
     fn recv_during_round(&mut self, deadline: Instant) -> Option<(NodeId, Message)> {
         loop {
-            let (from, msg) = match self.next_message(deadline) {
+            let (from, msg, trace) = match self.next_message(deadline) {
                 Ok(message) => message,
                 Err(_) => return None,
             };
@@ -3467,13 +3807,15 @@ impl Server {
                 Message::Read { txn, key } => self.handle_read(from, txn, key),
                 Message::ReadMany { txn, keys } => self.handle_read_many(from, txn, keys),
                 Message::Write { txn, key, value } => self.handle_write(from, txn, key, value),
-                Message::EndTxn { handle, record } => self.handle_end_txn(from, handle, record),
+                Message::EndTxn { handle, record } => {
+                    self.handle_end_txn(from, handle, record, trace);
+                }
                 Message::EndTxnFwd {
                     client,
                     handle,
                     record,
                 } if self.rotation_on() && from.raw() < self.config.n_servers => {
-                    self.enqueue_end_txn(NodeId::new(client), handle, record);
+                    self.enqueue_end_txn(NodeId::new(client), handle, record, trace);
                 }
                 // Repair-plane service and durability acks are also
                 // handled inline: a mid-round coordinator must neither

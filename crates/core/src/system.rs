@@ -62,6 +62,10 @@ pub struct ClusterConfig {
     /// instead of pinning every round on the designated coordinator.
     /// TFCommit only; see [`crate::server::ServerConfig::rotate_leaders`].
     pub rotate_leaders: bool,
+    /// Liveness watchdog threshold (see
+    /// [`crate::server::ServerConfig::stall_timeout`]). `None` follows
+    /// `round_timeout`; `Some(Duration::ZERO)` disables the watchdog.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl ClusterConfig {
@@ -81,7 +85,15 @@ impl ClusterConfig {
             persistence: None,
             repair_grace: Duration::from_secs(30),
             rotate_leaders: false,
+            stall_timeout: None,
         }
+    }
+
+    /// Sets the liveness watchdog threshold (`Duration::ZERO`
+    /// disables it; the default follows `round_timeout`).
+    pub fn stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self
     }
 
     /// Enables (or disables) rotating commit leadership.
@@ -350,6 +362,7 @@ impl FidesCluster {
                 .is_some_and(|p| p.mirror_checkpoints),
             quorum_acks: config.persistence.as_ref().is_some_and(|p| p.quorum_acks),
             rotate_leaders: config.rotate_leaders,
+            stall_timeout: config.stall_timeout.unwrap_or(config.round_timeout),
         }
     }
 
@@ -451,6 +464,26 @@ impl FidesCluster {
             merged.merge(&state.metrics());
         }
         merged
+    }
+
+    /// Every span the servers' trace sinks retained (fides-trace),
+    /// across the whole cluster — feed to
+    /// [`fides_telemetry::trace::assemble`] for trees or
+    /// [`fides_telemetry::trace::to_chrome_json`] for a Chrome/Perfetto
+    /// file. Client-side spans live in each
+    /// [`ClientSession::spans`](crate::client::ClientSession::spans);
+    /// append them for the full picture.
+    pub fn dump_traces(&self) -> Vec<fides_telemetry::Span> {
+        let mut spans = Vec::new();
+        for state in &self.states {
+            spans.extend(state.telemetry.spans.snapshot());
+        }
+        spans
+    }
+
+    /// One server's liveness-stall reports and flight-recorder dumps.
+    pub fn stall_log(&self, idx: u32) -> Arc<fides_telemetry::StallLog> {
+        Arc::clone(&self.states[idx as usize].telemetry.stall_log)
     }
 
     /// Asks the commit leader to terminate any pending partial batch.

@@ -21,13 +21,21 @@
 use std::sync::Arc;
 
 use fides_durability::PipelineMetrics;
-use fides_telemetry::{Counter, EventLog, Histogram, MetricsSnapshot, Registry, StageTimers};
+use fides_telemetry::{
+    Counter, EventLog, Histogram, MetricsSnapshot, Registry, SpanSink, StageTimers, StallLog,
+};
 
 /// How many rare structured events each server retains (repair
 /// transitions, refusals, Byzantine evidence, timeouts). Old events are
 /// overwritten ring-buffer style; `FIDES_LOG` additionally mirrors them
 /// to stderr as they happen.
 const EVENT_CAPACITY: usize = 256;
+
+/// How many finished spans each node retains (fides-trace). Sized for
+/// the sampled tail of a bench run: a traced round records ~10 spans
+/// per participating server, so 4096 keeps the last ~400 traced rounds
+/// per node.
+pub(crate) const SPAN_CAPACITY: usize = 4096;
 
 /// Pre-resolved metric handles for one server. Cheap to clone (all
 /// `Arc`s); every handle stays registered in [`Self::registry`] so
@@ -38,6 +46,12 @@ pub struct ServerTelemetry {
     pub registry: Arc<Registry>,
     /// Structured event ring (repair transitions, refusals, timeouts).
     pub events: Arc<EventLog>,
+    /// Finished causal spans (fides-trace), tagged with this server's
+    /// index — what [`crate::FidesCluster::dump_traces`] collects.
+    pub spans: Arc<SpanSink>,
+    /// Liveness stalls + flight-recorder dumps from the round-progress
+    /// watchdog — the trigger substrate for a future view change.
+    pub stall_log: Arc<StallLog>,
     /// Per-stage commit-round latency histograms.
     pub stages: StageTimers,
     /// Commit rounds driven to completion (coordinator).
@@ -53,6 +67,8 @@ pub struct ServerTelemetry {
     pub inflight_rounds: Arc<fides_telemetry::Gauge>,
     /// Rounds that hit a vote/response collection timeout.
     pub round_timeouts: Arc<Counter>,
+    /// Liveness stalls declared by the round-progress watchdog.
+    pub stalls: Arc<Counter>,
     /// Group-commit fsync latency (recorded by the writer thread).
     pub fsync_ns: Arc<Histogram>,
     /// Blocks covered per group-commit fsync.
@@ -82,16 +98,21 @@ pub struct ServerTelemetry {
 }
 
 impl ServerTelemetry {
-    pub fn new() -> Self {
+    /// `tag` namespaces this node's span ids (the server index; clients
+    /// use [`fides_telemetry::trace::CLIENT_TAG_BASE`]` + id`).
+    pub fn new(tag: u64) -> Self {
         let registry = Arc::new(Registry::new());
         let stages = StageTimers::new(&registry);
         ServerTelemetry {
             events: Arc::new(EventLog::new(EVENT_CAPACITY)),
+            spans: Arc::new(SpanSink::new(tag, SPAN_CAPACITY)),
+            stall_log: Arc::new(StallLog::new()),
             stages,
             rounds: registry.counter("commit.rounds"),
             rounds_led: registry.counter("commit.rounds_led"),
             inflight_rounds: registry.gauge("commit.inflight_rounds"),
             round_timeouts: registry.counter("commit.round.timeouts"),
+            stalls: registry.counter("watchdog.stalls"),
             fsync_ns: registry.histogram("durability.fsync_ns"),
             batch_blocks: registry.histogram("durability.batch_blocks"),
             queue_depth: registry.gauge("durability.queue_depth"),
@@ -121,12 +142,13 @@ impl ServerTelemetry {
             fsync_ns: Arc::clone(&self.fsync_ns),
             batch_blocks: Arc::clone(&self.batch_blocks),
             queue_depth: Arc::clone(&self.queue_depth),
+            spans: Some(Arc::clone(&self.spans)),
         }
     }
 }
 
 impl Default for ServerTelemetry {
     fn default() -> Self {
-        Self::new()
+        Self::new(0)
     }
 }

@@ -39,7 +39,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fides_ledger::block::Block;
-use fides_telemetry::{Gauge, Histogram};
+use fides_telemetry::trace::now_ns;
+use fides_telemetry::{Gauge, Histogram, Span, SpanSink, TraceContext};
 
 use crate::blocklog::DurableLog;
 use crate::snapshot::{ShardSnapshot, SnapshotStore};
@@ -95,12 +96,24 @@ pub struct PipelineMetrics {
     /// Commands queued to the writer but not yet drained
     /// (`durability.queue_depth`), with a high-watermark.
     pub queue_depth: Arc<Gauge>,
+    /// Span sink for sampled traces (fides-trace): a traced append
+    /// gets a `wal.fsync` span covering queue wait + the covering
+    /// fsync. `None` outside traced clusters.
+    pub spans: Option<Arc<SpanSink>>,
+}
+
+/// The causal context a traced block carries into the writer thread.
+struct AppendTrace {
+    ctx: TraceContext,
+    /// When the server submitted the block ([`now_ns`]) — the span
+    /// starts here so queue wait is visible, not hidden.
+    submitted_ns: u64,
 }
 
 enum Cmd {
     /// Append this block; it becomes durable at the next covering
     /// fsync. Blocks must be submitted in height order.
-    Append(Box<Block>),
+    Append(Box<Block>, Option<AppendTrace>),
     /// Save this snapshot after the fsync covering its height, then
     /// prune the WAL below it (if enabled).
     Snapshot(Box<ShardSnapshot>),
@@ -219,10 +232,22 @@ impl CommitPipeline {
     /// arrives with a later covering fsync. Blocks must be submitted in
     /// height order (the server's apply path guarantees this).
     pub fn submit_block(&self, block: &Block) {
+        self.submit_block_traced(block, None);
+    }
+
+    /// [`CommitPipeline::submit_block`] carrying a sampled trace
+    /// context: the covering fsync will emit a `wal.fsync` span
+    /// parented under `ctx.parent_span` (requires
+    /// [`PipelineMetrics::spans`] to be attached).
+    pub fn submit_block_traced(&self, block: &Block, ctx: Option<TraceContext>) {
         if let Some(m) = self.metrics.get() {
             m.queue_depth.add(1);
         }
-        self.send(Cmd::Append(Box::new(block.clone())));
+        let trace = ctx.map(|ctx| AppendTrace {
+            ctx,
+            submitted_ns: now_ns(),
+        });
+        self.send(Cmd::Append(Box::new(block.clone()), trace));
     }
 
     /// Queues a snapshot; it is saved only after the fsync covering its
@@ -388,6 +413,9 @@ fn writer_loop(
                 Cmd::Flush(_) | Cmd::Reset(..) | Cmd::Kill | Cmd::LoadLatest(_)
             )
         };
+        // Traced appends in this batch: their `wal.fsync` spans close
+        // after the covering fsync below.
+        let mut traced: Vec<(AppendTrace, u64)> = Vec::new();
         let has_waiters = || {
             !state
                 .pending_acks
@@ -396,7 +424,7 @@ fn writer_loop(
                 .is_empty()
         };
         if !config.gather_window.is_zero()
-            && batch.iter().any(|cmd| matches!(cmd, Cmd::Append(_)))
+            && batch.iter().any(|cmd| matches!(cmd, Cmd::Append(..)))
             && !batch.iter().any(is_barrier)
             && !has_waiters()
         {
@@ -425,12 +453,15 @@ fn writer_loop(
         }
         for cmd in batch {
             match cmd {
-                Cmd::Append(block) => {
+                Cmd::Append(block, trace) => {
                     let height = block.height;
                     log.append_block(&block)
                         .expect("pipelined WAL append failed");
                     appended_to = Some(height);
                     appended_blocks += 1;
+                    if let Some(trace) = trace {
+                        traced.push((trace, height));
+                    }
                 }
                 Cmd::Snapshot(snapshot) => queued_snapshots.push(*snapshot),
                 Cmd::Mirror(origin, snapshot) => {
@@ -475,6 +506,20 @@ fn writer_loop(
             if appended_blocks > 0 {
                 m.batch_blocks.record(appended_blocks);
                 m.queue_depth.add(-(appended_blocks as i64));
+            }
+            if let Some(sink) = &m.spans {
+                for (trace, height) in traced.drain(..) {
+                    sink.record(Span {
+                        trace_id: trace.ctx.trace_id,
+                        span_id: sink.next_id(),
+                        parent: trace.ctx.parent_span,
+                        name: "wal.fsync",
+                        node: sink.tag(),
+                        start_ns: trace.submitted_ns,
+                        end_ns: now_ns(),
+                        aux: height,
+                    });
+                }
             }
         } else {
             log.sync().expect("pipelined WAL fsync failed");

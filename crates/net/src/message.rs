@@ -8,6 +8,7 @@
 
 use fides_crypto::encoding::{Decodable, DecodeError, Decoder, Encodable, Encoder};
 use fides_crypto::schnorr::{KeyPair, PublicKey, Signature};
+use fides_telemetry::TraceContext;
 
 use crate::node::NodeId;
 
@@ -32,28 +33,44 @@ pub struct Envelope {
     pub to: NodeId,
     /// Opaque payload (a canonically encoded protocol message).
     pub payload: Vec<u8>,
-    /// Schnorr signature by the sender over `(from, to, payload)`.
+    /// Schnorr signature by the sender over `(from, to, payload)` —
+    /// plus the trace context when one rides along.
     pub signature: Signature,
+    /// Causal trace context for a **sampled** transaction (fides-trace,
+    /// `docs/tracing.md`). `None` for unsampled traffic, whose signed
+    /// bytes are byte-identical to the pre-tracing wire shape; when
+    /// present it is covered by the signature, so a relay can neither
+    /// forge nor strip it undetected.
+    pub trace: Option<TraceContext>,
 }
 
 impl Envelope {
     /// Creates and signs an envelope with the sender's key pair.
     pub fn sign(kp: &KeyPair, from: NodeId, to: NodeId, payload: Vec<u8>) -> Envelope {
-        let signature = kp.sign(&signing_bytes(from, to, &payload));
+        Envelope::sign_traced(kp, from, to, payload, None)
+    }
+
+    /// [`Envelope::sign`] with a causal trace context attached.
+    pub fn sign_traced(
+        kp: &KeyPair,
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+        trace: Option<TraceContext>,
+    ) -> Envelope {
+        let signature = kp.sign(&signing_bytes(from, to, &payload, trace));
         Envelope {
             from,
             to,
             payload,
             signature,
+            trace,
         }
     }
 
     /// Verifies the envelope against the claimed sender's public key.
     pub fn verify(&self, sender_pk: &PublicKey) -> bool {
-        sender_pk.verify(
-            &signing_bytes(self.from, self.to, &self.payload),
-            &self.signature,
-        )
+        sender_pk.verify(&self.signed_bytes(), &self.signature)
     }
 
     /// The payload size in bytes (for transport statistics).
@@ -64,7 +81,7 @@ impl Envelope {
     /// The exact bytes this envelope's signature covers — for callers
     /// assembling a [`verify_envelopes`] batch.
     pub fn signed_bytes(&self) -> Vec<u8> {
-        signing_bytes(self.from, self.to, &self.payload)
+        signing_bytes(self.from, self.to, &self.payload, self.trace)
     }
 }
 
@@ -100,12 +117,20 @@ pub fn verify_envelopes(envelopes: &[(&Envelope, &PublicKey)]) -> bool {
     verify_batch(&items)
 }
 
-fn signing_bytes(from: NodeId, to: NodeId, payload: &[u8]) -> Vec<u8> {
+fn signing_bytes(from: NodeId, to: NodeId, payload: &[u8], trace: Option<TraceContext>) -> Vec<u8> {
     let mut enc = Encoder::with_capacity(payload.len() + 32);
     enc.put_fixed(b"fides.envelope.v1");
     from.encode_into(&mut enc);
     to.encode_into(&mut enc);
     enc.put_bytes(payload);
+    // Domain-separated tail, appended **only** for sampled traffic:
+    // an unsampled envelope signs exactly the v1 bytes, so enabling
+    // tracing never changes what the fleet signs for 1−1/N of load.
+    if let Some(ctx) = trace {
+        enc.put_fixed(b"fides.trace.v1");
+        enc.put_u64(ctx.trace_id);
+        enc.put_u64(ctx.parent_span);
+    }
     enc.into_bytes()
 }
 
@@ -115,6 +140,10 @@ impl Encodable for Envelope {
         self.to.encode_into(enc);
         enc.put_bytes(&self.payload);
         self.signature.encode_into(enc);
+        enc.put_option(&self.trace, |enc, ctx| {
+            enc.put_u64(ctx.trace_id);
+            enc.put_u64(ctx.parent_span);
+        });
     }
 }
 
@@ -125,6 +154,12 @@ impl Decodable for Envelope {
             to: NodeId::decode_from(dec)?,
             payload: dec.take_bytes()?.to_vec(),
             signature: Signature::decode_from(dec)?,
+            trace: dec.take_option(|dec| {
+                Ok(TraceContext {
+                    trace_id: dec.take_u64()?,
+                    parent_span: dec.take_u64()?,
+                })
+            })?,
         })
     }
 }
@@ -172,6 +207,39 @@ mod tests {
         let decoded = Envelope::decode(&env.encode()).unwrap();
         assert_eq!(decoded, env);
         assert!(decoded.verify(&kp.public_key()));
+    }
+
+    #[test]
+    fn traced_envelope_roundtrip_and_integrity() {
+        let kp = KeyPair::from_seed(b"t");
+        let ctx = TraceContext {
+            trace_id: 0xabcd,
+            parent_span: 7,
+        };
+        let env = Envelope::sign_traced(&kp, NodeId::new(1), NodeId::new(2), vec![9], Some(ctx));
+        assert!(env.verify(&kp.public_key()));
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded.trace, Some(ctx));
+        assert!(decoded.verify(&kp.public_key()));
+
+        // Stripping or forging the context breaks the signature.
+        let mut stripped = env.clone();
+        stripped.trace = None;
+        assert!(!stripped.verify(&kp.public_key()));
+        let mut forged = env.clone();
+        forged.trace = Some(TraceContext {
+            trace_id: 0xabce,
+            parent_span: 7,
+        });
+        assert!(!forged.verify(&kp.public_key()));
+
+        // Unsampled envelopes sign the exact v1 bytes.
+        let plain = Envelope::sign(&kp, NodeId::new(1), NodeId::new(2), vec![9]);
+        assert_eq!(
+            plain.signed_bytes(),
+            signing_bytes(NodeId::new(1), NodeId::new(2), &[9], None)
+        );
+        assert!(!plain.signed_bytes().windows(5).any(|w| w == b"trace"));
     }
 
     #[test]

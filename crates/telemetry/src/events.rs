@@ -9,9 +9,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use crate::log::{self, Level};
+use crate::trace::now_ns;
 
 /// One recorded event.
 #[derive(Clone, Debug)]
@@ -22,13 +22,13 @@ pub struct Event {
     /// Coarse source plane, e.g. `"repair"`, `"refusal"`.
     pub category: &'static str,
     pub message: String,
-    /// Nanoseconds since the log was created.
+    /// Nanoseconds on the process-wide epoch ([`crate::trace::now_ns`])
+    /// — the same timebase spans and flight-recorder dumps use.
     pub at_ns: u64,
 }
 
 /// A bounded ring of the newest [`Event`]s (see module docs).
 pub struct EventLog {
-    start: Instant,
     next_seq: AtomicU64,
     slots: Vec<Mutex<Option<Event>>>,
 }
@@ -37,7 +37,6 @@ impl EventLog {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "event ring needs at least one slot");
         EventLog {
-            start: Instant::now(),
             next_seq: AtomicU64::new(0),
             slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
         }
@@ -53,7 +52,7 @@ impl EventLog {
             level,
             category,
             message,
-            at_ns: self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            at_ns: now_ns(),
         };
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
         let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());

@@ -18,7 +18,13 @@
 //!   (repair transitions, refusals, Byzantine evidence, timeouts);
 //! * [`Registry`] / [`MetricsSnapshot`] — string-named handles
 //!   (registration takes a lock once; recording never does) and the
-//!   mergeable point-in-time snapshot the cluster aggregates;
+//!   mergeable point-in-time snapshot the cluster aggregates, rendered
+//!   as JSON or Prometheus text exposition;
+//! * [`trace`] — sampled causal spans ([`TraceContext`] on the wire,
+//!   [`SpanSink`] rings per node, a cross-server assembler, Chrome
+//!   trace-event export) — see `docs/tracing.md`;
+//! * [`watchdog`] — the liveness stall report ([`Stall`]) and flight
+//!   recorder the server-side round-progress monitor dumps into;
 //! * [`log`] — leveled stderr diagnostics gated by the `FIDES_LOG`
 //!   environment filter (default `warn`: tests stay quiet).
 //!
@@ -34,6 +40,8 @@ pub mod log;
 mod metrics;
 mod registry;
 mod stage;
+pub mod trace;
+pub mod watchdog;
 
 pub use events::{Event, EventLog};
 pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS, SUB_BITS};
@@ -41,6 +49,8 @@ pub use log::Level;
 pub use metrics::{Counter, Gauge, GaugeSnapshot};
 pub use registry::{MetricsSnapshot, Registry};
 pub use stage::{Stage, StageTimers, Stopwatch};
+pub use trace::{Sampler, Span, SpanSink, TraceContext, TraceTree};
+pub use watchdog::{FlightRecorder, Stall, StallLog};
 
 /// Logs at [`Level::Error`]: unrecoverable or operator-actionable
 /// failures. Printed by default.

@@ -73,6 +73,12 @@ impl Registry {
         }
     }
 
+    /// Convenience: render the current state in Prometheus text
+    /// exposition format (see [`MetricsSnapshot::to_prometheus`]).
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+
     /// A point-in-time snapshot of every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let metrics = self.lock();
@@ -167,6 +173,41 @@ impl MetricsSnapshot {
             );
         }
         out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition format (version 0.0.4): counters and
+    /// gauges as single samples (a gauge's watermark gets a `_max`
+    /// companion), histograms as summaries with p50/p95/p99 quantile
+    /// labels plus `_sum`/`_count`. Metric names have `.` and `-`
+    /// folded to `_` to satisfy the Prometheus grammar.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| match c {
+                    'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | ':' => c,
+                    _ => '_',
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, n) in &self.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {n}\n"));
+        }
+        for (name, g) in &self.gauges {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.value));
+            out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", g.max));
+        }
+        for (name, h) in &self.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, p) in [("0.5", 50.0), ("0.95", 95.0), ("0.99", 99.0)] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", h.percentile(p)));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
         out
     }
 }

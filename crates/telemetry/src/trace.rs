@@ -1,0 +1,383 @@
+//! fides-trace: sampled causal spans across the commit pipeline.
+//!
+//! Aggregate histograms (PR 7) answer "what is the p99?"; spans answer
+//! "where did *this* transaction spend it?". A client samples 1-in-N
+//! commits (`FIDES_TRACE_SAMPLE`), allocates a [`TraceContext`] and
+//! attaches it to the `EndTxn` envelope; every hop that does work on
+//! the transaction's behalf — batch selection, OCC validation, Merkle
+//! update, CoSi vote round-trips, the WAL writer's covering fsync, the
+//! outcome fan-out — records a [`Span`] into its process-local
+//! [`SpanSink`] (same ring discipline as the event log: one
+//! `fetch_add` claims a slot, a per-slot lock fills it). A trace
+//! assembler then stitches the per-node span files into one tree by
+//! `trace_id`, and [`to_chrome_json`] renders Chrome trace-event JSON
+//! that opens directly in `chrome://tracing` / Perfetto.
+//!
+//! Span ids are globally unique without coordination: each sink is
+//! built with a node *tag* (server index, or `CLIENT_TAG_BASE + id`
+//! for clients) occupying the high 16 bits, a local counter the low
+//! 48. Timestamps are nanoseconds on the **process-wide epoch**
+//! ([`now_ns`]) shared with the event log, so flight-recorder dumps
+//! and spans line up on one timebase. Cross-*process* skew is not
+//! corrected — today's cluster is in-process (one epoch), and the
+//! assembler only orders siblings, never subtracts timestamps taken on
+//! different machines.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The process-wide monotonic epoch every `*_ns` timestamp in this
+/// crate is measured against (spans, events, flight recorder).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide epoch (first use anywhere in
+/// telemetry). Monotonic; shared by spans and [`crate::EventLog`].
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Node tags `>= CLIENT_TAG_BASE` denote clients (tag − base = client
+/// id); below it, server indices. Tags live in the top 16 bits of
+/// span ids, so they must stay under `1 << 16`.
+pub const CLIENT_TAG_BASE: u64 = 1 << 12;
+
+const TAG_SHIFT: u32 = 48;
+
+/// The causal context a sampled transaction carries on the wire: which
+/// trace it belongs to and which span caused the current message.
+/// Unsampled traffic carries none — signed bytes are unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub parent_span: u64,
+}
+
+/// One timed unit of work attributed to a trace. `parent == 0` marks
+/// a root (the client's commit round-trip).
+#[derive(Clone, Debug)]
+pub struct Span {
+    pub trace_id: u64,
+    /// Globally unique: node tag in the top 16 bits, local counter
+    /// below. Never 0.
+    pub span_id: u64,
+    /// The causing span's id, or 0 for a root.
+    pub parent: u64,
+    /// Static name, e.g. `"commit.stage.occ_validate"`.
+    pub name: &'static str,
+    /// The recording node's tag (see [`CLIENT_TAG_BASE`]).
+    pub node: u64,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Free numeric annotation: block height for round/stage spans,
+    /// transaction handle for client spans, 0 when unused.
+    pub aux: u64,
+}
+
+impl Span {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A bounded lock-free ring of the newest [`Span`]s, one per node
+/// (ring discipline shared with [`crate::EventLog`]).
+pub struct SpanSink {
+    tag: u64,
+    next_id: AtomicU64,
+    next_slot: AtomicU64,
+    slots: Vec<Mutex<Option<(u64, Span)>>>,
+}
+
+impl SpanSink {
+    /// # Panics
+    ///
+    /// If `capacity` is 0 or `tag` does not fit in 16 bits.
+    pub fn new(tag: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring needs at least one slot");
+        assert!(tag < (1 << 16), "node tag must fit in 16 bits");
+        SpanSink {
+            tag,
+            next_id: AtomicU64::new(0),
+            next_slot: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// The sink's node tag.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    /// Allocates a fresh span id (tag ‖ counter; never 0). Also used
+    /// for trace ids — any id from any sink is cluster-unique.
+    pub fn next_id(&self) -> u64 {
+        (self.tag << TAG_SHIFT) | (self.next_id.fetch_add(1, Relaxed) + 1)
+    }
+
+    /// Records a finished span (overwriting the oldest once full).
+    pub fn record(&self, span: Span) {
+        let seq = self.next_slot.fetch_add(1, Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        // A racing wrap may have written a newer seq; keep the newest.
+        if guard.as_ref().is_none_or(|(held, _)| *held < seq) {
+            *guard = Some((seq, span));
+        }
+    }
+
+    /// Convenience: record a span closing **now**.
+    #[allow(clippy::too_many_arguments)]
+    pub fn close(
+        &self,
+        trace_id: u64,
+        span_id: u64,
+        parent: u64,
+        name: &'static str,
+        start_ns: u64,
+        aux: u64,
+    ) {
+        self.record(Span {
+            trace_id,
+            span_id,
+            parent,
+            name,
+            node: self.tag,
+            start_ns,
+            end_ns: now_ns(),
+            aux,
+        });
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_slot.load(Relaxed)
+    }
+
+    /// The retained spans, in recording order.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let mut spans: Vec<(u64, Span)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        spans.sort_by_key(|(seq, _)| *seq);
+        spans.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+impl std::fmt::Debug for SpanSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SpanSink {{ tag: {}, capacity: {}, recorded: {} }}",
+            self.tag,
+            self.slots.len(),
+            self.recorded()
+        )
+    }
+}
+
+/// The 1-in-N head sampling decision, taken once per transaction at
+/// the client (everything downstream keys off the envelope's context).
+#[derive(Debug)]
+pub struct Sampler {
+    every: u64,
+    count: AtomicU64,
+}
+
+impl Sampler {
+    /// `every == 0` disables sampling, `1` traces everything, `N`
+    /// traces 1-in-N.
+    pub fn new(every: u64) -> Self {
+        Sampler {
+            every,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads `FIDES_TRACE_SAMPLE` (unset, empty, `0`, or unparsable →
+    /// off).
+    pub fn from_env() -> Self {
+        let every = std::env::var("FIDES_TRACE_SAMPLE")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        Sampler::new(every)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.every != 0
+    }
+
+    /// Should *this* transaction be traced? Deterministic round-robin
+    /// (first of every N), not random — reproducible under test.
+    pub fn sample(&self) -> bool {
+        self.every != 0 && self.count.fetch_add(1, Relaxed).is_multiple_of(self.every)
+    }
+}
+
+/// One assembled trace: every retained span sharing a `trace_id`,
+/// sorted by start time.
+#[derive(Clone, Debug)]
+pub struct TraceTree {
+    pub trace_id: u64,
+    pub spans: Vec<Span>,
+}
+
+impl TraceTree {
+    /// The root span (`parent == 0`), if retained.
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.parent == 0)
+    }
+
+    /// Direct children of `span_id`, in start order.
+    pub fn children(&self, span_id: u64) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.parent == span_id).collect()
+    }
+
+    /// First retained span with `name`.
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Wall-clock extent: root duration when the root survived the
+    /// ring, else the retained spans' envelope.
+    pub fn duration_ns(&self) -> u64 {
+        if let Some(root) = self.root() {
+            return root.duration_ns();
+        }
+        let start = self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let end = self.spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        end.saturating_sub(start)
+    }
+}
+
+/// Stitches per-node span dumps into one tree per `trace_id`, ordered
+/// by trace start time.
+pub fn assemble(spans: &[Span]) -> Vec<TraceTree> {
+    let mut by_trace: std::collections::BTreeMap<u64, Vec<Span>> = Default::default();
+    for span in spans {
+        by_trace
+            .entry(span.trace_id)
+            .or_default()
+            .push(span.clone());
+    }
+    let mut trees: Vec<TraceTree> = by_trace
+        .into_iter()
+        .map(|(trace_id, mut spans)| {
+            spans.sort_by_key(|s| (s.start_ns, s.span_id));
+            TraceTree { trace_id, spans }
+        })
+        .collect();
+    trees.sort_by_key(|t| t.spans.first().map_or(0, |s| s.start_ns));
+    trees
+}
+
+/// Renders spans as Chrome trace-event JSON (complete `"X"` events,
+/// microsecond timestamps) — open in `chrome://tracing` or
+/// <https://ui.perfetto.dev>. `pid` is the node tag, `tid` the trace,
+/// so one row per node stacks each traced transaction's spans.
+pub fn to_chrome_json(spans: &[Span]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        // Integer-nanosecond precision survives the µs float: 2^53 ns
+        // of epoch headroom is ~104 days.
+        let ts_us = s.start_ns as f64 / 1000.0;
+        let dur_us = s.duration_ns().max(1) as f64 / 1000.0;
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"cat\": \"fides\", \"ph\": \"X\", \
+             \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \
+             \"pid\": {}, \"tid\": {}, \
+             \"args\": {{\"trace_id\": \"{:#x}\", \"span_id\": \"{:#x}\", \
+             \"parent\": \"{:#x}\", \"aux\": {}}}}}",
+            s.name, s.node, s.trace_id, s.trace_id, s.span_id, s.parent, s.aux
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, start: u64, end: u64) -> Span {
+        Span {
+            trace_id: trace,
+            span_id: id,
+            parent,
+            name: "t",
+            node: 1,
+            start_ns: start,
+            end_ns: end,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn sink_ids_are_namespaced_and_nonzero() {
+        let a = SpanSink::new(3, 8);
+        let b = SpanSink::new(4, 8);
+        let ids: Vec<u64> = (0..4).map(|_| a.next_id()).collect();
+        assert!(ids.iter().all(|&id| id != 0));
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_ne!(a.next_id() >> TAG_SHIFT, b.next_id() >> TAG_SHIFT);
+    }
+
+    #[test]
+    fn sink_keeps_newest_on_wrap() {
+        let sink = SpanSink::new(1, 4);
+        for i in 0..10 {
+            sink.record(span(7, i + 1, 0, i, i + 1));
+        }
+        let kept = sink.snapshot();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(
+            kept.iter().map(|s| s.span_id).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        assert_eq!(sink.recorded(), 10);
+    }
+
+    #[test]
+    fn sampler_is_one_in_n() {
+        let s = Sampler::new(4);
+        let hits = (0..16).filter(|_| s.sample()).count();
+        assert_eq!(hits, 4);
+        assert!(!Sampler::new(0).sample());
+        assert!(Sampler::new(1).sample());
+    }
+
+    #[test]
+    fn assemble_groups_and_orders() {
+        let spans = vec![
+            span(2, 20, 0, 50, 90),
+            span(1, 11, 10, 5, 9),
+            span(1, 10, 0, 1, 10),
+        ];
+        let trees = assemble(&spans);
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].trace_id, 1);
+        assert_eq!(trees[0].root().unwrap().span_id, 10);
+        assert_eq!(trees[0].children(10)[0].span_id, 11);
+        assert_eq!(trees[0].duration_ns(), 9);
+        assert_eq!(trees[1].duration_ns(), 40);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = to_chrome_json(&[span(1, 2, 0, 1000, 3000)]);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ts\": 1.000"));
+        assert!(json.contains("\"dur\": 2.000"));
+        assert!(json.ends_with("]}"));
+    }
+}
